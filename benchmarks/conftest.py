@@ -1,0 +1,27 @@
+"""Shared study context for the per-figure benchmarks.
+
+The study is simulated once per pytest session (scale configurable via
+``REPRO_BENCH_SCALE``; the default 0.15 simulates ~430 playbacks in a
+couple of minutes).  Each benchmark then times its figure's analysis
+over that dataset and asserts the paper's qualitative shape.
+
+At partial scale the assertions are deliberately loose: run
+``python -m repro.experiments.runner --scale 1.0`` for the full
+reproduction recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.base import ExperimentContext, make_context
+
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.15"))
+BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "2001"))
+
+
+@pytest.fixture(scope="session")
+def ctx() -> ExperimentContext:
+    return make_context(seed=BENCH_SEED, scale=BENCH_SCALE)

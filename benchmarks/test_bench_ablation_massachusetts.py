@@ -1,0 +1,29 @@
+"""Ablation: the paper's Massachusetts-exclusion robustness check.
+
+Section IV: the authors re-ran the U.S. frame-rate analysis without
+the (over-represented) Massachusetts users and found the CDF "nearly
+the same".  We repeat that check on the simulated dataset.
+"""
+
+from repro.analysis.cdf import Cdf
+
+
+def test_bench_ablation_massachusetts(benchmark, ctx):
+    def compare():
+        played = ctx.dataset.played()
+        us = played.filter(lambda r: r.user_country == "US")
+        without_ma = us.exclude_state("MA")
+        full = Cdf(us.values("measured_frame_rate"))
+        trimmed = Cdf(without_ma.values("measured_frame_rate"))
+        return full, trimmed
+
+    full, trimmed = benchmark(compare)
+    print()
+    print(f"US frame rate with MA:    n={len(full)} mean={full.mean:.1f} "
+          f"<3fps={full.fraction_below(3):.2f}")
+    print(f"US frame rate without MA: n={len(trimmed)} mean={trimmed.mean:.1f} "
+          f"<3fps={trimmed.fraction_below(3):.2f}")
+    # Nearly the same CDF: compare at the paper's key thresholds.
+    for threshold in (3.0, 7.0, 15.0):
+        assert abs(full.at(threshold) - trimmed.at(threshold)) < 0.15
+    assert abs(full.mean - trimmed.mean) < 2.5

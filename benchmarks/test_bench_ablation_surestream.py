@@ -1,0 +1,36 @@
+"""Ablation: SureStream switching on vs off.
+
+Section II.C credits SureStream with varying the served stream under
+congestion.  Turning it off (a pre-SureStream server pins the initial
+level) shows what the technology buys: without adaptation, streams
+that exceed a congested path's capacity keep hammering it, so stalls
+and sub-3fps playbacks rise.
+"""
+
+from repro.analysis.comparison import compare_datasets, format_comparison
+from repro.world.scenarios import BASELINE, NO_SURESTREAM, run_scenario
+
+ABLATION_SEED = 777
+ABLATION_SCALE = 0.05
+
+
+def test_bench_ablation_surestream(benchmark):
+    baseline = run_scenario(BASELINE, seed=ABLATION_SEED, scale=ABLATION_SCALE)
+    variant = benchmark.pedantic(
+        run_scenario,
+        args=(NO_SURESTREAM,),
+        kwargs={"seed": ABLATION_SEED, "scale": ABLATION_SCALE},
+        rounds=1,
+        iterations=1,
+    )
+    comparison = compare_datasets(baseline, variant)
+    print()
+    print(format_comparison(comparison, "surestream", "pinned"))
+    # Without adaptation, congestion hurts more: stalls do not drop
+    # and the sub-3fps share does not improve.
+    assert comparison["mean_rebuffers"].variant >= (
+        comparison["mean_rebuffers"].baseline * 0.8
+    )
+    assert comparison["below_3fps"].variant >= (
+        comparison["below_3fps"].baseline - 0.05
+    )

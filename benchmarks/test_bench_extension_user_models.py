@@ -1,0 +1,23 @@
+"""Extension bench: per-user quality mapping (paper Section V.C).
+
+The paper conjectures that strong per-user rating/quality
+relationships hide under the weak global correlation.  This bench fits
+the per-user models over the shared dataset and checks the conjecture.
+"""
+
+from repro.analysis.user_models import compare_global_vs_per_user
+
+
+def test_bench_per_user_mapping(benchmark, ctx):
+    comparison = benchmark(
+        compare_global_vs_per_user, ctx.dataset, 4
+    )
+    print()
+    print(f"global R^2:        {comparison.global_r_squared:.3f}")
+    print(f"per-user mean R^2: {comparison.mean_per_user_r_squared:.3f} "
+          f"({comparison.users_modelled} users)")
+    assert comparison.users_modelled >= 5
+    # Per-user normalization means per-user fits explain (much) more
+    # variance than one global map.
+    assert comparison.per_user_wins
+    assert comparison.median_per_user_slope > 0

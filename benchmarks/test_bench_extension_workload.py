@@ -1,0 +1,25 @@
+"""Extension bench: streaming workload and caching ([CWVL01]-style).
+
+Session length/size and the proxy-cache savings a shared playlist
+implies — the related-work analysis the paper positions itself against.
+"""
+
+from repro.analysis.workload import (
+    cache_byte_savings,
+    format_workload,
+    summarize_workload,
+)
+
+
+def test_bench_workload(benchmark, ctx):
+    summary = benchmark(summarize_workload, ctx.dataset)
+    savings = cache_byte_savings(ctx.dataset)
+    print()
+    print(format_workload(summary))
+    print(f"  proxy-cache byte savings (upper bound): {savings:.0%}")
+    # Tracer default: ~1-minute sessions.
+    assert 20.0 <= summary.median_session_s <= 70.0
+    # Every user walks the same playlist, so repeat requests dominate
+    # and a shared cache would absorb most bytes.
+    assert summary.repeat_request_fraction > 0.5
+    assert savings > 0.5

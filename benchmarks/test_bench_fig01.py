@@ -1,0 +1,31 @@
+"""Figure 1 bench: buffering and playout timeline of one clip."""
+
+from repro.experiments.fig01_buffering import FIGURE
+
+
+def test_bench_fig01(benchmark, ctx):
+    result = benchmark.pedantic(FIGURE.run, args=(ctx,), rounds=1, iterations=1)
+    print()
+    print(result.text)
+    # An initial buffering phase exists and is in the ballpark of the
+    # paper's ~13 s example (healthy broadband: a few to ~20 s).
+    assert 1.0 <= result.headline["initial_buffering_s"] <= 25.0
+    # Playout happened at a healthy rate on this clean setting.
+    assert result.headline["mean_frame_rate"] > 5.0
+    # The timeline carries all four series of the paper's figure.
+    assert set(result.series) == {
+        "current_bandwidth_kbps",
+        "coded_bandwidth_kbps",
+        "current_frame_rate_fps",
+        "coded_frame_rate_fps",
+    }
+    # Frame rate is steadier than bandwidth once playing (the point of
+    # the figure): compare coefficients of variation mid-playout.
+    import numpy as np
+
+    fps = [y for x, y in result.series["current_frame_rate_fps"] if y > 0]
+    bw = [y for x, y in result.series["current_bandwidth_kbps"] if y > 0]
+    if len(fps) > 10 and len(bw) > 10:
+        cv_fps = np.std(fps) / np.mean(fps)
+        cv_bw = np.std(bw) / np.mean(bw)
+        assert cv_fps < cv_bw * 1.5

@@ -1,0 +1,14 @@
+"""Figures 3/4 bench: geographic representation of servers and users."""
+
+from repro.experiments.fig03_04_geography import FIGURE
+
+
+def test_bench_fig03_04(benchmark, ctx):
+    result = benchmark(FIGURE.run, ctx)
+    print()
+    print(result.text)
+    # Paper: 11 servers in 8 countries; ~63 users from 12 countries.
+    assert result.headline["server_count"] == 11
+    assert result.headline["server_countries"] == 8
+    assert 55 <= result.headline["user_count"] <= 70
+    assert result.headline["user_countries"] == 12

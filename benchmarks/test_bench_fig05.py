@@ -1,0 +1,14 @@
+"""Figure 5 bench: CDF of clips played per user."""
+
+from benchmarks.conftest import BENCH_SCALE
+from repro.experiments.fig05_clips_per_user import FIGURE
+
+
+def test_bench_fig05(benchmark, ctx):
+    result = benchmark(FIGURE.run, ctx)
+    print()
+    print(result.text)
+    # Paper: half the users played 40+ clips of the 98.  At partial
+    # scale the threshold scales with the simulated fraction.
+    assert result.headline["fraction_at_least_40"] >= 0.4
+    assert result.headline["max_clips"] <= 98 * BENCH_SCALE + 2

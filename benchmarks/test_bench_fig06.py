@@ -1,0 +1,12 @@
+"""Figure 6 bench: CDF of clips rated per user."""
+
+from repro.experiments.fig06_rated_per_user import FIGURE
+
+
+def test_bench_fig06(benchmark, ctx):
+    result = benchmark(FIGURE.run, ctx)
+    print()
+    print(result.text)
+    # Paper: half the users rated about 3 clips; some none, some many.
+    assert result.headline["median_rated_per_user"] <= 10
+    assert result.headline["fraction_none"] > 0.02

@@ -1,0 +1,12 @@
+"""Figure 7 bench: clips played by users from each country."""
+
+from repro.experiments.fig07_plays_by_country import FIGURE
+
+
+def test_bench_fig07(benchmark, ctx):
+    result = benchmark(FIGURE.run, ctx)
+    print()
+    print(result.text)
+    # Paper: 12 countries, US dominant (2100 of ~2855 = 74%).
+    assert result.headline["countries"] == 12
+    assert 0.6 <= result.headline["us_share"] <= 0.85

@@ -1,0 +1,13 @@
+"""Figure 8 bench: clips served by RealServers from each country."""
+
+from repro.experiments.fig08_served_by_country import FIGURE
+
+
+def test_bench_fig08(benchmark, ctx):
+    result = benchmark(FIGURE.run, ctx)
+    print()
+    print(result.text)
+    # Paper: 8 server countries; US ~37% of clips served, UK next.
+    assert result.headline["countries"] == 8
+    assert 0.25 <= result.headline["us_share"] <= 0.50
+    assert result.headline["uk_share"] > 0.05

@@ -1,0 +1,12 @@
+"""Figure 9 bench: clips played by U.S. users from each state."""
+
+from repro.experiments.fig09_plays_by_state import FIGURE
+
+
+def test_bench_fig09(benchmark, ctx):
+    result = benchmark(FIGURE.run, ctx)
+    print()
+    print(result.text)
+    # Paper: 17 states, Massachusetts dominant (~half of US plays).
+    assert result.headline["states"] == 17
+    assert result.headline["ma_share"] > 0.35

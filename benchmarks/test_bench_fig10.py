@@ -1,0 +1,11 @@
+"""Figure 10 bench: fraction of unavailable clips per server."""
+
+from repro.experiments.fig10_availability import FIGURE
+
+
+def test_bench_fig10(benchmark, ctx):
+    result = benchmark(FIGURE.run, ctx)
+    print()
+    print(result.text)
+    # Paper: ~10% of clip requests found the clip unavailable.
+    assert 0.05 <= result.headline["overall_unavailable"] <= 0.16

@@ -1,0 +1,14 @@
+"""Figure 11 bench: overall frame-rate CDF — the headline result."""
+
+from repro.experiments.fig11_frame_rate import FIGURE
+
+
+def test_bench_fig11(benchmark, ctx):
+    result = benchmark(FIGURE.run, ctx)
+    print()
+    print(result.text)
+    # Paper: mean 10 fps; ~25% below 3 fps; ~25% at 15+; <1% at 24+.
+    assert 7.5 <= result.headline["mean_fps"] <= 12.5
+    assert 0.15 <= result.headline["fraction_below_3fps"] <= 0.38
+    assert 0.12 <= result.headline["fraction_at_least_15fps"] <= 0.42
+    assert result.headline["fraction_at_least_24fps"] <= 0.05

@@ -1,0 +1,20 @@
+"""Figure 12 bench: frame rate by end-host network configuration."""
+
+from repro.experiments.fig12_fps_by_connection import FIGURE
+
+
+def test_bench_fig12(benchmark, ctx):
+    result = benchmark(FIGURE.run, ctx)
+    print()
+    print(result.text)
+    h = result.headline
+    # Paper: >half of modem plays below 3 fps, <10% reach 15 fps.
+    assert h["56k_below_3fps"] > 0.38
+    assert h["56k_at_least_15fps"] < 0.10
+    # Broadband: ~20% below 3 fps, roughly 30% at 15+ — and crucially
+    # DSL/Cable is on par with T1/LAN (bottleneck beyond the access).
+    assert h["dsl_below_3fps"] < h["56k_below_3fps"] - 0.15
+    assert h["t1_below_3fps"] < h["56k_below_3fps"] - 0.15
+    assert h["dsl_at_least_15fps"] > 0.12
+    assert h["t1_at_least_15fps"] > 0.12
+    assert abs(h["dsl_at_least_15fps"] - h["t1_at_least_15fps"]) < 0.25

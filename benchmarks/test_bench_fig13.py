@@ -1,0 +1,15 @@
+"""Figure 13 bench: bandwidth by end-host network configuration."""
+
+from repro.experiments.fig13_bw_by_connection import FIGURE
+
+
+def test_bench_fig13(benchmark, ctx):
+    result = benchmark(FIGURE.run, ctx)
+    print()
+    print(result.text)
+    h = result.headline
+    # Paper: DSL/Cable operates near full capacity (256+ Kbps) less
+    # than ~10% of the time; modems are pinned near their line rate.
+    assert h["dsl_near_capacity_fraction"] < 0.45
+    assert h["dsl_median_kbps"] > 100
+    assert h["modem_median_kbps"] < 40

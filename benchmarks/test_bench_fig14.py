@@ -1,0 +1,17 @@
+"""Figure 14 bench: frame rate by server region."""
+
+from repro.experiments.fig14_fps_by_server_region import FIGURE
+
+
+def test_bench_fig14(benchmark, ctx):
+    result = benchmark(FIGURE.run, ctx)
+    print()
+    print(result.text)
+    h = result.headline
+    # Paper: very similar distributions across the 5 server regions
+    # (means between ~8 and ~13 fps); server geography matters little.
+    assert h["worst_region_mean"] > 5.0
+    assert h["best_region_mean"] < 15.0
+    assert h["mean_spread"] < 6.5
+    # All five regions appear.
+    assert len(result.series) == 5

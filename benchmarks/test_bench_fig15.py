@@ -1,0 +1,18 @@
+"""Figure 15 bench: frame rate by user region."""
+
+from repro.experiments.fig15_fps_by_user_region import FIGURE
+
+
+def test_bench_fig15(benchmark, ctx):
+    result = benchmark(FIGURE.run, ctx)
+    print()
+    print(result.text)
+    h = result.headline
+    # Paper: user geography clearly differentiates — Australia/NZ far
+    # worst (75% below 3 fps), Europe and North America far better.
+    assert h["australia_below_3fps"] > 0.5
+    assert h["australia_below_3fps"] > h["us_below_3fps"] + 0.25
+    assert h["australia_below_3fps"] > h["europe_below_3fps"] + 0.25
+    assert h["europe_below_3fps"] < 0.35
+    assert h["us_below_3fps"] < 0.35
+    assert h["australia_at_least_15fps"] < 0.10

@@ -1,0 +1,12 @@
+"""Figure 16 bench: transport protocol shares."""
+
+from repro.experiments.fig16_protocol_share import FIGURE
+
+
+def test_bench_fig16(benchmark, ctx):
+    result = benchmark(FIGURE.run, ctx)
+    print()
+    print(result.text)
+    # Paper: UDP ~56%, TCP ~44%.
+    assert 0.33 <= result.headline["tcp_share"] <= 0.55
+    assert 0.45 <= result.headline["udp_share"] <= 0.67

@@ -1,0 +1,15 @@
+"""Figure 17 bench: frame rate by transport protocol."""
+
+from repro.experiments.fig17_fps_by_protocol import FIGURE
+
+
+def test_bench_fig17(benchmark, ctx):
+    result = benchmark(FIGURE.run, ctx)
+    print()
+    print(result.text)
+    h = result.headline
+    # Paper: "for the most part the frame rate distributions are
+    # nearly identical" (TCP 28% vs UDP 22% below 3 fps).  UDP's
+    # flexibility buys no large frame-rate advantage.
+    assert h["mean_gap"] < 3.0
+    assert abs(h["tcp_below_3fps"] - h["udp_below_3fps"]) < 0.18

@@ -1,0 +1,16 @@
+"""Figure 18 bench: bandwidth by transport protocol (TCP-friendliness)."""
+
+from repro.experiments.fig18_bw_by_protocol import FIGURE
+
+
+def test_bench_fig18(benchmark, ctx):
+    result = benchmark(FIGURE.run, ctx)
+    print()
+    print(result.text)
+    h = result.headline
+    # Paper: bandwidths very comparable over the clip duration
+    # (responsive application-layer control), with UDP slightly above
+    # TCP for most of the range — not strictly TCP-friendly.
+    assert h["comparable"] == 1.0
+    assert 0.6 <= h["udp_over_tcp_median_ratio"] <= 1.8
+    assert h["udp_over_tcp_p75_ratio"] >= 0.8

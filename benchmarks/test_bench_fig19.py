@@ -1,0 +1,16 @@
+"""Figure 19 bench: frame rate by PC power class."""
+
+from repro.experiments.fig19_fps_by_pc import FIGURE
+
+
+def test_bench_fig19(benchmark, ctx):
+    result = benchmark(FIGURE.run, ctx)
+    print()
+    print(result.text)
+    h = result.headline
+    # Paper: the slowest machines exceed 3 fps only 10-20% of the
+    # time; every other class is fine — the PC is not the bottleneck
+    # except for very old generations.
+    assert h["old_pc_above_3fps"] < 0.45
+    assert h["new_pc_above_3fps"] > 0.70
+    assert h["new_pc_above_3fps"] - h["old_pc_above_3fps"] > 0.35

@@ -1,0 +1,14 @@
+"""Figure 20 bench: overall jitter CDF."""
+
+from repro.experiments.fig20_jitter import FIGURE
+
+
+def test_bench_fig20(benchmark, ctx):
+    result = benchmark(FIGURE.run, ctx)
+    print()
+    print(result.text)
+    h = result.headline
+    # Paper: just over 50% of clips play with imperceptible jitter
+    # (<= 50 ms); only ~15% exceed the 300 ms bound.
+    assert 0.40 <= h["fraction_imperceptible"] <= 0.80
+    assert 0.05 <= h["fraction_unacceptable"] <= 0.30

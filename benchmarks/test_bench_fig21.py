@@ -1,0 +1,17 @@
+"""Figure 21 bench: jitter by end-host network configuration."""
+
+from repro.experiments.fig21_jitter_by_connection import FIGURE
+
+
+def test_bench_fig21(benchmark, ctx):
+    result = benchmark(FIGURE.run, ctx)
+    print()
+    print(result.text)
+    h = result.headline
+    # Paper: modem jitter much worse than broadband on both cutoffs;
+    # DSL/Cable and T1/LAN comparable at 50 ms.
+    assert h["56k_imperceptible"] < h["dsl_imperceptible"] - 0.15
+    assert h["56k_imperceptible"] < h["t1_imperceptible"] - 0.15
+    assert h["56k_unacceptable"] > 0.30
+    assert h["dsl_unacceptable"] < 0.30
+    assert h["t1_unacceptable"] < 0.30

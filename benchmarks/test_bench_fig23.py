@@ -1,0 +1,14 @@
+"""Figure 23 bench: jitter by user region."""
+
+from repro.experiments.fig23_jitter_by_user_region import FIGURE
+
+
+def test_bench_fig23(benchmark, ctx):
+    result = benchmark(FIGURE.run, ctx)
+    print()
+    print(result.text)
+    h = result.headline
+    # Paper: Australia/NZ worst, Asia next, Europe ~ North America.
+    assert h["australia_imperceptible"] < h["asia_imperceptible"] + 0.10
+    assert h["asia_imperceptible"] < h["us_imperceptible"]
+    assert abs(h["europe_imperceptible"] - h["us_imperceptible"]) < 0.30

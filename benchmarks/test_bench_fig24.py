@@ -1,0 +1,11 @@
+"""Figure 24 bench: jitter by transport protocol."""
+
+from repro.experiments.fig24_jitter_by_protocol import FIGURE
+
+
+def test_bench_fig24(benchmark, ctx):
+    result = benchmark(FIGURE.run, ctx)
+    print()
+    print(result.text)
+    # Paper: UDP and TCP provide nearly identical playout smoothness.
+    assert result.headline["imperceptible_gap"] < 0.20

@@ -1,0 +1,18 @@
+"""Figure 25 bench: jitter by observed bandwidth."""
+
+from repro.experiments.fig25_jitter_by_bandwidth import FIGURE
+
+
+def test_bench_fig25(benchmark, ctx):
+    result = benchmark(FIGURE.run, ctx)
+    print()
+    print(result.text)
+    h = result.headline
+    # Paper: strong bandwidth-jitter correlation — high-bandwidth
+    # connections ~80% jitter-free and ~95% under the 300 ms bound.
+    assert h["high_bw_imperceptible"] > 0.55
+    assert h["high_bw_acceptable"] > 0.80
+    if "mid_bw_imperceptible" in h:
+        assert h["mid_bw_imperceptible"] < h["high_bw_imperceptible"]
+    if "low_bw_imperceptible" in h:
+        assert h["low_bw_imperceptible"] < h["high_bw_imperceptible"]

@@ -1,0 +1,15 @@
+"""Figure 26 bench: overall quality-rating CDF."""
+
+from repro.experiments.fig26_rating import FIGURE
+
+
+def test_bench_fig26(benchmark, ctx):
+    result = benchmark(FIGURE.run, ctx)
+    print()
+    print(result.text)
+    h = result.headline
+    # Paper: mean ~5 with a close-to-uniform distribution (per-user
+    # normalization of ratings).
+    assert 4.0 <= h["mean_rating"] <= 6.5
+    assert h["uniformity_deviation"] < 0.30
+    assert h["rated_count"] >= 30

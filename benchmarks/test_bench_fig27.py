@@ -1,0 +1,18 @@
+"""Figure 27 bench: quality ratings by network configuration."""
+
+from repro.experiments.fig27_rating_by_connection import FIGURE
+
+
+def test_bench_fig27(benchmark, ctx):
+    result = benchmark(FIGURE.run, ctx)
+    print()
+    print(result.text)
+    h = result.headline
+    # Paper: modem clips rated about half as good as DSL/Cable ones;
+    # the end-host network has a large impact on perceived quality.
+    assert h["modem_mean"] < h["dsl_mean"] - 0.8
+    assert h["modem_over_dsl"] < 0.85
+    # DSL/Cable roughly on par with T1/LAN.  The paper's DSL > T1
+    # ordering holds at full scale (see EXPERIMENTS.md); at bench
+    # scale the rated sample per class is small (~60), so allow noise.
+    assert h["dsl_mean"] >= h["t1_mean"] - 0.9

@@ -1,0 +1,35 @@
+"""Raw simulator throughput: one full playback per benchmark round.
+
+Not a paper figure — this tracks the cost of the packet-level
+simulation itself (a broadband UDP playback is the expensive case:
+~60+ packets/second for 60+ simulated seconds).
+"""
+
+from repro.core.realtracer import RealTracer
+from repro.rng import RngFactory
+from repro.world.population import build_population
+
+
+def test_bench_playback_throughput(benchmark):
+    rngs = RngFactory(1234)
+    population = build_population(rngs, playlist_length=8)
+    user = next(
+        u for u in population.users
+        if u.connection.name == "DSL/Cable" and u.country.code == "US"
+        and not u.rtsp_blocked
+    )
+    site, clip = next(
+        (s, c) for s, c in population.playlist
+        if c.ladder.highest.total_bps >= 225_000
+    )
+    counter = {"i": 0}
+
+    def play_once():
+        counter["i"] += 1
+        tracer = RealTracer()
+        return tracer.play_clip(
+            user, site, clip, rngs.child("bench", str(counter["i"]))
+        )
+
+    record = benchmark.pedantic(play_once, rounds=3, iterations=1)
+    assert record.outcome in ("played", "unavailable")

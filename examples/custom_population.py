@@ -1,0 +1,68 @@
+"""Custom worlds: rerun the study on an all-broadband 2003 scenario.
+
+The library's population is pluggable: build your own users/playlist,
+hand them to the Study, and the whole measurement pipeline (tracer,
+records, analysis) runs unchanged.  Here we ask the paper's own
+forward-looking question — what happens as broadband replaces dial-up?
+— by replaying the study with every modem user upgraded to DSL/Cable.
+
+Run:  python examples/custom_population.py
+"""
+
+from dataclasses import replace
+
+import numpy as np
+
+from repro.analysis.cdf import Cdf
+from repro.core.study import Study, StudyConfig
+from repro.rng import RngFactory
+from repro.world.connections import DSL_CABLE
+from repro.world.population import StudyPopulation, build_population
+
+
+def upgraded_population(seed: int) -> StudyPopulation:
+    """The 2001 population with every modem swapped for DSL/Cable."""
+    rngs = RngFactory(seed)
+    base = build_population(rngs)
+    rng = np.random.default_rng(seed)
+    users = []
+    for user in base.users:
+        if user.connection.name == "56k Modem":
+            downlink = DSL_CABLE.sample_downlink_bps(rng)
+            user = replace(user, connection=DSL_CABLE, downlink_bps=downlink)
+        users.append(user)
+    return StudyPopulation(users=tuple(users), playlist=base.playlist)
+
+
+def summarize(label: str, dataset) -> None:
+    played = dataset.played()
+    fps = Cdf(played.values("measured_frame_rate"))
+    jitter = Cdf([r.jitter_ms for r in dataset.with_jitter()])
+    print(f"{label:18s} n={len(played):4d} mean={fps.mean:5.1f} fps  "
+          f"<3fps={fps.fraction_below(3):5.1%}  "
+          f">=15fps={fps.fraction_at_least(15):5.1%}  "
+          f"jitter<=50ms={jitter.at(50):5.1%}")
+
+
+def main() -> None:
+    scale = 0.10
+    seed = 2001
+    print(f"running both worlds at scale {scale} (a few minutes)...\n")
+
+    baseline = Study(StudyConfig(seed=seed, scale=scale)).run()
+    summarize("2001 baseline", baseline)
+
+    upgraded = Study(
+        StudyConfig(seed=seed, scale=scale),
+        population=upgraded_population(seed),
+    ).run()
+    summarize("all-broadband", upgraded)
+
+    print("\nUpgrading the access links removes the modem disasters but "
+          "the server-side/WAN bottleneck remains — exactly the paper's "
+          "conclusion that broadband 'pushes the bottleneck closer to "
+          "the server'.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""Quickstart: play one clip, then run a small study slice.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import RealTracer, Study, StudyConfig
+from repro.analysis.cdf import Cdf
+from repro.analysis.report import format_summary
+from repro.analysis.stats import summarize
+from repro.rng import RngFactory
+from repro.world.population import build_population
+
+
+def play_one_clip() -> None:
+    """Drive RealTracer for a single playback and show the record."""
+    rngs = RngFactory(seed=42)
+    population = build_population(rngs, playlist_length=10)
+    user = next(
+        u for u in population.users
+        if u.connection.name == "DSL/Cable" and u.country.code == "US"
+        and not u.rtsp_blocked
+    )
+    site, clip = population.playlist[0]
+    print(f"user: {user.user_id} ({user.country.name}, {user.connection.name}, "
+          f"{user.pc.name})")
+    print(f"clip: {clip.title} from {site.name}, "
+          f"encoded up to {clip.ladder.highest.total_bps / 1000:.0f} Kbps")
+
+    tracer = RealTracer()
+    record = tracer.play_clip(user, site, clip, rngs.child("quickstart"))
+
+    print(f"\noutcome:            {record.outcome}")
+    print(f"transport:          {record.protocol}")
+    print(f"coded bandwidth:    {record.encoded_bandwidth_bps / 1000:.0f} Kbps")
+    print(f"measured bandwidth: {record.measured_bandwidth_bps / 1000:.0f} Kbps")
+    print(f"measured framerate: {record.measured_frame_rate:.1f} fps")
+    print(f"jitter:             {record.jitter_ms:.0f} ms")
+    print(f"initial buffering:  {record.initial_buffering_s:.1f} s")
+    print(f"rebuffer events:    {record.rebuffer_count}")
+
+
+def run_small_study() -> None:
+    """Run a 10%-scale study and print the headline distributions."""
+    print("\nrunning a 10%-scale study (a few minutes)...")
+    study = Study(StudyConfig(seed=2001, scale=0.10))
+    dataset = study.run()
+    played = dataset.played()
+
+    fps = Cdf(played.values("measured_frame_rate"))
+    print(f"\nplaybacks: {len(dataset)} ({len(played)} played, "
+          f"{len(dataset) - len(played)} unavailable/failed)")
+    print(format_summary("frame rate", summarize(fps.values), "fps"))
+    print(f"  below 3 fps:  {fps.fraction_below(3.0):.0%}   "
+          f"(paper: ~25%)")
+    print(f"  15 fps and up: {fps.fraction_at_least(15.0):.0%}   "
+          f"(paper: ~25%)")
+    jitter = Cdf([r.jitter_ms for r in dataset.with_jitter()])
+    print(f"  jitter <= 50 ms: {jitter.at(50.0):.0%}   (paper: ~52%)")
+
+
+if __name__ == "__main__":
+    play_one_clip()
+    run_small_study()

@@ -1,0 +1,106 @@
+"""RealData: the study's companion analysis tool, demonstrated.
+
+The paper's NOTES section promised "an accompanying analysis tool
+called RealData".  This example plays that role over a simulated
+dataset: workload/caching analysis ([CWVL01]-style), flow profiling
+of a captured playback ([MH00]/[MCCS00]-style), the per-user quality
+mapping the paper leaves as future work, and terminal plots.
+
+Run:  python examples/realdata_analysis.py
+"""
+
+from repro.analysis.cdf import Cdf
+from repro.analysis.flows import format_profile, media_flow
+from repro.analysis.plotting import ascii_bars, ascii_cdf
+from repro.analysis.user_models import compare_global_vs_per_user
+from repro.analysis.workload import (
+    cache_byte_savings,
+    clip_popularity,
+    format_workload,
+    summarize_workload,
+)
+from repro.core.realtracer import RealTracer
+from repro.core.study import Study, StudyConfig
+from repro.net.tracelog import PacketTraceLogger
+from repro.rng import RngFactory
+from repro.world.population import build_population
+
+
+def workload_section(dataset) -> None:
+    print(format_workload(summarize_workload(dataset)))
+    print(f"  proxy-cache byte savings (upper bound): "
+          f"{cache_byte_savings(dataset):.0%}")
+    top = clip_popularity(dataset)[:5]
+    print("  hottest clips:")
+    for url, count in top:
+        print(f"    {count:3d}x {url}")
+
+
+def flow_section() -> None:
+    print("\nPacket-level profile of one playback "
+          "(mmdump/[MH00] style):")
+    rngs = RngFactory(64)
+    population = build_population(rngs)
+    user = next(u for u in population.users
+                if u.connection.name == "DSL/Cable" and not u.rtsp_blocked)
+    site, clip = population.playlist[0]
+    tracer = RealTracer()
+    loggers = []
+    original_build = tracer._paths.build
+
+    def traced_build(loop, *args, **kwargs):
+        path = original_build(loop, *args, **kwargs)
+        logger = PacketTraceLogger(loop)
+        logger.attach_path(path)
+        loggers.append(logger)
+        return path
+
+    tracer._paths.build = traced_build
+    record = tracer.play_clip(user, site, clip, rngs.child("flow"))
+    if record.played and loggers:
+        trace = loggers[-1].trace
+        profile = media_flow(trace)
+        print("  " + format_profile(profile))
+        print(f"  steady packet sizes (flow-identifiable per [MH00]): "
+              f"{profile.steady_packet_sizes}")
+
+
+def perception_section(dataset) -> None:
+    print("\nPer-user quality mapping (paper Section V.C future work):")
+    comparison = compare_global_vs_per_user(dataset, min_points=4)
+    print(f"  global  rating ~ quality fit: "
+          f"R^2 = {comparison.global_r_squared:.2f}")
+    print(f"  per-user fits ({comparison.users_modelled} users, "
+          f"{comparison.ratings_covered} ratings): "
+          f"mean R^2 = {comparison.mean_per_user_r_squared:.2f}")
+    print(f"  -> per-user models win: {comparison.per_user_wins} "
+          f"(the paper's conjecture)")
+
+
+def plots_section(dataset) -> None:
+    played = dataset.played()
+    print("\nframe-rate CDF:")
+    print(ascii_cdf(
+        {"all": Cdf(played.values("measured_frame_rate"))},
+        x_max=30.0, x_label="fps", width=56, height=12,
+    ))
+    from repro.analysis.breakdowns import counts_by
+
+    print()
+    print(ascii_bars(
+        dict(counts_by(played, lambda r: r.connection)),
+        title="plays per connection class",
+    ))
+
+
+def main() -> None:
+    print("simulating a 10%-scale study (a few minutes)...\n")
+    dataset = Study(StudyConfig(seed=2024, scale=0.10)).run()
+    workload_section(dataset)
+    flow_section()
+    perception_section(dataset)
+    plots_section(dataset)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+"""TCP-friendliness: forced-TCP vs forced-UDP over matched paths.
+
+Replays the same (user, clip, network weather) with the data channel
+forced onto each transport, compares achieved bandwidth, and checks
+the UDP flows against the TCP-friendly equation of [FHPW00] — the
+paper's Section V congestion analysis, isolated.
+
+Run:  python examples/tcp_friendliness.py
+"""
+
+from dataclasses import replace
+
+import numpy as np
+
+from repro.core.realtracer import RealTracer
+from repro.rng import RngFactory
+from repro.transport.tfrc import tfrc_rate
+from repro.world.population import build_population
+
+
+def main() -> None:
+    rngs = RngFactory(321)
+    population = build_population(rngs)
+    users = [
+        u for u in population.users
+        if u.connection.name in ("DSL/Cable", "T1/LAN") and not u.rtsp_blocked
+    ][:6]
+    pairs = [
+        (s, c) for s, c in population.playlist
+        if c.ladder.highest.total_bps >= 150_000
+    ][:4]
+
+    print(f"{'user':8s} {'clip':26s} {'TCP kbps':>9} {'UDP kbps':>9} "
+          f"{'UDP/TCP':>8}")
+    ratios = []
+    for user in users:
+        for site, clip in pairs:
+            achieved = {}
+            for protocol_forced in (True, False):
+                variant = replace(user, force_tcp=protocol_forced)
+                tracer = RealTracer()
+                record = tracer.play_clip(
+                    variant, site, clip,
+                    rngs.child("ab", user.user_id, clip.url),
+                )
+                if record.played:
+                    key = "TCP" if protocol_forced else "UDP"
+                    achieved[key] = record.measured_bandwidth_bps / 1000
+            if "TCP" in achieved and "UDP" in achieved and achieved["TCP"] > 0:
+                ratio = achieved["UDP"] / achieved["TCP"]
+                ratios.append(ratio)
+                print(f"{user.user_id:8s} {clip.url[-26:]:26s} "
+                      f"{achieved['TCP']:9.0f} {achieved['UDP']:9.0f} "
+                      f"{ratio:8.2f}")
+
+    if ratios:
+        print(f"\nmedian UDP/TCP bandwidth ratio: {np.median(ratios):.2f} "
+              f"(paper: comparable, UDP slightly above)")
+
+    # The equation the server's UDP adaptation targets:
+    print("\nTFRC reference rates (1000-byte packets):")
+    for loss in (0.005, 0.01, 0.03, 0.10):
+        for rtt in (0.05, 0.15, 0.30):
+            rate = tfrc_rate(loss, rtt) / 1000
+            print(f"  loss={loss:5.1%} rtt={rtt * 1000:4.0f}ms -> "
+                  f"{rate:8.0f} kbps")
+
+
+if __name__ == "__main__":
+    main()

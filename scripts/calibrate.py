@@ -1,0 +1,112 @@
+"""Calibration loop: run a scaled study, print paper-vs-measured headlines."""
+import sys, time
+from repro.core.study import Study, StudyConfig
+from repro.analysis.cdf import Cdf
+from repro.analysis import breakdowns
+from repro.units import kbps
+
+scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.15
+seed = int(sys.argv[2]) if len(sys.argv) > 2 else 2001
+
+t0 = time.time()
+study = Study(StudyConfig(seed=seed, scale=scale))
+ds = study.run()
+print(f"ran {len(ds)} playbacks in {time.time()-t0:.0f}s")
+
+played = ds.played()
+print(f"played={len(played)} unavailable={len(ds.filter(lambda r: r.outcome=='unavailable'))} ctrl_failed={len(ds.filter(lambda r: r.outcome=='control_failed'))}")
+
+fps = Cdf(played.values("measured_frame_rate"))
+print(f"\n== Fig 11 frame rate: mean={fps.mean:.1f} (paper 10) | <3fps={fps.fraction_below(3):.2f} (0.25) | >=15={fps.fraction_at_least(15):.2f} (0.25) | >=24={fps.fraction_at_least(24):.3f} (<0.01)")
+
+print("\n== Fig 12 fps by connection (paper: modem <3fps ~0.52, >=15 <0.10; broadband <3 ~0.20, >=15 ~0.30)")
+for name, grp in breakdowns.by_connection(played).items():
+    c = Cdf(grp.values("measured_frame_rate"))
+    print(f"  {name:10s} n={len(grp):4d} mean={c.mean:5.1f} <3={c.fraction_below(3):.2f} >=15={c.fraction_at_least(15):.2f}")
+
+print("\n== Fig 13 bandwidth by connection (DSL near capacity <10%)")
+for name, grp in breakdowns.by_connection(played).items():
+    c = Cdf([v/1000 for v in grp.values("measured_bandwidth_bps")])
+    print(f"  {name:10s} mean={c.mean:6.1f}k median={c.median:6.1f}k p90={c.percentile(0.9):6.1f}k")
+
+print("\n== Fig 14 fps by SERVER region (paper: similar, means 8-13)")
+for name, grp in breakdowns.by_server_region(played).items():
+    c = Cdf(grp.values("measured_frame_rate"))
+    print(f"  {name:12s} n={len(grp):4d} mean={c.mean:5.1f} <3={c.fraction_below(3):.2f} >=15={c.fraction_at_least(15):.2f}")
+
+print("\n== Fig 15 fps by USER region (paper: AusNZ <3fps=0.75,>=15<0.10; Europe <3=0.15,>=15=0.25)")
+for name, grp in breakdowns.by_user_region(played).items():
+    c = Cdf(grp.values("measured_frame_rate"))
+    print(f"  {name:22s} n={len(grp):4d} mean={c.mean:5.1f} <3={c.fraction_below(3):.2f} >=15={c.fraction_at_least(15):.2f}")
+
+print("\n== Fig 16 protocols (paper: UDP 0.56 TCP 0.44)")
+protos = breakdowns.counts_by(played, lambda r: r.protocol)
+tot = sum(protos.values())
+for p, n in protos.items(): print(f"  {p}: {n/tot:.2f}")
+
+print("\n== Fig 17 fps by protocol (paper: TCP <3=0.28, UDP <3=0.22, else near-identical)")
+for name, grp in breakdowns.by_protocol(played).items():
+    c = Cdf(grp.values("measured_frame_rate"))
+    print(f"  {name:4s} n={len(grp):4d} mean={c.mean:5.1f} <3={c.fraction_below(3):.2f} >=15={c.fraction_at_least(15):.2f}")
+
+print("\n== Fig 18 bw by protocol (paper: comparable, UDP slightly higher)")
+for name, grp in breakdowns.by_protocol(played).items():
+    c = Cdf([v/1000 for v in grp.values("measured_bandwidth_bps")])
+    print(f"  {name:4s} mean={c.mean:6.1f}k p25={c.percentile(.25):6.1f} median={c.median:6.1f} p75={c.percentile(.75):6.1f}")
+
+print("\n== Fig 19 fps by PC class (paper: only old PCs bad: >3fps only 10-20% of time)")
+for name, grp in breakdowns.by_pc_class(played).items():
+    c = Cdf(grp.values("measured_frame_rate"))
+    print(f"  {name:28s} n={len(grp):4d} mean={c.mean:5.1f} >3fps={c.fraction_at_least(3):.2f}")
+
+jplayed = played.with_jitter()
+jit = Cdf([v*1000 for v in jplayed.values("jitter_s")])
+print(f"\n== Fig 20 jitter: <=50ms={jit.at(50):.2f} (paper ~0.52) | >=300ms={1-jit.at(300):.2f} (paper 0.15)")
+
+print("\n== Fig 21 jitter by connection (paper: modem <=50ms 0.10, >=300 0.45; DSL >=300 0.15, T1 0.20)")
+for name, grp in breakdowns.by_connection(jplayed).items():
+    c = Cdf([v*1000 for v in grp.values("jitter_s")])
+    print(f"  {name:10s} <=50ms={c.at(50):.2f} >=300ms={1-c.at(300):.2f}")
+
+print("\n== Fig 22 jitter by server region (paper: Asia worst 0.45 <=50ms, others ~0.55)")
+for name, grp in breakdowns.by_server_region(jplayed).items():
+    c = Cdf([v*1000 for v in grp.values("jitter_s")])
+    print(f"  {name:12s} <=50ms={c.at(50):.2f} >=300ms={1-c.at(300):.2f}")
+
+print("\n== Fig 23 jitter by user region (paper: AusNZ worst, Asia next, EU~NA)")
+for name, grp in breakdowns.by_user_region(jplayed).items():
+    c = Cdf([v*1000 for v in grp.values("jitter_s")])
+    print(f"  {name:22s} <=50ms={c.at(50):.2f} >=300ms={1-c.at(300):.2f}")
+
+print("\n== Fig 24 jitter by protocol (near-identical)")
+for name, grp in breakdowns.by_protocol(jplayed).items():
+    c = Cdf([v*1000 for v in grp.values("jitter_s")])
+    print(f"  {name:4s} <=50ms={c.at(50):.2f} >=300ms={1-c.at(300):.2f}")
+
+print("\n== Fig 25 jitter by bw bin (paper: <10K 10% <=50ms, 20% <300; >100K 80% <=50ms, 95% <300)")
+for name, grp in breakdowns.by_bandwidth_bin(jplayed).items():
+    c = Cdf([v*1000 for v in grp.values("jitter_s")])
+    print(f"  {name:10s} n={len(grp):4d} <=50ms={c.at(50):.2f} <300ms={c.at(300):.2f}")
+
+rated = ds.rated()
+if len(rated) >= 5:
+    q = Cdf(rated.values("rating"))
+    print(f"\n== Fig 26 ratings: n={len(rated)} mean={q.mean:.1f} (paper ~5, uniform) p25={q.percentile(.25):.0f} p75={q.percentile(.75):.0f}")
+    print("== Fig 27 rating by connection (modem ~half of DSL; DSL>T1)")
+    for name, grp in breakdowns.by_connection(rated).items():
+        c = Cdf(grp.values("rating"))
+        print(f"  {name:10s} n={len(grp):3d} mean={c.mean:.1f}")
+    from repro.analysis.stats import correlation
+    r = correlation(rated.values("measured_bandwidth_bps"), rated.values("rating"))
+    print(f"== Fig 28 rating-vs-bw correlation: {r:.2f} (paper: weak positive)")
+    hi = rated.filter(lambda rec: rec.measured_bandwidth_bps > kbps(300))
+    if len(hi): print(f"   ratings at >300kbps: min={min(hi.values('rating'))} (paper: no low ratings)")
+
+print("\n== Fig 10 availability (paper avg ~0.10)")
+unav = ds.filter(lambda r: r.outcome=='unavailable')
+print(f"  overall unavailable fraction: {len(unav)/len(ds):.3f}")
+
+print("\n== protocol x connection cross-tab (played)")
+from collections import Counter
+cc = Counter((r.connection, r.protocol) for r in played)
+for k in sorted(cc): print(f"  {k[0]:10s} {k[1]:3s}: {cc[k]}")

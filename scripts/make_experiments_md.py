@@ -1,0 +1,205 @@
+"""Generate EXPERIMENTS.md from a full-scale runner output directory.
+
+Usage: python scripts/make_experiments_md.py results/ > EXPERIMENTS.md
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+#: figure -> list of (headline key, paper-reported value description).
+PAPER = {
+    "fig01": [
+        ("initial_buffering_s", "~13 s of initial buffering"),
+        ("mean_frame_rate", "playout steadier than bandwidth"),
+    ],
+    "fig03_04": [
+        ("server_count", "11 servers"),
+        ("server_countries", "8 countries"),
+        ("user_count", "63 users"),
+        ("user_countries", "12 countries"),
+    ],
+    "fig05": [
+        ("median_clips_per_user", "half the users played 40+ of 98 clips"),
+        ("max_clips", "max 98 (full playlist)"),
+    ],
+    "fig06": [
+        ("median_rated_per_user", "half the users rated ~3 clips"),
+        ("max_rated", "some rated 30+"),
+    ],
+    "fig07": [
+        ("countries", "12 user countries"),
+        ("us_share", "US ~74% of plays (2100/2855)"),
+    ],
+    "fig08": [
+        ("countries", "8 server countries"),
+        ("us_share", "US ~37% of clips served (1075/2892)"),
+        ("uk_share", "UK ~14% (416)"),
+    ],
+    "fig09": [
+        ("states", "17 U.S. states"),
+        ("ma_share", "MA ~52% of U.S. plays"),
+    ],
+    "fig10": [
+        ("overall_unavailable", "~10% of requests unavailable"),
+    ],
+    "fig11": [
+        ("mean_fps", "mean 10 fps"),
+        ("fraction_below_3fps", "~25% under 3 fps"),
+        ("fraction_at_least_15fps", "~25% at 15+ fps"),
+        ("fraction_at_least_24fps", "<1% at 24+ fps"),
+    ],
+    "fig12": [
+        ("56k_below_3fps", "modem: >50% under 3 fps"),
+        ("56k_at_least_15fps", "modem: <10% at 15 fps"),
+        ("dsl_below_3fps", "broadband: ~20% under 3 fps"),
+        ("dsl_at_least_15fps", "broadband: ~30% at 15 fps"),
+        ("t1_at_least_15fps", "T1 ~ DSL"),
+    ],
+    "fig13": [
+        ("dsl_median_kbps", "DSL/Cable well under capacity"),
+        ("dsl_near_capacity_fraction", "near capacity <10% of time"),
+        ("modem_median_kbps", "modems near line rate (~30 kbps)"),
+    ],
+    "fig14": [
+        ("worst_region_mean", "worst server-region mean ~8 fps"),
+        ("best_region_mean", "best ~13 fps"),
+        ("asia_mean", "Asia worst"),
+    ],
+    "fig15": [
+        ("australia_below_3fps", "Aus/NZ: 75% under 3 fps"),
+        ("australia_at_least_15fps", "Aus/NZ: <10% at 15 fps"),
+        ("europe_below_3fps", "Europe: ~15% under 3 fps"),
+        ("europe_at_least_15fps", "Europe: ~25% at 15 fps"),
+        ("us_below_3fps", "NA slightly better than Asia"),
+    ],
+    "fig16": [
+        ("tcp_share", "TCP 44%"),
+        ("udp_share", "UDP 56%"),
+    ],
+    "fig17": [
+        ("tcp_below_3fps", "TCP ~28% under 3 fps"),
+        ("udp_below_3fps", "UDP ~22% under 3 fps"),
+        ("mean_gap", "distributions nearly identical"),
+    ],
+    "fig18": [
+        ("udp_over_tcp_median_ratio", "bandwidths very comparable"),
+        ("strictly_friendly", "UDP slightly above TCP (0 = not strictly friendly)"),
+    ],
+    "fig19": [
+        ("old_pc_above_3fps", "old PCs: above 3 fps only 10-20% of time"),
+        ("new_pc_above_3fps", "other classes unconstrained"),
+    ],
+    "fig20": [
+        ("fraction_imperceptible", "just over 50% <= 50 ms"),
+        ("fraction_unacceptable", "~15% >= 300 ms"),
+    ],
+    "fig21": [
+        ("56k_imperceptible", "modem: ~10% <= 50 ms"),
+        ("56k_unacceptable", "modem: ~45% >= 300 ms"),
+        ("dsl_unacceptable", "DSL: ~15% >= 300 ms"),
+        ("t1_unacceptable", "T1: ~20% >= 300 ms"),
+    ],
+    "fig22": [
+        ("asia_imperceptible", "Asia servers worst: ~45% <= 50 ms"),
+        ("others_imperceptible_mean", "other regions ~55%"),
+    ],
+    "fig23": [
+        ("australia_imperceptible", "Aus/NZ users worst"),
+        ("asia_imperceptible", "Asia next"),
+        ("us_imperceptible", "NA ~ Europe"),
+        ("europe_imperceptible", "Europe ~ NA"),
+    ],
+    "fig24": [
+        ("imperceptible_gap", "TCP ~ UDP (nearly identical)"),
+    ],
+    "fig25": [
+        ("high_bw_imperceptible", ">100K: ~80% <= 50 ms"),
+        ("high_bw_acceptable", ">100K: ~95% < 300 ms"),
+        ("low_bw_imperceptible", "<10K: ~10% <= 50 ms"),
+    ],
+    "fig26": [
+        ("mean_rating", "mean ~5"),
+        ("uniformity_deviation", "distribution very uniform"),
+        ("rated_count", "388 rated clips"),
+    ],
+    "fig27": [
+        ("modem_mean", "modem ~half of DSL"),
+        ("dsl_mean", "DSL best"),
+        ("t1_mean", "DSL slightly above T1"),
+        ("modem_over_dsl", "ratio ~0.5"),
+    ],
+    "fig28": [
+        ("global_correlation", "no strong correlation; slight upward trend"),
+        ("min_rating_above_300k", "no low ratings at high bandwidth"),
+        ("mean_per_user_correlation", "per-user relationships (future work)"),
+    ],
+}
+
+TITLES = {
+    "fig01": "Buffering and playout of one clip",
+    "fig03_04": "Geography of servers and users",
+    "fig05": "Clips played per user (CDF)",
+    "fig06": "Clips rated per user (CDF)",
+    "fig07": "Plays by user country",
+    "fig08": "Clips served by server country",
+    "fig09": "Plays by U.S. state",
+    "fig10": "Unavailable clips per server",
+    "fig11": "Frame rate, all clips (CDF)",
+    "fig12": "Frame rate by connection (CDF)",
+    "fig13": "Bandwidth by connection (CDF)",
+    "fig14": "Frame rate by server region (CDF)",
+    "fig15": "Frame rate by user region (CDF)",
+    "fig16": "Transport protocol shares",
+    "fig17": "Frame rate by protocol (CDF)",
+    "fig18": "Bandwidth by protocol (CDF)",
+    "fig19": "Frame rate by PC class (CDF)",
+    "fig20": "Jitter, all clips (CDF)",
+    "fig21": "Jitter by connection (CDF)",
+    "fig22": "Jitter by server region (CDF)",
+    "fig23": "Jitter by user region (CDF)",
+    "fig24": "Jitter by protocol (CDF)",
+    "fig25": "Jitter by observed bandwidth (CDF)",
+    "fig26": "Quality ratings (CDF)",
+    "fig27": "Quality by connection (CDF)",
+    "fig28": "Quality vs bandwidth (scatter)",
+}
+
+
+def main() -> int:
+    results = Path(sys.argv[1] if len(sys.argv) > 1 else "results")
+    summary = json.loads((results / "summary.json").read_text())
+
+    print("# EXPERIMENTS — paper vs. measured")
+    print()
+    print("Generated from a full-scale run "
+          "(`python -m repro.experiments.runner --scale 1.0 --seed 2001`).")
+    print("Absolute values come from a simulator, not the authors' 2001")
+    print("testbed; the claim being checked is the *shape* of each result")
+    print("(who wins, by roughly what factor, where the thresholds fall).")
+    print("Composition figures (3-10) are calibration inputs; performance")
+    print("figures (1, 11-28) are emergent outputs.  See DESIGN.md.")
+    print()
+    for figure_id, rows in PAPER.items():
+        measured = summary.get(figure_id, {})
+        print(f"## {figure_id} — {TITLES[figure_id]}")
+        print()
+        print("| quantity | paper | measured |")
+        print("|---|---|---|")
+        for key, paper_text in rows:
+            value = measured.get(key)
+            if value is None:
+                rendered = "—"
+            elif abs(value) >= 1000:
+                rendered = f"{value:,.0f}"
+            else:
+                rendered = f"{value:.3g}"
+            print(f"| `{key}` | {paper_text} | {rendered} |")
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

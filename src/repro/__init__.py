@@ -1,0 +1,40 @@
+"""repro — a reproduction of "An Empirical Study of RealVideo
+Performance Across the Internet" (Wang, Claypool, Zuo; 2001).
+
+The original was a measurement study of a proprietary, now-defunct
+system over the 2001 Internet.  This library rebuilds the entire
+measurement apparatus as a simulation — packet network, TCP/UDP
+transports, RealServer/RealPlayer analogs, the RealTracer measurement
+client, and the calibrated world population — and re-runs the study's
+analysis end to end.  See DESIGN.md for the system inventory and
+EXPERIMENTS.md for paper-vs-measured results.
+
+Quick start::
+
+    from repro import Study, StudyConfig
+
+    study = Study(StudyConfig(seed=2001, max_users=6, scale=0.1))
+    dataset = study.run()
+    played = dataset.played()
+    from repro.analysis import Cdf
+    print(Cdf(played.values("measured_frame_rate")).mean)
+"""
+
+from repro.core.realtracer import RealTracer, TracerConfig
+from repro.core.records import ClipRecord, StudyDataset, UserInfo
+from repro.core.study import Study, StudyConfig
+from repro.rng import RngFactory
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "RealTracer",
+    "TracerConfig",
+    "ClipRecord",
+    "StudyDataset",
+    "UserInfo",
+    "Study",
+    "StudyConfig",
+    "RngFactory",
+    "__version__",
+]

@@ -1,0 +1,86 @@
+"""Analysis library (S12) — the paper's "RealData" companion tool.
+
+CDFs, group-by breakdowns, summary statistics, the TCP-friendliness
+comparison and plain-text report rendering.
+"""
+
+from repro.analysis.cdf import Cdf
+from repro.analysis.stats import (
+    correlation,
+    per_user_correlations,
+    summarize,
+    SummaryStats,
+)
+from repro.analysis.breakdowns import (
+    by_connection,
+    by_pc_class,
+    by_protocol,
+    by_server_region,
+    by_user_region,
+    by_bandwidth_bin,
+    counts_by,
+    group_by,
+)
+from repro.analysis.tcp_friendly import FriendlinessReport, compare_protocols
+from repro.analysis.report import format_cdf_table, format_counts, format_summary
+from repro.analysis.flows import (
+    FlowProfile,
+    format_profile,
+    media_flow,
+    profile_all_flows,
+    profile_flow,
+)
+from repro.analysis.workload import (
+    WorkloadSummary,
+    cache_byte_savings,
+    clip_popularity,
+    format_workload,
+    summarize_workload,
+)
+from repro.analysis.user_models import (
+    MappingComparison,
+    UserQualityModel,
+    compare_global_vs_per_user,
+    fit_user_models,
+    objective_score,
+)
+from repro.analysis.plotting import ascii_bars, ascii_cdf, ascii_scatter
+
+__all__ = [
+    "Cdf",
+    "correlation",
+    "per_user_correlations",
+    "summarize",
+    "SummaryStats",
+    "by_connection",
+    "by_pc_class",
+    "by_protocol",
+    "by_server_region",
+    "by_user_region",
+    "by_bandwidth_bin",
+    "counts_by",
+    "group_by",
+    "FriendlinessReport",
+    "compare_protocols",
+    "format_cdf_table",
+    "format_counts",
+    "format_summary",
+    "FlowProfile",
+    "format_profile",
+    "media_flow",
+    "profile_all_flows",
+    "profile_flow",
+    "WorkloadSummary",
+    "cache_byte_savings",
+    "clip_popularity",
+    "format_workload",
+    "summarize_workload",
+    "MappingComparison",
+    "UserQualityModel",
+    "compare_global_vs_per_user",
+    "fit_user_models",
+    "objective_score",
+    "ascii_bars",
+    "ascii_cdf",
+    "ascii_scatter",
+]

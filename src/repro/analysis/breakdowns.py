@@ -1,0 +1,74 @@
+"""Group-by breakdowns over a study dataset.
+
+Every per-category figure in the paper (frame rate by connection,
+jitter by region, ...) is a group-by followed by a CDF; these helpers
+provide the grouping dimensions by name.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.records import ClipRecord, StudyDataset
+from repro.units import BANDWIDTH_BIN_HIGH_BPS, BANDWIDTH_BIN_LOW_BPS
+
+
+def group_by(
+    dataset: StudyDataset, key: Callable[[ClipRecord], str]
+) -> dict[str, StudyDataset]:
+    """Split a dataset into per-key datasets (insertion-ordered)."""
+    groups: dict[str, list[ClipRecord]] = {}
+    for record in dataset:
+        groups.setdefault(key(record), []).append(record)
+    return {name: StudyDataset(records) for name, records in groups.items()}
+
+
+def counts_by(
+    dataset: StudyDataset, key: Callable[[ClipRecord], str]
+) -> dict[str, int]:
+    """Record counts per key, sorted ascending by count (bar charts)."""
+    counts: dict[str, int] = {}
+    for record in dataset:
+        name = key(record)
+        counts[name] = counts.get(name, 0) + 1
+    return dict(sorted(counts.items(), key=lambda item: item[1]))
+
+
+def by_connection(dataset: StudyDataset) -> dict[str, StudyDataset]:
+    """Figure 12/13/21/27 grouping: end-host network configuration."""
+    return group_by(dataset, lambda r: r.connection)
+
+
+def by_protocol(dataset: StudyDataset) -> dict[str, StudyDataset]:
+    """Figure 16/17/18/24 grouping: data-channel transport."""
+    return group_by(dataset, lambda r: r.protocol)
+
+
+def by_server_region(dataset: StudyDataset) -> dict[str, StudyDataset]:
+    """Figure 14/22 grouping: the server's geographic region."""
+    return group_by(dataset, lambda r: r.server_region)
+
+
+def by_user_region(dataset: StudyDataset) -> dict[str, StudyDataset]:
+    """Figure 15/23 grouping: the user's geographic region."""
+    return group_by(dataset, lambda r: r.user_region)
+
+
+def by_pc_class(dataset: StudyDataset) -> dict[str, StudyDataset]:
+    """Figure 19 grouping: user PC power class."""
+    return group_by(dataset, lambda r: r.pc_class)
+
+
+def bandwidth_bin(record: ClipRecord) -> str:
+    """Figure 25's observed-bandwidth bins."""
+    bandwidth = record.measured_bandwidth_bps
+    if bandwidth < BANDWIDTH_BIN_LOW_BPS:
+        return "< 10K"
+    if bandwidth <= BANDWIDTH_BIN_HIGH_BPS:
+        return "10K - 100K"
+    return "> 100K"
+
+
+def by_bandwidth_bin(dataset: StudyDataset) -> dict[str, StudyDataset]:
+    """Figure 25 grouping: observed bandwidth bins."""
+    return group_by(dataset, bandwidth_bin)

@@ -1,0 +1,63 @@
+"""Cumulative density functions, the paper's workhorse plot."""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import AnalysisError
+
+
+class Cdf:
+    """An empirical CDF over a sample."""
+
+    def __init__(self, values: Iterable[float]) -> None:
+        data = sorted(float(v) for v in values)
+        if not data:
+            raise AnalysisError("cannot build a CDF from an empty sample")
+        self._values = data
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    @property
+    def values(self) -> list[float]:
+        """The sorted sample."""
+        return list(self._values)
+
+    def at(self, x: float) -> float:
+        """P(X <= x)."""
+        return bisect.bisect_right(self._values, x) / len(self._values)
+
+    def fraction_below(self, x: float) -> float:
+        """P(X < x) — e.g. the fraction of clips under 3 fps."""
+        return bisect.bisect_left(self._values, x) / len(self._values)
+
+    def fraction_at_least(self, x: float) -> float:
+        """P(X >= x) — e.g. the fraction of clips at 15+ fps."""
+        return 1.0 - self.fraction_below(x)
+
+    def percentile(self, q: float) -> float:
+        """Value at quantile ``q`` in [0, 1]."""
+        if not 0.0 <= q <= 1.0:
+            raise AnalysisError(f"quantile must be in [0, 1], got {q}")
+        return float(np.quantile(np.asarray(self._values), q))
+
+    @property
+    def median(self) -> float:
+        return self.percentile(0.5)
+
+    @property
+    def mean(self) -> float:
+        return float(np.mean(np.asarray(self._values)))
+
+    def points(self) -> list[tuple[float, float]]:
+        """The (value, cumulative fraction) step points of the CDF."""
+        n = len(self._values)
+        return [(v, (i + 1) / n) for i, v in enumerate(self._values)]
+
+    def series(self, xs: Sequence[float]) -> list[tuple[float, float]]:
+        """Sample the CDF at the given x positions (for figure rows)."""
+        return [(float(x), self.at(float(x))) for x in xs]

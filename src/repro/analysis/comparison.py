@@ -1,0 +1,107 @@
+"""A/B comparison of two study datasets (scenario vs baseline)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.cdf import Cdf
+from repro.core.records import StudyDataset
+from repro.errors import AnalysisError
+
+
+@dataclass(frozen=True)
+class MetricDelta:
+    """One metric's change between two datasets."""
+
+    metric: str
+    baseline: float
+    variant: float
+
+    @property
+    def delta(self) -> float:
+        return self.variant - self.baseline
+
+    @property
+    def relative(self) -> float:
+        if self.baseline == 0:
+            return float("inf") if self.variant != 0 else 0.0
+        return self.variant / self.baseline
+
+
+@dataclass(frozen=True)
+class DatasetComparison:
+    """Headline metric deltas between a baseline and a variant."""
+
+    baseline_n: int
+    variant_n: int
+    deltas: tuple[MetricDelta, ...]
+
+    def __getitem__(self, metric: str) -> MetricDelta:
+        for delta in self.deltas:
+            if delta.metric == metric:
+                return delta
+        raise KeyError(metric)
+
+    def metrics(self) -> list[str]:
+        return [d.metric for d in self.deltas]
+
+
+def _headline(dataset: StudyDataset) -> dict[str, float]:
+    played = dataset.played()
+    if len(played) == 0:
+        raise AnalysisError("dataset has no played records")
+    fps = Cdf(played.values("measured_frame_rate"))
+    metrics = {
+        "mean_fps": fps.mean,
+        "below_3fps": fps.fraction_below(3.0),
+        "at_least_15fps": fps.fraction_at_least(15.0),
+        "mean_bandwidth_kbps": Cdf(
+            [b / 1000.0 for b in played.values("measured_bandwidth_bps")]
+        ).mean,
+        "mean_rebuffers": (
+            sum(r.rebuffer_count for r in played) / len(played)
+        ),
+    }
+    with_jitter = dataset.with_jitter()
+    if len(with_jitter):
+        jitter = Cdf([r.jitter_ms for r in with_jitter])
+        metrics["jitter_imperceptible"] = jitter.at(50.0)
+        metrics["jitter_unacceptable"] = jitter.fraction_at_least(300.0)
+    return metrics
+
+
+def compare_datasets(
+    baseline: StudyDataset, variant: StudyDataset
+) -> DatasetComparison:
+    """Headline-metric deltas: what did the scenario change?"""
+    base = _headline(baseline)
+    var = _headline(variant)
+    deltas = tuple(
+        MetricDelta(metric=name, baseline=base[name], variant=var[name])
+        for name in base
+        if name in var
+    )
+    return DatasetComparison(
+        baseline_n=len(baseline.played()),
+        variant_n=len(variant.played()),
+        deltas=deltas,
+    )
+
+
+def format_comparison(
+    comparison: DatasetComparison,
+    baseline_label: str = "baseline",
+    variant_label: str = "variant",
+) -> str:
+    """Render the comparison as an aligned table."""
+    width = max(len(d.metric) for d in comparison.deltas)
+    lines = [
+        f"{'metric'.ljust(width)}  {baseline_label:>10} {variant_label:>10} "
+        f"{'delta':>8}"
+    ]
+    for delta in comparison.deltas:
+        lines.append(
+            f"{delta.metric.ljust(width)}  {delta.baseline:10.2f} "
+            f"{delta.variant:10.2f} {delta.delta:+8.2f}"
+        )
+    return "\n".join(lines)

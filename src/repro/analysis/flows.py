@@ -1,0 +1,102 @@
+"""Per-flow profiles from packet traces ([MH00]-style analysis).
+
+Mena & Heidemann's RealAudio study — the closest prior work the paper
+builds on — characterized streaming flows by their packet sizes and
+rates, observing "consistent audio traffic packet sizes and rates that
+perhaps can be used for identifying flows".  These helpers compute the
+same profile for any captured flow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import AnalysisError
+from repro.net.tracelog import PacketTrace
+
+
+@dataclass(frozen=True)
+class FlowProfile:
+    """Summary of one flow's packet-level behavior."""
+
+    flow_id: int
+    packets: int
+    total_payload_bytes: int
+    total_wire_bytes: int
+    duration_s: float
+    mean_rate_bps: float
+    mean_packet_bytes: float
+    packet_bytes_std: float
+    mean_interarrival_s: float
+    interarrival_std_s: float
+    mean_one_way_delay_s: float
+
+    @property
+    def packets_per_second(self) -> float:
+        if self.duration_s <= 0:
+            return 0.0
+        return self.packets / self.duration_s
+
+    @property
+    def steady_packet_sizes(self) -> bool:
+        """[MH00]'s observation for streaming flows: packet sizes are
+        consistent (low relative spread)."""
+        if self.mean_packet_bytes <= 0:
+            return False
+        return self.packet_bytes_std / self.mean_packet_bytes < 0.5
+
+
+def profile_flow(trace: PacketTrace, flow_id: int) -> FlowProfile:
+    """Build the profile of one flow from a trace."""
+    entries = trace.for_flow(flow_id)
+    if not entries:
+        raise AnalysisError(f"flow {flow_id} not present in trace")
+    times = np.asarray([e.at_s for e in entries])
+    sizes = np.asarray([e.payload_bytes for e in entries], dtype=float)
+    duration = float(times[-1] - times[0]) if len(entries) > 1 else 0.0
+    gaps = np.diff(times) if len(entries) > 1 else np.asarray([0.0])
+    wire = sum(e.wire_bytes for e in entries)
+    return FlowProfile(
+        flow_id=flow_id,
+        packets=len(entries),
+        total_payload_bytes=int(sizes.sum()),
+        total_wire_bytes=wire,
+        duration_s=duration,
+        mean_rate_bps=(wire * 8.0 / duration) if duration > 0 else 0.0,
+        mean_packet_bytes=float(sizes.mean()),
+        packet_bytes_std=float(sizes.std()),
+        mean_interarrival_s=float(gaps.mean()),
+        interarrival_std_s=float(gaps.std()),
+        mean_one_way_delay_s=float(
+            np.mean([e.one_way_delay_s for e in entries])
+        ),
+    )
+
+
+def profile_all_flows(trace: PacketTrace) -> dict[int, FlowProfile]:
+    """Profiles for every flow in a trace."""
+    return {flow_id: profile_flow(trace, flow_id)
+            for flow_id in trace.flows()}
+
+
+def media_flow(trace: PacketTrace) -> FlowProfile:
+    """The dominant (most bytes) flow — the media data channel."""
+    profiles = profile_all_flows(trace)
+    if not profiles:
+        raise AnalysisError("empty trace")
+    return max(profiles.values(), key=lambda p: p.total_wire_bytes)
+
+
+def format_profile(profile: FlowProfile) -> str:
+    """One-flow summary line for reports."""
+    return (
+        f"flow {profile.flow_id}: {profile.packets} pkts, "
+        f"{profile.total_wire_bytes / 1000:.1f} KB wire, "
+        f"{profile.mean_rate_bps / 1000:.1f} kbps, "
+        f"pkt {profile.mean_packet_bytes:.0f}±{profile.packet_bytes_std:.0f} B, "
+        f"gap {profile.mean_interarrival_s * 1000:.1f}"
+        f"±{profile.interarrival_std_s * 1000:.1f} ms, "
+        f"owd {profile.mean_one_way_delay_s * 1000:.0f} ms"
+    )

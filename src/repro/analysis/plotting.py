@@ -1,0 +1,115 @@
+"""Terminal plots: CDF curves and bar charts in plain text.
+
+The library has no plotting dependency; these renderers draw the
+paper's figure styles — multi-series CDFs and count bars — as ASCII,
+good enough to eyeball a distribution in a terminal or a CI log.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.analysis.cdf import Cdf
+
+#: Characters used to distinguish series in a CDF plot.
+SERIES_MARKS = "XO*#@%+="
+
+
+def ascii_cdf(
+    cdfs: Mapping[str, Cdf],
+    x_max: float | None = None,
+    width: int = 64,
+    height: int = 16,
+    x_label: str = "",
+) -> str:
+    """Render one or more CDFs as an ASCII plot.
+
+    The y axis runs 0..1; the x axis spans [0, x_max] (default: the
+    largest sample across the series).
+    """
+    if not cdfs:
+        raise ValueError("no CDFs to plot")
+    if width < 10 or height < 4:
+        raise ValueError("plot area too small")
+    if x_max is None:
+        x_max = max(max(cdf.values) for cdf in cdfs.values())
+    if x_max <= 0:
+        x_max = 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, (name, cdf) in enumerate(cdfs.items()):
+        mark = SERIES_MARKS[index % len(SERIES_MARKS)]
+        for column in range(width):
+            x = x_max * column / (width - 1)
+            y = cdf.at(x)
+            row = height - 1 - int(round(y * (height - 1)))
+            grid[row][column] = mark
+
+    lines = []
+    for row_index, row in enumerate(grid):
+        y_value = 1.0 - row_index / (height - 1)
+        prefix = f"{y_value:4.2f} |"
+        lines.append(prefix + "".join(row))
+    lines.append("     +" + "-" * width)
+    left = "0"
+    right = f"{x_max:g}"
+    middle_pad = width - len(left) - len(right)
+    lines.append("      " + left + " " * max(1, middle_pad) + right
+                 + (f"  {x_label}" if x_label else ""))
+    legend = "      " + "   ".join(
+        f"{SERIES_MARKS[i % len(SERIES_MARKS)]}={name}"
+        for i, name in enumerate(cdfs)
+    )
+    lines.append(legend)
+    return "\n".join(lines)
+
+
+def ascii_bars(
+    counts: Mapping[str, float],
+    width: int = 50,
+    title: str = "",
+) -> str:
+    """Render a labelled horizontal bar chart."""
+    if not counts:
+        raise ValueError("no bars to plot")
+    peak = max(counts.values())
+    if peak <= 0:
+        peak = 1.0
+    label_width = max(len(str(name)) for name in counts)
+    lines = [title] if title else []
+    for name, value in counts.items():
+        bar = "#" * max(0, int(round(width * value / peak)))
+        lines.append(f"  {str(name).ljust(label_width)} |{bar} {value:g}")
+    return "\n".join(lines)
+
+
+def ascii_scatter(
+    points: Sequence[tuple[float, float]],
+    width: int = 64,
+    height: int = 16,
+    x_label: str = "",
+    y_label: str = "",
+) -> str:
+    """Render an x/y scatter (Figure 28 style)."""
+    if not points:
+        raise ValueError("no points to plot")
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_min, x_max = min(xs), max(xs)
+    y_min, y_max = min(ys), max(ys)
+    x_span = (x_max - x_min) or 1.0
+    y_span = (y_max - y_min) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for x, y in points:
+        column = int((x - x_min) / x_span * (width - 1))
+        row = height - 1 - int((y - y_min) / y_span * (height - 1))
+        grid[row][column] = "o"
+    lines = []
+    for row_index, row in enumerate(grid):
+        y_value = y_max - (y_max - y_min) * row_index / (height - 1)
+        lines.append(f"{y_value:6.1f} |" + "".join(row))
+    lines.append("       +" + "-" * width)
+    lines.append(f"        {x_min:g} .. {x_max:g}  {x_label}")
+    if y_label:
+        lines.insert(0, f"  {y_label}")
+    return "\n".join(lines)

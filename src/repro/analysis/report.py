@@ -1,0 +1,48 @@
+"""Plain-text rendering of figures as the benches print them."""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.analysis.cdf import Cdf
+from repro.analysis.stats import SummaryStats
+
+
+def format_cdf_table(
+    cdfs: Mapping[str, Cdf],
+    xs: Sequence[float],
+    x_label: str,
+    precision: int = 3,
+) -> str:
+    """Render one or more CDFs as rows sampled at fixed x positions.
+
+    This is the textual equivalent of the paper's multi-line CDF
+    figures: one column per x position, one row per series.
+    """
+    header = [x_label.ljust(24)] + [f"{x:>9g}" for x in xs]
+    lines = ["".join(header)]
+    for name, cdf in cdfs.items():
+        cells = [name.ljust(24)]
+        for x in xs:
+            cells.append(f"{cdf.at(float(x)):>9.{precision}f}")
+        lines.append("".join(cells))
+    return "\n".join(lines)
+
+
+def format_counts(counts: Mapping[str, int], title: str) -> str:
+    """Render a bar-chart figure as a count table."""
+    lines = [title]
+    width = max((len(name) for name in counts), default=4)
+    for name, count in counts.items():
+        lines.append(f"  {name.ljust(width)}  {count:>6d}")
+    return "\n".join(lines)
+
+
+def format_summary(name: str, stats: SummaryStats, unit: str = "") -> str:
+    """Render one metric's summary line."""
+    suffix = f" {unit}" if unit else ""
+    return (
+        f"{name}: n={stats.count} mean={stats.mean:.3f}{suffix} "
+        f"median={stats.median:.3f}{suffix} p25={stats.p25:.3f} "
+        f"p75={stats.p75:.3f} min={stats.minimum:.3f} max={stats.maximum:.3f}"
+    )

@@ -1,0 +1,83 @@
+"""Summary statistics and correlation analysis."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+from repro.core.records import StudyDataset
+from repro.errors import AnalysisError
+
+
+@dataclass(frozen=True)
+class SummaryStats:
+    """Five-number-plus summary of one metric."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    p25: float
+    median: float
+    p75: float
+    maximum: float
+
+
+def summarize(values: Iterable[float]) -> SummaryStats:
+    """Summary statistics of a sample."""
+    data = np.asarray([float(v) for v in values])
+    if data.size == 0:
+        raise AnalysisError("cannot summarize an empty sample")
+    return SummaryStats(
+        count=int(data.size),
+        mean=float(np.mean(data)),
+        std=float(np.std(data)),
+        minimum=float(np.min(data)),
+        p25=float(np.quantile(data, 0.25)),
+        median=float(np.median(data)),
+        p75=float(np.quantile(data, 0.75)),
+        maximum=float(np.max(data)),
+    )
+
+
+def correlation(xs: Iterable[float], ys: Iterable[float]) -> float:
+    """Pearson correlation coefficient (NaN-safe: 0 on zero variance)."""
+    x = np.asarray([float(v) for v in xs])
+    y = np.asarray([float(v) for v in ys])
+    if x.size != y.size:
+        raise AnalysisError(
+            f"samples differ in length: {x.size} vs {y.size}"
+        )
+    if x.size < 2:
+        raise AnalysisError("correlation needs at least two points")
+    if float(np.std(x)) == 0.0 or float(np.std(y)) == 0.0:
+        return 0.0
+    return float(np.corrcoef(x, y)[0, 1])
+
+
+def per_user_correlations(
+    dataset: StudyDataset, x_attribute: str, y_attribute: str, min_points: int = 3
+) -> dict[str, float]:
+    """Correlation between two metrics, computed per user.
+
+    The paper conjectures (Section V.C) that strong quality/system
+    relationships exist *per user* even though the global correlation
+    is weak — this is the future-work analysis, implemented.
+    """
+    by_user: dict[str, list[tuple[float, float]]] = {}
+    for record in dataset:
+        by_user.setdefault(record.user_id, []).append(
+            (getattr(record, x_attribute), getattr(record, y_attribute))
+        )
+    out: dict[str, float] = {}
+    for user_id, points in by_user.items():
+        if len(points) < min_points:
+            continue
+        xs = [p[0] for p in points]
+        ys = [p[1] for p in points]
+        if np.std(xs) == 0.0 or np.std(ys) == 0.0:
+            continue
+        out[user_id] = correlation(xs, ys)
+    return out

@@ -1,0 +1,77 @@
+"""TCP-friendliness analysis (Figures 16 and 18).
+
+The paper's congestion question: do RealVideo's UDP flows receive
+bandwidth comparable to TCP flows over the duration of a clip?  We
+compare the achieved-bandwidth distributions of the two protocol
+groups and report the per-quantile ratio, plus the protocol shares.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.cdf import Cdf
+from repro.core.records import StudyDataset
+from repro.errors import AnalysisError
+
+
+@dataclass(frozen=True)
+class FriendlinessReport:
+    """Outcome of the UDP-vs-TCP bandwidth comparison."""
+
+    tcp_count: int
+    udp_count: int
+    tcp_share: float
+    udp_share: float
+    #: Mean achieved bandwidth per protocol, bits/s.
+    tcp_mean_bps: float
+    udp_mean_bps: float
+    #: UDP/TCP bandwidth ratio at the quartiles (1.0 = identical).
+    ratio_p25: float
+    ratio_p50: float
+    ratio_p75: float
+
+    @property
+    def comparable(self) -> bool:
+        """UDP receives bandwidth comparable to TCP (within 2x at the
+        median) — the paper's conclusion."""
+        return 0.5 <= self.ratio_p50 <= 2.0
+
+    @property
+    def strictly_friendly(self) -> bool:
+        """UDP never exceeds TCP at any quartile (the paper found it
+        does *not* quite hold: UDP runs slightly above TCP)."""
+        return max(self.ratio_p25, self.ratio_p50, self.ratio_p75) <= 1.0
+
+
+def compare_protocols(dataset: StudyDataset) -> FriendlinessReport:
+    """Build the friendliness report from played records."""
+    played = dataset.played()
+    tcp = [r.measured_bandwidth_bps for r in played if r.protocol == "TCP"]
+    udp = [r.measured_bandwidth_bps for r in played if r.protocol == "UDP"]
+    if not tcp or not udp:
+        raise AnalysisError(
+            f"need both protocols to compare (TCP={len(tcp)}, UDP={len(udp)})"
+        )
+    tcp_cdf = Cdf(tcp)
+    udp_cdf = Cdf(udp)
+    total = len(tcp) + len(udp)
+
+    def ratio(q: float) -> float:
+        tcp_q = tcp_cdf.percentile(q)
+        udp_q = udp_cdf.percentile(q)
+        if tcp_q <= 0:
+            return float("inf") if udp_q > 0 else 1.0
+        return udp_q / tcp_q
+
+    return FriendlinessReport(
+        tcp_count=len(tcp),
+        udp_count=len(udp),
+        tcp_share=len(tcp) / total,
+        udp_share=len(udp) / total,
+        tcp_mean_bps=tcp_cdf.mean,
+        udp_mean_bps=udp_cdf.mean,
+        ratio_p25=ratio(0.25),
+        ratio_p50=ratio(0.50),
+        ratio_p75=ratio(0.75),
+    )

@@ -1,0 +1,134 @@
+"""Per-user quality mapping — the paper's Section V.C future work.
+
+The paper conjectures that although *global* correlation between
+system metrics and ratings is weak (everyone normalizes differently),
+"there may be strong per user relationships between perceptual quality
+and system measurements that we can still discover".  This module
+fits, per user, a linear map from an objective quality score (built
+from frame rate, jitter and stalls — the same ingredients as
+:mod:`repro.quality.perception`) to that user's ratings, and reports
+how much of the rating variance the per-user models explain compared
+with one global model.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.records import ClipRecord, StudyDataset
+from repro.errors import AnalysisError
+from repro.units import FPS_SMOOTH
+
+
+def objective_score(record: ClipRecord) -> float:
+    """Objective quality in [0, 1] recomputed from a record's metrics.
+
+    Mirrors :class:`repro.quality.perception.PerceptionModel` but works
+    from the persisted record, so it can run on a loaded CSV dataset.
+    """
+    if not record.played or record.frames_displayed == 0:
+        return 0.0
+    fps_part = min(1.0, record.measured_frame_rate / FPS_SMOOTH) ** 1.6
+    jitter_part = math.exp(-record.jitter_ms / 350.0)
+    stall_part = math.exp(
+        -record.rebuffer_total_s / 8.0 - 0.4 * record.rebuffer_count
+    )
+    return 0.6 * fps_part + 0.2 * jitter_part + 0.2 * stall_part
+
+
+@dataclass(frozen=True)
+class UserQualityModel:
+    """rating ~ intercept + slope * objective_score, for one user."""
+
+    user_id: str
+    n: int
+    intercept: float
+    slope: float
+    r_squared: float
+
+    def predict(self, score: float) -> float:
+        return self.intercept + self.slope * score
+
+
+def fit_user_models(
+    dataset: StudyDataset, min_points: int = 4
+) -> dict[str, UserQualityModel]:
+    """Least-squares fit per user over their rated clips."""
+    rated = dataset.rated()
+    by_user: dict[str, list[ClipRecord]] = {}
+    for record in rated:
+        by_user.setdefault(record.user_id, []).append(record)
+    models: dict[str, UserQualityModel] = {}
+    for user_id, records in by_user.items():
+        if len(records) < min_points:
+            continue
+        x = np.asarray([objective_score(r) for r in records])
+        y = np.asarray([float(r.rating) for r in records])
+        if float(np.std(x)) == 0.0:
+            continue
+        slope, intercept = np.polyfit(x, y, 1)
+        predictions = intercept + slope * x
+        ss_res = float(np.sum((y - predictions) ** 2))
+        ss_tot = float(np.sum((y - y.mean()) ** 2))
+        r_squared = 1.0 - ss_res / ss_tot if ss_tot > 0 else 0.0
+        models[user_id] = UserQualityModel(
+            user_id=user_id,
+            n=len(records),
+            intercept=float(intercept),
+            slope=float(slope),
+            r_squared=r_squared,
+        )
+    return models
+
+
+@dataclass(frozen=True)
+class MappingComparison:
+    """Global vs per-user explanatory power."""
+
+    users_modelled: int
+    ratings_covered: int
+    global_r_squared: float
+    mean_per_user_r_squared: float
+    median_per_user_slope: float
+
+    @property
+    def per_user_wins(self) -> bool:
+        """The paper's conjecture: per-user maps beat the global one."""
+        return self.mean_per_user_r_squared > self.global_r_squared
+
+
+def compare_global_vs_per_user(
+    dataset: StudyDataset, min_points: int = 4
+) -> MappingComparison:
+    """Quantify how much per-user modelling helps."""
+    rated = dataset.rated()
+    if len(rated) < min_points:
+        raise AnalysisError("not enough rated clips for model comparison")
+    x = np.asarray([objective_score(r) for r in rated])
+    y = np.asarray([float(r.rating) for r in rated])
+    if float(np.std(x)) == 0.0:
+        global_r2 = 0.0
+    else:
+        slope, intercept = np.polyfit(x, y, 1)
+        predictions = intercept + slope * x
+        ss_res = float(np.sum((y - predictions) ** 2))
+        ss_tot = float(np.sum((y - y.mean()) ** 2))
+        global_r2 = 1.0 - ss_res / ss_tot if ss_tot > 0 else 0.0
+
+    models = fit_user_models(dataset, min_points=min_points)
+    if models:
+        mean_r2 = float(np.mean([m.r_squared for m in models.values()]))
+        median_slope = float(np.median([m.slope for m in models.values()]))
+        covered = sum(m.n for m in models.values())
+    else:
+        mean_r2, median_slope, covered = 0.0, 0.0, 0
+    return MappingComparison(
+        users_modelled=len(models),
+        ratings_covered=covered,
+        global_r_squared=global_r2,
+        mean_per_user_r_squared=mean_r2,
+        median_per_user_slope=median_slope,
+    )

@@ -1,0 +1,115 @@
+"""Session-level workload analysis ([CWVL01]-style).
+
+Chesire et al. analyzed a university's streaming workload for session
+lengths, sizes and the potential benefit of caching.  The study's
+shared playlist makes the caching question pointed: every user walks
+the same clips, so a campus proxy would have served most requests from
+cache.  These helpers compute the same quantities from a study dataset.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.records import StudyDataset
+from repro.errors import AnalysisError
+
+
+@dataclass(frozen=True)
+class WorkloadSummary:
+    """Session-level view of the study's traffic."""
+
+    sessions: int
+    #: Playbacks that actually transferred data.
+    played_sessions: int
+    total_bytes: float
+    mean_session_bytes: float
+    median_session_s: float
+    mean_session_s: float
+    distinct_clips: int
+    #: Fraction of played requests that were repeat requests for a
+    #: clip already fetched at least once before (upper bound on the
+    #: byte hit rate of a shared proxy cache).
+    repeat_request_fraction: float
+    #: Requests for the single most popular clip.
+    max_clip_requests: int
+
+
+def summarize_workload(dataset: StudyDataset) -> WorkloadSummary:
+    """Compute the workload summary for a study dataset."""
+    if len(dataset) == 0:
+        raise AnalysisError("empty dataset")
+    played = dataset.played()
+    if len(played) == 0:
+        raise AnalysisError("no played sessions in dataset")
+    session_bytes = [
+        r.measured_bandwidth_bps / 8.0 * (r.play_span_s + r.initial_buffering_s)
+        if r.initial_buffering_s >= 0
+        else r.measured_bandwidth_bps / 8.0 * r.play_span_s
+        for r in played
+    ]
+    spans = [r.play_span_s for r in played]
+    requests = Counter(r.clip_url for r in played)
+    repeats = sum(count - 1 for count in requests.values())
+    return WorkloadSummary(
+        sessions=len(dataset),
+        played_sessions=len(played),
+        total_bytes=float(sum(session_bytes)),
+        mean_session_bytes=float(np.mean(session_bytes)),
+        median_session_s=float(np.median(spans)),
+        mean_session_s=float(np.mean(spans)),
+        distinct_clips=len(requests),
+        repeat_request_fraction=repeats / len(played),
+        max_clip_requests=max(requests.values()),
+    )
+
+
+def clip_popularity(dataset: StudyDataset) -> list[tuple[str, int]]:
+    """Clips ranked by request count (played requests only)."""
+    counts = Counter(r.clip_url for r in dataset.played())
+    return counts.most_common()
+
+
+def cache_byte_savings(dataset: StudyDataset) -> float:
+    """Fraction of transferred bytes a shared, infinite proxy cache
+    would have absorbed (all transfers of a clip after its first).
+
+    This is the upper bound [CWVL01] estimates for their workload —
+    the study's shared playlist drives it close to 1 - 1/users.
+    """
+    played = dataset.played()
+    if len(played) == 0:
+        raise AnalysisError("no played sessions in dataset")
+    by_clip: dict[str, list[float]] = {}
+    for r in played:
+        transferred = r.measured_bandwidth_bps / 8.0 * max(
+            r.play_span_s, 0.0
+        )
+        by_clip.setdefault(r.clip_url, []).append(transferred)
+    total = sum(sum(v) for v in by_clip.values())
+    if total <= 0:
+        return 0.0
+    # The first fetch of each clip must still go to the origin; later
+    # ones are cache hits (approximated at the clip's mean size).
+    misses = sum(float(np.mean(v)) for v in by_clip.values())
+    return max(0.0, 1.0 - misses / total)
+
+
+def format_workload(summary: WorkloadSummary) -> str:
+    """Render the workload summary for reports."""
+    return "\n".join(
+        [
+            "Streaming workload summary ([CWVL01]-style):",
+            f"  sessions:        {summary.sessions} "
+            f"({summary.played_sessions} played)",
+            f"  total transfer:  {summary.total_bytes / 1e6:.1f} MB",
+            f"  session size:    {summary.mean_session_bytes / 1e3:.0f} KB mean",
+            f"  session length:  {summary.median_session_s:.0f} s median, "
+            f"{summary.mean_session_s:.0f} s mean",
+            f"  distinct clips:  {summary.distinct_clips}",
+            f"  repeat requests: {summary.repeat_request_fraction:.0%}",
+        ]
+    )

@@ -1,0 +1,191 @@
+"""Command-line interface.
+
+Subcommands::
+
+    repro play   --seed 42 [--connection "DSL/Cable"] [--trace]
+    repro study  --scale 0.1 --out study.csv [--seed 2001]
+    repro report --csv study.csv [--plots]
+    repro figures --scale 1.0 --out results/
+
+``repro`` is installed as a console script; the module also runs via
+``python -m repro.cli``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from repro.analysis import breakdowns
+from repro.analysis.cdf import Cdf
+from repro.analysis.plotting import ascii_bars, ascii_cdf
+from repro.analysis.report import format_summary
+from repro.analysis.stats import summarize
+from repro.analysis.workload import format_workload, summarize_workload
+from repro.core.records import StudyDataset
+from repro.core.realtracer import RealTracer, TracerConfig
+from repro.core.study import Study, StudyConfig
+from repro.rng import RngFactory
+from repro.world.population import build_population
+
+
+def _cmd_play(args: argparse.Namespace) -> int:
+    rngs = RngFactory(args.seed)
+    population = build_population(rngs)
+    candidates = [
+        u for u in population.users
+        if (args.connection is None or u.connection.name == args.connection)
+        and not u.rtsp_blocked
+    ]
+    if not candidates:
+        print(f"no user with connection {args.connection!r}", file=sys.stderr)
+        return 2
+    user = candidates[0]
+    site, clip = population.playlist[args.position % len(population.playlist)]
+    print(f"playing {clip.url} from {site.name} as {user.user_id} "
+          f"({user.connection.name}, {user.pc.name})")
+
+    tracer = RealTracer(config=TracerConfig(sample_timeline=True))
+    if args.trace:
+        from repro.analysis.flows import format_profile, profile_all_flows
+        from repro.net.tracelog import PacketTraceLogger
+
+        loggers = []
+
+        original_build = tracer._paths.build
+
+        def traced_build(loop, *build_args, **build_kwargs):
+            path = original_build(loop, *build_args, **build_kwargs)
+            logger = PacketTraceLogger(loop)
+            logger.attach_path(path)
+            loggers.append(logger)
+            return path
+
+        tracer._paths.build = traced_build  # type: ignore[method-assign]
+
+    record = tracer.play_clip(user, site, clip, rngs.child("cli-play"))
+    print(f"\noutcome={record.outcome} protocol={record.protocol}")
+    print(f"frame rate {record.measured_frame_rate:.1f} fps  "
+          f"bandwidth {record.measured_bandwidth_bps / 1000:.0f} kbps  "
+          f"jitter {record.jitter_ms:.0f} ms  "
+          f"rebuffers {record.rebuffer_count}")
+    if args.trace and loggers:
+        print("\npacket-level flow profiles:")
+        for flow_profile in profile_all_flows(loggers[-1].trace).values():
+            print("  " + format_profile(flow_profile))
+    return 0
+
+
+def _cmd_study(args: argparse.Namespace) -> int:
+    started = time.time()
+    study = Study(StudyConfig(seed=args.seed, scale=args.scale))
+    total_plays = sum(
+        study._scaled_plays(u.plays) for u in study.population.users
+    )
+    print(f"simulating ~{total_plays} playbacks "
+          f"(seed={args.seed}, scale={args.scale})...")
+
+    def progress(done: int, total: int) -> None:
+        if done % 100 == 0 or done == total:
+            print(f"  {done}/{total} ({time.time() - started:.0f}s)",
+                  flush=True)
+
+    dataset = study.run(progress=progress if not args.quiet else None)
+    dataset.to_csv(args.out)
+    print(f"wrote {len(dataset)} records to {args.out}")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    dataset = StudyDataset.from_csv(args.csv)
+    played = dataset.played()
+    if len(played) == 0:
+        print("no played records in dataset", file=sys.stderr)
+        return 2
+    fps = Cdf(played.values("measured_frame_rate"))
+    print(format_summary("frame rate", summarize(fps.values), "fps"))
+    print(f"  below 3 fps: {fps.fraction_below(3.0):.0%}; "
+          f"15+ fps: {fps.fraction_at_least(15.0):.0%}")
+    jitter_sample = dataset.with_jitter()
+    if len(jitter_sample):
+        jitter = Cdf([r.jitter_ms for r in jitter_sample])
+        print(f"  jitter <= 50 ms: {jitter.at(50.0):.0%}; "
+              f">= 300 ms: {jitter.fraction_at_least(300.0):.0%}")
+    protocols = breakdowns.counts_by(played, lambda r: r.protocol)
+    total = sum(protocols.values())
+    shares = ", ".join(
+        f"{name} {count / total:.0%}" for name, count in protocols.items()
+    )
+    print(f"  protocols: {shares}")
+    print()
+    print(format_workload(summarize_workload(dataset)))
+    if args.plots:
+        print()
+        print(ascii_cdf(
+            {"frame rate": fps}, x_max=30.0, x_label="fps",
+        ))
+        print()
+        counts = breakdowns.counts_by(played, lambda r: r.user_country)
+        print(ascii_bars(dict(counts), title="plays per country"))
+    return 0
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    from repro.experiments import runner
+
+    forwarded = ["--scale", str(args.scale), "--seed", str(args.seed),
+                 "--out", str(args.out)]
+    if args.quiet:
+        forwarded.append("--quiet")
+    return runner.main(forwarded)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="RealVideo-performance study reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    play = sub.add_parser("play", help="play one clip through the stack")
+    play.add_argument("--seed", type=int, default=42)
+    play.add_argument("--connection", default=None,
+                      choices=[None, "56k Modem", "DSL/Cable", "T1/LAN"])
+    play.add_argument("--position", type=int, default=0,
+                      help="playlist position of the clip")
+    play.add_argument("--trace", action="store_true",
+                      help="capture and summarize the packet trace")
+    play.set_defaults(func=_cmd_play)
+
+    study = sub.add_parser("study", help="run the measurement campaign")
+    study.add_argument("--seed", type=int, default=2001)
+    study.add_argument("--scale", type=float, default=1.0)
+    study.add_argument("--out", type=Path, default=Path("study.csv"))
+    study.add_argument("--quiet", action="store_true")
+    study.set_defaults(func=_cmd_study)
+
+    report = sub.add_parser("report", help="summarize a study CSV")
+    report.add_argument("--csv", type=Path, required=True)
+    report.add_argument("--plots", action="store_true",
+                        help="include ASCII plots")
+    report.set_defaults(func=_cmd_report)
+
+    figures = sub.add_parser("figures", help="regenerate every paper figure")
+    figures.add_argument("--seed", type=int, default=2001)
+    figures.add_argument("--scale", type=float, default=1.0)
+    figures.add_argument("--out", type=Path, default=Path("results"))
+    figures.add_argument("--quiet", action="store_true")
+    figures.set_defaults(func=_cmd_figures)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,23 @@
+"""RealTracer and the study orchestrator (S9) — the paper's contribution.
+
+:class:`RealTracer` plays one clip through the full simulated stack and
+records the statistics the paper's tool gathered; :class:`Study` runs
+the whole two-week campaign (every user walking the shared playlist)
+and collects a :class:`StudyDataset`.
+"""
+
+from repro.core.records import ClipRecord, StudyDataset, UserInfo
+from repro.core.realtracer import RealTracer, TracerConfig
+from repro.core.study import Study, StudyConfig
+from repro.core.submission import SubmissionSink
+
+__all__ = [
+    "ClipRecord",
+    "StudyDataset",
+    "UserInfo",
+    "RealTracer",
+    "TracerConfig",
+    "Study",
+    "StudyConfig",
+    "SubmissionSink",
+]

@@ -1,0 +1,200 @@
+"""Data records: what RealTracer submitted to WPI for each playback.
+
+One :class:`ClipRecord` per playback attempt.  A :class:`StudyDataset`
+holds the study's records with filtering helpers and CSV round-trips,
+standing in for the paper's email/FTP submission archive.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from dataclasses import asdict, dataclass, fields
+from pathlib import Path
+from typing import Callable, Iterable, Iterator
+
+
+@dataclass(frozen=True)
+class UserInfo:
+    """What RealTracer's startup dialog captured (Figure 2a)."""
+
+    user_id: str
+    country: str
+    state: str
+    connection: str
+    pc_class: str
+    user_region: str
+
+
+@dataclass(frozen=True)
+class ClipRecord:
+    """One playback attempt's full measurement record."""
+
+    # Who played it.
+    user_id: str
+    user_country: str
+    user_state: str  # "" outside the U.S.
+    user_region: str
+    connection: str
+    pc_class: str
+
+    # What was played, from where.
+    server_name: str
+    server_country: str
+    server_region: str
+    clip_url: str
+
+    # How the attempt ended: "played", "unavailable", "control_failed".
+    outcome: str
+    #: Data-channel transport ("TCP"/"UDP"/"" when never negotiated).
+    protocol: str
+
+    # Encoded (coded) properties of the stream served.
+    encoded_bandwidth_bps: float
+    encoded_frame_rate: float
+
+    # Measured performance.
+    measured_bandwidth_bps: float
+    measured_frame_rate: float
+    jitter_s: float
+    frames_displayed: int
+    frames_late: int
+    frames_lost: int
+    frames_thinned: int
+    rebuffer_count: int
+    rebuffer_total_s: float
+    initial_buffering_s: float
+    play_span_s: float
+    cpu_utilization: float
+
+    #: User rating 0-10, or -1 when the clip was not rated.
+    rating: int = -1
+
+    @property
+    def played(self) -> bool:
+        """The clip actually reached playout."""
+        return self.outcome == "played"
+
+    @property
+    def rated(self) -> bool:
+        return self.rating >= 0
+
+    @property
+    def jitter_ms(self) -> float:
+        return self.jitter_s * 1000.0
+
+    @property
+    def has_jitter_sample(self) -> bool:
+        """Jitter needs at least a few displayed frames to be defined;
+        0-fps playbacks appear in the frame-rate CDFs but cannot
+        contribute a jitter measurement."""
+        return self.frames_displayed >= 3
+
+
+_FIELD_TYPES = {f.name: f.type for f in fields(ClipRecord)}
+_INT_FIELDS = {
+    f.name
+    for f in fields(ClipRecord)
+    if f.type in ("int", int)
+}
+_FLOAT_FIELDS = {
+    f.name
+    for f in fields(ClipRecord)
+    if f.type in ("float", float)
+}
+
+
+class StudyDataset:
+    """The study's collected records."""
+
+    def __init__(self, records: Iterable[ClipRecord] = ()) -> None:
+        self._records: list[ClipRecord] = list(records)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[ClipRecord]:
+        return iter(self._records)
+
+    def __getitem__(self, index: int) -> ClipRecord:
+        return self._records[index]
+
+    def append(self, record: ClipRecord) -> None:
+        self._records.append(record)
+
+    def extend(self, records: Iterable[ClipRecord]) -> None:
+        self._records.extend(records)
+
+    # -- filters ------------------------------------------------------------
+
+    def filter(self, predicate: Callable[[ClipRecord], bool]) -> "StudyDataset":
+        """A new dataset with records matching ``predicate``."""
+        return StudyDataset(r for r in self._records if predicate(r))
+
+    def played(self) -> "StudyDataset":
+        """Only playbacks that reached playout (performance analysis)."""
+        return self.filter(lambda r: r.played)
+
+    def rated(self) -> "StudyDataset":
+        """Only playbacks the user rated (perceptual analysis)."""
+        return self.filter(lambda r: r.rated)
+
+    def with_jitter(self) -> "StudyDataset":
+        """Played records with a defined jitter sample (>= 3 frames)."""
+        return self.filter(lambda r: r.played and r.has_jitter_sample)
+
+    def exclude_state(self, state: str) -> "StudyDataset":
+        """Robustness check: the paper re-ran its frame-rate analysis
+        without the Massachusetts users (Section IV)."""
+        return self.filter(lambda r: r.user_state != state)
+
+    def values(self, attribute: str) -> list:
+        """Extract one column."""
+        return [getattr(r, attribute) for r in self._records]
+
+    # -- persistence ----------------------------------------------------------
+
+    def to_csv(self, path: str | Path) -> None:
+        """Write the dataset as CSV."""
+        with open(path, "w", newline="") as handle:
+            self._write_csv(handle)
+
+    def to_csv_string(self) -> str:
+        """The dataset as a CSV string."""
+        buffer = io.StringIO()
+        self._write_csv(buffer)
+        return buffer.getvalue()
+
+    def _write_csv(self, handle) -> None:
+        names = [f.name for f in fields(ClipRecord)]
+        writer = csv.DictWriter(handle, fieldnames=names)
+        writer.writeheader()
+        for record in self._records:
+            writer.writerow(asdict(record))
+
+    @classmethod
+    def from_csv(cls, path: str | Path) -> "StudyDataset":
+        """Load a dataset written by :meth:`to_csv`."""
+        with open(path, newline="") as handle:
+            return cls._read_csv(handle)
+
+    @classmethod
+    def from_csv_string(cls, text: str) -> "StudyDataset":
+        """Load a dataset from a CSV string."""
+        return cls._read_csv(io.StringIO(text))
+
+    @classmethod
+    def _read_csv(cls, handle) -> "StudyDataset":
+        reader = csv.DictReader(handle)
+        records = []
+        for row in reader:
+            converted: dict = {}
+            for key, value in row.items():
+                if key in _INT_FIELDS:
+                    converted[key] = int(value)
+                elif key in _FLOAT_FIELDS:
+                    converted[key] = float(value)
+                else:
+                    converted[key] = value
+            records.append(ClipRecord(**converted))
+        return cls(records)

@@ -1,0 +1,109 @@
+"""The study orchestrator: every user walks the shared playlist.
+
+Reproduces the campaign of Sections III-IV: ~63 users from 12
+countries each play a prefix of the 98-clip playlist (how long a
+prefix is part of their behavior profile), rate the first few clips
+they watch, and submit a record per playback.  The result is the
+:class:`~repro.core.records.StudyDataset` all figures are computed
+from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core.realtracer import RealTracer, TracerConfig
+from repro.core.records import StudyDataset
+from repro.core.submission import SubmissionSink
+from repro.errors import StudyError
+from repro.rng import RngFactory
+from repro.world.population import StudyPopulation, build_population
+
+
+@dataclass
+class StudyConfig:
+    """Scale and policy knobs for one study run."""
+
+    seed: int = 2001
+    #: Playlist length (None: the paper's 98 clips).
+    playlist_length: int | None = None
+    #: Cap on participating users (None: the full ~63).
+    max_users: int | None = None
+    #: Fraction of each user's plays actually simulated (0 < scale <= 1);
+    #: lets tests run a representative sliver of the full campaign.
+    scale: float = 1.0
+    #: Tracer options (play limit, timeline sampling, RED ablation...).
+    tracer: TracerConfig = field(default_factory=TracerConfig)
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.scale <= 1.0:
+            raise ValueError(f"scale must be in (0, 1], got {self.scale}")
+
+
+class Study:
+    """Runs the whole measurement campaign."""
+
+    def __init__(
+        self,
+        config: StudyConfig | None = None,
+        population: StudyPopulation | None = None,
+    ) -> None:
+        self.config = config if config is not None else StudyConfig()
+        self._rngs = RngFactory(self.config.seed)
+        self.population = (
+            population
+            if population is not None
+            else build_population(
+                self._rngs,
+                playlist_length=self.config.playlist_length,
+                max_users=self.config.max_users,
+            )
+        )
+        if not self.population.users:
+            raise StudyError("the study population has no users")
+        if not self.population.playlist:
+            raise StudyError("the study playlist is empty")
+
+    def run(
+        self,
+        progress: Callable[[int, int], None] | None = None,
+        sink: SubmissionSink | None = None,
+    ) -> StudyDataset:
+        """Simulate every playback and return the collected dataset.
+
+        ``progress(done, total)`` is invoked after each playback;
+        ``sink`` receives each record as it is "submitted".
+        """
+        tracer = RealTracer(config=self.config.tracer)
+        dataset = StudyDataset()
+        playlist = self.population.playlist
+        total = sum(
+            self._scaled_plays(user.plays) for user in self.population.users
+        )
+        done = 0
+        for user in self.population.users:
+            plays = self._scaled_plays(user.plays)
+            rated_so_far = 0
+            for position in range(min(plays, len(playlist))):
+                site, clip = playlist[position]
+                rng = self._rngs.child(
+                    "playback", user.user_id, f"pos{position:03d}"
+                )
+                rate_it = rated_so_far < user.ratings_target
+                record = tracer.play_clip(
+                    user, site, clip, rng, rate_it=rate_it
+                )
+                if record.rated:
+                    rated_so_far += 1
+                dataset.append(record)
+                if sink is not None:
+                    sink.submit(record)
+                done += 1
+                if progress is not None:
+                    progress(done, total)
+        return dataset
+
+    def _scaled_plays(self, plays: int) -> int:
+        scaled = max(1, round(plays * self.config.scale))
+        return min(scaled, len(self.population.playlist))

@@ -1,0 +1,45 @@
+"""The submission sink: RealTracer's email/FTP upload, simulated.
+
+The real tool sent each clip's record "via both email and FTP to a
+server at Worcester Polytechnic Institute" (Section III.A).  Here a
+sink appends records to an on-disk CSV (or just collects them), so a
+long study run can be resumed/inspected like the original archive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, fields
+from pathlib import Path
+
+from repro.core.records import ClipRecord, StudyDataset
+
+
+class SubmissionSink:
+    """Collects submitted records, optionally persisting them."""
+
+    def __init__(self, csv_path: str | Path | None = None) -> None:
+        self._csv_path = Path(csv_path) if csv_path is not None else None
+        self.records: list[ClipRecord] = []
+        self._header_written = False
+        if self._csv_path is not None and self._csv_path.exists():
+            self._csv_path.unlink()
+
+    def submit(self, record: ClipRecord) -> None:
+        """Accept one record (append to the CSV if persisting)."""
+        self.records.append(record)
+        if self._csv_path is None:
+            return
+        import csv
+
+        names = [f.name for f in fields(ClipRecord)]
+        write_header = not self._header_written
+        with open(self._csv_path, "a", newline="") as handle:
+            writer = csv.DictWriter(handle, fieldnames=names)
+            if write_header:
+                writer.writeheader()
+                self._header_written = True
+            writer.writerow(asdict(record))
+
+    def as_dataset(self) -> StudyDataset:
+        """The submitted records as a dataset."""
+        return StudyDataset(self.records)

@@ -1,0 +1,61 @@
+"""Exception hierarchy for the RealVideo reproduction.
+
+All library-raised exceptions derive from :class:`ReproError` so callers
+can catch the library's failures without catching programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event engine was used incorrectly (e.g. scheduling
+    an event in the past)."""
+
+
+class TransportError(ReproError):
+    """A transport-layer protocol violation or misuse."""
+
+
+class ConnectionClosedError(TransportError):
+    """Data was sent on a connection that has been closed."""
+
+
+class RtspError(ReproError):
+    """An RTSP exchange failed or was used out of order."""
+
+
+class ClipUnavailableError(RtspError):
+    """The requested clip was not available on the server.
+
+    The paper (Figure 10) observed roughly 10% of clip requests failing
+    this way; RealTracer records these as unavailable-clip data points.
+    """
+
+    def __init__(self, clip_url: str, server_name: str) -> None:
+        super().__init__(f"clip {clip_url!r} unavailable on {server_name!r}")
+        self.clip_url = clip_url
+        self.server_name = server_name
+
+
+class FirewallBlockedError(RtspError):
+    """RTSP packets were blocked by a firewall.
+
+    Users behind RTSP-blocking firewalls could not participate in the
+    study; their data was removed from all analysis (Section IV).
+    """
+
+
+class PlayerError(ReproError):
+    """The player was driven incorrectly (e.g. playout before buffering)."""
+
+
+class StudyError(ReproError):
+    """Study orchestration failed (bad configuration, empty population...)."""
+
+
+class AnalysisError(ReproError):
+    """An analysis routine received data it cannot process."""

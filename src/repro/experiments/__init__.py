@@ -1,0 +1,23 @@
+"""Experiment harness (S13): one module per paper figure.
+
+Each figure module registers a :class:`~repro.experiments.base.Figure`
+whose ``run(ctx)`` regenerates the figure's series/rows from a study
+dataset.  ``repro.experiments.runner`` executes everything and writes
+the results; the per-figure benchmarks assert the paper's shapes.
+"""
+
+from repro.experiments.base import (
+    ExperimentContext,
+    Figure,
+    FigureResult,
+    all_figures,
+    make_context,
+)
+
+__all__ = [
+    "ExperimentContext",
+    "Figure",
+    "FigureResult",
+    "all_figures",
+    "make_context",
+]

@@ -1,0 +1,161 @@
+"""Shared machinery for the per-figure experiments."""
+
+from __future__ import annotations
+
+import importlib
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Sequence
+
+from repro.analysis.cdf import Cdf
+from repro.analysis.report import format_cdf_table, format_counts
+from repro.core.records import StudyDataset
+from repro.core.study import Study, StudyConfig
+from repro.world.population import StudyPopulation
+
+#: Sampling grids used to print CDF figures as rows.
+FPS_GRID = (1.0, 3.0, 5.0, 7.0, 10.0, 15.0, 20.0, 24.0, 30.0)
+JITTER_MS_GRID = (25.0, 50.0, 100.0, 300.0, 550.0, 1050.0, 2050.0, 3050.0)
+BANDWIDTH_KBPS_GRID = (10.0, 25.0, 50.0, 100.0, 150.0, 250.0, 350.0, 450.0, 600.0)
+RATING_GRID = tuple(float(x) for x in range(11))
+
+
+@dataclass
+class ExperimentContext:
+    """Everything a figure needs: the dataset and how it was made."""
+
+    dataset: StudyDataset
+    population: StudyPopulation
+    seed: int
+    scale: float
+
+
+@dataclass
+class FigureResult:
+    """A regenerated figure: named series plus headline numbers."""
+
+    figure_id: str
+    title: str
+    #: Named series of (x, y) points (CDF samples, bars, scatter...).
+    series: dict[str, list[tuple[float, float]]] = field(default_factory=dict)
+    #: Headline scalars compared against the paper in EXPERIMENTS.md.
+    headline: dict[str, float] = field(default_factory=dict)
+    #: Printable rendering (what the bench prints).
+    text: str = ""
+
+
+@dataclass(frozen=True)
+class Figure:
+    """A registered figure generator."""
+
+    figure_id: str
+    title: str
+    run: Callable[[ExperimentContext], FigureResult]
+
+
+#: Module names under repro.experiments providing a FIGURE attribute.
+_FIGURE_MODULES = [
+    "fig01_buffering",
+    "fig03_04_geography",
+    "fig05_clips_per_user",
+    "fig06_rated_per_user",
+    "fig07_plays_by_country",
+    "fig08_served_by_country",
+    "fig09_plays_by_state",
+    "fig10_availability",
+    "fig11_frame_rate",
+    "fig12_fps_by_connection",
+    "fig13_bw_by_connection",
+    "fig14_fps_by_server_region",
+    "fig15_fps_by_user_region",
+    "fig16_protocol_share",
+    "fig17_fps_by_protocol",
+    "fig18_bw_by_protocol",
+    "fig19_fps_by_pc",
+    "fig20_jitter",
+    "fig21_jitter_by_connection",
+    "fig22_jitter_by_server_region",
+    "fig23_jitter_by_user_region",
+    "fig24_jitter_by_protocol",
+    "fig25_jitter_by_bandwidth",
+    "fig26_rating",
+    "fig27_rating_by_connection",
+    "fig28_rating_vs_bandwidth",
+]
+
+
+def all_figures() -> list[Figure]:
+    """All registered figures, in paper order."""
+    figures = []
+    for name in _FIGURE_MODULES:
+        module = importlib.import_module(f"repro.experiments.{name}")
+        figures.append(module.FIGURE)
+    return figures
+
+
+def make_context(
+    seed: int = 2001,
+    scale: float = 1.0,
+    playlist_length: int | None = None,
+    max_users: int | None = None,
+) -> ExperimentContext:
+    """Run the study once and wrap it for the figures."""
+    study = Study(
+        StudyConfig(
+            seed=seed,
+            scale=scale,
+            playlist_length=playlist_length,
+            max_users=max_users,
+        )
+    )
+    dataset = study.run()
+    return ExperimentContext(
+        dataset=dataset,
+        population=study.population,
+        seed=seed,
+        scale=scale,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Helpers shared across figure modules
+# ---------------------------------------------------------------------------
+
+
+def cdf_series(cdf: Cdf, grid: Sequence[float]) -> list[tuple[float, float]]:
+    """Sample a CDF on a grid."""
+    return cdf.series(grid)
+
+
+def cdf_figure(
+    figure_id: str,
+    title: str,
+    cdfs: Mapping[str, Cdf],
+    grid: Sequence[float],
+    x_label: str,
+    headline: dict[str, float],
+) -> FigureResult:
+    """Assemble a CDF-style figure result."""
+    return FigureResult(
+        figure_id=figure_id,
+        title=title,
+        series={name: cdf.series(grid) for name, cdf in cdfs.items()},
+        headline=headline,
+        text=f"{title}\n" + format_cdf_table(dict(cdfs), grid, x_label),
+    )
+
+
+def counts_figure(
+    figure_id: str,
+    title: str,
+    counts: Mapping[str, int],
+    headline: dict[str, float],
+) -> FigureResult:
+    """Assemble a bar-chart-style figure result."""
+    return FigureResult(
+        figure_id=figure_id,
+        title=title,
+        series={"counts": [(float(i), float(v))
+                           for i, v in enumerate(counts.values())]},
+        headline=headline,
+        text=format_counts(counts, title),
+    )

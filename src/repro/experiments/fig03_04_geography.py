@@ -1,0 +1,59 @@
+"""Figures 3 and 4: geographic representation of servers and users.
+
+The paper shows world maps; we reproduce the underlying data as
+coordinate tables (one row per server site, one per user cluster).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.experiments.base import ExperimentContext, Figure, FigureResult
+from repro.world.servers import SERVER_SITES
+
+
+def run(ctx: ExperimentContext) -> FigureResult:
+    lines = ["Figure 3: RealServer sites"]
+    server_series = []
+    for site in SERVER_SITES:
+        lines.append(
+            f"  {site.name:12s} {site.country.name:15s} "
+            f"({site.country.latitude:7.2f}, {site.country.longitude:8.2f}) "
+            f"region={site.region.value}"
+        )
+        server_series.append((site.country.longitude, site.country.latitude))
+
+    lines.append("")
+    lines.append("Figure 4: user locations (clusters of N users)")
+    clusters = Counter()
+    coords = {}
+    for user in ctx.population.users:
+        key = user.state if user.state else user.country.code
+        clusters[key] += 1
+        coords[key] = (user.latitude, user.longitude)
+    user_series = []
+    for key, count in sorted(clusters.items(), key=lambda kv: -kv[1]):
+        lat, lon = coords[key]
+        lines.append(f"  {key:4s} x{count:<3d} ({lat:7.2f}, {lon:8.2f})")
+        user_series.append((lon, lat))
+
+    headline = {
+        "server_count": float(len(SERVER_SITES)),
+        "server_countries": float(len({s.country.code for s in SERVER_SITES})),
+        "user_count": float(len(ctx.population.users)),
+        "user_countries": float(
+            len({u.country.code for u in ctx.population.users})
+        ),
+    }
+    return FigureResult(
+        figure_id="fig03_04",
+        title="Geographic Representation of RealServers and Users",
+        series={"servers_lon_lat": server_series, "users_lon_lat": user_series},
+        headline=headline,
+        text="\n".join(lines),
+    )
+
+
+FIGURE = Figure(
+    "fig03_04", "Geographic Representation of RealServers and Users", run
+)

@@ -1,0 +1,29 @@
+"""Figure 5: CDF of clips played per user (median >= 40 of 98)."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.analysis.cdf import Cdf
+from repro.experiments.base import Figure, cdf_figure
+
+
+def run(ctx):
+    plays = Counter(r.user_id for r in ctx.dataset)
+    cdf = Cdf(plays.values())
+    grid = (5.0, 10.0, 20.0, 40.0, 60.0, 80.0, 98.0)
+    return cdf_figure(
+        "fig05",
+        "CDF of Video Clips Played per User",
+        {"clips played": cdf},
+        grid,
+        "clips",
+        headline={
+            "median_clips_per_user": cdf.median,
+            "fraction_at_least_40": cdf.fraction_at_least(40.0 * ctx.scale),
+            "max_clips": cdf.percentile(1.0),
+        },
+    )
+
+
+FIGURE = Figure("fig05", "CDF of Video Clips Played per User", run)

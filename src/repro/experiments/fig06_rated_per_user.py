@@ -1,0 +1,33 @@
+"""Figure 6: CDF of clips rated per user (median ~3, long tail)."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.analysis.cdf import Cdf
+from repro.experiments.base import Figure, cdf_figure
+
+
+def run(ctx):
+    rated = Counter()
+    for user in ctx.population.users:
+        rated[user.user_id] = 0
+    for record in ctx.dataset.rated():
+        rated[record.user_id] += 1
+    cdf = Cdf(rated.values())
+    grid = (0.0, 1.0, 3.0, 5.0, 10.0, 20.0, 35.0)
+    return cdf_figure(
+        "fig06",
+        "CDF of Video Clips Rated per User",
+        {"clips rated": cdf},
+        grid,
+        "rated",
+        headline={
+            "median_rated_per_user": cdf.median,
+            "fraction_none": cdf.at(0.0),
+            "max_rated": cdf.percentile(1.0),
+        },
+    )
+
+
+FIGURE = Figure("fig06", "CDF of Video Clips Rated per User", run)

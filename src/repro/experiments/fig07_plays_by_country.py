@@ -1,0 +1,25 @@
+"""Figure 7: clips played by users from each country (US-dominant)."""
+
+from __future__ import annotations
+
+from repro.analysis.breakdowns import counts_by
+from repro.experiments.base import Figure, counts_figure
+
+
+def run(ctx):
+    counts = counts_by(ctx.dataset, lambda r: r.user_country)
+    total = sum(counts.values())
+    us_share = counts.get("US", 0) / total if total else 0.0
+    return counts_figure(
+        "fig07",
+        "Video Clips Played by Users from Each Country",
+        counts,
+        headline={
+            "countries": float(len(counts)),
+            "us_share": us_share,
+            "total_plays": float(total),
+        },
+    )
+
+
+FIGURE = Figure("fig07", "Video Clips Played by Users from Each Country", run)

@@ -1,0 +1,26 @@
+"""Figure 8: clips served by RealServers from each country."""
+
+from __future__ import annotations
+
+from repro.analysis.breakdowns import counts_by
+from repro.experiments.base import Figure, counts_figure
+
+
+def run(ctx):
+    counts = counts_by(ctx.dataset, lambda r: r.server_country)
+    total = sum(counts.values())
+    return counts_figure(
+        "fig08",
+        "Video Clips Served by RealServers from Each Country",
+        counts,
+        headline={
+            "countries": float(len(counts)),
+            "us_share": counts.get("US", 0) / total if total else 0.0,
+            "uk_share": counts.get("UK", 0) / total if total else 0.0,
+        },
+    )
+
+
+FIGURE = Figure(
+    "fig08", "Video Clips Served by RealServers from Each Country", run
+)

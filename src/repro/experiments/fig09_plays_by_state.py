@@ -1,0 +1,26 @@
+"""Figure 9: clips played by U.S. users from each state (MA-dominant)."""
+
+from __future__ import annotations
+
+from repro.analysis.breakdowns import counts_by
+from repro.experiments.base import Figure, counts_figure
+
+
+def run(ctx):
+    us_records = ctx.dataset.filter(lambda r: r.user_country == "US")
+    counts = counts_by(us_records, lambda r: r.user_state)
+    total = sum(counts.values())
+    return counts_figure(
+        "fig09",
+        "Video Clips Played by U.S. Users from Each State",
+        counts,
+        headline={
+            "states": float(len(counts)),
+            "ma_share": counts.get("MA", 0) / total if total else 0.0,
+        },
+    )
+
+
+FIGURE = Figure(
+    "fig09", "Video Clips Played by U.S. Users from Each State", run
+)

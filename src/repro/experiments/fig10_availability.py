@@ -1,0 +1,41 @@
+"""Figure 10: fraction of unavailable clips per server (~10% average)."""
+
+from __future__ import annotations
+
+from repro.analysis.breakdowns import group_by
+from repro.experiments.base import Figure, FigureResult
+
+
+def run(ctx):
+    # The paper removed firewall-blocked (control-failed) attempts
+    # from all analysis, including this figure.
+    reachable = ctx.dataset.filter(lambda r: r.outcome != "control_failed")
+    by_server = group_by(reachable, lambda r: r.server_name)
+    fractions = {}
+    for name in sorted(by_server):
+        group = by_server[name]
+        unavailable = len(group.filter(lambda r: r.outcome == "unavailable"))
+        fractions[name] = unavailable / len(group)
+    total_unavailable = len(
+        reachable.filter(lambda r: r.outcome == "unavailable")
+    )
+    overall = total_unavailable / len(reachable)
+    lines = ["Figure 10: fraction of unavailable clips per server"]
+    for name, fraction in fractions.items():
+        lines.append(f"  {name:12s} {fraction:6.3f}")
+    lines.append(f"  {'OVERALL':12s} {overall:6.3f}")
+    return FigureResult(
+        figure_id="fig10",
+        title="Fraction of Unavailable Clips",
+        series={
+            "unavailable_fraction": [
+                (float(i), f) for i, f in enumerate(fractions.values())
+            ]
+        },
+        headline={"overall_unavailable": overall,
+                  "servers": float(len(fractions))},
+        text="\n".join(lines),
+    )
+
+
+FIGURE = Figure("fig10", "Fraction of Unavailable Clips", run)

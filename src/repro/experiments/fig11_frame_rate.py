@@ -1,0 +1,31 @@
+"""Figure 11: CDF of frame rate for all clips played.
+
+Paper headline: mean ~10 fps; ~25% under 3 fps; ~25% at 15+ fps;
+under 1% at true full motion (24+ fps).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.cdf import Cdf
+from repro.experiments.base import FPS_GRID, Figure, cdf_figure
+
+
+def run(ctx):
+    played = ctx.dataset.played()
+    cdf = Cdf(played.values("measured_frame_rate"))
+    return cdf_figure(
+        "fig11",
+        "CDF of Frame Rate for all Video Clips",
+        {"all clips": cdf},
+        FPS_GRID,
+        "fps",
+        headline={
+            "mean_fps": cdf.mean,
+            "fraction_below_3fps": cdf.fraction_below(3.0),
+            "fraction_at_least_15fps": cdf.fraction_at_least(15.0),
+            "fraction_at_least_24fps": cdf.fraction_at_least(24.0),
+        },
+    )
+
+
+FIGURE = Figure("fig11", "CDF of Frame Rate for all Video Clips", run)

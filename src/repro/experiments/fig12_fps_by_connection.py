@@ -1,0 +1,40 @@
+"""Figure 12: frame-rate CDF per end-host network configuration.
+
+Paper: modems far worse (over half below 3 fps, <10% reach 15 fps);
+DSL/Cable and T1/LAN similar (~20% below 3 fps, ~30% at 15+ fps) —
+the bottleneck has moved past the access link.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.breakdowns import by_connection
+from repro.analysis.cdf import Cdf
+from repro.experiments.base import FPS_GRID, Figure, cdf_figure
+
+
+def run(ctx):
+    played = ctx.dataset.played()
+    cdfs = {
+        name: Cdf(group.values("measured_frame_rate"))
+        for name, group in by_connection(played).items()
+    }
+    headline = {}
+    for name, cdf in cdfs.items():
+        key = name.split()[0].split("/")[0].lower()
+        headline[f"{key}_below_3fps"] = cdf.fraction_below(3.0)
+        headline[f"{key}_at_least_15fps"] = cdf.fraction_at_least(15.0)
+    return cdf_figure(
+        "fig12",
+        "CDF of Frame Rate for Different End-Host Network Configurations",
+        cdfs,
+        FPS_GRID,
+        "fps",
+        headline,
+    )
+
+
+FIGURE = Figure(
+    "fig12",
+    "CDF of Frame Rate for Different End-Host Network Configurations",
+    run,
+)

@@ -1,0 +1,45 @@
+"""Figure 13: bandwidth CDF per end-host network configuration.
+
+Paper: DSL/Cable modems, able to carry 256-512 Kbps, operate near full
+capacity less than 10% of the time — the bottleneck is beyond the
+access link.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.breakdowns import by_connection
+from repro.analysis.cdf import Cdf
+from repro.experiments.base import BANDWIDTH_KBPS_GRID, Figure, cdf_figure
+from repro.units import kbps
+
+
+def run(ctx):
+    played = ctx.dataset.played()
+    cdfs = {
+        name: Cdf([b / 1000.0 for b in group.values("measured_bandwidth_bps")])
+        for name, group in by_connection(played).items()
+    }
+    dsl = cdfs.get("DSL/Cable")
+    headline = {}
+    if dsl is not None:
+        headline["dsl_median_kbps"] = dsl.median
+        # "near full capacity": at or above 256 Kbps, the class floor.
+        headline["dsl_near_capacity_fraction"] = dsl.fraction_at_least(256.0)
+    modem = cdfs.get("56k Modem")
+    if modem is not None:
+        headline["modem_median_kbps"] = modem.median
+    return cdf_figure(
+        "fig13",
+        "CDF of Bandwidth for Different End-Host Network Configurations",
+        cdfs,
+        BANDWIDTH_KBPS_GRID,
+        "kbps",
+        headline,
+    )
+
+
+FIGURE = Figure(
+    "fig13",
+    "CDF of Bandwidth for Different End-Host Network Configurations",
+    run,
+)

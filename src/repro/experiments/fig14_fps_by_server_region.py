@@ -1,0 +1,42 @@
+"""Figure 14: frame-rate CDF by server region.
+
+Paper: the five regions provide very similar distributions (means
+~8-13 fps); Asia worst, Australia/Europe best — server geography
+matters little.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.breakdowns import by_server_region
+from repro.analysis.cdf import Cdf
+from repro.experiments.base import FPS_GRID, Figure, cdf_figure
+
+
+def run(ctx):
+    played = ctx.dataset.played()
+    cdfs = {
+        name: Cdf(group.values("measured_frame_rate"))
+        for name, group in by_server_region(played).items()
+    }
+    means = {name: cdf.mean for name, cdf in cdfs.items()}
+    headline = {
+        "best_region_mean": max(means.values()),
+        "worst_region_mean": min(means.values()),
+        "mean_spread": max(means.values()) - min(means.values()),
+        "asia_mean": means.get("Asia", 0.0),
+    }
+    return cdf_figure(
+        "fig14",
+        "CDF of Frame Rate for RealServers in Different Geographic Regions",
+        cdfs,
+        FPS_GRID,
+        "fps",
+        headline,
+    )
+
+
+FIGURE = Figure(
+    "fig14",
+    "CDF of Frame Rate for RealServers in Different Geographic Regions",
+    run,
+)

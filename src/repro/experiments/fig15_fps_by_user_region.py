@@ -1,0 +1,40 @@
+"""Figure 15: frame-rate CDF by user region.
+
+Paper: user geography clearly differentiates performance —
+Australia/NZ worst (75% under 3 fps, <10% at 15+), Europe best
+(15% under 3 fps, 25% at 15+), North America slightly better than Asia.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.breakdowns import by_user_region
+from repro.analysis.cdf import Cdf
+from repro.experiments.base import FPS_GRID, Figure, cdf_figure
+
+
+def run(ctx):
+    played = ctx.dataset.played()
+    cdfs = {
+        name: Cdf(group.values("measured_frame_rate"))
+        for name, group in by_user_region(played).items()
+    }
+    headline = {}
+    for name, cdf in cdfs.items():
+        key = name.split("/")[0].lower().replace(" ", "")
+        headline[f"{key}_below_3fps"] = cdf.fraction_below(3.0)
+        headline[f"{key}_at_least_15fps"] = cdf.fraction_at_least(15.0)
+    return cdf_figure(
+        "fig15",
+        "CDF of Frame Rate for Users in Different Geographic Regions",
+        cdfs,
+        FPS_GRID,
+        "fps",
+        headline,
+    )
+
+
+FIGURE = Figure(
+    "fig15",
+    "CDF of Frame Rate for Users in Different Geographic Regions",
+    run,
+)

@@ -1,0 +1,34 @@
+"""Figure 16: fraction of transport protocols observed.
+
+Paper: over half of RealVideo flows use UDP (~56%); a surprising 44%
+use TCP.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tcp_friendly import compare_protocols
+from repro.experiments.base import Figure, FigureResult
+
+
+def run(ctx):
+    report = compare_protocols(ctx.dataset)
+    text = (
+        "Figure 16: transport protocols observed\n"
+        f"  TCP: {report.tcp_share:.2f} ({report.tcp_count} clips)\n"
+        f"  UDP: {report.udp_share:.2f} ({report.udp_count} clips)"
+    )
+    return FigureResult(
+        figure_id="fig16",
+        title="Fraction of Transport Protocols Observed",
+        series={
+            "share": [(0.0, report.tcp_share), (1.0, report.udp_share)]
+        },
+        headline={
+            "tcp_share": report.tcp_share,
+            "udp_share": report.udp_share,
+        },
+        text=text,
+    )
+
+
+FIGURE = Figure("fig16", "Fraction of Transport Protocols Observed", run)

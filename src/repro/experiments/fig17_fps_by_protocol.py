@@ -1,0 +1,39 @@
+"""Figure 17: frame-rate CDF for TCP vs UDP flows.
+
+Paper: for the most part the distributions are nearly identical
+(TCP 28% vs UDP 22% under 3 fps); UDP's flexibility does not buy
+better application frame rates.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.breakdowns import by_protocol
+from repro.analysis.cdf import Cdf
+from repro.experiments.base import FPS_GRID, Figure, cdf_figure
+
+
+def run(ctx):
+    played = ctx.dataset.played()
+    cdfs = {
+        name: Cdf(group.values("measured_frame_rate"))
+        for name, group in by_protocol(played).items()
+        if name in ("TCP", "UDP")
+    }
+    headline = {
+        "tcp_below_3fps": cdfs["TCP"].fraction_below(3.0),
+        "udp_below_3fps": cdfs["UDP"].fraction_below(3.0),
+        "tcp_mean_fps": cdfs["TCP"].mean,
+        "udp_mean_fps": cdfs["UDP"].mean,
+        "mean_gap": abs(cdfs["TCP"].mean - cdfs["UDP"].mean),
+    }
+    return cdf_figure(
+        "fig17",
+        "CDF of Frame Rate for Transport Protocols",
+        cdfs,
+        FPS_GRID,
+        "fps",
+        headline,
+    )
+
+
+FIGURE = Figure("fig17", "CDF of Frame Rate for Transport Protocols", run)

@@ -1,0 +1,40 @@
+"""Figure 18: bandwidth CDF for TCP vs UDP flows.
+
+Paper: bandwidth used by the two protocols is very comparable — UDP
+slightly above TCP over most of the range (application-layer control
+responsive, but perhaps not strictly TCP-friendly).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.breakdowns import by_protocol
+from repro.analysis.cdf import Cdf
+from repro.analysis.tcp_friendly import compare_protocols
+from repro.experiments.base import BANDWIDTH_KBPS_GRID, Figure, cdf_figure
+
+
+def run(ctx):
+    played = ctx.dataset.played()
+    cdfs = {
+        name: Cdf([b / 1000.0 for b in group.values("measured_bandwidth_bps")])
+        for name, group in by_protocol(played).items()
+        if name in ("TCP", "UDP")
+    }
+    report = compare_protocols(ctx.dataset)
+    headline = {
+        "udp_over_tcp_median_ratio": report.ratio_p50,
+        "udp_over_tcp_p75_ratio": report.ratio_p75,
+        "comparable": 1.0 if report.comparable else 0.0,
+        "strictly_friendly": 1.0 if report.strictly_friendly else 0.0,
+    }
+    return cdf_figure(
+        "fig18",
+        "CDF of Bandwidth for Transport Protocols",
+        cdfs,
+        BANDWIDTH_KBPS_GRID,
+        "kbps",
+        headline,
+    )
+
+
+FIGURE = Figure("fig18", "CDF of Bandwidth for Transport Protocols", run)

@@ -1,0 +1,47 @@
+"""Figure 19: frame-rate CDF by user PC power class.
+
+Paper: only the slowest machines (old Pentiums with little memory) are
+a playback bottleneck — above 3 fps only 10-20% of the time; all other
+classes are mixed and unordered.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.breakdowns import by_pc_class
+from repro.analysis.cdf import Cdf
+from repro.experiments.base import FPS_GRID, Figure, cdf_figure
+
+OLD_CLASSES = ("Intel Pentium MMX / 24MB", "Pentium II / 32MB")
+
+
+def run(ctx):
+    played = ctx.dataset.played()
+    cdfs = {
+        name: Cdf(group.values("measured_frame_rate"))
+        for name, group in by_pc_class(played).items()
+    }
+    old = [cdf for name, cdf in cdfs.items() if name in OLD_CLASSES]
+    new = [cdf for name, cdf in cdfs.items() if name not in OLD_CLASSES]
+    headline = {
+        "old_pc_above_3fps": (
+            sum(cdf.fraction_at_least(3.0) for cdf in old) / len(old)
+            if old
+            else 1.0
+        ),
+        "new_pc_above_3fps": (
+            sum(cdf.fraction_at_least(3.0) for cdf in new) / len(new)
+            if new
+            else 0.0
+        ),
+    }
+    return cdf_figure(
+        "fig19",
+        "CDF of Frame Rate for Classes of User PCs",
+        cdfs,
+        FPS_GRID,
+        "fps",
+        headline,
+    )
+
+
+FIGURE = Figure("fig19", "CDF of Frame Rate for Classes of User PCs", run)

@@ -1,0 +1,31 @@
+"""Figure 20: CDF of overall jitter.
+
+Paper: just over 50% of clips play with imperceptible jitter
+(<= 50 ms); only ~15% with potentially unacceptable jitter (>= 300 ms)
+— thanks to the large initial buffer.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.cdf import Cdf
+from repro.experiments.base import JITTER_MS_GRID, Figure, cdf_figure
+
+
+def run(ctx):
+    sample = ctx.dataset.with_jitter()
+    cdf = Cdf([j * 1000.0 for j in sample.values("jitter_s")])
+    return cdf_figure(
+        "fig20",
+        "CDF of Overall Jitter",
+        {"all clips": cdf},
+        JITTER_MS_GRID,
+        "ms",
+        headline={
+            "fraction_imperceptible": cdf.at(50.0),
+            "fraction_unacceptable": cdf.fraction_at_least(300.0),
+            "median_jitter_ms": cdf.median,
+        },
+    )
+
+
+FIGURE = Figure("fig20", "CDF of Overall Jitter", run)

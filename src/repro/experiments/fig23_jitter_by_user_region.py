@@ -1,0 +1,37 @@
+"""Figure 23: jitter CDF by user region.
+
+Paper: geography clearly differentiates — Australia/NZ worst over both
+limits, Asia next, Europe and North America comparable.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.breakdowns import by_user_region
+from repro.analysis.cdf import Cdf
+from repro.experiments.base import JITTER_MS_GRID, Figure, cdf_figure
+
+
+def run(ctx):
+    sample = ctx.dataset.with_jitter()
+    cdfs = {
+        name: Cdf([j * 1000.0 for j in group.values("jitter_s")])
+        for name, group in by_user_region(sample).items()
+    }
+    imperceptible = {name: cdf.at(50.0) for name, cdf in cdfs.items()}
+    headline = {
+        f"{name.split('/')[0].lower().replace(' ', '')}_imperceptible": value
+        for name, value in imperceptible.items()
+    }
+    return cdf_figure(
+        "fig23",
+        "CDF of Jitter for Users in Different Geographic Regions",
+        cdfs,
+        JITTER_MS_GRID,
+        "ms",
+        headline,
+    )
+
+
+FIGURE = Figure(
+    "fig23", "CDF of Jitter for Users in Different Geographic Regions", run
+)

@@ -1,0 +1,35 @@
+"""Figure 24: jitter CDF for TCP vs UDP flows.
+
+Paper: both protocols provide nearly identical smoothness of playout.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.breakdowns import by_protocol
+from repro.analysis.cdf import Cdf
+from repro.experiments.base import JITTER_MS_GRID, Figure, cdf_figure
+
+
+def run(ctx):
+    sample = ctx.dataset.with_jitter()
+    cdfs = {
+        name: Cdf([j * 1000.0 for j in group.values("jitter_s")])
+        for name, group in by_protocol(sample).items()
+        if name in ("TCP", "UDP")
+    }
+    headline = {
+        "tcp_imperceptible": cdfs["TCP"].at(50.0),
+        "udp_imperceptible": cdfs["UDP"].at(50.0),
+        "imperceptible_gap": abs(cdfs["TCP"].at(50.0) - cdfs["UDP"].at(50.0)),
+    }
+    return cdf_figure(
+        "fig24",
+        "CDF of Jitter for Transport Protocols",
+        cdfs,
+        JITTER_MS_GRID,
+        "ms",
+        headline,
+    )
+
+
+FIGURE = Figure("fig24", "CDF of Jitter for Transport Protocols", run)

@@ -1,0 +1,45 @@
+"""Figure 25: jitter CDF for observed-bandwidth bins.
+
+Paper: strong correlation between connection bandwidth and jitter —
+low-bandwidth connections play jitter-free only ~10% of the time
+(acceptable ~20%), high-bandwidth ones ~80% jitter-free (~95%
+acceptable).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.breakdowns import by_bandwidth_bin
+from repro.analysis.cdf import Cdf
+from repro.experiments.base import JITTER_MS_GRID, Figure, cdf_figure
+
+BIN_ORDER = ("< 10K", "10K - 100K", "> 100K")
+
+
+def run(ctx):
+    sample = ctx.dataset.with_jitter()
+    groups = by_bandwidth_bin(sample)
+    cdfs = {
+        name: Cdf([j * 1000.0 for j in groups[name].values("jitter_s")])
+        for name in BIN_ORDER
+        if name in groups and len(groups[name]) > 0
+    }
+    headline = {}
+    if "> 100K" in cdfs:
+        headline["high_bw_imperceptible"] = cdfs["> 100K"].at(50.0)
+        headline["high_bw_acceptable"] = cdfs["> 100K"].at(300.0)
+    if "< 10K" in cdfs:
+        headline["low_bw_imperceptible"] = cdfs["< 10K"].at(50.0)
+        headline["low_bw_acceptable"] = cdfs["< 10K"].at(300.0)
+    if "10K - 100K" in cdfs:
+        headline["mid_bw_imperceptible"] = cdfs["10K - 100K"].at(50.0)
+    return cdf_figure(
+        "fig25",
+        "CDF of Jitter for Observed Bandwidth",
+        cdfs,
+        JITTER_MS_GRID,
+        "ms",
+        headline,
+    )
+
+
+FIGURE = Figure("fig25", "CDF of Jitter for Observed Bandwidth", run)

@@ -1,0 +1,35 @@
+"""Figure 26: CDF of overall quality ratings.
+
+Paper: mean ~5 with a very uniform distribution — users "normalize"
+their ratings, suggesting per-user mappings rather than a global one.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.cdf import Cdf
+from repro.experiments.base import RATING_GRID, Figure, cdf_figure
+
+
+def run(ctx):
+    rated = ctx.dataset.rated()
+    cdf = Cdf(rated.values("rating"))
+    # Uniformity check: max deviation of the CDF from the uniform line.
+    deviation = max(
+        abs(cdf.at(float(x)) - (x + 1) / 11.0) for x in range(11)
+    )
+    return cdf_figure(
+        "fig26",
+        "CDF of Overall Quality",
+        {"ratings": cdf},
+        RATING_GRID,
+        "rating",
+        headline={
+            "mean_rating": cdf.mean,
+            "median_rating": cdf.median,
+            "uniformity_deviation": deviation,
+            "rated_count": float(len(rated)),
+        },
+    )
+
+
+FIGURE = Figure("fig26", "CDF of Overall Quality", run)

@@ -1,0 +1,44 @@
+"""Figure 27: quality-rating CDF per end-host network configuration.
+
+Paper: the average clip watched over a modem is rated only about half
+as good as on DSL/Cable; DSL/Cable rates slightly better than T1/LAN
+(jitter differentiates them).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.breakdowns import by_connection
+from repro.analysis.cdf import Cdf
+from repro.experiments.base import RATING_GRID, Figure, cdf_figure
+
+
+def run(ctx):
+    rated = ctx.dataset.rated()
+    cdfs = {
+        name: Cdf(group.values("rating"))
+        for name, group in by_connection(rated).items()
+        if len(group) > 0
+    }
+    means = {name: cdf.mean for name, cdf in cdfs.items()}
+    headline = {
+        "modem_mean": means.get("56k Modem", 0.0),
+        "dsl_mean": means.get("DSL/Cable", 0.0),
+        "t1_mean": means.get("T1/LAN", 0.0),
+    }
+    if headline["dsl_mean"]:
+        headline["modem_over_dsl"] = headline["modem_mean"] / headline["dsl_mean"]
+    return cdf_figure(
+        "fig27",
+        "CDF of Quality for Different End-Host Network Configurations",
+        cdfs,
+        RATING_GRID,
+        "rating",
+        headline,
+    )
+
+
+FIGURE = Figure(
+    "fig27",
+    "CDF of Quality for Different End-Host Network Configurations",
+    run,
+)

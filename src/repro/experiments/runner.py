@@ -1,0 +1,80 @@
+"""Run every figure experiment and write the results.
+
+Usage::
+
+    python -m repro.experiments.runner [--scale 1.0] [--seed 2001]
+        [--out results/] [--csv study.csv]
+
+At scale 1.0 this reproduces the full campaign (~2,855 playbacks,
+around 15-25 minutes on a laptop); smaller scales simulate a
+proportional slice of each user's plays.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.experiments.base import all_figures, make_context
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Regenerate every figure of the RealVideo study."
+    )
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="fraction of each user's plays to simulate")
+    parser.add_argument("--seed", type=int, default=2001)
+    parser.add_argument("--out", type=Path, default=Path("results"),
+                        help="directory for figure text/json outputs")
+    parser.add_argument("--csv", type=Path, default=None,
+                        help="also write the raw dataset as CSV")
+    parser.add_argument("--quiet", action="store_true")
+    args = parser.parse_args(argv)
+
+    started = time.time()
+    if not args.quiet:
+        print(f"running study (seed={args.seed}, scale={args.scale})...",
+              flush=True)
+    ctx = make_context(seed=args.seed, scale=args.scale)
+    if not args.quiet:
+        print(
+            f"study done: {len(ctx.dataset)} playbacks in "
+            f"{time.time() - started:.0f}s",
+            flush=True,
+        )
+
+    args.out.mkdir(parents=True, exist_ok=True)
+    if args.csv is not None:
+        ctx.dataset.to_csv(args.csv)
+
+    summary = {}
+    for figure in all_figures():
+        result = figure.run(ctx)
+        summary[result.figure_id] = result.headline
+        (args.out / f"{result.figure_id}.txt").write_text(result.text + "\n")
+        (args.out / f"{result.figure_id}.json").write_text(
+            json.dumps(
+                {
+                    "figure_id": result.figure_id,
+                    "title": result.title,
+                    "headline": result.headline,
+                    "series": result.series,
+                },
+                indent=2,
+            )
+        )
+        if not args.quiet:
+            print()
+            print(result.text)
+    (args.out / "summary.json").write_text(json.dumps(summary, indent=2))
+    if not args.quiet:
+        print(f"\nwrote {args.out}/fig*.txt, fig*.json, summary.json")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,44 @@
+"""Media model (S6): codecs, clips, SureStream, packetization.
+
+RealVideo's externally observable encoding behavior, as the paper
+documents it:
+
+* a clip is encoded for several target bandwidths at once (SureStream);
+* part of each target bandwidth goes to audio, the rest to video;
+* the encoder varies the frame rate with scene action;
+* frames are packetized, and error-correction (FEC) packets can be sent
+  to repair losses.
+"""
+
+from repro.media.frames import Frame, FrameKind, MediaPacket
+from repro.media.codec import (
+    AudioCodec,
+    EncodingLevel,
+    EncodingLadder,
+    surestream_ladder,
+    AUDIO_VOICE,
+    AUDIO_MUSIC,
+    AUDIO_STEREO_MUSIC,
+)
+from repro.media.clip import ContentKind, Scene, VideoClip, make_clip
+from repro.media.frame_source import FrameSource
+from repro.media.packetizer import Packetizer
+
+__all__ = [
+    "Frame",
+    "FrameKind",
+    "MediaPacket",
+    "AudioCodec",
+    "EncodingLevel",
+    "EncodingLadder",
+    "surestream_ladder",
+    "AUDIO_VOICE",
+    "AUDIO_MUSIC",
+    "AUDIO_STEREO_MUSIC",
+    "ContentKind",
+    "Scene",
+    "VideoClip",
+    "make_clip",
+    "FrameSource",
+    "Packetizer",
+]

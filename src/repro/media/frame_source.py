@@ -1,0 +1,107 @@
+"""Deterministic frame generation for a clip.
+
+A :class:`FrameSource` walks a clip in media time and emits the frame
+sequence the encoder produced: the instantaneous frame rate follows the
+active SureStream level scaled by the scene's action (high action keeps
+the rate up, low action thins it — paper Section V), while the byte
+rate tracks the level's video bandwidth.
+
+Frame sizes are drawn from a per-clip-seeded RNG, so two playbacks of
+the same clip see the same content, mirroring the study's pre-recorded
+playlist.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+from repro.media.clip import VideoClip
+from repro.media.codec import EncodingLevel
+from repro.media.frames import Frame, FrameKind
+
+#: A key frame is this many times larger than a delta frame.
+KEYFRAME_SIZE_FACTOR = 3.0
+
+#: Log-normal sigma of per-frame size noise.
+FRAME_SIZE_SIGMA = 0.25
+
+#: Encoded frame rate ranges from this fraction of the level's nominal
+#: rate (static scene) up to MAX_ACTION_RATE_FACTOR of it (action = 1);
+#: even frantic scenes rarely hit the nominal rate exactly.
+MIN_ACTION_RATE_FACTOR = 0.50
+MAX_ACTION_RATE_FACTOR = 0.95
+
+#: Floor on the encoded frame rate regardless of action, fps.
+MIN_ENCODED_FPS = 2.0
+
+
+def _clip_rng(clip: VideoClip) -> np.random.Generator:
+    digest = hashlib.sha256(("frames:" + clip.url).encode("utf-8")).digest()
+    return np.random.default_rng(int.from_bytes(digest[:8], "big"))
+
+
+class FrameSource:
+    """Emits the encoded frame sequence of one clip, level-aware."""
+
+    def __init__(self, clip: VideoClip) -> None:
+        self.clip = clip
+        self._rng = _clip_rng(clip)
+        self._media_time = 0.0
+        self._index = 0
+        self._last_keyframe_at = -1e9
+
+    @property
+    def media_time(self) -> float:
+        """Media-time position of the next frame to be emitted."""
+        return self._media_time
+
+    @property
+    def frames_emitted(self) -> int:
+        return self._index
+
+    def exhausted(self, play_limit_s: float | None = None) -> bool:
+        """True once the source has reached the clip (or play-limit) end."""
+        limit = self.clip.duration_s
+        if play_limit_s is not None:
+            limit = min(limit, play_limit_s)
+        return self._media_time >= limit
+
+    def encoded_rate_at(self, level: EncodingLevel, media_time: float) -> float:
+        """Instantaneous encoded frame rate at a media time, fps."""
+        action = self.clip.action_at(media_time)
+        factor = MIN_ACTION_RATE_FACTOR + (
+            MAX_ACTION_RATE_FACTOR - MIN_ACTION_RATE_FACTOR
+        ) * action
+        return max(MIN_ENCODED_FPS, level.frame_rate * factor)
+
+    def next_frame(self, level: EncodingLevel) -> Frame:
+        """Emit the next frame at the given SureStream level.
+
+        Advances the media-time cursor by the inter-frame gap the
+        encoder used at this point of the clip.
+        """
+        now = self._media_time
+        fps = self.encoded_rate_at(level, now)
+        is_key = (now - self._last_keyframe_at) >= level.keyframe_interval_s
+        if is_key:
+            self._last_keyframe_at = now
+
+        # Bytes-per-frame that keeps the level's video bit rate at the
+        # *current* frame rate, with content-dependent noise.
+        base_bytes = level.video_bps / 8.0 / fps
+        noise = float(self._rng.lognormal(mean=0.0, sigma=FRAME_SIZE_SIGMA))
+        size = base_bytes * noise
+        if is_key:
+            size *= KEYFRAME_SIZE_FACTOR
+        frame = Frame(
+            index=self._index,
+            kind=FrameKind.KEY if is_key else FrameKind.DELTA,
+            media_time=now,
+            size=max(1, int(size)),
+            level=level.index,
+        )
+        self._index += 1
+        self._media_time = now + 1.0 / fps
+        return frame

@@ -1,0 +1,65 @@
+"""Frames and media packets."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class FrameKind(enum.Enum):
+    """Video frame types in the simplified GOP model."""
+
+    KEY = "key"  # self-contained (I-frame)
+    DELTA = "delta"  # depends on the previous frames (P-frame)
+    AUDIO = "audio"  # audio data interleaved with the video
+
+
+@dataclass(frozen=True)
+class Frame:
+    """One encoded media frame."""
+
+    #: Monotonically increasing frame index within the clip.
+    index: int
+    kind: FrameKind
+    #: Presentation time within the clip, seconds.
+    media_time: float
+    #: Encoded size, bytes.
+    size: int
+    #: SureStream level this frame belongs to.
+    level: int
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ValueError(f"frame size must be positive, got {self.size}")
+        if self.media_time < 0:
+            raise ValueError(
+                f"media time must be non-negative, got {self.media_time}"
+            )
+
+
+@dataclass(frozen=True)
+class MediaPacket:
+    """One fragment of a frame as carried by the transport.
+
+    A frame of ``parts_total`` fragments is decodable once all
+    fragments have arrived or the missing ones were repaired by FEC.
+    """
+
+    frame_index: int
+    part_index: int
+    parts_total: int
+    size: int
+    frame: Frame
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.part_index < self.parts_total:
+            raise ValueError(
+                f"part_index {self.part_index} out of range "
+                f"[0, {self.parts_total})"
+            )
+        if self.size <= 0:
+            raise ValueError(f"packet size must be positive, got {self.size}")
+
+    @property
+    def is_last_part(self) -> bool:
+        return self.part_index == self.parts_total - 1

@@ -1,0 +1,64 @@
+"""Fragmenting frames into transport-sized packets, plus FEC.
+
+RealVideo sends "special packets that correct errors ... to
+reconstruct the lost data" (paper Section II.C).  We model FEC as
+parity packets: a frame with ``k`` fragments and ``r`` received parity
+packets is decodable when at most ``r`` fragments are missing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.media.frames import Frame, MediaPacket
+from repro.transport.base import MSS_BYTES
+
+
+@dataclass(frozen=True)
+class FecPacket:
+    """A parity packet able to repair any single missing fragment."""
+
+    frame_index: int
+    size: int
+    frame: Frame
+
+
+class Packetizer:
+    """Splits frames into MSS-sized media packets."""
+
+    def __init__(self, mss_bytes: int = MSS_BYTES) -> None:
+        if mss_bytes <= 0:
+            raise ValueError(f"MSS must be positive, got {mss_bytes}")
+        self.mss_bytes = mss_bytes
+
+    def parts_for(self, frame: Frame) -> int:
+        """Number of fragments a frame needs."""
+        return max(1, -(-frame.size // self.mss_bytes))  # ceil division
+
+    def packetize(self, frame: Frame) -> list[MediaPacket]:
+        """Fragment a frame into transport-sized media packets."""
+        parts = self.parts_for(frame)
+        sizes = [self.mss_bytes] * (parts - 1)
+        remainder = frame.size - self.mss_bytes * (parts - 1)
+        sizes.append(remainder)
+        return [
+            MediaPacket(
+                frame_index=frame.index,
+                part_index=i,
+                parts_total=parts,
+                size=size,
+                frame=frame,
+            )
+            for i, size in enumerate(sizes)
+        ]
+
+    def fec_for(self, frame: Frame, count: int = 1) -> list[FecPacket]:
+        """Parity packets for a frame (each repairs one lost fragment)."""
+        if count < 0:
+            raise ValueError(f"FEC count must be non-negative, got {count}")
+        parts = self.parts_for(frame)
+        parity_size = min(self.mss_bytes, max(64, frame.size // parts))
+        return [
+            FecPacket(frame_index=frame.index, size=parity_size, frame=frame)
+            for _ in range(count)
+        ]

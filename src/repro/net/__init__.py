@@ -1,0 +1,31 @@
+"""Packet network substrate (S2).
+
+Links with finite capacity, propagation delay, drop-tail (or RED)
+queues, random loss and competing cross traffic; paths composed of
+links; and a geographic latency/quality model calibrated to the
+2001-era Internet the paper measured.
+"""
+
+from repro.net.packet import Packet, PacketKind
+from repro.net.queues import DropTailQueue, REDQueue
+from repro.net.link import Link, LinkConfig
+from repro.net.crosstraffic import CrossTrafficSource, CrossTrafficConfig
+from repro.net.latency import GeographicLatencyModel, PathQuality
+from repro.net.path import NetworkPath, PathEndpoint, PathProfile, PathStats
+
+__all__ = [
+    "Packet",
+    "PacketKind",
+    "DropTailQueue",
+    "REDQueue",
+    "Link",
+    "LinkConfig",
+    "CrossTrafficSource",
+    "CrossTrafficConfig",
+    "GeographicLatencyModel",
+    "PathQuality",
+    "NetworkPath",
+    "PathEndpoint",
+    "PathProfile",
+    "PathStats",
+]

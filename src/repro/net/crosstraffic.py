@@ -1,0 +1,139 @@
+"""Competing background traffic.
+
+The 2001 Internet paths the paper measured were shared: the video flow
+competed with web transfers and other traffic at the bottleneck.  We
+model this with an on/off (burst/idle) packet source injecting CROSS
+packets into the same bottleneck link.  During a burst the source emits
+packets at its burst rate with exponential spacing; bursts and idle
+gaps have exponentially distributed lengths.  The resulting arrival
+process is bursty at multiple time scales — enough to produce realistic
+queueing jitter and drop-tail loss episodes without simulating a full
+self-similar aggregate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.net.link import Link
+from repro.net.packet import Packet, PacketKind
+from repro.sim.engine import EventLoop
+from repro.units import BITS_PER_BYTE
+
+#: Flow id used by all cross traffic (never collides with real flows,
+#: which are allocated positive ids).
+CROSS_FLOW_ID = -1
+
+
+@dataclass
+class CrossTrafficConfig:
+    """Parameters of an on/off cross-traffic source."""
+
+    #: Long-run average offered load in bits per second.
+    mean_rate_bps: float
+    #: Peak (burst) rate in bits per second; must exceed the mean.
+    burst_rate_bps: float
+    #: Mean burst duration in seconds.
+    mean_burst_s: float = 0.5
+    #: Packet payload size in bytes.
+    packet_bytes: int = 1000
+
+    def __post_init__(self) -> None:
+        if self.mean_rate_bps < 0:
+            raise ValueError(f"mean rate must be >= 0, got {self.mean_rate_bps}")
+        if self.mean_rate_bps > 0 and self.burst_rate_bps <= self.mean_rate_bps:
+            raise ValueError(
+                "burst rate must exceed mean rate "
+                f"({self.burst_rate_bps} <= {self.mean_rate_bps})"
+            )
+        if self.mean_burst_s <= 0:
+            raise ValueError(f"mean burst must be positive, got {self.mean_burst_s}")
+        if self.packet_bytes <= 0:
+            raise ValueError(f"packet size must be positive, got {self.packet_bytes}")
+
+    @property
+    def duty_cycle(self) -> float:
+        """Fraction of time the source is bursting."""
+        if self.mean_rate_bps == 0:
+            return 0.0
+        return self.mean_rate_bps / self.burst_rate_bps
+
+    @property
+    def mean_idle_s(self) -> float:
+        """Mean idle-gap duration implied by the duty cycle."""
+        duty = self.duty_cycle
+        if duty == 0:
+            return float("inf")
+        return self.mean_burst_s * (1.0 - duty) / duty
+
+
+class CrossTrafficSource:
+    """Injects on/off background packets into a link."""
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        link: Link,
+        config: CrossTrafficConfig,
+        rng: np.random.Generator,
+    ) -> None:
+        self._loop = loop
+        self._link = link
+        self.config = config
+        self._rng = rng
+        self._running = False
+        self._in_burst = False
+        self._burst_ends_at = 0.0
+        self.packets_sent = 0
+
+    def start(self) -> None:
+        """Begin the on/off process (starts in a random phase)."""
+        if self.config.mean_rate_bps == 0:
+            return
+        self._running = True
+        # Random initial phase so paths built at t=0 don't all burst
+        # in lock step.
+        if self._rng.random() < self.config.duty_cycle:
+            self._begin_burst()
+        else:
+            self._schedule_next_burst()
+
+    def stop(self) -> None:
+        """Stop injecting packets (pending events become no-ops)."""
+        self._running = False
+
+    def _begin_burst(self) -> None:
+        if not self._running:
+            return
+        self._in_burst = True
+        burst_len = self._rng.exponential(self.config.mean_burst_s)
+        self._burst_ends_at = self._loop.now + burst_len
+        self._emit()
+
+    def _schedule_next_burst(self) -> None:
+        if not self._running:
+            return
+        self._in_burst = False
+        idle = self._rng.exponential(self.config.mean_idle_s)
+        self._loop.schedule(idle, self._begin_burst)
+
+    def _emit(self) -> None:
+        if not self._running or not self._in_burst:
+            return
+        if self._loop.now >= self._burst_ends_at:
+            self._schedule_next_burst()
+            return
+        packet = Packet(
+            kind=PacketKind.CROSS,
+            size=self.config.packet_bytes,
+            flow_id=CROSS_FLOW_ID,
+            created_at=self._loop.now,
+        )
+        self._link.send(packet)
+        self.packets_sent += 1
+        mean_gap = (
+            self.config.packet_bytes * BITS_PER_BYTE / self.config.burst_rate_bps
+        )
+        self._loop.schedule(self._rng.exponential(mean_gap), self._emit)

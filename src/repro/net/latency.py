@@ -1,0 +1,108 @@
+"""Geographic latency and path-quality modelling.
+
+The paper's key geographic findings (Figures 14, 15, 22, 23) hinge on
+the fact that where the *user* sits matters much more than where the
+*server* sits.  We model the wide-area part of a path with two
+ingredients:
+
+* a propagation delay derived from great-circle distance between the
+  endpoints' countries, inflated for real-world routing, and
+* a :class:`PathQuality` bundle (available capacity, competing load,
+  random loss) drawn from era-calibrated per-region parameters.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+#: Speed of light in fiber, km/s.
+FIBER_KM_PER_S = 200_000.0
+
+#: Real routes are far from great circles; 2x inflation is the usual
+#: rule of thumb for transcontinental paths of the era.
+ROUTE_INFLATION = 1.7
+
+#: Fixed processing/serialization overhead per wide-area path, seconds
+#: (routers, exchanges), one way.
+PER_PATH_OVERHEAD_S = 0.004
+
+EARTH_RADIUS_KM = 6371.0
+
+
+def great_circle_km(
+    lat1: float, lon1: float, lat2: float, lon2: float
+) -> float:
+    """Great-circle distance between two (degrees) coordinates, in km."""
+    phi1, phi2 = math.radians(lat1), math.radians(lat2)
+    dphi = math.radians(lat2 - lat1)
+    dlambda = math.radians(lon2 - lon1)
+    a = (
+        math.sin(dphi / 2) ** 2
+        + math.cos(phi1) * math.cos(phi2) * math.sin(dlambda / 2) ** 2
+    )
+    return 2 * EARTH_RADIUS_KM * math.asin(min(1.0, math.sqrt(a)))
+
+
+@dataclass(frozen=True)
+class PathQuality:
+    """Era-calibrated wide-area path characteristics.
+
+    These numbers describe the *Internet cloud* between the user's
+    access link and the server, not the access link itself.
+    """
+
+    #: Capacity of the narrowest wide-area hop, bits/second.
+    bottleneck_bps: float
+    #: Long-run average competing load as a fraction of the bottleneck.
+    cross_load: float
+    #: Random (non-congestive) packet loss probability, one way.
+    random_loss: float
+
+    def __post_init__(self) -> None:
+        if self.bottleneck_bps <= 0:
+            raise ValueError(
+                f"bottleneck must be positive, got {self.bottleneck_bps}"
+            )
+        if not 0.0 <= self.cross_load < 1.0:
+            raise ValueError(f"cross_load must be in [0, 1), got {self.cross_load}")
+        if not 0.0 <= self.random_loss < 1.0:
+            raise ValueError(
+                f"random_loss must be in [0, 1), got {self.random_loss}"
+            )
+
+
+class GeographicLatencyModel:
+    """Maps endpoint coordinates to one-way wide-area propagation delay."""
+
+    def __init__(
+        self,
+        fiber_km_per_s: float = FIBER_KM_PER_S,
+        route_inflation: float = ROUTE_INFLATION,
+        per_path_overhead_s: float = PER_PATH_OVERHEAD_S,
+    ) -> None:
+        if fiber_km_per_s <= 0:
+            raise ValueError("fiber speed must be positive")
+        if route_inflation < 1.0:
+            raise ValueError("route inflation must be >= 1")
+        if per_path_overhead_s < 0:
+            raise ValueError("overhead must be non-negative")
+        self.fiber_km_per_s = fiber_km_per_s
+        self.route_inflation = route_inflation
+        self.per_path_overhead_s = per_path_overhead_s
+
+    def one_way_delay(
+        self, lat1: float, lon1: float, lat2: float, lon2: float
+    ) -> float:
+        """One-way propagation delay (seconds) between two coordinates."""
+        distance = great_circle_km(lat1, lon1, lat2, lon2)
+        return (
+            distance * self.route_inflation / self.fiber_km_per_s
+            + self.per_path_overhead_s
+        )
+
+    def round_trip(
+        self, lat1: float, lon1: float, lat2: float, lon2: float
+    ) -> float:
+        """Base (unloaded) round-trip time between two coordinates."""
+        return 2.0 * self.one_way_delay(lat1, lon1, lat2, lon2)

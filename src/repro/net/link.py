@@ -1,0 +1,158 @@
+"""A simulated point-to-point link.
+
+A link serializes packets at a finite rate, holds excess arrivals in a
+queue, applies random (non-congestive) loss, then delivers each packet
+to the downstream receiver after a propagation delay.  Congestive loss
+emerges from the queue filling up, not from a configured probability —
+that is what makes TCP's AIMD and RealServer's adaptation behave
+realistically on top.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Protocol
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.net.packet import Packet
+from repro.net.queues import DropTailQueue
+from repro.sim.engine import PRIORITY_HIGH, EventLoop
+from repro.units import transmission_time
+
+
+class PacketQueue(Protocol):
+    """Anything a link can use as its buffer (drop-tail, RED...)."""
+
+    def offer(self, packet: Packet) -> bool: ...
+
+    def pop(self) -> Packet: ...
+
+    @property
+    def is_empty(self) -> bool: ...
+
+    def __len__(self) -> int: ...
+
+
+@dataclass
+class LinkConfig:
+    """Static parameters of a link."""
+
+    #: Serialization rate in bits per second.
+    rate_bps: float
+    #: One-way propagation delay in seconds.
+    propagation_s: float
+    #: Queue capacity in packets.
+    queue_packets: int = 50
+    #: Probability a packet is corrupted/lost independent of congestion.
+    random_loss: float = 0.0
+    #: Human-readable name for diagnostics.
+    name: str = "link"
+
+    def __post_init__(self) -> None:
+        if self.rate_bps <= 0:
+            raise ValueError(f"link rate must be positive, got {self.rate_bps}")
+        if self.propagation_s < 0:
+            raise ValueError(
+                f"propagation delay must be non-negative, got {self.propagation_s}"
+            )
+        if not 0.0 <= self.random_loss < 1.0:
+            raise ValueError(f"random_loss must be in [0, 1), got {self.random_loss}")
+
+
+@dataclass
+class LinkStats:
+    """Counters a link keeps while forwarding."""
+
+    delivered: int = 0
+    delivered_bytes: int = 0
+    queue_drops: int = 0
+    random_drops: int = 0
+    busy_time: float = 0.0
+    #: Per-kind delivered counts, for cross-traffic accounting.
+    delivered_by_kind: dict = field(default_factory=dict)
+
+
+class Link:
+    """A finite-rate, finite-buffer, lossy link feeding a receiver."""
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        config: LinkConfig,
+        rng: np.random.Generator,
+        queue: PacketQueue | None = None,
+    ) -> None:
+        self._loop = loop
+        self.config = config
+        self._rng = rng
+        self._queue: PacketQueue = (
+            queue if queue is not None else DropTailQueue(config.queue_packets)
+        )
+        self._receiver: Callable[[Packet], None] | None = None
+        self._busy = False
+        self.stats = LinkStats()
+
+    def connect(self, receiver: Callable[[Packet], None]) -> None:
+        """Attach the downstream receiver (next link or endpoint)."""
+        self._receiver = receiver
+
+    @property
+    def queue_depth(self) -> int:
+        """Packets currently waiting (not counting the one in service)."""
+        return len(self._queue)
+
+    @property
+    def queue(self) -> PacketQueue:
+        """The link's buffer, exposed for inspection in tests/ablations."""
+        return self._queue
+
+    def send(self, packet: Packet) -> None:
+        """Offer a packet to the link."""
+        if self._receiver is None:
+            raise SimulationError(f"link {self.config.name!r} has no receiver")
+        if not self._queue.offer(packet):
+            self.stats.queue_drops += 1
+            return
+        if not self._busy:
+            self._service_next()
+
+    def _service_next(self) -> None:
+        if self._queue.is_empty:
+            self._busy = False
+            return
+        self._busy = True
+        packet = self._queue.pop()
+        serialization = transmission_time(packet.wire_size, self.config.rate_bps)
+        self.stats.busy_time += serialization
+        self._loop.schedule(
+            serialization, lambda p=packet: self._finish_serialization(p)
+        )
+
+    def _finish_serialization(self, packet: Packet) -> None:
+        # The wire is free again as soon as the last bit leaves.
+        self._service_next()
+        if self.config.random_loss > 0 and self._rng.random() < self.config.random_loss:
+            self.stats.random_drops += 1
+            return
+        self._loop.schedule(
+            self.config.propagation_s,
+            lambda p=packet: self._deliver(p),
+            priority=PRIORITY_HIGH,
+        )
+
+    def _deliver(self, packet: Packet) -> None:
+        packet.hops += 1
+        self.stats.delivered += 1
+        self.stats.delivered_bytes += packet.wire_size
+        kind_counts = self.stats.delivered_by_kind
+        kind_counts[packet.kind] = kind_counts.get(packet.kind, 0) + 1
+        assert self._receiver is not None
+        self._receiver(packet)
+
+    def utilization(self, elapsed: float) -> float:
+        """Fraction of ``elapsed`` seconds the link spent serializing."""
+        if elapsed <= 0:
+            return 0.0
+        return min(1.0, self.stats.busy_time / elapsed)

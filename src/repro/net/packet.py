@@ -1,0 +1,64 @@
+"""Packets: the unit the network substrate moves around."""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+
+class PacketKind(enum.Enum):
+    """What a packet carries; used by transports and statistics."""
+
+    DATA = "data"  # media payload (TCP segment or UDP datagram)
+    ACK = "ack"  # TCP acknowledgement / receiver feedback
+    CONTROL = "control"  # RTSP control exchange
+    FEC = "fec"  # RealVideo error-correction packet
+    CROSS = "cross"  # competing background traffic
+
+
+_packet_ids = itertools.count()
+
+#: Size of packet headers in bytes (IP + transport), charged on the wire
+#: on top of the payload.  40 bytes matches IPv4 + TCP without options.
+HEADER_BYTES = 40
+
+
+@dataclass(slots=True)
+class Packet:
+    """A simulated packet.
+
+    ``size`` is the payload size in bytes; :attr:`wire_size` adds
+    headers and is what links charge for serialization.
+
+    Declared with ``slots``: packets are the simulation's hottest
+    allocation (tens of thousands per playback).
+    """
+
+    kind: PacketKind
+    size: int
+    flow_id: int
+    seq: int = 0
+    payload: Any = None
+    created_at: float = 0.0
+    uid: int = field(default_factory=lambda: next(_packet_ids))
+    #: Set by links: cumulative one-way delay experienced so far.
+    accumulated_delay: float = 0.0
+    #: Number of link hops traversed, for diagnostics.
+    hops: int = 0
+
+    def __post_init__(self) -> None:
+        if self.size < 0:
+            raise ValueError(f"packet size must be non-negative, got {self.size}")
+
+    @property
+    def wire_size(self) -> int:
+        """Bytes on the wire: payload plus protocol headers."""
+        return self.size + HEADER_BYTES
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Packet({self.kind.value}, flow={self.flow_id}, seq={self.seq}, "
+            f"size={self.size})"
+        )

@@ -1,0 +1,132 @@
+"""Router queues: drop-tail (the 2001 default) and RED (ablation).
+
+A queue decides, per arriving packet, whether to accept or drop it, and
+hands packets back to the link in FIFO order.  Queue depth is measured
+in packets, which is what most 2001-era drop-tail routers did.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.net.packet import Packet
+
+
+class DropTailQueue:
+    """Classic FIFO queue with a hard packet-count limit."""
+
+    def __init__(self, capacity_packets: int) -> None:
+        if capacity_packets < 1:
+            raise ValueError(f"queue capacity must be >= 1, got {capacity_packets}")
+        self.capacity = capacity_packets
+        self._queue: deque[Packet] = deque()
+        self.drops = 0
+        self.enqueued = 0
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._queue
+
+    def offer(self, packet: Packet) -> bool:
+        """Try to enqueue; returns False (and counts a drop) when full."""
+        if len(self._queue) >= self.capacity:
+            self.drops += 1
+            return False
+        self._queue.append(packet)
+        self.enqueued += 1
+        return True
+
+    def pop(self) -> Packet:
+        """Dequeue the head-of-line packet."""
+        return self._queue.popleft()
+
+
+class REDQueue:
+    """Random Early Detection queue (Floyd & Jacobson 1993).
+
+    Included as the queueing ablation the paper's congestion discussion
+    ([FF98]) motivates: RED keeps average queues short, trading early
+    random drops for lower queueing jitter.
+    """
+
+    def __init__(
+        self,
+        capacity_packets: int,
+        min_threshold: int | None = None,
+        max_threshold: int | None = None,
+        max_drop_probability: float = 0.1,
+        weight: float = 0.002,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if capacity_packets < 1:
+            raise ValueError(f"queue capacity must be >= 1, got {capacity_packets}")
+        self.capacity = capacity_packets
+        self.min_threshold = (
+            min_threshold if min_threshold is not None else max(1, capacity_packets // 4)
+        )
+        self.max_threshold = (
+            max_threshold
+            if max_threshold is not None
+            else max(self.min_threshold + 1, (3 * capacity_packets) // 4)
+        )
+        if not 0 < max_drop_probability <= 1:
+            raise ValueError(
+                f"max_drop_probability must be in (0, 1], got {max_drop_probability}"
+            )
+        if self.min_threshold >= self.max_threshold:
+            raise ValueError(
+                f"min_threshold ({self.min_threshold}) must be below "
+                f"max_threshold ({self.max_threshold})"
+            )
+        self.max_drop_probability = max_drop_probability
+        self.weight = weight
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+        self._queue: deque[Packet] = deque()
+        self._avg = 0.0
+        self.drops = 0
+        self.early_drops = 0
+        self.enqueued = 0
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._queue
+
+    @property
+    def average_depth(self) -> float:
+        """Exponentially weighted average queue depth."""
+        return self._avg
+
+    def offer(self, packet: Packet) -> bool:
+        """Enqueue with RED's early-drop behavior."""
+        self._avg = (1 - self.weight) * self._avg + self.weight * len(self._queue)
+        if len(self._queue) >= self.capacity:
+            self.drops += 1
+            return False
+        if self._avg >= self.max_threshold:
+            self.drops += 1
+            self.early_drops += 1
+            return False
+        if self._avg > self.min_threshold:
+            span = self.max_threshold - self.min_threshold
+            p_drop = (
+                self.max_drop_probability * (self._avg - self.min_threshold) / span
+            )
+            if self._rng.random() < p_drop:
+                self.drops += 1
+                self.early_drops += 1
+                return False
+        self._queue.append(packet)
+        self.enqueued += 1
+        return True
+
+    def pop(self) -> Packet:
+        """Dequeue the head-of-line packet."""
+        return self._queue.popleft()

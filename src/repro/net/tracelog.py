@@ -1,0 +1,120 @@
+"""Packet trace capture — the mmdump-style view of a playback.
+
+The paper's related work analyzed streaming media at the packet level
+(mmdump [MCCS00]; RealAudio flow profiles [MH00]).  A
+:class:`PacketTraceLogger` taps a :class:`~repro.net.path.NetworkPath`
+endpoint and records every delivered packet as a :class:`TraceEntry`;
+:mod:`repro.analysis.flows` turns traces into per-flow profiles
+(packet sizes, interarrival times, rates).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+from repro.net.packet import Packet
+from repro.net.path import NetworkPath, PathEndpoint
+from repro.sim.engine import EventLoop
+
+
+@dataclass(frozen=True)
+class TraceEntry:
+    """One captured packet arrival."""
+
+    at_s: float
+    flow_id: int
+    kind: str
+    seq: int
+    payload_bytes: int
+    wire_bytes: int
+    one_way_delay_s: float
+
+
+class PacketTrace:
+    """An ordered collection of captured packet arrivals."""
+
+    def __init__(self) -> None:
+        self._entries: list[TraceEntry] = []
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[TraceEntry]:
+        return iter(self._entries)
+
+    def append(self, entry: TraceEntry) -> None:
+        self._entries.append(entry)
+
+    def flows(self) -> list[int]:
+        """Distinct flow ids seen, in first-appearance order."""
+        seen: list[int] = []
+        for entry in self._entries:
+            if entry.flow_id not in seen:
+                seen.append(entry.flow_id)
+        return seen
+
+    def for_flow(self, flow_id: int) -> list[TraceEntry]:
+        """Entries of one flow, in arrival order."""
+        return [e for e in self._entries if e.flow_id == flow_id]
+
+    def by_kind(self, kind: str) -> list[TraceEntry]:
+        """Entries of one packet kind ('data', 'ack', 'control'...)."""
+        return [e for e in self._entries if e.kind == kind]
+
+    @property
+    def total_bytes(self) -> int:
+        """Wire bytes across the whole trace."""
+        return sum(e.wire_bytes for e in self._entries)
+
+    def span_s(self) -> float:
+        """Time from first to last captured packet."""
+        if len(self._entries) < 2:
+            return 0.0
+        return self._entries[-1].at_s - self._entries[0].at_s
+
+
+class PacketTraceLogger:
+    """Taps a path endpoint and records everything delivered there.
+
+    The tap wraps the endpoint's ``deliver`` so it sees packets for
+    every flow — including ones registered after the tap was armed —
+    without disturbing delivery.
+    """
+
+    def __init__(self, loop: EventLoop) -> None:
+        self._loop = loop
+        self.trace = PacketTrace()
+        self._installed: list[tuple[PathEndpoint, Callable]] = []
+
+    def attach(self, endpoint: PathEndpoint) -> None:
+        """Start capturing at an endpoint."""
+        original = endpoint.deliver
+
+        def tapped(packet: Packet) -> None:
+            self.trace.append(
+                TraceEntry(
+                    at_s=self._loop.now,
+                    flow_id=packet.flow_id,
+                    kind=packet.kind.value,
+                    seq=packet.seq,
+                    payload_bytes=packet.size,
+                    wire_bytes=packet.wire_size,
+                    one_way_delay_s=self._loop.now - packet.created_at,
+                )
+            )
+            original(packet)
+
+        endpoint.deliver = tapped  # type: ignore[method-assign]
+        self._installed.append((endpoint, original))
+
+    def attach_path(self, path: NetworkPath) -> None:
+        """Capture both directions of a path."""
+        self.attach(path.client_endpoint)
+        self.attach(path.server_endpoint)
+
+    def detach_all(self) -> None:
+        """Remove the taps (delivery continues untapped)."""
+        for endpoint, original in self._installed:
+            endpoint.deliver = original  # type: ignore[method-assign]
+        self._installed.clear()

@@ -1,0 +1,27 @@
+"""RealPlayer analog (S8).
+
+Reassembles frames from transport packets, buffers them, and plays
+them out with RealPlayer's documented behavior: an initial buffering
+phase, rebuffering halts of up to 20 seconds when the buffer empties,
+loss repair via FEC, and Scalable Video frame-rate thinning on
+underpowered PCs.
+"""
+
+from repro.player.buffer import PlayoutBuffer, Reassembler
+from repro.player.decoder import Decoder, DecoderProfile
+from repro.player.playout import PlaybackState, PlayoutConfig, PlayoutEngine
+from repro.player.stats import ClipStats
+from repro.player.realplayer import PlayerConfig, RealPlayer
+
+__all__ = [
+    "PlayoutBuffer",
+    "Reassembler",
+    "Decoder",
+    "DecoderProfile",
+    "PlaybackState",
+    "PlayoutConfig",
+    "PlayoutEngine",
+    "ClipStats",
+    "PlayerConfig",
+    "RealPlayer",
+]

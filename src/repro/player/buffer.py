@@ -1,0 +1,160 @@
+"""Frame reassembly and the playout buffer.
+
+Data packets arrive as frame fragments (plus FEC parity and audio
+chunks).  The :class:`Reassembler` rebuilds frames — a frame with
+``k`` fragments is complete once all ``k`` arrived, or once the
+missing ones are covered by received FEC parity packets — and hands
+complete frames to the :class:`PlayoutBuffer`, a media-time-ordered
+queue the playout engine drains.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.media.frames import Frame, MediaPacket
+from repro.media.packetizer import FecPacket
+from repro.server.session import AudioChunk
+
+
+@dataclass
+class _PartialFrame:
+    frame: Frame
+    parts_total: int
+    parts_received: set[int] = field(default_factory=set)
+    fec_received: int = 0
+
+    @property
+    def complete(self) -> bool:
+        missing = self.parts_total - len(self.parts_received)
+        return missing <= self.fec_received
+
+
+class Reassembler:
+    """Rebuilds frames from media/FEC packets; tracks byte counters."""
+
+    def __init__(self, on_frame: Callable[[Frame], None]) -> None:
+        self._on_frame = on_frame
+        self._partial: dict[int, _PartialFrame] = {}
+        self._done: set[int] = set()
+        self.bytes_received = 0
+        self.audio_bytes_received = 0
+        self.fec_packets_received = 0
+        self.frames_completed = 0
+        self.frames_repaired = 0
+        #: Frames abandoned as incomplete when playout passed them.
+        self.frames_expired_incomplete = 0
+
+    def on_payload(self, payload: object, size: int) -> None:
+        """Transport ``on_deliver`` hook: classify and account a payload."""
+        self.bytes_received += size
+        if isinstance(payload, MediaPacket):
+            self._on_media_packet(payload)
+        elif isinstance(payload, FecPacket):
+            self._on_fec_packet(payload)
+        elif isinstance(payload, AudioChunk):
+            self.audio_bytes_received += size
+        # EndOfStream and unknown payloads only count toward bandwidth.
+
+    def _entry_for(self, frame: Frame, parts_total: int) -> _PartialFrame | None:
+        if frame.index in self._done:
+            return None
+        entry = self._partial.get(frame.index)
+        if entry is None:
+            entry = _PartialFrame(frame=frame, parts_total=parts_total)
+            self._partial[frame.index] = entry
+        elif entry.parts_total == 0 and parts_total > 0:
+            # A FEC packet created the entry before any data fragment;
+            # the fragment count only travels on the media packets.
+            entry.parts_total = parts_total
+        return entry
+
+    def _on_media_packet(self, packet: MediaPacket) -> None:
+        entry = self._entry_for(packet.frame, packet.parts_total)
+        if entry is None:
+            return
+        entry.parts_received.add(packet.part_index)
+        self._maybe_complete(entry)
+
+    def _on_fec_packet(self, packet: FecPacket) -> None:
+        self.fec_packets_received += 1
+        entry = self._entry_for(packet.frame, 0)
+        if entry is None:
+            return
+        entry.fec_received += 1
+        self._maybe_complete(entry)
+
+    def _maybe_complete(self, entry: _PartialFrame) -> None:
+        if entry.parts_total == 0 or not entry.complete:
+            return
+        index = entry.frame.index
+        del self._partial[index]
+        self._done.add(index)
+        self.frames_completed += 1
+        if len(entry.parts_received) < entry.parts_total:
+            self.frames_repaired += 1
+        self._on_frame(entry.frame)
+
+    def expire_before(self, media_time: float) -> None:
+        """Drop partial frames playout has already passed."""
+        stale = [
+            idx
+            for idx, entry in self._partial.items()
+            if entry.frame.media_time < media_time
+        ]
+        for idx in stale:
+            del self._partial[idx]
+            self.frames_expired_incomplete += 1
+
+    @property
+    def pending_frames(self) -> int:
+        """Partially received frames still waiting for fragments."""
+        return len(self._partial)
+
+
+class PlayoutBuffer:
+    """Complete frames ordered by media time, drained by the engine."""
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, Frame]] = []
+        #: Newest media time ever buffered (monotone, survives pops).
+        self.newest_media_time = 0.0
+        self.frames_pushed = 0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._heap
+
+    def push(self, frame: Frame) -> None:
+        """Add a complete frame."""
+        heapq.heappush(self._heap, (frame.media_time, frame.index, frame))
+        self.frames_pushed += 1
+        if frame.media_time > self.newest_media_time:
+            self.newest_media_time = frame.media_time
+
+    def peek(self) -> Frame | None:
+        """Earliest buffered frame, or None."""
+        if not self._heap:
+            return None
+        return self._heap[0][2]
+
+    def pop(self) -> Frame:
+        """Remove and return the earliest buffered frame."""
+        return heapq.heappop(self._heap)[2]
+
+    def buffered_ahead_of(self, media_time: float) -> float:
+        """Media seconds buffered beyond ``media_time``."""
+        return max(0.0, self.newest_media_time - media_time)
+
+    def drop_before(self, media_time: float) -> int:
+        """Discard frames older than ``media_time``; returns the count."""
+        dropped = 0
+        while self._heap and self._heap[0][0] < media_time:
+            heapq.heappop(self._heap)
+            dropped += 1
+        return dropped

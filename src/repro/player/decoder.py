@@ -1,0 +1,102 @@
+"""Decoding under CPU constraints: Scalable Video Technology.
+
+"Most RealVideo streams are created with a Scalable Video Technology
+option that allows RealServer to automatically adjust the video stream
+according to the client's connection and computer processing speed ...
+If the clip is unable to play at the encoded frame rate on a client
+machine, it will gradually reduce the frame rate in a controlled
+fashion to maintain smooth video." (paper Section II.C)
+
+A :class:`DecoderProfile` captures a PC power class as a decode budget:
+how many reference-complexity frames per second the machine can decode.
+Decoding a higher-bit-rate stream costs more per frame, so the maximum
+sustainable frame rate falls as the stream rate rises — which is why
+the paper's oldest machines (Figure 19) struggled even when their
+network connection was fine.
+
+The :class:`Decoder` applies the thinning *evenly* (an accumulator
+spreads kept frames uniformly), maintaining smooth motion at a reduced
+rate rather than bursty drops — that is the "controlled fashion" the
+paper describes, and it is why CPU-limited playback reduces frame rate
+without inflating jitter.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.media.frames import Frame
+from repro.units import kbps
+
+
+@dataclass(frozen=True)
+class DecoderProfile:
+    """A PC power class seen by the decoder."""
+
+    name: str
+    #: Frames/second the machine decodes at reference complexity
+    #: (a 100 Kbps stream).
+    decode_budget_fps: float
+
+    def __post_init__(self) -> None:
+        if self.decode_budget_fps <= 0:
+            raise ValueError(
+                f"decode budget must be positive, got {self.decode_budget_fps}"
+            )
+
+    def max_frame_rate(self, stream_bps: float) -> float:
+        """Maximum sustainable display rate for a stream, fps.
+
+        Per-frame decode cost scales with the square root of the stream
+        rate (bigger frames, larger frame dimensions).
+        """
+        if stream_bps <= 0:
+            raise ValueError(f"stream rate must be positive, got {stream_bps}")
+        complexity = math.sqrt(stream_bps / kbps(100))
+        return self.decode_budget_fps / max(complexity, 1e-9)
+
+
+#: A machine fast enough never to limit playback (reference profile).
+UNCONSTRAINED_PROFILE = DecoderProfile("unconstrained", decode_budget_fps=1e9)
+
+
+class Decoder:
+    """Even-spaced frame-rate thinning plus CPU-utilization tracking."""
+
+    def __init__(self, profile: DecoderProfile) -> None:
+        self.profile = profile
+        self._keep_accumulator = 0.0
+        self.frames_offered = 0
+        self.frames_kept = 0
+        self.frames_thinned = 0
+        self._utilization_sum = 0.0
+        self._utilization_samples = 0
+
+    def admit(self, frame: Frame, stream_bps: float, encoded_fps: float) -> bool:
+        """Decide whether this frame is decoded and displayed.
+
+        ``encoded_fps`` is the encoder's instantaneous frame rate at
+        this point of the clip; when it exceeds what the CPU sustains,
+        frames are dropped with even spacing.
+        """
+        self.frames_offered += 1
+        max_fps = self.profile.max_frame_rate(stream_bps)
+        utilization = min(1.0, encoded_fps / max_fps) if max_fps > 0 else 1.0
+        self._utilization_sum += utilization
+        self._utilization_samples += 1
+        keep_ratio = min(1.0, max_fps / encoded_fps) if encoded_fps > 0 else 1.0
+        self._keep_accumulator += keep_ratio
+        if self._keep_accumulator >= 1.0:
+            self._keep_accumulator -= 1.0
+            self.frames_kept += 1
+            return True
+        self.frames_thinned += 1
+        return False
+
+    @property
+    def mean_cpu_utilization(self) -> float:
+        """Average decode-CPU utilization over the frames offered."""
+        if self._utilization_samples == 0:
+            return 0.0
+        return self._utilization_sum / self._utilization_samples

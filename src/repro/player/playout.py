@@ -1,0 +1,289 @@
+"""The playout engine: buffering, display scheduling, rebuffering.
+
+RealPlayer's documented playout behavior (paper Section II.B):
+
+* data is buffered before playout starts (Figure 1 shows ~13 s of
+  initial buffering on a healthy broadband path);
+* if the buffer empties, playback halts for up to 20 seconds while the
+  buffer refills;
+* frames are displayed on a media clock anchored at (re)start, so a
+  healthy buffer yields smooth playout even when arrival is bursty.
+
+The engine measures what RealTracer reports: displayed-frame times
+(frame rate and jitter), late and lost frames, stall counts/durations.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import PlayerError
+from repro.media.frames import Frame
+from repro.player.buffer import PlayoutBuffer
+from repro.player.decoder import Decoder
+from repro.player.stats import ClipStats
+from repro.sim.engine import PRIORITY_LOW, EventLoop
+from repro.units import REBUFFER_HALT_MAX_S
+
+
+class PlaybackState(enum.Enum):
+    """Lifecycle of one playback."""
+
+    IDLE = "idle"
+    BUFFERING = "buffering"
+    PLAYING = "playing"
+    REBUFFERING = "rebuffering"
+    FINISHED = "finished"
+    STOPPED = "stopped"
+
+
+@dataclass
+class PlayoutConfig:
+    """Player-side buffering policy."""
+
+    #: Media seconds buffered before initial playout starts.
+    prebuffer_media_s: float = 9.0
+    #: After waiting ``initial_buffer_cap_s``, start anyway with this much.
+    min_start_media_s: float = 2.0
+    #: Longest the player waits to reach the full prebuffer target.
+    initial_buffer_cap_s: float = 30.0
+    #: Media seconds required to resume after a rebuffer stall.
+    rebuffer_media_s: float = 5.0
+    #: Hard cap on one rebuffer halt (the paper's 20 seconds).
+    rebuffer_cap_s: float = REBUFFER_HALT_MAX_S
+    #: Frames more than this late on arrival are discarded.
+    late_tolerance_s: float = 0.02
+
+
+class PlayoutEngine:
+    """Drains the playout buffer onto the display clock."""
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        decoder: Decoder,
+        stats: ClipStats,
+        config: PlayoutConfig | None = None,
+        coded_info: Callable[[], tuple[float, float]] | None = None,
+        on_media_advance: Callable[[float], None] | None = None,
+    ) -> None:
+        self._loop = loop
+        self.buffer = PlayoutBuffer()
+        self._decoder = decoder
+        self._stats = stats
+        self.config = config if config is not None else PlayoutConfig()
+        # Returns (stream_bps, encoded_fps) of the level being served;
+        # the player wires this to its LevelSwitch tracking.
+        self._coded_info = coded_info if coded_info is not None else (
+            lambda: (300_000.0, 15.0)
+        )
+        # Called when the playout cursor advances, so the player can
+        # expire stale partial frames in the reassembler.
+        self._on_media_advance = on_media_advance
+
+        self.state = PlaybackState.IDLE
+        self._anchor: float | None = None
+        self._buffering_started: float | None = None
+        self._rebuffer_started: float | None = None
+        self._display_event = None
+        self._cap_event = None
+        self._eos_media_time: float | None = None
+
+    # -- clock ------------------------------------------------------------
+
+    def current_media_time(self) -> float:
+        """Media position of the playout clock (only while playing)."""
+        if self._anchor is None:
+            return 0.0
+        return self._loop.now - self._anchor
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def begin_buffering(self) -> None:
+        """Enter the initial buffering phase (PLAY accepted)."""
+        if self.state is not PlaybackState.IDLE:
+            raise PlayerError(f"cannot begin buffering from {self.state}")
+        self.state = PlaybackState.BUFFERING
+        self._buffering_started = self._loop.now
+        self._cap_event = self._loop.schedule(
+            self.config.initial_buffer_cap_s, self._initial_cap_elapsed
+        )
+
+    def mark_eos(self, final_media_time: float) -> None:
+        """The server announced the end of the stream."""
+        self._eos_media_time = final_media_time
+
+    def stop(self) -> None:
+        """Stop playback (tracer timeout or user stop)."""
+        if self.state in (PlaybackState.FINISHED, PlaybackState.STOPPED):
+            return
+        if (
+            self.state is PlaybackState.REBUFFERING
+            and self._rebuffer_started is not None
+        ):
+            self._stats.rebuffer_total_s += self._loop.now - self._rebuffer_started
+        self.state = PlaybackState.STOPPED
+        self._finalize()
+
+    def _finalize(self) -> None:
+        self._stats.stopped_at = self._loop.now
+        self._stats.cpu_utilization = self._decoder.mean_cpu_utilization
+        self._stats.frames_thinned = self._decoder.frames_thinned
+        if self._display_event is not None:
+            self._display_event.cancel()
+        if self._cap_event is not None:
+            self._cap_event.cancel()
+
+    # -- data arrival ---------------------------------------------------------
+
+    def on_frame_complete(self, frame: Frame) -> None:
+        """A frame finished reassembly."""
+        if self.state in (PlaybackState.FINISHED, PlaybackState.STOPPED):
+            return
+        if (
+            self.state is PlaybackState.PLAYING
+            and frame.media_time
+            < self.current_media_time() - self.config.late_tolerance_s
+        ):
+            self._stats.frames_late += 1
+            return
+        self.buffer.push(frame)
+        if self.state is PlaybackState.BUFFERING:
+            self._maybe_start()
+        elif self.state is PlaybackState.REBUFFERING:
+            self._maybe_resume(cap_reached=False)
+        elif self.state is PlaybackState.PLAYING:
+            self._reschedule_if_earlier(frame)
+
+    # -- initial buffering ------------------------------------------------------
+
+    def _buffered_span(self) -> float:
+        head = self.buffer.peek()
+        if head is None:
+            return 0.0
+        return self.buffer.newest_media_time - head.media_time
+
+    def _maybe_start(self) -> None:
+        if self._buffered_span() >= self.config.prebuffer_media_s:
+            self._start_playout()
+
+    def _initial_cap_elapsed(self) -> None:
+        if self.state is not PlaybackState.BUFFERING:
+            return
+        if self._buffered_span() >= self.config.min_start_media_s:
+            self._start_playout()
+        else:
+            # Keep waiting; re-check on a short period until data shows.
+            self._cap_event = self._loop.schedule(2.0, self._initial_cap_elapsed)
+
+    def _start_playout(self) -> None:
+        head = self.buffer.peek()
+        assert head is not None
+        if self._cap_event is not None:
+            self._cap_event.cancel()
+            self._cap_event = None
+        now = self._loop.now
+        self._anchor = now - head.media_time
+        self.state = PlaybackState.PLAYING
+        self._stats.playout_started_at = now
+        assert self._buffering_started is not None
+        self._stats.initial_buffering_s = now - self._buffering_started
+        self._schedule_next_display()
+
+    # -- display loop -----------------------------------------------------------
+
+    def _display_time_of(self, frame: Frame) -> float:
+        assert self._anchor is not None
+        return self._anchor + frame.media_time
+
+    def _schedule_next_display(self) -> None:
+        if self._display_event is not None:
+            self._display_event.cancel()
+            self._display_event = None
+        head = self.buffer.peek()
+        if head is None:
+            self._handle_buffer_empty()
+            return
+        due = max(self._loop.now, self._display_time_of(head))
+        self._display_event = self._loop.schedule_at(
+            due, self._display_due, priority=PRIORITY_LOW
+        )
+
+    def _reschedule_if_earlier(self, frame: Frame) -> None:
+        head = self.buffer.peek()
+        if head is None or head.index != frame.index:
+            return
+        # The new frame became the head: the pending display event (if
+        # any) targets a later frame, so reschedule.
+        self._schedule_next_display()
+
+    def _display_due(self) -> None:
+        self._display_event = None
+        if self.state is not PlaybackState.PLAYING:
+            return
+        now = self._loop.now
+        displayed_any = False
+        while True:
+            head = self.buffer.peek()
+            if head is None:
+                break
+            if self._display_time_of(head) > now + 1e-9:
+                break
+            frame = self.buffer.pop()
+            stream_bps, encoded_fps = self._coded_info()
+            if self._decoder.admit(frame, stream_bps, encoded_fps):
+                self._stats.frame_times.append(now)
+                displayed_any = True
+        if displayed_any and self._on_media_advance is not None:
+            self._on_media_advance(self.current_media_time())
+        self._schedule_next_display()
+
+    # -- rebuffering -----------------------------------------------------------
+
+    def _handle_buffer_empty(self) -> None:
+        if (
+            self._eos_media_time is not None
+            and self.current_media_time() >= self._eos_media_time - 0.5
+        ):
+            self.state = PlaybackState.FINISHED
+            self._finalize()
+            return
+        self.state = PlaybackState.REBUFFERING
+        self._rebuffer_started = self._loop.now
+        self._stats.rebuffer_count += 1
+        self._cap_event = self._loop.schedule(
+            self.config.rebuffer_cap_s, self._rebuffer_cap_elapsed
+        )
+
+    def _maybe_resume(self, cap_reached: bool) -> None:
+        head = self.buffer.peek()
+        if head is None:
+            return
+        if not cap_reached and self._buffered_span() < self.config.rebuffer_media_s:
+            return
+        assert self._rebuffer_started is not None
+        self._stats.rebuffer_total_s += self._loop.now - self._rebuffer_started
+        self._rebuffer_started = None
+        if self._cap_event is not None:
+            self._cap_event.cancel()
+            self._cap_event = None
+        # Re-anchor the clock so the head frame plays immediately.
+        self._anchor = self._loop.now - head.media_time
+        self.state = PlaybackState.PLAYING
+        self._schedule_next_display()
+
+    def _rebuffer_cap_elapsed(self) -> None:
+        if self.state is not PlaybackState.REBUFFERING:
+            return
+        self._cap_event = None
+        if self.buffer.is_empty:
+            # Nothing arrived during the whole halt; resume the moment
+            # anything does (handled in on_frame_complete via the cap
+            # already having passed).
+            self._cap_event = self._loop.schedule(
+                2.0, self._rebuffer_cap_elapsed
+            )
+            return
+        self._maybe_resume(cap_reached=True)

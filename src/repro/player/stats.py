@@ -1,0 +1,139 @@
+"""Per-clip playback statistics, as RealTracer gathers them.
+
+"While the video is playing, RealTracer gathers system statistics:
+encoded bandwidth, measured bandwidth, transport protocol, encoded
+frame rate, measured frame rate, playout jitter, frames dropped and
+CPU utilization." (paper Section III.A)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class BandwidthSample:
+    """One per-second sample for Figure 1-style timelines."""
+
+    at_s: float
+    bandwidth_bps: float
+    frame_rate_fps: float
+    coded_bandwidth_bps: float
+    coded_frame_rate_fps: float
+
+
+@dataclass
+class ClipStats:
+    """Everything measured while one clip played."""
+
+    #: Wall time the RTSP exchange began.
+    started_at: float = 0.0
+    #: Wall time the first frame was displayed (None: never played).
+    playout_started_at: float | None = None
+    #: Wall time playback ended (teardown or clip end).
+    stopped_at: float | None = None
+
+    #: Display timestamps of every rendered frame (wall clock).
+    frame_times: list[float] = field(default_factory=list)
+    #: Frames that arrived after playout had passed them.
+    frames_late: int = 0
+    #: Frames dropped by CPU thinning (Scalable Video).
+    frames_thinned: int = 0
+    #: Frames abandoned incomplete (fragments lost, not repaired).
+    frames_lost: int = 0
+
+    #: Total media-channel bytes received (video + audio + FEC).
+    bytes_received: int = 0
+
+    #: Rebuffering events and total stall time after playout started.
+    rebuffer_count: int = 0
+    rebuffer_total_s: float = 0.0
+    #: Initial buffering duration (PLAY to first frame).
+    initial_buffering_s: float | None = None
+
+    #: Encoded (coded) properties of the stream actually served, as a
+    #: time series of level switches: (wall_time, total_bps, fps).
+    coded_history: list[tuple[float, float, float]] = field(default_factory=list)
+
+    #: Mean decode CPU utilization.
+    cpu_utilization: float = 0.0
+
+    #: One-second samples for timeline figures.
+    samples: list[BandwidthSample] = field(default_factory=list)
+
+    # -- derived metrics ----------------------------------------------------
+
+    @property
+    def frames_displayed(self) -> int:
+        return len(self.frame_times)
+
+    @property
+    def play_span_s(self) -> float:
+        """Wall-clock span from first display to stop (0 if no playout)."""
+        if self.playout_started_at is None or self.stopped_at is None:
+            return 0.0
+        return max(0.0, self.stopped_at - self.playout_started_at)
+
+    def mean_frame_rate(self) -> float:
+        """Average displayed frames per second over the playout span.
+
+        Includes rebuffer stalls, matching what the paper's frame-rate
+        CDFs show: a clip that spent half its minute stalled averages
+        half its instantaneous rate.
+        """
+        span = self.play_span_s
+        if span <= 0.0:
+            return 0.0
+        return self.frames_displayed / span
+
+    def jitter_s(self) -> float:
+        """Standard deviation of inter-frame display times (seconds).
+
+        This is the paper's jitter measure (Section V): "the standard
+        deviation of the inter-frame playout time over an entire video
+        clip".  Rebuffer stalls land in the gaps and inflate it.
+        """
+        if len(self.frame_times) < 3:
+            return 0.0
+        gaps = np.diff(np.asarray(self.frame_times))
+        return float(np.std(gaps))
+
+    def mean_bandwidth_bps(self) -> float:
+        """Average received bandwidth from session start to stop."""
+        if self.stopped_at is None:
+            return 0.0
+        span = self.stopped_at - self.started_at
+        if span <= 0.0:
+            return 0.0
+        return self.bytes_received * 8.0 / span
+
+    def coded_bandwidth_bps(self) -> float:
+        """Time-weighted average encoded bandwidth served."""
+        return self._coded_average(value_index=1)
+
+    def coded_frame_rate(self) -> float:
+        """Time-weighted average encoded frame rate served."""
+        return self._coded_average(value_index=2)
+
+    def _coded_average(self, value_index: int) -> float:
+        if not self.coded_history or self.stopped_at is None:
+            return 0.0
+        total = 0.0
+        weighted = 0.0
+        for i, entry in enumerate(self.coded_history):
+            start = entry[0]
+            end = (
+                self.coded_history[i + 1][0]
+                if i + 1 < len(self.coded_history)
+                else self.stopped_at
+            )
+            span = max(0.0, end - start)
+            total += span
+            weighted += span * entry[value_index]
+        if total <= 0.0:
+            # Playback never spanned a measurable interval; fall back
+            # to the last announced level.
+            return self.coded_history[-1][value_index]
+        return weighted / total

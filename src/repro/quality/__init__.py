@@ -1,0 +1,6 @@
+"""Perceptual quality (S11): objective quality and user ratings."""
+
+from repro.quality.perception import PerceptionModel, PerceptionWeights
+from repro.quality.rating import RatingBehavior
+
+__all__ = ["PerceptionModel", "PerceptionWeights", "RatingBehavior"]

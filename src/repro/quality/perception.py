@@ -1,0 +1,79 @@
+"""Objective perceptual quality from system measurements.
+
+Grounded in the paper's own prior work: frame rate drives perceived
+smoothness with diminishing returns above ~15 fps (Section V's key
+rates), and jitter degrades perceived quality "nearly as much as does
+frame loss" [CT99].  Rebuffering stalls are the third, dominant
+annoyance.  The model maps a playback's measurements to a [0, 1]
+objective quality score; the rating behavior model turns that into a
+per-user 0-10 rating.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.player.stats import ClipStats
+from repro.units import FPS_SMOOTH, to_ms
+
+
+@dataclass(frozen=True)
+class PerceptionWeights:
+    """Relative importance of the quality components."""
+
+    frame_rate: float = 0.60
+    jitter: float = 0.20
+    stalls: float = 0.20
+    #: Jitter (ms) at which the jitter component has dropped to 1/e.
+    jitter_decay_ms: float = 350.0
+    #: Total stall seconds at which the stall component drops to 1/e.
+    stall_decay_s: float = 8.0
+    #: Additional per-stall-event annoyance (each halt is jarring).
+    stall_event_penalty: float = 0.4
+    #: Exponent steepening the frame-rate penalty at low rates: a
+    #: 5 fps slideshow is much worse than a third of a 15 fps clip
+    #: (the paper calls sub-7 fps "very choppy").
+    frame_rate_exponent: float = 1.6
+
+    def __post_init__(self) -> None:
+        total = self.frame_rate + self.jitter + self.stalls
+        if not math.isclose(total, 1.0, rel_tol=1e-6):
+            raise ValueError(f"weights must sum to 1, got {total}")
+
+
+class PerceptionModel:
+    """Maps playback statistics to objective quality in [0, 1]."""
+
+    def __init__(self, weights: PerceptionWeights | None = None) -> None:
+        self.weights = weights if weights is not None else PerceptionWeights()
+
+    def frame_rate_component(self, fps: float) -> float:
+        """Smoothness from frame rate: 0 at 0 fps, 1 at 15+ fps."""
+        if fps <= 0:
+            return 0.0
+        ratio = min(1.0, fps / FPS_SMOOTH)
+        return float(ratio ** self.weights.frame_rate_exponent)
+
+    def jitter_component(self, jitter_s: float) -> float:
+        """Smoothness from (lack of) playout jitter."""
+        return math.exp(-to_ms(jitter_s) / self.weights.jitter_decay_ms)
+
+    def stall_component(self, rebuffer_total_s: float, rebuffer_count: int = 0) -> float:
+        """Annoyance-free fraction from (lack of) stalls."""
+        return math.exp(
+            -rebuffer_total_s / self.weights.stall_decay_s
+            - self.weights.stall_event_penalty * rebuffer_count
+        )
+
+    def score(self, stats: ClipStats) -> float:
+        """Objective quality of one playback."""
+        if stats.playout_started_at is None or stats.frames_displayed == 0:
+            return 0.0
+        w = self.weights
+        return (
+            w.frame_rate * self.frame_rate_component(stats.mean_frame_rate())
+            + w.jitter * self.jitter_component(stats.jitter_s())
+            + w.stalls
+            * self.stall_component(stats.rebuffer_total_s, stats.rebuffer_count)
+        )

@@ -1,0 +1,59 @@
+"""User rating behavior.
+
+The paper's own conclusion about its ratings (Section V.C) defines
+this model: ratings look uniform with mean ~5 because users
+"normalize" — each applies a personal anchor and scale; many were
+unsure whether to rate video alone or audio+video (audio survives low
+bandwidth, pulling those ratings up); subject-matter taste adds noise.
+The result is weak *global* correlation between ratings and system
+metrics, no low ratings at high bandwidth, and a slight upward trend
+— exactly Figure 28.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.player.stats import ClipStats
+from repro.quality.perception import PerceptionModel
+from repro.units import RATING_MAX, RATING_MIN
+from repro.world.users import UserProfile
+
+#: Standard deviation of taste/mood noise on a single rating.
+RATING_NOISE_SD = 1.3
+
+#: How much a confused (audio+video) rater credits surviving audio on
+#: an otherwise poor playback.
+AUDIO_CONFUSION_BONUS = 1.6
+
+
+class RatingBehavior:
+    """Produces a user's 0-10 rating for a watched clip."""
+
+    def __init__(self, perception: PerceptionModel | None = None) -> None:
+        self._perception = perception if perception is not None else PerceptionModel()
+
+    def objective_score(self, stats: ClipStats) -> float:
+        """The underlying objective quality (exposed for analysis)."""
+        return self._perception.score(stats)
+
+    def rate(
+        self,
+        user: UserProfile,
+        stats: ClipStats,
+        rng: np.random.Generator,
+    ) -> int:
+        """One rating, as the user would have typed it into RealTracer."""
+        quality = self._perception.score(stats)
+        rating = user.rating_anchor + user.rating_gain * (quality - 0.5)
+        if user.rates_audio_too and stats.bytes_received > 0:
+            # Audio takes its bandwidth share first, so it survives
+            # even when the video is a slideshow; raters judging
+            # audio+video credit that.
+            rating += AUDIO_CONFUSION_BONUS * (1.0 - quality) * 0.5
+        rating += float(rng.normal(0.0, RATING_NOISE_SD))
+        if quality > 0.65:
+            # Figure 28's visible structure: nobody zeroes a clip that
+            # actually played well, whatever their personal anchor.
+            rating = max(rating, 3.0)
+        return int(np.clip(round(rating), RATING_MIN, RATING_MAX))

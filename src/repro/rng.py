@@ -1,0 +1,79 @@
+"""Deterministic random-number management.
+
+Every stochastic component in the library takes an explicit
+:class:`numpy.random.Generator`.  A study run owns a single root
+:class:`RngFactory` seeded by the user; the factory hands out
+independent, reproducible child generators keyed by a label, so that any
+single playback can be re-simulated in isolation given only the root
+seed and the label path.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable
+
+import numpy as np
+
+
+def generator_from_seed(seed: int | None) -> np.random.Generator:
+    """Create a generator from an integer seed (or entropy if ``None``)."""
+    return np.random.default_rng(seed)
+
+
+def _label_entropy(label: str) -> int:
+    """Map an arbitrary string label to a stable 128-bit integer."""
+    digest = hashlib.sha256(label.encode("utf-8")).digest()
+    return int.from_bytes(digest[:16], "big")
+
+
+class RngFactory:
+    """Hands out independent child generators keyed by string labels.
+
+    Two factories built from the same seed produce identical child
+    streams for identical labels, and child streams for distinct labels
+    are statistically independent.  This is the property the study
+    orchestrator relies on: playback ``(user 17, clip 42)`` sees the same
+    network weather no matter which other playbacks ran before it.
+    """
+
+    def __init__(self, seed: int | None) -> None:
+        self._seed = seed
+        self._root = np.random.SeedSequence(seed)
+
+    @property
+    def seed(self) -> int | None:
+        """The root seed this factory was built from."""
+        return self._seed
+
+    def child(self, *labels: str) -> np.random.Generator:
+        """Return a generator unique to the given label path."""
+        if not labels:
+            raise ValueError("at least one label is required")
+        entropy = [_label_entropy(label) for label in labels]
+        seq = np.random.SeedSequence(
+            entropy=self._root.entropy, spawn_key=tuple(entropy)
+        )
+        return np.random.default_rng(seq)
+
+    def children(self, labels: Iterable[str]) -> dict[str, np.random.Generator]:
+        """Return a dict of child generators, one per label."""
+        return {label: self.child(label) for label in labels}
+
+
+def pick_weighted(
+    rng: np.random.Generator, items: list, weights: list[float]
+):
+    """Pick one item with the given (not necessarily normalized) weights."""
+    if len(items) != len(weights):
+        raise ValueError(
+            f"items ({len(items)}) and weights ({len(weights)}) differ in length"
+        )
+    if not items:
+        raise ValueError("cannot pick from an empty sequence")
+    total = float(sum(weights))
+    if total <= 0:
+        raise ValueError("weights must sum to a positive value")
+    probabilities = np.asarray(weights, dtype=float) / total
+    index = int(rng.choice(len(items), p=probabilities))
+    return items[index]

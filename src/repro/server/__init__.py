@@ -1,0 +1,30 @@
+"""RealServer analog (S7).
+
+An RTSP-like control plane (clip lookup, transport negotiation,
+play/teardown), a per-request clip-availability model, and the
+streaming session that paces media packets and adapts the SureStream
+level to congestion.
+"""
+
+from repro.server.availability import AvailabilityModel
+from repro.server.rtsp import (
+    ControlChannel,
+    RtspMethod,
+    RtspRequest,
+    RtspResponse,
+    RtspStatus,
+)
+from repro.server.session import SessionConfig, StreamingSession
+from repro.server.realserver import RealServer
+
+__all__ = [
+    "AvailabilityModel",
+    "ControlChannel",
+    "RtspMethod",
+    "RtspRequest",
+    "RtspResponse",
+    "RtspStatus",
+    "SessionConfig",
+    "StreamingSession",
+    "RealServer",
+]

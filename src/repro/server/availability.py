@@ -1,0 +1,42 @@
+"""Clip availability.
+
+"A surprising number of video clips in our playlist could not be
+accessed for short periods of time ... on average about 10% of the
+time a video clip was unavailable" (paper Section IV, Figure 10).
+Often other clips on the same server still worked, so this models
+*clip* availability, not server availability: each request to a clip
+independently fails with the hosting server's unavailability rate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class AvailabilityModel:
+    """Per-request clip availability for one server."""
+
+    def __init__(self, unavailable_fraction: float) -> None:
+        if not 0.0 <= unavailable_fraction < 1.0:
+            raise ValueError(
+                f"unavailable_fraction must be in [0, 1), got "
+                f"{unavailable_fraction}"
+            )
+        self.unavailable_fraction = unavailable_fraction
+        self.requests = 0
+        self.failures = 0
+
+    def is_available(self, rng: np.random.Generator) -> bool:
+        """Sample one request; returns False when the clip is down."""
+        self.requests += 1
+        if rng.random() < self.unavailable_fraction:
+            self.failures += 1
+            return False
+        return True
+
+    @property
+    def observed_unavailable_fraction(self) -> float:
+        """Empirical failure fraction over the requests seen so far."""
+        if self.requests == 0:
+            return 0.0
+        return self.failures / self.requests

@@ -1,0 +1,187 @@
+"""The RealServer analog: hosts clips, answers RTSP, spawns sessions.
+
+One :class:`RealServer` instance represents a site from the study
+(e.g. ``US/CNN``).  A client connects by opening a
+:class:`~repro.server.rtsp.ControlChannel` over its path and calling
+:meth:`RealServer.attach`; the returned :class:`ServerConnection`
+services that client's DESCRIBE / SETUP / PLAY / TEARDOWN requests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import RtspError
+from repro.media.clip import VideoClip
+from repro.net.path import NetworkPath
+from repro.server.availability import AvailabilityModel
+from repro.server.rtsp import (
+    ControlChannel,
+    RtspMethod,
+    RtspRequest,
+    RtspResponse,
+    RtspStatus,
+)
+from repro.server.session import SessionConfig, StreamingSession
+from repro.sim.engine import EventLoop
+
+#: Bounds on the simulated per-request server processing delay, seconds.
+MIN_PROCESSING_S = 0.01
+MAX_PROCESSING_S = 0.05
+
+
+@dataclass(frozen=True)
+class ClipDescription:
+    """DESCRIBE response body: what the player learns about a clip."""
+
+    url: str
+    title: str
+    duration_s: float
+    encoded_bps: float
+    encoded_frame_rate: float
+    levels: int
+
+
+class RealServer:
+    """A clip-hosting server."""
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        name: str,
+        clips: dict[str, VideoClip],
+        availability: AvailabilityModel,
+        rng: np.random.Generator,
+        session_config: SessionConfig | None = None,
+    ) -> None:
+        if not clips:
+            raise ValueError(f"server {name!r} must host at least one clip")
+        self._loop = loop
+        self.name = name
+        self.clips = dict(clips)
+        self.availability = availability
+        self._rng = rng
+        self.session_config = (
+            session_config if session_config is not None else SessionConfig()
+        )
+        self.sessions_started = 0
+        self.describe_failures = 0
+
+    def attach(self, channel: ControlChannel, path: NetworkPath) -> "ServerConnection":
+        """Bind a client's control channel to this server."""
+        return ServerConnection(self._loop, self, channel, path, self._rng)
+
+    def lookup(self, clip_url: str) -> VideoClip | None:
+        """Find a hosted clip by URL."""
+        return self.clips.get(clip_url)
+
+
+class ServerConnection:
+    """Server-side state for one connected client."""
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        server: RealServer,
+        channel: ControlChannel,
+        path: NetworkPath,
+        rng: np.random.Generator,
+    ) -> None:
+        self._loop = loop
+        self._server = server
+        self._channel = channel
+        self._path = path
+        self._rng = rng
+        self.session: StreamingSession | None = None
+        self._clip: VideoClip | None = None
+        self._last_response_sent_at: float | None = None
+        self._rtt_estimate_s = 0.2
+        channel.on_server_receive = self._on_request
+
+    @property
+    def rtt_estimate_s(self) -> float:
+        """The server's RTT estimate from control-plane timing."""
+        return self._rtt_estimate_s
+
+    def _on_request(self, message: object) -> None:
+        if not isinstance(message, RtspRequest):
+            raise RtspError(f"unexpected control message: {message!r}")
+        if self._last_response_sent_at is not None:
+            sample = self._loop.now - self._last_response_sent_at
+            # Smooth over successive request/response pairs.
+            self._rtt_estimate_s = 0.5 * self._rtt_estimate_s + 0.5 * sample
+        processing = float(self._rng.uniform(MIN_PROCESSING_S, MAX_PROCESSING_S))
+        self._loop.schedule(processing, lambda m=message: self._handle(m))
+
+    def _handle(self, request: RtspRequest) -> None:
+        if request.method is RtspMethod.DESCRIBE:
+            self._respond(self._handle_describe(request))
+        elif request.method is RtspMethod.SETUP:
+            self._respond(self._handle_setup(request))
+        elif request.method is RtspMethod.PLAY:
+            self._respond(self._handle_play(request))
+        elif request.method is RtspMethod.TEARDOWN:
+            self._respond(self._handle_teardown(request))
+
+    def _respond(self, response: RtspResponse) -> None:
+        self._last_response_sent_at = self._loop.now
+        self._channel.send_from_server(response)
+
+    def _handle_describe(self, request: RtspRequest) -> RtspResponse:
+        clip = self._server.lookup(request.clip_url)
+        if clip is None or not self._server.availability.is_available(self._rng):
+            self._server.describe_failures += 1
+            return RtspResponse(RtspMethod.DESCRIBE, RtspStatus.NOT_FOUND)
+        self._clip = clip
+        description = ClipDescription(
+            url=clip.url,
+            title=clip.title,
+            duration_s=clip.duration_s,
+            encoded_bps=clip.ladder.highest.total_bps,
+            encoded_frame_rate=clip.ladder.highest.frame_rate,
+            levels=len(clip.ladder),
+        )
+        return RtspResponse(RtspMethod.DESCRIBE, RtspStatus.OK, body=description)
+
+    def _handle_setup(self, request: RtspRequest) -> RtspResponse:
+        if self._clip is None:
+            return RtspResponse(RtspMethod.SETUP, RtspStatus.NOT_FOUND)
+        if request.transport is None or request.client_max_bps is None:
+            return RtspResponse(
+                RtspMethod.SETUP, RtspStatus.UNSUPPORTED_TRANSPORT
+            )
+        if self.session is not None:
+            # Client renegotiated (e.g. UDP probe failed): tear down the
+            # previous data channel before building the new one.
+            self.session.stop()
+        self.session = StreamingSession(
+            loop=self._loop,
+            path=self._path,
+            clip=self._clip,
+            protocol=request.transport,
+            client_max_bps=request.client_max_bps,
+            rtt_estimate_s=self._rtt_estimate_s,
+            rng=self._rng,
+            config=self._server.session_config,
+            notify_control=self._channel.send_from_server,
+        )
+        return RtspResponse(
+            RtspMethod.SETUP,
+            RtspStatus.OK,
+            body=self.session,
+            transport=request.transport,
+        )
+
+    def _handle_play(self, request: RtspRequest) -> RtspResponse:
+        if self.session is None:
+            return RtspResponse(RtspMethod.PLAY, RtspStatus.NOT_FOUND)
+        self._server.sessions_started += 1
+        self.session.start()
+        return RtspResponse(RtspMethod.PLAY, RtspStatus.OK)
+
+    def _handle_teardown(self, request: RtspRequest) -> RtspResponse:
+        if self.session is not None:
+            self.session.stop()
+        return RtspResponse(RtspMethod.TEARDOWN, RtspStatus.OK)

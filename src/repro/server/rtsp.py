@@ -1,0 +1,252 @@
+"""RTSP-like control plane.
+
+RealServer keeps two connections per client: a control connection for
+requests, clip metadata and player commands, and a data connection for
+the media itself (paper Section II.A).  This module provides
+
+* :class:`ControlChannel` -- a reliable bidirectional message channel
+  (stop-and-wait with retransmission) over the simulated path,
+  standing in for the two-way TCP control connection, and
+* the RTSP message vocabulary the client and server exchange:
+  DESCRIBE (clip lookup), SETUP (transport negotiation), PLAY,
+  TEARDOWN.
+
+Only the externally observable properties matter for the study:
+handshake round trips delay playout start, a DESCRIBE can fail with
+NOT_FOUND (Figure 10's unavailable clips), and SETUP decides whether
+the data channel runs over UDP or TCP (Figure 16's protocol mix).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.net.packet import Packet, PacketKind
+from repro.net.path import NetworkPath
+from repro.sim.engine import EventLoop, Timer
+from repro.transport.base import Protocol, allocate_flow_id
+
+#: Control message payload size on the wire, bytes (typical RTSP text).
+CONTROL_MESSAGE_BYTES = 300
+
+#: Stop-and-wait retransmission timeout, seconds.
+CONTROL_RTO_S = 1.5
+
+#: Give up after this many transmissions of one message.
+CONTROL_MAX_TRIES = 8
+
+
+class RtspMethod(enum.Enum):
+    """Client-to-server request methods."""
+
+    DESCRIBE = "DESCRIBE"
+    SETUP = "SETUP"
+    PLAY = "PLAY"
+    TEARDOWN = "TEARDOWN"
+
+
+class RtspStatus(enum.Enum):
+    """Server response statuses."""
+
+    OK = 200
+    NOT_FOUND = 404
+    UNSUPPORTED_TRANSPORT = 461
+
+
+@dataclass(frozen=True)
+class RtspRequest:
+    """A client request."""
+
+    method: RtspMethod
+    clip_url: str
+    #: For SETUP: the transport the client proposes.
+    transport: Protocol | None = None
+    #: For SETUP: the client's configured maximum bit rate, bits/s.
+    client_max_bps: float | None = None
+
+
+@dataclass(frozen=True)
+class RtspResponse:
+    """A server response."""
+
+    method: RtspMethod
+    status: RtspStatus
+    #: For DESCRIBE OK: clip metadata the player shows/uses.
+    body: Any = None
+    #: For SETUP OK: the transport the server accepted.
+    transport: Protocol | None = None
+
+
+@dataclass
+class _PendingMessage:
+    seq: int
+    message: Any
+    tries: int = 0
+
+
+class _ReliableHalf:
+    """One direction of the control channel: stop-and-wait sender."""
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        flow_id: int,
+        transmit: Callable[[Packet], None],
+        name: str,
+    ) -> None:
+        self._loop = loop
+        self._flow_id = flow_id
+        self._transmit = transmit
+        self._name = name
+        self._queue: list[_PendingMessage] = []
+        self._next_seq = 0
+        self._awaiting_ack: _PendingMessage | None = None
+        self._timer = Timer(loop, self._on_timeout)
+        self.failed = False
+        self.on_give_up: Callable[[], None] | None = None
+
+    def send(self, message: Any) -> None:
+        pending = _PendingMessage(seq=self._next_seq, message=message)
+        self._next_seq += 1
+        self._queue.append(pending)
+        self._pump()
+
+    def _pump(self) -> None:
+        if self.failed or self._awaiting_ack is not None or not self._queue:
+            return
+        self._awaiting_ack = self._queue.pop(0)
+        self._send_current()
+
+    def _send_current(self) -> None:
+        assert self._awaiting_ack is not None
+        self._awaiting_ack.tries += 1
+        packet = Packet(
+            kind=PacketKind.CONTROL,
+            size=CONTROL_MESSAGE_BYTES,
+            flow_id=self._flow_id,
+            seq=self._awaiting_ack.seq,
+            payload=self._awaiting_ack.message,
+        )
+        self._transmit(packet)
+        self._timer.start(CONTROL_RTO_S)
+
+    def handle_ack(self, seq: int) -> None:
+        if self._awaiting_ack is not None and self._awaiting_ack.seq == seq:
+            self._awaiting_ack = None
+            self._timer.cancel()
+            self._pump()
+
+    def _on_timeout(self) -> None:
+        if self._awaiting_ack is None:
+            return
+        if self._awaiting_ack.tries >= CONTROL_MAX_TRIES:
+            self.failed = True
+            self._awaiting_ack = None
+            self._queue.clear()
+            if self.on_give_up is not None:
+                self.on_give_up()
+            return
+        self._send_current()
+
+    def close(self) -> None:
+        self._timer.cancel()
+        self._queue.clear()
+        self._awaiting_ack = None
+
+
+@dataclass
+class _ControlAck:
+    """Payload marker distinguishing acks from messages."""
+
+    seq: int
+
+
+class ControlChannel:
+    """Reliable bidirectional message channel between player and server.
+
+    Messages are delivered in order within each direction.  Both ends
+    attach ``on_*_receive`` callbacks; the channel handles acking and
+    retransmission underneath.
+    """
+
+    def __init__(self, loop: EventLoop, path: NetworkPath) -> None:
+        self._loop = loop
+        self._path = path
+        self.flow_id = allocate_flow_id()
+        self._closed = False
+        self.on_server_receive: Callable[[Any], None] | None = None
+        self.on_client_receive: Callable[[Any], None] | None = None
+
+        self._client_half = _ReliableHalf(
+            loop, self.flow_id, path.send_to_server, "client->server"
+        )
+        self._server_half = _ReliableHalf(
+            loop, self.flow_id, path.send_to_client, "server->client"
+        )
+        self._server_expected_seq = 0
+        self._client_expected_seq = 0
+        path.server_endpoint.register(self.flow_id, self._at_server)
+        path.client_endpoint.register(self.flow_id, self._at_client)
+
+    @property
+    def failed(self) -> bool:
+        """True when either direction gave up retransmitting."""
+        return self._client_half.failed or self._server_half.failed
+
+    def send_from_client(self, message: Any) -> None:
+        """Client-to-server control message (requests, commands)."""
+        self._client_half.send(message)
+
+    def send_from_server(self, message: Any) -> None:
+        """Server-to-client control message (responses, clip info)."""
+        self._server_half.send(message)
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._client_half.close()
+        self._server_half.close()
+        self._path.server_endpoint.unregister(self.flow_id)
+        self._path.client_endpoint.unregister(self.flow_id)
+
+    # -- packet arrival ---------------------------------------------------
+
+    def _at_server(self, packet: Packet) -> None:
+        if self._closed or packet.kind is not PacketKind.CONTROL:
+            return
+        if isinstance(packet.payload, _ControlAck):
+            self._server_half.handle_ack(packet.payload.seq)
+            return
+        # Data message from the client: ack it, deliver once, in order.
+        ack = Packet(
+            kind=PacketKind.CONTROL,
+            size=40,
+            flow_id=self.flow_id,
+            payload=_ControlAck(packet.seq),
+        )
+        self._path.send_to_client(ack)
+        if packet.seq == self._server_expected_seq:
+            self._server_expected_seq += 1
+            if self.on_server_receive is not None:
+                self.on_server_receive(packet.payload)
+
+    def _at_client(self, packet: Packet) -> None:
+        if self._closed or packet.kind is not PacketKind.CONTROL:
+            return
+        if isinstance(packet.payload, _ControlAck):
+            self._client_half.handle_ack(packet.payload.seq)
+            return
+        ack = Packet(
+            kind=PacketKind.CONTROL,
+            size=40,
+            flow_id=self.flow_id,
+            payload=_ControlAck(packet.seq),
+        )
+        self._path.send_to_server(ack)
+        if packet.seq == self._client_expected_seq:
+            self._client_expected_seq += 1
+            if self.on_client_receive is not None:
+                self.on_client_receive(packet.payload)

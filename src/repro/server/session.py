@@ -1,0 +1,437 @@
+"""The server-side streaming session.
+
+Implements RealServer's documented streaming behavior:
+
+* **Pacing with an initial burst.**  The server streams media slightly
+  faster than real time until it has built a playout lead
+  (``buffer_ahead_s`` media seconds), then settles to real time while
+  keeping that lead.  This is what produces the initial buffering phase
+  visible in the paper's Figure 1.
+* **SureStream switching** (Section II.C): the served level can change
+  mid-playout — down when congestion is detected, back up when it
+  clears.  Over UDP the decision is guided by receiver loss reports
+  through the TCP-friendly equation; over TCP the signal is the
+  transport's own backlog (TCP that cannot keep up means the path
+  cannot carry the level).
+* **Error correction** (Section II.C): when recent loss is observed on
+  a UDP session, key frames are protected with FEC parity packets.
+* **Audio first** (Section II.C): each level's audio codec rate is
+  taken off the top and sent as a constant-rate chunk stream; video
+  gets the remainder (already reflected in the level's frame sizes).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.media.clip import VideoClip
+from repro.media.codec import EncodingLevel
+from repro.media.frame_source import FrameSource
+from repro.media.frames import FrameKind
+from repro.media.packetizer import Packetizer
+from repro.net.path import NetworkPath
+from repro.sim.engine import EventLoop
+from repro.transport.base import Protocol
+from repro.transport.tcp import TcpConnection
+from repro.transport.tfrc import tfrc_rate
+from repro.transport.udp import ReceiverReport, UdpFlow
+
+
+@dataclass(frozen=True)
+class AudioChunk:
+    """Payload marker for audio data packets."""
+
+    media_time: float
+    size: int
+
+
+@dataclass(frozen=True)
+class LevelSwitch:
+    """Control notification: the served SureStream level changed."""
+
+    level_index: int
+    total_bps: float
+    frame_rate: float
+    at_media_time: float
+
+
+@dataclass(frozen=True)
+class EndOfStream:
+    """Control notification: the server has sent the whole clip."""
+
+    final_media_time: float
+
+
+@dataclass
+class SessionConfig:
+    """Tunables of the streaming session."""
+
+    #: Media lead the server builds and keeps ahead of real time.
+    buffer_ahead_s: float = 12.0
+    #: Lead for live content, which cannot be prebuffered (extension).
+    live_buffer_ahead_s: float = 2.0
+    #: Sending speed multiplier while building the lead.
+    burst_speedup: float = 1.8
+    #: Audio packet payload size.
+    audio_chunk_bytes: int = 250
+    #: Require this much headroom before switching a level up.
+    switch_up_headroom: float = 1.45
+    #: Retransmission budget as a fraction of the served level's rate.
+    retransmit_budget_fraction: float = 0.35
+    #: Minimum time between level switches, seconds.
+    switch_min_interval_s: float = 6.0
+    #: Send FEC for key frames when smoothed loss exceeds this.
+    fec_loss_threshold: float = 0.01
+    #: TCP backlog (media seconds) that forces a down-switch.
+    tcp_backlog_down_s: float = 2.0
+    #: TCP backlog below which an up-switch is considered.
+    tcp_backlog_up_s: float = 0.5
+    #: How often the TCP backlog is polled, seconds.
+    tcp_poll_interval_s: float = 0.5
+    #: Minimum smoothed loss rate fed into the TFRC equation once any
+    #: loss has been seen (avoids rate oscillating to infinity).
+    tfrc_loss_floor: float = 0.002
+    #: SureStream switching on/off (ablation: a server without the
+    #: multi-rate technology streams the initial level regardless of
+    #: congestion — pre-SureStream RealServer behavior).
+    adaptation_enabled: bool = True
+
+
+@dataclass
+class SessionStats:
+    """What the session counted while streaming."""
+
+    frames_sent: int = 0
+    media_packets_sent: int = 0
+    audio_packets_sent: int = 0
+    fec_packets_sent: int = 0
+    bytes_sent: int = 0
+    level_switches: int = 0
+    down_switches: int = 0
+    time_at_level: dict[int, float] = field(default_factory=dict)
+
+
+class StreamingSession:
+    """Streams one clip to one client over a negotiated transport."""
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        path: NetworkPath,
+        clip: VideoClip,
+        protocol: Protocol,
+        client_max_bps: float,
+        rtt_estimate_s: float,
+        rng: np.random.Generator,
+        config: SessionConfig | None = None,
+        notify_control: Callable[[object], None] | None = None,
+    ) -> None:
+        self._loop = loop
+        self._path = path
+        self.clip = clip
+        self.protocol = protocol
+        self.client_max_bps = client_max_bps
+        self._rtt = max(1e-3, rtt_estimate_s)
+        self._rng = rng
+        self.config = config if config is not None else SessionConfig()
+        self._notify_control = notify_control
+        self.stats = SessionStats()
+
+        self._packetizer = Packetizer()
+        self._source = FrameSource(clip)
+        # The initial stream leaves headroom under the client's cap so
+        # the prebuffer burst fits inside the negotiated bandwidth.
+        self.level: EncodingLevel = clip.ladder.level_for_bandwidth(
+            0.9 * client_max_bps
+        )
+        # The burst never exceeds what the client said it can take:
+        # bursting past the access line would only fill its queue and
+        # drop packets.
+        self._burst_speedup = max(
+            1.0,
+            min(
+                self.config.burst_speedup,
+                client_max_bps / self.level.total_bps,
+            ),
+        )
+        self._level_entered_at = 0.0
+        self._last_switch_at = -math.inf
+        self._loss_estimate = 0.0
+        self._seen_loss = False
+        self._audio_backlog_bytes = 0.0
+        self._last_audio_media_time = 0.0
+
+        self._started = False
+        self._stopped = False
+        self._finished = False
+        self._start_wall = 0.0
+        self._pacing_event = None
+        self._tcp_poll_event = None
+
+        # The data transport.
+        self.tcp: TcpConnection | None = None
+        self.udp: UdpFlow | None = None
+        if protocol is Protocol.TCP:
+            self.tcp = TcpConnection(loop, path)
+        else:
+            self.udp = UdpFlow(loop, path)
+            self.udp.on_report = self._on_udp_report
+            self._apply_retransmit_budget()
+
+    # -- public API -------------------------------------------------------
+
+    @property
+    def buffer_ahead_s(self) -> float:
+        """The media lead this session targets (live clips get less)."""
+        if self.clip.live:
+            return self.config.live_buffer_ahead_s
+        return self.config.buffer_ahead_s
+
+    @property
+    def finished(self) -> bool:
+        """True once the whole clip has been sent (or session stopped)."""
+        return self._finished or self._stopped
+
+    @property
+    def media_sent_s(self) -> float:
+        """Media time of the next frame still to be sent."""
+        return self._source.media_time
+
+    def start(self) -> None:
+        """Begin streaming (the PLAY moment)."""
+        if self._started:
+            return
+        self._started = True
+        self._start_wall = self._loop.now
+        self._level_entered_at = self._loop.now
+        self._announce_level()
+        self._pace()
+        if self.tcp is not None:
+            self._tcp_poll_event = self._loop.schedule(
+                self.config.tcp_poll_interval_s, self._poll_tcp
+            )
+
+    def stop(self) -> None:
+        """Tear the session down (client TEARDOWN or tracer timeout)."""
+        if self._stopped:
+            return
+        self._stopped = True
+        self._account_level_time()
+        if self._pacing_event is not None:
+            self._pacing_event.cancel()
+        if self._tcp_poll_event is not None:
+            self._tcp_poll_event.cancel()
+        if self.tcp is not None:
+            self.tcp.close()
+        if self.udp is not None:
+            self.udp.close()
+
+    # -- pacing -----------------------------------------------------------
+
+    def _target_media(self, elapsed: float) -> float:
+        """Media time the server wants to have sent by wall ``elapsed``."""
+        return min(
+            self._burst_speedup * elapsed,
+            elapsed + self.buffer_ahead_s,
+        )
+
+    def _wall_for_media(self, media_time: float) -> float:
+        """Inverse of :meth:`_target_media`: earliest wall offset at
+        which ``media_time`` may be sent.
+
+        ``target_media`` is the min of the burst and steady curves, so
+        it reaches ``media_time`` only once *both* curves have.
+        """
+        burst_wall = media_time / self._burst_speedup
+        steady_wall = media_time - self.buffer_ahead_s
+        return max(0.0, burst_wall, steady_wall)
+
+    def _pace(self) -> None:
+        if self._stopped or self._finished:
+            return
+        elapsed = self._loop.now - self._start_wall
+
+        # TCP backpressure: when the transport cannot keep up, hold off
+        # instead of growing the backlog without bound.
+        if self.tcp is not None:
+            backlog_limit = (
+                self.config.tcp_backlog_down_s * self.level.total_bps / 8.0
+            )
+            if self.tcp.backlog_bytes > backlog_limit:
+                self._pacing_event = self._loop.schedule(0.1, self._pace)
+                return
+
+        target = self._target_media(elapsed)
+        while (
+            not self._source.exhausted()
+            and self._source.media_time <= target
+        ):
+            self._send_frame()
+            if self.tcp is not None:
+                backlog_limit = (
+                    self.config.tcp_backlog_down_s
+                    * self.level.total_bps
+                    / 8.0
+                )
+                if self.tcp.backlog_bytes > backlog_limit:
+                    break
+
+        if self._source.exhausted():
+            self._finish()
+            return
+
+        # Sleep until the target curve reaches the next frame.
+        next_wall = self._wall_for_media(self._source.media_time)
+        delay = max(1e-3, next_wall - elapsed)
+        self._pacing_event = self._loop.schedule(delay, self._pace)
+
+    def _send_frame(self) -> None:
+        frame = self._source.next_frame(self.level)
+        self.stats.frames_sent += 1
+        for media_packet in self._packetizer.packetize(frame):
+            self._send_data(media_packet, media_packet.size)
+            self.stats.media_packets_sent += 1
+        # FEC protects key frames only: parity on every frame would
+        # double the load on exactly the paths that are already
+        # dropping packets; NAK retransmission repairs delta frames.
+        if (
+            self.udp is not None
+            and frame.kind is FrameKind.KEY
+            and self._loss_estimate >= self.config.fec_loss_threshold
+        ):
+            for fec in self._packetizer.fec_for(frame, count=1):
+                self._send_data(fec, fec.size)
+                self.stats.fec_packets_sent += 1
+        self._send_audio_up_to(frame.media_time)
+
+    def _send_audio_up_to(self, media_time: float) -> None:
+        gap = media_time - self._last_audio_media_time
+        if gap <= 0:
+            return
+        self._audio_backlog_bytes += self.level.audio.rate_bps / 8.0 * gap
+        self._last_audio_media_time = media_time
+        while self._audio_backlog_bytes >= self.config.audio_chunk_bytes:
+            chunk = AudioChunk(
+                media_time=media_time, size=self.config.audio_chunk_bytes
+            )
+            self._send_data(chunk, chunk.size)
+            self.stats.audio_packets_sent += 1
+            self._audio_backlog_bytes -= self.config.audio_chunk_bytes
+
+    def _send_data(self, payload: object, size: int) -> None:
+        self.stats.bytes_sent += size
+        if self.tcp is not None:
+            self.tcp.send(payload, size)
+        else:
+            assert self.udp is not None
+            self.udp.send(payload, size)
+
+    def _finish(self) -> None:
+        self._finished = True
+        self._account_level_time()
+        if self._tcp_poll_event is not None:
+            self._tcp_poll_event.cancel()
+        if self._notify_control is not None:
+            self._notify_control(
+                EndOfStream(final_media_time=self._source.media_time)
+            )
+
+    # -- adaptation ---------------------------------------------------------
+
+    def _on_udp_report(self, report: ReceiverReport) -> None:
+        if self._stopped or self._finished:
+            return
+        self._loss_estimate = report.loss_rate
+        if report.loss_rate > 0:
+            self._seen_loss = True
+        loss_for_eq = report.loss_rate
+        if self._seen_loss:
+            loss_for_eq = max(loss_for_eq, self.config.tfrc_loss_floor)
+        allowed = tfrc_rate(loss_for_eq, self._rtt)
+        self._consider_switch(min(allowed, self.client_max_bps))
+
+    def _poll_tcp(self) -> None:
+        if self._stopped or self._finished or self.tcp is None:
+            return
+        backlog_s = self.tcp.backlog_bytes * 8.0 / self.level.total_bps
+        if not self.config.adaptation_enabled:
+            pass  # pre-SureStream server: never switch
+        elif backlog_s > self.config.tcp_backlog_down_s:
+            self._switch_to(max(0, self.level.index - 1))
+        elif backlog_s < self.config.tcp_backlog_up_s:
+            self._consider_switch(self.client_max_bps, tcp_up_only=True)
+        self._tcp_poll_event = self._loop.schedule(
+            self.config.tcp_poll_interval_s, self._poll_tcp
+        )
+
+    def _consider_switch(
+        self, available_bps: float, tcp_up_only: bool = False
+    ) -> None:
+        if not self.config.adaptation_enabled:
+            return
+        ladder = self.clip.ladder
+        current = self.level.index
+        # Down-switches act immediately on the plain fit test.
+        if not tcp_up_only and available_bps < self.level.total_bps:
+            fitted = ladder.level_for_bandwidth(available_bps)
+            self._switch_to(fitted.index)
+            return
+        # Up-switches need headroom and a quiet interval, but may jump
+        # several levels at once: the server switches to whichever
+        # stream the available bandwidth supports (Section II.C).
+        if current + 1 < len(ladder):
+            since_switch = self._loop.now - self._last_switch_at
+            if since_switch < self.config.switch_min_interval_s:
+                return
+            fitted = ladder.level_for_bandwidth(
+                min(
+                    available_bps / self.config.switch_up_headroom,
+                    self.client_max_bps,
+                )
+            )
+            if fitted.index > current:
+                self._switch_to(fitted.index)
+
+    def _switch_to(self, level_index: int) -> None:
+        if level_index == self.level.index:
+            return
+        self._account_level_time()
+        going_down = level_index < self.level.index
+        self.level = self.clip.ladder[level_index]
+        self._level_entered_at = self._loop.now
+        self._last_switch_at = self._loop.now
+        self.stats.level_switches += 1
+        if going_down:
+            self.stats.down_switches += 1
+        self._apply_retransmit_budget()
+        self._announce_level()
+
+    def _apply_retransmit_budget(self) -> None:
+        if self.udp is not None:
+            self.udp.retransmit_rate_bps = (
+                self.config.retransmit_budget_fraction * self.level.total_bps
+            )
+
+    def _account_level_time(self) -> None:
+        spent = self._loop.now - self._level_entered_at
+        if spent > 0:
+            idx = self.level.index
+            self.stats.time_at_level[idx] = (
+                self.stats.time_at_level.get(idx, 0.0) + spent
+            )
+        self._level_entered_at = self._loop.now
+
+    def _announce_level(self) -> None:
+        if self._notify_control is not None:
+            self._notify_control(
+                LevelSwitch(
+                    level_index=self.level.index,
+                    total_bps=self.level.total_bps,
+                    frame_rate=self.level.frame_rate,
+                    at_media_time=self._source.media_time,
+                )
+            )

@@ -1,0 +1,11 @@
+"""Discrete-event simulation engine (S1).
+
+A minimal but complete event loop: events are ``(time, priority, seq,
+callback)`` tuples on a binary heap.  Components schedule callbacks and
+periodic timers against a shared :class:`EventLoop`; the loop owns the
+simulated clock.
+"""
+
+from repro.sim.engine import Event, EventLoop, Timer
+
+__all__ = ["Event", "EventLoop", "Timer"]

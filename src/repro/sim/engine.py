@@ -1,0 +1,184 @@
+"""The discrete-event engine underlying every simulated playback.
+
+Design notes
+------------
+
+* Events are ordered by ``(time, priority, sequence)``.  Priority breaks
+  ties between events scheduled for the same instant (e.g. a packet
+  arrival should be processed before a sampling timer reads state);
+  sequence number preserves FIFO order among equal-priority events and
+  makes the heap ordering total (callbacks are never compared).
+* Cancellation is lazy: a cancelled event stays on the heap but is
+  skipped when popped.  This keeps :meth:`EventLoop.schedule` and
+  :meth:`Event.cancel` O(log n) / O(1).
+* The loop is single-threaded and re-entrant-safe: callbacks may
+  schedule and cancel other events freely.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable
+
+from repro.errors import SimulationError
+
+#: Default priority for ordinary events.
+PRIORITY_NORMAL = 10
+
+#: Priority for events that must run before normal events at the same
+#: simulated instant (e.g. packet deliveries before samplers).
+PRIORITY_HIGH = 0
+
+#: Priority for events that must observe the state all normal events at
+#: the same instant have produced (e.g. statistics samplers).
+PRIORITY_LOW = 20
+
+
+class Event:
+    """A scheduled callback.  Returned by :meth:`EventLoop.schedule`."""
+
+    __slots__ = ("time", "priority", "seq", "callback", "cancelled")
+
+    def __init__(
+        self,
+        time: float,
+        priority: int,
+        seq: int,
+        callback: Callable[[], None],
+    ) -> None:
+        self.time = time
+        self.priority = priority
+        self.seq = seq
+        self.callback = callback
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from running.  Safe to call repeatedly."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.priority, self.seq) < (
+            other.time,
+            other.priority,
+            other.seq,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"Event(t={self.time:.6f}, prio={self.priority}, {state})"
+
+
+class EventLoop:
+    """A single-threaded discrete-event loop with a simulated clock."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._now = 0.0
+        self._seq = 0
+        self._running = False
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[[], None],
+        priority: int = PRIORITY_NORMAL,
+    ) -> Event:
+        """Schedule ``callback`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past: delay={delay}")
+        event = Event(self._now + delay, priority, self._seq, callback)
+        self._seq += 1
+        heapq.heappush(self._heap, event)
+        return event
+
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[[], None],
+        priority: int = PRIORITY_NORMAL,
+    ) -> Event:
+        """Schedule ``callback`` at an absolute simulated time."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule into the past: time={time} < now={self._now}"
+            )
+        return self.schedule(time - self._now, callback, priority)
+
+    def run(self, until: float | None = None) -> None:
+        """Run events until the heap drains or the clock passes ``until``.
+
+        When ``until`` is given the clock is always advanced to exactly
+        ``until`` on return, even if the heap drained earlier, so that
+        periodic samplers and wall-clock assertions line up.
+        """
+        if self._running:
+            raise SimulationError("event loop is already running")
+        self._running = True
+        try:
+            while self._heap:
+                event = self._heap[0]
+                if event.cancelled:
+                    heapq.heappop(self._heap)
+                    continue
+                if until is not None and event.time > until:
+                    break
+                heapq.heappop(self._heap)
+                self._now = event.time
+                event.callback()
+            if until is not None and until > self._now:
+                self._now = until
+        finally:
+            self._running = False
+
+    def run_step(self) -> bool:
+        """Run the single next pending event.  Returns False if none."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            event.callback()
+            return True
+        return False
+
+    def pending_count(self) -> int:
+        """Number of scheduled, not-yet-cancelled events."""
+        return sum(1 for event in self._heap if not event.cancelled)
+
+
+class Timer:
+    """A restartable one-shot timer built on an :class:`EventLoop`.
+
+    Transports use this for retransmission timeouts; the player uses it
+    for rebuffering deadlines.
+    """
+
+    def __init__(self, loop: EventLoop, callback: Callable[[], None]) -> None:
+        self._loop = loop
+        self._callback = callback
+        self._event: Event | None = None
+
+    @property
+    def armed(self) -> bool:
+        """True when the timer is scheduled and not yet fired/cancelled."""
+        return self._event is not None and not self._event.cancelled
+
+    def start(self, delay: float) -> None:
+        """(Re)arm the timer to fire ``delay`` seconds from now."""
+        self.cancel()
+        self._event = self._loop.schedule(delay, self._fire)
+
+    def cancel(self) -> None:
+        """Disarm the timer if armed."""
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    def _fire(self) -> None:
+        self._event = None
+        self._callback()

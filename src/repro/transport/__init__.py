@@ -1,0 +1,25 @@
+"""Transport protocols (S3-S5).
+
+* :class:`TcpConnection` -- a Reno-style TCP model: slow start,
+  congestion avoidance, fast retransmit/recovery and exponential RTO
+  backoff, with reliable in-order delivery.
+* :class:`UdpFlow` -- best-effort datagrams plus a receiver-report
+  feedback channel the application layer uses for congestion control.
+* :func:`tfrc_rate` -- the TCP-friendly equation of [FHPW00], used by
+  the RealServer's UDP adaptation and by the TCP-friendliness analysis.
+"""
+
+from repro.transport.base import MSS_BYTES, Protocol, allocate_flow_id
+from repro.transport.tcp import TcpConnection
+from repro.transport.udp import ReceiverReport, UdpFlow
+from repro.transport.tfrc import tfrc_rate
+
+__all__ = [
+    "MSS_BYTES",
+    "Protocol",
+    "allocate_flow_id",
+    "TcpConnection",
+    "UdpFlow",
+    "ReceiverReport",
+    "tfrc_rate",
+]

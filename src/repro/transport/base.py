@@ -1,0 +1,28 @@
+"""Shared transport definitions."""
+
+from __future__ import annotations
+
+import enum
+import itertools
+
+#: Maximum segment/datagram payload size in bytes.  The media
+#: packetizer never produces application packets larger than this.
+MSS_BYTES = 1000
+
+
+class Protocol(enum.Enum):
+    """Data-channel transport protocol, as recorded by RealTracer."""
+
+    TCP = "TCP"
+    UDP = "UDP"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+_flow_ids = itertools.count(1)
+
+
+def allocate_flow_id() -> int:
+    """Allocate a process-unique positive flow id."""
+    return next(_flow_ids)

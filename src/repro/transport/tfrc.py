@@ -1,0 +1,53 @@
+"""The TCP-friendly throughput equation ([FHPW00], Padhye et al.).
+
+The equation estimates the long-run throughput of a TCP connection with
+segment size ``s``, round-trip time ``R``, loss-event rate ``p`` and
+retransmission timeout ``t_RTO``:
+
+            s
+  X = ---------------------------------------------------------
+      R*sqrt(2p/3) + t_RTO * (3*sqrt(3p/8)) * p * (1 + 32 p^2)
+
+RealVideo's UDP adaptation in this reproduction targets this rate (it
+is the published equation-based congestion-control approach the paper
+cites when discussing whether RealVideo's application-layer control is
+TCP-friendly), and the analysis layer uses it as the friendliness
+baseline for Figure 18.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.transport.base import MSS_BYTES
+
+
+def tfrc_rate(
+    loss_rate: float,
+    rtt_s: float,
+    segment_bytes: int = MSS_BYTES,
+    rto_s: float | None = None,
+) -> float:
+    """TCP-friendly sending rate in bits per second.
+
+    With ``loss_rate`` equal to zero the equation diverges; we return
+    ``inf`` and let callers clamp to their encoding ladder / link
+    capacity, mirroring what a real sender does when it has seen no
+    loss events yet.
+    """
+    if not 0.0 <= loss_rate <= 1.0:
+        raise ValueError(f"loss_rate must be in [0, 1], got {loss_rate}")
+    if rtt_s <= 0:
+        raise ValueError(f"rtt must be positive, got {rtt_s}")
+    if segment_bytes <= 0:
+        raise ValueError(f"segment size must be positive, got {segment_bytes}")
+    if loss_rate == 0.0:
+        return float("inf")
+    if rto_s is None:
+        rto_s = 4.0 * rtt_s  # the simplification recommended in [FHPW00]
+    p = loss_rate
+    denominator = rtt_s * math.sqrt(2.0 * p / 3.0) + rto_s * (
+        3.0 * math.sqrt(3.0 * p / 8.0)
+    ) * p * (1.0 + 32.0 * p * p)
+    bytes_per_second = segment_bytes / denominator
+    return bytes_per_second * 8.0

@@ -1,0 +1,108 @@
+"""Units and shared constants for the RealVideo reproduction.
+
+The simulator uses a small set of canonical units everywhere:
+
+* time       -- seconds (float)
+* data size  -- bytes (int where possible)
+* data rate  -- bits per second (float)
+
+All module boundaries speak these canonical units.  The helpers below
+exist so that calling code can state values in the units the paper uses
+(kilobits per second, milliseconds) without sprinkling magic conversion
+factors through the code base.
+"""
+
+from __future__ import annotations
+
+# ---------------------------------------------------------------------------
+# Conversion factors
+# ---------------------------------------------------------------------------
+
+#: Bits per byte.
+BITS_PER_BYTE = 8
+
+#: Bits per kilobit.  The paper (and the networking world of 2001) uses
+#: decimal kilobits for link and stream rates.
+BITS_PER_KBIT = 1000
+
+#: Seconds per millisecond.
+SECONDS_PER_MS = 1e-3
+
+
+def kbps(value: float) -> float:
+    """Convert kilobits/second to the canonical bits/second."""
+    return float(value) * BITS_PER_KBIT
+
+
+def to_kbps(bits_per_second: float) -> float:
+    """Convert canonical bits/second to kilobits/second."""
+    return float(bits_per_second) / BITS_PER_KBIT
+
+
+def mbps(value: float) -> float:
+    """Convert megabits/second to the canonical bits/second."""
+    return float(value) * BITS_PER_KBIT * 1000
+
+
+def ms(value: float) -> float:
+    """Convert milliseconds to the canonical seconds."""
+    return float(value) * SECONDS_PER_MS
+
+
+def to_ms(seconds: float) -> float:
+    """Convert canonical seconds to milliseconds."""
+    return float(seconds) / SECONDS_PER_MS
+
+
+def bytes_for(rate_bps: float, duration_s: float) -> int:
+    """Number of whole bytes transferred at ``rate_bps`` over ``duration_s``."""
+    if rate_bps < 0:
+        raise ValueError(f"rate must be non-negative, got {rate_bps}")
+    if duration_s < 0:
+        raise ValueError(f"duration must be non-negative, got {duration_s}")
+    return int(rate_bps * duration_s / BITS_PER_BYTE)
+
+
+def transmission_time(size_bytes: int, rate_bps: float) -> float:
+    """Seconds required to serialize ``size_bytes`` at ``rate_bps``."""
+    if rate_bps <= 0:
+        raise ValueError(f"rate must be positive, got {rate_bps}")
+    if size_bytes < 0:
+        raise ValueError(f"size must be non-negative, got {size_bytes}")
+    return size_bytes * BITS_PER_BYTE / rate_bps
+
+
+# ---------------------------------------------------------------------------
+# Constants from the paper
+# ---------------------------------------------------------------------------
+
+#: Frame-rate thresholds the paper's analysis concentrates on (Section V):
+#: below 3 fps video is "a series of still pictures", below 7 fps "very
+#: choppy", below 15 fps "choppy", 15 fps approximates full motion and
+#: 24-30 fps is true full motion.
+FPS_STILL_PICTURES = 3.0
+FPS_VERY_CHOPPY = 7.0
+FPS_SMOOTH = 15.0
+FPS_FULL_MOTION = 24.0
+
+#: Jitter thresholds (Section V): <= 50 ms standard deviation of the
+#: inter-frame playout time is imperceptible; >= 300 ms (about the mean
+#: inter-frame gap at the minimum acceptable 3 fps) is a reasonable upper
+#: bound on acceptable jitter.
+JITTER_IMPERCEPTIBLE_S = ms(50)
+JITTER_UNACCEPTABLE_S = ms(300)
+
+#: RealPlayer halts playback for at most this long while refilling an
+#: empty buffer (Section II.B).
+REBUFFER_HALT_MAX_S = 20.0
+
+#: Default clip playout length used by RealTracer (Section III.A).
+DEFAULT_CLIP_PLAY_SECONDS = 60.0
+
+#: Quality rating scale used by RealTracer (Section III.A).
+RATING_MIN = 0
+RATING_MAX = 10
+
+#: Bandwidth bins used by Figure 25 (jitter vs observed bandwidth).
+BANDWIDTH_BIN_LOW_BPS = kbps(10)
+BANDWIDTH_BIN_HIGH_BPS = kbps(100)

@@ -1,0 +1,42 @@
+"""World model (S10): the population the study measured.
+
+Geography (countries, regions, coordinates), access-connection
+classes, PC power classes, the 11 RealServer sites, the 63-user
+population calibrated to the paper's own composition figures
+(Figures 7, 8, 9), and the factory that turns a (user, server) pair
+into a concrete network path.
+"""
+
+from repro.world.geography import (
+    Country,
+    ServerRegion,
+    UserRegion,
+    country,
+    COUNTRIES,
+)
+from repro.world.connections import ConnectionClass, CONNECTION_CLASSES
+from repro.world.pcs import PcClass, PC_CLASSES
+from repro.world.servers import ServerSite, SERVER_SITES, build_playlist_clips
+from repro.world.users import UserProfile, build_user_population
+from repro.world.population import StudyPopulation, build_population
+from repro.world.paths import PathFactory
+
+__all__ = [
+    "Country",
+    "ServerRegion",
+    "UserRegion",
+    "country",
+    "COUNTRIES",
+    "ConnectionClass",
+    "CONNECTION_CLASSES",
+    "PcClass",
+    "PC_CLASSES",
+    "ServerSite",
+    "SERVER_SITES",
+    "build_playlist_clips",
+    "UserProfile",
+    "build_user_population",
+    "StudyPopulation",
+    "build_population",
+    "PathFactory",
+]

@@ -1,0 +1,39 @@
+"""End-user network connection classes (Figures 12, 13, 21, 27)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.world.calibration import ACCESS_PARAMS, AccessParams
+
+
+@dataclass(frozen=True)
+class ConnectionClass:
+    """One of the paper's three end-host network configurations."""
+
+    name: str
+    params: AccessParams
+
+    def sample_downlink_bps(self, rng: np.random.Generator) -> float:
+        """Draw this user's actual downstream rate (lines varied)."""
+        return float(
+            rng.uniform(self.params.down_min_bps, self.params.down_max_bps)
+        )
+
+    @property
+    def client_max_bps(self) -> float:
+        """The RealPlayer bandwidth preset for this class."""
+        return self.params.client_max_bps
+
+
+#: The three classes, in the paper's order.
+CONNECTION_CLASSES: dict[str, ConnectionClass] = {
+    name: ConnectionClass(name=name, params=params)
+    for name, params in ACCESS_PARAMS.items()
+}
+
+MODEM = CONNECTION_CLASSES["56k Modem"]
+DSL_CABLE = CONNECTION_CLASSES["DSL/Cable"]
+T1_LAN = CONNECTION_CLASSES["T1/LAN"]

@@ -1,0 +1,117 @@
+"""Countries, regions and coordinates.
+
+The paper groups *servers* into five regions (Asia, Brazil, US/Canada,
+Australia, Europe — Figure 14) and *users* into four regions
+(Australia/New Zealand, US/Canada, Asia, Europe — Figure 15).  Both
+groupings are reproduced here, together with representative
+coordinates for latency modelling.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class ServerRegion(enum.Enum):
+    """Server-side regions of Figure 14."""
+
+    ASIA = "Asia"
+    BRAZIL = "Brazil"
+    US_CANADA = "US/Canada"
+    AUSTRALIA = "Australia"
+    EUROPE = "Europe"
+
+
+class UserRegion(enum.Enum):
+    """User-side regions of Figure 15."""
+
+    AUSTRALIA_NZ = "Australia/NewZealand"
+    US_CANADA = "US/Canada"
+    ASIA = "Asia"
+    EUROPE = "Europe"
+
+
+@dataclass(frozen=True)
+class Country:
+    """A country appearing in the study, with its region memberships."""
+
+    name: str
+    code: str
+    latitude: float
+    longitude: float
+    user_region: UserRegion | None
+    server_region: ServerRegion | None
+    #: User-side path quality class (see world.calibration).
+    quality_class: str
+
+
+#: Every country that hosted a server or a user in the study.  The
+#: coordinates are those of the media/population hub used for latency.
+COUNTRIES: dict[str, Country] = {
+    c.code: c
+    for c in [
+        Country("United States", "US", 40.71, -74.01,
+                UserRegion.US_CANADA, ServerRegion.US_CANADA, "excellent"),
+        Country("Canada", "CA", 43.65, -79.38,
+                UserRegion.US_CANADA, ServerRegion.US_CANADA, "excellent"),
+        Country("United Kingdom", "UK", 51.51, -0.13,
+                UserRegion.EUROPE, ServerRegion.EUROPE, "good"),
+        Country("Germany", "DE", 50.11, 8.68,
+                UserRegion.EUROPE, None, "good"),
+        Country("France", "FR", 48.86, 2.35,
+                UserRegion.EUROPE, None, "good"),
+        Country("Italy", "IT", 41.90, 12.50,
+                UserRegion.EUROPE, ServerRegion.EUROPE, "good"),
+        Country("Romania", "RO", 44.43, 26.10,
+                UserRegion.EUROPE, None, "fair"),
+        Country("China", "CN", 39.90, 116.40,
+                UserRegion.ASIA, ServerRegion.ASIA, "fair"),
+        Country("Japan", "JP", 35.68, 139.69,
+                UserRegion.ASIA, ServerRegion.ASIA, "good"),
+        Country("India", "IN", 19.07, 72.88,
+                UserRegion.ASIA, None, "fair"),
+        Country("United Arab Emirates", "AE", 25.20, 55.27,
+                UserRegion.ASIA, None, "fair"),
+        Country("Egypt", "EG", 30.04, 31.24,
+                UserRegion.ASIA, None, "fair"),
+        Country("Australia", "AU", -33.87, 151.21,
+                UserRegion.AUSTRALIA_NZ, ServerRegion.AUSTRALIA, "remote"),
+        Country("New Zealand", "NZ", -36.85, 174.76,
+                UserRegion.AUSTRALIA_NZ, None, "remote"),
+        Country("Brazil", "BR", -23.55, -46.63,
+                None, ServerRegion.BRAZIL, "fair"),
+    ]
+}
+
+
+def country(code: str) -> Country:
+    """Look a country up by its code, with a helpful error."""
+    try:
+        return COUNTRIES[code]
+    except KeyError:
+        raise KeyError(
+            f"unknown country code {code!r}; known: {sorted(COUNTRIES)}"
+        ) from None
+
+
+#: Coordinates of the U.S. states appearing in Figure 9 (city hubs).
+US_STATE_COORDS: dict[str, tuple[float, float]] = {
+    "MA": (42.36, -71.06),
+    "VA": (37.54, -77.44),
+    "WA": (47.61, -122.33),
+    "ME": (43.66, -70.26),
+    "TN": (36.16, -86.78),
+    "CT": (41.77, -72.67),
+    "NH": (43.21, -71.54),
+    "CO": (39.74, -104.99),
+    "IL": (41.88, -87.63),
+    "TX": (29.76, -95.37),
+    "CA": (37.77, -122.42),
+    "WI": (43.07, -89.40),
+    "DE": (39.74, -75.55),
+    "MD": (39.29, -76.61),
+    "MN": (44.98, -93.27),
+    "NC": (35.23, -80.84),
+    "FL": (25.76, -80.19),
+}

@@ -1,0 +1,132 @@
+"""Turning a (user, server) pair into a concrete network path.
+
+Combines the user's access class, both endpoints' geography, and the
+era calibration (user-side dominated, per the paper's findings) into a
+:class:`~repro.net.path.PathProfile`, then instantiates the path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.net.latency import GeographicLatencyModel, great_circle_km
+from repro.net.path import NetworkPath, PathProfile
+from repro.sim.engine import EventLoop
+from repro.units import kbps
+from repro.world.calibration import (
+    CROSS_BURST_MEAN_S,
+    DISTANCE_PENALTY_MAX,
+    DISTANCE_PENALTY_PER_MM,
+    DISTANCE_PENALTY_START_KM,
+    QUALITY_CLASSES,
+    SAME_REGION_BOTTLENECK_BOOST,
+    SERVER_SIDE_MODIFIERS,
+)
+from repro.world.servers import ServerSite
+from repro.world.users import UserProfile
+
+#: Server sites of the study sat on fat pipes; the per-session share
+#: of the uplink still bounds a single stream.
+SERVER_UPLINK_BPS = kbps(2000)
+
+#: Floor under the sampled wide-area bottleneck.
+BOTTLENECK_FLOOR_BPS = kbps(24)
+
+
+class PathFactory:
+    """Builds the network path for one playback."""
+
+    def __init__(
+        self, latency_model: GeographicLatencyModel | None = None
+    ) -> None:
+        self._latency = (
+            latency_model if latency_model is not None else GeographicLatencyModel()
+        )
+
+    def profile_for(
+        self,
+        user: UserProfile,
+        site: ServerSite,
+        rng: np.random.Generator,
+        red_bottleneck: bool = False,
+    ) -> PathProfile:
+        """Sample this playback's path profile."""
+        quality = QUALITY_CLASSES[user.country.quality_class]
+        modifier = SERVER_SIDE_MODIFIERS[site.region.value]
+
+        # Wide-area available bandwidth: user side dominates, server
+        # side and sheer distance adjust mildly.
+        bottleneck = float(
+            rng.lognormal(
+                mean=np.log(quality.bottleneck_median_bps),
+                sigma=quality.bottleneck_sigma,
+            )
+        )
+        bottleneck *= modifier.bottleneck_factor
+        distance_km = great_circle_km(
+            user.latitude, user.longitude,
+            site.country.latitude, site.country.longitude,
+        )
+        if user.country.code == site.country.code:
+            bottleneck *= SAME_REGION_BOTTLENECK_BOOST
+        if distance_km > DISTANCE_PENALTY_START_KM:
+            extra_mm = (distance_km - DISTANCE_PENALTY_START_KM) / 1000.0
+            penalty = min(
+                DISTANCE_PENALTY_MAX, DISTANCE_PENALTY_PER_MM * extra_mm
+            )
+            bottleneck *= 1.0 - penalty
+        bottleneck = max(BOTTLENECK_FLOOR_BPS, bottleneck)
+
+        cross_load = float(
+            np.clip(
+                rng.uniform(
+                    quality.cross_load_mean - quality.cross_load_jitter,
+                    quality.cross_load_mean + quality.cross_load_jitter,
+                ),
+                0.0,
+                0.85,
+            )
+        )
+        loss = float(
+            np.clip(
+                rng.exponential(quality.loss_mean) + modifier.extra_loss,
+                0.0,
+                quality.loss_max + modifier.extra_loss,
+            )
+        )
+
+        wan_prop = self._latency.one_way_delay(
+            user.latitude, user.longitude,
+            site.country.latitude, site.country.longitude,
+        )
+        access = user.connection.params
+        return PathProfile(
+            access_down_bps=user.downlink_bps,
+            access_up_bps=access.up_bps,
+            access_prop_s=access.prop_s,
+            bottleneck_bps=bottleneck,
+            wan_prop_s=wan_prop,
+            server_up_bps=SERVER_UPLINK_BPS,
+            cross_load=cross_load,
+            access_cross_load=access.access_cross_load,
+            random_loss=loss,
+            access_random_loss=(
+                float(rng.uniform(0.0, access.line_loss_max))
+                if access.line_loss_max > 0
+                else 0.0
+            ),
+            cross_burst_s=CROSS_BURST_MEAN_S,
+            red_bottleneck=red_bottleneck,
+        )
+
+    def build(
+        self,
+        loop: EventLoop,
+        user: UserProfile,
+        site: ServerSite,
+        rng: np.random.Generator,
+        red_bottleneck: bool = False,
+    ) -> NetworkPath:
+        """Instantiate a running path for one playback."""
+        profile = self.profile_for(user, site, rng, red_bottleneck)
+        return NetworkPath(loop, profile, rng)

@@ -1,0 +1,56 @@
+"""PC power classes (Figure 19).
+
+The paper combined CPU chip type with available memory into "power"
+classes and found only the oldest machines to be a playback
+bottleneck.  Each class maps to a decoder profile (see
+:mod:`repro.player.decoder`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.player.decoder import DecoderProfile
+from repro.world.calibration import OLD_PC_MODEM_BOOST, PC_CLASS_PARAMS
+
+
+@dataclass(frozen=True)
+class PcClass:
+    """A user PC category from the study."""
+
+    name: str
+    profile: DecoderProfile
+    population_weight: float
+
+    @property
+    def is_old(self) -> bool:
+        """The two underpowered classes the paper singles out."""
+        return self.profile.decode_budget_fps <= 20.0
+
+
+PC_CLASSES: list[PcClass] = [
+    PcClass(
+        name=name,
+        profile=DecoderProfile(name=name, decode_budget_fps=budget),
+        population_weight=weight,
+    )
+    for name, budget, weight in PC_CLASS_PARAMS
+]
+
+
+def sample_pc_class(
+    rng: np.random.Generator, is_modem_user: bool
+) -> PcClass:
+    """Draw a PC class; modem users skew toward older machines."""
+    weights = []
+    for pc in PC_CLASSES:
+        weight = pc.population_weight
+        if is_modem_user and pc.is_old:
+            weight *= OLD_PC_MODEM_BOOST
+        weights.append(weight)
+    total = sum(weights)
+    probabilities = np.asarray(weights) / total
+    index = int(rng.choice(len(PC_CLASSES), p=probabilities))
+    return PC_CLASSES[index]

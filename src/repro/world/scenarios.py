@@ -1,0 +1,137 @@
+"""Prebuilt alternative worlds for what-if studies.
+
+The paper's conclusions invite counterfactuals: what if everyone had
+broadband (Section VII's "pushing the bottleneck closer to the
+server")?  What did SureStream actually buy (Section II.C)?  What does
+the big playout buffer contribute (Section V.B)?  Each scenario is a
+named transformation of the baseline study configuration/population,
+runnable through the unchanged pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable
+
+import numpy as np
+
+from repro.core.realtracer import TracerConfig
+from repro.core.study import Study, StudyConfig
+from repro.player.playout import PlayoutConfig
+from repro.rng import RngFactory
+from repro.server.session import SessionConfig
+from repro.world.connections import DSL_CABLE
+from repro.world.population import StudyPopulation, build_population
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A named what-if transformation of the baseline study."""
+
+    name: str
+    description: str
+    #: Transforms the baseline StudyConfig (tracer knobs etc.).
+    configure: Callable[[StudyConfig], StudyConfig]
+    #: Transforms the baseline population (connection swaps etc.).
+    repopulate: Callable[[StudyPopulation, int], StudyPopulation]
+
+
+def _identity_config(config: StudyConfig) -> StudyConfig:
+    return config
+
+
+def _identity_population(
+    population: StudyPopulation, seed: int
+) -> StudyPopulation:
+    return population
+
+
+def _all_broadband(population: StudyPopulation, seed: int) -> StudyPopulation:
+    """Every modem user upgraded to DSL/Cable (the 2003 question)."""
+    rng = np.random.default_rng(seed)
+    users = []
+    for user in population.users:
+        if user.connection.name == "56k Modem":
+            user = replace(
+                user,
+                connection=DSL_CABLE,
+                downlink_bps=DSL_CABLE.sample_downlink_bps(rng),
+            )
+        users.append(user)
+    return StudyPopulation(users=tuple(users), playlist=population.playlist)
+
+
+def _no_surestream(config: StudyConfig) -> StudyConfig:
+    """Servers without multi-rate switching (pre-SureStream)."""
+    tracer = replace(
+        config.tracer, session=replace(
+            config.tracer.session, adaptation_enabled=False
+        )
+    )
+    return replace(config, tracer=tracer)
+
+
+def _small_buffer(config: StudyConfig) -> StudyConfig:
+    """A player with a 2-second prebuffer instead of ~9 seconds."""
+    playout = PlayoutConfig(prebuffer_media_s=2.0, rebuffer_media_s=2.0)
+    session = SessionConfig(buffer_ahead_s=3.0)
+    tracer = replace(config.tracer, playout=playout, session=session)
+    return replace(config, tracer=tracer)
+
+
+def _red_queues(config: StudyConfig) -> StudyConfig:
+    """RED instead of drop-tail at every wide-area bottleneck."""
+    return replace(config, tracer=replace(config.tracer, red_bottleneck=True))
+
+
+BASELINE = Scenario(
+    name="baseline",
+    description="The calibrated June-2001 world.",
+    configure=_identity_config,
+    repopulate=_identity_population,
+)
+
+ALL_BROADBAND = Scenario(
+    name="all-broadband",
+    description="Every dial-up user upgraded to DSL/Cable.",
+    configure=_identity_config,
+    repopulate=_all_broadband,
+)
+
+NO_SURESTREAM = Scenario(
+    name="no-surestream",
+    description="Servers stream a fixed level (no SureStream switching).",
+    configure=_no_surestream,
+    repopulate=_identity_population,
+)
+
+SMALL_BUFFER = Scenario(
+    name="small-buffer",
+    description="Players prebuffer 2 s instead of ~9 s.",
+    configure=_small_buffer,
+    repopulate=_identity_population,
+)
+
+RED_QUEUES = Scenario(
+    name="red-queues",
+    description="RED active queue management at the bottlenecks.",
+    configure=_red_queues,
+    repopulate=_identity_population,
+)
+
+SCENARIOS: dict[str, Scenario] = {
+    s.name: s
+    for s in (BASELINE, ALL_BROADBAND, NO_SURESTREAM, SMALL_BUFFER, RED_QUEUES)
+}
+
+
+def run_scenario(
+    scenario: Scenario,
+    seed: int = 2001,
+    scale: float = 0.1,
+):
+    """Run one scenario and return its dataset."""
+    config = scenario.configure(StudyConfig(seed=seed, scale=scale))
+    baseline_population = build_population(RngFactory(seed))
+    population = scenario.repopulate(baseline_population, seed)
+    return Study(config, population=population).run()

@@ -1,0 +1,183 @@
+"""The user population, calibrated to Figures 7 and 9.
+
+The paper's composition figures give plays per country (and per U.S.
+state); from these we derive how many users each place contributed and
+how many clips each played, then sample each user's connection class,
+PC class, transport environment and rating behavior.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.world.calibration import (
+    CONNECTION_MIX,
+    FORCE_TCP_QUALITY_BOOST,
+    MIN_PLAYS_PER_USER,
+    PLAY_COUNT_SPREAD,
+    PLAYLIST_LENGTH,
+    PLAYS_BY_US_STATE,
+    PLAYS_BY_USER_COUNTRY,
+    PLAYS_PER_USER_NOMINAL,
+    RATING_BASE_MAX,
+    RATING_BASE_MIN,
+    RATING_ENTHUSIAST_MAX,
+    RATING_ENTHUSIAST_PROBABILITY,
+    RATING_MINIMUM_PROBABILITY,
+    RATING_NONE_PROBABILITY,
+    RTSP_BLOCKED_PROBABILITY,
+)
+from repro.world.connections import CONNECTION_CLASSES, ConnectionClass
+from repro.world.geography import US_STATE_COORDS, Country, UserRegion, country
+from repro.world.pcs import PcClass, sample_pc_class
+
+
+@dataclass(frozen=True)
+class UserProfile:
+    """One study participant."""
+
+    user_id: str
+    country: Country
+    #: U.S. users have a state; others have None.
+    state: str | None
+    latitude: float
+    longitude: float
+    connection: ConnectionClass
+    #: The user's actual downstream access rate, bits/s.
+    downlink_bps: float
+    pc: PcClass
+    #: The environment forces the data channel onto TCP.
+    force_tcp: bool
+    #: The firewall drops RTSP outright: every playback attempt fails
+    #: at the control plane (the paper removed such users' data from
+    #: all analysis — Section IV).
+    rtsp_blocked: bool
+    #: How many playlist clips this user will play.
+    plays: int
+    #: How many of the watched clips this user will rate.
+    ratings_target: int
+    #: Personal rating anchor: the score this user gives an
+    #: unremarkable clip (the "per-user normalization" of Section V.C).
+    rating_anchor: float
+    #: How strongly system quality moves this user's ratings.
+    rating_gain: float
+    #: The user rates audio+video combined (audio survives low
+    #: bandwidth, pulling low-bandwidth ratings up — Section V.C).
+    rates_audio_too: bool
+
+    @property
+    def region(self) -> UserRegion:
+        region = self.country.user_region
+        assert region is not None, f"{self.country.code} has no user region"
+        return region
+
+    @property
+    def client_max_bps(self) -> float:
+        """The RealPlayer maximum-bandwidth setting this user picked.
+
+        Users configured the player from their connection type but the
+        preset never exceeded what their actual line could carry.
+        """
+        return min(self.connection.client_max_bps, 0.8 * self.downlink_bps)
+
+
+def _users_for_target(target_plays: int) -> int:
+    """Number of users needed to contribute ``target_plays``."""
+    return max(1, math.ceil(target_plays / PLAYS_PER_USER_NOMINAL))
+
+
+def _sample_play_count(mean: float, rng: np.random.Generator) -> int:
+    plays = rng.normal(mean, PLAY_COUNT_SPREAD * mean)
+    return int(np.clip(round(plays), MIN_PLAYS_PER_USER, PLAYLIST_LENGTH))
+
+
+def _sample_ratings_target(rng: np.random.Generator) -> int:
+    if rng.random() < RATING_NONE_PROBABILITY:
+        return 0
+    if rng.random() < RATING_MINIMUM_PROBABILITY:
+        return RATING_BASE_MIN  # exactly the 3 clips they were asked for
+    if rng.random() < RATING_ENTHUSIAST_PROBABILITY:
+        return int(rng.integers(RATING_BASE_MAX, RATING_ENTHUSIAST_MAX + 1))
+    return int(rng.integers(RATING_BASE_MIN + 1, RATING_BASE_MAX + 1))
+
+
+def _sample_connection(
+    quality_class: str, rng: np.random.Generator
+) -> ConnectionClass:
+    mix = CONNECTION_MIX[quality_class]
+    names = list(CONNECTION_CLASSES)
+    index = int(rng.choice(len(names), p=np.asarray(mix) / sum(mix)))
+    return CONNECTION_CLASSES[names[index]]
+
+
+def _build_user(
+    user_id: str,
+    home: Country,
+    state: str | None,
+    mean_plays: float,
+    rng: np.random.Generator,
+) -> UserProfile:
+    if state is not None:
+        latitude, longitude = US_STATE_COORDS[state]
+    else:
+        latitude, longitude = home.latitude, home.longitude
+    connection = _sample_connection(home.quality_class, rng)
+    pc = sample_pc_class(rng, is_modem_user=connection.name == "56k Modem")
+    tcp_probability = min(
+        0.9,
+        connection.params.force_tcp_probability
+        + FORCE_TCP_QUALITY_BOOST[home.quality_class],
+    )
+    force_tcp = rng.random() < tcp_probability
+    rtsp_blocked = bool(rng.random() < RTSP_BLOCKED_PROBABILITY)
+    return UserProfile(
+        user_id=user_id,
+        country=home,
+        state=state,
+        latitude=latitude,
+        longitude=longitude,
+        connection=connection,
+        downlink_bps=connection.sample_downlink_bps(rng),
+        pc=pc,
+        force_tcp=force_tcp,
+        rtsp_blocked=rtsp_blocked,
+        plays=_sample_play_count(mean_plays, rng),
+        ratings_target=_sample_ratings_target(rng),
+        rating_anchor=float(np.clip(rng.normal(4.0, 1.6), 2.0, 8.5)),
+        rating_gain=float(np.clip(rng.normal(4.5, 1.2), 1.5, 7.0)),
+        rates_audio_too=bool(rng.random() < 0.4),
+    )
+
+
+def build_user_population(rng: np.random.Generator) -> list[UserProfile]:
+    """Create the full calibrated user population (~63 users).
+
+    Each user samples from an independent child stream, so editing one
+    behavior model never re-rolls the rest of the population.
+    """
+    users: list[UserProfile] = []
+    serial = 0
+
+    def next_user(home: Country, state: str | None, mean: float) -> None:
+        nonlocal serial
+        serial += 1
+        user_rng = np.random.default_rng(int(rng.integers(2**62)))
+        users.append(
+            _build_user(f"user{serial:03d}", home, state, mean, user_rng)
+        )
+
+    for code, target in sorted(PLAYS_BY_USER_COUNTRY.items()):
+        home = country(code)
+        if code == "US":
+            for state, state_target in sorted(PLAYS_BY_US_STATE.items()):
+                count = _users_for_target(state_target)
+                for _ in range(count):
+                    next_user(home, state, state_target / count)
+        else:
+            count = _users_for_target(target)
+            for _ in range(count):
+                next_user(home, None, target / count)
+    return users

@@ -1,0 +1,69 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.net.path import NetworkPath, PathProfile
+from repro.rng import RngFactory
+from repro.sim.engine import EventLoop
+from repro.units import kbps
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(42)
+
+
+@pytest.fixture
+def rngs() -> RngFactory:
+    return RngFactory(42)
+
+
+@pytest.fixture
+def loop() -> EventLoop:
+    return EventLoop()
+
+
+@pytest.fixture
+def clean_profile() -> PathProfile:
+    """A fat, lossless, uncontended broadband path."""
+    return PathProfile(
+        access_down_bps=kbps(512),
+        access_up_bps=kbps(128),
+        access_prop_s=0.010,
+        bottleneck_bps=kbps(2000),
+        wan_prop_s=0.030,
+        server_up_bps=kbps(2000),
+        cross_load=0.0,
+        random_loss=0.0,
+    )
+
+
+@pytest.fixture
+def clean_path(loop: EventLoop, clean_profile: PathProfile, rng) -> NetworkPath:
+    return NetworkPath(loop, clean_profile, rng)
+
+
+@pytest.fixture
+def lossy_profile() -> PathProfile:
+    """A constrained, lossy path that forces congestion behavior."""
+    return PathProfile(
+        access_down_bps=kbps(400),
+        access_up_bps=kbps(128),
+        access_prop_s=0.010,
+        bottleneck_bps=kbps(300),
+        wan_prop_s=0.050,
+        server_up_bps=kbps(2000),
+        cross_load=0.3,
+        random_loss=0.02,
+        bottleneck_queue=20,
+    )
+
+
+@pytest.fixture
+def lossy_path(loop: EventLoop, lossy_profile: PathProfile, rng) -> NetworkPath:
+    path = NetworkPath(loop, lossy_profile, rng)
+    path.start()
+    return path

@@ -1,0 +1,82 @@
+"""Group-by breakdowns."""
+
+from repro.analysis import breakdowns
+from repro.core.records import StudyDataset
+from repro.units import kbps
+from tests.test_core_records import record
+
+
+def dataset():
+    return StudyDataset([
+        record(connection="56k Modem", protocol="TCP",
+               measured_bandwidth_bps=kbps(25)),
+        record(connection="DSL/Cable", protocol="UDP",
+               measured_bandwidth_bps=kbps(250)),
+        record(connection="T1/LAN", protocol="UDP",
+               measured_bandwidth_bps=kbps(60)),
+        record(connection="T1/LAN", protocol="TCP",
+               measured_bandwidth_bps=kbps(5)),
+    ])
+
+
+class TestGroupBy:
+    def test_by_connection(self):
+        groups = breakdowns.by_connection(dataset())
+        assert set(groups) == {"56k Modem", "DSL/Cable", "T1/LAN"}
+        assert len(groups["T1/LAN"]) == 2
+
+    def test_by_protocol(self):
+        groups = breakdowns.by_protocol(dataset())
+        assert len(groups["TCP"]) == 2
+        assert len(groups["UDP"]) == 2
+
+    def test_groups_partition_dataset(self):
+        ds = dataset()
+        groups = breakdowns.by_connection(ds)
+        assert sum(len(g) for g in groups.values()) == len(ds)
+
+    def test_by_user_region_and_server_region(self):
+        ds = StudyDataset([
+            record(user_region="Europe", server_region="Asia"),
+            record(user_region="US/Canada", server_region="US/Canada"),
+        ])
+        assert set(breakdowns.by_user_region(ds)) == {"Europe", "US/Canada"}
+        assert set(breakdowns.by_server_region(ds)) == {"Asia", "US/Canada"}
+
+    def test_by_pc_class(self):
+        ds = StudyDataset([
+            record(pc_class="Intel Pentium MMX / 24MB"),
+            record(pc_class="Pentium III / 256-512MB"),
+        ])
+        assert len(breakdowns.by_pc_class(ds)) == 2
+
+
+class TestCounts:
+    def test_counts_sorted_ascending(self):
+        ds = StudyDataset([
+            record(user_country="US"),
+            record(user_country="US"),
+            record(user_country="CN"),
+        ])
+        counts = breakdowns.counts_by(ds, lambda r: r.user_country)
+        assert list(counts.items()) == [("CN", 1), ("US", 2)]
+
+
+class TestBandwidthBins:
+    def test_figure_25_bins(self):
+        ds = dataset()
+        groups = breakdowns.by_bandwidth_bin(ds)
+        assert len(groups["< 10K"]) == 1
+        assert len(groups["10K - 100K"]) == 2
+        assert len(groups["> 100K"]) == 1
+
+    def test_bin_edges(self):
+        assert breakdowns.bandwidth_bin(
+            record(measured_bandwidth_bps=kbps(10))
+        ) == "10K - 100K"
+        assert breakdowns.bandwidth_bin(
+            record(measured_bandwidth_bps=kbps(100))
+        ) == "10K - 100K"
+        assert breakdowns.bandwidth_bin(
+            record(measured_bandwidth_bps=kbps(100) + 1)
+        ) == "> 100K"

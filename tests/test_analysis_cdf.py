@@ -1,0 +1,72 @@
+"""Empirical CDFs."""
+
+import pytest
+
+from repro.analysis.cdf import Cdf
+from repro.errors import AnalysisError
+
+
+class TestCdf:
+    def test_empty_rejected(self):
+        with pytest.raises(AnalysisError):
+            Cdf([])
+
+    def test_at_counts_inclusive(self):
+        cdf = Cdf([1, 2, 3, 4])
+        assert cdf.at(2) == 0.5
+        assert cdf.at(4) == 1.0
+        assert cdf.at(0) == 0.0
+
+    def test_fraction_below_exclusive(self):
+        cdf = Cdf([1, 2, 2, 3])
+        assert cdf.fraction_below(2) == 0.25
+        assert cdf.at(2) == 0.75
+
+    def test_fraction_at_least(self):
+        cdf = Cdf([1, 2, 3, 4])
+        assert cdf.fraction_at_least(3) == 0.5
+        assert cdf.fraction_at_least(5) == 0.0
+        assert cdf.fraction_at_least(0) == 1.0
+
+    def test_complementarity(self):
+        cdf = Cdf([1.5, 2.5, 3.5])
+        for x in (0.0, 1.5, 2.0, 3.5, 9.0):
+            assert cdf.fraction_below(x) + cdf.fraction_at_least(x) == pytest.approx(1.0)
+
+    def test_median_and_mean(self):
+        cdf = Cdf([1, 2, 3, 4, 100])
+        assert cdf.median == 3
+        assert cdf.mean == 22
+
+    def test_percentile_bounds(self):
+        cdf = Cdf([5, 10, 15])
+        assert cdf.percentile(0.0) == 5
+        assert cdf.percentile(1.0) == 15
+        with pytest.raises(AnalysisError):
+            cdf.percentile(1.5)
+
+    def test_points_step_function(self):
+        cdf = Cdf([3, 1, 2])
+        assert cdf.points() == [(1, pytest.approx(1 / 3)),
+                                (2, pytest.approx(2 / 3)),
+                                (3, pytest.approx(1.0))]
+
+    def test_series_sampling(self):
+        cdf = Cdf(range(1, 11))
+        series = cdf.series([0, 5, 10, 20])
+        assert series == [(0.0, 0.0), (5.0, 0.5), (10.0, 1.0), (20.0, 1.0)]
+
+    def test_values_sorted_copy(self):
+        cdf = Cdf([3, 1, 2])
+        values = cdf.values
+        assert values == [1, 2, 3]
+        values.append(99)
+        assert len(cdf) == 3
+
+    def test_monotone_nondecreasing(self):
+        cdf = Cdf([4, 8, 15, 16, 23, 42])
+        previous = 0.0
+        for x in range(0, 50):
+            value = cdf.at(x)
+            assert value >= previous
+            previous = value

@@ -1,0 +1,71 @@
+"""Dataset A/B comparison."""
+
+import pytest
+
+from repro.analysis.comparison import (
+    compare_datasets,
+    format_comparison,
+)
+from repro.core.records import StudyDataset
+from repro.errors import AnalysisError
+from repro.units import kbps
+from tests.test_core_records import record
+
+
+def dataset(fps, jitter_ms=30.0, rebuffers=0, n=10):
+    return StudyDataset([
+        record(
+            measured_frame_rate=fps,
+            jitter_s=jitter_ms / 1000.0,
+            rebuffer_count=rebuffers,
+            measured_bandwidth_bps=kbps(200),
+            frames_displayed=500,
+        )
+        for _ in range(n)
+    ])
+
+
+class TestCompare:
+    def test_detects_fps_improvement(self):
+        comparison = compare_datasets(dataset(fps=5.0), dataset(fps=12.0))
+        delta = comparison["mean_fps"]
+        assert delta.baseline == pytest.approx(5.0)
+        assert delta.variant == pytest.approx(12.0)
+        assert delta.delta == pytest.approx(7.0)
+        assert delta.relative == pytest.approx(2.4)
+
+    def test_jitter_metrics_present(self):
+        comparison = compare_datasets(
+            dataset(fps=10, jitter_ms=20), dataset(fps=10, jitter_ms=500)
+        )
+        assert comparison["jitter_imperceptible"].baseline == 1.0
+        assert comparison["jitter_imperceptible"].variant == 0.0
+
+    def test_counts(self):
+        comparison = compare_datasets(dataset(fps=5, n=4), dataset(fps=5, n=9))
+        assert comparison.baseline_n == 4
+        assert comparison.variant_n == 9
+
+    def test_unknown_metric_keyerror(self):
+        comparison = compare_datasets(dataset(fps=5), dataset(fps=6))
+        with pytest.raises(KeyError):
+            comparison["nope"]
+
+    def test_empty_rejected(self):
+        with pytest.raises(AnalysisError):
+            compare_datasets(StudyDataset(), dataset(fps=5))
+
+    def test_relative_with_zero_baseline(self):
+        comparison = compare_datasets(
+            dataset(fps=10, rebuffers=0), dataset(fps=10, rebuffers=2)
+        )
+        assert comparison["mean_rebuffers"].relative == float("inf")
+
+
+class TestFormat:
+    def test_renders_table(self):
+        comparison = compare_datasets(dataset(fps=5), dataset(fps=12))
+        text = format_comparison(comparison, "2001", "2003")
+        assert "2001" in text and "2003" in text
+        assert "mean_fps" in text
+        assert "+7.00" in text

@@ -1,0 +1,116 @@
+"""Flow profiles from packet traces."""
+
+import pytest
+
+from repro.analysis.flows import (
+    format_profile,
+    media_flow,
+    profile_all_flows,
+    profile_flow,
+)
+from repro.errors import AnalysisError
+from repro.net.tracelog import PacketTrace, TraceEntry
+
+
+def make_trace(flow_specs):
+    """flow_specs: {flow_id: [(at, size), ...]}"""
+    trace = PacketTrace()
+    entries = []
+    for flow_id, packets in flow_specs.items():
+        for at, size in packets:
+            entries.append(
+                TraceEntry(
+                    at_s=at, flow_id=flow_id, kind="data", seq=0,
+                    payload_bytes=size, wire_bytes=size + 40,
+                    one_way_delay_s=0.05,
+                )
+            )
+    for e in sorted(entries, key=lambda x: x.at_s):
+        trace.append(e)
+    return trace
+
+
+class TestProfileFlow:
+    def test_basic_profile(self):
+        trace = make_trace({1: [(0.0, 500), (1.0, 500), (2.0, 500)]})
+        profile = profile_flow(trace, 1)
+        assert profile.packets == 3
+        assert profile.total_payload_bytes == 1500
+        assert profile.duration_s == pytest.approx(2.0)
+        assert profile.mean_interarrival_s == pytest.approx(1.0)
+        assert profile.interarrival_std_s == pytest.approx(0.0)
+        assert profile.mean_rate_bps == pytest.approx((3 * 540 * 8) / 2.0)
+        assert profile.packets_per_second == pytest.approx(1.5)
+
+    def test_steady_packet_sizes_flag(self):
+        steady = profile_flow(
+            make_trace({1: [(t, 500) for t in range(10)]}), 1
+        )
+        assert steady.steady_packet_sizes
+        bursty = profile_flow(
+            make_trace({1: [(0, 50), (1, 1000), (2, 30), (3, 900)]}), 1
+        )
+        assert not bursty.steady_packet_sizes
+
+    def test_single_packet_flow(self):
+        profile = profile_flow(make_trace({1: [(5.0, 300)]}), 1)
+        assert profile.packets == 1
+        assert profile.duration_s == 0.0
+        assert profile.mean_rate_bps == 0.0
+
+    def test_missing_flow_rejected(self):
+        with pytest.raises(AnalysisError):
+            profile_flow(make_trace({1: [(0, 1)]}), 2)
+
+
+class TestAggregates:
+    def test_profile_all_flows(self):
+        trace = make_trace({1: [(0, 500)], 2: [(0, 100), (1, 100)]})
+        profiles = profile_all_flows(trace)
+        assert set(profiles) == {1, 2}
+
+    def test_media_flow_is_biggest(self):
+        trace = make_trace({
+            1: [(t * 0.1, 900) for t in range(50)],  # media
+            2: [(0, 40), (1, 40)],  # acks
+        })
+        assert media_flow(trace).flow_id == 1
+
+    def test_media_flow_empty_trace(self):
+        with pytest.raises(AnalysisError):
+            media_flow(PacketTrace())
+
+    def test_format_profile(self):
+        profile = profile_flow(make_trace({7: [(0, 500), (1, 500)]}), 7)
+        text = format_profile(profile)
+        assert "flow 7" in text
+        assert "pkts" in text
+
+
+class TestEndToEndTrace:
+    def test_real_playback_flow_profile(self, loop, clean_path, rng):
+        """Capture a real streaming session and check [MH00]'s
+        observation: the media flow has steady packet sizes/rates."""
+        from repro.media.clip import ContentKind, make_clip
+        from repro.net.tracelog import PacketTraceLogger
+        from repro.server.session import StreamingSession
+        from repro.transport.base import Protocol
+        from repro.units import kbps
+
+        logger = PacketTraceLogger(loop)
+        logger.attach(clean_path.client_endpoint)
+        clip = make_clip("rtsp://t/f.rm", ContentKind.NEWS, max_kbps=150)
+        session = StreamingSession(
+            loop, clean_path, clip, Protocol.UDP,
+            client_max_bps=kbps(450), rtt_estimate_s=0.1, rng=rng,
+        )
+        session.udp.on_deliver = lambda p, s: None
+        session.start()
+        loop.run(until=20.0)
+        session.stop()
+        profile = media_flow(logger.trace)
+        assert profile.packets > 50
+        # Rate matches the media actually sent (the prebuffer burst
+        # front-loads the window above the level's nominal rate).
+        expected = session.level.total_bps * session.media_sent_s / 20.0
+        assert profile.mean_rate_bps == pytest.approx(expected, rel=0.35)

@@ -1,0 +1,82 @@
+"""ASCII plot rendering."""
+
+import pytest
+
+from repro.analysis.cdf import Cdf
+from repro.analysis.plotting import ascii_bars, ascii_cdf, ascii_scatter
+
+
+class TestAsciiCdf:
+    def test_renders_series_and_legend(self):
+        plot = ascii_cdf({"TCP": Cdf([1, 2, 3]), "UDP": Cdf([2, 3, 4])},
+                         x_label="fps")
+        assert "X=TCP" in plot
+        assert "O=UDP" in plot
+        assert "fps" in plot
+
+    def test_y_axis_spans_zero_to_one(self):
+        plot = ascii_cdf({"a": Cdf([1, 2, 3])})
+        lines = plot.splitlines()
+        assert lines[0].startswith("1.00")
+        assert any(line.startswith("0.00") for line in lines)
+
+    def test_x_max_override(self):
+        plot = ascii_cdf({"a": Cdf([1])}, x_max=500)
+        assert "500" in plot
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_cdf({})
+
+    def test_tiny_area_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_cdf({"a": Cdf([1])}, width=2, height=2)
+
+    def test_monotone_marks(self):
+        # For a single series, the mark column height never decreases
+        # left to right (CDF monotonicity shows up in the art).
+        plot = ascii_cdf({"a": Cdf(range(1, 50))}, width=30, height=10)
+        lines = [l.split("|", 1)[1] for l in plot.splitlines()
+                 if "|" in l and l[0].isdigit()]
+        heights = []
+        for column in range(30):
+            rows = [i for i, line in enumerate(lines)
+                    if column < len(line) and line[column] == "X"]
+            heights.append(min(rows) if rows else len(lines))
+        assert heights == sorted(heights, reverse=True)
+
+
+class TestAsciiBars:
+    def test_renders_all_bars(self):
+        plot = ascii_bars({"US": 2100, "UK": 59}, title="plays")
+        assert "plays" in plot
+        assert "US" in plot and "2100" in plot
+        assert "UK" in plot
+
+    def test_bar_lengths_proportional(self):
+        plot = ascii_bars({"big": 100, "small": 10}, width=50)
+        lines = plot.splitlines()
+        big = next(l for l in lines if "big" in l)
+        small = next(l for l in lines if "small" in l)
+        assert big.count("#") > small.count("#") * 5
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_bars({})
+
+
+class TestAsciiScatter:
+    def test_renders_points(self):
+        plot = ascii_scatter([(0, 0), (100, 10), (50, 5)],
+                             x_label="kbps", y_label="rating")
+        assert "o" in plot
+        assert "kbps" in plot
+        assert "rating" in plot
+
+    def test_single_point(self):
+        plot = ascii_scatter([(5, 5)])
+        assert "o" in plot
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_scatter([])

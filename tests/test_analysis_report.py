@@ -1,0 +1,39 @@
+"""Plain-text report rendering."""
+
+from repro.analysis.cdf import Cdf
+from repro.analysis.report import format_cdf_table, format_counts, format_summary
+from repro.analysis.stats import summarize
+
+
+class TestCdfTable:
+    def test_rows_and_columns(self):
+        table = format_cdf_table(
+            {"TCP": Cdf([1, 2, 3]), "UDP": Cdf([2, 3, 4])},
+            xs=[1, 2, 3, 4],
+            x_label="fps",
+        )
+        lines = table.splitlines()
+        assert len(lines) == 3
+        assert lines[0].startswith("fps")
+        assert lines[1].startswith("TCP")
+        assert "1.000" in lines[1]
+
+    def test_values_are_cdf_samples(self):
+        table = format_cdf_table({"a": Cdf([1, 2, 3, 4])}, xs=[2], x_label="x")
+        assert "0.500" in table
+
+
+class TestCounts:
+    def test_format(self):
+        text = format_counts({"US": 2100, "Egypt": 8}, "Plays per country")
+        assert "Plays per country" in text
+        assert "US" in text and "2100" in text
+        assert "Egypt" in text and "8" in text
+
+
+class TestSummary:
+    def test_format(self):
+        line = format_summary("frame rate", summarize([1.0, 2.0, 3.0]), "fps")
+        assert "frame rate" in line
+        assert "mean=2.000 fps" in line
+        assert "n=3" in line

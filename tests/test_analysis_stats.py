@@ -1,0 +1,90 @@
+"""Summary statistics and correlations."""
+
+import pytest
+
+from repro.analysis.stats import (
+    correlation,
+    per_user_correlations,
+    summarize,
+)
+from repro.core.records import StudyDataset
+from repro.errors import AnalysisError
+from tests.test_core_records import record
+
+
+class TestSummarize:
+    def test_basic(self):
+        stats = summarize([1, 2, 3, 4, 5])
+        assert stats.count == 5
+        assert stats.mean == 3.0
+        assert stats.median == 3.0
+        assert stats.minimum == 1.0
+        assert stats.maximum == 5.0
+        assert stats.p25 == 2.0
+        assert stats.p75 == 4.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(AnalysisError):
+            summarize([])
+
+    def test_single_point(self):
+        stats = summarize([7.0])
+        assert stats.mean == stats.median == 7.0
+        assert stats.std == 0.0
+
+
+class TestCorrelation:
+    def test_perfect_positive(self):
+        assert correlation([1, 2, 3], [10, 20, 30]) == pytest.approx(1.0)
+
+    def test_perfect_negative(self):
+        assert correlation([1, 2, 3], [3, 2, 1]) == pytest.approx(-1.0)
+
+    def test_zero_variance_is_zero(self):
+        assert correlation([1, 1, 1], [1, 2, 3]) == 0.0
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(AnalysisError):
+            correlation([1, 2], [1])
+
+    def test_needs_two_points(self):
+        with pytest.raises(AnalysisError):
+            correlation([1], [1])
+
+
+class TestPerUserCorrelations:
+    def test_detects_per_user_structure(self):
+        # Two users with opposite anchors but both rating ~ bandwidth.
+        records = []
+        for user, base in (("u1", 2), ("u2", 6)):
+            for i, bw in enumerate((50_000, 150_000, 300_000, 400_000)):
+                records.append(
+                    record(
+                        user_id=user,
+                        measured_bandwidth_bps=float(bw),
+                        rating=base + i,
+                    )
+                )
+        ds = StudyDataset(records)
+        per_user = per_user_correlations(
+            ds, "measured_bandwidth_bps", "rating"
+        )
+        assert set(per_user) == {"u1", "u2"}
+        assert all(value > 0.9 for value in per_user.values())
+
+    def test_min_points_respected(self):
+        ds = StudyDataset(
+            [record(user_id="u1", rating=1), record(user_id="u1", rating=2)]
+        )
+        assert per_user_correlations(
+            ds, "measured_bandwidth_bps", "rating", min_points=3
+        ) == {}
+
+    def test_constant_user_skipped(self):
+        ds = StudyDataset(
+            [record(user_id="u1", rating=5, measured_bandwidth_bps=b)
+             for b in (1e5, 2e5, 3e5)]
+        )
+        assert per_user_correlations(
+            ds, "measured_bandwidth_bps", "rating"
+        ) == {}

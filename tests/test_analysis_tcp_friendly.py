@@ -1,0 +1,62 @@
+"""TCP-friendliness comparison."""
+
+import pytest
+
+from repro.analysis.tcp_friendly import compare_protocols
+from repro.core.records import StudyDataset
+from repro.errors import AnalysisError
+from repro.units import kbps
+from tests.test_core_records import record
+
+
+def mixed_dataset(tcp_bw, udp_bw):
+    records = []
+    for bw in tcp_bw:
+        records.append(record(protocol="TCP", measured_bandwidth_bps=bw))
+    for bw in udp_bw:
+        records.append(record(protocol="UDP", measured_bandwidth_bps=bw))
+    return StudyDataset(records)
+
+
+class TestCompareProtocols:
+    def test_shares(self):
+        ds = mixed_dataset([kbps(100)] * 44, [kbps(100)] * 56)
+        report = compare_protocols(ds)
+        assert report.tcp_share == pytest.approx(0.44)
+        assert report.udp_share == pytest.approx(0.56)
+
+    def test_identical_distributions_are_comparable(self):
+        bw = [kbps(x) for x in (50, 100, 150, 200, 250)]
+        report = compare_protocols(mixed_dataset(bw, bw))
+        assert report.ratio_p50 == pytest.approx(1.0)
+        assert report.comparable
+
+    def test_udp_slightly_higher_not_strictly_friendly(self):
+        tcp = [kbps(x) for x in (50, 100, 150, 200)]
+        udp = [kbps(x * 1.2) for x in (50, 100, 150, 200)]
+        report = compare_protocols(mixed_dataset(tcp, udp))
+        assert report.comparable
+        assert not report.strictly_friendly
+
+    def test_wildly_unfriendly_flagged(self):
+        tcp = [kbps(50)] * 10
+        udp = [kbps(400)] * 10
+        report = compare_protocols(mixed_dataset(tcp, udp))
+        assert not report.comparable
+
+    def test_unplayed_records_excluded(self):
+        ds = mixed_dataset([kbps(100)] * 5, [kbps(100)] * 5)
+        ds.append(record(protocol="UDP", outcome="unavailable",
+                         measured_bandwidth_bps=kbps(9999)))
+        report = compare_protocols(ds)
+        assert report.udp_count == 5
+
+    def test_single_protocol_rejected(self):
+        ds = mixed_dataset([kbps(100)] * 5, [])
+        with pytest.raises(AnalysisError):
+            compare_protocols(ds)
+
+    def test_zero_tcp_quantile_handled(self):
+        ds = mixed_dataset([0.0] * 4, [kbps(10)] * 4)
+        report = compare_protocols(ds)
+        assert report.ratio_p50 == float("inf")

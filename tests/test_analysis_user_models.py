@@ -1,0 +1,95 @@
+"""Per-user quality mapping (the paper's future-work analysis)."""
+
+import pytest
+
+from repro.analysis.user_models import (
+    compare_global_vs_per_user,
+    fit_user_models,
+    objective_score,
+)
+from repro.core.records import StudyDataset
+from repro.errors import AnalysisError
+from tests.test_core_records import record
+
+
+def quality_record(user_id, fps, jitter_ms, rating, rebuffers=0):
+    return record(
+        user_id=user_id,
+        measured_frame_rate=fps,
+        jitter_s=jitter_ms / 1000.0,
+        rebuffer_count=rebuffers,
+        rebuffer_total_s=rebuffers * 8.0,
+        rating=rating,
+    )
+
+
+def normalizing_users_dataset():
+    """Two users with perfectly consistent but offset rating scales."""
+    records = []
+    playbacks = [  # (fps, jitter_ms) from bad to good
+        (1.0, 800), (4.0, 300), (8.0, 120), (12.0, 50), (15.0, 10),
+    ]
+    for user_id, offset in (("low-anchor", 1), ("high-anchor", 5)):
+        for i, (fps, jitter) in enumerate(playbacks):
+            records.append(
+                quality_record(user_id, fps, jitter, rating=offset + i)
+            )
+    return StudyDataset(records)
+
+
+class TestObjectiveScore:
+    def test_monotone_cases(self):
+        good = objective_score(quality_record("u", 15.0, 10, 5))
+        mid = objective_score(quality_record("u", 7.0, 100, 5))
+        bad = objective_score(quality_record("u", 1.0, 900, 5, rebuffers=3))
+        assert good > mid > bad
+
+    def test_unplayed_is_zero(self):
+        assert objective_score(record(outcome="unavailable")) == 0.0
+
+    def test_bounded(self):
+        assert 0.0 <= objective_score(quality_record("u", 40.0, 0, 5)) <= 1.0
+
+
+class TestFitUserModels:
+    def test_consistent_users_fit_well(self):
+        models = fit_user_models(normalizing_users_dataset(), min_points=4)
+        assert set(models) == {"low-anchor", "high-anchor"}
+        for model in models.values():
+            assert model.r_squared > 0.8
+            assert model.slope > 0
+
+    def test_offsets_show_in_intercepts(self):
+        models = fit_user_models(normalizing_users_dataset(), min_points=4)
+        assert (
+            models["high-anchor"].intercept > models["low-anchor"].intercept
+        )
+
+    def test_prediction(self):
+        models = fit_user_models(normalizing_users_dataset(), min_points=4)
+        model = models["low-anchor"]
+        assert model.predict(1.0) > model.predict(0.0)
+
+    def test_min_points_respected(self):
+        ds = StudyDataset([quality_record("u", 10, 50, 5)])
+        assert fit_user_models(ds, min_points=4) == {}
+
+
+class TestGlobalVsPerUser:
+    def test_per_user_beats_global_for_normalizing_raters(self):
+        comparison = compare_global_vs_per_user(
+            normalizing_users_dataset(), min_points=4
+        )
+        assert comparison.users_modelled == 2
+        assert comparison.per_user_wins
+        assert comparison.mean_per_user_r_squared > comparison.global_r_squared
+
+    def test_slope_positive(self):
+        comparison = compare_global_vs_per_user(
+            normalizing_users_dataset(), min_points=4
+        )
+        assert comparison.median_per_user_slope > 0
+
+    def test_too_little_data_rejected(self):
+        with pytest.raises(AnalysisError):
+            compare_global_vs_per_user(StudyDataset(), min_points=4)

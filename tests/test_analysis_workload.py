@@ -1,0 +1,83 @@
+"""Workload/caching analysis."""
+
+import pytest
+
+from repro.analysis.workload import (
+    cache_byte_savings,
+    clip_popularity,
+    format_workload,
+    summarize_workload,
+)
+from repro.core.records import StudyDataset
+from repro.errors import AnalysisError
+from repro.units import kbps
+from tests.test_core_records import record
+
+
+def dataset_with_repeats():
+    return StudyDataset([
+        record(user_id="u1", clip_url="rtsp://a",
+               measured_bandwidth_bps=kbps(200), play_span_s=60.0),
+        record(user_id="u2", clip_url="rtsp://a",
+               measured_bandwidth_bps=kbps(200), play_span_s=60.0),
+        record(user_id="u3", clip_url="rtsp://a",
+               measured_bandwidth_bps=kbps(200), play_span_s=60.0),
+        record(user_id="u1", clip_url="rtsp://b",
+               measured_bandwidth_bps=kbps(100), play_span_s=30.0),
+        record(user_id="u2", clip_url="rtsp://b", outcome="unavailable",
+               measured_bandwidth_bps=0.0, play_span_s=0.0),
+    ])
+
+
+class TestSummarizeWorkload:
+    def test_counts(self):
+        summary = summarize_workload(dataset_with_repeats())
+        assert summary.sessions == 5
+        assert summary.played_sessions == 4
+        assert summary.distinct_clips == 2
+        assert summary.max_clip_requests == 3
+
+    def test_repeat_fraction(self):
+        summary = summarize_workload(dataset_with_repeats())
+        # 4 played requests for 2 distinct clips -> 2 repeats.
+        assert summary.repeat_request_fraction == pytest.approx(0.5)
+
+    def test_session_sizes_positive(self):
+        summary = summarize_workload(dataset_with_repeats())
+        assert summary.total_bytes > 0
+        assert summary.mean_session_bytes > 0
+
+    def test_empty_rejected(self):
+        with pytest.raises(AnalysisError):
+            summarize_workload(StudyDataset())
+
+    def test_format(self):
+        text = format_workload(summarize_workload(dataset_with_repeats()))
+        assert "sessions" in text
+        assert "distinct clips" in text
+
+
+class TestPopularityAndCaching:
+    def test_popularity_ranking(self):
+        ranked = clip_popularity(dataset_with_repeats())
+        assert ranked[0] == ("rtsp://a", 3)
+        assert ranked[1] == ("rtsp://b", 1)
+
+    def test_cache_savings_with_repeats(self):
+        # Clip a: 3 identical fetches -> 2/3 of its bytes cacheable.
+        savings = cache_byte_savings(dataset_with_repeats())
+        assert 0.4 < savings < 0.8
+
+    def test_no_savings_without_repeats(self):
+        ds = StudyDataset([
+            record(clip_url="rtsp://a"),
+            record(clip_url="rtsp://b"),
+        ])
+        assert cache_byte_savings(ds) == pytest.approx(0.0)
+
+    def test_shared_playlist_drives_high_savings(self):
+        # 10 users x same clip: ~90% of bytes cacheable.
+        ds = StudyDataset([
+            record(user_id=f"u{i}", clip_url="rtsp://a") for i in range(10)
+        ])
+        assert cache_byte_savings(ds) == pytest.approx(0.9, abs=0.02)

@@ -1,0 +1,64 @@
+"""Calibration guard: the paper's headline shapes at small scale.
+
+A coarse, end-to-end regression net: if a refactor silently breaks the
+era calibration (paths too clean, adaptation broken, modems fine), one
+of these loose envelope checks trips.  The benchmarks assert tighter
+shapes at larger scale; EXPERIMENTS.md records the full-scale run.
+"""
+
+import pytest
+
+from repro.analysis.cdf import Cdf
+from repro.analysis import breakdowns
+from repro.core.study import Study, StudyConfig
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return Study(StudyConfig(seed=1848, scale=0.05)).run()
+
+
+class TestHeadlineEnvelope:
+    def test_mean_frame_rate_near_ten(self, dataset):
+        fps = Cdf(dataset.played().values("measured_frame_rate"))
+        assert 6.0 <= fps.mean <= 14.0
+
+    def test_meaningful_tails_exist(self, dataset):
+        fps = Cdf(dataset.played().values("measured_frame_rate"))
+        assert fps.fraction_below(3.0) > 0.05
+        assert fps.fraction_at_least(15.0) > 0.05
+
+    def test_modem_worse_than_broadband(self, dataset):
+        groups = breakdowns.by_connection(dataset.played())
+        modem = Cdf(groups["56k Modem"].values("measured_frame_rate"))
+        dsl = Cdf(groups["DSL/Cable"].values("measured_frame_rate"))
+        assert modem.mean < dsl.mean - 2.0
+
+    def test_both_protocols_present_in_sane_ratio(self, dataset):
+        played = dataset.played()
+        tcp = len(played.filter(lambda r: r.protocol == "TCP"))
+        share = tcp / len(played)
+        assert 0.25 <= share <= 0.65
+
+    def test_unavailability_near_ten_percent(self, dataset):
+        reachable = dataset.filter(lambda r: r.outcome != "control_failed")
+        unavailable = len(
+            reachable.filter(lambda r: r.outcome == "unavailable")
+        )
+        # ~10% +/- binomial noise at this tiny scale (n ~ 140).
+        assert 0.02 <= unavailable / len(reachable) <= 0.20
+
+    def test_jitter_has_smooth_majority_and_bad_tail(self, dataset):
+        jitter = Cdf([r.jitter_ms for r in dataset.with_jitter()])
+        assert jitter.at(50.0) > 0.35
+        assert jitter.fraction_at_least(300.0) > 0.05
+
+    def test_some_rebuffering_happens(self, dataset):
+        stalls = sum(r.rebuffer_count for r in dataset.played())
+        assert stalls > 0
+
+    def test_ratings_centered(self, dataset):
+        rated = dataset.rated()
+        if len(rated) >= 20:
+            ratings = Cdf(rated.values("rating"))
+            assert 3.5 <= ratings.mean <= 6.5

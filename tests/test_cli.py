@@ -1,0 +1,69 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro import cli
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            cli.build_parser().parse_args([])
+
+    def test_play_defaults(self):
+        args = cli.build_parser().parse_args(["play"])
+        assert args.seed == 42
+        assert not args.trace
+
+    def test_study_args(self):
+        args = cli.build_parser().parse_args(
+            ["study", "--scale", "0.2", "--out", "x.csv"]
+        )
+        assert args.scale == 0.2
+
+
+class TestPlayCommand:
+    def test_play_runs(self, capsys):
+        code = cli.main(["play", "--seed", "7", "--connection", "DSL/Cable"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "outcome=" in out
+        assert "frame rate" in out
+
+    def test_play_with_trace(self, capsys):
+        code = cli.main(
+            ["play", "--seed", "8", "--connection", "T1/LAN", "--trace"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "flow profiles" in out
+        assert "flow " in out
+
+
+class TestStudyAndReport:
+    def test_study_then_report_round_trip(self, tmp_path, capsys):
+        csv_path = tmp_path / "study.csv"
+        code = cli.main([
+            "study", "--seed", "5", "--scale", "0.02",
+            "--out", str(csv_path), "--quiet",
+        ])
+        assert code == 0
+        assert csv_path.exists()
+
+        code = cli.main(["report", "--csv", str(csv_path), "--plots"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "frame rate" in out
+        assert "protocols:" in out
+        assert "workload" in out.lower()
+        assert "plays per country" in out
+
+    def test_report_rejects_empty(self, tmp_path, capsys):
+        from repro.core.records import StudyDataset
+        from tests.test_core_records import record
+
+        path = tmp_path / "empty.csv"
+        StudyDataset(
+            [record(outcome="unavailable")]
+        ).to_csv(path)
+        assert cli.main(["report", "--csv", str(path)]) == 2

@@ -1,0 +1,149 @@
+"""RealTracer: one playback end to end."""
+
+import numpy as np
+import pytest
+
+from repro.core.realtracer import RealTracer, TracerConfig
+from repro.rng import RngFactory
+from repro.world.population import build_population
+
+
+@pytest.fixture(scope="module")
+def world():
+    rngs = RngFactory(123)
+    population = build_population(rngs, playlist_length=14)
+    return rngs, population
+
+
+def find_user(population, connection=None, country=None):
+    for user in population.users:
+        if user.rtsp_blocked:
+            continue
+        if connection and user.connection.name != connection:
+            continue
+        if country and user.country.code != country:
+            continue
+        return user
+    raise AssertionError("no matching user in test population")
+
+
+class TestPlayClip:
+    def test_produces_complete_record(self, world):
+        rngs, population = world
+        tracer = RealTracer()
+        user = find_user(population, connection="DSL/Cable", country="US")
+        site, clip = population.playlist[0]
+        rec = tracer.play_clip(user, site, clip, rngs.child("a"))
+        assert rec.user_id == user.user_id
+        assert rec.server_name == site.name
+        assert rec.clip_url == clip.url
+        assert rec.outcome in ("played", "unavailable", "control_failed")
+
+    def test_played_record_has_performance(self, world):
+        rngs, population = world
+        tracer = RealTracer()
+        user = find_user(population, connection="DSL/Cable", country="US")
+        for i, (site, clip) in enumerate(population.playlist):
+            rec = tracer.play_clip(user, site, clip, rngs.child("b", str(i)))
+            if rec.played:
+                break
+        assert rec.played
+        assert rec.protocol in ("TCP", "UDP")
+        assert rec.measured_bandwidth_bps > 0
+        assert rec.play_span_s > 0
+        assert rec.encoded_bandwidth_bps > 0
+
+    def test_deterministic_given_rng(self, world):
+        rngs, population = world
+        user = find_user(population, connection="DSL/Cable", country="US")
+        site, clip = population.playlist[1]
+        rec1 = RealTracer().play_clip(user, site, clip, rngs.child("det"))
+        rec2 = RealTracer().play_clip(user, site, clip, rngs.child("det"))
+        assert rec1 == rec2
+
+    def test_play_limit_respected(self, world):
+        rngs, population = world
+        config = TracerConfig(play_limit_s=20.0)
+        tracer = RealTracer(config=config)
+        user = find_user(population, connection="T1/LAN", country="US")
+        for i, (site, clip) in enumerate(population.playlist):
+            rec = tracer.play_clip(user, site, clip, rngs.child("lim", str(i)))
+            if rec.played and rec.frames_displayed > 0:
+                break
+        assert rec.play_span_s <= 21.0
+
+    def test_rating_only_when_requested(self, world):
+        rngs, population = world
+        tracer = RealTracer()
+        user = find_user(population, connection="DSL/Cable")
+        site, clip = population.playlist[2]
+        unrated = tracer.play_clip(user, site, clip, rngs.child("r1"),
+                                   rate_it=False)
+        assert unrated.rating == -1
+
+    def test_timeline_sampling(self, world):
+        rngs, population = world
+        config = TracerConfig(sample_timeline=True)
+        tracer = RealTracer(config=config)
+        user = find_user(population, connection="T1/LAN", country="US")
+        for i, (site, clip) in enumerate(population.playlist):
+            rec = tracer.play_clip(user, site, clip, rngs.child("tl", str(i)))
+            if rec.played and rec.frames_displayed > 0:
+                break
+        samples = tracer.last_player.stats.samples
+        assert len(samples) > 30
+        assert any(s.bandwidth_bps > 0 for s in samples)
+        assert any(s.frame_rate_fps > 0 for s in samples)
+        # Coded values track the announced level.
+        assert any(s.coded_bandwidth_bps > 0 for s in samples)
+
+    def test_unavailable_clip_recorded(self, world):
+        rngs, population = world
+        # BRZ/UOL has a 21% unavailability rate; with enough seeds we
+        # must observe at least one unavailable outcome.
+        site, clip = next(
+            (s, c) for s, c in population.playlist if s.name == "BRZ/UOL"
+        )
+        tracer = RealTracer()
+        user = find_user(population, connection="DSL/Cable")
+        outcomes = {
+            tracer.play_clip(user, site, clip, rngs.child("u", str(i))).outcome
+            for i in range(25)
+        }
+        assert "unavailable" in outcomes
+
+    def test_modem_user_much_worse_than_t1(self, world):
+        rngs, population = world
+        tracer = RealTracer()
+
+        def capable(connection):
+            # Compare on network alone: pick users whose PCs are not
+            # the bottleneck (Figure 19's old classes excluded).
+            for user in population.users:
+                if (
+                    user.connection.name == connection
+                    and user.country.code == "US"
+                    and user.pc.profile.decode_budget_fps > 20
+                ):
+                    return user
+            raise AssertionError("no capable user found")
+
+        modem = capable("56k Modem")
+        t1 = capable("T1/LAN")
+        site, clip = next(
+            (s, c)
+            for s, c in population.playlist
+            if c.ladder.highest.total_bps >= 225_000
+            and c.ladder.lowest.total_bps <= 34_000
+        )
+        modem_fps = []
+        t1_fps = []
+        for i in range(4):
+            rec_m = tracer.play_clip(modem, site, clip, rngs.child("m", str(i)))
+            rec_t = tracer.play_clip(t1, site, clip, rngs.child("t", str(i)))
+            if rec_m.played:
+                modem_fps.append(rec_m.measured_frame_rate)
+            if rec_t.played:
+                t1_fps.append(rec_t.measured_frame_rate)
+        if modem_fps and t1_fps:
+            assert np.mean(modem_fps) < np.mean(t1_fps)

@@ -1,0 +1,129 @@
+"""Clip records and the study dataset."""
+
+import pytest
+
+from repro.core.records import ClipRecord, StudyDataset
+
+
+def record(**overrides) -> ClipRecord:
+    base = dict(
+        user_id="user001",
+        user_country="US",
+        user_state="MA",
+        user_region="US/Canada",
+        connection="DSL/Cable",
+        pc_class="Pentium III / 256-512MB",
+        server_name="US/CNN",
+        server_country="US",
+        server_region="US/Canada",
+        clip_url="rtsp://us.cnn/clip00.rm",
+        outcome="played",
+        protocol="UDP",
+        encoded_bandwidth_bps=225_000.0,
+        encoded_frame_rate=24.0,
+        measured_bandwidth_bps=210_000.0,
+        measured_frame_rate=14.5,
+        jitter_s=0.032,
+        frames_displayed=870,
+        frames_late=3,
+        frames_lost=5,
+        frames_thinned=0,
+        rebuffer_count=0,
+        rebuffer_total_s=0.0,
+        initial_buffering_s=8.2,
+        play_span_s=60.0,
+        cpu_utilization=0.4,
+        rating=7,
+    )
+    base.update(overrides)
+    return ClipRecord(**base)
+
+
+class TestClipRecord:
+    def test_played_predicate(self):
+        assert record().played
+        assert not record(outcome="unavailable").played
+
+    def test_rated_predicate(self):
+        assert record(rating=0).rated
+        assert not record(rating=-1).rated
+
+    def test_jitter_ms(self):
+        assert record(jitter_s=0.25).jitter_ms == pytest.approx(250.0)
+
+    def test_has_jitter_sample(self):
+        assert record(frames_displayed=3).has_jitter_sample
+        assert not record(frames_displayed=2).has_jitter_sample
+
+
+class TestStudyDataset:
+    def test_len_iter_index(self):
+        ds = StudyDataset([record(), record(rating=-1)])
+        assert len(ds) == 2
+        assert ds[0].rating == 7
+        assert len(list(ds)) == 2
+
+    def test_append_extend(self):
+        ds = StudyDataset()
+        ds.append(record())
+        ds.extend([record(), record()])
+        assert len(ds) == 3
+
+    def test_played_filter(self):
+        ds = StudyDataset([
+            record(),
+            record(outcome="unavailable"),
+            record(outcome="control_failed"),
+        ])
+        assert len(ds.played()) == 1
+
+    def test_rated_filter(self):
+        ds = StudyDataset([record(rating=5), record(rating=-1)])
+        assert len(ds.rated()) == 1
+
+    def test_with_jitter_filter(self):
+        ds = StudyDataset([
+            record(frames_displayed=100),
+            record(frames_displayed=0, measured_frame_rate=0.0),
+            record(outcome="unavailable"),
+        ])
+        assert len(ds.with_jitter()) == 1
+
+    def test_exclude_state(self):
+        ds = StudyDataset([record(user_state="MA"), record(user_state="CA")])
+        assert len(ds.exclude_state("MA")) == 1
+
+    def test_values_column(self):
+        ds = StudyDataset([record(measured_frame_rate=5.0),
+                           record(measured_frame_rate=10.0)])
+        assert ds.values("measured_frame_rate") == [5.0, 10.0]
+
+
+class TestCsvRoundTrip:
+    def test_round_trip_preserves_everything(self, tmp_path):
+        ds = StudyDataset([
+            record(),
+            record(outcome="unavailable", rating=-1, protocol=""),
+            record(user_country="AU", user_state="", rating=0),
+        ])
+        path = tmp_path / "study.csv"
+        ds.to_csv(path)
+        loaded = StudyDataset.from_csv(path)
+        assert len(loaded) == 3
+        for original, restored in zip(ds, loaded):
+            assert original == restored
+
+    def test_string_round_trip(self):
+        ds = StudyDataset([record()])
+        text = ds.to_csv_string()
+        loaded = StudyDataset.from_csv_string(text)
+        assert loaded[0] == ds[0]
+
+    def test_types_restored(self, tmp_path):
+        ds = StudyDataset([record()])
+        path = tmp_path / "study.csv"
+        ds.to_csv(path)
+        restored = StudyDataset.from_csv(path)[0]
+        assert isinstance(restored.frames_displayed, int)
+        assert isinstance(restored.measured_frame_rate, float)
+        assert isinstance(restored.rating, int)

@@ -1,0 +1,93 @@
+"""Study orchestration."""
+
+import pytest
+
+from repro.core.study import Study, StudyConfig
+from repro.core.submission import SubmissionSink
+from repro.errors import StudyError
+
+
+@pytest.fixture(scope="module")
+def small_dataset():
+    study = Study(StudyConfig(seed=5, playlist_length=10, max_users=8,
+                              scale=0.2))
+    return study, study.run()
+
+
+class TestStudyRun:
+    def test_produces_records(self, small_dataset):
+        study, ds = small_dataset
+        assert len(ds) > 0
+
+    def test_every_user_contributes(self, small_dataset):
+        study, ds = small_dataset
+        users_seen = {r.user_id for r in ds}
+        expected = {u.user_id for u in study.population.users}
+        assert users_seen == expected
+
+    def test_records_follow_playlist(self, small_dataset):
+        study, ds = small_dataset
+        playlist_urls = {c.url for _, c in study.population.playlist}
+        assert all(r.clip_url in playlist_urls for r in ds)
+
+    def test_ratings_capped_by_targets(self, small_dataset):
+        study, ds = small_dataset
+        by_user = {}
+        for r in ds:
+            if r.rated:
+                by_user[r.user_id] = by_user.get(r.user_id, 0) + 1
+        targets = {u.user_id: u.ratings_target for u in study.population.users}
+        for user_id, rated in by_user.items():
+            assert rated <= targets[user_id]
+
+    def test_reproducible(self):
+        config = StudyConfig(seed=9, playlist_length=6, max_users=4, scale=0.15)
+        a = Study(config).run()
+        b = Study(config).run()
+        assert len(a) == len(b)
+        for ra, rb in zip(a, b):
+            assert ra == rb
+
+    def test_different_seed_differs(self):
+        a = Study(StudyConfig(seed=1, playlist_length=6, max_users=4,
+                              scale=0.15)).run()
+        b = Study(StudyConfig(seed=2, playlist_length=6, max_users=4,
+                              scale=0.15)).run()
+        assert any(ra != rb for ra, rb in zip(a, b))
+
+    def test_progress_callback(self):
+        calls = []
+        study = Study(StudyConfig(seed=4, playlist_length=4, max_users=3,
+                                  scale=0.1))
+        study.run(progress=lambda done, total: calls.append((done, total)))
+        assert calls
+        assert calls[-1][0] == len(calls)
+
+    def test_sink_receives_all_records(self, tmp_path):
+        sink = SubmissionSink(tmp_path / "submissions.csv")
+        study = Study(StudyConfig(seed=4, playlist_length=4, max_users=3,
+                                  scale=0.1))
+        ds = study.run(sink=sink)
+        assert len(sink.records) == len(ds)
+        from repro.core.records import StudyDataset
+
+        loaded = StudyDataset.from_csv(tmp_path / "submissions.csv")
+        assert len(loaded) == len(ds)
+
+
+class TestStudyConfig:
+    def test_scale_validation(self):
+        with pytest.raises(ValueError):
+            StudyConfig(scale=0.0)
+        with pytest.raises(ValueError):
+            StudyConfig(scale=1.5)
+
+    def test_bad_population_rejected(self):
+        from repro.world.population import StudyPopulation
+
+        with pytest.raises(StudyError):
+            Study(population=StudyPopulation(users=(), playlist=()))
+
+    def test_scaled_plays_bounded_by_playlist(self):
+        study = Study(StudyConfig(seed=3, playlist_length=5, max_users=2))
+        assert study._scaled_plays(98) == 5

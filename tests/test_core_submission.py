@@ -1,0 +1,40 @@
+"""Submission sink (the email/FTP upload analog)."""
+
+from repro.core.records import StudyDataset
+from repro.core.submission import SubmissionSink
+from tests.test_core_records import record
+
+
+class TestSubmissionSink:
+    def test_collects_in_memory(self):
+        sink = SubmissionSink()
+        sink.submit(record())
+        sink.submit(record(rating=-1))
+        assert len(sink.records) == 2
+        assert len(sink.as_dataset()) == 2
+
+    def test_appends_to_csv(self, tmp_path):
+        path = tmp_path / "out.csv"
+        sink = SubmissionSink(path)
+        sink.submit(record())
+        sink.submit(record(user_id="user002"))
+        loaded = StudyDataset.from_csv(path)
+        assert len(loaded) == 2
+        assert loaded[1].user_id == "user002"
+
+    def test_overwrites_stale_file(self, tmp_path):
+        path = tmp_path / "out.csv"
+        path.write_text("stale\n")
+        sink = SubmissionSink(path)
+        sink.submit(record())
+        loaded = StudyDataset.from_csv(path)
+        assert len(loaded) == 1
+
+    def test_csv_written_incrementally(self, tmp_path):
+        path = tmp_path / "out.csv"
+        sink = SubmissionSink(path)
+        sink.submit(record())
+        # Readable mid-study, like the original archive.
+        assert len(StudyDataset.from_csv(path)) == 1
+        sink.submit(record())
+        assert len(StudyDataset.from_csv(path)) == 2

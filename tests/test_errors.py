@@ -1,0 +1,37 @@
+"""Exception hierarchy."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for name in (
+            "SimulationError",
+            "TransportError",
+            "ConnectionClosedError",
+            "RtspError",
+            "ClipUnavailableError",
+            "FirewallBlockedError",
+            "PlayerError",
+            "StudyError",
+            "AnalysisError",
+        ):
+            assert issubclass(getattr(errors, name), errors.ReproError)
+
+    def test_connection_closed_is_transport_error(self):
+        assert issubclass(errors.ConnectionClosedError, errors.TransportError)
+
+    def test_clip_unavailable_carries_context(self):
+        exc = errors.ClipUnavailableError("rtsp://x/c.rm", "US/CNN")
+        assert exc.clip_url == "rtsp://x/c.rm"
+        assert exc.server_name == "US/CNN"
+        assert "US/CNN" in str(exc)
+
+    def test_firewall_is_rtsp_error(self):
+        assert issubclass(errors.FirewallBlockedError, errors.RtspError)
+
+    def test_catching_base_catches_all(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.StudyError("boom")

@@ -1,0 +1,62 @@
+"""Examples: importable, and the cheap entry points run.
+
+The heavyweight example mains (which run multi-minute studies) are not
+executed here; their building blocks are exercised at small scale.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def load_example(name: str):
+    spec = importlib.util.spec_from_file_location(
+        f"example_{name}", EXAMPLES / f"{name}.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+ALL_EXAMPLES = [
+    "quickstart",
+    "single_session",
+    "tcp_friendliness",
+    "live_vs_prerecorded",
+    "custom_population",
+    "realdata_analysis",
+]
+
+
+class TestImportable:
+    @pytest.mark.parametrize("name", ALL_EXAMPLES)
+    def test_imports_cleanly(self, name):
+        module = load_example(name)
+        assert hasattr(module, "main") or hasattr(module, "play_one_clip")
+
+
+class TestCheapEntryPoints:
+    def test_quickstart_single_clip(self, capsys):
+        load_example("quickstart").play_one_clip()
+        out = capsys.readouterr().out
+        assert "outcome:" in out
+        assert "measured framerate:" in out
+
+    def test_single_session_timeline(self, capsys):
+        load_example("single_session").main()
+        out = capsys.readouterr().out
+        assert "coded_fps" in out
+        assert "mean frame rate" in out
+
+    def test_custom_population_builder(self):
+        module = load_example("custom_population")
+        population = module.upgraded_population(seed=3)
+        assert all(
+            u.connection.name != "56k Modem" for u in population.users
+        )
+        assert population.playlist_length == 98

@@ -1,0 +1,76 @@
+"""Experiment harness: every figure runs on a tiny study."""
+
+import pytest
+
+from repro.experiments.base import (
+    ExperimentContext,
+    FigureResult,
+    all_figures,
+    make_context,
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_ctx() -> ExperimentContext:
+    # A tiny-but-complete slice: all users, few plays each.
+    return make_context(seed=31, scale=0.04)
+
+
+class TestRegistry:
+    def test_all_26_figures_registered(self):
+        figures = all_figures()
+        assert len(figures) == 26
+        ids = [figure.figure_id for figure in figures]
+        assert len(set(ids)) == 26
+        assert ids[0] == "fig01"
+        assert ids[-1] == "fig28"
+
+    def test_figures_in_paper_order(self):
+        ids = [figure.figure_id for figure in all_figures()]
+        numeric = [
+            int(figure_id[3:5]) for figure_id in ids
+        ]
+        assert numeric == sorted(numeric)
+
+
+class TestAllFiguresRun:
+    @pytest.mark.parametrize(
+        "figure", all_figures(), ids=lambda f: f.figure_id
+    )
+    def test_figure_produces_result(self, figure, tiny_ctx):
+        result = figure.run(tiny_ctx)
+        assert isinstance(result, FigureResult)
+        assert result.figure_id == figure.figure_id
+        assert result.text
+        assert result.headline
+        # Every headline value is a plain float (JSON-serializable).
+        assert all(isinstance(v, float) for v in result.headline.values())
+        # Series carry at least one point each.
+        for name, points in result.series.items():
+            assert points, f"empty series {name!r}"
+
+
+class TestContext:
+    def test_context_carries_dataset_and_population(self, tiny_ctx):
+        assert len(tiny_ctx.dataset) > 0
+        assert tiny_ctx.population.playlist_length == 98
+        assert tiny_ctx.scale == 0.04
+
+    def test_runner_writes_outputs(self, tiny_ctx, tmp_path, monkeypatch):
+        # Drive the CLI runner with a pre-built tiny context by
+        # patching make_context (avoids a second simulation).
+        from repro.experiments import runner
+
+        monkeypatch.setattr(
+            runner, "make_context", lambda **kwargs: tiny_ctx
+        )
+        out = tmp_path / "results"
+        code = runner.main(
+            ["--scale", "0.04", "--out", str(out), "--quiet",
+             "--csv", str(tmp_path / "study.csv")]
+        )
+        assert code == 0
+        assert (out / "summary.json").exists()
+        assert (out / "fig11.txt").exists()
+        assert (out / "fig28.json").exists()
+        assert (tmp_path / "study.csv").exists()

@@ -1,0 +1,150 @@
+"""Cross-cutting integration scenarios over the whole stack."""
+
+import numpy as np
+import pytest
+
+from repro.core.realtracer import RealTracer, TracerConfig
+from repro.core.study import Study, StudyConfig
+from repro.rng import RngFactory
+from repro.world.population import build_population
+
+
+@pytest.fixture(scope="module")
+def world():
+    rngs = RngFactory(777)
+    return rngs, build_population(rngs, playlist_length=20)
+
+
+def users_where(population, **criteria):
+    out = []
+    for u in population.users:
+        if u.rtsp_blocked:
+            continue
+        if criteria.get("connection") and u.connection.name != criteria["connection"]:
+            continue
+        if criteria.get("country") and u.country.code != criteria["country"]:
+            continue
+        if criteria.get("fast_pc") and u.pc.profile.decode_budget_fps <= 20:
+            continue
+        out.append(u)
+    return out
+
+
+class TestConnectionOrdering:
+    """The paper's C2: modem << DSL ~ T1 on frame rate."""
+
+    def test_broadband_beats_modem_in_aggregate(self, world):
+        rngs, population = world
+        tracer = RealTracer()
+        results = {"56k Modem": [], "DSL/Cable": []}
+        for connection in results:
+            for user in users_where(
+                population, connection=connection, country="US", fast_pc=True
+            )[:2]:
+                for position in (0, 3, 5):
+                    site, clip = population.playlist[position]
+                    rec = tracer.play_clip(
+                        user, site, clip,
+                        rngs.child("order", user.user_id, str(position)),
+                    )
+                    if rec.played:
+                        results[connection].append(rec.measured_frame_rate)
+        assert np.mean(results["DSL/Cable"]) > np.mean(results["56k Modem"])
+
+
+class TestBroadbandOnlyClipOnModem:
+    """A clip with no low-rate encoding is a disaster over dial-up."""
+
+    def test_modem_crumbles_on_broadband_only_clip(self, world):
+        rngs, population = world
+        tracer = RealTracer()
+        site, clip = next(
+            (s, c) for s, c in population.playlist
+            if c.ladder.lowest.total_bps >= 150_000
+        )
+        user = users_where(population, connection="56k Modem",
+                           country="US", fast_pc=True)[0]
+        fps = []
+        for i in range(5):
+            rec = tracer.play_clip(
+                user, site, clip, rngs.child("bb", str(i))
+            )
+            if rec.played:
+                fps.append(rec.measured_frame_rate)
+        assert fps, "all attempts hit the unavailability draw"
+        assert np.mean(fps) < 6.0
+
+
+class TestCodedVersusMeasured:
+    """Measured frame rate never exceeds what was encoded/served."""
+
+    def test_fps_bounded_by_coded(self, world):
+        rngs, population = world
+        tracer = RealTracer()
+        user = users_where(population, connection="T1/LAN", country="US",
+                           fast_pc=True)[0]
+        for position in range(4):
+            site, clip = population.playlist[position]
+            rec = tracer.play_clip(
+                user, site, clip, rngs.child("cv", str(position))
+            )
+            if rec.played and rec.frames_displayed > 10:
+                assert (
+                    rec.measured_frame_rate
+                    <= rec.encoded_frame_rate * 1.05 + 1.0
+                )
+                assert (
+                    rec.measured_bandwidth_bps
+                    <= rec.encoded_bandwidth_bps * 1.6 + 20_000
+                )
+
+
+class TestStudyScaleInvariance:
+    """Key aggregate shapes should not depend on the random seed much."""
+
+    def test_protocol_split_stable_across_seeds(self):
+        shares = []
+        for seed in (1, 2):
+            ds = Study(StudyConfig(seed=seed, scale=0.05)).run()
+            played = ds.played()
+            tcp = len(played.filter(lambda r: r.protocol == "TCP"))
+            shares.append(tcp / len(played))
+        assert all(0.25 <= s <= 0.65 for s in shares)
+
+
+class TestMediaTracerExtension:
+    """The tracer is player-agnostic (paper future work, Section VIII)."""
+
+    def test_custom_player_factory_is_used(self, world):
+        rngs, population = world
+        from repro.player.realplayer import RealPlayer
+
+        built = []
+
+        class InstrumentedPlayer(RealPlayer):
+            pass
+
+        def factory(loop, path, server, clip_url, config, decoder_profile):
+            player = InstrumentedPlayer(
+                loop=loop, path=path, server=server, clip_url=clip_url,
+                config=config, decoder_profile=decoder_profile,
+            )
+            built.append(player)
+            return player
+
+        tracer = RealTracer(player_factory=factory)
+        user = population.users[0]
+        site, clip = population.playlist[0]
+        rec = tracer.play_clip(user, site, clip, rngs.child("mt"))
+        assert built
+        assert isinstance(tracer.last_player, InstrumentedPlayer)
+        assert rec.user_id == user.user_id
+
+
+class TestRedAblationEndToEnd:
+    def test_red_study_runs(self):
+        config = StudyConfig(
+            seed=3, scale=0.04, tracer=TracerConfig(red_bottleneck=True)
+        )
+        ds = Study(config).run()
+        assert len(ds.played()) > 0

@@ -1,0 +1,115 @@
+"""Clips and scene structure."""
+
+import numpy as np
+import pytest
+
+from repro.media.clip import ContentKind, Scene, VideoClip, make_clip
+from repro.media.codec import surestream_ladder
+
+
+class TestScene:
+    def test_end_time(self):
+        scene = Scene(start_s=2.0, duration_s=3.0, action=0.5)
+        assert scene.end_s == 5.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Scene(start_s=0, duration_s=0, action=0.5)
+        with pytest.raises(ValueError):
+            Scene(start_s=0, duration_s=1, action=1.5)
+
+
+class TestVideoClip:
+    def test_scene_coverage_enforced(self):
+        ladder = surestream_ladder(150)
+        with pytest.raises(ValueError):
+            VideoClip(
+                url="u",
+                title="t",
+                duration_s=10.0,
+                content=ContentKind.NEWS,
+                ladder=ladder,
+                scenes=(Scene(0.0, 4.0, 0.5),),  # covers only 4 of 10 s
+            )
+
+    def test_scene_contiguity_enforced(self):
+        ladder = surestream_ladder(150)
+        with pytest.raises(ValueError):
+            VideoClip(
+                url="u",
+                title="t",
+                duration_s=10.0,
+                content=ContentKind.NEWS,
+                ladder=ladder,
+                scenes=(Scene(0.0, 4.0, 0.5), Scene(5.0, 5.0, 0.5)),
+            )
+
+    def test_action_lookup(self):
+        ladder = surestream_ladder(150)
+        clip = VideoClip(
+            url="u",
+            title="t",
+            duration_s=10.0,
+            content=ContentKind.NEWS,
+            ladder=ladder,
+            scenes=(Scene(0.0, 5.0, 0.2), Scene(5.0, 5.0, 0.9)),
+        )
+        assert clip.action_at(1.0) == 0.2
+        assert clip.action_at(7.0) == 0.9
+        # Past the end: last scene's action.
+        assert clip.action_at(11.0) == 0.9
+
+    def test_action_defaults_without_scenes(self):
+        ladder = surestream_ladder(150)
+        clip = VideoClip(
+            url="u", title="t", duration_s=10.0,
+            content=ContentKind.NEWS, ladder=ladder,
+        )
+        assert clip.action_at(3.0) == 0.5
+
+    def test_duration_validation(self):
+        ladder = surestream_ladder(150)
+        with pytest.raises(ValueError):
+            VideoClip(
+                url="u", title="t", duration_s=0,
+                content=ContentKind.NEWS, ladder=ladder,
+            )
+
+
+class TestMakeClip:
+    def test_deterministic_from_url(self):
+        a = make_clip("rtsp://x/clip.rm", ContentKind.NEWS, max_kbps=150)
+        b = make_clip("rtsp://x/clip.rm", ContentKind.NEWS, max_kbps=150)
+        assert a.scenes == b.scenes
+
+    def test_different_urls_differ(self):
+        a = make_clip("rtsp://x/a.rm", ContentKind.NEWS, max_kbps=150)
+        b = make_clip("rtsp://x/b.rm", ContentKind.NEWS, max_kbps=150)
+        assert a.scenes != b.scenes
+
+    def test_scenes_cover_duration(self):
+        clip = make_clip(
+            "rtsp://x/c.rm", ContentKind.SPORTS, max_kbps=350, duration_s=120.0
+        )
+        assert clip.scenes[0].start_s == 0.0
+        assert clip.scenes[-1].end_s == pytest.approx(120.0)
+
+    def test_sports_more_action_than_news(self):
+        rng = np.random.default_rng(0)
+        sports = make_clip("s", ContentKind.SPORTS, 350, rng=rng)
+        rng = np.random.default_rng(0)
+        news = make_clip("n", ContentKind.NEWS, 350, rng=rng)
+        mean_action = lambda c: np.mean([s.action for s in c.scenes])
+        assert mean_action(sports) > mean_action(news)
+
+    def test_music_clip_gets_music_audio(self):
+        clip = make_clip("m", ContentKind.MUSIC, 150)
+        assert all("Music" in lvl.audio.name for lvl in clip.ladder)
+
+    def test_min_kbps_respected(self):
+        clip = make_clip("b", ContentKind.NEWS, 350, min_kbps=225)
+        assert clip.ladder.lowest.total_bps >= 225_000
+
+    def test_live_flag(self):
+        clip = make_clip("l", ContentKind.NEWS, 150, live=True)
+        assert clip.live

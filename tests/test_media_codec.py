@@ -1,0 +1,128 @@
+"""Encoding levels, audio split, SureStream ladders."""
+
+import pytest
+
+from repro.media.codec import (
+    AUDIO_MUSIC,
+    AUDIO_VOICE,
+    AudioCodec,
+    EncodingLadder,
+    EncodingLevel,
+    STANDARD_TARGETS_KBPS,
+    surestream_ladder,
+)
+from repro.units import kbps
+
+
+class TestAudioSplit:
+    def test_paper_example_voice(self):
+        # "a 20 Kbps RealVideo clip with a 5 Kbps RealAudio voice codec
+        # will leave 15 Kbps for the video" (Section II.C)
+        level = EncodingLevel(
+            index=0, total_bps=kbps(20), audio=AUDIO_VOICE, frame_rate=7.5
+        )
+        assert level.video_bps == pytest.approx(kbps(15))
+
+    def test_paper_example_music(self):
+        # "an 11 Kbps music codec will leave only 9 Kbps for the video"
+        level = EncodingLevel(
+            index=0, total_bps=kbps(20), audio=AUDIO_MUSIC, frame_rate=7.5
+        )
+        assert level.video_bps == pytest.approx(kbps(9))
+
+    def test_audio_must_fit(self):
+        with pytest.raises(ValueError):
+            EncodingLevel(
+                index=0, total_bps=kbps(4), audio=AUDIO_VOICE, frame_rate=7.5
+            )
+
+    def test_mean_frame_bytes(self):
+        level = EncodingLevel(
+            index=0, total_bps=kbps(85), audio=AUDIO_VOICE, frame_rate=10.0
+        )
+        assert level.mean_frame_bytes == pytest.approx(kbps(80) / 8 / 10)
+
+    def test_audio_codec_validation(self):
+        with pytest.raises(ValueError):
+            AudioCodec("bad", 0)
+
+
+class TestLadder:
+    def test_levels_sorted_by_rate(self):
+        ladder = surestream_ladder(450)
+        rates = [level.total_bps for level in ladder]
+        assert rates == sorted(rates)
+
+    def test_level_for_bandwidth_picks_highest_fitting(self):
+        ladder = surestream_ladder(450)
+        level = ladder.level_for_bandwidth(kbps(200))
+        assert level.total_bps == kbps(150)
+
+    def test_level_for_bandwidth_falls_back_to_lowest(self):
+        ladder = surestream_ladder(450)
+        assert ladder.level_for_bandwidth(kbps(1)) is ladder.lowest
+
+    def test_level_for_huge_bandwidth_is_highest(self):
+        ladder = surestream_ladder(450)
+        assert ladder.level_for_bandwidth(kbps(10_000)) is ladder.highest
+
+    def test_empty_ladder_rejected(self):
+        with pytest.raises(ValueError):
+            EncodingLadder([])
+
+    def test_bad_indices_rejected(self):
+        level = EncodingLevel(
+            index=3, total_bps=kbps(20), audio=AUDIO_VOICE, frame_rate=7.5
+        )
+        with pytest.raises(ValueError):
+            EncodingLadder([level])
+
+    def test_iteration_and_len(self):
+        ladder = surestream_ladder(150)
+        assert len(ladder) == len(list(ladder))
+
+
+class TestSurestreamLadder:
+    def test_full_ladder_coverage(self):
+        ladder = surestream_ladder(450)
+        assert ladder.lowest.total_bps == kbps(20)
+        assert ladder.highest.total_bps == kbps(450)
+        assert len(ladder) == len(STANDARD_TARGETS_KBPS)
+
+    def test_max_below_lowest_target_rejected(self):
+        with pytest.raises(ValueError):
+            surestream_ladder(10)
+
+    def test_min_trims_bottom(self):
+        ladder = surestream_ladder(450, min_kbps=150)
+        assert ladder.lowest.total_bps == kbps(150)
+
+    def test_single_rate_clip(self):
+        ladder = surestream_ladder(225, min_kbps=225)
+        assert len(ladder) == 1
+        assert ladder.lowest.total_bps == kbps(225)
+
+    def test_min_above_max_rejected(self):
+        with pytest.raises(ValueError):
+            surestream_ladder(150, min_kbps=225)
+
+    def test_odd_band_snaps_to_nearest_target(self):
+        # min 100, max 140: no standard target in [100, 140]; snap to
+        # the highest target at or below 140 (that is 80).
+        ladder = surestream_ladder(140, min_kbps=100)
+        assert len(ladder) == 1
+        assert ladder.lowest.total_bps == kbps(80)
+
+    def test_frame_rate_monotone_with_rate(self):
+        ladder = surestream_ladder(450)
+        rates = [level.frame_rate for level in ladder]
+        assert rates == sorted(rates)
+
+    def test_low_targets_encode_choppy_rates(self):
+        ladder = surestream_ladder(450)
+        assert ladder.lowest.frame_rate < 15.0
+        assert ladder.highest.frame_rate >= 24.0
+
+    def test_music_uses_music_codecs(self):
+        ladder = surestream_ladder(450, music=True)
+        assert all("Music" in level.audio.name for level in ladder)

@@ -1,0 +1,122 @@
+"""Deterministic frame generation."""
+
+import numpy as np
+import pytest
+
+from repro.media.clip import ContentKind, make_clip
+from repro.media.frame_source import (
+    MAX_ACTION_RATE_FACTOR,
+    MIN_ACTION_RATE_FACTOR,
+    FrameSource,
+)
+from repro.media.frames import FrameKind
+
+
+@pytest.fixture
+def clip():
+    return make_clip("rtsp://t/clip.rm", ContentKind.DOCUMENTARY, max_kbps=350,
+                     duration_s=60.0)
+
+
+class TestDeterminism:
+    def test_same_clip_same_frames(self, clip):
+        a = FrameSource(clip)
+        b = FrameSource(clip)
+        level = clip.ladder.highest
+        frames_a = [a.next_frame(level) for _ in range(100)]
+        frames_b = [b.next_frame(level) for _ in range(100)]
+        assert frames_a == frames_b
+
+
+class TestFrameStream:
+    def test_media_time_monotone(self, clip):
+        source = FrameSource(clip)
+        level = clip.ladder.highest
+        times = [source.next_frame(level).media_time for _ in range(200)]
+        assert times == sorted(times)
+        assert len(set(times)) == len(times)
+
+    def test_indices_sequential(self, clip):
+        source = FrameSource(clip)
+        level = clip.ladder.lowest
+        indices = [source.next_frame(level).index for _ in range(50)]
+        assert indices == list(range(50))
+
+    def test_keyframes_spaced_by_interval(self, clip):
+        source = FrameSource(clip)
+        level = clip.ladder.highest
+        frames = [source.next_frame(level) for _ in range(600)]
+        key_times = [f.media_time for f in frames if f.kind is FrameKind.KEY]
+        assert len(key_times) >= 2
+        gaps = np.diff(key_times)
+        assert all(g >= level.keyframe_interval_s - 1e-6 for g in gaps)
+        # But not wildly longer than the interval either.
+        assert all(g < level.keyframe_interval_s + 1.0 for g in gaps)
+
+    def test_keyframes_larger_than_deltas(self, clip):
+        source = FrameSource(clip)
+        level = clip.ladder.highest
+        frames = [source.next_frame(level) for _ in range(600)]
+        keys = [f.size for f in frames if f.kind is FrameKind.KEY]
+        deltas = [f.size for f in frames if f.kind is FrameKind.DELTA]
+        assert np.mean(keys) > 2 * np.mean(deltas)
+
+    def test_byte_rate_tracks_level(self, clip):
+        source = FrameSource(clip)
+        level = clip.ladder.highest
+        frames = []
+        while source.media_time < 50.0:
+            frames.append(source.next_frame(level))
+        total_bytes = sum(f.size for f in frames)
+        achieved_bps = total_bytes * 8 / source.media_time
+        assert achieved_bps == pytest.approx(level.video_bps, rel=0.25)
+
+    def test_exhausted_at_clip_end(self, clip):
+        source = FrameSource(clip)
+        level = clip.ladder.lowest
+        while not source.exhausted():
+            source.next_frame(level)
+        assert source.media_time >= clip.duration_s
+
+    def test_exhausted_with_play_limit(self, clip):
+        source = FrameSource(clip)
+        level = clip.ladder.lowest
+        while not source.exhausted(play_limit_s=10.0):
+            source.next_frame(level)
+        assert 10.0 <= source.media_time < 12.0
+
+
+class TestActionScaling:
+    def test_encoded_rate_within_factor_band(self, clip):
+        source = FrameSource(clip)
+        level = clip.ladder.highest
+        for t in np.linspace(0, clip.duration_s - 1, 20):
+            rate = source.encoded_rate_at(level, float(t))
+            assert rate <= level.frame_rate * MAX_ACTION_RATE_FACTOR + 1e-9
+            assert rate >= min(
+                2.0, level.frame_rate * MIN_ACTION_RATE_FACTOR
+            ) - 1e-9
+
+    def test_high_action_faster_than_low_action(self, clip):
+        source = FrameSource(clip)
+        level = clip.ladder.highest
+        actions = [
+            (clip.action_at(t), source.encoded_rate_at(level, t))
+            for t in np.linspace(0, clip.duration_s - 1, 30)
+        ]
+        lo = min(actions, key=lambda a: a[0])
+        hi = max(actions, key=lambda a: a[0])
+        if hi[0] > lo[0] + 0.05:
+            assert hi[1] > lo[1]
+
+    def test_level_switch_changes_cadence(self, clip):
+        source = FrameSource(clip)
+        high = clip.ladder.highest
+        low = clip.ladder.lowest
+        f1 = source.next_frame(high)
+        f2 = source.next_frame(high)
+        gap_high = f2.media_time - f1.media_time
+        f3 = source.next_frame(low)
+        f4 = source.next_frame(low)
+        gap_low = f4.media_time - f3.media_time
+        assert gap_low > gap_high

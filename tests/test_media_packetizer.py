@@ -1,0 +1,90 @@
+"""Frame fragmentation and FEC."""
+
+import pytest
+
+from repro.media.frames import Frame, FrameKind, MediaPacket
+from repro.media.packetizer import Packetizer
+
+
+def frame(size: int, index: int = 0) -> Frame:
+    return Frame(
+        index=index, kind=FrameKind.DELTA, media_time=0.0, size=size, level=0
+    )
+
+
+class TestPacketize:
+    def test_small_frame_single_packet(self):
+        packets = Packetizer().packetize(frame(400))
+        assert len(packets) == 1
+        assert packets[0].size == 400
+        assert packets[0].parts_total == 1
+
+    def test_exact_mss_single_packet(self):
+        packets = Packetizer(mss_bytes=1000).packetize(frame(1000))
+        assert len(packets) == 1
+
+    def test_large_frame_fragmented(self):
+        packets = Packetizer(mss_bytes=1000).packetize(frame(2500))
+        assert len(packets) == 3
+        assert [p.size for p in packets] == [1000, 1000, 500]
+
+    def test_sizes_sum_to_frame(self):
+        for size in (1, 999, 1000, 1001, 5000, 12345):
+            packets = Packetizer().packetize(frame(size))
+            assert sum(p.size for p in packets) == size
+
+    def test_part_indices_sequential(self):
+        packets = Packetizer(mss_bytes=100).packetize(frame(950))
+        assert [p.part_index for p in packets] == list(range(10))
+        assert all(p.parts_total == 10 for p in packets)
+        assert packets[-1].is_last_part
+
+    def test_parts_for_matches_packetize(self):
+        packetizer = Packetizer(mss_bytes=300)
+        for size in (1, 299, 300, 301, 900, 901):
+            assert packetizer.parts_for(frame(size)) == len(
+                packetizer.packetize(frame(size))
+            )
+
+    def test_mss_validation(self):
+        with pytest.raises(ValueError):
+            Packetizer(mss_bytes=0)
+
+
+class TestFec:
+    def test_fec_count(self):
+        packetizer = Packetizer()
+        assert len(packetizer.fec_for(frame(5000), count=2)) == 2
+
+    def test_fec_zero_count(self):
+        assert Packetizer().fec_for(frame(1000), count=0) == []
+
+    def test_fec_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Packetizer().fec_for(frame(1000), count=-1)
+
+    def test_fec_size_bounded_by_mss(self):
+        packets = Packetizer(mss_bytes=1000).fec_for(frame(10_000), count=1)
+        assert packets[0].size <= 1000
+
+    def test_fec_references_frame(self):
+        f = frame(1000, index=7)
+        fec = Packetizer().fec_for(f, count=1)[0]
+        assert fec.frame_index == 7
+        assert fec.frame is f
+
+
+class TestMediaPacketValidation:
+    def test_part_index_bounds(self):
+        f = frame(100)
+        with pytest.raises(ValueError):
+            MediaPacket(
+                frame_index=0, part_index=1, parts_total=1, size=100, frame=f
+            )
+
+    def test_positive_size(self):
+        f = frame(100)
+        with pytest.raises(ValueError):
+            MediaPacket(
+                frame_index=0, part_index=0, parts_total=1, size=0, frame=f
+            )

@@ -1,0 +1,126 @@
+"""On/off cross-traffic source."""
+
+import numpy as np
+import pytest
+
+from repro.net.crosstraffic import (
+    CROSS_FLOW_ID,
+    CrossTrafficConfig,
+    CrossTrafficSource,
+)
+from repro.net.link import Link, LinkConfig
+from repro.net.packet import PacketKind
+from repro.sim.engine import EventLoop
+from repro.units import kbps
+
+
+class TestConfig:
+    def test_duty_cycle(self):
+        config = CrossTrafficConfig(mean_rate_bps=kbps(100), burst_rate_bps=kbps(400))
+        assert config.duty_cycle == pytest.approx(0.25)
+
+    def test_mean_idle_follows_duty(self):
+        config = CrossTrafficConfig(
+            mean_rate_bps=kbps(100), burst_rate_bps=kbps(200), mean_burst_s=1.0
+        )
+        assert config.mean_idle_s == pytest.approx(1.0)
+
+    def test_zero_rate_allowed(self):
+        config = CrossTrafficConfig(mean_rate_bps=0.0, burst_rate_bps=0.0)
+        assert config.duty_cycle == 0.0
+        assert config.mean_idle_s == float("inf")
+
+    def test_burst_must_exceed_mean(self):
+        with pytest.raises(ValueError):
+            CrossTrafficConfig(mean_rate_bps=kbps(100), burst_rate_bps=kbps(100))
+
+    def test_negative_mean_rejected(self):
+        with pytest.raises(ValueError):
+            CrossTrafficConfig(mean_rate_bps=-1, burst_rate_bps=10)
+
+
+class TestSource:
+    def _run(self, mean_kbps, seconds=30.0, seed=1):
+        loop = EventLoop()
+        rng = np.random.default_rng(seed)
+        link = Link(
+            loop,
+            LinkConfig(rate_bps=kbps(10_000), propagation_s=0.0, queue_packets=1000),
+            rng,
+        )
+        received_bytes = []
+        link.connect(lambda p: received_bytes.append(p.size))
+        source = CrossTrafficSource(
+            loop,
+            link,
+            CrossTrafficConfig(
+                mean_rate_bps=kbps(mean_kbps),
+                burst_rate_bps=kbps(mean_kbps * 3),
+                mean_burst_s=0.5,
+            ),
+            rng,
+        )
+        source.start()
+        loop.run(until=seconds)
+        source.stop()
+        return sum(received_bytes) * 8 / seconds, source
+
+    def test_long_run_rate_near_mean(self):
+        achieved, _ = self._run(mean_kbps=200, seconds=120.0)
+        assert kbps(120) < achieved < kbps(300)
+
+    def test_packets_marked_cross(self):
+        loop = EventLoop()
+        rng = np.random.default_rng(2)
+        link = Link(
+            loop,
+            LinkConfig(rate_bps=kbps(1000), propagation_s=0.0),
+            rng,
+        )
+        kinds = []
+        link.connect(lambda p: kinds.append((p.kind, p.flow_id)))
+        source = CrossTrafficSource(
+            loop,
+            link,
+            CrossTrafficConfig(mean_rate_bps=kbps(300), burst_rate_bps=kbps(600)),
+            rng,
+        )
+        source.start()
+        loop.run(until=5.0)
+        source.stop()
+        assert kinds
+        assert all(k == PacketKind.CROSS for k, _ in kinds)
+        assert all(fid == CROSS_FLOW_ID for _, fid in kinds)
+
+    def test_zero_rate_emits_nothing(self):
+        loop = EventLoop()
+        rng = np.random.default_rng(3)
+        link = Link(loop, LinkConfig(rate_bps=kbps(1000), propagation_s=0.0), rng)
+        link.connect(lambda p: pytest.fail("no packets expected"))
+        source = CrossTrafficSource(
+            loop,
+            link,
+            CrossTrafficConfig(mean_rate_bps=0.0, burst_rate_bps=0.0),
+            rng,
+        )
+        source.start()
+        loop.run(until=5.0)
+
+    def test_stop_halts_emission(self):
+        loop = EventLoop()
+        rng = np.random.default_rng(4)
+        link = Link(loop, LinkConfig(rate_bps=kbps(10000), propagation_s=0.0), rng)
+        count = []
+        link.connect(lambda p: count.append(1))
+        source = CrossTrafficSource(
+            loop,
+            link,
+            CrossTrafficConfig(mean_rate_bps=kbps(500), burst_rate_bps=kbps(1000)),
+            rng,
+        )
+        source.start()
+        loop.run(until=5.0)
+        source.stop()
+        seen = len(count)
+        loop.run(until=10.0)
+        assert len(count) == seen

@@ -1,0 +1,87 @@
+"""Geographic latency model."""
+
+import pytest
+
+from repro.net.latency import (
+    GeographicLatencyModel,
+    PathQuality,
+    great_circle_km,
+)
+
+
+class TestGreatCircle:
+    def test_zero_distance(self):
+        assert great_circle_km(42.0, -71.0, 42.0, -71.0) == 0.0
+
+    def test_boston_to_london_about_5250km(self):
+        distance = great_circle_km(42.36, -71.06, 51.51, -0.13)
+        assert 5100 < distance < 5400
+
+    def test_boston_to_sydney_about_16000km(self):
+        distance = great_circle_km(42.36, -71.06, -33.87, 151.21)
+        assert 15500 < distance < 16500
+
+    def test_symmetric(self):
+        a = great_circle_km(10, 20, 30, 40)
+        b = great_circle_km(30, 40, 10, 20)
+        assert a == pytest.approx(b)
+
+    def test_antipodal_near_half_circumference(self):
+        distance = great_circle_km(0, 0, 0, 180)
+        assert distance == pytest.approx(20015, rel=0.01)
+
+
+class TestLatencyModel:
+    def test_one_way_includes_overhead(self):
+        model = GeographicLatencyModel(per_path_overhead_s=0.004)
+        assert model.one_way_delay(0, 0, 0, 0) == pytest.approx(0.004)
+
+    def test_round_trip_is_twice_one_way(self):
+        model = GeographicLatencyModel()
+        one = model.one_way_delay(42.36, -71.06, 51.51, -0.13)
+        assert model.round_trip(42.36, -71.06, 51.51, -0.13) == pytest.approx(2 * one)
+
+    def test_transatlantic_rtt_plausible(self):
+        # Boston-London 2001: ~80-150 ms RTT.
+        model = GeographicLatencyModel()
+        rtt = model.round_trip(42.36, -71.06, 51.51, -0.13)
+        assert 0.08 < rtt < 0.15
+
+    def test_transpacific_rtt_plausible(self):
+        model = GeographicLatencyModel()
+        rtt = model.round_trip(42.36, -71.06, -33.87, 151.21)
+        assert 0.25 < rtt < 0.45
+
+    def test_route_inflation_increases_delay(self):
+        straight = GeographicLatencyModel(route_inflation=1.0)
+        inflated = GeographicLatencyModel(route_inflation=2.0)
+        args = (42.36, -71.06, 51.51, -0.13)
+        assert inflated.one_way_delay(*args) > straight.one_way_delay(*args)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GeographicLatencyModel(fiber_km_per_s=0)
+        with pytest.raises(ValueError):
+            GeographicLatencyModel(route_inflation=0.5)
+        with pytest.raises(ValueError):
+            GeographicLatencyModel(per_path_overhead_s=-1)
+
+
+class TestPathQuality:
+    def test_valid_construction(self):
+        quality = PathQuality(
+            bottleneck_bps=1_000_000, cross_load=0.3, random_loss=0.01
+        )
+        assert quality.bottleneck_bps == 1_000_000
+
+    def test_rejects_bad_bottleneck(self):
+        with pytest.raises(ValueError):
+            PathQuality(bottleneck_bps=0, cross_load=0.0, random_loss=0.0)
+
+    def test_rejects_full_cross_load(self):
+        with pytest.raises(ValueError):
+            PathQuality(bottleneck_bps=1, cross_load=1.0, random_loss=0.0)
+
+    def test_rejects_bad_loss(self):
+        with pytest.raises(ValueError):
+            PathQuality(bottleneck_bps=1, cross_load=0.0, random_loss=1.0)

@@ -1,0 +1,148 @@
+"""End-to-end path composition."""
+
+import pytest
+
+from repro.net.packet import Packet, PacketKind
+from repro.net.path import NetworkPath, PathProfile
+from repro.units import kbps
+
+
+def data_packet(flow_id=1, seq=0, size=500):
+    return Packet(kind=PacketKind.DATA, size=size, flow_id=flow_id, seq=seq)
+
+
+class TestProfile:
+    def test_base_rtt(self, clean_profile):
+        expected = 2 * (0.010 + 0.030)
+        assert clean_profile.base_rtt_s == pytest.approx(expected)
+
+    def test_end_to_end_capacity_is_min_hop(self, clean_profile):
+        assert clean_profile.end_to_end_capacity_bps == kbps(512)
+
+    def test_rejects_nonpositive_rates(self):
+        with pytest.raises(ValueError):
+            PathProfile(
+                access_down_bps=0,
+                access_up_bps=kbps(128),
+                access_prop_s=0.01,
+                bottleneck_bps=kbps(100),
+                wan_prop_s=0.01,
+                server_up_bps=kbps(100),
+            )
+
+    def test_rejects_negative_delay(self):
+        with pytest.raises(ValueError):
+            PathProfile(
+                access_down_bps=kbps(100),
+                access_up_bps=kbps(100),
+                access_prop_s=-0.01,
+                bottleneck_bps=kbps(100),
+                wan_prop_s=0.01,
+                server_up_bps=kbps(100),
+            )
+
+
+class TestForwardDirection:
+    def test_server_to_client_delivery(self, loop, clean_path):
+        got = []
+        clean_path.client_endpoint.register(1, got.append)
+        clean_path.send_to_client(data_packet())
+        loop.run()
+        assert len(got) == 1
+        assert clean_path.stats.to_client_packets == 1
+
+    def test_delivery_takes_at_least_one_way_delay(self, loop, clean_path):
+        arrivals = []
+        clean_path.client_endpoint.register(1, lambda p: arrivals.append(loop.now))
+        clean_path.send_to_client(data_packet())
+        loop.run()
+        assert arrivals[0] >= 0.040  # propagation alone
+
+    def test_unregistered_flow_counted_unclaimed(self, loop, clean_path):
+        clean_path.send_to_client(data_packet(flow_id=99))
+        loop.run()
+        assert clean_path.client_endpoint.unclaimed == 1
+
+    def test_unregister_stops_delivery(self, loop, clean_path):
+        got = []
+        clean_path.client_endpoint.register(1, got.append)
+        clean_path.client_endpoint.unregister(1)
+        clean_path.send_to_client(data_packet())
+        loop.run()
+        assert got == []
+
+
+class TestReverseDirection:
+    def test_client_to_server_delivery(self, loop, clean_path):
+        got = []
+        clean_path.server_endpoint.register(1, got.append)
+        clean_path.send_to_server(
+            Packet(kind=PacketKind.ACK, size=0, flow_id=1)
+        )
+        loop.run()
+        assert len(got) == 1
+
+
+class TestCrossTraffic:
+    def test_cross_never_reaches_client(self, loop, rng):
+        profile = PathProfile(
+            access_down_bps=kbps(512),
+            access_up_bps=kbps(128),
+            access_prop_s=0.01,
+            bottleneck_bps=kbps(300),
+            wan_prop_s=0.02,
+            server_up_bps=kbps(1000),
+            cross_load=0.5,
+        )
+        path = NetworkPath(loop, profile, rng)
+        unclaimed_before = path.client_endpoint.unclaimed
+        path.start()
+        loop.run(until=10.0)
+        path.stop()
+        assert path.client_endpoint.unclaimed == unclaimed_before
+        assert path.stats.dropped_cross_packets > 0
+
+    def test_cross_consumes_bottleneck_capacity(self, loop, rng):
+        profile = PathProfile(
+            access_down_bps=kbps(512),
+            access_up_bps=kbps(128),
+            access_prop_s=0.01,
+            bottleneck_bps=kbps(300),
+            wan_prop_s=0.02,
+            server_up_bps=kbps(1000),
+            cross_load=0.6,
+        )
+        path = NetworkPath(loop, profile, rng)
+        path.start()
+        loop.run(until=30.0)
+        path.stop()
+        # The bottleneck carried cross bytes even with no media flow.
+        assert path.bottleneck_link.stats.delivered_bytes > 0
+
+    def test_access_cross_traffic_loads_access_link(self, loop, rng):
+        profile = PathProfile(
+            access_down_bps=kbps(1500),
+            access_up_bps=kbps(1500),
+            access_prop_s=0.003,
+            bottleneck_bps=kbps(5000),
+            wan_prop_s=0.02,
+            server_up_bps=kbps(5000),
+            access_cross_load=0.4,
+        )
+        path = NetworkPath(loop, profile, rng)
+        path.start()
+        loop.run(until=20.0)
+        path.stop()
+        assert path.access_down_link.stats.delivered_bytes > 0
+        assert path.stats.dropped_cross_packets > 0
+
+
+class TestRedAblation:
+    def test_red_queue_installed_when_requested(self, loop, rng, clean_profile):
+        from dataclasses import replace
+
+        from repro.net.queues import REDQueue
+
+        profile = replace(clean_profile, red_bottleneck=True)
+        path = NetworkPath(loop, profile, rng)
+        assert isinstance(path.bottleneck_link.queue, REDQueue)

@@ -1,0 +1,99 @@
+"""Drop-tail and RED queue behavior."""
+
+import numpy as np
+import pytest
+
+from repro.net.packet import Packet, PacketKind
+from repro.net.queues import DropTailQueue, REDQueue
+
+
+def make_packet(seq: int = 0) -> Packet:
+    return Packet(kind=PacketKind.DATA, size=1000, flow_id=1, seq=seq)
+
+
+class TestDropTail:
+    def test_fifo_order(self):
+        queue = DropTailQueue(10)
+        for seq in range(5):
+            assert queue.offer(make_packet(seq))
+        assert [queue.pop().seq for _ in range(5)] == [0, 1, 2, 3, 4]
+
+    def test_drops_when_full(self):
+        queue = DropTailQueue(2)
+        assert queue.offer(make_packet(0))
+        assert queue.offer(make_packet(1))
+        assert not queue.offer(make_packet(2))
+        assert queue.drops == 1
+        assert len(queue) == 2
+
+    def test_counts_enqueued(self):
+        queue = DropTailQueue(2)
+        queue.offer(make_packet())
+        assert queue.enqueued == 1
+
+    def test_is_empty(self):
+        queue = DropTailQueue(2)
+        assert queue.is_empty
+        queue.offer(make_packet())
+        assert not queue.is_empty
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            DropTailQueue(0)
+
+
+class TestRED:
+    def test_accepts_under_min_threshold(self):
+        queue = REDQueue(100, min_threshold=10, max_threshold=50)
+        for seq in range(5):
+            assert queue.offer(make_packet(seq))
+        assert queue.early_drops == 0
+
+    def test_hard_drop_when_full(self):
+        queue = REDQueue(4, min_threshold=2, max_threshold=3, weight=0.0)
+        for seq in range(4):
+            queue.offer(make_packet(seq))
+        assert not queue.offer(make_packet(9))
+        assert queue.drops >= 1
+
+    def test_early_drops_between_thresholds(self):
+        rng = np.random.default_rng(0)
+        queue = REDQueue(
+            200,
+            min_threshold=5,
+            max_threshold=50,
+            max_drop_probability=1.0,
+            weight=1.0,  # average tracks the instantaneous depth
+            rng=rng,
+        )
+        outcomes = [queue.offer(make_packet(seq)) for seq in range(100)]
+        assert queue.early_drops > 0
+        assert not all(outcomes)
+
+    def test_average_drop_forced_above_max_threshold(self):
+        queue = REDQueue(100, min_threshold=2, max_threshold=5, weight=1.0)
+        accepted = 0
+        for seq in range(50):
+            if queue.offer(make_packet(seq)):
+                accepted += 1
+        # Once the (instantaneous-tracking) average passes the max
+        # threshold every arrival is dropped.
+        assert accepted <= 6
+
+    def test_fifo_order_preserved(self):
+        queue = REDQueue(100, min_threshold=50, max_threshold=90)
+        for seq in range(5):
+            queue.offer(make_packet(seq))
+        assert [queue.pop().seq for _ in range(len(queue))] == [0, 1, 2, 3, 4]
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            REDQueue(10, min_threshold=8, max_threshold=8)
+
+    def test_probability_validation(self):
+        with pytest.raises(ValueError):
+            REDQueue(10, max_drop_probability=0.0)
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            REDQueue(0)

@@ -1,0 +1,96 @@
+"""Packet trace capture."""
+
+import pytest
+
+from repro.net.packet import Packet, PacketKind
+from repro.net.tracelog import PacketTrace, PacketTraceLogger, TraceEntry
+
+
+def entry(at=0.0, flow=1, kind="data", size=500):
+    return TraceEntry(
+        at_s=at, flow_id=flow, kind=kind, seq=0,
+        payload_bytes=size, wire_bytes=size + 40, one_way_delay_s=0.05,
+    )
+
+
+class TestPacketTrace:
+    def test_flows_in_first_appearance_order(self):
+        trace = PacketTrace()
+        for flow in (3, 1, 3, 2, 1):
+            trace.append(entry(flow=flow))
+        assert trace.flows() == [3, 1, 2]
+
+    def test_for_flow(self):
+        trace = PacketTrace()
+        trace.append(entry(flow=1, at=0.0))
+        trace.append(entry(flow=2, at=0.5))
+        trace.append(entry(flow=1, at=1.0))
+        assert len(trace.for_flow(1)) == 2
+        assert trace.for_flow(9) == []
+
+    def test_by_kind(self):
+        trace = PacketTrace()
+        trace.append(entry(kind="data"))
+        trace.append(entry(kind="ack"))
+        assert len(trace.by_kind("data")) == 1
+
+    def test_totals_and_span(self):
+        trace = PacketTrace()
+        trace.append(entry(at=1.0, size=100))
+        trace.append(entry(at=3.0, size=200))
+        assert trace.total_bytes == 100 + 40 + 200 + 40
+        assert trace.span_s() == pytest.approx(2.0)
+
+    def test_empty_span(self):
+        assert PacketTrace().span_s() == 0.0
+
+
+class TestLogger:
+    def test_captures_deliveries(self, loop, clean_path):
+        logger = PacketTraceLogger(loop)
+        logger.attach(clean_path.client_endpoint)
+        got = []
+        clean_path.client_endpoint.register(1, got.append)
+        clean_path.send_to_client(
+            Packet(kind=PacketKind.DATA, size=700, flow_id=1, seq=4)
+        )
+        loop.run()
+        assert len(got) == 1  # delivery not disturbed
+        assert len(logger.trace) == 1
+        captured = next(iter(logger.trace))
+        assert captured.flow_id == 1
+        assert captured.seq == 4
+        assert captured.payload_bytes == 700
+        assert captured.one_way_delay_s > 0
+
+    def test_captures_unclaimed_flows_too(self, loop, clean_path):
+        logger = PacketTraceLogger(loop)
+        logger.attach(clean_path.client_endpoint)
+        clean_path.send_to_client(
+            Packet(kind=PacketKind.DATA, size=100, flow_id=99)
+        )
+        loop.run()
+        assert len(logger.trace) == 1
+
+    def test_attach_path_captures_both_directions(self, loop, clean_path):
+        logger = PacketTraceLogger(loop)
+        logger.attach_path(clean_path)
+        clean_path.send_to_client(
+            Packet(kind=PacketKind.DATA, size=100, flow_id=1)
+        )
+        clean_path.send_to_server(
+            Packet(kind=PacketKind.ACK, size=0, flow_id=1)
+        )
+        loop.run()
+        kinds = {e.kind for e in logger.trace}
+        assert kinds == {"data", "ack"}
+
+    def test_detach_stops_capture(self, loop, clean_path):
+        logger = PacketTraceLogger(loop)
+        logger.attach(clean_path.client_endpoint)
+        logger.detach_all()
+        clean_path.send_to_client(
+            Packet(kind=PacketKind.DATA, size=100, flow_id=1)
+        )
+        loop.run()
+        assert len(logger.trace) == 0

@@ -1,0 +1,183 @@
+"""Frame reassembly and the playout buffer."""
+
+import pytest
+
+from repro.media.frames import Frame, FrameKind
+from repro.media.packetizer import Packetizer
+from repro.player.buffer import PlayoutBuffer, Reassembler
+from repro.server.session import AudioChunk
+
+
+def frame(index: int, media_time: float = 0.0, size: int = 2500) -> Frame:
+    return Frame(
+        index=index,
+        kind=FrameKind.DELTA,
+        media_time=media_time,
+        size=size,
+        level=0,
+    )
+
+
+class TestReassembler:
+    def test_single_fragment_frame_completes(self):
+        done = []
+        reassembler = Reassembler(done.append)
+        f = frame(0, size=500)
+        for packet in Packetizer().packetize(f):
+            reassembler.on_payload(packet, packet.size)
+        assert done == [f]
+        assert reassembler.frames_completed == 1
+
+    def test_multi_fragment_requires_all_parts(self):
+        done = []
+        reassembler = Reassembler(done.append)
+        f = frame(0, size=2500)
+        packets = Packetizer().packetize(f)
+        for packet in packets[:-1]:
+            reassembler.on_payload(packet, packet.size)
+        assert done == []
+        reassembler.on_payload(packets[-1], packets[-1].size)
+        assert done == [f]
+
+    def test_out_of_order_fragments(self):
+        done = []
+        reassembler = Reassembler(done.append)
+        f = frame(0, size=2500)
+        packets = Packetizer().packetize(f)
+        for packet in reversed(packets):
+            reassembler.on_payload(packet, packet.size)
+        assert done == [f]
+
+    def test_duplicate_fragment_harmless(self):
+        done = []
+        reassembler = Reassembler(done.append)
+        f = frame(0, size=2500)
+        packets = Packetizer().packetize(f)
+        reassembler.on_payload(packets[0], packets[0].size)
+        reassembler.on_payload(packets[0], packets[0].size)
+        for packet in packets[1:]:
+            reassembler.on_payload(packet, packet.size)
+        assert done == [f]
+        assert reassembler.frames_completed == 1
+
+    def test_fec_repairs_one_missing_fragment(self):
+        done = []
+        reassembler = Reassembler(done.append)
+        f = frame(0, size=2500)
+        packetizer = Packetizer()
+        packets = packetizer.packetize(f)
+        fec = packetizer.fec_for(f, count=1)[0]
+        # Lose one fragment; FEC covers it.
+        for packet in packets[:-1]:
+            reassembler.on_payload(packet, packet.size)
+        reassembler.on_payload(fec, fec.size)
+        assert done == [f]
+        assert reassembler.frames_repaired == 1
+
+    def test_fec_cannot_cover_two_missing(self):
+        done = []
+        reassembler = Reassembler(done.append)
+        f = frame(0, size=2500)
+        packetizer = Packetizer()
+        packets = packetizer.packetize(f)
+        fec = packetizer.fec_for(f, count=1)[0]
+        reassembler.on_payload(packets[0], packets[0].size)
+        reassembler.on_payload(fec, fec.size)
+        assert done == []
+
+    def test_fec_before_data(self):
+        done = []
+        reassembler = Reassembler(done.append)
+        f = frame(0, size=2500)
+        packetizer = Packetizer()
+        packets = packetizer.packetize(f)
+        fec = packetizer.fec_for(f, count=1)[0]
+        reassembler.on_payload(fec, fec.size)
+        for packet in packets[:-1]:
+            reassembler.on_payload(packet, packet.size)
+        assert done == [f]
+
+    def test_audio_counted_separately(self):
+        reassembler = Reassembler(lambda f: None)
+        reassembler.on_payload(AudioChunk(media_time=1.0, size=250), 250)
+        assert reassembler.bytes_received == 250
+        assert reassembler.audio_bytes_received == 250
+        assert reassembler.frames_completed == 0
+
+    def test_unknown_payload_counts_bandwidth_only(self):
+        reassembler = Reassembler(lambda f: None)
+        reassembler.on_payload("end-of-stream-marker", 40)
+        assert reassembler.bytes_received == 40
+
+    def test_expire_before_drops_stale_partials(self):
+        done = []
+        reassembler = Reassembler(done.append)
+        f = frame(0, media_time=1.0, size=2500)
+        packets = Packetizer().packetize(f)
+        reassembler.on_payload(packets[0], packets[0].size)
+        assert reassembler.pending_frames == 1
+        reassembler.expire_before(2.0)
+        assert reassembler.pending_frames == 0
+        assert reassembler.frames_expired_incomplete == 1
+        # A late fragment for the expired frame re-opens nothing useful
+        # but must not crash.
+        reassembler.on_payload(packets[1], packets[1].size)
+
+    def test_expire_keeps_future_partials(self):
+        reassembler = Reassembler(lambda f: None)
+        f = frame(0, media_time=5.0, size=2500)
+        packets = Packetizer().packetize(f)
+        reassembler.on_payload(packets[0], packets[0].size)
+        reassembler.expire_before(2.0)
+        assert reassembler.pending_frames == 1
+
+    def test_completed_frame_not_reprocessed(self):
+        done = []
+        reassembler = Reassembler(done.append)
+        f = frame(0, size=500)
+        packet = Packetizer().packetize(f)[0]
+        reassembler.on_payload(packet, packet.size)
+        reassembler.on_payload(packet, packet.size)
+        assert len(done) == 1
+
+
+class TestPlayoutBuffer:
+    def test_orders_by_media_time(self):
+        buffer = PlayoutBuffer()
+        buffer.push(frame(2, media_time=2.0))
+        buffer.push(frame(0, media_time=0.5))
+        buffer.push(frame(1, media_time=1.0))
+        times = [buffer.pop().media_time for _ in range(3)]
+        assert times == [0.5, 1.0, 2.0]
+
+    def test_peek_does_not_remove(self):
+        buffer = PlayoutBuffer()
+        buffer.push(frame(0, media_time=1.0))
+        assert buffer.peek().index == 0
+        assert len(buffer) == 1
+
+    def test_peek_empty_is_none(self):
+        assert PlayoutBuffer().peek() is None
+
+    def test_newest_media_time_monotone(self):
+        buffer = PlayoutBuffer()
+        buffer.push(frame(1, media_time=5.0))
+        buffer.push(frame(0, media_time=1.0))
+        assert buffer.newest_media_time == 5.0
+        buffer.pop()
+        buffer.pop()
+        assert buffer.newest_media_time == 5.0  # survives pops
+
+    def test_buffered_ahead_of(self):
+        buffer = PlayoutBuffer()
+        buffer.push(frame(0, media_time=10.0))
+        assert buffer.buffered_ahead_of(4.0) == pytest.approx(6.0)
+        assert buffer.buffered_ahead_of(12.0) == 0.0
+
+    def test_drop_before(self):
+        buffer = PlayoutBuffer()
+        for i in range(5):
+            buffer.push(frame(i, media_time=float(i)))
+        dropped = buffer.drop_before(2.5)
+        assert dropped == 3
+        assert buffer.peek().media_time == 3.0

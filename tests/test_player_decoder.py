@@ -1,0 +1,92 @@
+"""CPU-constrained decoding (Scalable Video)."""
+
+import pytest
+
+from repro.media.frames import Frame, FrameKind
+from repro.player.decoder import Decoder, DecoderProfile, UNCONSTRAINED_PROFILE
+from repro.units import kbps
+
+
+def frame(index: int) -> Frame:
+    return Frame(
+        index=index, kind=FrameKind.DELTA, media_time=index * 0.05,
+        size=1000, level=0,
+    )
+
+
+class TestDecoderProfile:
+    def test_reference_stream_full_budget(self):
+        profile = DecoderProfile("test", decode_budget_fps=30.0)
+        assert profile.max_frame_rate(kbps(100)) == pytest.approx(30.0)
+
+    def test_bigger_streams_cost_more(self):
+        profile = DecoderProfile("test", decode_budget_fps=30.0)
+        assert profile.max_frame_rate(kbps(400)) == pytest.approx(15.0)
+
+    def test_tiny_streams_cheaper(self):
+        profile = DecoderProfile("test", decode_budget_fps=30.0)
+        assert profile.max_frame_rate(kbps(25)) == pytest.approx(60.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DecoderProfile("bad", decode_budget_fps=0)
+        profile = DecoderProfile("test", decode_budget_fps=10)
+        with pytest.raises(ValueError):
+            profile.max_frame_rate(0)
+
+
+class TestDecoder:
+    def test_unconstrained_keeps_everything(self):
+        decoder = Decoder(UNCONSTRAINED_PROFILE)
+        kept = [
+            decoder.admit(frame(i), stream_bps=kbps(450), encoded_fps=30.0)
+            for i in range(100)
+        ]
+        assert all(kept)
+        assert decoder.frames_thinned == 0
+
+    def test_thinning_ratio_matches_capacity(self):
+        # Budget 10 at 100 Kbps; encoded 20 fps -> keep ~half.
+        decoder = Decoder(DecoderProfile("slow", decode_budget_fps=10.0))
+        kept = sum(
+            decoder.admit(frame(i), stream_bps=kbps(100), encoded_fps=20.0)
+            for i in range(200)
+        )
+        assert kept == pytest.approx(100, abs=2)
+
+    def test_thinning_evenly_spaced(self):
+        # "gradually reduce the frame rate in a controlled fashion":
+        # with keep ratio 0.5 the pattern must alternate, not cluster.
+        decoder = Decoder(DecoderProfile("slow", decode_budget_fps=10.0))
+        pattern = [
+            decoder.admit(frame(i), stream_bps=kbps(100), encoded_fps=20.0)
+            for i in range(20)
+        ]
+        runs = max(
+            len(list(group))
+            for _, group in __import__("itertools").groupby(pattern)
+        )
+        assert runs <= 2
+
+    def test_cpu_utilization_tracked(self):
+        decoder = Decoder(DecoderProfile("slow", decode_budget_fps=10.0))
+        for i in range(50):
+            decoder.admit(frame(i), stream_bps=kbps(100), encoded_fps=20.0)
+        assert decoder.mean_cpu_utilization == pytest.approx(1.0)
+
+    def test_partial_utilization(self):
+        decoder = Decoder(DecoderProfile("fast", decode_budget_fps=40.0))
+        for i in range(50):
+            decoder.admit(frame(i), stream_bps=kbps(100), encoded_fps=20.0)
+        assert decoder.mean_cpu_utilization == pytest.approx(0.5)
+
+    def test_no_frames_zero_utilization(self):
+        decoder = Decoder(UNCONSTRAINED_PROFILE)
+        assert decoder.mean_cpu_utilization == 0.0
+
+    def test_counters_consistent(self):
+        decoder = Decoder(DecoderProfile("slow", decode_budget_fps=5.0))
+        for i in range(100):
+            decoder.admit(frame(i), stream_bps=kbps(200), encoded_fps=24.0)
+        assert decoder.frames_offered == 100
+        assert decoder.frames_kept + decoder.frames_thinned == 100

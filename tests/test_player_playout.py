@@ -1,0 +1,193 @@
+"""Playout engine: buffering, display clock, rebuffering."""
+
+import pytest
+
+from repro.errors import PlayerError
+from repro.media.frames import Frame, FrameKind
+from repro.player.decoder import Decoder, UNCONSTRAINED_PROFILE
+from repro.player.playout import PlaybackState, PlayoutConfig, PlayoutEngine
+from repro.player.stats import ClipStats
+
+
+def frame(index: int, media_time: float) -> Frame:
+    return Frame(
+        index=index, kind=FrameKind.DELTA, media_time=media_time,
+        size=500, level=0,
+    )
+
+
+def make_engine(loop, prebuffer=2.0, **kwargs):
+    stats = ClipStats()
+    config = PlayoutConfig(
+        prebuffer_media_s=prebuffer,
+        min_start_media_s=kwargs.pop("min_start", 1.0),
+        initial_buffer_cap_s=kwargs.pop("cap", 10.0),
+        rebuffer_media_s=kwargs.pop("rebuffer", 1.0),
+        rebuffer_cap_s=kwargs.pop("rebuffer_cap", 20.0),
+    )
+    engine = PlayoutEngine(
+        loop, Decoder(UNCONSTRAINED_PROFILE), stats, config=config, **kwargs
+    )
+    return engine, stats
+
+
+def feed(engine, frames):
+    for f in frames:
+        engine.on_frame_complete(f)
+
+
+class TestBuffering:
+    def test_starts_after_prebuffer_reached(self, loop):
+        engine, stats = make_engine(loop, prebuffer=2.0)
+        engine.begin_buffering()
+        feed(engine, [frame(i, i * 0.1) for i in range(10)])  # 0.9s span
+        assert engine.state is PlaybackState.BUFFERING
+        feed(engine, [frame(i, i * 0.1) for i in range(10, 25)])  # 2.4s
+        assert engine.state is PlaybackState.PLAYING
+        assert stats.playout_started_at is not None
+
+    def test_initial_cap_starts_with_partial_buffer(self, loop):
+        engine, stats = make_engine(loop, prebuffer=5.0, cap=3.0, min_start=0.5)
+        engine.begin_buffering()
+        feed(engine, [frame(i, i * 0.1) for i in range(8)])  # 0.7s span
+        loop.run(until=4.0)
+        assert engine.state in (PlaybackState.PLAYING, PlaybackState.REBUFFERING)
+        assert stats.initial_buffering_s >= 3.0
+
+    def test_cannot_buffer_twice(self, loop):
+        engine, _ = make_engine(loop)
+        engine.begin_buffering()
+        with pytest.raises(PlayerError):
+            engine.begin_buffering()
+
+
+class TestPlayout:
+    def test_frames_displayed_at_media_cadence(self, loop):
+        engine, stats = make_engine(loop, prebuffer=1.0)
+        engine.begin_buffering()
+        frames = [frame(i, i * 0.1) for i in range(40)]
+        feed(engine, frames)
+        loop.run(until=10.0)
+        assert stats.frames_displayed == 40
+        gaps = [
+            b - a for a, b in zip(stats.frame_times, stats.frame_times[1:])
+        ]
+        # Steady 100 ms cadence after start.
+        assert all(abs(g - 0.1) < 0.02 for g in gaps[1:])
+
+    def test_missing_frames_leave_gaps_not_stalls(self, loop):
+        engine, stats = make_engine(loop, prebuffer=1.0)
+        engine.begin_buffering()
+        frames = [frame(i, i * 0.1) for i in range(40) if i not in (20, 21)]
+        feed(engine, frames)
+        engine.mark_eos(3.9)
+        loop.run(until=10.0)
+        assert stats.frames_displayed == 38
+        # The two-frame hole is skipped on the clock, not stalled on.
+        assert stats.rebuffer_count == 0
+        assert engine.state is PlaybackState.FINISHED
+
+    def test_late_frame_dropped(self, loop):
+        engine, stats = make_engine(loop, prebuffer=1.0)
+        engine.begin_buffering()
+        feed(engine, [frame(i, i * 0.1) for i in range(30)])
+        loop.run(until=2.0)  # playout has advanced past 1.0s media
+        engine.on_frame_complete(frame(99, 0.2))
+        assert stats.frames_late == 1
+
+    def test_jitter_low_for_steady_stream(self, loop):
+        engine, stats = make_engine(loop, prebuffer=1.0)
+        engine.begin_buffering()
+        feed(engine, [frame(i, i * 0.1) for i in range(50)])
+        loop.run(until=10.0)
+        stats.stopped_at = loop.now
+        assert stats.jitter_s() < 0.005
+
+
+class TestRebuffering:
+    def test_buffer_drain_triggers_rebuffer(self, loop):
+        engine, stats = make_engine(loop, prebuffer=1.0, rebuffer=1.0)
+        engine.begin_buffering()
+        feed(engine, [frame(i, i * 0.1) for i in range(15)])  # 1.5s media
+        loop.run(until=5.0)  # drains by t=1.5ish
+        assert engine.state is PlaybackState.REBUFFERING
+        assert stats.rebuffer_count == 1
+
+    def test_rebuffer_resumes_after_refill(self, loop):
+        engine, stats = make_engine(loop, prebuffer=1.0, rebuffer=1.0)
+        engine.begin_buffering()
+        feed(engine, [frame(i, i * 0.1) for i in range(15)])
+        loop.run(until=5.0)
+        assert engine.state is PlaybackState.REBUFFERING
+        feed(engine, [frame(i, 5.0 + (i - 15) * 0.1) for i in range(15, 40)])
+        loop.run(until=6.0)  # resumed, mid-playout of the new batch
+        assert engine.state is PlaybackState.PLAYING
+        assert stats.rebuffer_total_s > 0
+        assert stats.frames_displayed > 15
+
+    def test_rebuffer_cap_resumes_with_little_data(self, loop):
+        engine, stats = make_engine(
+            loop, prebuffer=1.0, rebuffer=5.0, rebuffer_cap=3.0
+        )
+        engine.begin_buffering()
+        feed(engine, [frame(i, i * 0.1) for i in range(15)])
+        loop.run(until=2.0)
+        assert engine.state is PlaybackState.REBUFFERING
+        # Only 0.3s media arrives: below the 5s resume target, but the
+        # 3s cap forces resumption anyway.
+        feed(engine, [frame(i, 2.0 + (i - 15) * 0.1) for i in range(15, 18)])
+        loop.run(until=6.5)
+        assert stats.frames_displayed >= 17
+
+    def test_eos_finishes_instead_of_rebuffering(self, loop):
+        engine, stats = make_engine(loop, prebuffer=1.0)
+        engine.begin_buffering()
+        feed(engine, [frame(i, i * 0.1) for i in range(15)])
+        engine.mark_eos(1.5)
+        loop.run(until=5.0)
+        assert engine.state is PlaybackState.FINISHED
+        assert stats.rebuffer_count == 0
+
+
+class TestStop:
+    def test_stop_records_final_stats(self, loop):
+        engine, stats = make_engine(loop, prebuffer=1.0)
+        engine.begin_buffering()
+        feed(engine, [frame(i, i * 0.1) for i in range(30)])
+        loop.run(until=2.0)
+        engine.stop()
+        assert engine.state is PlaybackState.STOPPED
+        assert stats.stopped_at == 2.0
+
+    def test_stop_during_rebuffer_accounts_stall(self, loop):
+        engine, stats = make_engine(loop, prebuffer=1.0, rebuffer=1.0)
+        engine.begin_buffering()
+        feed(engine, [frame(i, i * 0.1) for i in range(15)])
+        loop.run(until=5.0)
+        assert engine.state is PlaybackState.REBUFFERING
+        engine.stop()
+        assert stats.rebuffer_total_s > 0
+
+    def test_stop_idempotent(self, loop):
+        engine, _ = make_engine(loop)
+        engine.begin_buffering()
+        engine.stop()
+        engine.stop()
+
+    def test_frames_after_stop_ignored(self, loop):
+        engine, stats = make_engine(loop)
+        engine.begin_buffering()
+        engine.stop()
+        engine.on_frame_complete(frame(0, 0.0))
+        assert len(engine.buffer) == 0
+
+
+class TestMediaAdvanceCallback:
+    def test_callback_sees_cursor_progress(self, loop):
+        seen = []
+        engine, _ = make_engine(loop, prebuffer=1.0, on_media_advance=seen.append)
+        engine.begin_buffering()
+        feed(engine, [frame(i, i * 0.1) for i in range(30)])
+        loop.run(until=4.0)
+        assert seen
+        assert seen == sorted(seen)

@@ -1,0 +1,132 @@
+"""RealPlayer: full client behavior over the simulated stack."""
+
+import pytest
+
+from repro.media.clip import ContentKind, make_clip
+from repro.net.path import NetworkPath, PathProfile
+from repro.player.realplayer import PlaybackOutcome, PlayerConfig, RealPlayer
+from repro.server.availability import AvailabilityModel
+from repro.server.realserver import RealServer
+from repro.transport.base import Protocol
+from repro.units import kbps
+
+
+@pytest.fixture
+def clip():
+    return make_clip("rtsp://t/p.rm", ContentKind.NEWS, max_kbps=150,
+                     duration_s=120.0)
+
+
+def build(loop, path, clip, rng, availability=0.0, **player_kwargs):
+    server = RealServer(
+        loop, "T/SRV", {clip.url: clip},
+        AvailabilityModel(availability), rng,
+    )
+    config = PlayerConfig(client_max_bps=kbps(450), **player_kwargs)
+    player = RealPlayer(loop, path, server, clip.url, config)
+    return server, player
+
+
+def drive(loop, path, player, stop_after=40.0):
+    path.start()
+    player.start()
+    stop_event = loop.schedule(stop_after, player.stop)
+    while not player.finished:
+        if not loop.run_step():
+            break
+    stop_event.cancel()
+    path.stop()
+
+
+class TestHappyPath:
+    def test_udp_playback(self, loop, clean_path, clip, rng):
+        _, player = build(loop, clean_path, clip, rng)
+        drive(loop, clean_path, player)
+        assert player.outcome is PlaybackOutcome.PLAYED
+        assert player.protocol is Protocol.UDP
+        assert player.stats.frames_displayed > 100
+        assert player.stats.initial_buffering_s is not None
+
+    def test_forced_tcp_playback(self, loop, clean_path, clip, rng):
+        _, player = build(loop, clean_path, clip, rng, force_tcp=True)
+        drive(loop, clean_path, player)
+        assert player.outcome is PlaybackOutcome.PLAYED
+        assert player.protocol is Protocol.TCP
+        assert player.stats.frames_displayed > 100
+
+    def test_coded_history_tracked(self, loop, clean_path, clip, rng):
+        _, player = build(loop, clean_path, clip, rng)
+        drive(loop, clean_path, player)
+        assert player.stats.coded_history
+        assert player.stats.coded_bandwidth_bps() > 0
+        assert player.stats.coded_frame_rate() > 0
+
+    def test_stop_is_idempotent(self, loop, clean_path, clip, rng):
+        _, player = build(loop, clean_path, clip, rng)
+        drive(loop, clean_path, player)
+        player.stop()
+        player.stop()
+
+
+class TestUnavailable:
+    def test_unavailable_clip_outcome(self, loop, clean_path, clip, rng):
+        _, player = build(loop, clean_path, clip, rng, availability=0.999)
+        drive(loop, clean_path, player)
+        assert player.outcome is PlaybackOutcome.UNAVAILABLE
+        assert player.stats.frames_displayed == 0
+
+
+class TestControlFailure:
+    def test_black_hole_path_fails_control(self, loop, rng, clip):
+        profile = PathProfile(
+            access_down_bps=kbps(512),
+            access_up_bps=kbps(128),
+            access_prop_s=0.01,
+            bottleneck_bps=kbps(1000),
+            wan_prop_s=0.03,
+            server_up_bps=kbps(1000),
+            random_loss=0.995,
+        )
+        path = NetworkPath(loop, profile, rng)
+        _, player = build(loop, path, clip, rng)
+        drive(loop, path, player, stop_after=120.0)
+        assert player.outcome is PlaybackOutcome.CONTROL_FAILED
+
+
+class TestUdpFallback:
+    def test_probe_timeout_renegotiates_tcp(self, loop, rng, clip,
+                                            monkeypatch):
+        """If no UDP data arrives after PLAY, the player re-SETUPs TCP.
+
+        Forced by making every UDP datagram vanish: patch UdpFlow.send
+        to drop everything silently (a UDP-blocking middlebox).
+        """
+        from repro.transport import udp as udp_module
+
+        monkeypatch.setattr(
+            udp_module.UdpFlow, "send", lambda self, *a, **k: None
+        )
+        profile = PathProfile(
+            access_down_bps=kbps(512),
+            access_up_bps=kbps(128),
+            access_prop_s=0.01,
+            bottleneck_bps=kbps(1000),
+            wan_prop_s=0.03,
+            server_up_bps=kbps(1000),
+        )
+        path = NetworkPath(loop, profile, rng)
+        _, player = build(loop, path, clip, rng)
+        drive(loop, path, player, stop_after=60.0)
+        assert player.protocol is Protocol.TCP
+        assert player.outcome is PlaybackOutcome.PLAYED
+        assert player.stats.frames_displayed > 0
+
+
+class TestLiveClip:
+    def test_live_clip_plays_with_small_lead(self, loop, clean_path, rng):
+        live = make_clip("rtsp://t/live.rm", ContentKind.NEWS, max_kbps=150,
+                         duration_s=120.0, live=True)
+        _, player = build(loop, clean_path, live, rng)
+        drive(loop, clean_path, player)
+        assert player.outcome is PlaybackOutcome.PLAYED
+        assert player.stats.frames_displayed > 50

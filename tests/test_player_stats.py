@@ -1,0 +1,104 @@
+"""ClipStats derived metrics."""
+
+import pytest
+
+from repro.player.stats import BandwidthSample, ClipStats
+
+
+def stats_with_frames(times, start=5.0, stop=65.0):
+    stats = ClipStats()
+    stats.started_at = 0.0
+    stats.playout_started_at = start
+    stats.stopped_at = stop
+    stats.frame_times = list(times)
+    return stats
+
+
+class TestFrameRate:
+    def test_mean_frame_rate(self):
+        stats = stats_with_frames([5.0 + i * 0.1 for i in range(600)])
+        assert stats.mean_frame_rate() == pytest.approx(10.0)
+
+    def test_zero_without_playout(self):
+        stats = ClipStats()
+        stats.started_at = 0.0
+        stats.stopped_at = 60.0
+        assert stats.mean_frame_rate() == 0.0
+
+    def test_includes_stall_time(self):
+        # 300 frames over a 60 s span (a long stall in the middle).
+        stats = stats_with_frames([5.0 + i * 0.1 for i in range(300)])
+        assert stats.mean_frame_rate() == pytest.approx(5.0)
+
+
+class TestJitter:
+    def test_uniform_gaps_zero_jitter(self):
+        stats = stats_with_frames([i * 0.1 for i in range(100)])
+        assert stats.jitter_s() == pytest.approx(0.0, abs=1e-9)
+
+    def test_one_big_gap_dominates(self):
+        times = [i * 0.1 for i in range(50)]
+        times += [times[-1] + 10.0 + i * 0.1 for i in range(50)]
+        stats = stats_with_frames(times)
+        assert stats.jitter_s() > 0.3
+
+    def test_needs_three_frames(self):
+        assert stats_with_frames([1.0, 2.0]).jitter_s() == 0.0
+
+
+class TestBandwidth:
+    def test_mean_bandwidth(self):
+        stats = ClipStats()
+        stats.started_at = 0.0
+        stats.stopped_at = 10.0
+        stats.bytes_received = 125_000  # 1 Mbit
+        assert stats.mean_bandwidth_bps() == pytest.approx(100_000.0)
+
+    def test_zero_before_stop(self):
+        stats = ClipStats()
+        stats.bytes_received = 1000
+        assert stats.mean_bandwidth_bps() == 0.0
+
+
+class TestCodedAverages:
+    def test_time_weighted_bandwidth(self):
+        stats = ClipStats()
+        stats.started_at = 0.0
+        stats.stopped_at = 10.0
+        # 4 s at 100 kbps then 6 s at 50 kbps.
+        stats.coded_history = [(0.0, 100_000.0, 20.0), (4.0, 50_000.0, 12.0)]
+        assert stats.coded_bandwidth_bps() == pytest.approx(70_000.0)
+        assert stats.coded_frame_rate() == pytest.approx(0.4 * 20 + 0.6 * 12)
+
+    def test_empty_history(self):
+        stats = ClipStats()
+        stats.stopped_at = 10.0
+        assert stats.coded_bandwidth_bps() == 0.0
+
+    def test_zero_span_falls_back_to_last(self):
+        stats = ClipStats()
+        stats.started_at = 0.0
+        stats.stopped_at = 5.0
+        stats.coded_history = [(5.0, 80_000.0, 10.0)]
+        assert stats.coded_bandwidth_bps() == pytest.approx(80_000.0)
+
+
+class TestPlaySpan:
+    def test_span(self):
+        stats = stats_with_frames([], start=7.0, stop=67.0)
+        assert stats.play_span_s == pytest.approx(60.0)
+
+    def test_zero_without_playout(self):
+        stats = ClipStats()
+        stats.stopped_at = 60.0
+        assert stats.play_span_s == 0.0
+
+
+class TestBandwidthSample:
+    def test_fields(self):
+        sample = BandwidthSample(
+            at_s=3.0, bandwidth_bps=1e5, frame_rate_fps=12.0,
+            coded_bandwidth_bps=2e5, coded_frame_rate_fps=20.0,
+        )
+        assert sample.at_s == 3.0
+        assert sample.coded_frame_rate_fps == 20.0

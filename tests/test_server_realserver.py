@@ -1,0 +1,178 @@
+"""RealServer: RTSP request handling end to end."""
+
+import pytest
+
+from repro.media.clip import ContentKind, make_clip
+from repro.server.availability import AvailabilityModel
+from repro.server.realserver import ClipDescription, RealServer
+from repro.server.rtsp import (
+    ControlChannel,
+    RtspMethod,
+    RtspRequest,
+    RtspResponse,
+    RtspStatus,
+)
+from repro.server.session import StreamingSession
+from repro.transport.base import Protocol
+from repro.units import kbps
+
+
+@pytest.fixture
+def clip():
+    return make_clip("rtsp://srv/clip.rm", ContentKind.NEWS, max_kbps=150)
+
+
+@pytest.fixture
+def server(loop, clip, rng):
+    return RealServer(
+        loop,
+        name="TEST/SRV",
+        clips={clip.url: clip},
+        availability=AvailabilityModel(0.0),
+        rng=rng,
+    )
+
+
+def exchange(loop, path, server, requests, run_for=10.0):
+    """Send requests in sequence; collect the responses."""
+    channel = ControlChannel(loop, path)
+    server.attach(channel, path)
+    responses = []
+    pending = list(requests)
+
+    def on_client(message):
+        if isinstance(message, RtspResponse):
+            responses.append(message)
+            if pending:
+                channel.send_from_client(pending.pop(0))
+
+    channel.on_client_receive = on_client
+    channel.send_from_client(pending.pop(0))
+    loop.run(until=run_for)
+    return responses, channel
+
+
+class TestDescribe:
+    def test_known_clip_described(self, loop, clean_path, server, clip):
+        responses, _ = exchange(
+            loop, clean_path, server,
+            [RtspRequest(RtspMethod.DESCRIBE, clip.url)],
+        )
+        assert responses[0].status is RtspStatus.OK
+        body = responses[0].body
+        assert isinstance(body, ClipDescription)
+        assert body.url == clip.url
+        assert body.levels == len(clip.ladder)
+
+    def test_unknown_clip_404(self, loop, clean_path, server):
+        responses, _ = exchange(
+            loop, clean_path, server,
+            [RtspRequest(RtspMethod.DESCRIBE, "rtsp://srv/nope.rm")],
+        )
+        assert responses[0].status is RtspStatus.NOT_FOUND
+
+    def test_unavailable_clip_404(self, loop, clean_path, clip, rng):
+        server = RealServer(
+            loop, "TEST/DOWN", {clip.url: clip},
+            AvailabilityModel(0.999), rng,
+        )
+        responses, _ = exchange(
+            loop, clean_path, server,
+            [RtspRequest(RtspMethod.DESCRIBE, clip.url)],
+        )
+        assert responses[0].status is RtspStatus.NOT_FOUND
+        assert server.describe_failures == 1
+
+
+class TestSetupAndPlay:
+    def test_full_handshake_starts_session(self, loop, clean_path, server, clip):
+        responses, _ = exchange(
+            loop, clean_path, server,
+            [
+                RtspRequest(RtspMethod.DESCRIBE, clip.url),
+                RtspRequest(RtspMethod.SETUP, clip.url,
+                            transport=Protocol.UDP,
+                            client_max_bps=kbps(450)),
+                RtspRequest(RtspMethod.PLAY, clip.url),
+            ],
+        )
+        assert [r.status for r in responses[:3]] == [RtspStatus.OK] * 3
+        setup = responses[1]
+        assert isinstance(setup.body, StreamingSession)
+        assert setup.transport is Protocol.UDP
+        assert server.sessions_started == 1
+
+    def test_setup_without_describe_404(self, loop, clean_path, server, clip):
+        responses, _ = exchange(
+            loop, clean_path, server,
+            [RtspRequest(RtspMethod.SETUP, clip.url,
+                         transport=Protocol.UDP, client_max_bps=kbps(450))],
+        )
+        assert responses[0].status is RtspStatus.NOT_FOUND
+
+    def test_setup_without_transport_rejected(self, loop, clean_path, server,
+                                              clip):
+        responses, _ = exchange(
+            loop, clean_path, server,
+            [
+                RtspRequest(RtspMethod.DESCRIBE, clip.url),
+                RtspRequest(RtspMethod.SETUP, clip.url),
+            ],
+        )
+        assert responses[1].status is RtspStatus.UNSUPPORTED_TRANSPORT
+
+    def test_renegotiation_replaces_session(self, loop, clean_path, server,
+                                            clip):
+        responses, _ = exchange(
+            loop, clean_path, server,
+            [
+                RtspRequest(RtspMethod.DESCRIBE, clip.url),
+                RtspRequest(RtspMethod.SETUP, clip.url,
+                            transport=Protocol.UDP,
+                            client_max_bps=kbps(450)),
+                RtspRequest(RtspMethod.SETUP, clip.url,
+                            transport=Protocol.TCP,
+                            client_max_bps=kbps(450)),
+            ],
+        )
+        first, second = responses[1].body, responses[2].body
+        assert first is not second
+        assert first.finished  # the replaced session was stopped
+        assert second.tcp is not None
+
+    def test_play_without_setup_404(self, loop, clean_path, server, clip):
+        responses, _ = exchange(
+            loop, clean_path, server,
+            [
+                RtspRequest(RtspMethod.DESCRIBE, clip.url),
+                RtspRequest(RtspMethod.PLAY, clip.url),
+            ],
+        )
+        assert responses[1].status is RtspStatus.NOT_FOUND
+
+    def test_teardown_stops_session(self, loop, clean_path, server, clip):
+        responses, _ = exchange(
+            loop, clean_path, server,
+            [
+                RtspRequest(RtspMethod.DESCRIBE, clip.url),
+                RtspRequest(RtspMethod.SETUP, clip.url,
+                            transport=Protocol.UDP,
+                            client_max_bps=kbps(450)),
+                RtspRequest(RtspMethod.PLAY, clip.url),
+                RtspRequest(RtspMethod.TEARDOWN, clip.url),
+            ],
+            run_for=20.0,
+        )
+        session = responses[1].body
+        assert responses[3].status is RtspStatus.OK
+        assert session.finished
+
+
+class TestServerConstruction:
+    def test_requires_clips(self, loop, rng):
+        with pytest.raises(ValueError):
+            RealServer(loop, "EMPTY", {}, AvailabilityModel(0.0), rng)
+
+    def test_lookup(self, server, clip):
+        assert server.lookup(clip.url) is clip
+        assert server.lookup("other") is None

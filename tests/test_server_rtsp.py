@@ -1,0 +1,118 @@
+"""Control channel and RTSP message vocabulary."""
+
+from repro.net.path import NetworkPath, PathProfile
+from repro.server.rtsp import (
+    ControlChannel,
+    RtspMethod,
+    RtspRequest,
+    RtspResponse,
+    RtspStatus,
+)
+from repro.transport.base import Protocol
+from repro.units import kbps
+
+
+class TestControlChannel:
+    def test_client_to_server_delivery(self, loop, clean_path):
+        channel = ControlChannel(loop, clean_path)
+        got = []
+        channel.on_server_receive = got.append
+        channel.send_from_client("hello")
+        loop.run(until=2.0)
+        assert got == ["hello"]
+
+    def test_server_to_client_delivery(self, loop, clean_path):
+        channel = ControlChannel(loop, clean_path)
+        got = []
+        channel.on_client_receive = got.append
+        channel.send_from_server("clip-info")
+        loop.run(until=2.0)
+        assert got == ["clip-info"]
+
+    def test_in_order_delivery(self, loop, clean_path):
+        channel = ControlChannel(loop, clean_path)
+        got = []
+        channel.on_server_receive = got.append
+        for i in range(5):
+            channel.send_from_client(i)
+        loop.run(until=10.0)
+        assert got == [0, 1, 2, 3, 4]
+
+    def test_survives_loss(self, loop, rng):
+        profile = PathProfile(
+            access_down_bps=kbps(512),
+            access_up_bps=kbps(128),
+            access_prop_s=0.01,
+            bottleneck_bps=kbps(1000),
+            wan_prop_s=0.03,
+            server_up_bps=kbps(1000),
+            random_loss=0.25,
+        )
+        path = NetworkPath(loop, profile, rng)
+        channel = ControlChannel(loop, path)
+        got = []
+        channel.on_server_receive = got.append
+        for i in range(6):
+            channel.send_from_client(i)
+        loop.run(until=60.0)
+        assert got == [0, 1, 2, 3, 4, 5]
+        assert not channel.failed
+
+    def test_gives_up_on_black_hole(self, loop, rng):
+        profile = PathProfile(
+            access_down_bps=kbps(512),
+            access_up_bps=kbps(128),
+            access_prop_s=0.01,
+            bottleneck_bps=kbps(1000),
+            wan_prop_s=0.03,
+            server_up_bps=kbps(1000),
+            random_loss=0.999,
+        )
+        path = NetworkPath(loop, profile, rng)
+        channel = ControlChannel(loop, path)
+        channel.on_server_receive = lambda m: None
+        channel.send_from_client("doomed")
+        loop.run(until=120.0)
+        assert channel.failed
+
+    def test_closed_channel_ignores_traffic(self, loop, clean_path):
+        channel = ControlChannel(loop, clean_path)
+        got = []
+        channel.on_server_receive = got.append
+        channel.send_from_client("late")
+        channel.close()
+        loop.run(until=5.0)
+        assert got == []
+
+    def test_bidirectional_interleaving(self, loop, clean_path):
+        channel = ControlChannel(loop, clean_path)
+        at_server, at_client = [], []
+        channel.on_server_receive = at_server.append
+        channel.on_client_receive = at_client.append
+        channel.send_from_client("req1")
+        channel.send_from_server("resp1")
+        channel.send_from_client("req2")
+        loop.run(until=5.0)
+        assert at_server == ["req1", "req2"]
+        assert at_client == ["resp1"]
+
+
+class TestMessages:
+    def test_request_fields(self):
+        request = RtspRequest(
+            RtspMethod.SETUP,
+            "rtsp://x/clip.rm",
+            transport=Protocol.UDP,
+            client_max_bps=kbps(350),
+        )
+        assert request.method is RtspMethod.SETUP
+        assert request.transport is Protocol.UDP
+
+    def test_response_fields(self):
+        response = RtspResponse(RtspMethod.DESCRIBE, RtspStatus.NOT_FOUND)
+        assert response.status is RtspStatus.NOT_FOUND
+        assert response.body is None
+
+    def test_status_codes(self):
+        assert RtspStatus.OK.value == 200
+        assert RtspStatus.NOT_FOUND.value == 404

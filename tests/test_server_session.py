@@ -1,0 +1,219 @@
+"""Streaming session: pacing, adaptation, FEC, audio."""
+
+import pytest
+
+from repro.media.clip import ContentKind, make_clip
+from repro.media.frames import MediaPacket
+from repro.net.path import NetworkPath, PathProfile
+from repro.server.session import (
+    AudioChunk,
+    EndOfStream,
+    LevelSwitch,
+    SessionConfig,
+    StreamingSession,
+)
+from repro.transport.base import Protocol
+from repro.transport.udp import ReceiverReport
+from repro.units import kbps
+
+
+@pytest.fixture
+def clip():
+    return make_clip(
+        "rtsp://t/session.rm", ContentKind.NEWS, max_kbps=350, duration_s=90.0
+    )
+
+
+def make_session(loop, path, clip, protocol=Protocol.UDP,
+                 client_max=kbps(450), notify=None, config=None, rng=None):
+    import numpy as np
+
+    return StreamingSession(
+        loop=loop,
+        path=path,
+        clip=clip,
+        protocol=protocol,
+        client_max_bps=client_max,
+        rtt_estimate_s=0.1,
+        rng=rng if rng is not None else np.random.default_rng(0),
+        config=config,
+        notify_control=notify,
+    )
+
+
+class TestInitialLevel:
+    def test_picks_highest_fitting_client_cap(self, loop, clean_path, clip):
+        session = make_session(loop, clean_path, clip, client_max=kbps(200))
+        assert session.level.total_bps == kbps(150)
+
+    def test_falls_to_lowest_when_cap_tiny(self, loop, clean_path, clip):
+        session = make_session(loop, clean_path, clip, client_max=kbps(5))
+        assert session.level is clip.ladder.lowest
+
+
+class TestPacing:
+    def test_builds_media_lead_with_burst(self, loop, clean_path, clip):
+        session = make_session(loop, clean_path, clip)
+        session.start()
+        loop.run(until=5.0)
+        # With a 1.8x burst, ~9 media seconds should be sent by t=5.
+        assert session.media_sent_s > 5.0
+        assert session.media_sent_s <= 5.0 * 2.0
+
+    def test_lead_capped_in_steady_state(self, loop, clean_path, clip):
+        config = SessionConfig(buffer_ahead_s=12.0)
+        session = make_session(loop, clean_path, clip, config=config)
+        session.start()
+        loop.run(until=30.0)
+        assert session.media_sent_s <= 30.0 + 12.0 + 1.0
+
+    def test_live_clip_has_small_lead(self, loop, clean_path):
+        live = make_clip(
+            "rtsp://t/live.rm", ContentKind.NEWS, max_kbps=150,
+            duration_s=90.0, live=True,
+        )
+        config = SessionConfig(live_buffer_ahead_s=2.0)
+        session = make_session(loop, clean_path, live, config=config)
+        session.start()
+        loop.run(until=30.0)
+        assert session.media_sent_s <= 30.0 + 2.0 + 1.0
+
+    def test_finishes_at_clip_end(self, loop, clean_path):
+        short = make_clip(
+            "rtsp://t/short.rm", ContentKind.NEWS, max_kbps=80, duration_s=15.0
+        )
+        notifications = []
+        session = make_session(loop, clean_path, short, notify=notifications.append)
+        session.start()
+        loop.run(until=40.0)
+        assert session.finished
+        assert any(isinstance(n, EndOfStream) for n in notifications)
+
+
+class TestPayloadMix:
+    def test_sends_media_and_audio(self, loop, clean_path, clip):
+        session = make_session(loop, clean_path, clip)
+        payloads = []
+        session.udp.on_deliver = lambda p, s: payloads.append(p)
+        session.start()
+        loop.run(until=10.0)
+        kinds = {type(p) for p in payloads}
+        assert MediaPacket in kinds
+        assert AudioChunk in kinds
+
+    def test_audio_rate_tracks_codec(self, loop, clean_path, clip):
+        session = make_session(loop, clean_path, clip)
+        audio_bytes = []
+        session.udp.on_deliver = lambda p, s: (
+            audio_bytes.append(s) if isinstance(p, AudioChunk) else None
+        )
+        session.start()
+        loop.run(until=20.0)
+        media_sent = session.media_sent_s
+        expected = session.level.audio.rate_bps * media_sent / 8
+        assert sum(audio_bytes) == pytest.approx(expected, rel=0.2)
+
+    def test_level_announced_on_start(self, loop, clean_path, clip):
+        notifications = []
+        session = make_session(loop, clean_path, clip, notify=notifications.append)
+        session.start()
+        loop.run(until=1.0)
+        switches = [n for n in notifications if isinstance(n, LevelSwitch)]
+        assert switches
+        assert switches[0].level_index == session.level.index
+
+
+class TestUdpAdaptation:
+    def test_loss_report_forces_down_switch(self, loop, clean_path, clip):
+        session = make_session(loop, clean_path, clip)
+        session.start()
+        loop.run(until=2.0)
+        initial = session.level.index
+        assert initial > 0
+        session._on_udp_report(
+            ReceiverReport(
+                loss_rate=0.25, received=10, highest_seq=100, mean_transit_s=0.2
+            )
+        )
+        assert session.level.index < initial
+        assert session.stats.down_switches >= 1
+
+    def test_recovery_switches_back_up(self, loop, clean_path, clip):
+        config = SessionConfig(switch_min_interval_s=1.0)
+        session = make_session(loop, clean_path, clip, config=config)
+        session.start()
+        loop.run(until=2.0)
+        session._on_udp_report(
+            ReceiverReport(loss_rate=0.25, received=10, highest_seq=100,
+                           mean_transit_s=0.2)
+        )
+        dropped_to = session.level.index
+        loop.run(until=5.0)
+        session._on_udp_report(
+            ReceiverReport(loss_rate=0.0, received=100, highest_seq=300,
+                           mean_transit_s=0.1)
+        )
+        assert session.level.index > dropped_to
+
+    def test_fec_sent_under_loss(self, loop, clean_path, clip):
+        config = SessionConfig(fec_loss_threshold=0.01)
+        session = make_session(loop, clean_path, clip, config=config)
+        # Pretend the receiver has been reporting 5% loss; the first
+        # key frame (sent immediately) must then carry FEC.
+        session._loss_estimate = 0.05
+        session.start()
+        loop.run(until=0.5)
+        assert session.stats.fec_packets_sent > 0
+
+    def test_no_fec_without_loss(self, loop, clean_path, clip):
+        session = make_session(loop, clean_path, clip)
+        session.start()
+        loop.run(until=15.0)
+        assert session.stats.fec_packets_sent == 0
+
+
+class TestTcpAdaptation:
+    def test_tcp_backlog_forces_down_switch(self, loop, rng, clip):
+        # A path far too slow for the initial 350k level.
+        profile = PathProfile(
+            access_down_bps=kbps(64),
+            access_up_bps=kbps(64),
+            access_prop_s=0.02,
+            bottleneck_bps=kbps(2000),
+            wan_prop_s=0.02,
+            server_up_bps=kbps(2000),
+        )
+        path = NetworkPath(loop, profile, rng)
+        session = make_session(loop, path, clip, protocol=Protocol.TCP)
+        session.tcp.on_deliver = lambda p, s: None
+        session.start()
+        initial = session.level.index
+        loop.run(until=20.0)
+        assert session.level.index < initial
+
+    def test_tcp_stable_on_fat_path(self, loop, clean_path, clip):
+        session = make_session(loop, clean_path, clip, protocol=Protocol.TCP)
+        session.tcp.on_deliver = lambda p, s: None
+        session.start()
+        loop.run(until=20.0)
+        assert session.level is clip.ladder.highest
+        assert session.stats.down_switches == 0
+
+
+class TestLifecycle:
+    def test_stop_closes_transport(self, loop, clean_path, clip):
+        session = make_session(loop, clean_path, clip)
+        session.start()
+        loop.run(until=2.0)
+        session.stop()
+        assert session.udp.closed
+        assert session.finished
+
+    def test_time_at_level_accounted(self, loop, clean_path, clip):
+        session = make_session(loop, clean_path, clip)
+        session.start()
+        loop.run(until=10.0)
+        session.stop()
+        assert sum(session.stats.time_at_level.values()) == pytest.approx(
+            10.0, abs=0.1
+        )

@@ -1,0 +1,180 @@
+"""Discrete-event engine semantics."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import (
+    PRIORITY_HIGH,
+    PRIORITY_LOW,
+    PRIORITY_NORMAL,
+    Timer,
+)
+
+
+class TestScheduling:
+    def test_clock_starts_at_zero(self, loop):
+        assert loop.now == 0.0
+
+    def test_events_run_in_time_order(self, loop):
+        order = []
+        loop.schedule(2.0, lambda: order.append("b"))
+        loop.schedule(1.0, lambda: order.append("a"))
+        loop.schedule(3.0, lambda: order.append("c"))
+        loop.run()
+        assert order == ["a", "b", "c"]
+
+    def test_clock_advances_to_event_time(self, loop):
+        seen = []
+        loop.schedule(1.5, lambda: seen.append(loop.now))
+        loop.run()
+        assert seen == [1.5]
+
+    def test_negative_delay_rejected(self, loop):
+        with pytest.raises(SimulationError):
+            loop.schedule(-0.1, lambda: None)
+
+    def test_schedule_at_absolute_time(self, loop):
+        seen = []
+        loop.schedule_at(2.5, lambda: seen.append(loop.now))
+        loop.run()
+        assert seen == [2.5]
+
+    def test_schedule_at_past_rejected(self, loop):
+        loop.schedule(1.0, lambda: None)
+        loop.run()
+        with pytest.raises(SimulationError):
+            loop.schedule_at(0.5, lambda: None)
+
+    def test_callbacks_can_schedule_more_events(self, loop):
+        order = []
+
+        def first():
+            order.append("first")
+            loop.schedule(1.0, lambda: order.append("second"))
+
+        loop.schedule(1.0, first)
+        loop.run()
+        assert order == ["first", "second"]
+        assert loop.now == 2.0
+
+
+class TestPriorities:
+    def test_priority_breaks_simultaneous_ties(self, loop):
+        order = []
+        loop.schedule(1.0, lambda: order.append("low"), priority=PRIORITY_LOW)
+        loop.schedule(1.0, lambda: order.append("high"), priority=PRIORITY_HIGH)
+        loop.schedule(1.0, lambda: order.append("normal"), priority=PRIORITY_NORMAL)
+        loop.run()
+        assert order == ["high", "normal", "low"]
+
+    def test_fifo_within_same_priority(self, loop):
+        order = []
+        for i in range(5):
+            loop.schedule(1.0, lambda i=i: order.append(i))
+        loop.run()
+        assert order == [0, 1, 2, 3, 4]
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_run(self, loop):
+        ran = []
+        event = loop.schedule(1.0, lambda: ran.append(1))
+        event.cancel()
+        loop.run()
+        assert ran == []
+
+    def test_cancel_is_idempotent(self, loop):
+        event = loop.schedule(1.0, lambda: None)
+        event.cancel()
+        event.cancel()
+        loop.run()
+
+    def test_pending_count_skips_cancelled(self, loop):
+        keep = loop.schedule(1.0, lambda: None)
+        drop = loop.schedule(2.0, lambda: None)
+        drop.cancel()
+        assert loop.pending_count() == 1
+        keep.cancel()
+        assert loop.pending_count() == 0
+
+
+class TestRunUntil:
+    def test_stops_before_later_events(self, loop):
+        ran = []
+        loop.schedule(1.0, lambda: ran.append("early"))
+        loop.schedule(5.0, lambda: ran.append("late"))
+        loop.run(until=2.0)
+        assert ran == ["early"]
+        assert loop.now == 2.0
+
+    def test_advances_clock_even_when_empty(self, loop):
+        loop.run(until=10.0)
+        assert loop.now == 10.0
+
+    def test_remaining_events_run_on_next_call(self, loop):
+        ran = []
+        loop.schedule(5.0, lambda: ran.append("late"))
+        loop.run(until=2.0)
+        loop.run()
+        assert ran == ["late"]
+
+    def test_reentrant_run_rejected(self, loop):
+        def nested():
+            loop.run()
+
+        loop.schedule(1.0, nested)
+        with pytest.raises(SimulationError):
+            loop.run()
+
+
+class TestRunStep:
+    def test_single_step(self, loop):
+        ran = []
+        loop.schedule(1.0, lambda: ran.append("a"))
+        loop.schedule(2.0, lambda: ran.append("b"))
+        assert loop.run_step() is True
+        assert ran == ["a"]
+
+    def test_empty_returns_false(self, loop):
+        assert loop.run_step() is False
+
+    def test_skips_cancelled(self, loop):
+        ran = []
+        event = loop.schedule(1.0, lambda: ran.append("x"))
+        event.cancel()
+        loop.schedule(2.0, lambda: ran.append("y"))
+        assert loop.run_step() is True
+        assert ran == ["y"]
+
+
+class TestTimer:
+    def test_fires_after_delay(self, loop):
+        fired = []
+        timer = Timer(loop, lambda: fired.append(loop.now))
+        timer.start(3.0)
+        loop.run()
+        assert fired == [3.0]
+
+    def test_restart_replaces_previous_deadline(self, loop):
+        fired = []
+        timer = Timer(loop, lambda: fired.append(loop.now))
+        timer.start(3.0)
+        timer.start(5.0)
+        loop.run()
+        assert fired == [5.0]
+
+    def test_cancel_prevents_fire(self, loop):
+        fired = []
+        timer = Timer(loop, lambda: fired.append(1))
+        timer.start(1.0)
+        timer.cancel()
+        loop.run()
+        assert fired == []
+
+    def test_armed_state(self, loop):
+        timer = Timer(loop, lambda: None)
+        assert not timer.armed
+        timer.start(1.0)
+        assert timer.armed
+        loop.run()
+        assert not timer.armed

@@ -1,0 +1,175 @@
+"""TCP model: reliability, ordering, congestion control."""
+
+import pytest
+
+from repro.errors import ConnectionClosedError, TransportError
+from repro.net.packet import Packet, PacketKind
+from repro.net.path import NetworkPath, PathProfile
+from repro.transport.base import MSS_BYTES
+from repro.transport.tcp import INITIAL_CWND, TcpConnection
+from repro.units import kbps
+
+
+def run_transfer(loop, path, count, size=1000, until=None):
+    """Send `count` messages; return the delivered payload list."""
+    conn = TcpConnection(loop, path)
+    delivered = []
+    conn.on_deliver = lambda payload, sz: delivered.append(payload)
+    for i in range(count):
+        conn.send(i, size)
+    if until is None:
+        loop.run()
+    else:
+        loop.run(until=until)
+    return conn, delivered
+
+
+class TestReliableDelivery:
+    def test_delivers_all_in_order_on_clean_path(self, loop, clean_path):
+        conn, delivered = run_transfer(loop, clean_path, 100)
+        assert delivered == list(range(100))
+        assert conn.stats.messages_delivered == 100
+
+    def test_delivers_all_in_order_on_lossy_path(self, loop, lossy_path):
+        conn, delivered = run_transfer(loop, lossy_path, 200, until=120.0)
+        assert delivered == list(range(200))
+
+    def test_retransmissions_happen_under_loss(self, loop, lossy_path):
+        conn, delivered = run_transfer(loop, lossy_path, 200, until=120.0)
+        assert conn.stats.segments_retransmitted > 0
+        assert (
+            conn.stats.fast_retransmits > 0 or conn.stats.timeouts > 0
+        )
+
+    def test_bytes_delivered_counted(self, loop, clean_path):
+        conn, _ = run_transfer(loop, clean_path, 10, size=500)
+        assert conn.stats.bytes_delivered == 5000
+
+
+class TestCongestionControl:
+    def test_cwnd_grows_from_initial(self, loop, clean_path):
+        conn, _ = run_transfer(loop, clean_path, 50)
+        assert conn.cwnd_segments > INITIAL_CWND
+
+    def test_rtt_estimated(self, loop, clean_path):
+        conn, _ = run_transfer(loop, clean_path, 20)
+        assert conn.smoothed_rtt is not None
+        # Must at least cover the propagation RTT.
+        assert conn.smoothed_rtt >= clean_path.base_rtt_s * 0.9
+
+    def test_loss_reduces_cwnd(self, loop, rng):
+        # A tiny bottleneck queue forces congestive drops.
+        profile = PathProfile(
+            access_down_bps=kbps(200),
+            access_up_bps=kbps(100),
+            access_prop_s=0.01,
+            bottleneck_bps=kbps(200),
+            wan_prop_s=0.03,
+            server_up_bps=kbps(2000),
+            bottleneck_queue=4,
+            access_queue=4,
+        )
+        path = NetworkPath(loop, profile, rng)
+        conn = TcpConnection(loop, path)
+        conn.on_deliver = lambda p, s: None
+        peak = [0.0]
+
+        def watch():
+            peak[0] = max(peak[0], conn.cwnd_segments)
+            if not conn.closed:
+                loop.schedule(0.05, watch)
+
+        loop.schedule(0.05, watch)
+        for i in range(300):
+            conn.send(i, 1000)
+        loop.run(until=60.0)
+        # The window must have been cut below its peak at least once.
+        assert conn.stats.fast_retransmits + conn.stats.timeouts > 0
+        assert conn.cwnd_segments < peak[0]
+
+    def test_throughput_bounded_by_bottleneck(self, loop, rng):
+        profile = PathProfile(
+            access_down_bps=kbps(2000),
+            access_up_bps=kbps(500),
+            access_prop_s=0.005,
+            bottleneck_bps=kbps(100),
+            wan_prop_s=0.02,
+            server_up_bps=kbps(5000),
+        )
+        path = NetworkPath(loop, profile, rng)
+        conn = TcpConnection(loop, path)
+        received = []
+        conn.on_deliver = lambda p, s: received.append(s)
+        for i in range(500):
+            conn.send(i, 1000)
+        loop.run(until=30.0)
+        goodput = sum(received) * 8 / 30.0
+        assert goodput <= kbps(100)
+        assert goodput > kbps(50)  # but uses a decent share
+
+
+class TestBacklog:
+    def test_backlog_tracks_unacked_data(self, loop, clean_path):
+        conn = TcpConnection(loop, clean_path)
+        conn.on_deliver = lambda p, s: None
+        for i in range(10):
+            conn.send(i, 1000)
+        assert conn.backlog_bytes == 10_000
+        loop.run()
+        assert conn.backlog_bytes == 0
+
+    def test_backlog_grows_when_path_is_slow(self, loop, rng):
+        profile = PathProfile(
+            access_down_bps=kbps(30),
+            access_up_bps=kbps(30),
+            access_prop_s=0.08,
+            bottleneck_bps=kbps(1000),
+            wan_prop_s=0.02,
+            server_up_bps=kbps(1000),
+        )
+        path = NetworkPath(loop, profile, rng)
+        conn = TcpConnection(loop, path)
+        conn.on_deliver = lambda p, s: None
+        for i in range(100):
+            conn.send(i, 1000)
+        loop.run(until=5.0)
+        assert conn.backlog_bytes > 50_000
+
+
+class TestApiContract:
+    def test_oversize_message_rejected(self, loop, clean_path):
+        conn = TcpConnection(loop, clean_path)
+        with pytest.raises(TransportError):
+            conn.send("x", MSS_BYTES + 1)
+
+    def test_zero_size_rejected(self, loop, clean_path):
+        conn = TcpConnection(loop, clean_path)
+        with pytest.raises(TransportError):
+            conn.send("x", 0)
+
+    def test_send_after_close_rejected(self, loop, clean_path):
+        conn = TcpConnection(loop, clean_path)
+        conn.close()
+        with pytest.raises(ConnectionClosedError):
+            conn.send("x", 100)
+
+    def test_close_is_idempotent(self, loop, clean_path):
+        conn = TcpConnection(loop, clean_path)
+        conn.close()
+        conn.close()
+        assert conn.closed
+
+    def test_flow_ids_unique(self, loop, clean_path):
+        a = TcpConnection(loop, clean_path)
+        b = TcpConnection(loop, clean_path)
+        assert a.flow_id != b.flow_id
+
+    def test_ignores_foreign_packet_kinds(self, loop, clean_path):
+        conn = TcpConnection(loop, clean_path)
+        # Deliver a CONTROL packet to the TCP handlers: must not crash.
+        conn._on_ack_packet(
+            Packet(kind=PacketKind.CONTROL, size=10, flow_id=conn.flow_id)
+        )
+        conn._on_data_packet(
+            Packet(kind=PacketKind.CONTROL, size=10, flow_id=conn.flow_id)
+        )

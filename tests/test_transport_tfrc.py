@@ -1,0 +1,67 @@
+"""The TCP-friendly rate equation."""
+
+import math
+
+import pytest
+
+from repro.transport.tfrc import tfrc_rate
+from repro.units import kbps
+
+
+class TestEquation:
+    def test_zero_loss_is_unbounded(self):
+        assert tfrc_rate(0.0, 0.1) == float("inf")
+
+    def test_rate_decreases_with_loss(self):
+        rates = [tfrc_rate(p, 0.1) for p in (0.001, 0.01, 0.05, 0.2)]
+        assert rates == sorted(rates, reverse=True)
+
+    def test_rate_decreases_with_rtt(self):
+        assert tfrc_rate(0.01, 0.05) > tfrc_rate(0.01, 0.5)
+
+    def test_inverse_sqrt_regime_at_low_loss(self):
+        # At small p the equation approaches s / (R * sqrt(2p/3)):
+        # quadrupling p should roughly halve the rate.
+        low = tfrc_rate(0.0005, 0.1)
+        high = tfrc_rate(0.002, 0.1)
+        assert low / high == pytest.approx(2.0, rel=0.15)
+
+    def test_plausible_magnitude(self):
+        # 1% loss, 100 ms RTT, 1000-byte segments: classic ~1 Mbps-ish.
+        rate = tfrc_rate(0.01, 0.1)
+        assert kbps(300) < rate < kbps(1500)
+
+    def test_heavy_loss_yields_trickle(self):
+        rate = tfrc_rate(0.3, 0.2)
+        assert rate < kbps(50)
+
+    def test_segment_size_scales_linearly(self):
+        assert tfrc_rate(0.01, 0.1, segment_bytes=500) == pytest.approx(
+            tfrc_rate(0.01, 0.1, segment_bytes=1000) / 2
+        )
+
+    def test_explicit_rto_honored(self):
+        fast = tfrc_rate(0.05, 0.1, rto_s=0.2)
+        slow = tfrc_rate(0.05, 0.1, rto_s=2.0)
+        assert fast > slow
+
+    def test_finite_for_full_loss(self):
+        assert math.isfinite(tfrc_rate(1.0, 0.1))
+
+
+class TestValidation:
+    def test_rejects_negative_loss(self):
+        with pytest.raises(ValueError):
+            tfrc_rate(-0.1, 0.1)
+
+    def test_rejects_loss_above_one(self):
+        with pytest.raises(ValueError):
+            tfrc_rate(1.1, 0.1)
+
+    def test_rejects_nonpositive_rtt(self):
+        with pytest.raises(ValueError):
+            tfrc_rate(0.01, 0.0)
+
+    def test_rejects_nonpositive_segment(self):
+        with pytest.raises(ValueError):
+            tfrc_rate(0.01, 0.1, segment_bytes=0)

@@ -1,0 +1,149 @@
+"""UDP flow: datagrams, reports, NAK repair."""
+
+import pytest
+
+from repro.errors import ConnectionClosedError, TransportError
+from repro.net.path import NetworkPath, PathProfile
+from repro.transport.base import MSS_BYTES
+from repro.transport.udp import ReceiverReport, UdpFlow
+from repro.units import kbps
+
+
+class TestDelivery:
+    def test_clean_path_delivers_everything(self, loop, clean_path):
+        flow = UdpFlow(loop, clean_path)
+        got = []
+        flow.on_deliver = lambda p, s: got.append(p)
+
+        def send_batch(start):
+            for i in range(start, start + 10):
+                flow.send(i, 500)
+            if start + 10 < 50:
+                loop.schedule(0.2, lambda: send_batch(start + 10))
+
+        send_batch(0)
+        loop.run(until=5.0)
+        assert got == list(range(50))
+        assert flow.stats.datagrams_delivered == 50
+
+    def test_reports_flow_back(self, loop, clean_path):
+        flow = UdpFlow(loop, clean_path)
+        reports = []
+        flow.on_report = reports.append
+        flow.on_deliver = lambda p, s: None
+        for i in range(20):
+            flow.send(i, 500)
+        loop.run(until=5.0)
+        assert len(reports) >= 3
+        assert all(isinstance(r, ReceiverReport) for r in reports)
+        assert reports[-1].highest_seq == 19
+
+    def test_clean_path_reports_zero_loss(self, loop, clean_path):
+        flow = UdpFlow(loop, clean_path)
+        reports = []
+        flow.on_report = reports.append
+        flow.on_deliver = lambda p, s: None
+        for i in range(20):
+            flow.send(i, 500)
+        loop.run(until=5.0)
+        assert reports[-1].loss_rate == 0.0
+
+
+class TestNakRepair:
+    def _congested_path(self, loop, rng):
+        profile = PathProfile(
+            access_down_bps=kbps(400),
+            access_up_bps=kbps(128),
+            access_prop_s=0.01,
+            bottleneck_bps=kbps(400),
+            wan_prop_s=0.03,
+            server_up_bps=kbps(2000),
+            random_loss=0.10,
+            bottleneck_queue=30,
+        )
+        return NetworkPath(loop, profile, rng)
+
+    def test_losses_detected_and_repaired(self, loop, rng):
+        path = self._congested_path(loop, rng)
+        flow = UdpFlow(loop, path)
+        got = set()
+        flow.on_deliver = lambda p, s: got.add(p)
+
+        def send_batch(start):
+            for i in range(start, start + 20):
+                flow.send(i, 500)
+            if start + 20 < 200:
+                loop.schedule(0.5, lambda: send_batch(start + 20))
+
+        send_batch(0)
+        loop.run(until=30.0)
+        assert flow.stats.holes_detected > 0
+        assert flow.stats.holes_repaired > 0
+        # NAK repair recovers most first-transmission losses.
+        assert len(got) > 0.95 * 200
+
+    def test_loss_report_reflects_first_transmission_loss(self, loop, rng):
+        path = self._congested_path(loop, rng)
+        flow = UdpFlow(loop, path)
+        reports = []
+        flow.on_report = reports.append
+        flow.on_deliver = lambda p, s: None
+
+        def send_batch(start):
+            for i in range(start, start + 20):
+                flow.send(i, 500)
+            if start + 20 < 400:
+                loop.schedule(0.5, lambda: send_batch(start + 20))
+
+        send_batch(0)
+        loop.run(until=30.0)
+        # ~10% random loss must show up in the smoothed estimate even
+        # though NAKs repaired the stream.
+        assert max(r.loss_rate for r in reports) > 0.03
+
+    def test_duplicates_are_dropped(self, loop, clean_path):
+        flow = UdpFlow(loop, clean_path)
+        got = []
+        flow.on_deliver = lambda p, s: got.append(p)
+        flow.send("a", 100)
+        loop.run(until=1.0)
+        # Simulate a duplicate arrival (e.g. spurious retransmission).
+        from repro.net.packet import Packet, PacketKind
+
+        flow._on_datagram(
+            Packet(kind=PacketKind.DATA, size=100, flow_id=flow.flow_id,
+                   seq=0, payload="a")
+        )
+        assert got == ["a"]
+        assert flow.stats.duplicates_received == 1
+
+
+class TestApiContract:
+    def test_oversize_rejected(self, loop, clean_path):
+        flow = UdpFlow(loop, clean_path)
+        with pytest.raises(TransportError):
+            flow.send("x", MSS_BYTES + 1)
+
+    def test_zero_size_rejected(self, loop, clean_path):
+        flow = UdpFlow(loop, clean_path)
+        with pytest.raises(TransportError):
+            flow.send("x", 0)
+
+    def test_send_after_close_rejected(self, loop, clean_path):
+        flow = UdpFlow(loop, clean_path)
+        flow.close()
+        with pytest.raises(ConnectionClosedError):
+            flow.send("x", 100)
+
+    def test_close_stops_reports(self, loop, clean_path):
+        flow = UdpFlow(loop, clean_path)
+        reports = []
+        flow.on_report = reports.append
+        flow.send("x", 100)
+        flow.close()
+        loop.run(until=5.0)
+        assert reports == []
+
+    def test_overall_loss_rate_property(self, loop, clean_path):
+        flow = UdpFlow(loop, clean_path)
+        assert flow.stats.loss_rate == 0.0

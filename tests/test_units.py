@@ -1,0 +1,83 @@
+"""Unit conversions and paper constants."""
+
+import pytest
+
+from repro import units
+
+
+class TestRateConversions:
+    def test_kbps_to_bps(self):
+        assert units.kbps(56) == 56_000.0
+
+    def test_kbps_round_trip(self):
+        assert units.to_kbps(units.kbps(350)) == pytest.approx(350.0)
+
+    def test_mbps(self):
+        assert units.mbps(1.5) == 1_500_000.0
+
+    def test_ms_to_seconds(self):
+        assert units.ms(50) == pytest.approx(0.050)
+
+    def test_ms_round_trip(self):
+        assert units.to_ms(units.ms(300)) == pytest.approx(300.0)
+
+
+class TestBytesFor:
+    def test_one_second_at_8bps_is_one_byte(self):
+        assert units.bytes_for(8, 1.0) == 1
+
+    def test_scales_with_duration(self):
+        assert units.bytes_for(units.kbps(80), 10.0) == 100_000
+
+    def test_rejects_negative_rate(self):
+        with pytest.raises(ValueError):
+            units.bytes_for(-1, 1.0)
+
+    def test_rejects_negative_duration(self):
+        with pytest.raises(ValueError):
+            units.bytes_for(100, -0.5)
+
+
+class TestTransmissionTime:
+    def test_basic(self):
+        # 1000 bytes at 8000 bps -> 1 second.
+        assert units.transmission_time(1000, 8000) == pytest.approx(1.0)
+
+    def test_zero_bytes_take_no_time(self):
+        assert units.transmission_time(0, 1000) == 0.0
+
+    def test_rejects_zero_rate(self):
+        with pytest.raises(ValueError):
+            units.transmission_time(100, 0)
+
+    def test_rejects_negative_size(self):
+        with pytest.raises(ValueError):
+            units.transmission_time(-1, 1000)
+
+
+class TestPaperConstants:
+    def test_frame_rate_thresholds_ordered(self):
+        assert (
+            units.FPS_STILL_PICTURES
+            < units.FPS_VERY_CHOPPY
+            < units.FPS_SMOOTH
+            < units.FPS_FULL_MOTION
+        )
+
+    def test_jitter_thresholds(self):
+        assert units.JITTER_IMPERCEPTIBLE_S == pytest.approx(0.050)
+        assert units.JITTER_UNACCEPTABLE_S == pytest.approx(0.300)
+
+    def test_rebuffer_cap_is_twenty_seconds(self):
+        assert units.REBUFFER_HALT_MAX_S == 20.0
+
+    def test_default_play_length_is_one_minute(self):
+        assert units.DEFAULT_CLIP_PLAY_SECONDS == 60.0
+
+    def test_rating_scale(self):
+        assert units.RATING_MIN == 0
+        assert units.RATING_MAX == 10
+
+    def test_bandwidth_bins_match_figure_25(self):
+        assert units.BANDWIDTH_BIN_LOW_BPS == units.kbps(10)
+        assert units.BANDWIDTH_BIN_HIGH_BPS == units.kbps(100)

@@ -1,0 +1,79 @@
+"""Connection classes and PC classes."""
+
+import numpy as np
+import pytest
+
+from repro.units import kbps
+from repro.world.connections import (
+    CONNECTION_CLASSES,
+    DSL_CABLE,
+    MODEM,
+    T1_LAN,
+)
+from repro.world.pcs import PC_CLASSES, sample_pc_class
+
+
+class TestConnectionClasses:
+    def test_three_paper_classes(self):
+        assert set(CONNECTION_CLASSES) == {"56k Modem", "DSL/Cable", "T1/LAN"}
+
+    def test_modem_streams_up_to_50kbps(self):
+        # "Typical 56k modems can stream at rates up to 50 Kbps".
+        assert MODEM.params.down_max_bps <= kbps(50)
+
+    def test_dsl_streams_up_to_500kbps(self):
+        # "DSL and Cable modems can stream at rates up to 500 Kbps".
+        assert kbps(256) <= DSL_CABLE.params.down_min_bps
+        assert DSL_CABLE.params.down_max_bps <= kbps(520)
+
+    def test_t1_fastest(self):
+        assert T1_LAN.params.down_min_bps > DSL_CABLE.params.down_max_bps
+
+    def test_sampled_downlink_in_range(self, rng):
+        for cls in CONNECTION_CLASSES.values():
+            for _ in range(50):
+                rate = cls.sample_downlink_bps(rng)
+                assert cls.params.down_min_bps <= rate <= cls.params.down_max_bps
+
+    def test_ordering_of_client_caps(self):
+        assert MODEM.client_max_bps < DSL_CABLE.client_max_bps
+        assert DSL_CABLE.client_max_bps <= T1_LAN.client_max_bps
+
+
+class TestPcClasses:
+    def test_six_paper_classes(self):
+        assert len(PC_CLASSES) == 6
+        names = {pc.name for pc in PC_CLASSES}
+        assert "Intel Pentium MMX / 24MB" in names
+        assert "Pentium III / 256-512MB" in names
+
+    def test_exactly_two_old_classes(self):
+        old = [pc for pc in PC_CLASSES if pc.is_old]
+        assert {pc.name for pc in old} == {
+            "Intel Pentium MMX / 24MB",
+            "Pentium II / 32MB",
+        }
+
+    def test_weights_normalized(self):
+        assert sum(pc.population_weight for pc in PC_CLASSES) == pytest.approx(1.0)
+
+    def test_modem_users_skew_old(self):
+        rng = np.random.default_rng(3)
+        modem_old = sum(
+            sample_pc_class(rng, is_modem_user=True).is_old
+            for _ in range(3000)
+        )
+        rng = np.random.default_rng(3)
+        broadband_old = sum(
+            sample_pc_class(rng, is_modem_user=False).is_old
+            for _ in range(3000)
+        )
+        assert modem_old > broadband_old * 1.5
+
+    def test_all_classes_reachable(self):
+        rng = np.random.default_rng(4)
+        names = {
+            sample_pc_class(rng, is_modem_user=False).name
+            for _ in range(2000)
+        }
+        assert names == {pc.name for pc in PC_CLASSES}

@@ -1,0 +1,73 @@
+"""Countries, regions, coordinates."""
+
+import pytest
+
+from repro.world.geography import (
+    COUNTRIES,
+    US_STATE_COORDS,
+    ServerRegion,
+    UserRegion,
+    country,
+)
+
+
+class TestCountryTable:
+    def test_all_12_user_countries_present(self):
+        # Paper: users from 12 countries; all must carry a user region.
+        codes = {c.code for c in COUNTRIES.values() if c.user_region}
+        assert {"US", "CA", "UK", "DE", "FR", "AU", "NZ", "CN", "IN",
+                "AE", "EG", "RO"} <= codes
+        # Brazil hosted a server but contributed no users.
+        assert country("BR").user_region is None
+
+    def test_all_8_server_countries_present(self):
+        server_countries = {c.code for c in COUNTRIES.values() if c.server_region}
+        assert server_countries == {"US", "CA", "UK", "IT", "CN", "JP", "AU", "BR"}
+
+    def test_lookup_by_code(self):
+        assert country("US").name == "United States"
+
+    def test_unknown_code_helpful_error(self):
+        with pytest.raises(KeyError, match="unknown country code"):
+            country("XX")
+
+    def test_user_region_mapping_matches_figure_15(self):
+        assert country("AU").user_region is UserRegion.AUSTRALIA_NZ
+        assert country("NZ").user_region is UserRegion.AUSTRALIA_NZ
+        assert country("US").user_region is UserRegion.US_CANADA
+        assert country("CA").user_region is UserRegion.US_CANADA
+        assert country("UK").user_region is UserRegion.EUROPE
+        assert country("RO").user_region is UserRegion.EUROPE
+        assert country("CN").user_region is UserRegion.ASIA
+        assert country("EG").user_region is UserRegion.ASIA
+
+    def test_server_region_mapping_matches_figure_14(self):
+        assert country("BR").server_region is ServerRegion.BRAZIL
+        assert country("JP").server_region is ServerRegion.ASIA
+        assert country("CN").server_region is ServerRegion.ASIA
+        assert country("IT").server_region is ServerRegion.EUROPE
+        assert country("AU").server_region is ServerRegion.AUSTRALIA
+
+    def test_coordinates_plausible(self):
+        for c in COUNTRIES.values():
+            assert -90 <= c.latitude <= 90
+            assert -180 <= c.longitude <= 180
+
+    def test_quality_classes_valid(self):
+        from repro.world.calibration import QUALITY_CLASSES
+
+        for c in COUNTRIES.values():
+            assert c.quality_class in QUALITY_CLASSES
+
+
+class TestStates:
+    def test_figure_9_states_present(self):
+        assert set(US_STATE_COORDS) == {
+            "VA", "WA", "ME", "TN", "CT", "NH", "CO", "IL", "TX",
+            "CA", "WI", "DE", "MD", "MN", "NC", "FL", "MA",
+        }
+
+    def test_state_coordinates_in_us(self):
+        for lat, lon in US_STATE_COORDS.values():
+            assert 24 < lat < 49
+            assert -125 < lon < -66

@@ -1,0 +1,125 @@
+"""Path factory: user/server pairs to network paths."""
+
+import numpy as np
+import pytest
+
+from repro.sim.engine import EventLoop
+from repro.world.paths import BOTTLENECK_FLOOR_BPS, PathFactory
+from repro.world.servers import SITES_BY_NAME
+from repro.world.users import build_user_population
+
+
+@pytest.fixture(scope="module")
+def users():
+    return build_user_population(np.random.default_rng(5))
+
+
+@pytest.fixture
+def factory():
+    return PathFactory()
+
+
+def users_by(users, **criteria):
+    out = []
+    for u in users:
+        if "country" in criteria and u.country.code != criteria["country"]:
+            continue
+        if "connection" in criteria and u.connection.name != criteria["connection"]:
+            continue
+        out.append(u)
+    return out
+
+
+class TestProfiles:
+    def test_access_params_flow_through(self, factory, users, rng):
+        user = users_by(users, connection="56k Modem")[0]
+        profile = factory.profile_for(user, SITES_BY_NAME["US/CNN"], rng)
+        assert profile.access_down_bps == user.downlink_bps
+        assert profile.access_prop_s == pytest.approx(0.085)
+
+    def test_modem_lines_get_line_loss(self, factory, users):
+        user = users_by(users, connection="56k Modem")[0]
+        rng = np.random.default_rng(1)
+        losses = [
+            factory.profile_for(user, SITES_BY_NAME["US/CNN"], rng).access_random_loss
+            for _ in range(20)
+        ]
+        assert max(losses) > 0.0
+        from repro.world.calibration import ACCESS_PARAMS
+
+        cap = ACCESS_PARAMS["56k Modem"].line_loss_max
+        assert all(loss <= cap for loss in losses)
+
+    def test_broadband_lines_clean(self, factory, users, rng):
+        user = users_by(users, connection="DSL/Cable")[0]
+        profile = factory.profile_for(user, SITES_BY_NAME["US/CNN"], rng)
+        assert profile.access_random_loss == 0.0
+
+    def test_t1_gets_lan_cross_traffic(self, factory, users, rng):
+        user = users_by(users, connection="T1/LAN")[0]
+        profile = factory.profile_for(user, SITES_BY_NAME["US/CNN"], rng)
+        assert profile.access_cross_load > 0
+
+    def test_bottleneck_floor_respected(self, factory, users):
+        rng = np.random.default_rng(2)
+        remote = [u for u in users if u.country.quality_class == "remote"]
+        user = remote[0]
+        for _ in range(50):
+            profile = factory.profile_for(user, SITES_BY_NAME["US/CNN"], rng)
+            assert profile.bottleneck_bps >= BOTTLENECK_FLOOR_BPS
+
+    def test_remote_users_see_thinner_paths(self, factory, users):
+        rng = np.random.default_rng(3)
+        remote = [u for u in users if u.country.quality_class == "remote"][0]
+        excellent = [u for u in users if u.country.quality_class == "excellent"][0]
+        site = SITES_BY_NAME["US/CNN"]
+        remote_bw = np.median(
+            [factory.profile_for(remote, site, rng).bottleneck_bps
+             for _ in range(40)]
+        )
+        excellent_bw = np.median(
+            [factory.profile_for(excellent, site, rng).bottleneck_bps
+             for _ in range(40)]
+        )
+        assert remote_bw < excellent_bw / 3
+
+    def test_distant_pairs_have_longer_rtt(self, factory, users, rng):
+        us_user = users_by(users, country="US")[0]
+        near = factory.profile_for(us_user, SITES_BY_NAME["US/CNN"], rng)
+        far = factory.profile_for(us_user, SITES_BY_NAME["AUS/ABC"], rng)
+        assert far.wan_prop_s > near.wan_prop_s + 0.03
+
+    def test_same_country_boost(self, factory, users):
+        # Same (user, server) country gives statistically fatter paths.
+        us_user = users_by(users, country="US")[0]
+        rng_a = np.random.default_rng(9)
+        rng_b = np.random.default_rng(9)
+        same = np.median(
+            [factory.profile_for(us_user, SITES_BY_NAME["US/CNN"], rng_a).bottleneck_bps
+             for _ in range(60)]
+        )
+        cross = np.median(
+            [factory.profile_for(us_user, SITES_BY_NAME["UK/BBC"], rng_b).bottleneck_bps
+             for _ in range(60)]
+        )
+        assert same > cross
+
+
+class TestBuild:
+    def test_build_returns_running_path(self, factory, users, rng):
+        loop = EventLoop()
+        user = users_by(users, connection="DSL/Cable")[0]
+        path = factory.build(loop, user, SITES_BY_NAME["US/CNN"], rng)
+        path.start()
+        loop.run(until=1.0)
+        path.stop()
+
+    def test_red_ablation_flag(self, factory, users, rng):
+        from repro.net.queues import REDQueue
+
+        loop = EventLoop()
+        user = users_by(users, connection="DSL/Cable")[0]
+        path = factory.build(
+            loop, user, SITES_BY_NAME["US/CNN"], rng, red_bottleneck=True
+        )
+        assert isinstance(path.bottleneck_link.queue, REDQueue)

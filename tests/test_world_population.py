@@ -1,0 +1,57 @@
+"""Study population assembly."""
+
+import pytest
+
+from repro.rng import RngFactory
+from repro.world.population import StudyPopulation, build_population
+
+
+class TestBuildPopulation:
+    def test_defaults_reproduce_paper_scale(self, rngs):
+        population = build_population(rngs)
+        assert population.playlist_length == 98
+        assert 55 <= population.user_count <= 70
+
+    def test_playlist_length_override(self, rngs):
+        population = build_population(rngs, playlist_length=12)
+        assert population.playlist_length == 12
+
+    def test_max_users_spreads_across_countries(self, rngs):
+        population = build_population(rngs, max_users=10)
+        assert population.user_count == 10
+        countries = {u.country.code for u in population.users}
+        # A strided cut keeps geographic diversity (not just the first
+        # alphabetical country's users).
+        assert len(countries) >= 3
+
+    def test_max_users_larger_than_population_is_noop(self, rngs):
+        population = build_population(rngs, max_users=10_000)
+        assert 55 <= population.user_count <= 70
+
+    def test_max_users_validation(self, rngs):
+        with pytest.raises(ValueError):
+            build_population(rngs, max_users=0)
+
+    def test_deterministic(self):
+        a = build_population(RngFactory(3))
+        b = build_population(RngFactory(3))
+        assert [u.user_id for u in a.users] == [u.user_id for u in b.users]
+        assert [u.plays for u in a.users] == [u.plays for u in b.users]
+
+    def test_sites_in_playlist_order(self, rngs):
+        population = build_population(rngs, playlist_length=30)
+        sites = population.sites()
+        assert sites[0] is population.playlist[0][0]
+        assert len(sites) == len({s.name for s in sites})
+
+
+class TestStudyPopulation:
+    def test_properties(self, rngs):
+        population = build_population(rngs, playlist_length=5)
+        assert population.user_count == len(population.users)
+        assert population.playlist_length == len(population.playlist)
+
+    def test_frozen(self, rngs):
+        population = build_population(rngs, playlist_length=5)
+        with pytest.raises(AttributeError):
+            population.users = ()

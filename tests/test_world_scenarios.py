@@ -1,0 +1,84 @@
+"""Scenario library."""
+
+import pytest
+
+from repro.core.study import StudyConfig
+from repro.rng import RngFactory
+from repro.world.population import build_population
+from repro.world.scenarios import (
+    ALL_BROADBAND,
+    BASELINE,
+    NO_SURESTREAM,
+    RED_QUEUES,
+    SCENARIOS,
+    SMALL_BUFFER,
+    run_scenario,
+)
+
+
+class TestDefinitions:
+    def test_registry_complete(self):
+        assert set(SCENARIOS) == {
+            "baseline", "all-broadband", "no-surestream",
+            "small-buffer", "red-queues",
+        }
+
+    def test_baseline_is_identity(self, rngs):
+        config = StudyConfig(seed=1, scale=0.1)
+        assert BASELINE.configure(config) is config
+        population = build_population(rngs)
+        assert BASELINE.repopulate(population, 1) is population
+
+    def test_all_broadband_removes_modems(self, rngs):
+        population = build_population(rngs)
+        upgraded = ALL_BROADBAND.repopulate(population, 1)
+        assert all(
+            u.connection.name != "56k Modem" for u in upgraded.users
+        )
+        # Everything else untouched.
+        assert upgraded.playlist is population.playlist
+        assert len(upgraded.users) == len(population.users)
+
+    def test_no_surestream_disables_adaptation(self):
+        config = NO_SURESTREAM.configure(StudyConfig(seed=1))
+        assert config.tracer.session.adaptation_enabled is False
+
+    def test_small_buffer_shrinks_prebuffer(self):
+        config = SMALL_BUFFER.configure(StudyConfig(seed=1))
+        assert config.tracer.playout.prebuffer_media_s == 2.0
+        assert config.tracer.session.buffer_ahead_s == 3.0
+
+    def test_red_sets_bottleneck_flag(self):
+        config = RED_QUEUES.configure(StudyConfig(seed=1))
+        assert config.tracer.red_bottleneck is True
+
+
+class TestRunScenario:
+    def test_baseline_runs(self):
+        dataset = run_scenario(BASELINE, seed=6, scale=0.02)
+        assert len(dataset.played()) > 0
+
+    def test_no_surestream_never_switches(self):
+        # With adaptation off, the coded bandwidth of each played clip
+        # is constant: a single LevelSwitch announcement at start.
+        from repro.core.realtracer import RealTracer, TracerConfig
+        from repro.server.session import SessionConfig
+
+        rngs = RngFactory(9)
+        population = build_population(rngs, playlist_length=6)
+        tracer = RealTracer(
+            config=TracerConfig(
+                session=SessionConfig(adaptation_enabled=False)
+            )
+        )
+        user = next(u for u in population.users
+                    if u.connection.name == "56k Modem")
+        site, clip = next(
+            (s, c) for s, c in population.playlist
+            if c.ladder.highest.total_bps >= 150_000
+            and c.ladder.lowest.total_bps <= 34_000
+        )
+        record = tracer.play_clip(user, site, clip, rngs.child("ns"))
+        if record.played:
+            history = tracer.last_player.stats.coded_history
+            assert len({h[1] for h in history}) == 1

@@ -1,0 +1,120 @@
+"""Server sites and the study playlist."""
+
+import numpy as np
+import pytest
+
+from repro.world.calibration import PLAYS_BY_SERVER_COUNTRY
+from repro.world.servers import (
+    SERVER_SITES,
+    SITES_BY_NAME,
+    build_playlist_clips,
+    build_site_clips,
+    playlist_site_counts,
+)
+
+
+class TestSites:
+    def test_eleven_servers(self):
+        # Paper: 11 servers in 8 countries.
+        assert len(SERVER_SITES) == 11
+        assert len({site.country.code for site in SERVER_SITES}) == 8
+
+    def test_names_match_figure_10(self):
+        for name in ("BRZ/UOL", "CAN/CBC", "CHI/CCTV", "ITA/Kwvideo",
+                     "JAP/FUJITV", "UK/BBC", "UK/ITN", "US/ABC", "US/CNN"):
+            assert name in SITES_BY_NAME
+
+    def test_unavailability_average_near_ten_percent(self):
+        # "on average about 10% of the time a video clip was unavailable"
+        mean = np.mean([site.unavailable_fraction for site in SERVER_SITES])
+        assert 0.08 < mean < 0.12
+
+    def test_every_site_has_region(self):
+        for site in SERVER_SITES:
+            assert site.region is not None
+
+
+class TestPlaylistCounts:
+    def test_total_is_playlist_length(self):
+        counts = playlist_site_counts(98)
+        assert sum(counts.values()) == 98
+
+    def test_country_shares_match_figure_8(self):
+        counts = playlist_site_counts(98)
+        by_country = {}
+        for site in SERVER_SITES:
+            by_country.setdefault(site.country.code, 0)
+            by_country[site.country.code] += counts[site.name]
+        total_target = sum(PLAYS_BY_SERVER_COUNTRY.values())
+        for code, target in PLAYS_BY_SERVER_COUNTRY.items():
+            expected_share = target / total_target
+            actual_share = by_country[code] / 98
+            assert actual_share == pytest.approx(expected_share, abs=0.02)
+
+    def test_us_has_most_clips(self):
+        counts = playlist_site_counts(98)
+        by_country = {}
+        for site in SERVER_SITES:
+            by_country.setdefault(site.country.code, 0)
+            by_country[site.country.code] += counts[site.name]
+        assert by_country["US"] == max(by_country.values())
+
+    def test_small_playlists_work(self):
+        counts = playlist_site_counts(12)
+        assert sum(counts.values()) == 12
+
+
+class TestSiteClips:
+    def test_deterministic(self):
+        site = SERVER_SITES[0]
+        a = build_site_clips(site, 8)
+        b = build_site_clips(site, 8)
+        assert [c.url for c in a] == [c.url for c in b]
+        assert [c.duration_s for c in a] == [c.duration_s for c in b]
+
+    def test_urls_unique_within_site(self):
+        site = SERVER_SITES[0]
+        clips = build_site_clips(site, 10)
+        assert len({c.url for c in clips}) == 10
+
+    def test_content_kinds_from_site_offering(self):
+        site = SITES_BY_NAME["US/CNN"]
+        clips = build_site_clips(site, 10)
+        assert all(c.content in site.content_kinds for c in clips)
+
+    def test_encoding_mix_stratified(self):
+        # A larger site must include both modem-reachable and
+        # broadband-only clips (the era's mix).
+        site = SITES_BY_NAME["US/ABC"]
+        clips = build_site_clips(site, 12)
+        lows = [c.ladder.lowest.total_bps for c in clips]
+        assert min(lows) <= 34_000
+        assert max(lows) >= 150_000
+
+
+class TestPlaylist:
+    def test_full_playlist_is_98(self):
+        playlist = build_playlist_clips(98)
+        assert len(playlist) == 98
+
+    def test_prefix_keeps_site_mix(self):
+        # Users who quit early must still have sampled many sites.
+        playlist = build_playlist_clips(98)
+        first20_sites = {site.name for site, _ in playlist[:20]}
+        assert len(first20_sites) >= 8
+
+    def test_prefix_keeps_encoding_mix(self):
+        playlist = build_playlist_clips(98)
+        lows = [clip.ladder.lowest.total_bps for _, clip in playlist[:15]]
+        assert min(lows) <= 34_000
+        assert max(lows) >= 150_000
+
+    def test_deterministic(self):
+        a = build_playlist_clips(50)
+        b = build_playlist_clips(50)
+        assert [(s.name, c.url) for s, c in a] == [(s.name, c.url) for s, c in b]
+
+    def test_clip_site_consistency(self):
+        playlist = build_playlist_clips(98)
+        for site, clip in playlist:
+            assert site.name.lower().replace("/", ".") in clip.url

@@ -1,0 +1,122 @@
+"""User population generator (Figures 5, 6, 7, 9)."""
+
+import numpy as np
+import pytest
+
+from repro.world.calibration import (
+    PLAYS_BY_US_STATE,
+    PLAYS_BY_USER_COUNTRY,
+    PLAYLIST_LENGTH,
+)
+from repro.world.users import build_user_population
+
+
+@pytest.fixture(scope="module")
+def population():
+    return build_user_population(np.random.default_rng(2001))
+
+
+class TestComposition:
+    def test_about_63_users(self, population):
+        # "A total of 63 users participated"; apportionment gives ~60-66.
+        assert 58 <= len(population) <= 68
+
+    def test_all_12_countries_represented(self, population):
+        countries = {u.country.code for u in population}
+        assert countries == set(PLAYS_BY_USER_COUNTRY)
+
+    def test_us_users_have_states(self, population):
+        us = [u for u in population if u.country.code == "US"]
+        assert all(u.state in PLAYS_BY_US_STATE for u in us)
+        non_us = [u for u in population if u.country.code != "US"]
+        assert all(u.state is None for u in non_us)
+
+    def test_massachusetts_dominates(self, population):
+        ma = [u for u in population if u.state == "MA"]
+        other_states = [u for u in population if u.state and u.state != "MA"]
+        assert len(ma) > len(other_states) / 2
+        ma_plays = sum(u.plays for u in ma)
+        assert ma_plays > 700
+
+    def test_country_play_totals_near_targets(self, population):
+        # Per-country totals are stochastic (few users per country);
+        # they must land in the right ballpark and keep the ordering
+        # of the biggest contributors.
+        for code, target in PLAYS_BY_USER_COUNTRY.items():
+            total = sum(u.plays for u in population if u.country.code == code)
+            assert total == pytest.approx(target, rel=0.6, abs=15), code
+
+    def test_us_dominates_plays(self, population):
+        us = sum(u.plays for u in population if u.country.code == "US")
+        total = sum(u.plays for u in population)
+        assert us / total > 0.6
+
+    def test_unique_user_ids(self, population):
+        ids = [u.user_id for u in population]
+        assert len(set(ids)) == len(ids)
+
+
+class TestBehaviorProfiles:
+    def test_play_counts_in_range(self, population):
+        for u in population:
+            assert 3 <= u.plays <= PLAYLIST_LENGTH
+
+    def test_half_play_forty_or_more(self, population):
+        # Figure 5: half the users played out 40 clips or more.
+        at_least_40 = sum(1 for u in population if u.plays >= 40)
+        assert at_least_40 / len(population) > 0.40
+
+    def test_rating_targets_plausible(self, population):
+        # Figure 6: median ratings ~3, some none, some many.
+        targets = sorted(u.ratings_target for u in population)
+        assert targets[0] == 0 or any(t == 0 for t in targets)
+        assert targets[len(targets) // 2] <= 10
+        assert max(targets) > 10
+
+    def test_rating_anchors_and_gains_bounded(self, population):
+        for u in population:
+            assert 0 <= u.rating_anchor <= 10
+            assert u.rating_gain > 0
+
+    def test_client_cap_never_exceeds_line(self, population):
+        for u in population:
+            assert u.client_max_bps <= u.downlink_bps
+
+    def test_downlink_within_class_range(self, population):
+        for u in population:
+            params = u.connection.params
+            assert params.down_min_bps <= u.downlink_bps <= params.down_max_bps
+
+
+class TestMixes:
+    def test_remote_users_mostly_modem(self):
+        # Only ~3 remote users exist per population; aggregate many
+        # populations to test the mix statistically.
+        remote, modem = 0, 0
+        for seed in range(12):
+            for u in build_user_population(np.random.default_rng(seed)):
+                if u.country.quality_class == "remote":
+                    remote += 1
+                    if u.connection.name == "56k Modem":
+                        modem += 1
+        assert modem / remote > 0.55
+
+    def test_us_has_substantial_broadband(self, population):
+        us = [u for u in population if u.country.code == "US"]
+        broadband = sum(1 for u in us if u.connection.name != "56k Modem")
+        assert broadband / len(us) > 0.5
+
+    def test_all_pc_classes_exist_in_population(self, population):
+        pc_names = {u.pc.name for u in population}
+        assert len(pc_names) >= 4
+
+    def test_some_users_force_tcp(self, population):
+        forced = sum(1 for u in population if u.force_tcp)
+        assert 0.25 < forced / len(population) < 0.65
+
+    def test_deterministic(self):
+        a = build_user_population(np.random.default_rng(7))
+        b = build_user_population(np.random.default_rng(7))
+        assert [(u.user_id, u.plays, u.connection.name) for u in a] == [
+            (u.user_id, u.plays, u.connection.name) for u in b
+        ]
