@@ -1,0 +1,42 @@
+"""Serial vs parallel study execution on a small campaign slice.
+
+Not a paper figure — this tracks the `repro.runtime` engine: the
+wall-clock of a 2-worker run against the serial baseline on the same
+slice, recording the measured speedup (and the determinism check that
+makes the comparison meaningful) in the benchmark JSON.  On a
+single-core box the speedup hovers around 1.0; the number is recorded,
+not asserted.
+"""
+
+import time
+
+from repro.core.study import StudyConfig
+from repro.runtime import RuntimeConfig, run_study
+
+SLICE = StudyConfig(seed=2001, scale=0.05, max_users=10)
+
+
+def test_bench_parallel_runner(benchmark):
+    started = time.monotonic()
+    serial = run_study(SLICE, RuntimeConfig(workers=1))
+    serial_elapsed = time.monotonic() - started
+
+    parallel = benchmark.pedantic(
+        lambda: run_study(SLICE, RuntimeConfig(workers=2)),
+        rounds=1,
+        iterations=1,
+    )
+    parallel_elapsed = benchmark.stats.stats.mean
+
+    identical = (
+        parallel.dataset.to_csv_string() == serial.dataset.to_csv_string()
+    )
+    benchmark.extra_info["plays"] = serial.telemetry.total_plays
+    benchmark.extra_info["serial_s"] = round(serial_elapsed, 3)
+    benchmark.extra_info["parallel_2w_s"] = round(parallel_elapsed, 3)
+    benchmark.extra_info["speedup"] = round(
+        serial_elapsed / parallel_elapsed, 3
+    )
+    benchmark.extra_info["deterministic"] = identical
+    assert identical
+    assert parallel.complete

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Tier-1 smoke: the full unit suite plus a tiny parallel study through
+# the repro.runtime engine (2 workers, checkpointed), verifying the CLI
+# end to end.  Run from the repo root:  bash scripts/smoke.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== tier-1 tests =="
+python -m pytest -x -q
+
+echo "== parallel study smoke (2 workers) =="
+out="$(mktemp -d)"
+trap 'rm -rf "$out"' EXIT
+python -m repro.cli study --seed 2001 --scale 0.02 --workers 2 \
+    --out "$out/smoke.csv" --checkpoint-dir "$out/smoke.ckpt" --quiet
+
+python - "$out" <<'EOF'
+import json, sys
+from pathlib import Path
+out = Path(sys.argv[1])
+from repro.core.records import StudyDataset
+dataset = StudyDataset.from_csv(out / "smoke.csv")
+assert len(dataset) > 0, "smoke study produced no records"
+manifest = json.loads((out / "smoke.ckpt" / "run_manifest.json").read_text())
+assert manifest["failed_shards"] == [], manifest["failed_shards"]
+assert manifest["records"] == len(dataset)
+print(f"smoke ok: {len(dataset)} records, "
+      f"{manifest['plays_per_second']} plays/s, "
+      f"{manifest['shard_count']} shards")
+EOF
+
+echo "== smoke passed =="

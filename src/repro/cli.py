@@ -4,8 +4,9 @@ Subcommands::
 
     repro play   --seed 42 [--connection "DSL/Cable"] [--trace]
     repro study  --scale 0.1 --out study.csv [--seed 2001]
+                 [--workers 4] [--resume] [--checkpoint-dir DIR]
     repro report --csv study.csv [--plots]
-    repro figures --scale 1.0 --out results/
+    repro figures --scale 1.0 --out results/ [--workers 4] [--resume]
 
 ``repro`` is installed as a console script; the module also runs via
 ``python -m repro.cli``.
@@ -15,7 +16,6 @@ from __future__ import annotations
 
 import argparse
 import sys
-import time
 from pathlib import Path
 
 from repro.analysis import breakdowns
@@ -26,7 +26,7 @@ from repro.analysis.stats import summarize
 from repro.analysis.workload import format_workload, summarize_workload
 from repro.core.records import StudyDataset
 from repro.core.realtracer import RealTracer, TracerConfig
-from repro.core.study import Study, StudyConfig
+from repro.core.study import StudyConfig
 from repro.rng import RngFactory
 from repro.world.population import build_population
 
@@ -79,22 +79,46 @@ def _cmd_play(args: argparse.Namespace) -> int:
 
 
 def _cmd_study(args: argparse.Namespace) -> int:
-    started = time.time()
-    study = Study(StudyConfig(seed=args.seed, scale=args.scale))
-    total_plays = sum(
-        study._scaled_plays(u.plays) for u in study.population.users
+    from repro.runtime import (
+        RuntimeConfig, ThrottledProgressPrinter, run_study,
     )
-    print(f"simulating ~{total_plays} playbacks "
-          f"(seed={args.seed}, scale={args.scale})...")
 
-    def progress(done: int, total: int) -> None:
-        if done % 100 == 0 or done == total:
-            print(f"  {done}/{total} ({time.time() - started:.0f}s)",
-                  flush=True)
+    from repro.errors import CheckpointError
 
-    dataset = study.run(progress=progress if not args.quiet else None)
-    dataset.to_csv(args.out)
-    print(f"wrote {len(dataset)} records to {args.out}")
+    checkpoint_dir = args.checkpoint_dir
+    if checkpoint_dir is None:
+        checkpoint_dir = Path(str(args.out) + ".ckpt")
+    try:
+        runtime = RuntimeConfig(
+            workers=args.workers,
+            checkpoint_dir=checkpoint_dir,
+            resume=args.resume,
+            progress=None if args.quiet else ThrottledProgressPrinter(),
+        )
+        result = run_study(
+            StudyConfig(seed=args.seed, scale=args.scale), runtime
+        )
+    except (ValueError, CheckpointError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except KeyboardInterrupt:
+        print(f"\ninterrupted — finished shards are journaled in "
+              f"{checkpoint_dir}; rerun with --resume to continue",
+              file=sys.stderr)
+        return 130
+    telemetry = result.telemetry
+    if not args.quiet:
+        print(f"simulated {telemetry.simulated_plays} playbacks "
+              f"(seed={args.seed}, scale={args.scale}, "
+              f"workers={args.workers}) in {telemetry.elapsed_s:.0f}s "
+              f"at {telemetry.plays_per_second():.1f} plays/s")
+    result.dataset.to_csv(args.out)
+    print(f"wrote {len(result.dataset)} records to {args.out} "
+          f"(checkpoints + run manifest in {checkpoint_dir})")
+    if result.failed_shards:
+        print(f"WARNING: shards {list(result.failed_shards)} failed after "
+              f"retries; their records are missing", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -136,7 +160,11 @@ def _cmd_figures(args: argparse.Namespace) -> int:
     from repro.experiments import runner
 
     forwarded = ["--scale", str(args.scale), "--seed", str(args.seed),
-                 "--out", str(args.out)]
+                 "--out", str(args.out), "--workers", str(args.workers)]
+    if args.checkpoint_dir is not None:
+        forwarded += ["--checkpoint-dir", str(args.checkpoint_dir)]
+    if args.resume:
+        forwarded.append("--resume")
     if args.quiet:
         forwarded.append("--quiet")
     return runner.main(forwarded)
@@ -163,6 +191,13 @@ def build_parser() -> argparse.ArgumentParser:
     study.add_argument("--seed", type=int, default=2001)
     study.add_argument("--scale", type=float, default=1.0)
     study.add_argument("--out", type=Path, default=Path("study.csv"))
+    study.add_argument("--workers", type=int, default=1,
+                       help="worker processes (1: in-process serial)")
+    study.add_argument("--checkpoint-dir", type=Path, default=None,
+                       help="shard journal directory (default: <out>.ckpt)")
+    study.add_argument("--resume", action="store_true",
+                       help="skip shards already journaled in the "
+                            "checkpoint directory")
     study.add_argument("--quiet", action="store_true")
     study.set_defaults(func=_cmd_study)
 
@@ -176,6 +211,10 @@ def build_parser() -> argparse.ArgumentParser:
     figures.add_argument("--seed", type=int, default=2001)
     figures.add_argument("--scale", type=float, default=1.0)
     figures.add_argument("--out", type=Path, default=Path("results"))
+    figures.add_argument("--workers", type=int, default=1,
+                         help="worker processes for the study run")
+    figures.add_argument("--checkpoint-dir", type=Path, default=None)
+    figures.add_argument("--resume", action="store_true")
     figures.add_argument("--quiet", action="store_true")
     figures.set_defaults(func=_cmd_figures)
     return parser

@@ -125,6 +125,38 @@ class StudyDataset:
     def extend(self, records: Iterable[ClipRecord]) -> None:
         self._records.extend(records)
 
+    @classmethod
+    def merged_in_user_order(
+        cls,
+        datasets: Iterable["StudyDataset"],
+        user_order: Iterable[str],
+    ) -> "StudyDataset":
+        """Deterministically merge shard datasets back into serial order.
+
+        Records are regrouped by user and concatenated following
+        ``user_order`` (the population order), preserving each dataset's
+        internal per-user ordering.  As long as every user's records
+        live in a single input dataset — `repro.runtime` shards are
+        user-atomic — the merge is byte-identical to a serial
+        :meth:`~repro.core.study.Study.run` no matter how many shards
+        there were or in what order they finished.
+        """
+        by_user: dict[str, list[ClipRecord]] = {
+            user_id: [] for user_id in user_order
+        }
+        for dataset in datasets:
+            for record in dataset:
+                if record.user_id not in by_user:
+                    raise ValueError(
+                        f"record for unknown user {record.user_id!r} "
+                        "(not in user_order)"
+                    )
+                by_user[record.user_id].append(record)
+        merged = cls()
+        for user_id in by_user:
+            merged.extend(by_user[user_id])
+        return merged
+
     # -- filters ------------------------------------------------------------
 
     def filter(self, predicate: Callable[[ClipRecord], bool]) -> "StudyDataset":

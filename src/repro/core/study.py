@@ -11,7 +11,7 @@ from.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Callable, Iterable
 
 from repro.core.realtracer import RealTracer, TracerConfig
 from repro.core.records import StudyDataset
@@ -75,14 +75,44 @@ class Study:
         ``progress(done, total)`` is invoked after each playback;
         ``sink`` receives each record as it is "submitted".
         """
+        return self.run_users(None, progress=progress, sink=sink)
+
+    def run_users(
+        self,
+        user_ids: Iterable[str] | None,
+        progress: Callable[[int, int], None] | None = None,
+        sink: SubmissionSink | None = None,
+    ) -> StudyDataset:
+        """Simulate the playbacks of a subset of users (``None``: everyone).
+
+        Selected users run in population order, and each playback's RNG
+        stream is keyed only by ``(seed, user_id, position)``, so a
+        user's records are identical whether they run alone, in a shard,
+        or in the full serial campaign.  This is what makes the study
+        embarrassingly parallel for `repro.runtime`: a user's per-play
+        rating budget is the only sequential state, and it never crosses
+        user boundaries.  ``progress(done, total)`` counts only the
+        selected users' playbacks.
+        """
+        if user_ids is None:
+            selected = self.population.users
+        else:
+            wanted = set(user_ids)
+            selected = tuple(
+                u for u in self.population.users if u.user_id in wanted
+            )
+            missing = wanted - {u.user_id for u in selected}
+            if missing:
+                raise StudyError(
+                    f"unknown user ids: {sorted(missing)!r} "
+                    "(population mismatch — wrong seed or scale?)"
+                )
         tracer = RealTracer(config=self.config.tracer)
         dataset = StudyDataset()
         playlist = self.population.playlist
-        total = sum(
-            self._scaled_plays(user.plays) for user in self.population.users
-        )
+        total = sum(self._scaled_plays(user.plays) for user in selected)
         done = 0
-        for user in self.population.users:
+        for user in selected:
             plays = self._scaled_plays(user.plays)
             rated_so_far = 0
             for position in range(min(plays, len(playlist))):
@@ -103,6 +133,14 @@ class Study:
                 if progress is not None:
                     progress(done, total)
         return dataset
+
+    def schedule(self) -> list[tuple[str, int]]:
+        """The playback schedule: ``(user_id, scaled plays)`` per user,
+        in population order.  This is what `repro.runtime` shards."""
+        return [
+            (user.user_id, self._scaled_plays(user.plays))
+            for user in self.population.users
+        ]
 
     def _scaled_plays(self, plays: int) -> int:
         scaled = max(1, round(plays * self.config.scale))

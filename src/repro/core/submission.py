@@ -8,8 +8,10 @@ long study run can be resumed/inspected like the original archive.
 
 from __future__ import annotations
 
+import csv
 from dataclasses import asdict, fields
 from pathlib import Path
+from typing import Iterable
 
 from repro.core.records import ClipRecord, StudyDataset
 
@@ -26,11 +28,21 @@ class SubmissionSink:
 
     def submit(self, record: ClipRecord) -> None:
         """Accept one record (append to the CSV if persisting)."""
-        self.records.append(record)
-        if self._csv_path is None:
-            return
-        import csv
+        self._accept([record])
 
+    def submit_many(self, records: Iterable[ClipRecord]) -> None:
+        """Accept a batch of records in order (one CSV append).
+
+        This is the fan-in point for `repro.runtime`: shard results are
+        merged back into serial order first, then submitted as one
+        batch, so the sink's CSV is identical to a serial run's.
+        """
+        self._accept(list(records))
+
+    def _accept(self, records: list[ClipRecord]) -> None:
+        self.records.extend(records)
+        if self._csv_path is None or not records:
+            return
         names = [f.name for f in fields(ClipRecord)]
         write_header = not self._header_written
         with open(self._csv_path, "a", newline="") as handle:
@@ -38,7 +50,8 @@ class SubmissionSink:
             if write_header:
                 writer.writeheader()
                 self._header_written = True
-            writer.writerow(asdict(record))
+            for record in records:
+                writer.writerow(asdict(record))
 
     def as_dataset(self) -> StudyDataset:
         """The submitted records as a dataset."""

@@ -57,5 +57,10 @@ class StudyError(ReproError):
     """Study orchestration failed (bad configuration, empty population...)."""
 
 
+class CheckpointError(StudyError):
+    """A study checkpoint directory could not be used (missing manifest,
+    fingerprint mismatch with the requested run, corrupt shard file)."""
+
+
 class AnalysisError(ReproError):
     """An analysis routine received data it cannot process."""

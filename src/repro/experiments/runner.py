@@ -3,11 +3,15 @@
 Usage::
 
     python -m repro.experiments.runner [--scale 1.0] [--seed 2001]
-        [--out results/] [--csv study.csv]
+        [--out results/] [--csv study.csv] [--workers 4]
+        [--checkpoint-dir DIR] [--resume]
 
 At scale 1.0 this reproduces the full campaign (~2,855 playbacks,
-around 15-25 minutes on a laptop); smaller scales simulate a
-proportional slice of each user's plays.
+around 15-25 minutes on a laptop — less with ``--workers``); smaller
+scales simulate a proportional slice of each user's plays.  The study
+phase runs on `repro.runtime`, printing live plays/sec and an ETA, and
+(with a checkpoint directory) can be killed and resumed with
+``--resume`` without re-simulating finished shards.
 """
 
 from __future__ import annotations
@@ -15,10 +19,16 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-import time
 from pathlib import Path
 
-from repro.experiments.base import all_figures, make_context
+from repro.core.study import StudyConfig
+from repro.errors import CheckpointError
+from repro.experiments.base import ExperimentContext, all_figures
+from repro.runtime import (
+    RuntimeConfig,
+    ThrottledProgressPrinter,
+    run_study,
+)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -32,47 +42,85 @@ def main(argv: list[str] | None = None) -> int:
                         help="directory for figure text/json outputs")
     parser.add_argument("--csv", type=Path, default=None,
                         help="also write the raw dataset as CSV")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="worker processes for the study run")
+    parser.add_argument("--checkpoint-dir", type=Path, default=None,
+                        help="journal shard results here (enables --resume)")
+    parser.add_argument("--resume", action="store_true",
+                        help="skip shards already in the checkpoint dir")
     parser.add_argument("--quiet", action="store_true")
     args = parser.parse_args(argv)
 
-    started = time.time()
+    checkpoint_dir = args.checkpoint_dir
+    if checkpoint_dir is None and args.resume:
+        checkpoint_dir = args.out / "study.ckpt"
     if not args.quiet:
-        print(f"running study (seed={args.seed}, scale={args.scale})...",
-              flush=True)
-    ctx = make_context(seed=args.seed, scale=args.scale)
+        print(f"running study (seed={args.seed}, scale={args.scale}, "
+              f"workers={args.workers})...", flush=True)
+    try:
+        runtime = RuntimeConfig(
+            workers=args.workers,
+            checkpoint_dir=checkpoint_dir,
+            resume=args.resume,
+            progress=None if args.quiet else ThrottledProgressPrinter(),
+        )
+        result = run_study(
+            StudyConfig(seed=args.seed, scale=args.scale), runtime
+        )
+    except (ValueError, CheckpointError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    telemetry = result.telemetry
     if not args.quiet:
         print(
-            f"study done: {len(ctx.dataset)} playbacks in "
-            f"{time.time() - started:.0f}s",
+            f"study done: {len(result.dataset)} playbacks in "
+            f"{telemetry.elapsed_s:.0f}s "
+            f"({telemetry.plays_per_second():.1f} plays/s)",
             flush=True,
         )
+    if result.failed_shards:
+        print(f"WARNING: shards {list(result.failed_shards)} failed; "
+              f"figures are computed without their records",
+              file=sys.stderr)
+    ctx = ExperimentContext(
+        dataset=result.dataset,
+        population=result.population,
+        seed=args.seed,
+        scale=args.scale,
+    )
 
     args.out.mkdir(parents=True, exist_ok=True)
     if args.csv is not None:
         ctx.dataset.to_csv(args.csv)
+    (args.out / "run_manifest.json").write_text(
+        json.dumps(result.manifest, indent=2)
+    )
 
     summary = {}
     for figure in all_figures():
-        result = figure.run(ctx)
-        summary[result.figure_id] = result.headline
-        (args.out / f"{result.figure_id}.txt").write_text(result.text + "\n")
-        (args.out / f"{result.figure_id}.json").write_text(
+        fig_result = figure.run(ctx)
+        summary[fig_result.figure_id] = fig_result.headline
+        (args.out / f"{fig_result.figure_id}.txt").write_text(
+            fig_result.text + "\n"
+        )
+        (args.out / f"{fig_result.figure_id}.json").write_text(
             json.dumps(
                 {
-                    "figure_id": result.figure_id,
-                    "title": result.title,
-                    "headline": result.headline,
-                    "series": result.series,
+                    "figure_id": fig_result.figure_id,
+                    "title": fig_result.title,
+                    "headline": fig_result.headline,
+                    "series": fig_result.series,
                 },
                 indent=2,
             )
         )
         if not args.quiet:
             print()
-            print(result.text)
+            print(fig_result.text)
     (args.out / "summary.json").write_text(json.dumps(summary, indent=2))
     if not args.quiet:
-        print(f"\nwrote {args.out}/fig*.txt, fig*.json, summary.json")
+        print(f"\nwrote {args.out}/fig*.txt, fig*.json, summary.json, "
+              "run_manifest.json")
     return 0
 
 

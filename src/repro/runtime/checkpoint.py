@@ -1,0 +1,140 @@
+"""Checkpoint/resume journal for sharded study runs.
+
+Layout of a checkpoint directory::
+
+    manifest.json        # fingerprint + per-shard status
+    shard_0003.csv       # one StudyDataset CSV per completed shard
+    run_manifest.json    # final telemetry record (written on completion)
+
+Every write is atomic (temp file + ``os.replace``), and the manifest is
+updated only *after* a shard's CSV is safely on disk, so a run killed
+at any instant leaves a consistent journal: a resumed run re-simulates
+at most the shards that were in flight.  Compatibility between the
+journal and a requested run is decided by the shard plan's fingerprint
+(config + shard assignment).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.core.records import StudyDataset
+from repro.errors import CheckpointError
+
+MANIFEST_NAME = "manifest.json"
+RUN_MANIFEST_NAME = "run_manifest.json"
+
+
+def _atomic_write(path: Path, text: str) -> None:
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(text)
+    os.replace(tmp, path)
+
+
+class CheckpointStore:
+    """Journals completed shard results under one directory."""
+
+    def __init__(self, directory: str | Path) -> None:
+        self.directory = Path(directory)
+        self._manifest: dict = {}
+
+    def _shard_path(self, shard_id: int) -> Path:
+        return self.directory / f"shard_{shard_id:04d}.csv"
+
+    @property
+    def manifest_path(self) -> Path:
+        return self.directory / MANIFEST_NAME
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def open(self, fingerprint: str, resume: bool) -> set[int]:
+        """Prepare the store; return the completed shard ids.
+
+        ``resume=False`` starts a fresh journal, discarding whatever the
+        directory held.  ``resume=True`` requires an existing manifest
+        whose fingerprint matches the requested run's plan.
+        """
+        if resume:
+            if not self.manifest_path.exists():
+                raise CheckpointError(
+                    f"cannot resume: no checkpoint manifest in "
+                    f"{self.directory}"
+                )
+            try:
+                self._manifest = json.loads(self.manifest_path.read_text())
+            except (OSError, ValueError) as exc:
+                raise CheckpointError(
+                    f"cannot resume: unreadable manifest in "
+                    f"{self.directory}: {exc}"
+                ) from exc
+            found = self._manifest.get("fingerprint")
+            if found != fingerprint:
+                raise CheckpointError(
+                    f"cannot resume: checkpoint fingerprint {found!r} does "
+                    f"not match this run's plan {fingerprint!r} (different "
+                    "seed, scale, population, or shard count)"
+                )
+            return {
+                int(shard_id)
+                for shard_id, entry in self._manifest["shards"].items()
+                if entry.get("status") == "done"
+            }
+        self.directory.mkdir(parents=True, exist_ok=True)
+        for stale in self.directory.glob("shard_*.csv"):
+            stale.unlink()
+        self._manifest = {"fingerprint": fingerprint, "shards": {}}
+        self._flush()
+        return set()
+
+    def _flush(self) -> None:
+        _atomic_write(
+            self.manifest_path, json.dumps(self._manifest, indent=2)
+        )
+
+    # -- shard journal ------------------------------------------------------
+
+    def record_shard(
+        self,
+        shard_id: int,
+        dataset: StudyDataset,
+        elapsed_s: float,
+        attempts: int,
+    ) -> None:
+        """Journal a completed shard (CSV first, then the manifest)."""
+        _atomic_write(self._shard_path(shard_id), dataset.to_csv_string())
+        self._manifest["shards"][str(shard_id)] = {
+            "status": "done",
+            "records": len(dataset),
+            "elapsed_s": round(elapsed_s, 3),
+            "attempts": attempts,
+        }
+        self._flush()
+
+    def record_failure(
+        self, shard_id: int, attempts: int, error: str
+    ) -> None:
+        """Journal a shard that exhausted its retries (re-run on resume)."""
+        self._manifest["shards"][str(shard_id)] = {
+            "status": "failed",
+            "attempts": attempts,
+            "error": error,
+        }
+        self._flush()
+
+    def load_shard(self, shard_id: int) -> StudyDataset:
+        """Load a journaled shard's records."""
+        path = self._shard_path(shard_id)
+        try:
+            return StudyDataset.from_csv(path)
+        except (OSError, ValueError, TypeError) as exc:
+            raise CheckpointError(
+                f"corrupt checkpoint shard {path}: {exc}"
+            ) from exc
+
+    def write_run_manifest(self, manifest: dict) -> Path:
+        """Persist the final telemetry record next to the journal."""
+        path = self.directory / RUN_MANIFEST_NAME
+        _atomic_write(path, json.dumps(manifest, indent=2))
+        return path

@@ -1,0 +1,223 @@
+"""The sharded study execution engine.
+
+:func:`run_study` is the one entry point: it plans shards, runs them —
+in-process when ``workers <= 1``, on a multiprocessing pool otherwise —
+journals completed shards to an optional checkpoint directory, merges
+the shard datasets back into serial order, and fans the merged records
+into an optional submission sink.
+
+The engine's determinism contract: for the same
+:class:`~repro.core.study.StudyConfig`, the returned dataset is
+**byte-identical** (as CSV) to ``Study(config).run()`` regardless of
+worker count, shard count, shard completion order, retries, or whether
+shards were resumed from a checkpoint.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable
+
+from repro.core.records import StudyDataset
+from repro.core.study import Study, StudyConfig
+from repro.core.submission import SubmissionSink
+from repro.runtime.checkpoint import CheckpointStore
+from repro.runtime.pool import DEFAULT_MAX_RETRIES, FaultSpec, run_shards
+from repro.runtime.scheduler import ShardPlan, plan_shards
+from repro.runtime.telemetry import RunTelemetry
+from repro.world.population import StudyPopulation
+
+
+@dataclass
+class RuntimeConfig:
+    """How a study run is executed (the study itself is `StudyConfig`)."""
+
+    #: Worker processes; 1 runs shards in-process (no multiprocessing).
+    workers: int = 1
+    #: Shard count (None: one per user, capped at
+    #: `scheduler.DEFAULT_MAX_SHARDS`).  Must match to resume.
+    shard_count: int | None = None
+    #: Journal completed shards here; enables ``resume``.
+    checkpoint_dir: str | Path | None = None
+    #: Skip shards already journaled in ``checkpoint_dir``.
+    resume: bool = False
+    #: Retries after a shard's first failed attempt.
+    max_retries: int = DEFAULT_MAX_RETRIES
+    #: Called with the run's `RunTelemetry` after every event; callers
+    #: throttle their own rendering.
+    progress: Callable[[RunTelemetry], None] | None = None
+    #: Deterministic failure injection (tests only).
+    fault: FaultSpec | None = None
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.resume and self.checkpoint_dir is None:
+            raise ValueError("resume requires a checkpoint_dir")
+
+
+@dataclass
+class RunResult:
+    """Everything a sharded run produced."""
+
+    dataset: StudyDataset
+    population: StudyPopulation
+    plan: ShardPlan
+    telemetry: RunTelemetry
+    manifest: dict = field(default_factory=dict)
+    failed_shards: tuple[int, ...] = ()
+
+    @property
+    def complete(self) -> bool:
+        return not self.failed_shards
+
+
+def run_study(
+    config: StudyConfig | None = None,
+    runtime: RuntimeConfig | None = None,
+    sink: SubmissionSink | None = None,
+) -> RunResult:
+    """Execute the campaign under the given runtime policy."""
+    config = config if config is not None else StudyConfig()
+    runtime = runtime if runtime is not None else RuntimeConfig()
+
+    study = Study(config)
+    plan = plan_shards(study, runtime.shard_count)
+    telemetry = RunTelemetry(
+        total_plays=plan.total_plays, workers=runtime.workers
+    )
+    for shard in plan.shards:
+        telemetry.shard_registered(shard.shard_id, shard.plays)
+
+    def notify() -> None:
+        if runtime.progress is not None:
+            runtime.progress(telemetry)
+
+    store: CheckpointStore | None = None
+    completed: dict[int, StudyDataset] = {}
+    if runtime.checkpoint_dir is not None:
+        store = CheckpointStore(runtime.checkpoint_dir)
+        plays_by_id = {s.shard_id: s.plays for s in plan.shards}
+        for shard_id in sorted(store.open(plan.fingerprint, runtime.resume)):
+            dataset = store.load_shard(shard_id)
+            completed[shard_id] = dataset
+            telemetry.shard_resumed(
+                shard_id, plays_by_id[shard_id], len(dataset)
+            )
+
+    pending = [s for s in plan.shards if s.shard_id not in completed]
+    telemetry.run_started()
+    notify()
+
+    if runtime.workers <= 1:
+        _run_serial(study, pending, telemetry, store, completed, notify)
+    else:
+        _run_parallel(
+            config, pending, runtime, telemetry, store, completed, notify
+        )
+
+    failed = tuple(
+        s.shard_id for s in plan.shards if s.shard_id not in completed
+    )
+    dataset = StudyDataset.merged_in_user_order(
+        (completed[shard_id] for shard_id in sorted(completed)),
+        plan.user_order,
+    )
+    if sink is not None:
+        sink.submit_many(dataset)
+
+    telemetry.run_finished()
+    notify()
+    manifest = {
+        "seed": config.seed,
+        "scale": config.scale,
+        "fingerprint": plan.fingerprint,
+        "shard_count": plan.shard_count,
+        "records": len(dataset),
+        "failed_shards": list(failed),
+        **telemetry.manifest(),
+    }
+    if store is not None:
+        store.write_run_manifest(manifest)
+    return RunResult(
+        dataset=dataset,
+        population=study.population,
+        plan=plan,
+        telemetry=telemetry,
+        manifest=manifest,
+        failed_shards=failed,
+    )
+
+
+def _run_serial(study, pending, telemetry, store, completed, notify) -> None:
+    """In-process execution: no retries (exceptions propagate, as in
+    ``Study.run``), but completed shards still journal, so a killed run
+    resumes."""
+    for shard in pending:
+        telemetry.shard_started(shard.shard_id, shard.plays, attempt=1)
+        started = time.monotonic()
+
+        def tick(done: int, total: int) -> None:
+            telemetry.shard_progress(shard.shard_id, done)
+            notify()
+
+        dataset = study.run_users(shard.user_ids, progress=tick)
+        elapsed = time.monotonic() - started
+        if store is not None:
+            store.record_shard(shard.shard_id, dataset, elapsed, attempts=1)
+        completed[shard.shard_id] = dataset
+        telemetry.shard_finished(
+            shard.shard_id, len(dataset), elapsed, attempt=1
+        )
+        notify()
+
+
+def _run_parallel(
+    config, pending, runtime, telemetry, store, completed, notify
+) -> None:
+    """Pool execution: crashes and raises retry up to ``max_retries``.
+
+    Shards are journaled the moment their ``finished`` event arrives,
+    so even a parallel run killed mid-way resumes from the completed
+    prefix."""
+
+    def on_event(kind: str, shard_id: int, info: dict) -> None:
+        if kind == "started":
+            telemetry.shard_started(
+                shard_id, info["plays"], attempt=info["attempt"]
+            )
+        elif kind == "tick":
+            telemetry.shard_progress(shard_id, info["done"])
+        elif kind == "finished":
+            if store is not None:
+                store.record_shard(
+                    shard_id, info["dataset"], info["elapsed_s"],
+                    attempts=info["attempt"],
+                )
+            completed[shard_id] = info["dataset"]
+            telemetry.shard_finished(
+                shard_id,
+                records=info["records"],
+                elapsed_s=info["elapsed_s"],
+                attempt=info["attempt"],
+            )
+        elif kind in ("failed_attempt", "failed_final"):
+            if kind == "failed_final" and store is not None:
+                store.record_failure(
+                    shard_id, info["attempt"], info["error"]
+                )
+            telemetry.shard_failed(
+                shard_id, attempt=info["attempt"], error=info["error"]
+            )
+        notify()
+
+    run_shards(
+        config,
+        pending,
+        workers=runtime.workers,
+        max_retries=runtime.max_retries,
+        fault=runtime.fault,
+        on_event=on_event,
+    )

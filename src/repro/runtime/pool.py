@@ -1,0 +1,256 @@
+"""Multiprocessing execution of shards, with bounded retries.
+
+One process per shard attempt, at most ``workers`` alive at once.  A
+worker rebuilds the study from its (picklable) config — populations
+are deterministic, so every process agrees on the world — runs its
+users, and ships the records back as a CSV payload on an event queue.
+
+Two failure modes are handled the same way, by retrying the shard in a
+fresh process up to a bounded number of attempts:
+
+- the worker *raises* (caught in-process, reported as a ``failed``
+  event), and
+- the worker *dies* (killed, segfault, ``os._exit``) — detected by the
+  parent when the process is gone without having reported a result.
+
+A shard that exhausts its attempts is recorded as failed without
+sinking the run.  :class:`FaultSpec` is the deterministic test hook
+for both modes.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import time
+import traceback
+from collections import deque
+from dataclasses import dataclass
+from queue import Empty
+from typing import Callable, Sequence
+
+from repro.core.records import StudyDataset
+from repro.core.study import Study, StudyConfig
+from repro.runtime.scheduler import ShardSpec
+
+#: Retries after the first attempt before a shard is declared failed.
+DEFAULT_MAX_RETRIES = 2
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Test hook: make a shard's first ``fail_attempts`` attempts fail.
+
+    ``mode="raise"`` exercises the in-worker exception path;
+    ``mode="exit"`` hard-kills the worker (``os._exit``), exercising
+    dead-process detection.
+    """
+
+    shard_id: int
+    fail_attempts: int = 1
+    mode: str = "raise"
+
+
+@dataclass
+class ShardResult:
+    """The outcome of one shard after all its attempts."""
+
+    shard_id: int
+    dataset: StudyDataset | None
+    elapsed_s: float
+    attempts: int
+    error: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.dataset is not None
+
+
+#: ``on_event(kind, shard_id, info)`` — kinds: started, tick, finished,
+#: failed_attempt, failed_final.
+EventCallback = Callable[[str, int, dict], None]
+
+
+def _shard_worker(
+    config: StudyConfig,
+    shard_id: int,
+    user_ids: tuple[str, ...],
+    attempt: int,
+    fault: FaultSpec | None,
+    queue,
+) -> None:
+    try:
+        if (
+            fault is not None
+            and shard_id == fault.shard_id
+            and attempt <= fault.fail_attempts
+        ):
+            if fault.mode == "exit":
+                os._exit(13)
+            raise RuntimeError(
+                f"injected fault (shard {shard_id}, attempt {attempt})"
+            )
+        started = time.monotonic()
+        study = Study(config)
+
+        def tick(done: int, total: int) -> None:
+            queue.put(("tick", shard_id, done))
+
+        dataset = study.run_users(user_ids, progress=tick)
+        queue.put(
+            (
+                "finished",
+                shard_id,
+                attempt,
+                dataset.to_csv_string(),
+                time.monotonic() - started,
+            )
+        )
+    except Exception:
+        queue.put(("failed", shard_id, attempt, traceback.format_exc(limit=5)))
+
+
+def _drain(queue, timeout: float) -> list[tuple]:
+    """All currently queued events, blocking up to ``timeout`` for the
+    first one."""
+    events: list[tuple] = []
+    try:
+        events.append(queue.get(timeout=timeout))
+    except Empty:
+        return events
+    while True:
+        try:
+            events.append(queue.get_nowait())
+        except Empty:
+            return events
+
+
+def run_shards(
+    config: StudyConfig,
+    shards: Sequence[ShardSpec],
+    workers: int,
+    max_retries: int = DEFAULT_MAX_RETRIES,
+    fault: FaultSpec | None = None,
+    on_event: EventCallback | None = None,
+    poll_interval_s: float = 0.05,
+) -> dict[int, ShardResult]:
+    """Run every shard on a bounded pool; return results keyed by id."""
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    method = "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+    ctx = mp.get_context(method)
+    queue = ctx.Queue()
+
+    by_id = {spec.shard_id: spec for spec in shards}
+    pending: deque[ShardSpec] = deque(shards)
+    attempts = {spec.shard_id: 0 for spec in shards}
+    running: dict[int, mp.Process] = {}
+    results: dict[int, ShardResult] = {}
+
+    def emit(kind: str, shard_id: int, **info) -> None:
+        if on_event is not None:
+            on_event(kind, shard_id, info)
+
+    def retry_or_fail(shard_id: int, error: str) -> None:
+        if attempts[shard_id] <= max_retries:
+            pending.append(by_id[shard_id])
+            emit(
+                "failed_attempt", shard_id,
+                attempt=attempts[shard_id], error=error,
+            )
+        else:
+            results[shard_id] = ShardResult(
+                shard_id=shard_id,
+                dataset=None,
+                elapsed_s=0.0,
+                attempts=attempts[shard_id],
+                error=error,
+            )
+            emit(
+                "failed_final", shard_id,
+                attempt=attempts[shard_id], error=error,
+            )
+
+    def handle(event: tuple) -> None:
+        kind, shard_id = event[0], event[1]
+        if shard_id in results:
+            return  # late event from a shard already settled
+        if kind == "tick":
+            if shard_id in running:
+                emit("tick", shard_id, done=event[2])
+        elif kind == "finished":
+            _kind, _sid, attempt, csv_text, elapsed = event
+            proc = running.pop(shard_id, None)
+            if proc is not None:
+                proc.join()
+            dataset = StudyDataset.from_csv_string(csv_text)
+            results[shard_id] = ShardResult(
+                shard_id=shard_id,
+                dataset=dataset,
+                elapsed_s=elapsed,
+                attempts=attempt,
+            )
+            emit(
+                "finished", shard_id,
+                attempt=attempt, elapsed_s=elapsed,
+                records=len(dataset), dataset=dataset,
+            )
+        elif kind == "failed":
+            _kind, _sid, attempt, error = event
+            proc = running.pop(shard_id, None)
+            if proc is not None:
+                proc.join()
+            retry_or_fail(shard_id, error)
+
+    def reap_dead() -> None:
+        dead = [sid for sid, proc in running.items() if not proc.is_alive()]
+        if not dead:
+            return
+        # A dead process may have flushed its result just before
+        # exiting — drain first so a clean finish isn't misread as a
+        # crash.
+        for event in _drain(queue, timeout=0.0):
+            handle(event)
+        for shard_id in dead:
+            proc = running.pop(shard_id, None)
+            if proc is None:
+                continue  # the drain settled it
+            proc.join()
+            retry_or_fail(
+                shard_id,
+                f"worker died (exit code {proc.exitcode})",
+            )
+
+    try:
+        while pending or running:
+            while pending and len(running) < workers:
+                spec = pending.popleft()
+                attempts[spec.shard_id] += 1
+                proc = ctx.Process(
+                    target=_shard_worker,
+                    args=(
+                        config,
+                        spec.shard_id,
+                        spec.user_ids,
+                        attempts[spec.shard_id],
+                        fault,
+                        queue,
+                    ),
+                    daemon=True,
+                )
+                proc.start()
+                running[spec.shard_id] = proc
+                emit(
+                    "started", spec.shard_id,
+                    attempt=attempts[spec.shard_id], plays=spec.plays,
+                )
+            for event in _drain(queue, timeout=poll_interval_s):
+                handle(event)
+            reap_dead()
+    finally:
+        for proc in running.values():
+            proc.terminate()
+        for proc in running.values():
+            proc.join()
+        queue.close()
+    return results

@@ -1,0 +1,204 @@
+"""Live run telemetry: per-shard timings, throughput, ETA, utilization.
+
+The engine feeds shard lifecycle events into a :class:`RunTelemetry`;
+callers render :meth:`progress_line` however often they like and
+persist :meth:`manifest` as the run's JSON record.  The clock is
+injectable so the arithmetic is unit-testable.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+
+@dataclass
+class ShardStats:
+    """What telemetry knows about one shard."""
+
+    shard_id: int
+    plays: int
+    status: str = "pending"  # running | done | resumed | failed
+    records: int = 0
+    done_plays: int = 0
+    elapsed_s: float = 0.0
+    attempts: int = 0
+    started_at: float | None = None
+    error: str = ""
+
+
+@dataclass
+class RunTelemetry:
+    """Aggregates shard events into throughput, ETA and a manifest."""
+
+    total_plays: int
+    workers: int
+    clock: Callable[[], float] = time.monotonic
+    shards: dict[int, ShardStats] = field(default_factory=dict)
+    _started_at: float | None = None
+    _finished_at: float | None = None
+    _busy_s: float = 0.0
+
+    # -- lifecycle events ---------------------------------------------------
+
+    def run_started(self) -> None:
+        self._started_at = self.clock()
+
+    def run_finished(self) -> None:
+        self._finished_at = self.clock()
+
+    def shard_registered(self, shard_id: int, plays: int) -> None:
+        self.shards.setdefault(shard_id, ShardStats(shard_id, plays))
+
+    def shard_resumed(self, shard_id: int, plays: int, records: int) -> None:
+        """A shard loaded from a checkpoint — counts as done, but its
+        plays are excluded from this run's throughput."""
+        stats = self._stats(shard_id, plays)
+        stats.status = "resumed"
+        stats.records = records
+        stats.done_plays = plays
+
+    def shard_started(self, shard_id: int, plays: int, attempt: int) -> None:
+        stats = self._stats(shard_id, plays)
+        stats.status = "running"
+        stats.attempts = attempt
+        stats.done_plays = 0
+        stats.started_at = self.clock()
+
+    def shard_progress(self, shard_id: int, done_plays: int) -> None:
+        self.shards[shard_id].done_plays = done_plays
+
+    def shard_finished(
+        self, shard_id: int, records: int, elapsed_s: float, attempt: int
+    ) -> None:
+        stats = self.shards[shard_id]
+        stats.status = "done"
+        stats.records = records
+        stats.done_plays = stats.plays
+        stats.elapsed_s = elapsed_s
+        stats.attempts = attempt
+        stats.started_at = None
+        self._busy_s += elapsed_s
+
+    def shard_failed(self, shard_id: int, attempt: int, error: str) -> None:
+        """An attempt failed; the shard may still be retried."""
+        stats = self.shards[shard_id]
+        stats.status = "failed"
+        stats.attempts = attempt
+        stats.error = error
+        stats.done_plays = 0
+        if stats.started_at is not None:
+            self._busy_s += self.clock() - stats.started_at
+            stats.started_at = None
+
+    def _stats(self, shard_id: int, plays: int) -> ShardStats:
+        self.shard_registered(shard_id, plays)
+        return self.shards[shard_id]
+
+    # -- derived figures ----------------------------------------------------
+
+    @property
+    def elapsed_s(self) -> float:
+        if self._started_at is None:
+            return 0.0
+        end = self._finished_at if self._finished_at is not None else self.clock()
+        return end - self._started_at
+
+    @property
+    def done_plays(self) -> int:
+        """Plays finished so far, resumed shards included."""
+        return sum(s.done_plays for s in self.shards.values())
+
+    @property
+    def simulated_plays(self) -> int:
+        """Plays actually simulated by *this* run (resumed excluded)."""
+        return sum(
+            s.done_plays for s in self.shards.values()
+            if s.status != "resumed"
+        )
+
+    def plays_per_second(self) -> float:
+        elapsed = self.elapsed_s
+        if elapsed <= 0.0:
+            return 0.0
+        return self.simulated_plays / elapsed
+
+    def eta_s(self) -> float | None:
+        """Estimated seconds to completion (``None`` before any rate)."""
+        rate = self.plays_per_second()
+        if rate <= 0.0:
+            return None
+        remaining = max(0, self.total_plays - self.done_plays)
+        return remaining / rate
+
+    def utilization(self) -> float:
+        """Fraction of available worker-seconds spent simulating."""
+        elapsed = self.elapsed_s
+        if elapsed <= 0.0 or self.workers <= 0:
+            return 0.0
+        busy = self._busy_s
+        now = self.clock()
+        for stats in self.shards.values():
+            if stats.started_at is not None:
+                busy += now - stats.started_at
+        return min(1.0, busy / (elapsed * self.workers))
+
+    # -- rendering ----------------------------------------------------------
+
+    def progress_line(self) -> str:
+        """One status line: plays done, rate, ETA, worker utilization."""
+        eta = self.eta_s()
+        eta_text = "--" if eta is None else f"{eta:.0f}s"
+        return (
+            f"{self.done_plays}/{self.total_plays} plays  "
+            f"{self.plays_per_second():.1f} plays/s  ETA {eta_text}  "
+            f"workers {self.workers} ({self.utilization():.0%} busy)"
+        )
+
+    def manifest(self) -> dict:
+        """The run's JSON-ready record."""
+        return {
+            "total_plays": self.total_plays,
+            "done_plays": self.done_plays,
+            "simulated_plays": self.simulated_plays,
+            "elapsed_s": round(self.elapsed_s, 3),
+            "plays_per_second": round(self.plays_per_second(), 3),
+            "workers": self.workers,
+            "worker_utilization": round(self.utilization(), 3),
+            "shards": [
+                {
+                    "shard_id": s.shard_id,
+                    "status": s.status,
+                    "plays": s.plays,
+                    "records": s.records,
+                    "elapsed_s": round(s.elapsed_s, 3),
+                    "attempts": s.attempts,
+                    **({"error": s.error} if s.error else {}),
+                }
+                for s in sorted(self.shards.values(), key=lambda s: s.shard_id)
+            ],
+        }
+
+
+class ThrottledProgressPrinter:
+    """A ready-made ``progress`` callback: prints the telemetry's
+    progress line at most once per ``interval_s``."""
+
+    def __init__(
+        self,
+        interval_s: float = 2.0,
+        echo: Callable[[str], None] = print,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self._interval_s = interval_s
+        self._echo = echo
+        self._clock = clock
+        self._last: float | None = None
+
+    def __call__(self, telemetry: RunTelemetry) -> None:
+        now = self._clock()
+        if self._last is not None and now - self._last < self._interval_s:
+            return
+        self._last = now
+        self._echo("  " + telemetry.progress_line())

@@ -20,6 +20,25 @@ class TestParser:
             ["study", "--scale", "0.2", "--out", "x.csv"]
         )
         assert args.scale == 0.2
+        assert args.workers == 1
+        assert not args.resume
+        assert args.checkpoint_dir is None
+
+    def test_study_runtime_args(self):
+        args = cli.build_parser().parse_args(
+            ["study", "--workers", "4", "--resume",
+             "--checkpoint-dir", "ckpt"]
+        )
+        assert args.workers == 4
+        assert args.resume
+        assert str(args.checkpoint_dir) == "ckpt"
+
+    def test_figures_runtime_args(self):
+        args = cli.build_parser().parse_args(
+            ["figures", "--workers", "2", "--resume"]
+        )
+        assert args.workers == 2
+        assert args.resume
 
 
 class TestPlayCommand:

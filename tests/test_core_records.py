@@ -69,6 +69,32 @@ class TestStudyDataset:
         ds.extend([record(), record()])
         assert len(ds) == 3
 
+    def test_merged_in_user_order(self):
+        # Shards finish out of order; the merge restores serial order.
+        shard_b = StudyDataset([
+            record(user_id="user002", rating=0),
+            record(user_id="user002", rating=1),
+        ])
+        shard_a = StudyDataset([
+            record(user_id="user001", rating=2),
+            record(user_id="user003", rating=3),
+        ])
+        merged = StudyDataset.merged_in_user_order(
+            [shard_b, shard_a], ["user001", "user002", "user003"]
+        )
+        assert [(r.user_id, r.rating) for r in merged] == [
+            ("user001", 2),
+            ("user002", 0),
+            ("user002", 1),
+            ("user003", 3),
+        ]
+
+    def test_merged_rejects_unknown_user(self):
+        with pytest.raises(ValueError, match="unknown user"):
+            StudyDataset.merged_in_user_order(
+                [StudyDataset([record(user_id="user009")])], ["user001"]
+            )
+
     def test_played_filter(self):
         ds = StudyDataset([
             record(),

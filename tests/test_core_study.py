@@ -75,6 +75,41 @@ class TestStudyRun:
         assert len(loaded) == len(ds)
 
 
+class TestRunUsers:
+    def test_subset_matches_full_run_slice(self, small_dataset):
+        study, full = small_dataset
+        chosen = {study.population.users[1].user_id,
+                  study.population.users[3].user_id}
+        # A fresh study avoids any state carried by the fixture's run.
+        config = StudyConfig(seed=5, playlist_length=10, max_users=8,
+                             scale=0.2)
+        subset = Study(config).run_users(chosen)
+        expected = [r for r in full if r.user_id in chosen]
+        assert list(subset) == expected
+
+    def test_unknown_user_rejected(self):
+        study = Study(StudyConfig(seed=5, playlist_length=10, max_users=8,
+                                  scale=0.2))
+        with pytest.raises(StudyError, match="unknown user"):
+            study.run_users(["nobody999"])
+
+    def test_run_is_run_users_of_everyone(self):
+        config = StudyConfig(seed=5, playlist_length=6, max_users=4,
+                             scale=0.15)
+        everyone = [u.user_id for u in Study(config).population.users]
+        assert list(Study(config).run()) == list(
+            Study(config).run_users(everyone)
+        )
+
+    def test_schedule_covers_population(self, small_dataset):
+        study, _full = small_dataset
+        schedule = study.schedule()
+        assert [uid for uid, _plays in schedule] == [
+            u.user_id for u in study.population.users
+        ]
+        assert all(plays >= 1 for _uid, plays in schedule)
+
+
 class TestStudyConfig:
     def test_scale_validation(self):
         with pytest.raises(ValueError):

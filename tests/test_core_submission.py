@@ -30,6 +30,26 @@ class TestSubmissionSink:
         loaded = StudyDataset.from_csv(path)
         assert len(loaded) == 1
 
+    def test_submit_many_matches_one_by_one(self, tmp_path):
+        batch = [record(), record(user_id="user002"),
+                 record(user_id="user003")]
+        one_by_one = SubmissionSink(tmp_path / "single.csv")
+        for r in batch:
+            one_by_one.submit(r)
+        batched = SubmissionSink(tmp_path / "batch.csv")
+        batched.submit_many(batch)
+        assert batched.records == one_by_one.records
+        assert (
+            (tmp_path / "batch.csv").read_bytes()
+            == (tmp_path / "single.csv").read_bytes()
+        )
+
+    def test_submit_many_empty_batch(self, tmp_path):
+        sink = SubmissionSink(tmp_path / "out.csv")
+        sink.submit_many([])
+        assert sink.records == []
+        assert not (tmp_path / "out.csv").exists()
+
     def test_csv_written_incrementally(self, tmp_path):
         path = tmp_path / "out.csv"
         sink = SubmissionSink(path)

@@ -58,12 +58,25 @@ class TestContext:
 
     def test_runner_writes_outputs(self, tiny_ctx, tmp_path, monkeypatch):
         # Drive the CLI runner with a pre-built tiny context by
-        # patching make_context (avoids a second simulation).
+        # patching run_study (avoids a second simulation).
         from repro.experiments import runner
+        from repro.runtime import RunResult, RunTelemetry
 
-        monkeypatch.setattr(
-            runner, "make_context", lambda **kwargs: tiny_ctx
-        )
+        def fake_run_study(config, runtime=None, sink=None):
+            telemetry = RunTelemetry(
+                total_plays=len(tiny_ctx.dataset), workers=1
+            )
+            telemetry.run_started()
+            telemetry.run_finished()
+            return RunResult(
+                dataset=tiny_ctx.dataset,
+                population=tiny_ctx.population,
+                plan=None,
+                telemetry=telemetry,
+                manifest={"records": len(tiny_ctx.dataset)},
+            )
+
+        monkeypatch.setattr(runner, "run_study", fake_run_study)
         out = tmp_path / "results"
         code = runner.main(
             ["--scale", "0.04", "--out", str(out), "--quiet",
@@ -71,6 +84,7 @@ class TestContext:
         )
         assert code == 0
         assert (out / "summary.json").exists()
+        assert (out / "run_manifest.json").exists()
         assert (out / "fig11.txt").exists()
         assert (out / "fig28.json").exists()
         assert (tmp_path / "study.csv").exists()

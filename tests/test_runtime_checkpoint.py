@@ -1,0 +1,88 @@
+"""The checkpoint journal: atomic shard persistence and resume."""
+
+import json
+
+import pytest
+
+from repro.core.records import StudyDataset
+from repro.errors import CheckpointError
+from repro.runtime.checkpoint import CheckpointStore
+from tests.test_core_records import record
+
+
+def shard_dataset(user_id="user001", n=3) -> StudyDataset:
+    return StudyDataset(
+        [record(user_id=user_id, rating=i) for i in range(n)]
+    )
+
+
+class TestFreshOpen:
+    def test_fresh_open_creates_manifest(self, tmp_path):
+        store = CheckpointStore(tmp_path / "ckpt")
+        assert store.open("fp1", resume=False) == set()
+        manifest = json.loads(store.manifest_path.read_text())
+        assert manifest["fingerprint"] == "fp1"
+        assert manifest["shards"] == {}
+
+    def test_fresh_open_discards_previous_journal(self, tmp_path):
+        store = CheckpointStore(tmp_path / "ckpt")
+        store.open("fp1", resume=False)
+        store.record_shard(0, shard_dataset(), elapsed_s=1.0, attempts=1)
+        again = CheckpointStore(tmp_path / "ckpt")
+        assert again.open("fp2", resume=False) == set()
+        assert not list((tmp_path / "ckpt").glob("shard_*.csv"))
+
+
+class TestRoundTrip:
+    def test_shard_round_trip(self, tmp_path):
+        store = CheckpointStore(tmp_path / "ckpt")
+        store.open("fp1", resume=False)
+        dataset = shard_dataset(n=4)
+        store.record_shard(2, dataset, elapsed_s=1.5, attempts=2)
+
+        resumed = CheckpointStore(tmp_path / "ckpt")
+        assert resumed.open("fp1", resume=True) == {2}
+        loaded = resumed.load_shard(2)
+        assert list(loaded) == list(dataset)
+
+    def test_failed_shard_not_resumed(self, tmp_path):
+        store = CheckpointStore(tmp_path / "ckpt")
+        store.open("fp1", resume=False)
+        store.record_shard(0, shard_dataset(), elapsed_s=1.0, attempts=1)
+        store.record_failure(1, attempts=3, error="worker died")
+
+        resumed = CheckpointStore(tmp_path / "ckpt")
+        assert resumed.open("fp1", resume=True) == {0}
+        manifest = json.loads(resumed.manifest_path.read_text())
+        assert manifest["shards"]["1"]["status"] == "failed"
+        assert manifest["shards"]["1"]["error"] == "worker died"
+
+
+class TestResumeGuards:
+    def test_resume_without_manifest(self, tmp_path):
+        store = CheckpointStore(tmp_path / "missing")
+        with pytest.raises(CheckpointError, match="no checkpoint manifest"):
+            store.open("fp1", resume=True)
+
+    def test_resume_fingerprint_mismatch(self, tmp_path):
+        store = CheckpointStore(tmp_path / "ckpt")
+        store.open("fp1", resume=False)
+        other = CheckpointStore(tmp_path / "ckpt")
+        with pytest.raises(CheckpointError, match="fingerprint"):
+            other.open("fp2", resume=True)
+
+    def test_corrupt_shard_file(self, tmp_path):
+        store = CheckpointStore(tmp_path / "ckpt")
+        store.open("fp1", resume=False)
+        store.record_shard(0, shard_dataset(), elapsed_s=1.0, attempts=1)
+        (tmp_path / "ckpt" / "shard_0000.csv").write_text(
+            "user_id,rating\nbroken"
+        )
+        with pytest.raises(CheckpointError, match="corrupt"):
+            store.load_shard(0)
+
+    def test_run_manifest_written(self, tmp_path):
+        store = CheckpointStore(tmp_path / "ckpt")
+        store.open("fp1", resume=False)
+        path = store.write_run_manifest({"records": 5})
+        assert json.loads(path.read_text()) == {"records": 5}

@@ -1,0 +1,81 @@
+"""Shard planning: deterministic, user-atomic, balanced."""
+
+import pytest
+
+from repro.core.study import Study, StudyConfig
+from repro.runtime.scheduler import DEFAULT_MAX_SHARDS, plan_shards
+
+
+@pytest.fixture(scope="module")
+def study() -> Study:
+    return Study(StudyConfig(seed=11, playlist_length=10, max_users=14,
+                             scale=0.3))
+
+
+class TestPlanShape:
+    def test_covers_every_user_exactly_once(self, study):
+        plan = plan_shards(study, shard_count=4)
+        assigned = [uid for shard in plan.shards for uid in shard.user_ids]
+        assert sorted(assigned) == sorted(plan.user_order)
+        assert len(assigned) == len(set(assigned))
+
+    def test_plays_accounted(self, study):
+        plan = plan_shards(study, shard_count=4)
+        schedule = dict(study.schedule())
+        for shard in plan.shards:
+            assert shard.plays == sum(schedule[uid] for uid in shard.user_ids)
+        assert sum(s.plays for s in plan.shards) == plan.total_plays
+
+    def test_user_order_is_population_order(self, study):
+        plan = plan_shards(study)
+        assert plan.user_order == tuple(
+            u.user_id for u in study.population.users
+        )
+
+    def test_within_shard_population_order(self, study):
+        plan = plan_shards(study, shard_count=3)
+        index = {uid: i for i, uid in enumerate(plan.user_order)}
+        for shard in plan.shards:
+            positions = [index[uid] for uid in shard.user_ids]
+            assert positions == sorted(positions)
+
+    def test_every_shard_nonempty(self, study):
+        plan = plan_shards(study, shard_count=5)
+        assert all(shard.user_ids for shard in plan.shards)
+
+
+class TestShardCount:
+    def test_default_cap(self, study):
+        plan = plan_shards(study)
+        assert plan.shard_count == min(
+            study.population.user_count, DEFAULT_MAX_SHARDS
+        )
+
+    def test_capped_by_user_count(self, study):
+        plan = plan_shards(study, shard_count=1000)
+        assert plan.shard_count == study.population.user_count
+
+    def test_rejects_nonpositive(self, study):
+        with pytest.raises(ValueError):
+            plan_shards(study, shard_count=0)
+
+
+class TestDeterminism:
+    def test_same_config_same_plan(self):
+        config = StudyConfig(seed=11, playlist_length=10, max_users=14,
+                             scale=0.3)
+        a = plan_shards(Study(config), shard_count=4)
+        b = plan_shards(Study(config), shard_count=4)
+        assert a == b
+        assert a.fingerprint == b.fingerprint
+
+    def test_fingerprint_tracks_config(self, study):
+        base = plan_shards(study, shard_count=4)
+        other_seed = plan_shards(
+            Study(StudyConfig(seed=12, playlist_length=10, max_users=14,
+                              scale=0.3)),
+            shard_count=4,
+        )
+        other_count = plan_shards(study, shard_count=5)
+        assert base.fingerprint != other_seed.fingerprint
+        assert base.fingerprint != other_count.fingerprint

@@ -1,0 +1,132 @@
+"""Run telemetry arithmetic, on a fake clock."""
+
+from repro.runtime.telemetry import RunTelemetry, ThrottledProgressPrinter
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 100.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+def make_telemetry(total=40, workers=2):
+    clock = FakeClock()
+    telemetry = RunTelemetry(total_plays=total, workers=workers, clock=clock)
+    for shard_id, plays in ((0, 10), (1, 10), (2, 10), (3, 10)):
+        telemetry.shard_registered(shard_id, plays)
+    return telemetry, clock
+
+
+class TestRates:
+    def test_rate_and_eta(self):
+        telemetry, clock = make_telemetry()
+        telemetry.run_started()
+        telemetry.shard_started(0, 10, attempt=1)
+        clock.now += 10.0
+        telemetry.shard_finished(0, records=10, elapsed_s=10.0, attempt=1)
+        assert telemetry.done_plays == 10
+        assert telemetry.plays_per_second() == 1.0
+        assert telemetry.eta_s() == 30.0
+
+    def test_eta_none_before_any_completion(self):
+        telemetry, _clock = make_telemetry()
+        telemetry.run_started()
+        assert telemetry.eta_s() is None
+
+    def test_in_flight_ticks_count_toward_rate(self):
+        telemetry, clock = make_telemetry()
+        telemetry.run_started()
+        telemetry.shard_started(0, 10, attempt=1)
+        clock.now += 5.0
+        telemetry.shard_progress(0, 5)
+        assert telemetry.done_plays == 5
+        assert telemetry.plays_per_second() == 1.0
+
+    def test_resumed_plays_excluded_from_rate(self):
+        telemetry, clock = make_telemetry()
+        telemetry.shard_resumed(0, plays=10, records=10)
+        telemetry.run_started()
+        telemetry.shard_started(1, 10, attempt=1)
+        clock.now += 10.0
+        telemetry.shard_finished(1, records=10, elapsed_s=10.0, attempt=1)
+        # 20 done, but only 10 simulated by this run.
+        assert telemetry.done_plays == 20
+        assert telemetry.simulated_plays == 10
+        assert telemetry.plays_per_second() == 1.0
+        assert telemetry.eta_s() == 20.0
+
+
+class TestUtilization:
+    def test_serial_full_utilization(self):
+        telemetry, clock = make_telemetry(workers=1)
+        telemetry.run_started()
+        telemetry.shard_started(0, 10, attempt=1)
+        clock.now += 10.0
+        telemetry.shard_finished(0, records=10, elapsed_s=10.0, attempt=1)
+        assert telemetry.utilization() == 1.0
+
+    def test_idle_worker_halves_utilization(self):
+        telemetry, clock = make_telemetry(workers=2)
+        telemetry.run_started()
+        telemetry.shard_started(0, 10, attempt=1)
+        clock.now += 10.0
+        telemetry.shard_finished(0, records=10, elapsed_s=10.0, attempt=1)
+        assert telemetry.utilization() == 0.5
+
+    def test_failed_attempt_still_counts_busy_time(self):
+        telemetry, clock = make_telemetry(workers=1)
+        telemetry.run_started()
+        telemetry.shard_started(0, 10, attempt=1)
+        clock.now += 4.0
+        telemetry.shard_failed(0, attempt=1, error="boom")
+        telemetry.shard_started(0, 10, attempt=2)
+        clock.now += 6.0
+        telemetry.shard_finished(0, records=10, elapsed_s=6.0, attempt=2)
+        assert telemetry.utilization() == 1.0
+
+
+class TestRendering:
+    def test_progress_line_fields(self):
+        telemetry, clock = make_telemetry()
+        telemetry.run_started()
+        telemetry.shard_started(0, 10, attempt=1)
+        clock.now += 10.0
+        telemetry.shard_finished(0, records=10, elapsed_s=10.0, attempt=1)
+        line = telemetry.progress_line()
+        assert "10/40 plays" in line
+        assert "plays/s" in line
+        assert "ETA 30s" in line
+        assert "workers 2" in line
+
+    def test_manifest_shard_entries(self):
+        telemetry, clock = make_telemetry()
+        telemetry.run_started()
+        telemetry.shard_started(0, 10, attempt=1)
+        clock.now += 2.0
+        telemetry.shard_finished(0, records=9, elapsed_s=2.0, attempt=1)
+        telemetry.shard_failed(1, attempt=3, error="worker died")
+        telemetry.run_finished()
+        manifest = telemetry.manifest()
+        assert manifest["total_plays"] == 40
+        assert manifest["workers"] == 2
+        by_id = {s["shard_id"]: s for s in manifest["shards"]}
+        assert by_id[0]["status"] == "done"
+        assert by_id[0]["records"] == 9
+        assert by_id[1]["status"] == "failed"
+        assert by_id[1]["error"] == "worker died"
+
+    def test_throttled_printer(self):
+        telemetry, clock = make_telemetry()
+        telemetry.run_started()
+        lines = []
+        printer = ThrottledProgressPrinter(
+            interval_s=2.0, echo=lines.append, clock=clock
+        )
+        printer(telemetry)          # first call always prints
+        printer(telemetry)          # throttled
+        clock.now += 2.5
+        printer(telemetry)          # interval elapsed
+        assert len(lines) == 2
+        assert all("plays" in line for line in lines)
