@@ -1,0 +1,72 @@
+"""Overhead of `repro.validate`: audited runs must stay within a few
+percent of unaudited ones.
+
+The invariant audits read counters the stack maintains anyway, so a
+validated study is the same simulation plus a few hundred predicate
+calls per playback.  This benchmark times the same small study with
+validation off and on (counting mode, engine strict mode included) and
+asserts the overhead bound claimed in the docs.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.study import Study, StudyConfig
+from repro.validate import COUNTING
+
+BENCH_SEED = 2001
+BENCH_SCALE = 0.02
+#: Documented bound, plus margin for timer noise at this small scale.
+MAX_OVERHEAD = 0.05
+NOISE_MARGIN = 0.03
+
+
+def _best_of(runs: int, config: StudyConfig) -> tuple[float, int]:
+    best = float("inf")
+    records = 0
+    for _ in range(runs):
+        started = time.perf_counter()
+        dataset = Study(config).run()
+        best = min(best, time.perf_counter() - started)
+        records = len(dataset)
+    return best, records
+
+
+def test_bench_validation_overhead(benchmark):
+    plain = StudyConfig(seed=BENCH_SEED, scale=BENCH_SCALE)
+    audited = StudyConfig(
+        seed=BENCH_SEED, scale=BENCH_SCALE, validation=COUNTING
+    )
+
+    baseline_s, records = _best_of(2, plain)
+    validated_s, validated_records = benchmark.pedantic(
+        _best_of, args=(2, audited), rounds=1, iterations=1
+    )
+
+    assert validated_records == records
+    overhead = validated_s / baseline_s - 1.0
+    print()
+    print(f"  {records} playbacks: plain {baseline_s:.2f}s, "
+          f"validated {validated_s:.2f}s ({overhead:+.1%} overhead)")
+    assert overhead <= MAX_OVERHEAD + NOISE_MARGIN, (
+        f"validation overhead {overhead:.1%} exceeds "
+        f"{MAX_OVERHEAD + NOISE_MARGIN:.0%} bound"
+    )
+
+
+def test_bench_validated_study_is_clean(benchmark):
+    """The audited study itself must report zero violations."""
+    config = StudyConfig(
+        seed=BENCH_SEED, scale=BENCH_SCALE, validation=COUNTING
+    )
+
+    def run():
+        study = Study(config)
+        study.run()
+        return study.last_validation
+
+    ledger = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert ledger is not None
+    assert ledger.checks_run > 0
+    assert ledger.clean, ledger.format_report()

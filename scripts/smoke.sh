@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
-# Tier-1 smoke: the full unit suite plus a tiny parallel study through
-# the repro.runtime engine (2 workers, checkpointed), verifying the CLI
-# end to end.  Run from the repo root:  bash scripts/smoke.sh
+# Tier-1 smoke: the full unit suite, a tiny parallel study through the
+# repro.runtime engine (2 workers, checkpointed), a strict-mode
+# validated study (every repro.validate invariant must hold) plus the
+# serial-vs-parallel oracle, and the corrupted-checkpoint resume
+# tests.  Run from the repo root:  bash scripts/smoke.sh
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -30,5 +32,12 @@ print(f"smoke ok: {len(dataset)} records, "
       f"{manifest['plays_per_second']} plays/s, "
       f"{manifest['shard_count']} shards")
 EOF
+
+echo "== strict validated study (zero violations required) =="
+python -m repro.cli validate --seed 2001 --scale 0.02 --workers 2 \
+    --strict --oracle-scale 0.01 --quiet
+
+echo "== corrupted-checkpoint resume =="
+python -m pytest -x -q tests/test_runtime_engine.py -k CorruptCheckpointResume
 
 echo "== smoke passed =="

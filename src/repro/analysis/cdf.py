@@ -40,10 +40,20 @@ class Cdf:
         return 1.0 - self.fraction_below(x)
 
     def percentile(self, q: float) -> float:
-        """Value at quantile ``q`` in [0, 1]."""
+        """Value at quantile ``q`` in [0, 1].
+
+        Uses the inverted-CDF estimator, so the result is always a
+        member of the sample and consistent with :meth:`at`
+        (``at(percentile(q)) >= q``).  The default linear interpolation
+        would invent values between samples — for discrete observables
+        like frame counts that means reporting fractional frames the
+        study never measured.
+        """
         if not 0.0 <= q <= 1.0:
             raise AnalysisError(f"quantile must be in [0, 1], got {q}")
-        return float(np.quantile(np.asarray(self._values), q))
+        return float(
+            np.quantile(np.asarray(self._values), q, method="inverted_cdf")
+        )
 
     @property
     def median(self) -> float:

@@ -7,6 +7,7 @@ Subcommands::
                  [--workers 4] [--resume] [--checkpoint-dir DIR]
     repro report --csv study.csv [--plots]
     repro figures --scale 1.0 --out results/ [--workers 4] [--resume]
+    repro validate --scale 0.1 [--workers 2] [--strict] [--skip-oracle]
 
 ``repro`` is installed as a console script; the module also runs via
 ``python -m repro.cli``.
@@ -156,6 +157,73 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_validate(args: argparse.Namespace) -> int:
+    """Run a validated study + the serial-vs-parallel differential
+    oracle; exit non-zero on any invariant violation or divergence."""
+    import tempfile
+
+    from repro.runtime import (
+        RuntimeConfig, ThrottledProgressPrinter, run_study,
+    )
+    from repro.core.submission import SubmissionSink
+    from repro.errors import ValidationError
+    from repro.validate import ValidationConfig, run_differential_oracle
+
+    validation = ValidationConfig(enabled=True, strict=args.strict)
+    sink = SubmissionSink(validation=validation)
+    config = StudyConfig(
+        seed=args.seed, scale=args.scale, validation=validation
+    )
+    print(f"validated study: seed={args.seed} scale={args.scale} "
+          f"workers={args.workers} strict={args.strict}")
+    try:
+        with tempfile.TemporaryDirectory(prefix="repro-validate-") as ckpt:
+            result = run_study(
+                config,
+                RuntimeConfig(
+                    workers=args.workers,
+                    checkpoint_dir=ckpt,
+                    progress=None if args.quiet else
+                    ThrottledProgressPrinter(),
+                ),
+                sink=sink,
+            )
+    except ValidationError as exc:
+        print(f"STRICT VALIDATION FAILED: {exc}", file=sys.stderr)
+        return 1
+    telemetry = result.telemetry
+    sink_ledger = sink.ledger
+    violations = telemetry.violation_total + (
+        sink_ledger.total if sink_ledger is not None else 0
+    )
+    checks = telemetry.checks_run + (
+        sink_ledger.checks_run if sink_ledger is not None else 0
+    )
+    print(f"  {len(result.dataset)} playbacks, {checks} invariant checks, "
+          f"{violations} violation(s)")
+    if violations:
+        for invariant, count in sorted(telemetry.violations.items()):
+            print(f"    {count:6d}  {invariant} (playback audits)")
+        if sink_ledger is not None:
+            for invariant, count in sorted(sink_ledger.counts.items()):
+                print(f"    {count:6d}  {invariant} (sink ingestion)")
+
+    oracle_ok = True
+    if not args.skip_oracle:
+        oracle = run_differential_oracle(
+            StudyConfig(seed=args.seed, scale=args.oracle_scale),
+            workers=args.workers,
+        )
+        oracle_ok = oracle.matched
+        print(f"  {oracle}")
+
+    if violations or not oracle_ok:
+        print("validation FAILED", file=sys.stderr)
+        return 1
+    print("validation passed: all invariants held")
+    return 0
+
+
 def _cmd_figures(args: argparse.Namespace) -> int:
     from repro.experiments import runner
 
@@ -217,6 +285,27 @@ def build_parser() -> argparse.ArgumentParser:
     figures.add_argument("--resume", action="store_true")
     figures.add_argument("--quiet", action="store_true")
     figures.set_defaults(func=_cmd_figures)
+
+    validate = sub.add_parser(
+        "validate",
+        help="run a study with invariant checking + the serial-vs-"
+             "parallel oracle",
+    )
+    validate.add_argument("--seed", type=int, default=2001)
+    validate.add_argument("--scale", type=float, default=0.1,
+                          help="study scale for the validated run "
+                               "(0.1 is ~270 playbacks)")
+    validate.add_argument("--workers", type=int, default=2)
+    validate.add_argument("--strict", action="store_true",
+                          help="abort on the first violation instead of "
+                               "counting")
+    validate.add_argument("--skip-oracle", action="store_true",
+                          help="skip the serial-vs-parallel differential "
+                               "oracle")
+    validate.add_argument("--oracle-scale", type=float, default=0.02,
+                          help="study scale for the oracle's two runs")
+    validate.add_argument("--quiet", action="store_true")
+    validate.set_defaults(func=_cmd_validate)
     return parser
 
 

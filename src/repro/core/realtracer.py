@@ -28,6 +28,7 @@ from repro.server.realserver import RealServer
 from repro.server.session import SessionConfig
 from repro.sim.engine import EventLoop
 from repro.units import DEFAULT_CLIP_PLAY_SECONDS
+from repro.validate import ValidationConfig, ValidationLedger, audit_playback
 from repro.world.paths import PathFactory
 from repro.world.servers import ServerSite
 from repro.world.users import UserProfile
@@ -79,6 +80,8 @@ class RealTracer:
         path_factory: PathFactory | None = None,
         rating_behavior: RatingBehavior | None = None,
         player_factory: PlayerFactory | None = None,
+        validation: ValidationConfig | None = None,
+        ledger: ValidationLedger | None = None,
     ) -> None:
         self.config = config if config is not None else TracerConfig()
         self._paths = path_factory if path_factory is not None else PathFactory()
@@ -88,6 +91,16 @@ class RealTracer:
         self._player_factory = (
             player_factory if player_factory is not None else _default_player_factory
         )
+        self.validation = validation if validation is not None else ValidationConfig()
+        if ledger is not None:
+            self.ledger: ValidationLedger | None = ledger
+        elif self.validation.enabled:
+            self.ledger = ValidationLedger(
+                strict=self.validation.strict,
+                max_recorded=self.validation.max_recorded,
+            )
+        else:
+            self.ledger = None
         #: The last player driven (exposed for timeline figures/tests).
         self.last_player: RealPlayer | None = None
 
@@ -104,7 +117,9 @@ class RealTracer:
             # The user's firewall drops RTSP outright (paper Section
             # IV); nothing to simulate — the attempt dies at setup.
             return self._blocked_record(user, site, clip)
-        loop = EventLoop()
+        loop = EventLoop(
+            strict=self.validation.enabled and self.validation.engine_strict
+        )
         path = self._paths.build(
             loop, user, site, rng, red_bottleneck=self.config.red_bottleneck
         )
@@ -137,7 +152,10 @@ class RealTracer:
             # Users rated whatever they sat through — including clips
             # that buffered for the whole minute and never rendered.
             rating = self._rating.rate(user, player.stats, rng)
-        return self._record(user, site, clip, player, rating)
+        record = self._record(user, site, clip, player, rating)
+        if self.validation.enabled and self.ledger is not None:
+            audit_playback(self.ledger, self.validation, player, path, record)
+        return record
 
     # -- internals ----------------------------------------------------------
 

@@ -18,6 +18,7 @@ from repro.core.records import StudyDataset
 from repro.core.submission import SubmissionSink
 from repro.errors import StudyError
 from repro.rng import RngFactory
+from repro.validate import ValidationConfig, ValidationLedger
 from repro.world.population import StudyPopulation, build_population
 
 
@@ -35,6 +36,10 @@ class StudyConfig:
     scale: float = 1.0
     #: Tracer options (play limit, timeline sampling, RED ablation...).
     tracer: TracerConfig = field(default_factory=TracerConfig)
+    #: Invariant checking (`repro.validate`); off by default.  Not part
+    #: of the checkpoint fingerprint: turning validation on or off never
+    #: changes the simulated results, only whether they are audited.
+    validation: ValidationConfig = field(default_factory=ValidationConfig)
 
     def __post_init__(self) -> None:
         if not 0.0 < self.scale <= 1.0:
@@ -64,6 +69,9 @@ class Study:
             raise StudyError("the study population has no users")
         if not self.population.playlist:
             raise StudyError("the study playlist is empty")
+        #: Ledger of the most recent :meth:`run_users` call when
+        #: validation is enabled (None otherwise).
+        self.last_validation: ValidationLedger | None = None
 
     def run(
         self,
@@ -107,7 +115,16 @@ class Study:
                     f"unknown user ids: {sorted(missing)!r} "
                     "(population mismatch — wrong seed or scale?)"
                 )
-        tracer = RealTracer(config=self.config.tracer)
+        validation = self.config.validation
+        ledger = None
+        if validation.enabled:
+            ledger = ValidationLedger(
+                strict=validation.strict, max_recorded=validation.max_recorded
+            )
+        self.last_validation = ledger
+        tracer = RealTracer(
+            config=self.config.tracer, validation=validation, ledger=ledger
+        )
         dataset = StudyDataset()
         playlist = self.population.playlist
         total = sum(self._scaled_plays(user.plays) for user in selected)

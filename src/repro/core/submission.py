@@ -14,15 +14,33 @@ from pathlib import Path
 from typing import Iterable
 
 from repro.core.records import ClipRecord, StudyDataset
+from repro.validate import ValidationConfig, ValidationLedger, validate_record
 
 
 class SubmissionSink:
-    """Collects submitted records, optionally persisting them."""
+    """Collects submitted records, optionally persisting them.
 
-    def __init__(self, csv_path: str | Path | None = None) -> None:
+    With a :class:`~repro.validate.ValidationConfig` the sink checks
+    every record's schema and cross-field constraints at ingestion —
+    the last line of defense before data reaches the analysis layer —
+    and keeps the violations on :attr:`ledger`.
+    """
+
+    def __init__(
+        self,
+        csv_path: str | Path | None = None,
+        validation: ValidationConfig | None = None,
+    ) -> None:
         self._csv_path = Path(csv_path) if csv_path is not None else None
         self.records: list[ClipRecord] = []
         self._header_written = False
+        self.validation = validation if validation is not None else ValidationConfig()
+        self.ledger: ValidationLedger | None = None
+        if self.validation.enabled and self.validation.check_records:
+            self.ledger = ValidationLedger(
+                strict=self.validation.strict,
+                max_recorded=self.validation.max_recorded,
+            )
         if self._csv_path is not None and self._csv_path.exists():
             self._csv_path.unlink()
 
@@ -40,6 +58,9 @@ class SubmissionSink:
         self._accept(list(records))
 
     def _accept(self, records: list[ClipRecord]) -> None:
+        if self.ledger is not None:
+            for record in records:
+                validate_record(self.ledger, record)
         self.records.extend(records)
         if self._csv_path is None or not records:
             return

@@ -64,3 +64,13 @@ class CheckpointError(StudyError):
 
 class AnalysisError(ReproError):
     """An analysis routine received data it cannot process."""
+
+
+class ValidationError(ReproError):
+    """A simulation invariant was violated (strict-mode `repro.validate`).
+
+    Raised only when validation runs in strict mode; otherwise
+    violations are counted on the run's
+    :class:`~repro.validate.ValidationLedger` and surfaced through
+    telemetry.
+    """

@@ -23,7 +23,18 @@ from repro.units import transmission_time
 
 
 class PacketQueue(Protocol):
-    """Anything a link can use as its buffer (drop-tail, RED...)."""
+    """Anything a link can use as its buffer (drop-tail, RED...).
+
+    The counter attributes let ``repro.validate`` assert conservation
+    (``offers == enqueued + drops``, ``enqueued == popped + len``)
+    without knowing the queueing discipline.
+    """
+
+    offers: int
+    enqueued: int
+    drops: int
+    popped: int
+    queued_bytes: int
 
     def offer(self, packet: Packet) -> bool: ...
 
@@ -70,6 +81,16 @@ class LinkStats:
     queue_drops: int = 0
     random_drops: int = 0
     busy_time: float = 0.0
+    #: Packets/bytes offered to the link (accepted or not).
+    offered: int = 0
+    offered_bytes: int = 0
+    #: Bytes lost to queue overflow / random (non-congestive) loss.
+    queue_dropped_bytes: int = 0
+    random_dropped_bytes: int = 0
+    #: Packets/bytes popped from the queue but not yet delivered or
+    #: dropped — serializing or propagating when the loop stopped.
+    in_transit: int = 0
+    in_transit_bytes: int = 0
     #: Per-kind delivered counts, for cross-traffic accounting.
     delivered_by_kind: dict = field(default_factory=dict)
 
@@ -112,8 +133,11 @@ class Link:
         """Offer a packet to the link."""
         if self._receiver is None:
             raise SimulationError(f"link {self.config.name!r} has no receiver")
+        self.stats.offered += 1
+        self.stats.offered_bytes += packet.wire_size
         if not self._queue.offer(packet):
             self.stats.queue_drops += 1
+            self.stats.queue_dropped_bytes += packet.wire_size
             return
         if not self._busy:
             self._service_next()
@@ -124,6 +148,8 @@ class Link:
             return
         self._busy = True
         packet = self._queue.pop()
+        self.stats.in_transit += 1
+        self.stats.in_transit_bytes += packet.wire_size
         serialization = transmission_time(packet.wire_size, self.config.rate_bps)
         self.stats.busy_time += serialization
         self._loop.schedule(
@@ -135,6 +161,9 @@ class Link:
         self._service_next()
         if self.config.random_loss > 0 and self._rng.random() < self.config.random_loss:
             self.stats.random_drops += 1
+            self.stats.random_dropped_bytes += packet.wire_size
+            self.stats.in_transit -= 1
+            self.stats.in_transit_bytes -= packet.wire_size
             return
         self._loop.schedule(
             self.config.propagation_s,
@@ -146,6 +175,8 @@ class Link:
         packet.hops += 1
         self.stats.delivered += 1
         self.stats.delivered_bytes += packet.wire_size
+        self.stats.in_transit -= 1
+        self.stats.in_transit_bytes -= packet.wire_size
         kind_counts = self.stats.delivered_by_kind
         kind_counts[packet.kind] = kind_counts.get(packet.kind, 0) + 1
         assert self._receiver is not None

@@ -21,9 +21,11 @@ import numpy as np
 
 from repro.net.crosstraffic import CrossTrafficConfig, CrossTrafficSource
 from repro.net.link import Link, LinkConfig
-from repro.net.packet import Packet, PacketKind
+from repro.net.packet import HEADER_BYTES, Packet, PacketKind
 from repro.net.queues import REDQueue
 from repro.sim.engine import EventLoop
+from repro.transport.base import MSS_BYTES
+from repro.units import transmission_time
 
 
 @dataclass
@@ -144,7 +146,17 @@ class NetworkPath:
         )
         bottleneck_queue = None
         if profile.red_bottleneck:
-            bottleneck_queue = REDQueue(profile.bottleneck_queue, rng=rng)
+            bottleneck_queue = REDQueue(
+                profile.bottleneck_queue,
+                rng=rng,
+                # Give RED the simulated clock so its EWMA ages across
+                # idle periods (Floyd & Jacobson idle decay), scaled by
+                # the time a full-size packet takes at this bottleneck.
+                clock=lambda: loop.now,
+                mean_tx_time_s=transmission_time(
+                    MSS_BYTES + HEADER_BYTES, profile.bottleneck_bps
+                ),
+            )
         self._bottleneck = Link(
             loop,
             LinkConfig(
@@ -292,6 +304,17 @@ class NetworkPath:
         self.client_endpoint.deliver(packet)
 
     # -- introspection ----------------------------------------------------
+
+    @property
+    def links(self) -> tuple[Link, ...]:
+        """Every hop of the path, both directions (for auditing)."""
+        return (
+            self._server_uplink,
+            self._bottleneck,
+            self._access_down,
+            self._access_up,
+            self._wan_up,
+        )
 
     @property
     def bottleneck_link(self) -> Link:

@@ -3,11 +3,17 @@
 A queue decides, per arriving packet, whether to accept or drop it, and
 hands packets back to the link in FIFO order.  Queue depth is measured
 in packets, which is what most 2001-era drop-tail routers did.
+
+Both queues keep full arrival/departure counters (``offers``,
+``enqueued``, ``drops``, ``popped``, ``queued_bytes``) so that
+``repro.validate`` can assert conservation at every hop:
+``offers == enqueued + drops`` and ``enqueued == popped + len``.
 """
 
 from __future__ import annotations
 
 from collections import deque
+from typing import Callable
 
 import numpy as np
 
@@ -24,6 +30,9 @@ class DropTailQueue:
         self._queue: deque[Packet] = deque()
         self.drops = 0
         self.enqueued = 0
+        self.offers = 0
+        self.popped = 0
+        self.queued_bytes = 0
 
     def __len__(self) -> int:
         return len(self._queue)
@@ -34,16 +43,21 @@ class DropTailQueue:
 
     def offer(self, packet: Packet) -> bool:
         """Try to enqueue; returns False (and counts a drop) when full."""
+        self.offers += 1
         if len(self._queue) >= self.capacity:
             self.drops += 1
             return False
         self._queue.append(packet)
         self.enqueued += 1
+        self.queued_bytes += packet.wire_size
         return True
 
     def pop(self) -> Packet:
         """Dequeue the head-of-line packet."""
-        return self._queue.popleft()
+        packet = self._queue.popleft()
+        self.popped += 1
+        self.queued_bytes -= packet.wire_size
+        return packet
 
 
 class REDQueue:
@@ -52,6 +66,14 @@ class REDQueue:
     Included as the queueing ablation the paper's congestion discussion
     ([FF98]) motivates: RED keeps average queues short, trading early
     random drops for lower queueing jitter.
+
+    When given a ``clock`` (the owning link passes the event loop's),
+    the EWMA is aged across idle periods per Floyd & Jacobson section
+    11: on the first arrival after the queue drained,
+    ``avg <- (1-w)^m * avg`` with ``m`` the idle time expressed in
+    typical packet-transmission times.  Without a clock the average is
+    only updated on arrivals — the original behavior, kept for direct
+    unit-testing of the drop curve.
     """
 
     def __init__(
@@ -62,6 +84,8 @@ class REDQueue:
         max_drop_probability: float = 0.1,
         weight: float = 0.002,
         rng: np.random.Generator | None = None,
+        clock: Callable[[], float] | None = None,
+        mean_tx_time_s: float = 0.001,
     ) -> None:
         if capacity_packets < 1:
             raise ValueError(f"queue capacity must be >= 1, got {capacity_packets}")
@@ -83,14 +107,22 @@ class REDQueue:
                 f"min_threshold ({self.min_threshold}) must be below "
                 f"max_threshold ({self.max_threshold})"
             )
+        if mean_tx_time_s <= 0:
+            raise ValueError(f"mean_tx_time_s must be > 0, got {mean_tx_time_s}")
         self.max_drop_probability = max_drop_probability
         self.weight = weight
         self._rng = rng if rng is not None else np.random.default_rng(0)
+        self._clock = clock
+        self._mean_tx_time_s = mean_tx_time_s
+        self._idle_since: float | None = None
         self._queue: deque[Packet] = deque()
         self._avg = 0.0
         self.drops = 0
         self.early_drops = 0
         self.enqueued = 0
+        self.offers = 0
+        self.popped = 0
+        self.queued_bytes = 0
 
     def __len__(self) -> int:
         return len(self._queue)
@@ -106,6 +138,19 @@ class REDQueue:
 
     def offer(self, packet: Packet) -> bool:
         """Enqueue with RED's early-drop behavior."""
+        self.offers += 1
+        if not self._queue and self._idle_since is not None:
+            # First arrival after an idle period: age the average as if
+            # ``m`` small packets had passed through an empty queue
+            # (Floyd & Jacobson 1993, section 11).  Without this, the
+            # stale high average from the last burst spuriously
+            # early-drops the head of the next one.
+            if self._clock is not None:
+                idle = self._clock() - self._idle_since
+                if idle > 0:
+                    m = idle / self._mean_tx_time_s
+                    self._avg *= (1 - self.weight) ** m
+            self._idle_since = None
         self._avg = (1 - self.weight) * self._avg + self.weight * len(self._queue)
         if len(self._queue) >= self.capacity:
             self.drops += 1
@@ -125,8 +170,14 @@ class REDQueue:
                 return False
         self._queue.append(packet)
         self.enqueued += 1
+        self.queued_bytes += packet.wire_size
         return True
 
     def pop(self) -> Packet:
         """Dequeue the head-of-line packet."""
-        return self._queue.popleft()
+        packet = self._queue.popleft()
+        self.popped += 1
+        self.queued_bytes -= packet.wire_size
+        if not self._queue and self._clock is not None:
+            self._idle_since = self._clock()
+        return packet

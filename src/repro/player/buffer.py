@@ -122,6 +122,8 @@ class PlayoutBuffer:
         #: Newest media time ever buffered (monotone, survives pops).
         self.newest_media_time = 0.0
         self.frames_pushed = 0
+        #: Frames discarded by :meth:`drop_before`.
+        self.frames_dropped = 0
 
     def __len__(self) -> int:
         return len(self._heap)
@@ -157,4 +159,5 @@ class PlayoutBuffer:
         while self._heap and self._heap[0][0] < media_time:
             heapq.heappop(self._heap)
             dropped += 1
+        self.frames_dropped += dropped
         return dropped

@@ -84,6 +84,9 @@ class PlayoutEngine:
         self._on_media_advance = on_media_advance
 
         self.state = PlaybackState.IDLE
+        #: Frames that completed reassembly after playback ended; kept
+        #: so frame conservation stays checkable post-stop.
+        self.frames_after_stop = 0
         self._anchor: float | None = None
         self._buffering_started: float | None = None
         self._rebuffer_started: float | None = None
@@ -141,6 +144,7 @@ class PlayoutEngine:
     def on_frame_complete(self, frame: Frame) -> None:
         """A frame finished reassembly."""
         if self.state in (PlaybackState.FINISHED, PlaybackState.STOPPED):
+            self.frames_after_stop += 1
             return
         if (
             self.state is PlaybackState.PLAYING

@@ -180,6 +180,29 @@ class RealPlayer:
     def finished(self) -> bool:
         return self._done
 
+    # -- introspection (read-only, used by repro.validate) ------------------
+
+    @property
+    def reassembler(self) -> Reassembler:
+        """The frame reassembler (read-only audits)."""
+        return self._reassembler
+
+    @property
+    def decoder(self) -> Decoder:
+        """The decoder model (read-only audits)."""
+        return self._decoder
+
+    @property
+    def session(self) -> StreamingSession | None:
+        """The current server streaming session, if one was set up."""
+        return self._session
+
+    @property
+    def renegotiated(self) -> bool:
+        """True when the data channel was renegotiated (UDP→TCP
+        fallback), which resets server-side frame numbering."""
+        return self._udp_fallback_done
+
     # -- control plane --------------------------------------------------------
 
     def _send_request(self, request: RtspRequest) -> None:

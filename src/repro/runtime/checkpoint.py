@@ -124,14 +124,37 @@ class CheckpointStore:
         self._flush()
 
     def load_shard(self, shard_id: int) -> StudyDataset:
-        """Load a journaled shard's records."""
+        """Load a journaled shard's records.
+
+        Raises :class:`~repro.errors.CheckpointError` when the CSV is
+        unreadable, unparsable, or holds fewer/more records than the
+        manifest journaled for it (a cleanly truncated file parses fine
+        but is still damage — e.g. a kill mid-write on a filesystem
+        without atomic rename).
+        """
         path = self._shard_path(shard_id)
         try:
-            return StudyDataset.from_csv(path)
+            dataset = StudyDataset.from_csv(path)
         except (OSError, ValueError, TypeError) as exc:
             raise CheckpointError(
                 f"corrupt checkpoint shard {path}: {exc}"
             ) from exc
+        entry = self._manifest.get("shards", {}).get(str(shard_id))
+        expected = entry.get("records") if entry else None
+        if expected is not None and len(dataset) != expected:
+            raise CheckpointError(
+                f"corrupt checkpoint shard {path}: has {len(dataset)} "
+                f"records, manifest journaled {expected}"
+            )
+        return dataset
+
+    def invalidate_shard(self, shard_id: int) -> None:
+        """Drop a shard from the journal so resume re-simulates it."""
+        self._manifest.get("shards", {}).pop(str(shard_id), None)
+        path = self._shard_path(shard_id)
+        if path.exists():
+            path.unlink()
+        self._flush()
 
     def write_run_manifest(self, manifest: dict) -> Path:
         """Persist the final telemetry record next to the journal."""

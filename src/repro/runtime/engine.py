@@ -16,17 +16,19 @@ shards were resumed from a checkpoint.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Callable
 
 from repro.core.records import StudyDataset
 from repro.core.study import Study, StudyConfig
 from repro.core.submission import SubmissionSink
+from repro.errors import CheckpointError
 from repro.runtime.checkpoint import CheckpointStore
 from repro.runtime.pool import DEFAULT_MAX_RETRIES, FaultSpec, run_shards
 from repro.runtime.scheduler import ShardPlan, plan_shards
 from repro.runtime.telemetry import RunTelemetry
+from repro.validate import ValidationConfig
 from repro.world.population import StudyPopulation
 
 
@@ -50,6 +52,11 @@ class RuntimeConfig:
     progress: Callable[[RunTelemetry], None] | None = None
     #: Deterministic failure injection (tests only).
     fault: FaultSpec | None = None
+    #: Override the study's `repro.validate` config for this run (None:
+    #: use ``StudyConfig.validation`` as-is).  Validation never changes
+    #: the simulated results, so it does not affect the checkpoint
+    #: fingerprint and an audited run can resume an unaudited one.
+    validation: ValidationConfig | None = None
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -82,6 +89,8 @@ def run_study(
     """Execute the campaign under the given runtime policy."""
     config = config if config is not None else StudyConfig()
     runtime = runtime if runtime is not None else RuntimeConfig()
+    if runtime.validation is not None:
+        config = replace(config, validation=runtime.validation)
 
     study = Study(config)
     plan = plan_shards(study, runtime.shard_count)
@@ -101,7 +110,13 @@ def run_study(
         store = CheckpointStore(runtime.checkpoint_dir)
         plays_by_id = {s.shard_id: s.plays for s in plan.shards}
         for shard_id in sorted(store.open(plan.fingerprint, runtime.resume)):
-            dataset = store.load_shard(shard_id)
+            try:
+                dataset = store.load_shard(shard_id)
+            except CheckpointError:
+                # Damaged journal entry (truncated/corrupted CSV): drop
+                # it and leave the shard pending so it re-simulates.
+                store.invalidate_shard(shard_id)
+                continue
             completed[shard_id] = dataset
             telemetry.shard_resumed(
                 shard_id, plays_by_id[shard_id], len(dataset)
@@ -165,6 +180,9 @@ def _run_serial(study, pending, telemetry, store, completed, notify) -> None:
 
         dataset = study.run_users(shard.user_ids, progress=tick)
         elapsed = time.monotonic() - started
+        ledger = study.last_validation
+        if ledger is not None:
+            telemetry.record_violations(ledger.summary(), ledger.checks_run)
         if store is not None:
             store.record_shard(shard.shard_id, dataset, elapsed, attempts=1)
         completed[shard.shard_id] = dataset
@@ -191,6 +209,9 @@ def _run_parallel(
         elif kind == "tick":
             telemetry.shard_progress(shard_id, info["done"])
         elif kind == "finished":
+            telemetry.record_violations(
+                info.get("violations"), info.get("checks_run", 0)
+            )
             if store is not None:
                 store.record_shard(
                     shard_id, info["dataset"], info["elapsed_s"],

@@ -60,6 +60,14 @@ class ShardResult:
     elapsed_s: float
     attempts: int
     error: str = ""
+    #: Violation counts by invariant id (empty when validation is off).
+    violations: dict = None  # type: ignore[assignment]
+    #: Invariant checks the worker ran (0 when validation is off).
+    checks_run: int = 0
+
+    def __post_init__(self) -> None:
+        if self.violations is None:
+            self.violations = {}
 
     @property
     def ok(self) -> bool:
@@ -97,6 +105,7 @@ def _shard_worker(
             queue.put(("tick", shard_id, done))
 
         dataset = study.run_users(user_ids, progress=tick)
+        ledger = study.last_validation
         queue.put(
             (
                 "finished",
@@ -104,6 +113,8 @@ def _shard_worker(
                 attempt,
                 dataset.to_csv_string(),
                 time.monotonic() - started,
+                ledger.summary() if ledger is not None else {},
+                ledger.checks_run if ledger is not None else 0,
             )
         )
     except Exception:
@@ -179,7 +190,7 @@ def run_shards(
             if shard_id in running:
                 emit("tick", shard_id, done=event[2])
         elif kind == "finished":
-            _kind, _sid, attempt, csv_text, elapsed = event
+            _kind, _sid, attempt, csv_text, elapsed, violations, checks = event
             proc = running.pop(shard_id, None)
             if proc is not None:
                 proc.join()
@@ -189,11 +200,14 @@ def run_shards(
                 dataset=dataset,
                 elapsed_s=elapsed,
                 attempts=attempt,
+                violations=violations,
+                checks_run=checks,
             )
             emit(
                 "finished", shard_id,
                 attempt=attempt, elapsed_s=elapsed,
                 records=len(dataset), dataset=dataset,
+                violations=violations, checks_run=checks,
             )
         elif kind == "failed":
             _kind, _sid, attempt, error = event

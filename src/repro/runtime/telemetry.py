@@ -36,6 +36,10 @@ class RunTelemetry:
     workers: int
     clock: Callable[[], float] = time.monotonic
     shards: dict[int, ShardStats] = field(default_factory=dict)
+    #: Aggregated `repro.validate` violation counts by invariant id.
+    violations: dict[str, int] = field(default_factory=dict)
+    #: Total invariant checks run (0 when validation is off).
+    checks_run: int = 0
     _started_at: float | None = None
     _finished_at: float | None = None
     _busy_s: float = 0.0
@@ -92,11 +96,28 @@ class RunTelemetry:
             self._busy_s += self.clock() - stats.started_at
             stats.started_at = None
 
+    def record_violations(
+        self, summary: dict[str, int] | None, checks_run: int = 0
+    ) -> None:
+        """Fold a shard's validation-ledger summary into the run's."""
+        self.checks_run += int(checks_run)
+        if not summary:
+            return
+        for invariant, count in summary.items():
+            self.violations[invariant] = (
+                self.violations.get(invariant, 0) + int(count)
+            )
+
     def _stats(self, shard_id: int, plays: int) -> ShardStats:
         self.shard_registered(shard_id, plays)
         return self.shards[shard_id]
 
     # -- derived figures ----------------------------------------------------
+
+    @property
+    def violation_total(self) -> int:
+        """Total invariant violations reported by all shards."""
+        return sum(self.violations.values())
 
     @property
     def elapsed_s(self) -> float:
@@ -150,15 +171,30 @@ class RunTelemetry:
         """One status line: plays done, rate, ETA, worker utilization."""
         eta = self.eta_s()
         eta_text = "--" if eta is None else f"{eta:.0f}s"
-        return (
+        line = (
             f"{self.done_plays}/{self.total_plays} plays  "
             f"{self.plays_per_second():.1f} plays/s  ETA {eta_text}  "
             f"workers {self.workers} ({self.utilization():.0%} busy)"
         )
+        if self.violation_total:
+            line += f"  VIOLATIONS {self.violation_total}"
+        return line
 
     def manifest(self) -> dict:
         """The run's JSON-ready record."""
+        validation = (
+            {
+                "validation": {
+                    "checks_run": self.checks_run,
+                    "violation_total": self.violation_total,
+                    "violations": dict(self.violations),
+                }
+            }
+            if self.checks_run or self.violations
+            else {}
+        )
         return {
+            **validation,
             "total_plays": self.total_plays,
             "done_plays": self.done_plays,
             "simulated_plays": self.simulated_plays,

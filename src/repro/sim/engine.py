@@ -13,11 +13,19 @@ Design notes
   :meth:`Event.cancel` O(log n) / O(1).
 * The loop is single-threaded and re-entrant-safe: callbacks may
   schedule and cancel other events freely.
+* Strict mode (``EventLoop(strict=True)``) additionally asserts, on
+  every scheduled and dispatched event, that times are finite, that the
+  clock never moves backwards, and that the heap yields events in total
+  ``(time, priority, seq)`` order.  A callback that mutates a heaped
+  event's fields — or float drift that sneaks a NaN past the
+  ``delay < 0`` guard — trips a :class:`~repro.errors.SimulationError`
+  at the point of damage instead of silently time-warping the run.
 """
 
 from __future__ import annotations
 
 import heapq
+import math
 from typing import Callable
 
 from repro.errors import SimulationError
@@ -71,11 +79,13 @@ class Event:
 class EventLoop:
     """A single-threaded discrete-event loop with a simulated clock."""
 
-    def __init__(self) -> None:
+    def __init__(self, strict: bool = False) -> None:
         self._heap: list[Event] = []
         self._now = 0.0
         self._seq = 0
         self._running = False
+        self.strict = strict
+        self._last_key: tuple[float, int, int] | None = None
 
     @property
     def now(self) -> float:
@@ -91,6 +101,10 @@ class EventLoop:
         """Schedule ``callback`` to run ``delay`` seconds from now."""
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past: delay={delay}")
+        if self.strict and not math.isfinite(delay):
+            # NaN compares false to everything, so it slips past the
+            # ``delay < 0`` guard and would poison the heap ordering.
+            raise SimulationError(f"non-finite delay: {delay}")
         event = Event(self._now + delay, priority, self._seq, callback)
         self._seq += 1
         heapq.heappush(self._heap, event)
@@ -108,6 +122,22 @@ class EventLoop:
                 f"cannot schedule into the past: time={time} < now={self._now}"
             )
         return self.schedule(time - self._now, callback, priority)
+
+    def _check_dispatch(self, event: Event) -> None:
+        """Strict-mode dispatch assertions (clock and heap order)."""
+        if not math.isfinite(event.time):
+            raise SimulationError(f"dispatching non-finite event time: {event!r}")
+        if event.time < self._now:
+            raise SimulationError(
+                f"clock went backwards: event at t={event.time} "
+                f"dispatched with now={self._now}"
+            )
+        key = (event.time, event.priority, event.seq)
+        if self._last_key is not None and key < self._last_key:
+            raise SimulationError(
+                f"heap order violated: {key} dispatched after {self._last_key}"
+            )
+        self._last_key = key
 
     def run(self, until: float | None = None) -> None:
         """Run events until the heap drains or the clock passes ``until``.
@@ -128,6 +158,8 @@ class EventLoop:
                 if until is not None and event.time > until:
                     break
                 heapq.heappop(self._heap)
+                if self.strict:
+                    self._check_dispatch(event)
                 self._now = event.time
                 event.callback()
             if until is not None and until > self._now:
@@ -141,6 +173,8 @@ class EventLoop:
             event = heapq.heappop(self._heap)
             if event.cancelled:
                 continue
+            if self.strict:
+                self._check_dispatch(event)
             self._now = event.time
             event.callback()
             return True

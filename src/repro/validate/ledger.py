@@ -1,0 +1,107 @@
+"""The violation ledger: where every failed invariant check lands.
+
+A :class:`ValidationLedger` is cheap to carry around: checks are a
+predicate call plus a counter bump on failure.  Counts are exact; the
+human-readable details are capped so a systematically broken run cannot
+eat memory.  Ledgers merge (worker processes ship their summaries back
+to the runtime engine as plain dicts) and aggregate into run telemetry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ValidationError
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One failed invariant check."""
+
+    #: Dotted invariant id, e.g. ``"net.link.packet_conservation"``.
+    invariant: str
+    #: What exactly disagreed (counter values, record fields...).
+    detail: str
+
+    def __str__(self) -> str:
+        return f"{self.invariant}: {self.detail}"
+
+
+class ValidationLedger:
+    """Collects invariant checks and their violations for one run."""
+
+    def __init__(self, strict: bool = False, max_recorded: int = 100) -> None:
+        self.strict = strict
+        self.max_recorded = max_recorded
+        #: Exact violation counts keyed by invariant id.
+        self.counts: dict[str, int] = {}
+        #: Capped details, in discovery order.
+        self.violations: list[Violation] = []
+        #: Total checks evaluated (passed or failed).
+        self.checks_run = 0
+
+    # -- recording ----------------------------------------------------------
+
+    def check(self, condition: bool, invariant: str, detail: str = "") -> bool:
+        """Record one invariant check; returns the condition.
+
+        In strict mode a failed check raises
+        :class:`~repro.errors.ValidationError` immediately.
+        """
+        self.checks_run += 1
+        if condition:
+            return True
+        self.counts[invariant] = self.counts.get(invariant, 0) + 1
+        if len(self.violations) < self.max_recorded:
+            self.violations.append(Violation(invariant, detail))
+        if self.strict:
+            raise ValidationError(f"invariant violated — {invariant}: {detail}")
+        return False
+
+    def merge_summary(self, summary: dict[str, int] | None) -> None:
+        """Fold a worker's counts-by-invariant dict into this ledger."""
+        if not summary:
+            return
+        for invariant, count in summary.items():
+            self.counts[invariant] = self.counts.get(invariant, 0) + int(count)
+
+    # -- reading ------------------------------------------------------------
+
+    @property
+    def total(self) -> int:
+        """Total violations recorded (exact, not capped)."""
+        return sum(self.counts.values())
+
+    @property
+    def clean(self) -> bool:
+        return self.total == 0
+
+    def summary(self) -> dict[str, int]:
+        """Counts by invariant id (JSON-ready, merge-ready)."""
+        return dict(self.counts)
+
+    def assert_clean(self) -> None:
+        """Raise :class:`~repro.errors.ValidationError` unless clean."""
+        if not self.clean:
+            raise ValidationError(
+                f"{self.total} invariant violation(s): " + self.format_report()
+            )
+
+    def format_report(self) -> str:
+        """One line per violated invariant, worst first."""
+        if self.clean:
+            return (
+                f"all invariants held ({self.checks_run} checks, "
+                f"0 violations)"
+            )
+        lines = [
+            f"{count:6d}  {invariant}"
+            for invariant, count in sorted(
+                self.counts.items(), key=lambda kv: (-kv[1], kv[0])
+            )
+        ]
+        header = (
+            f"{self.total} violation(s) across {len(self.counts)} "
+            f"invariant(s) ({self.checks_run} checks):"
+        )
+        return "\n".join([header, *lines])

@@ -1,0 +1,84 @@
+"""Differential oracle: serial and parallel execution must agree byte
+for byte.
+
+PR 1's sharded runtime guarantees that ``repro.runtime.run_study``
+produces exactly the dataset a plain serial ``Study.run()`` would — the
+same records, the same order, the same CSV bytes.  The oracle re-runs a
+(small) study both ways and compares the serialized outputs, turning
+that guarantee into something ``repro validate`` re-asserts on demand.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - core imports validate; stay lazy
+    from repro.core.study import StudyConfig
+
+
+@dataclass(frozen=True)
+class OracleResult:
+    """Outcome of one serial-vs-parallel differential run."""
+
+    matched: bool
+    records: int
+    workers: int
+    shard_count: int
+    #: First line at which the CSVs diverge (-1 when matched).
+    first_divergence: int = -1
+
+    def __str__(self) -> str:
+        if self.matched:
+            return (
+                f"oracle: serial == parallel ({self.records} records, "
+                f"{self.workers} workers, {self.shard_count} shards)"
+            )
+        return (
+            f"oracle: DIVERGED at line {self.first_divergence} "
+            f"({self.workers} workers, {self.shard_count} shards)"
+        )
+
+
+def run_differential_oracle(
+    config: "StudyConfig",
+    workers: int = 2,
+    shard_count: int | None = None,
+) -> OracleResult:
+    """Run ``config`` serially and sharded-parallel; compare the CSVs."""
+    from repro.core.study import Study
+    from repro.runtime import RuntimeConfig, run_study
+
+    serial_csv = Study(config).run().to_csv_string()
+
+    with tempfile.TemporaryDirectory(prefix="repro-oracle-") as checkpoint_dir:
+        runtime = RuntimeConfig(
+            workers=workers,
+            shard_count=shard_count,
+            checkpoint_dir=checkpoint_dir,
+        )
+        parallel_csv = run_study(config, runtime).dataset.to_csv_string()
+
+    records = serial_csv.count("\n") - 1
+    if serial_csv == parallel_csv:
+        return OracleResult(
+            matched=True,
+            records=records,
+            workers=workers,
+            shard_count=shard_count or workers,
+        )
+    divergence = -1
+    for index, (left, right) in enumerate(
+        zip(serial_csv.splitlines(), parallel_csv.splitlines())
+    ):
+        if left != right:
+            divergence = index
+            break
+    return OracleResult(
+        matched=False,
+        records=records,
+        workers=workers,
+        shard_count=shard_count or workers,
+        first_divergence=divergence,
+    )

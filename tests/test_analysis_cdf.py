@@ -70,3 +70,30 @@ class TestCdf:
             value = cdf.at(x)
             assert value >= previous
             previous = value
+
+
+class TestPercentileSampleMembership:
+    """Regression for the interpolating-percentile bug: quantiles of an
+    empirical CDF must be members of the sample, consistent with the
+    bisect-based ``at``/``fraction_below``."""
+
+    def test_percentile_returns_only_sample_members(self):
+        values = [0.5, 1.0, 2.25, 7.0, 19.5, 19.5, 42.0]
+        cdf = Cdf(values)
+        for q in [i / 100 for i in range(101)]:
+            assert cdf.percentile(q) in values
+
+    def test_at_of_percentile_covers_q(self):
+        cdf = Cdf([3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0])
+        for q in [i / 100 for i in range(101)]:
+            assert cdf.at(cdf.percentile(q)) >= q
+
+    def test_median_of_even_sample_is_a_member(self):
+        # The old linear interpolation returned 2.5 here.
+        cdf = Cdf([1, 2, 3, 4])
+        assert cdf.median in (2, 3)
+
+    def test_discrete_frame_counts_stay_integral(self):
+        cdf = Cdf([0, 0, 1, 7, 15, 28, 30])
+        for q in (0.1, 0.25, 0.5, 0.75, 0.9, 0.99):
+            assert float(cdf.percentile(q)).is_integer()

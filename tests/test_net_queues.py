@@ -97,3 +97,88 @@ class TestRED:
     def test_capacity_validation(self):
         with pytest.raises(ValueError):
             REDQueue(0)
+
+
+class TestREDIdleDecay:
+    """Regression for the Floyd & Jacobson idle-decay bug: without
+    aging, the EWMA stays high across a silence and the first packets
+    of the next burst are spuriously early-dropped."""
+
+    def _saturated_queue(self, clock):
+        queue = REDQueue(
+            50,
+            min_threshold=5,
+            max_threshold=15,
+            max_drop_probability=1.0,
+            weight=0.5,
+            rng=np.random.default_rng(0),
+            clock=clock,
+            mean_tx_time_s=0.001,
+        )
+        # Burst hard enough that the average saturates near the max
+        # threshold, then drain the queue completely.
+        for seq in range(40):
+            queue.offer(make_packet(seq))
+        while not queue.is_empty:
+            queue.pop()
+        assert queue.average_depth > queue.min_threshold
+        return queue
+
+    def test_burst_idle_burst_drops_nothing_early(self):
+        clock = {"now": 0.0}
+        queue = self._saturated_queue(lambda: clock["now"])
+        # 10 s of idle at ~1 ms per typical transmission: the average
+        # must have decayed to (practically) zero.
+        clock["now"] = 10.0
+        drops_before = queue.early_drops
+        for seq in range(5):
+            assert queue.offer(make_packet(100 + seq)), (
+                "first packets after idle must not be early-dropped"
+            )
+        assert queue.early_drops == drops_before
+        assert queue.average_depth < queue.min_threshold
+
+    def test_no_decay_without_idle_time(self):
+        clock = {"now": 0.0}
+        queue = self._saturated_queue(lambda: clock["now"])
+        # Zero elapsed idle time: the average must not move.
+        stale_avg = queue.average_depth
+        queue.offer(make_packet(200))
+        assert queue.average_depth == pytest.approx(0.5 * stale_avg, rel=1e-9)
+
+    def test_clockless_queue_keeps_arrival_only_average(self):
+        # Without a clock the EWMA is arrival-driven only (the drop
+        # curve stays directly unit-testable).
+        queue = REDQueue(50, min_threshold=5, max_threshold=15, weight=0.5)
+        for seq in range(10):
+            queue.offer(make_packet(seq))
+        avg = queue.average_depth
+        while not queue.is_empty:
+            queue.pop()
+        assert queue.average_depth == avg
+
+
+class TestConservationCounters:
+    def test_droptail_counters(self):
+        queue = DropTailQueue(2)
+        for seq in range(4):
+            queue.offer(make_packet(seq))
+        queue.pop()
+        assert queue.offers == 4
+        assert queue.enqueued == 2
+        assert queue.drops == 2
+        assert queue.popped == 1
+        assert queue.offers == queue.enqueued + queue.drops
+        assert queue.enqueued == queue.popped + len(queue)
+        assert queue.queued_bytes == make_packet().wire_size * len(queue)
+
+    def test_red_counters(self):
+        queue = REDQueue(3, min_threshold=1, max_threshold=2, weight=1.0)
+        for seq in range(6):
+            queue.offer(make_packet(seq))
+        while not queue.is_empty:
+            queue.pop()
+        assert queue.offers == 6
+        assert queue.offers == queue.enqueued + queue.drops
+        assert queue.enqueued == queue.popped
+        assert queue.queued_bytes == 0

@@ -199,3 +199,101 @@ class TestRecordCsvProperties:
         ])
         restored = StudyDataset.from_csv_string(ds.to_csv_string())
         assert restored[0] == ds[0]
+
+
+class TestQueueConservationProperties:
+    """Arbitrary offer/pop interleavings conserve packets on both queues.
+
+    These are the `repro.validate` ledger equations driven by hypothesis:
+    ``offers == enqueued + drops`` and ``len == enqueued - popped`` must
+    hold after *any* operation sequence, not just the scripted ones.
+    """
+
+    @staticmethod
+    def _drive(queue, ops):
+        """ops: list of True (offer) / False (pop when non-empty)."""
+        seq = 0
+        for is_offer in ops:
+            if is_offer:
+                queue.offer(Packet(kind=PacketKind.DATA, size=100,
+                                   flow_id=1, seq=seq))
+                seq += 1
+            elif len(queue):
+                queue.pop()
+
+    @staticmethod
+    def _assert_conserved(queue):
+        assert queue.offers == queue.enqueued + queue.drops
+        assert len(queue) == queue.enqueued - queue.popped
+        assert queue.queued_bytes >= 0
+        if len(queue) == 0:
+            assert queue.queued_bytes == 0
+
+    @given(st.integers(min_value=1, max_value=20),
+           st.lists(st.booleans(), max_size=200))
+    def test_droptail_conserves_packets(self, capacity, ops):
+        queue = DropTailQueue(capacity)
+        self._drive(queue, ops)
+        self._assert_conserved(queue)
+
+    @given(st.integers(min_value=4, max_value=30),
+           st.lists(st.booleans(), max_size=200),
+           st.integers(min_value=0, max_value=2**32 - 1))
+    def test_red_conserves_packets(self, capacity, ops, seed):
+        from repro.net.queues import REDQueue
+
+        queue = REDQueue(capacity, rng=np.random.default_rng(seed))
+        self._drive(queue, ops)
+        self._assert_conserved(queue)
+        assert queue.early_drops <= queue.drops
+
+    @given(st.integers(min_value=4, max_value=30),
+           st.lists(st.booleans(), max_size=200),
+           st.lists(st.floats(min_value=0.0, max_value=10.0,
+                              allow_nan=False), min_size=1, max_size=8))
+    def test_red_with_clock_conserves_packets(self, capacity, ops, ticks):
+        from repro.net.queues import REDQueue
+
+        clock_values = iter(np.cumsum(ticks).tolist() * (len(ops) + 1))
+        last = [0.0]
+
+        def clock():
+            last[0] = next(clock_values, last[0])
+            return last[0]
+
+        queue = REDQueue(capacity, rng=np.random.default_rng(7),
+                         clock=clock, mean_tx_time_s=0.01)
+        self._drive(queue, ops)
+        self._assert_conserved(queue)
+        assert 0.0 <= queue.average_depth <= queue.capacity
+
+
+class TestEventLoopStrictProperties:
+    @given(st.lists(st.floats(min_value=0.0, max_value=100.0,
+                              allow_nan=False), max_size=40))
+    def test_strict_mode_accepts_any_well_behaved_schedule(self, delays):
+        loop = EventLoop(strict=True)
+        fired = []
+        for delay in delays:
+            loop.schedule(delay, lambda: fired.append(loop.now))
+        loop.run()
+        assert fired == sorted(fired)
+        assert len(fired) == len(delays)
+
+    @given(st.floats(min_value=0.1, max_value=50.0, allow_nan=False),
+           st.floats(min_value=0.1, max_value=100.0, allow_nan=False))
+    def test_strict_mode_catches_any_clock_rewind(self, first, rewind):
+        from repro.errors import SimulationError
+
+        loop = EventLoop(strict=True)
+        victim = loop.schedule(first + 1.0, lambda: None)
+
+        def misbehave():
+            victim.time = loop.now - rewind
+
+        loop.schedule(first, misbehave)
+        try:
+            loop.run()
+        except SimulationError:
+            return
+        raise AssertionError("strict loop let the clock rewind")

@@ -86,3 +86,34 @@ class TestResumeGuards:
         store.open("fp1", resume=False)
         path = store.write_run_manifest({"records": 5})
         assert json.loads(path.read_text()) == {"records": 5}
+
+
+class TestCorruptionDetection:
+    def test_truncated_shard_detected_by_record_count(self, tmp_path):
+        """A cleanly truncated CSV parses fine — the manifest's record
+        count is what catches it."""
+        store = CheckpointStore(tmp_path / "ckpt")
+        store.open("fp1", resume=False)
+        store.record_shard(0, shard_dataset(n=4), elapsed_s=1.0, attempts=1)
+        path = tmp_path / "ckpt" / "shard_0000.csv"
+        lines = path.read_text().splitlines(keepends=True)
+        path.write_text("".join(lines[:-1]))  # drop the last record
+        with pytest.raises(CheckpointError, match="manifest journaled"):
+            store.load_shard(0)
+
+    def test_invalidate_shard_forgets_and_removes(self, tmp_path):
+        store = CheckpointStore(tmp_path / "ckpt")
+        store.open("fp1", resume=False)
+        store.record_shard(0, shard_dataset(), elapsed_s=1.0, attempts=1)
+        store.record_shard(1, shard_dataset("user002"), elapsed_s=1.0,
+                           attempts=1)
+        store.invalidate_shard(0)
+        assert not (tmp_path / "ckpt" / "shard_0000.csv").exists()
+        resumed = CheckpointStore(tmp_path / "ckpt")
+        assert resumed.open("fp1", resume=True) == {1}
+
+    def test_invalidate_unknown_shard_is_noop(self, tmp_path):
+        store = CheckpointStore(tmp_path / "ckpt")
+        store.open("fp1", resume=False)
+        store.invalidate_shard(7)  # must not raise
+        assert store.open("fp1", resume=True) == set()

@@ -186,3 +186,80 @@ class TestRuntimeConfig:
     def test_resume_requires_checkpoint_dir(self):
         with pytest.raises(ValueError):
             RuntimeConfig(resume=True)
+
+
+class TestCorruptCheckpointResume:
+    @pytest.mark.parametrize(
+        "damage",
+        ["garbage", "truncate"],
+        ids=["unparsable-cell", "clean-truncation"],
+    )
+    def test_corrupt_journal_entry_resimulated_not_crash(
+        self, damage, small_serial_csv, tmp_path
+    ):
+        """A damaged shard CSV (kill mid-write on a non-atomic
+        filesystem) must cause skip-and-resimulate on --resume."""
+        ckpt = tmp_path / "ckpt"
+        run_study(
+            SMALL_CONFIG,
+            RuntimeConfig(workers=2, shard_count=4, checkpoint_dir=ckpt),
+        )
+        victim = sorted(ckpt.glob("shard_*.csv"))[-1]
+        text = victim.read_text()
+        if damage == "garbage":
+            victim.write_text(text[: len(text) // 2] + "\x00garbage,,,\n")
+        else:
+            victim.write_text(
+                "".join(text.splitlines(keepends=True)[:-1])
+            )
+
+        result = run_study(
+            SMALL_CONFIG,
+            RuntimeConfig(
+                workers=2, shard_count=4, checkpoint_dir=ckpt, resume=True
+            ),
+        )
+        assert result.complete
+        assert result.dataset.to_csv_string() == small_serial_csv
+        statuses = {
+            s.shard_id: s.status for s in result.telemetry.shards.values()
+        }
+        # Three shards resumed from the journal, the damaged one re-ran.
+        assert sorted(statuses.values()) == [
+            "done", "resumed", "resumed", "resumed",
+        ]
+
+
+class TestRuntimeValidation:
+    def test_parallel_validated_run_reports_checks_and_zero_violations(
+        self, small_serial_csv
+    ):
+        from repro.validate import COUNTING
+
+        result = run_study(
+            SMALL_CONFIG,
+            RuntimeConfig(workers=2, shard_count=4, validation=COUNTING),
+        )
+        telemetry = result.telemetry
+        assert telemetry.checks_run > 0
+        assert telemetry.violation_total == 0
+        assert telemetry.violations == {}
+        assert "validation" in result.manifest
+        assert result.manifest["validation"]["violation_total"] == 0
+        # Validation must not perturb the simulation itself.
+        assert result.dataset.to_csv_string() == small_serial_csv
+
+    def test_serial_validated_run_aggregates_ledger(self):
+        from repro.validate import COUNTING
+
+        result = run_study(
+            SMALL_CONFIG,
+            RuntimeConfig(workers=1, shard_count=2, validation=COUNTING),
+        )
+        assert result.telemetry.checks_run > 0
+        assert result.telemetry.violation_total == 0
+
+    def test_validation_off_keeps_manifest_clean(self):
+        result = run_study(SMALL_CONFIG, RuntimeConfig(workers=1))
+        assert result.telemetry.checks_run == 0
+        assert "validation" not in result.manifest

@@ -7,6 +7,7 @@ from repro.sim.engine import (
     PRIORITY_HIGH,
     PRIORITY_LOW,
     PRIORITY_NORMAL,
+    EventLoop,
     Timer,
 )
 
@@ -178,3 +179,83 @@ class TestTimer:
         assert timer.armed
         loop.run()
         assert not timer.armed
+
+
+class TestStrictMode:
+    def test_misbehaving_callback_rewinding_event_time_is_caught(self):
+        """A callback that mutates a heaped event's time into the past
+        silently time-warps a permissive loop; strict mode raises at
+        the point of damage."""
+        loop = EventLoop(strict=True)
+        victim = loop.schedule(5.0, lambda: None)
+
+        def misbehave() -> None:
+            victim.time = -10.0  # sabotage the heaped event
+
+        loop.schedule(1.0, misbehave)
+        with pytest.raises(SimulationError, match="clock went backwards"):
+            loop.run()
+
+    def test_permissive_loop_silently_time_warps(self):
+        # The bug strict mode exists to catch: without it the clock
+        # jumps backwards and nothing complains.
+        loop = EventLoop()
+        victim = loop.schedule(5.0, lambda: None)
+        observed = []
+        victim.callback = lambda: observed.append(loop.now)
+
+        def misbehave() -> None:
+            victim.time = 0.5
+
+        loop.schedule(1.0, misbehave)
+        loop.run()
+        assert observed == [0.5]  # ran "before" the event at t=1.0
+
+    def test_heap_order_violation_detected(self):
+        loop = EventLoop(strict=True)
+        first = loop.schedule(1.0, lambda: None)
+        loop.schedule(2.0, lambda: None)
+
+        def corrupt() -> None:
+            # Shrink a *non-head* event's key after it was heaped: the
+            # heap yields it late, out of total order.
+            first.time = 10.0
+            first.seq = -1
+
+        loop.schedule(0.5, corrupt)
+        with pytest.raises(SimulationError, match="heap order|clock went"):
+            loop.run()
+
+    def test_nan_delay_rejected_in_strict(self):
+        loop = EventLoop(strict=True)
+        with pytest.raises(SimulationError, match="non-finite"):
+            loop.schedule(float("nan"), lambda: None)
+
+    def test_inf_delay_rejected_in_strict(self):
+        loop = EventLoop(strict=True)
+        with pytest.raises(SimulationError, match="non-finite"):
+            loop.schedule(float("inf"), lambda: None)
+
+    def test_nan_slips_past_permissive_guard(self):
+        # NaN compares false to 0, so the permissive loop accepts it —
+        # exactly why strict mode checks finiteness.
+        loop = EventLoop()
+        loop.schedule(float("nan"), lambda: None)
+        assert loop.pending_count() == 1
+
+    def test_strict_run_step_checks_dispatch(self):
+        loop = EventLoop(strict=True)
+        victim = loop.schedule(5.0, lambda: None)
+        loop.schedule(1.0, lambda: setattr(victim, "time", -1.0))
+        assert loop.run_step() is True
+        with pytest.raises(SimulationError):
+            loop.run_step()
+
+    def test_well_behaved_run_unaffected_by_strict(self):
+        fired = []
+        loop = EventLoop(strict=True)
+        for delay in (3.0, 1.0, 2.0, 1.0, 0.0):
+            loop.schedule(delay, lambda: fired.append(loop.now))
+        loop.run()
+        assert fired == sorted(fired)
+        assert len(fired) == 5
