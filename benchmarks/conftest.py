@@ -5,6 +5,11 @@ The study is simulated once per pytest session (scale configurable via
 couple of minutes).  Each benchmark then times its figure's analysis
 over that dataset and asserts the paper's qualitative shape.
 
+``--quick`` shrinks the study to ``QUICK_SCALE`` and caps
+pytest-benchmark at one round — the CI smoke mode: it checks that the
+benchmarks run and that their qualitative assertions hold, without
+producing publishable timings.
+
 At partial scale the assertions are deliberately loose: run
 ``python -m repro.experiments.runner --scale 1.0`` for the full
 reproduction recorded in EXPERIMENTS.md.
@@ -21,7 +26,35 @@ from repro.experiments.base import ExperimentContext, make_context
 BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.15"))
 BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "2001"))
 
+#: The ``--quick`` study scale: ~60 playbacks, well under a minute.
+QUICK_SCALE = 0.05
+
+
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--quick",
+        action="store_true",
+        default=False,
+        help=(
+            "smoke mode: simulate the shared study at scale "
+            f"{QUICK_SCALE} and run each benchmark for a single round"
+        ),
+    )
+
+
+def pytest_configure(config: pytest.Config) -> None:
+    if config.getoption("--quick", default=False):
+        # One round, no warmup: assert correctness, skip the timing
+        # statistics (pytest-benchmark reads these at fixture time).
+        config.option.benchmark_min_rounds = 1
+        config.option.benchmark_warmup = False
+
 
 @pytest.fixture(scope="session")
-def ctx() -> ExperimentContext:
-    return make_context(seed=BENCH_SEED, scale=BENCH_SCALE)
+def ctx(request: pytest.FixtureRequest) -> ExperimentContext:
+    scale = (
+        QUICK_SCALE
+        if request.config.getoption("--quick", default=False)
+        else BENCH_SCALE
+    )
+    return make_context(seed=BENCH_SEED, scale=scale)

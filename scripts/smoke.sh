@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
-# Tier-1 smoke: the full unit suite, a tiny parallel study through the
-# repro.runtime engine (2 workers, checkpointed), a strict-mode
-# validated study (every repro.validate invariant must hold) plus the
-# serial-vs-parallel oracle, and the corrupted-checkpoint resume
-# tests.  Run from the repo root:  bash scripts/smoke.sh
+# Tier-1 smoke: the full unit suite (golden-figure regression
+# included), a quick throughput benchmark, a tiny parallel study
+# through the repro.runtime engine (2 workers, checkpointed), a
+# strict-mode validated study (every repro.validate invariant must
+# hold) plus the serial-vs-parallel oracle, and the
+# corrupted-checkpoint resume tests.
+# Run from the repo root:  bash scripts/smoke.sh
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -11,6 +13,12 @@ export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
 echo "== tier-1 tests =="
 python -m pytest -x -q
+
+echo "== golden-figure regression =="
+python -m pytest -x -q tests/test_goldens.py
+
+echo "== quick throughput benchmark =="
+python -m pytest -x -q --quick benchmarks/test_bench_throughput.py
 
 echo "== parallel study smoke (2 workers) =="
 out="$(mktemp -d)"

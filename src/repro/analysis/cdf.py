@@ -1,8 +1,15 @@
-"""Cumulative density functions, the paper's workhorse plot."""
+"""Cumulative density functions, the paper's workhorse plot.
+
+The sample is held as a sorted ``numpy`` array and every lookup is a
+``searchsorted`` — figure modules evaluate thousands of grid points
+against thousands of samples, and the vectorized form beats per-point
+``bisect`` while staying bit-identical: ``searchsorted`` on doubles has
+exactly ``bisect_right``/``bisect_left``'s semantics, and the
+cumulative fractions remain the same rank-over-size divisions.
+"""
 
 from __future__ import annotations
 
-import bisect
 from typing import Iterable, Sequence
 
 import numpy as np
@@ -14,26 +21,34 @@ class Cdf:
     """An empirical CDF over a sample."""
 
     def __init__(self, values: Iterable[float]) -> None:
-        data = sorted(float(v) for v in values)
-        if not data:
+        if isinstance(values, np.ndarray):
+            # Column fast path (StudyDataset.column): no per-element
+            # Python float round-trip.
+            data = np.sort(values.astype(np.float64))
+        else:
+            data = np.sort(
+                np.asarray([float(v) for v in values], dtype=np.float64)
+            )
+        if data.size == 0:
             raise AnalysisError("cannot build a CDF from an empty sample")
-        self._values = data
+        self._array = data
+        self._n = int(data.size)
 
     def __len__(self) -> int:
-        return len(self._values)
+        return self._n
 
     @property
     def values(self) -> list[float]:
         """The sorted sample."""
-        return list(self._values)
+        return self._array.tolist()
 
     def at(self, x: float) -> float:
         """P(X <= x)."""
-        return bisect.bisect_right(self._values, x) / len(self._values)
+        return int(np.searchsorted(self._array, x, side="right")) / self._n
 
     def fraction_below(self, x: float) -> float:
         """P(X < x) — e.g. the fraction of clips under 3 fps."""
-        return bisect.bisect_left(self._values, x) / len(self._values)
+        return int(np.searchsorted(self._array, x, side="left")) / self._n
 
     def fraction_at_least(self, x: float) -> float:
         """P(X >= x) — e.g. the fraction of clips at 15+ fps."""
@@ -51,9 +66,7 @@ class Cdf:
         """
         if not 0.0 <= q <= 1.0:
             raise AnalysisError(f"quantile must be in [0, 1], got {q}")
-        return float(
-            np.quantile(np.asarray(self._values), q, method="inverted_cdf")
-        )
+        return float(np.quantile(self._array, q, method="inverted_cdf"))
 
     @property
     def median(self) -> float:
@@ -61,13 +74,17 @@ class Cdf:
 
     @property
     def mean(self) -> float:
-        return float(np.mean(np.asarray(self._values)))
+        return float(np.mean(self._array))
 
     def points(self) -> list[tuple[float, float]]:
         """The (value, cumulative fraction) step points of the CDF."""
-        n = len(self._values)
-        return [(v, (i + 1) / n) for i, v in enumerate(self._values)]
+        n = self._n
+        fractions = np.arange(1, n + 1, dtype=np.float64) / n
+        return list(zip(self._array.tolist(), fractions.tolist()))
 
     def series(self, xs: Sequence[float]) -> list[tuple[float, float]]:
         """Sample the CDF at the given x positions (for figure rows)."""
-        return [(float(x), self.at(float(x))) for x in xs]
+        grid = [float(x) for x in xs]
+        ranks = np.searchsorted(self._array, np.asarray(grid, dtype=np.float64),
+                                side="right")
+        return [(x, int(r) / self._n) for x, r in zip(grid, ranks)]

@@ -181,9 +181,18 @@ class RealTracer:
             loop.schedule(0.5, watch)
 
         loop.schedule(0.5, watch)
-        while not player.finished:
-            if not loop.run_step():
-                break
+        add_done = getattr(player, "add_done_callback", None)
+        if add_done is not None:
+            # The player tells the loop to stop the moment it finishes,
+            # so the run itself is the tight predicate-free dispatch
+            # loop (the hard-stop event bounds it even if the player
+            # never signals).
+            add_done(lambda _outcome: loop.stop())
+            loop.run()
+        else:
+            # MediaTracer extension point: a foreign player that only
+            # exposes ``finished`` is driven with an explicit predicate.
+            loop.run_while(lambda: not player.finished)
         hard_stop.cancel()
 
     def _blocked_record(

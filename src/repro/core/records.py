@@ -9,9 +9,11 @@ from __future__ import annotations
 
 import csv
 import io
-from dataclasses import asdict, dataclass, fields
+from dataclasses import dataclass, fields
 from pathlib import Path
 from typing import Callable, Iterable, Iterator
+
+import numpy as np
 
 
 @dataclass(frozen=True)
@@ -109,6 +111,8 @@ class StudyDataset:
 
     def __init__(self, records: Iterable[ClipRecord] = ()) -> None:
         self._records: list[ClipRecord] = list(records)
+        # Lazily-built numeric column cache (see :meth:`column`).
+        self._columns: dict[str, np.ndarray] = {}
 
     def __len__(self) -> int:
         return len(self._records)
@@ -121,9 +125,11 @@ class StudyDataset:
 
     def append(self, record: ClipRecord) -> None:
         self._records.append(record)
+        self._columns.clear()
 
     def extend(self, records: Iterable[ClipRecord]) -> None:
         self._records.extend(records)
+        self._columns.clear()
 
     @classmethod
     def merged_in_user_order(
@@ -180,8 +186,38 @@ class StudyDataset:
         without the Massachusetts users (Section IV)."""
         return self.filter(lambda r: r.user_state != state)
 
+    def column(self, attribute: str) -> np.ndarray:
+        """One numeric field as a cached ``numpy`` array.
+
+        The figure modules aggregate the same handful of columns over
+        and over (one CDF per grouping); materializing each column once
+        per dataset makes those aggregations array operations.  The
+        cache is invalidated by :meth:`append`/:meth:`extend`; filtered
+        views are separate datasets with their own caches.
+        """
+        cached = self._columns.get(attribute)
+        if cached is not None:
+            return cached
+        if attribute in _INT_FIELDS:
+            dtype: type = np.int64
+        elif attribute in _FLOAT_FIELDS:
+            dtype = np.float64
+        else:
+            raise KeyError(f"{attribute!r} is not a numeric ClipRecord field")
+        array = np.fromiter(
+            (getattr(r, attribute) for r in self._records),
+            dtype=dtype,
+            count=len(self._records),
+        )
+        self._columns[attribute] = array
+        return array
+
     def values(self, attribute: str) -> list:
         """Extract one column."""
+        if attribute in _INT_FIELDS or attribute in _FLOAT_FIELDS:
+            # ``tolist`` round-trips int64/float64 back to the exact
+            # Python ints/floats the per-record path would yield.
+            return self.column(attribute).tolist()
         return [getattr(r, attribute) for r in self._records]
 
     # -- persistence ----------------------------------------------------------
@@ -199,10 +235,14 @@ class StudyDataset:
 
     def _write_csv(self, handle) -> None:
         names = [f.name for f in fields(ClipRecord)]
-        writer = csv.DictWriter(handle, fieldnames=names)
-        writer.writeheader()
-        for record in self._records:
-            writer.writerow(asdict(record))
+        writer = csv.writer(handle)
+        writer.writerow(names)
+        # A plain getattr row per record: ``asdict`` deep-copies every
+        # field and dominates shard-checkpoint writes at study scale.
+        writer.writerows(
+            [getattr(record, name) for name in names]
+            for record in self._records
+        )
 
     @classmethod
     def from_csv(cls, path: str | Path) -> "StudyDataset":

@@ -45,12 +45,21 @@ def _clip_rng(clip: VideoClip) -> np.random.Generator:
 class FrameSource:
     """Emits the encoded frame sequence of one clip, level-aware."""
 
+    #: Per-frame size noise is drawn from the clip's private generator
+    #: in batches of this many: no other consumer shares the stream, so
+    #: batched and one-at-a-time draws are bit-identical (numpy
+    #: generators produce the same sequence either way) and the per-call
+    #: dispatch overhead is paid once per batch instead of per frame.
+    NOISE_BATCH = 128
+
     def __init__(self, clip: VideoClip) -> None:
         self.clip = clip
         self._rng = _clip_rng(clip)
         self._media_time = 0.0
         self._index = 0
         self._last_keyframe_at = -1e9
+        self._noise: np.ndarray = np.empty(0)
+        self._noise_next = 0
 
     @property
     def media_time(self) -> float:
@@ -91,7 +100,13 @@ class FrameSource:
         # Bytes-per-frame that keeps the level's video bit rate at the
         # *current* frame rate, with content-dependent noise.
         base_bytes = level.video_bps / 8.0 / fps
-        noise = float(self._rng.lognormal(mean=0.0, sigma=FRAME_SIZE_SIGMA))
+        if self._noise_next >= len(self._noise):
+            self._noise = self._rng.lognormal(
+                mean=0.0, sigma=FRAME_SIZE_SIGMA, size=self.NOISE_BATCH
+            )
+            self._noise_next = 0
+        noise = float(self._noise[self._noise_next])
+        self._noise_next += 1
         size = base_bytes * noise
         if is_key:
             size *= KEYFRAME_SIZE_FACTOR

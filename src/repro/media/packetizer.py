@@ -38,19 +38,40 @@ class Packetizer:
     def packetize(self, frame: Frame) -> list[MediaPacket]:
         """Fragment a frame into transport-sized media packets."""
         parts = self.parts_for(frame)
-        sizes = [self.mss_bytes] * (parts - 1)
-        remainder = frame.size - self.mss_bytes * (parts - 1)
-        sizes.append(remainder)
-        return [
+        index = frame.index
+        if parts == 1:
+            # The common case at sub-broadband rates: one fragment,
+            # no full-size run to build.
+            return [
+                MediaPacket(
+                    frame_index=index,
+                    part_index=0,
+                    parts_total=1,
+                    size=frame.size,
+                    frame=frame,
+                )
+            ]
+        mss = self.mss_bytes
+        packets = [
             MediaPacket(
-                frame_index=frame.index,
+                frame_index=index,
                 part_index=i,
                 parts_total=parts,
-                size=size,
+                size=mss,
                 frame=frame,
             )
-            for i, size in enumerate(sizes)
+            for i in range(parts - 1)
         ]
+        packets.append(
+            MediaPacket(
+                frame_index=index,
+                part_index=parts - 1,
+                parts_total=parts,
+                size=frame.size - mss * (parts - 1),
+                frame=frame,
+            )
+        )
+        return packets
 
     def fec_for(self, frame: Frame, count: int = 1) -> list[FecPacket]:
         """Parity packets for a frame (each repairs one lost fragment)."""

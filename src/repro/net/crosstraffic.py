@@ -18,7 +18,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.net.link import Link
-from repro.net.packet import Packet, PacketKind
+from repro.net.packet import acquire_cross
 from repro.sim.engine import EventLoop
 from repro.units import BITS_PER_BYTE
 
@@ -87,6 +87,16 @@ class CrossTrafficSource:
         self._in_burst = False
         self._burst_ends_at = 0.0
         self.packets_sent = 0
+        # Per-packet constants, hoisted off the emit path.  The mean
+        # inter-packet gap is the exact expression the emitter used to
+        # recompute per packet, so cached and fresh values are
+        # bit-identical.
+        self._packet_bytes = config.packet_bytes
+        self._mean_gap_s = (
+            config.packet_bytes * BITS_PER_BYTE / config.burst_rate_bps
+            if config.mean_rate_bps > 0
+            else 0.0
+        )
 
     def start(self) -> None:
         """Begin the on/off process (starts in a random phase)."""
@@ -117,23 +127,23 @@ class CrossTrafficSource:
             return
         self._in_burst = False
         idle = self._rng.exponential(self.config.mean_idle_s)
-        self._loop.schedule(idle, self._begin_burst)
+        self._loop.call_later(idle, self._begin_burst)
 
     def _emit(self) -> None:
         if not self._running or not self._in_burst:
             return
-        if self._loop.now >= self._burst_ends_at:
+        loop = self._loop
+        now = loop.now
+        if now >= self._burst_ends_at:
             self._schedule_next_burst()
             return
-        packet = Packet(
-            kind=PacketKind.CROSS,
-            size=self.config.packet_bytes,
-            flow_id=CROSS_FLOW_ID,
-            created_at=self._loop.now,
+        # CROSS packets terminate inside the path, which releases them
+        # back to the pool — steady state allocates nothing here.  The
+        # gap draw stays one-per-packet: the generator is shared with
+        # the links' loss draws, so batching would reorder the stream
+        # and change every figure downstream.
+        self._link.send(
+            acquire_cross(self._packet_bytes, CROSS_FLOW_ID, now)
         )
-        self._link.send(packet)
         self.packets_sent += 1
-        mean_gap = (
-            self.config.packet_bytes * BITS_PER_BYTE / self.config.burst_rate_bps
-        )
-        self._loop.schedule(self._rng.exponential(mean_gap), self._emit)
+        loop.call_later(self._rng.exponential(self._mean_gap_s), self._emit)

@@ -6,10 +6,24 @@ to the downstream receiver after a propagation delay.  Congestive loss
 emerges from the queue filling up, not from a configured probability —
 that is what makes TCP's AIMD and RealServer's adaptation behave
 realistically on top.
+
+Hot-path notes: a link forwards tens of thousands of packets per
+playback, so the data plane avoids per-packet closures and repeated
+config lookups.  Only one packet serializes at a time (``_serializing``
+slot) and propagation preserves FIFO order (every packet on a link has
+the same propagation delay and the event loop is FIFO at equal times),
+so both completion callbacks are permanent bound methods draining
+single-owner buffers instead of fresh lambdas per packet.  Idle
+drop-tail links bypass the queue entirely — the counters are updated
+as if the packet passed through, keeping the conservation invariants
+``offers == enqueued + drops`` and ``enqueued == popped + len`` exact.
+The bypass is disabled for any other queue discipline (RED's average
+depends on observing every arrival).
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Protocol
 
@@ -19,7 +33,7 @@ from repro.errors import SimulationError
 from repro.net.packet import Packet
 from repro.net.queues import DropTailQueue
 from repro.sim.engine import PRIORITY_HIGH, EventLoop
-from repro.units import transmission_time
+from repro.units import BITS_PER_BYTE
 
 
 class PacketQueue(Protocol):
@@ -98,6 +112,25 @@ class LinkStats:
 class Link:
     """A finite-rate, finite-buffer, lossy link feeding a receiver."""
 
+    __slots__ = (
+        "_loop",
+        "config",
+        "_rng",
+        "_queue",
+        "_receiver",
+        "_busy",
+        "stats",
+        "_rate_bps",
+        "_propagation_s",
+        "_random_loss",
+        "_bypass_ok",
+        "_serializing",
+        "_in_flight",
+        "_lossless",
+        "_wire_free_at",
+        "_wake_pending",
+    )
+
     def __init__(
         self,
         loop: EventLoop,
@@ -114,6 +147,26 @@ class Link:
         self._receiver: Callable[[Packet], None] | None = None
         self._busy = False
         self.stats = LinkStats()
+        # Per-hop constants, cached off the config dataclass: the data
+        # plane reads them once per packet.
+        self._rate_bps = config.rate_bps
+        self._propagation_s = config.propagation_s
+        self._random_loss = config.random_loss
+        # The idle bypass is only sound for the exact drop-tail queue:
+        # its accept decision is stateless, so skipping offer()/pop()
+        # while updating the counters is observationally identical.
+        self._bypass_ok = type(self._queue) is DropTailQueue
+        self._serializing: Packet | None = None
+        self._in_flight: deque[Packet] = deque()
+        # A link with no random loss never consumes the rng on its data
+        # plane, so serialization-finish and delivery collapse into one
+        # absolute-time event per packet (half the heap traffic).  Lossy
+        # links must keep the two-event scheme: the loss draw happens at
+        # the instant the last bit leaves, and moving it would reorder
+        # the shared rng stream.
+        self._lossless = config.random_loss == 0.0
+        self._wire_free_at = 0.0
+        self._wake_pending = False
 
     def connect(self, receiver: Callable[[Packet], None]) -> None:
         """Attach the downstream receiver (next link or endpoint)."""
@@ -133,54 +186,141 @@ class Link:
         """Offer a packet to the link."""
         if self._receiver is None:
             raise SimulationError(f"link {self.config.name!r} has no receiver")
-        self.stats.offered += 1
-        self.stats.offered_bytes += packet.wire_size
-        if not self._queue.offer(packet):
-            self.stats.queue_drops += 1
-            self.stats.queue_dropped_bytes += packet.wire_size
+        stats = self.stats
+        stats.offered += 1
+        stats.offered_bytes += packet.wire_size
+        queue = self._queue
+        if self._lossless:
+            now = self._loop.now
+            if now >= self._wire_free_at and not self._wake_pending:
+                # Wire idle — and no wake event racing us at this exact
+                # instant (an arrival at precisely the wire-free time
+                # must queue behind the packet the pending wake will
+                # serve, as the two-event scheme did).
+                if self._bypass_ok and queue.is_empty:
+                    # Idle link: the packet would be enqueued and
+                    # immediately popped; account for both and
+                    # serialize directly.
+                    queue.offers += 1
+                    queue.enqueued += 1
+                    queue.popped += 1
+                    self._begin_lossless(packet, now)
+                    return
+                # Idle link behind a discipline that must observe every
+                # arrival (RED): offer, then serve the head at once.
+                if not queue.offer(packet):
+                    stats.queue_drops += 1
+                    stats.queue_dropped_bytes += packet.wire_size
+                    return
+                self._begin_lossless(queue.pop(), now)
+                return
+            if not queue.offer(packet):
+                stats.queue_drops += 1
+                stats.queue_dropped_bytes += packet.wire_size
+                return
+            if not self._wake_pending:
+                self._wake_pending = True
+                self._loop.call_at(self._wire_free_at, self._wake)
+            return
+        if not self._busy and self._bypass_ok and queue.is_empty:
+            # Idle link: the packet would be enqueued and immediately
+            # popped; account for both and serialize directly.
+            queue.offers += 1
+            queue.enqueued += 1
+            queue.popped += 1
+            self._busy = True
+            self._begin_service(packet)
+            return
+        if not queue.offer(packet):
+            stats.queue_drops += 1
+            stats.queue_dropped_bytes += packet.wire_size
             return
         if not self._busy:
             self._service_next()
+
+    def _begin_lossless(self, packet: Packet, now: float) -> None:
+        """Serve a packet on a loss-free link: one event does it all.
+
+        The delivery instant ``(now + serialization) + propagation`` is
+        heaped as an absolute time, bit-identical to the sum the
+        two-event scheme accumulates across its hops.
+        """
+        stats = self.stats
+        wire_size = packet.wire_size
+        stats.in_transit += 1
+        stats.in_transit_bytes += wire_size
+        serialization = wire_size * BITS_PER_BYTE / self._rate_bps
+        stats.busy_time += serialization
+        tx_done = now + serialization
+        self._wire_free_at = tx_done
+        self._in_flight.append(packet)
+        self._loop.call_at(
+            tx_done + self._propagation_s, self._deliver, PRIORITY_HIGH
+        )
+
+    def _wake(self) -> None:
+        """The wire came free with packets waiting: serve the head."""
+        self._wake_pending = False
+        queue = self._queue
+        if queue.is_empty:
+            return
+        self._begin_lossless(queue.pop(), self._loop.now)
+        if not queue.is_empty:
+            self._wake_pending = True
+            self._loop.call_at(self._wire_free_at, self._wake)
 
     def _service_next(self) -> None:
         if self._queue.is_empty:
             self._busy = False
             return
         self._busy = True
-        packet = self._queue.pop()
-        self.stats.in_transit += 1
-        self.stats.in_transit_bytes += packet.wire_size
-        serialization = transmission_time(packet.wire_size, self.config.rate_bps)
-        self.stats.busy_time += serialization
-        self._loop.schedule(
-            serialization, lambda p=packet: self._finish_serialization(p)
-        )
+        self._begin_service(self._queue.pop())
 
-    def _finish_serialization(self, packet: Packet) -> None:
-        # The wire is free again as soon as the last bit leaves.
-        self._service_next()
-        if self.config.random_loss > 0 and self._rng.random() < self.config.random_loss:
-            self.stats.random_drops += 1
-            self.stats.random_dropped_bytes += packet.wire_size
-            self.stats.in_transit -= 1
-            self.stats.in_transit_bytes -= packet.wire_size
+    def _begin_service(self, packet: Packet) -> None:
+        stats = self.stats
+        wire_size = packet.wire_size
+        stats.in_transit += 1
+        stats.in_transit_bytes += wire_size
+        serialization = wire_size * BITS_PER_BYTE / self._rate_bps
+        stats.busy_time += serialization
+        self._serializing = packet
+        self._loop.call_later(serialization, self._finish_serialization)
+
+    def _finish_serialization(self) -> None:
+        packet = self._serializing
+        # The wire is free again as soon as the last bit leaves
+        # (_service_next, inlined: this runs once per packet per hop).
+        queue = self._queue
+        if queue.is_empty:
+            self._busy = False
+        else:
+            self._begin_service(queue.pop())
+        if self._random_loss > 0 and self._rng.random() < self._random_loss:
+            stats = self.stats
+            stats.random_drops += 1
+            stats.random_dropped_bytes += packet.wire_size
+            stats.in_transit -= 1
+            stats.in_transit_bytes -= packet.wire_size
             return
-        self._loop.schedule(
-            self.config.propagation_s,
-            lambda p=packet: self._deliver(p),
-            priority=PRIORITY_HIGH,
+        self._in_flight.append(packet)
+        self._loop.call_later(
+            self._propagation_s, self._deliver, PRIORITY_HIGH
         )
 
-    def _deliver(self, packet: Packet) -> None:
+    def _deliver(self) -> None:
+        packet = self._in_flight.popleft()
         packet.hops += 1
-        self.stats.delivered += 1
-        self.stats.delivered_bytes += packet.wire_size
-        self.stats.in_transit -= 1
-        self.stats.in_transit_bytes -= packet.wire_size
-        kind_counts = self.stats.delivered_by_kind
-        kind_counts[packet.kind] = kind_counts.get(packet.kind, 0) + 1
-        assert self._receiver is not None
-        self._receiver(packet)
+        stats = self.stats
+        stats.delivered += 1
+        stats.delivered_bytes += packet.wire_size
+        stats.in_transit -= 1
+        stats.in_transit_bytes -= packet.wire_size
+        kind_counts = stats.delivered_by_kind
+        kind = packet.kind
+        kind_counts[kind] = kind_counts.get(kind, 0) + 1
+        receiver = self._receiver
+        assert receiver is not None
+        receiver(packet)
 
     def utilization(self, elapsed: float) -> float:
         """Fraction of ``elapsed`` seconds the link spent serializing."""

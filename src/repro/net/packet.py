@@ -4,7 +4,6 @@ from __future__ import annotations
 
 import enum
 import itertools
-from dataclasses import dataclass, field
 from typing import Any
 
 
@@ -17,6 +16,12 @@ class PacketKind(enum.Enum):
     FEC = "fec"  # RealVideo error-correction packet
     CROSS = "cross"  # competing background traffic
 
+    # Members are singletons, so identity hashing is correct — and it
+    # replaces enum's Python-level ``__hash__`` with the C slot on the
+    # per-delivery counter dictionaries.  Dicts keyed by kind stay
+    # insertion-ordered, so nothing downstream observes the hash.
+    __hash__ = object.__hash__
+
 
 _packet_ids = itertools.count()
 
@@ -25,40 +30,119 @@ _packet_ids = itertools.count()
 HEADER_BYTES = 40
 
 
-@dataclass(slots=True)
 class Packet:
     """A simulated packet.
 
     ``size`` is the payload size in bytes; :attr:`wire_size` adds
-    headers and is what links charge for serialization.
+    headers and is what links charge for serialization.  ``wire_size``
+    is precomputed at construction: links read it several times per hop
+    and packets never change size once built.
 
-    Declared with ``slots``: packets are the simulation's hottest
-    allocation (tens of thousands per playback).
+    A hand-written ``__slots__`` class rather than a dataclass: packets
+    are the simulation's hottest allocation (tens of thousands per
+    playback) and the dataclass ``__init__``/``__post_init__``/
+    ``default_factory`` machinery was measurable.
     """
 
-    kind: PacketKind
-    size: int
-    flow_id: int
-    seq: int = 0
-    payload: Any = None
-    created_at: float = 0.0
-    uid: int = field(default_factory=lambda: next(_packet_ids))
-    #: Set by links: cumulative one-way delay experienced so far.
-    accumulated_delay: float = 0.0
-    #: Number of link hops traversed, for diagnostics.
-    hops: int = 0
+    __slots__ = (
+        "kind",
+        "size",
+        "flow_id",
+        "seq",
+        "payload",
+        "created_at",
+        "uid",
+        "accumulated_delay",
+        "hops",
+        "wire_size",
+    )
 
-    def __post_init__(self) -> None:
-        if self.size < 0:
-            raise ValueError(f"packet size must be non-negative, got {self.size}")
+    def __init__(
+        self,
+        kind: PacketKind,
+        size: int,
+        flow_id: int,
+        seq: int = 0,
+        payload: Any = None,
+        created_at: float = 0.0,
+    ) -> None:
+        if size < 0:
+            raise ValueError(f"packet size must be non-negative, got {size}")
+        self.kind = kind
+        self.size = size
+        self.flow_id = flow_id
+        self.seq = seq
+        self.payload = payload
+        self.created_at = created_at
+        self.uid = next(_packet_ids)
+        #: Set by links: cumulative one-way delay experienced so far.
+        self.accumulated_delay = 0.0
+        #: Number of link hops traversed, for diagnostics.
+        self.hops = 0
+        #: Bytes on the wire: payload plus protocol headers.
+        self.wire_size = size + HEADER_BYTES
 
-    @property
-    def wire_size(self) -> int:
-        """Bytes on the wire: payload plus protocol headers."""
-        return self.size + HEADER_BYTES
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Packet):
+            return NotImplemented
+        return (
+            self.kind is other.kind
+            and self.size == other.size
+            and self.flow_id == other.flow_id
+            and self.seq == other.seq
+            and self.payload == other.payload
+            and self.created_at == other.created_at
+            and self.uid == other.uid
+            and self.accumulated_delay == other.accumulated_delay
+            and self.hops == other.hops
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"Packet({self.kind.value}, flow={self.flow_id}, seq={self.seq}, "
             f"size={self.size})"
         )
+
+
+# ---------------------------------------------------------------------------
+# Cross-traffic packet free list
+# ---------------------------------------------------------------------------
+#
+# CROSS packets have a closed life cycle: created only by
+# CrossTrafficSource, terminated only at the path's two drop points
+# (they never reach an endpoint, a transport, or the player).  That
+# makes them the one packet population safe to pool: the path releases
+# each survivor as it exits, and the source reuses it for a later
+# burst.  Packets lost inside a queue simply fall out of the pool.
+
+_CROSS_POOL: list[Packet] = []
+_CROSS_POOL_MAX = 512
+
+
+def acquire_cross(size: int, flow_id: int, created_at: float) -> Packet:
+    """A CROSS packet, recycled from the pool when one is available."""
+    pool = _CROSS_POOL
+    if pool:
+        packet = pool.pop()
+        packet.size = size
+        packet.flow_id = flow_id
+        packet.seq = 0
+        packet.payload = None
+        packet.created_at = created_at
+        packet.uid = next(_packet_ids)
+        packet.accumulated_delay = 0.0
+        packet.hops = 0
+        packet.wire_size = size + HEADER_BYTES
+        return packet
+    return Packet(
+        kind=PacketKind.CROSS,
+        size=size,
+        flow_id=flow_id,
+        created_at=created_at,
+    )
+
+
+def release_cross(packet: Packet) -> None:
+    """Return a terminated CROSS packet to the pool (bounded)."""
+    if packet.kind is PacketKind.CROSS and len(_CROSS_POOL) < _CROSS_POOL_MAX:
+        _CROSS_POOL.append(packet)

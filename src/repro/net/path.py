@@ -21,7 +21,7 @@ import numpy as np
 
 from repro.net.crosstraffic import CrossTrafficConfig, CrossTrafficSource
 from repro.net.link import Link, LinkConfig
-from repro.net.packet import HEADER_BYTES, Packet, PacketKind
+from repro.net.packet import HEADER_BYTES, Packet, PacketKind, release_cross
 from repro.net.queues import REDQueue
 from repro.sim.engine import EventLoop
 from repro.transport.base import MSS_BYTES
@@ -290,6 +290,7 @@ class NetworkPath:
             # exits toward other destinations and never loads the
             # client's access link.
             self.stats.dropped_cross_packets += 1
+            release_cross(packet)
             return
         self._access_down.send(packet)
 
@@ -298,6 +299,7 @@ class NetworkPath:
             # Access-link cross traffic (LAN coworkers) terminates at
             # the LAN, not at the player.
             self.stats.dropped_cross_packets += 1
+            release_cross(packet)
             return
         self.stats.to_client_packets += 1
         self.stats.to_client_bytes += packet.wire_size

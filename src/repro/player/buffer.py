@@ -72,7 +72,17 @@ class Reassembler:
         return entry
 
     def _on_media_packet(self, packet: MediaPacket) -> None:
-        entry = self._entry_for(packet.frame, packet.parts_total)
+        frame = packet.frame
+        if packet.parts_total == 1 and frame.index not in self._partial:
+            # Single-fragment frame with no FEC-created entry: complete
+            # on arrival, no _PartialFrame bookkeeping needed.
+            if frame.index in self._done:
+                return
+            self._done.add(frame.index)
+            self.frames_completed += 1
+            self._on_frame(frame)
+            return
+        entry = self._entry_for(frame, packet.parts_total)
         if entry is None:
             return
         entry.parts_received.add(packet.part_index)

@@ -228,17 +228,25 @@ class PlayoutEngine:
         if self.state is not PlaybackState.PLAYING:
             return
         now = self._loop.now
+        anchor = self._anchor
+        assert anchor is not None
+        buffer = self.buffer
+        admit = self._decoder.admit
+        frame_times = self._stats.frame_times
+        horizon = now + 1e-9
         displayed_any = False
+        coded = None
         while True:
-            head = self.buffer.peek()
-            if head is None:
+            head = buffer.peek()
+            if head is None or anchor + head.media_time > horizon:
                 break
-            if self._display_time_of(head) > now + 1e-9:
-                break
-            frame = self.buffer.pop()
-            stream_bps, encoded_fps = self._coded_info()
-            if self._decoder.admit(frame, stream_bps, encoded_fps):
-                self._stats.frame_times.append(now)
+            frame = buffer.pop()
+            if coded is None:
+                # The served level cannot change inside one dispatch,
+                # so one lookup covers every frame displayed this tick.
+                coded = self._coded_info()
+            if admit(frame, coded[0], coded[1]):
+                frame_times.append(now)
                 displayed_any = True
         if displayed_any and self._on_media_advance is not None:
             self._on_media_advance(self.current_media_time())

@@ -157,6 +157,31 @@ class RealPlayer:
             )
         )
 
+    def add_done_callback(
+        self, callback: Callable[[PlaybackOutcome], None]
+    ) -> None:
+        """Invoke ``callback(outcome)`` when playback finishes.
+
+        Runs after any constructor-supplied ``on_done``; if playback
+        already finished, the callback fires immediately (future-style
+        semantics, so drivers can attach it without racing the control
+        exchange).
+        """
+        if self._done:
+            assert self.outcome is not None
+            callback(self.outcome)
+            return
+        prev = self._on_done
+        if prev is None:
+            self._on_done = callback
+        else:
+
+            def chained(outcome: PlaybackOutcome) -> None:
+                prev(outcome)
+                callback(outcome)
+
+            self._on_done = chained
+
     def _finish(self, outcome: PlaybackOutcome) -> None:
         if self._done:
             return

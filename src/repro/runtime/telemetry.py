@@ -209,6 +209,14 @@ class RunTelemetry:
                     "plays": s.plays,
                     "records": s.records,
                     "elapsed_s": round(s.elapsed_s, 3),
+                    # Per-shard simulation throughput: the number the
+                    # benchmark suite optimizes, surfaced per worker so
+                    # a slow shard is visible in the run record.
+                    "plays_per_second": (
+                        round(s.done_plays / s.elapsed_s, 3)
+                        if s.elapsed_s > 0.0
+                        else 0.0
+                    ),
                     "attempts": s.attempts,
                     **({"error": s.error} if s.error else {}),
                 }

@@ -177,10 +177,12 @@ class StreamingSession:
         self.udp: UdpFlow | None = None
         if protocol is Protocol.TCP:
             self.tcp = TcpConnection(loop, path)
+            self._data_send: Callable[[object, int], None] = self.tcp.send
         else:
             self.udp = UdpFlow(loop, path)
             self.udp.on_report = self._on_udp_report
             self._apply_retransmit_budget()
+            self._data_send = self.udp.send
 
     # -- public API -------------------------------------------------------
 
@@ -266,35 +268,39 @@ class StreamingSession:
                 return
 
         target = self._target_media(elapsed)
-        while (
-            not self._source.exhausted()
-            and self._source.media_time <= target
-        ):
+        source = self._source
+        tcp = self.tcp
+        while not source.exhausted() and source.media_time <= target:
             self._send_frame()
-            if self.tcp is not None:
+            if tcp is not None:
                 backlog_limit = (
                     self.config.tcp_backlog_down_s
                     * self.level.total_bps
                     / 8.0
                 )
-                if self.tcp.backlog_bytes > backlog_limit:
+                if tcp.backlog_bytes > backlog_limit:
                     break
 
-        if self._source.exhausted():
+        if source.exhausted():
             self._finish()
             return
 
         # Sleep until the target curve reaches the next frame.
-        next_wall = self._wall_for_media(self._source.media_time)
-        delay = max(1e-3, next_wall - elapsed)
+        next_wall = self._wall_for_media(source.media_time)
+        delay = next_wall - elapsed
+        if delay < 1e-3:
+            delay = 1e-3
         self._pacing_event = self._loop.schedule(delay, self._pace)
 
     def _send_frame(self) -> None:
         frame = self._source.next_frame(self.level)
-        self.stats.frames_sent += 1
-        for media_packet in self._packetizer.packetize(frame):
-            self._send_data(media_packet, media_packet.size)
-            self.stats.media_packets_sent += 1
+        stats = self.stats
+        stats.frames_sent += 1
+        send = self._send_data
+        packets = self._packetizer.packetize(frame)
+        for media_packet in packets:
+            send(media_packet, media_packet.size)
+        stats.media_packets_sent += len(packets)
         # FEC protects key frames only: parity on every frame would
         # double the load on exactly the paths that are already
         # dropping packets; NAK retransmission repairs delta frames.
@@ -324,11 +330,7 @@ class StreamingSession:
 
     def _send_data(self, payload: object, size: int) -> None:
         self.stats.bytes_sent += size
-        if self.tcp is not None:
-            self.tcp.send(payload, size)
-        else:
-            assert self.udp is not None
-            self.udp.send(payload, size)
+        self._data_send(payload, size)
 
     def _finish(self) -> None:
         self._finished = True

@@ -8,6 +8,16 @@ Design notes
   arrival should be processed before a sampling timer reads state);
   sequence number preserves FIFO order among equal-priority events and
   makes the heap ordering total (callbacks are never compared).
+* An :class:`Event` *is* its heap entry: a five-slot ``list`` subclass
+  ``[time, priority, seq, callback, cancelled]``.  Heap comparisons are
+  plain C-level list comparisons — no Python ``__lt__`` frames on the
+  hottest path in the simulator — while the named fields stay mutable
+  through properties, so a misbehaving callback that rewrites a heaped
+  event's time is still visible to (and caught by) strict mode.
+* :meth:`EventLoop.call_later` is the fire-and-forget fast path used by
+  per-packet machinery (links, cross traffic): it pushes a bare list
+  entry without constructing an :class:`Event` handle.  Bare entries
+  and Events compare interchangeably on the heap.
 * Cancellation is lazy: a cancelled event stays on the heap but is
   skipped when popped.  This keeps :meth:`EventLoop.schedule` and
   :meth:`Event.cancel` O(log n) / O(1).
@@ -20,6 +30,8 @@ Design notes
   event's fields — or float drift that sneaks a NaN past the
   ``delay < 0`` guard — trips a :class:`~repro.errors.SimulationError`
   at the point of damage instead of silently time-warping the run.
+  The strict checks live entirely off the non-strict dispatch loop:
+  a permissive run pays nothing for them.
 """
 
 from __future__ import annotations
@@ -41,11 +53,22 @@ PRIORITY_HIGH = 0
 #: the same instant have produced (e.g. statistics samplers).
 PRIORITY_LOW = 20
 
+# Heap-entry slot indices (shared by Event and bare call_later entries).
+_TIME = 0
+_PRIORITY = 1
+_SEQ = 2
+_CALLBACK = 3
+_CANCELLED = 4
 
-class Event:
-    """A scheduled callback.  Returned by :meth:`EventLoop.schedule`."""
 
-    __slots__ = ("time", "priority", "seq", "callback", "cancelled")
+class Event(list):
+    """A scheduled callback.  Returned by :meth:`EventLoop.schedule`.
+
+    The event is its own heap entry (see module notes); the named
+    fields are views onto the entry's slots.
+    """
+
+    __slots__ = ()
 
     def __init__(
         self,
@@ -54,36 +77,62 @@ class Event:
         seq: int,
         callback: Callable[[], None],
     ) -> None:
-        self.time = time
-        self.priority = priority
-        self.seq = seq
-        self.callback = callback
-        self.cancelled = False
+        super().__init__((time, priority, seq, callback, False))
+
+    @property
+    def time(self) -> float:
+        return self[_TIME]
+
+    @time.setter
+    def time(self, value: float) -> None:
+        self[_TIME] = value
+
+    @property
+    def priority(self) -> int:
+        return self[_PRIORITY]
+
+    @priority.setter
+    def priority(self, value: int) -> None:
+        self[_PRIORITY] = value
+
+    @property
+    def seq(self) -> int:
+        return self[_SEQ]
+
+    @seq.setter
+    def seq(self, value: int) -> None:
+        self[_SEQ] = value
+
+    @property
+    def callback(self) -> Callable[[], None]:
+        return self[_CALLBACK]
+
+    @callback.setter
+    def callback(self, value: Callable[[], None]) -> None:
+        self[_CALLBACK] = value
+
+    @property
+    def cancelled(self) -> bool:
+        return self[_CANCELLED]
 
     def cancel(self) -> None:
         """Prevent the callback from running.  Safe to call repeatedly."""
-        self.cancelled = True
-
-    def __lt__(self, other: "Event") -> bool:
-        return (self.time, self.priority, self.seq) < (
-            other.time,
-            other.priority,
-            other.seq,
-        )
+        self[_CANCELLED] = True
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        state = "cancelled" if self.cancelled else "pending"
-        return f"Event(t={self.time:.6f}, prio={self.priority}, {state})"
+        state = "cancelled" if self[_CANCELLED] else "pending"
+        return f"Event(t={self[_TIME]:.6f}, prio={self[_PRIORITY]}, {state})"
 
 
 class EventLoop:
     """A single-threaded discrete-event loop with a simulated clock."""
 
     def __init__(self, strict: bool = False) -> None:
-        self._heap: list[Event] = []
+        self._heap: list[list] = []
         self._now = 0.0
         self._seq = 0
         self._running = False
+        self._stopped = False
         self.strict = strict
         self._last_key: tuple[float, int, int] | None = None
 
@@ -91,6 +140,23 @@ class EventLoop:
     def now(self) -> float:
         """Current simulated time in seconds."""
         return self._now
+
+    @property
+    def stopped(self) -> bool:
+        """True once :meth:`stop` has been called."""
+        return self._stopped
+
+    def stop(self) -> None:
+        """Stop dispatching after the current callback returns.
+
+        The flag is permanent for this loop: a driver that wires a
+        completion callback to ``stop`` (the tracer does) can then use
+        plain :meth:`run` without paying for a per-event predicate, and
+        background processes that keep the heap populated forever
+        (cross traffic) cannot keep the loop alive past the stop.
+        Calling it before :meth:`run` makes the run return immediately.
+        """
+        self._stopped = True
 
     def schedule(
         self,
@@ -110,6 +176,53 @@ class EventLoop:
         heapq.heappush(self._heap, event)
         return event
 
+    def call_later(
+        self,
+        delay: float,
+        callback: Callable[[], None],
+        priority: int = PRIORITY_NORMAL,
+    ) -> None:
+        """Schedule ``callback`` without returning a cancellation handle.
+
+        The fire-and-forget twin of :meth:`schedule` for the per-packet
+        hot path: it heaps a bare entry instead of constructing an
+        :class:`Event`, which measurably matters at tens of thousands
+        of packet events per playback.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past: delay={delay}")
+        if self.strict and not math.isfinite(delay):
+            raise SimulationError(f"non-finite delay: {delay}")
+        heapq.heappush(
+            self._heap, [self._now + delay, priority, self._seq, callback, False]
+        )
+        self._seq += 1
+
+    def call_at(
+        self,
+        time: float,
+        callback: Callable[[], None],
+        priority: int = PRIORITY_NORMAL,
+    ) -> None:
+        """Fire-and-forget scheduling at an *absolute* simulated time.
+
+        The absolute form matters for reproducibility: a caller that
+        knows the exact instant an effect lands (a link that computed
+        ``t + serialization + propagation``) must heap that float
+        verbatim — round-tripping it through a relative delay
+        (``time - now`` then ``now + delay``) can change the low bits.
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule into the past: time={time} < now={self._now}"
+            )
+        if self.strict and not math.isfinite(time):
+            raise SimulationError(f"non-finite time: {time}")
+        heapq.heappush(
+            self._heap, [time, priority, self._seq, callback, False]
+        )
+        self._seq += 1
+
     def schedule_at(
         self,
         time: float,
@@ -123,16 +236,17 @@ class EventLoop:
             )
         return self.schedule(time - self._now, callback, priority)
 
-    def _check_dispatch(self, event: Event) -> None:
+    def _check_dispatch(self, entry: list) -> None:
         """Strict-mode dispatch assertions (clock and heap order)."""
-        if not math.isfinite(event.time):
-            raise SimulationError(f"dispatching non-finite event time: {event!r}")
-        if event.time < self._now:
+        time = entry[_TIME]
+        if not math.isfinite(time):
+            raise SimulationError(f"dispatching non-finite event time: {entry!r}")
+        if time < self._now:
             raise SimulationError(
-                f"clock went backwards: event at t={event.time} "
+                f"clock went backwards: event at t={time} "
                 f"dispatched with now={self._now}"
             )
-        key = (event.time, event.priority, event.seq)
+        key = (time, entry[_PRIORITY], entry[_SEQ])
         if self._last_key is not None and key < self._last_key:
             raise SimulationError(
                 f"heap order violated: {key} dispatched after {self._last_key}"
@@ -149,40 +263,81 @@ class EventLoop:
         if self._running:
             raise SimulationError("event loop is already running")
         self._running = True
+        heap = self._heap
+        pop = heapq.heappop
         try:
-            while self._heap:
-                event = self._heap[0]
-                if event.cancelled:
-                    heapq.heappop(self._heap)
+            if until is None and not self.strict:
+                # The common case: nothing to compare against, nothing
+                # to verify — the tightest possible dispatch loop.
+                while heap and not self._stopped:
+                    entry = pop(heap)
+                    if entry[_CANCELLED]:
+                        continue
+                    self._now = entry[_TIME]
+                    entry[_CALLBACK]()
+                return
+            strict = self.strict
+            while heap and not self._stopped:
+                entry = heap[0]
+                if entry[_CANCELLED]:
+                    pop(heap)
                     continue
-                if until is not None and event.time > until:
+                if until is not None and entry[_TIME] > until:
                     break
-                heapq.heappop(self._heap)
-                if self.strict:
-                    self._check_dispatch(event)
-                self._now = event.time
-                event.callback()
-            if until is not None and until > self._now:
+                pop(heap)
+                if strict:
+                    self._check_dispatch(entry)
+                self._now = entry[_TIME]
+                entry[_CALLBACK]()
+            if until is not None and not self._stopped and until > self._now:
                 self._now = until
+        finally:
+            self._running = False
+
+    def run_while(self, keep_going: Callable[[], bool]) -> None:
+        """Dispatch events while ``keep_going()`` is true.
+
+        The predicate is consulted before every dispatch, so a callback
+        that ends the simulated activity (a player finishing, say)
+        stops the loop even though background processes keep the heap
+        populated forever.  This is the driver's replacement for a
+        Python-level ``while: run_step()`` loop.
+        """
+        if self._running:
+            raise SimulationError("event loop is already running")
+        self._running = True
+        heap = self._heap
+        pop = heapq.heappop
+        strict = self.strict
+        try:
+            while heap and not self._stopped and keep_going():
+                entry = pop(heap)
+                if entry[_CANCELLED]:
+                    continue
+                if strict:
+                    self._check_dispatch(entry)
+                self._now = entry[_TIME]
+                entry[_CALLBACK]()
         finally:
             self._running = False
 
     def run_step(self) -> bool:
         """Run the single next pending event.  Returns False if none."""
-        while self._heap:
-            event = heapq.heappop(self._heap)
-            if event.cancelled:
+        heap = self._heap
+        while heap:
+            entry = heapq.heappop(heap)
+            if entry[_CANCELLED]:
                 continue
             if self.strict:
-                self._check_dispatch(event)
-            self._now = event.time
-            event.callback()
+                self._check_dispatch(entry)
+            self._now = entry[_TIME]
+            entry[_CALLBACK]()
             return True
         return False
 
     def pending_count(self) -> int:
         """Number of scheduled, not-yet-cancelled events."""
-        return sum(1 for event in self._heap if not event.cancelled)
+        return sum(1 for entry in self._heap if not entry[_CANCELLED])
 
 
 class Timer:

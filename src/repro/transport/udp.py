@@ -15,7 +15,6 @@ the network's real drop rate.
 
 from __future__ import annotations
 
-from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
@@ -100,7 +99,10 @@ class UdpFlow:
 
         # Sender state.
         self._next_seq = 0
-        self._cache: OrderedDict[int, tuple[Any, int, PacketKind]] = OrderedDict()
+        # Insertion-ordered retransmission cache; eviction drops the
+        # oldest sequence (a plain dict is FIFO-iterable and cheaper
+        # than OrderedDict on the per-datagram path).
+        self._cache: dict[int, tuple[Any, int, PacketKind]] = {}
         self.on_report: Callable[[ReceiverReport], None] | None = None
         #: Retransmission rate cap, bits/second (None = unlimited).
         #: The streaming session sets this from the served level so NAK
@@ -141,9 +143,10 @@ class UdpFlow:
             raise TransportError(f"datagram size must be positive, got {size}")
         seq = self._next_seq
         self._next_seq += 1
-        self._cache[seq] = (payload, size, kind)
-        while len(self._cache) > RETRANSMIT_CACHE:
-            self._cache.popitem(last=False)
+        cache = self._cache
+        cache[seq] = (payload, size, kind)
+        if len(cache) > RETRANSMIT_CACHE:
+            del cache[next(iter(cache))]
         self._transmit(seq, payload, size, kind, retransmission=False)
 
     def _transmit(
@@ -212,34 +215,36 @@ class UdpFlow:
     def _on_datagram(self, packet: Packet) -> None:
         if self._closed:
             return
+        stats = self.stats
         seq = packet.seq
-        if seq in self._seen:
-            self.stats.duplicates_received += 1
+        seen = self._seen
+        if seq in seen:
+            stats.duplicates_received += 1
             return
-        self._seen.add(seq)
+        seen.add(seq)
         if seq in self._missing:
             del self._missing[seq]
-            self.stats.holes_repaired += 1
-        if seq > self._highest_seq + 1:
+            stats.holes_repaired += 1
+        highest = self._highest_seq
+        if seq > highest + 1:
             # Gap: everything between went missing on first
             # transmission.  Ask for it and count it as loss.
             new_holes = [
-                s
-                for s in range(self._highest_seq + 1, seq)
-                if s not in self._seen
+                s for s in range(highest + 1, seq) if s not in seen
             ]
             for s in new_holes:
                 self._missing[s] = 1
             self._holes_since_report += len(new_holes)
-            self.stats.holes_detected += len(new_holes)
+            stats.holes_detected += len(new_holes)
             if new_holes:
                 self._send_nak(new_holes[:MAX_NAK_BATCH])
-        self._highest_seq = max(self._highest_seq, seq)
+        if seq > highest:
+            self._highest_seq = seq
         self._received_since_report += 1
         self._transit_sum += self._loop.now - packet.created_at
         self._transit_count += 1
-        self.stats.datagrams_delivered += 1
-        self.stats.bytes_delivered += packet.size
+        stats.datagrams_delivered += 1
+        stats.bytes_delivered += packet.size
         if self.on_deliver is not None:
             self.on_deliver(packet.payload, packet.size)
 

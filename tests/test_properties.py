@@ -5,6 +5,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.analysis.cdf import Cdf
+from repro.media.frame_source import FrameSource
 from repro.media.frames import Frame, FrameKind
 from repro.media.packetizer import Packetizer
 from repro.net.packet import Packet, PacketKind
@@ -81,6 +82,85 @@ class TestPacketizerProperties:
         for index in order:
             reassembler.on_payload(packets[index], packets[index].size)
         assert done == [frame]
+
+
+class TestFrameSourceRoundTripProperties:
+    """The media pipeline end to end: source → packetizer → reassembler.
+
+    Whatever clip content and MSS hypothesis picks, every emitted frame
+    must come back exactly once, in order, with its byte count
+    conserved through fragmentation.
+    """
+
+    @settings(deadline=None, max_examples=30)
+    @given(
+        st.sampled_from(["clip-a.rm", "clip-b.rm", "clip-c.rm"]),
+        st.integers(min_value=64, max_value=2000),
+        st.integers(min_value=1, max_value=120),
+        st.booleans(),
+    )
+    def test_frames_in_equals_frames_reassembled(
+        self, clip_name, mss, frame_count, use_lowest_level
+    ):
+        from repro.media.clip import ContentKind, make_clip
+
+        clip = make_clip(
+            f"rtsp://t/{clip_name}", ContentKind.DOCUMENTARY,
+            max_kbps=350, duration_s=60.0,
+        )
+        source = FrameSource(clip)
+        level = (
+            clip.ladder.lowest if use_lowest_level else clip.ladder.highest
+        )
+        frames = [source.next_frame(level) for _ in range(frame_count)]
+
+        done = []
+        reassembler = Reassembler(done.append)
+        packetizer = Packetizer(mss_bytes=mss)
+        sent_bytes = 0
+        for frame in frames:
+            for packet in packetizer.packetize(frame):
+                sent_bytes += packet.size
+                reassembler.on_payload(packet, packet.size)
+
+        assert done == frames
+        assert sent_bytes == sum(f.size for f in frames)
+        assert reassembler.bytes_received == sent_bytes
+        assert reassembler.frames_expired_incomplete == 0
+
+    @settings(deadline=None, max_examples=20)
+    @given(
+        st.integers(min_value=2, max_value=6),
+        st.integers(min_value=200, max_value=1500),
+        st.randoms(use_true_random=False),
+    )
+    def test_interleaved_fragments_still_conserve_frames(
+        self, frame_count, mss, rng
+    ):
+        """Fragments of different frames arriving interleaved (as UDP
+        delivers them after loss repair) still reassemble every frame."""
+        from repro.media.clip import ContentKind, make_clip
+
+        clip = make_clip(
+            "rtsp://t/interleave.rm", ContentKind.DOCUMENTARY,
+            max_kbps=350, duration_s=60.0,
+        )
+        source = FrameSource(clip)
+        level = clip.ladder.highest
+        frames = [source.next_frame(level) for _ in range(frame_count)]
+
+        packetizer = Packetizer(mss_bytes=mss)
+        packets = [p for f in frames for p in packetizer.packetize(f)]
+        rng.shuffle(packets)
+
+        done = []
+        reassembler = Reassembler(done.append)
+        for packet in packets:
+            reassembler.on_payload(packet, packet.size)
+
+        assert sorted(f.index for f in done) == [f.index for f in frames]
+        assert sum(f.size for f in done) == sum(f.size for f in frames)
+        assert reassembler.bytes_received == sum(f.size for f in frames)
 
 
 class TestQueueProperties:

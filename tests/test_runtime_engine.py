@@ -6,6 +6,8 @@ count (satellite of the paper-campaign parallelization), including
 runs that suffered worker crashes or were resumed from a checkpoint.
 """
 
+import hashlib
+
 import pytest
 
 from repro.core.study import Study, StudyConfig
@@ -63,6 +65,64 @@ class TestDeterminism:
         assert (
             (tmp_path / "parallel.csv").read_bytes()
             == (tmp_path / "serial.csv").read_bytes()
+        )
+
+
+def _csv_digest(csv_text: str) -> str:
+    return hashlib.sha256(csv_text.encode()).hexdigest()
+
+
+class TestDeterminismMatrix:
+    """The full execution matrix collapses to one content hash.
+
+    Same seed, any worker count, fresh or resumed from a mid-run kill:
+    every cell of the matrix must export a ``study_full.csv`` with the
+    same sha256 as the serial oracle.  This is the contract the golden
+    suite relies on when goldens are regenerated on a parallel run.
+    """
+
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_fresh_and_resumed_runs_hash_identical(
+        self, workers, small_serial_csv, tmp_path
+    ):
+        expected = _csv_digest(small_serial_csv)
+
+        fresh = run_study(
+            SMALL_CONFIG, RuntimeConfig(workers=workers, shard_count=4)
+        )
+        assert _csv_digest(fresh.dataset.to_csv_string()) == expected
+
+        # Kill a checkpointed run after its first shard lands, then
+        # resume at this worker count: still the same digest.
+        ckpt = tmp_path / f"ckpt_w{workers}"
+
+        def kill_after_one_shard(telemetry) -> None:
+            if any(
+                s.status == "done" for s in telemetry.shards.values()
+            ):
+                raise KillRun
+
+        with pytest.raises(KillRun):
+            run_study(
+                SMALL_CONFIG,
+                RuntimeConfig(
+                    workers=1,
+                    shard_count=4,
+                    checkpoint_dir=ckpt,
+                    progress=kill_after_one_shard,
+                ),
+            )
+        resumed = run_study(
+            SMALL_CONFIG,
+            RuntimeConfig(
+                workers=workers, shard_count=4, checkpoint_dir=ckpt,
+                resume=True,
+            ),
+        )
+        assert _csv_digest(resumed.dataset.to_csv_string()) == expected
+        assert any(
+            s.status == "resumed"
+            for s in resumed.telemetry.shards.values()
         )
 
 
