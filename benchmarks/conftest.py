@@ -51,6 +51,19 @@ def pytest_configure(config: pytest.Config) -> None:
 
 
 @pytest.fixture(scope="session")
+def ablation_cache(tmp_path_factory):
+    """Shared content-addressed study cache for the ablation benches.
+
+    The ablations are thin wrappers over `repro.sweep` cells; sharing
+    one cache means a cell that several benches reference (e.g. a
+    common baseline) simulates once per session.
+    """
+    from repro.sweep import StudyCache
+
+    return StudyCache(tmp_path_factory.mktemp("ablation-cache"))
+
+
+@pytest.fixture(scope="session")
 def ctx(request: pytest.FixtureRequest) -> ExperimentContext:
     scale = (
         QUICK_SCALE

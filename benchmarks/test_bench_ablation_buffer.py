@@ -1,27 +1,33 @@
 """Ablation: the playout buffer's contribution to smoothness.
 
 The paper attributes Figure 20's high fraction of jitter-free clips to
-"the large initial buffer set by the RealPlayer core".  Shrinking the
-prebuffer from ~9 s to 2 s tests that attribution: small buffers turn
-ordinary bandwidth turbulence into visible stalls and jitter.
+"the large initial buffer set by the RealPlayer core".  The bench is a
+thin wrapper over two `repro.sweep` cells (baseline vs the
+``small-buffer`` scenario): shrinking the prebuffer from ~9 s to 2 s
+turns ordinary bandwidth turbulence into visible stalls and jitter.
 """
 
 from repro.analysis.comparison import compare_datasets, format_comparison
-from repro.world.scenarios import BASELINE, SMALL_BUFFER, run_scenario
+from repro.sweep import SweepSpec, run_cell
 
-ABLATION_SEED = 2468
-ABLATION_SCALE = 0.05
+SPEC = SweepSpec.from_dict({
+    "name": "ablation-buffer",
+    "scenarios": ["baseline", "small-buffer"],
+    "seeds": [2468],
+    "scales": [0.05],
+})
 
 
-def test_bench_ablation_buffer(benchmark):
-    baseline = run_scenario(BASELINE, seed=ABLATION_SEED, scale=ABLATION_SCALE)
+def test_bench_ablation_buffer(benchmark, ablation_cache):
+    baseline_cell, variant_cell = SPEC.cells()
+    baseline = run_cell(baseline_cell, cache=ablation_cache).dataset
+
     variant = benchmark.pedantic(
-        run_scenario,
-        args=(SMALL_BUFFER,),
-        kwargs={"seed": ABLATION_SEED, "scale": ABLATION_SCALE},
+        lambda: run_cell(variant_cell, cache=ablation_cache).dataset,
         rounds=1,
         iterations=1,
     )
+
     comparison = compare_datasets(baseline, variant)
     print()
     print(format_comparison(comparison, "9s buffer", "2s buffer"))

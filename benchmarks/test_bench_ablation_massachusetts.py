@@ -2,28 +2,52 @@
 
 Section IV: the authors re-ran the U.S. frame-rate analysis without
 the (over-represented) Massachusetts users and found the CDF "nearly
-the same".  We repeat that check on the simulated dataset.
+the same".  The bench is a thin wrapper over two `repro.sweep` cells —
+baseline vs the ``no-massachusetts`` scenario, which excludes those
+users from the simulated population — and repeats the check.  Because
+per-playback RNG streams are keyed by ``(seed, user_id, position)``,
+the trimmed run is *exactly* the baseline minus the MA records, so the
+comparison isolates the population shift.
 """
 
 from repro.analysis.cdf import Cdf
+from repro.sweep import SweepSpec, run_cell
+
+SPEC = SweepSpec.from_dict({
+    "name": "ablation-massachusetts",
+    "scenarios": ["baseline", "no-massachusetts"],
+    "seeds": [2001],
+    "scales": [0.05],
+})
 
 
-def test_bench_ablation_massachusetts(benchmark, ctx):
-    def compare():
-        played = ctx.dataset.played()
-        us = played.filter(lambda r: r.user_country == "US")
-        without_ma = us.exclude_state("MA")
-        full = Cdf(us.values("measured_frame_rate"))
-        trimmed = Cdf(without_ma.values("measured_frame_rate"))
-        return full, trimmed
+def test_bench_ablation_massachusetts(benchmark, ablation_cache):
+    baseline_cell, trimmed_cell = SPEC.cells()
+    baseline = run_cell(baseline_cell, cache=ablation_cache).dataset
 
-    full, trimmed = benchmark(compare)
+    trimmed_ds = benchmark.pedantic(
+        lambda: run_cell(trimmed_cell, cache=ablation_cache).dataset,
+        rounds=1,
+        iterations=1,
+    )
+
+    us = baseline.played().filter(lambda r: r.user_country == "US")
+    us_trimmed = trimmed_ds.played().filter(
+        lambda r: r.user_country == "US"
+    )
+    full = Cdf(us.values("measured_frame_rate"))
+    without_ma = Cdf(us_trimmed.values("measured_frame_rate"))
     print()
     print(f"US frame rate with MA:    n={len(full)} mean={full.mean:.1f} "
           f"<3fps={full.fraction_below(3):.2f}")
-    print(f"US frame rate without MA: n={len(trimmed)} mean={trimmed.mean:.1f} "
-          f"<3fps={trimmed.fraction_below(3):.2f}")
+    print(f"US frame rate without MA: n={len(without_ma)} "
+          f"mean={without_ma.mean:.1f} "
+          f"<3fps={without_ma.fraction_below(3):.2f}")
+    # Determinism: the scenario run IS the baseline minus MA users.
+    assert list(trimmed_ds) == [
+        r for r in baseline if r.user_state != "MA"
+    ]
     # Nearly the same CDF: compare at the paper's key thresholds.
     for threshold in (3.0, 7.0, 15.0):
-        assert abs(full.at(threshold) - trimmed.at(threshold)) < 0.15
-    assert abs(full.mean - trimmed.mean) < 2.5
+        assert abs(full.at(threshold) - without_ma.at(threshold)) < 0.15
+    assert abs(full.mean - without_ma.mean) < 2.5

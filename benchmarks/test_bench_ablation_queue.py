@@ -1,33 +1,33 @@
 """Ablation: drop-tail vs RED at the wide-area bottleneck.
 
 The paper's congestion discussion ([FF98]) motivates router-side
-active queue management.  This ablation re-runs a small study slice
-with RED at the bottleneck and compares jitter/frame-rate shapes: RED
-keeps average queues shorter, trading early random drops for lower
+active queue management.  This ablation is a thin wrapper over two
+`repro.sweep` cells — the baseline (drop-tail) and ``red-queues``
+scenarios at a pinned seed — and compares jitter/frame-rate shapes:
+RED keeps average queues shorter, trading early random drops for lower
 queueing jitter.
 """
 
 from repro.analysis.cdf import Cdf
-from repro.core.realtracer import TracerConfig
-from repro.core.study import Study, StudyConfig
+from repro.sweep import SweepSpec, run_cell
 
-ABLATION_SCALE = 0.05
-ABLATION_SEED = 424242
+SPEC = SweepSpec.from_dict({
+    "name": "ablation-queue",
+    "scenarios": ["baseline", "red-queues"],
+    "seeds": [424242],
+    "scales": [0.05],
+})
 
 
-def _run(red: bool):
-    config = StudyConfig(
-        seed=ABLATION_SEED,
-        scale=ABLATION_SCALE,
-        tracer=TracerConfig(red_bottleneck=red),
+def test_bench_ablation_queue(benchmark, ablation_cache):
+    droptail_cell, red_cell = SPEC.cells()
+    droptail = run_cell(droptail_cell, cache=ablation_cache).dataset
+
+    red = benchmark.pedantic(
+        lambda: run_cell(red_cell, cache=ablation_cache).dataset,
+        rounds=1,
+        iterations=1,
     )
-    return Study(config).run()
-
-
-def test_bench_ablation_queue(benchmark):
-    droptail = _run(red=False)
-
-    red = benchmark.pedantic(_run, args=(True,), rounds=1, iterations=1)
 
     print()
     for label, ds in (("drop-tail", droptail), ("RED", red)):

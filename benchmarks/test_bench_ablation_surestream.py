@@ -1,28 +1,33 @@
 """Ablation: SureStream switching on vs off.
 
 Section II.C credits SureStream with varying the served stream under
-congestion.  Turning it off (a pre-SureStream server pins the initial
-level) shows what the technology buys: without adaptation, streams
-that exceed a congested path's capacity keep hammering it, so stalls
-and sub-3fps playbacks rise.
+congestion.  The bench is a thin wrapper over two `repro.sweep` cells
+(baseline vs the ``no-surestream`` scenario): without adaptation,
+streams that exceed a congested path's capacity keep hammering it, so
+stalls and sub-3fps playbacks rise.
 """
 
 from repro.analysis.comparison import compare_datasets, format_comparison
-from repro.world.scenarios import BASELINE, NO_SURESTREAM, run_scenario
+from repro.sweep import SweepSpec, run_cell
 
-ABLATION_SEED = 777
-ABLATION_SCALE = 0.05
+SPEC = SweepSpec.from_dict({
+    "name": "ablation-surestream",
+    "scenarios": ["baseline", "no-surestream"],
+    "seeds": [777],
+    "scales": [0.05],
+})
 
 
-def test_bench_ablation_surestream(benchmark):
-    baseline = run_scenario(BASELINE, seed=ABLATION_SEED, scale=ABLATION_SCALE)
+def test_bench_ablation_surestream(benchmark, ablation_cache):
+    baseline_cell, variant_cell = SPEC.cells()
+    baseline = run_cell(baseline_cell, cache=ablation_cache).dataset
+
     variant = benchmark.pedantic(
-        run_scenario,
-        args=(NO_SURESTREAM,),
-        kwargs={"seed": ABLATION_SEED, "scale": ABLATION_SCALE},
+        lambda: run_cell(variant_cell, cache=ablation_cache).dataset,
         rounds=1,
         iterations=1,
     )
+
     comparison = compare_datasets(baseline, variant)
     print()
     print(format_comparison(comparison, "surestream", "pinned"))

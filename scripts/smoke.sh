@@ -3,8 +3,10 @@
 # included), a quick throughput benchmark, a tiny parallel study
 # through the repro.runtime engine (2 workers, checkpointed), a
 # strict-mode validated study (every repro.validate invariant must
-# hold) plus the serial-vs-parallel oracle, and the
-# corrupted-checkpoint resume tests.
+# hold) plus the serial-vs-parallel oracle, the corrupted-checkpoint
+# resume tests, and a 2x2 scenario sweep through repro.sweep (first
+# run simulates + caches, rerun must be 100% cache hits with a
+# byte-identical report).
 # Run from the repo root:  bash scripts/smoke.sh
 set -euo pipefail
 
@@ -47,5 +49,36 @@ python -m repro.cli validate --seed 2001 --scale 0.02 --workers 2 \
 
 echo "== corrupted-checkpoint resume =="
 python -m pytest -x -q tests/test_runtime_engine.py -k CorruptCheckpointResume
+
+echo "== sweep reproduces the golden figures =="
+python -m pytest -x -q tests/test_sweep_goldens.py
+
+echo "== 2x2 scenario sweep (cache cold, then 100% hits) =="
+python -m repro.cli sweep --spec examples/sweeps/smoke.json \
+    --cache-dir "$out/sweep-cache" --report "$out/sweep1.json" --quiet
+python -m repro.cli sweep --spec examples/sweeps/smoke.json \
+    --cache-dir "$out/sweep-cache" --report "$out/sweep2.json" --quiet
+
+python - "$out" <<'EOF'
+import json, sys
+from pathlib import Path
+out = Path(sys.argv[1])
+manifest = json.loads((out / "sweep-cache" / "sweep_manifest.json").read_text())
+assert manifest["cells"] == 4, manifest
+assert manifest["cache_hits"] == 4, (
+    f"sweep rerun was not fully cached: {manifest}"
+)
+assert manifest["cache_misses"] == 0 and manifest["cache_evicted"] == []
+first = (out / "sweep1.json").read_bytes()
+second = (out / "sweep2.json").read_bytes()
+assert first == second, "cached sweep rerun changed the report bytes"
+report = json.loads(first)
+baseline = next(c for c in report["cells"] if c["is_baseline"])
+assert baseline["cell_id"] == "baseline@s2001x0.02", baseline["cell_id"]
+assert baseline["records"] > 0
+assert all(v == 0.0 for v in baseline["ks"].values())
+print(f"sweep smoke ok: {manifest['cells']} cells, rerun all hits, "
+      f"baseline {baseline['cell_id']} with {baseline['records']} records")
+EOF
 
 echo "== smoke passed =="

@@ -8,6 +8,8 @@ Subcommands::
     repro report --csv study.csv [--plots]
     repro figures --scale 1.0 --out results/ [--workers 4] [--resume]
     repro validate --scale 0.1 [--workers 2] [--strict] [--skip-oracle]
+    repro sweep  --spec sweep.toml [--workers 4] [--cache-dir .sweep-cache]
+                 [--force] [--report report.json]
 
 ``repro`` is installed as a console script; the module also runs via
 ``python -m repro.cli``.
@@ -16,6 +18,7 @@ Subcommands::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
@@ -224,6 +227,57 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    """Run a declarative scenario sweep with the content-addressed
+    study cache and print/write the claim-sensitivity report."""
+    from repro.errors import SweepError
+    from repro.sweep import (
+        compare_sweep, format_sweep_report, load_spec, report_json,
+        run_sweep,
+    )
+
+    try:
+        spec = load_spec(args.spec)
+    except SweepError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    cells = spec.cells()
+    if not args.quiet:
+        print(f"sweep {spec.name!r}: {len(cells)} cells, "
+              f"workers={args.workers}, cache={args.cache_dir}"
+              f"{' (forced)' if args.force else ''}")
+    try:
+        result = run_sweep(
+            spec,
+            cache_dir=args.cache_dir,
+            workers=args.workers,
+            force=args.force,
+            progress=None if args.quiet else print,
+        )
+    except SweepError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    comparison = compare_sweep(result)
+    if args.cache_dir is not None:
+        manifest_path = Path(args.cache_dir) / "sweep_manifest.json"
+        manifest_path.parent.mkdir(parents=True, exist_ok=True)
+        manifest_path.write_text(
+            json.dumps(result.manifest(), indent=2) + "\n"
+        )
+    if args.report is not None:
+        args.report.parent.mkdir(parents=True, exist_ok=True)
+        args.report.write_text(report_json(comparison))
+    print()
+    print(format_sweep_report(comparison))
+    if not args.quiet:
+        print()
+        print(f"{result.misses} simulated, {result.hits} from cache "
+              f"({len(result.evicted)} evicted) in {result.elapsed_s:.1f}s")
+        if args.report is not None:
+            print(f"wrote {args.report}")
+    return 0
+
+
 def _cmd_figures(args: argparse.Namespace) -> int:
     from repro.experiments import runner
 
@@ -285,6 +339,24 @@ def build_parser() -> argparse.ArgumentParser:
     figures.add_argument("--resume", action="store_true")
     figures.add_argument("--quiet", action="store_true")
     figures.set_defaults(func=_cmd_figures)
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="run a declarative scenario sweep (cached, parallel) and "
+             "report claim sensitivity",
+    )
+    sweep.add_argument("--spec", type=Path, required=True,
+                       help="sweep spec file (.toml or .json)")
+    sweep.add_argument("--workers", type=int, default=1,
+                       help="worker processes per cell (repro.runtime)")
+    sweep.add_argument("--cache-dir", type=Path, default=None,
+                       help="content-addressed study cache directory")
+    sweep.add_argument("--force", action="store_true",
+                       help="re-simulate every cell even on a cache hit")
+    sweep.add_argument("--report", type=Path, default=None,
+                       help="also write the sensitivity report as JSON here")
+    sweep.add_argument("--quiet", action="store_true")
+    sweep.set_defaults(func=_cmd_sweep)
 
     validate = sub.add_parser(
         "validate",

@@ -10,6 +10,9 @@ from.
 
 from __future__ import annotations
 
+import dataclasses
+import hashlib
+import json
 from dataclasses import dataclass, field
 from typing import Callable, Iterable
 
@@ -17,9 +20,48 @@ from repro.core.realtracer import RealTracer, TracerConfig
 from repro.core.records import StudyDataset
 from repro.core.submission import SubmissionSink
 from repro.errors import StudyError
+from repro.player.playout import PlayoutConfig
 from repro.rng import RngFactory
+from repro.server.session import SessionConfig
 from repro.validate import ValidationConfig, ValidationLedger
 from repro.world.population import StudyPopulation, build_population
+
+
+def _canonical_value(value, path: str):
+    """A plain JSON-safe value with a deterministic shape.
+
+    Dataclasses become field-name dicts, sets become sorted lists;
+    anything without an order-stable, process-stable serialization
+    (callables, arbitrary objects) is rejected so nondeterminism can't
+    silently leak into config hashes.
+    """
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            f.name: _canonical_value(getattr(value, f.name), f"{path}.{f.name}")
+            for f in dataclasses.fields(value)
+        }
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_canonical_value(v, path) for v in value]
+    if isinstance(value, (set, frozenset)):
+        return sorted(_canonical_value(v, path) for v in value)
+    raise StudyError(
+        f"cannot canonicalize config field {path}: "
+        f"{type(value).__name__} has no stable serialization"
+    )
+
+
+def _dataclass_from_dict(cls, data: dict, path: str):
+    """Rebuild a flat config dataclass, rejecting unknown keys."""
+    known = {f.name for f in dataclasses.fields(cls)}
+    unknown = set(data) - known
+    if unknown:
+        raise StudyError(
+            f"unknown {path} fields: {sorted(unknown)!r} "
+            f"(known: {sorted(known)!r})"
+        )
+    return cls(**data)
 
 
 @dataclass
@@ -34,16 +76,82 @@ class StudyConfig:
     #: Fraction of each user's plays actually simulated (0 < scale <= 1);
     #: lets tests run a representative sliver of the full campaign.
     scale: float = 1.0
+    #: Name of a `repro.world.scenarios` scenario whose *population*
+    #: transform the study applies when it builds its own population.
+    #: Config-level scenario transforms (tracer knobs) are expected to
+    #: be applied already — `scenarios.configured()` does both — so the
+    #: field makes a scenario run picklable and shardable: workers
+    #: rebuilding ``Study(config)`` reproduce the transformed world.
+    scenario: str | None = None
     #: Tracer options (play limit, timeline sampling, RED ablation...).
     tracer: TracerConfig = field(default_factory=TracerConfig)
     #: Invariant checking (`repro.validate`); off by default.  Not part
-    #: of the checkpoint fingerprint: turning validation on or off never
-    #: changes the simulated results, only whether they are audited.
+    #: of the canonical dict or checkpoint fingerprint: turning
+    #: validation on or off never changes the simulated results, only
+    #: whether they are audited.
     validation: ValidationConfig = field(default_factory=ValidationConfig)
 
     def __post_init__(self) -> None:
         if not 0.0 < self.scale <= 1.0:
             raise ValueError(f"scale must be in (0, 1], got {self.scale}")
+
+    def to_canonical_dict(self) -> dict:
+        """Deterministic plain-dict serialization of everything that
+        shapes the simulated results.
+
+        Two configs that simulate identical campaigns produce equal
+        dicts (and equal :meth:`canonical_hash` digests) in any
+        process; ``validation`` is deliberately excluded because audits
+        never change results.  Round-trips through :meth:`from_dict`.
+        """
+        return {
+            "seed": self.seed,
+            "playlist_length": self.playlist_length,
+            "max_users": self.max_users,
+            "scale": float(self.scale),
+            "scenario": self.scenario,
+            "tracer": _canonical_value(self.tracer, "tracer"),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "StudyConfig":
+        """Rebuild a config from :meth:`to_canonical_dict` output.
+
+        Missing fields take their defaults; unknown fields raise
+        :class:`~repro.errors.StudyError` (a misspelled override should
+        fail loudly, not silently hash to a different study).
+        """
+        data = dict(data)
+        tracer_data = dict(data.pop("tracer", {}))
+        playout = _dataclass_from_dict(
+            PlayoutConfig, dict(tracer_data.pop("playout", {})),
+            "tracer.playout",
+        )
+        session = _dataclass_from_dict(
+            SessionConfig, dict(tracer_data.pop("session", {})),
+            "tracer.session",
+        )
+        tracer = _dataclass_from_dict(
+            TracerConfig,
+            {**tracer_data, "playout": playout, "session": session},
+            "tracer",
+        )
+        data.pop("validation", None)  # legacy payloads; never canonical
+        config = _dataclass_from_dict(
+            cls, {**data, "tracer": tracer}, "config"
+        )
+        return config
+
+    def canonical_hash(self) -> str:
+        """Content address of this study: sha256 over the canonical
+        JSON.  Equal hashes mean byte-identical study datasets (the
+        `repro.runtime` determinism contract), which is what lets
+        `repro.sweep` reuse cached results across runs and processes.
+        """
+        payload = json.dumps(
+            self.to_canonical_dict(), sort_keys=True, separators=(",", ":")
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
 class Study:
@@ -56,15 +164,20 @@ class Study:
     ) -> None:
         self.config = config if config is not None else StudyConfig()
         self._rngs = RngFactory(self.config.seed)
-        self.population = (
-            population
-            if population is not None
-            else build_population(
+        if population is None:
+            population = build_population(
                 self._rngs,
                 playlist_length=self.config.playlist_length,
                 max_users=self.config.max_users,
             )
-        )
+            if self.config.scenario is not None:
+                # Lazy import: scenarios imports Study for run_scenario.
+                from repro.world.scenarios import get_scenario
+
+                population = get_scenario(self.config.scenario).repopulate(
+                    population, self.config.seed
+                )
+        self.population = population
         if not self.population.users:
             raise StudyError("the study population has no users")
         if not self.population.playlist:

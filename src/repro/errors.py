@@ -62,6 +62,11 @@ class CheckpointError(StudyError):
     fingerprint mismatch with the requested run, corrupt shard file)."""
 
 
+class SweepError(StudyError):
+    """A scenario sweep could not be planned or executed (malformed
+    spec, unknown scenario/override path, failed shards in a cell)."""
+
+
 class AnalysisError(ReproError):
     """An analysis routine received data it cannot process."""
 

@@ -1,0 +1,261 @@
+"""Machine-checkable verdicts for the paper's headline claims C1-C8.
+
+DESIGN.md lists eight claims the reproduction must preserve; the
+EXPERIMENTS.md verdict table checks them by hand.  This module makes
+each claim an executable predicate over a study dataset so scenario
+sweeps (`repro.sweep`) can report *which knob moves which claim* —
+e.g. shrinking the playout buffer flips C5 (jitter), removing
+SureStream flips C1 (frame rate), upgrading every modem voids C2.
+
+Thresholds are deliberately shape-level, mirroring how EXPERIMENTS.md
+judges "reproduced": who wins, by roughly what factor, where the
+thresholds fall — not the simulator's exact decimals.  A claim whose
+prerequisites are missing from the dataset (no rated clips, no modem
+users...) is NOT_APPLICABLE rather than failed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.analysis.breakdowns import (
+    by_connection,
+    by_pc_class,
+    by_protocol,
+    by_server_region,
+    by_user_region,
+)
+from repro.analysis.cdf import Cdf
+from repro.core.records import StudyDataset
+from repro.experiments.fig19_fps_by_pc import OLD_CLASSES
+
+PASS = "pass"
+FAIL = "fail"
+NOT_APPLICABLE = "n/a"
+
+
+@dataclass(frozen=True)
+class ClaimVerdict:
+    """One claim's outcome on one dataset."""
+
+    claim_id: str
+    title: str
+    verdict: str  # PASS, FAIL, or NOT_APPLICABLE
+    #: The numbers the verdict was decided on.
+    metrics: dict[str, float] = field(default_factory=dict)
+    #: Why a claim was NOT_APPLICABLE ("" otherwise).
+    note: str = ""
+
+    @property
+    def passed(self) -> bool:
+        return self.verdict == PASS
+
+
+@dataclass(frozen=True)
+class Claim:
+    """A registered headline claim."""
+
+    claim_id: str
+    title: str
+    check: Callable[[StudyDataset], ClaimVerdict]
+
+
+def _verdict(claim_id, title, passed, metrics) -> ClaimVerdict:
+    return ClaimVerdict(
+        claim_id=claim_id,
+        title=title,
+        verdict=PASS if passed else FAIL,
+        metrics={key: float(value) for key, value in metrics.items()},
+    )
+
+
+def _not_applicable(claim_id, title, reason) -> ClaimVerdict:
+    return ClaimVerdict(
+        claim_id=claim_id,
+        title=title,
+        verdict=NOT_APPLICABLE,
+        metrics={},
+        note=reason,
+    )
+
+
+def _fps_cdf(dataset: StudyDataset) -> Cdf | None:
+    played = dataset.played()
+    if len(played) == 0:
+        return None
+    return Cdf(played.values("measured_frame_rate"))
+
+
+def _check_c1(dataset: StudyDataset) -> ClaimVerdict:
+    title = "frame rate: mean ~10 fps, ~25% < 3, ~25% >= 15, <1% >= 24"
+    fps = _fps_cdf(dataset)
+    if fps is None:
+        return _not_applicable("C1", title, "no played records")
+    metrics = {
+        "mean_fps": fps.mean,
+        "below_3fps": fps.fraction_below(3.0),
+        "at_least_15fps": fps.fraction_at_least(15.0),
+        "at_least_24fps": fps.fraction_at_least(24.0),
+    }
+    passed = (
+        6.0 <= metrics["mean_fps"] <= 14.0
+        and 0.10 <= metrics["below_3fps"] <= 0.40
+        and 0.10 <= metrics["at_least_15fps"] <= 0.45
+        and metrics["at_least_24fps"] <= 0.05
+    )
+    return _verdict("C1", title, passed, metrics)
+
+
+def _check_c2(dataset: StudyDataset) -> ClaimVerdict:
+    title = "access classes: modem far worst, DSL/Cable ~ T1/LAN"
+    groups = by_connection(dataset.played())
+    needed = ("56k Modem", "DSL/Cable", "T1/LAN")
+    if any(name not in groups or len(groups[name]) == 0 for name in needed):
+        return _not_applicable("C2", title, "an access class is missing")
+    below = {
+        name: Cdf(
+            groups[name].values("measured_frame_rate")
+        ).fraction_below(3.0)
+        for name in needed
+    }
+    metrics = {
+        "modem_below_3fps": below["56k Modem"],
+        "dsl_below_3fps": below["DSL/Cable"],
+        "t1_below_3fps": below["T1/LAN"],
+    }
+    passed = (
+        below["56k Modem"] >= below["DSL/Cable"] + 0.10
+        and below["56k Modem"] >= below["T1/LAN"] + 0.10
+        and abs(below["DSL/Cable"] - below["T1/LAN"]) <= 0.15
+    )
+    return _verdict("C2", title, passed, metrics)
+
+
+def _check_c3(dataset: StudyDataset) -> ClaimVerdict:
+    title = "geography: server region matters little, user region a lot"
+    played = dataset.played()
+    servers = {
+        name: Cdf(group.values("measured_frame_rate"))
+        for name, group in by_server_region(played).items()
+        if len(group)
+    }
+    users = {
+        name: Cdf(group.values("measured_frame_rate"))
+        for name, group in by_user_region(played).items()
+        if len(group)
+    }
+    if len(servers) < 2 or len(users) < 2:
+        return _not_applicable("C3", title, "fewer than two regions")
+    server_means = [cdf.mean for cdf in servers.values()]
+    user_below = [cdf.fraction_below(3.0) for cdf in users.values()]
+    metrics = {
+        "server_region_mean_spread_fps": max(server_means) - min(server_means),
+        "user_region_below_3fps_spread": max(user_below) - min(user_below),
+    }
+    passed = (
+        metrics["server_region_mean_spread_fps"] <= 4.0
+        and metrics["user_region_below_3fps_spread"] >= 0.15
+    )
+    return _verdict("C3", title, passed, metrics)
+
+
+def _check_c4(dataset: StudyDataset) -> ClaimVerdict:
+    title = "protocols: ~56% UDP / ~44% TCP, near-identical performance"
+    groups = by_protocol(dataset.played())
+    if "UDP" not in groups or "TCP" not in groups:
+        return _not_applicable("C4", title, "a protocol is missing")
+    udp, tcp = groups["UDP"], groups["TCP"]
+    share_udp = len(udp) / (len(udp) + len(tcp))
+    gap = abs(
+        Cdf(udp.values("measured_frame_rate")).fraction_below(3.0)
+        - Cdf(tcp.values("measured_frame_rate")).fraction_below(3.0)
+    )
+    metrics = {"udp_share": share_udp, "below_3fps_gap": gap}
+    passed = 0.40 <= share_udp <= 0.70 and gap <= 0.12
+    return _verdict("C4", title, passed, metrics)
+
+
+def _check_c5(dataset: StudyDataset) -> ClaimVerdict:
+    title = "jitter: ~half the clips <= 50 ms, ~15% >= 300 ms"
+    sample = dataset.with_jitter()
+    if len(sample) == 0:
+        return _not_applicable("C5", title, "no jitter samples")
+    jitter = Cdf([record.jitter_ms for record in sample])
+    metrics = {
+        "imperceptible_50ms": jitter.at(50.0),
+        "unacceptable_300ms": jitter.fraction_at_least(300.0),
+    }
+    passed = (
+        0.35 <= metrics["imperceptible_50ms"] <= 0.85
+        and 0.04 <= metrics["unacceptable_300ms"] <= 0.30
+    )
+    return _verdict("C5", title, passed, metrics)
+
+
+def _check_c6(dataset: StudyDataset) -> ClaimVerdict:
+    title = "ratings: roughly uniform, mean ~5"
+    rated = dataset.rated()
+    if len(rated) < 10:
+        return _not_applicable("C6", title, "too few rated clips")
+    cdf = Cdf(rated.values("rating"))
+    deviation = max(
+        abs(cdf.at(float(x)) - (x + 1) / 11.0) for x in range(11)
+    )
+    metrics = {"mean_rating": cdf.mean, "uniformity_deviation": deviation}
+    passed = 3.5 <= cdf.mean <= 6.5 and deviation <= 0.35
+    return _verdict("C6", title, passed, metrics)
+
+
+def _check_c7(dataset: StudyDataset) -> ClaimVerdict:
+    title = "PCs: only old, underpowered machines bottleneck playback"
+    groups = by_pc_class(dataset.played())
+    old = [
+        Cdf(group.values("measured_frame_rate"))
+        for name, group in groups.items()
+        if name in OLD_CLASSES and len(group)
+    ]
+    new = [
+        Cdf(group.values("measured_frame_rate"))
+        for name, group in groups.items()
+        if name not in OLD_CLASSES and len(group)
+    ]
+    if not old or not new:
+        return _not_applicable("C7", title, "a PC class side is missing")
+    old_above = sum(c.fraction_at_least(3.0) for c in old) / len(old)
+    new_above = sum(c.fraction_at_least(3.0) for c in new) / len(new)
+    metrics = {"old_pc_above_3fps": old_above, "new_pc_above_3fps": new_above}
+    passed = new_above >= old_above + 0.20
+    return _verdict("C7", title, passed, metrics)
+
+
+def _check_c8(dataset: StudyDataset) -> ClaimVerdict:
+    title = "availability: ~10% of requests find the clip unavailable"
+    attempts = dataset.filter(lambda r: r.outcome != "control_failed")
+    if len(attempts) == 0:
+        return _not_applicable("C8", title, "no request attempts")
+    unavailable = sum(
+        1 for record in attempts if record.outcome == "unavailable"
+    )
+    fraction = unavailable / len(attempts)
+    metrics = {"unavailable_fraction": fraction}
+    passed = 0.04 <= fraction <= 0.17
+    return _verdict("C8", title, passed, metrics)
+
+
+#: The paper's eight headline claims, in DESIGN.md order.
+ALL_CLAIMS: tuple[Claim, ...] = (
+    Claim("C1", "frame rate distribution", _check_c1),
+    Claim("C2", "access classes", _check_c2),
+    Claim("C3", "geography", _check_c3),
+    Claim("C4", "protocol mix and parity", _check_c4),
+    Claim("C5", "jitter", _check_c5),
+    Claim("C6", "ratings", _check_c6),
+    Claim("C7", "PC classes", _check_c7),
+    Claim("C8", "availability", _check_c8),
+)
+
+
+def evaluate_claims(dataset: StudyDataset) -> tuple[ClaimVerdict, ...]:
+    """Every claim's verdict on one dataset, in C1..C8 order."""
+    return tuple(claim.check(dataset) for claim in ALL_CLAIMS)

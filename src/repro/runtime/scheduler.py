@@ -99,14 +99,16 @@ def plan_shards(
 def plan_fingerprint(
     config: StudyConfig, shards: tuple[ShardSpec, ...]
 ) -> str:
-    """A stable digest of the configuration and shard assignment."""
+    """A stable digest of the configuration and shard assignment.
+
+    Built on ``StudyConfig.to_canonical_dict()``, so every knob that
+    shapes results — scenario, tracer tree, scale — participates, and
+    ``validation`` (which never changes results) does not: an audited
+    run can resume an unaudited journal.
+    """
     payload = json.dumps(
         {
-            "seed": config.seed,
-            "scale": config.scale,
-            "playlist_length": config.playlist_length,
-            "max_users": config.max_users,
-            "tracer": repr(config.tracer),
+            "config": config.to_canonical_dict(),
             "shards": [list(shard.user_ids) for shard in shards],
         },
         sort_keys=True,

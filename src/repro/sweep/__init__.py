@@ -1,0 +1,57 @@
+"""Declarative scenario sweeps with a content-addressed study cache.
+
+The subsystem turns what-if exploration into a first-class workload:
+
+- `repro.sweep.spec` — :class:`SweepSpec`/:class:`SweepCell`: axes
+  over scenario, seed, scale, and arbitrary ``StudyConfig`` overrides,
+  loadable from TOML/JSON;
+- `repro.sweep.cache` — :class:`StudyCache`: study CSVs keyed by
+  ``StudyConfig.canonical_hash()``, integrity-checked on load;
+- `repro.sweep.runner` — :func:`run_sweep`: executes cache-miss cells
+  through `repro.runtime` (sharded parallelism, retries, telemetry);
+- `repro.sweep.compare` — :func:`compare_sweep`: per-cell KS distances
+  and C1-C8 claim verdicts vs the baseline cell;
+- `repro.sweep.report` — ASCII/JSON sensitivity reports.
+
+The ``repro sweep`` CLI subcommand drives the whole pipeline.
+"""
+
+from repro.sweep.cache import CacheEntry, StudyCache
+from repro.sweep.compare import (
+    CellComparison,
+    SweepComparison,
+    compare_sweep,
+    ks_distance,
+)
+from repro.sweep.report import (
+    format_sweep_report,
+    report_json,
+    report_payload,
+)
+from repro.sweep.runner import CellRun, SweepResult, run_cell, run_sweep
+from repro.sweep.spec import (
+    SweepCell,
+    SweepSpec,
+    apply_override,
+    load_spec,
+)
+
+__all__ = [
+    "CacheEntry",
+    "CellComparison",
+    "CellRun",
+    "StudyCache",
+    "SweepCell",
+    "SweepComparison",
+    "SweepResult",
+    "SweepSpec",
+    "apply_override",
+    "compare_sweep",
+    "format_sweep_report",
+    "ks_distance",
+    "load_spec",
+    "report_json",
+    "report_payload",
+    "run_cell",
+    "run_sweep",
+]

@@ -1,0 +1,166 @@
+"""Content-addressed on-disk store of completed study datasets.
+
+Layout, keyed by :meth:`StudyConfig.canonical_hash`::
+
+    <root>/<hh>/<hash>/study.csv       # the full StudyDataset
+    <root>/<hh>/<hash>/manifest.json   # config echo + integrity digests
+
+(``hh`` is the first two hex digits, fanning entries out of one flat
+directory.)  The CSV is written first and the manifest last, both
+atomically, so the manifest's presence is the commit marker: a killed
+store leaves a miss, never a half-entry.
+
+Loads are paranoid the way `repro.runtime`'s checkpoint journal is:
+missing/unparsable manifests, hash mismatches, damaged or truncated
+CSVs, and record-count disagreements are all *evicted and reported as
+misses* — a corrupt cache re-simulates, it never crashes a sweep or,
+worse, silently feeds it wrong results.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import shutil
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.core.records import StudyDataset
+
+MANIFEST_NAME = "manifest.json"
+CSV_NAME = "study.csv"
+
+#: Bumped when the entry layout changes; old entries re-simulate.
+CACHE_FORMAT = 1
+
+
+def _atomic_write(path: Path, text: str) -> None:
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(text)
+    os.replace(tmp, path)
+
+
+@dataclass(frozen=True)
+class CacheEntry:
+    """A verified cache hit."""
+
+    config_hash: str
+    dataset: StudyDataset
+    manifest: dict
+
+
+class StudyCache:
+    """The sweep's content-addressed study store."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        #: Entries dropped because they failed an integrity check.
+        self.evicted: list[str] = []
+
+    def entry_dir(self, config_hash: str) -> Path:
+        return self.root / config_hash[:2] / config_hash
+
+    # -- read ---------------------------------------------------------------
+
+    def load(self, config_hash: str) -> CacheEntry | None:
+        """The verified entry for ``config_hash``, or None on miss.
+
+        Every integrity failure evicts the entry (recorded in
+        :attr:`evicted`) and reads as a miss, so callers re-simulate.
+        """
+        directory = self.entry_dir(config_hash)
+        manifest_path = directory / MANIFEST_NAME
+        if not manifest_path.exists():
+            return None
+        try:
+            manifest = json.loads(manifest_path.read_text())
+        except (OSError, ValueError) as exc:
+            return self._evict(config_hash, f"unreadable manifest: {exc}")
+        if manifest.get("format") != CACHE_FORMAT:
+            return self._evict(
+                config_hash,
+                f"format {manifest.get('format')!r} != {CACHE_FORMAT}",
+            )
+        if manifest.get("config_hash") != config_hash:
+            return self._evict(
+                config_hash,
+                f"manifest is for {manifest.get('config_hash')!r}",
+            )
+        try:
+            csv_bytes = (directory / CSV_NAME).read_bytes()
+        except OSError as exc:
+            return self._evict(config_hash, f"unreadable CSV: {exc}")
+        digest = hashlib.sha256(csv_bytes).hexdigest()
+        if digest != manifest.get("csv_sha256"):
+            return self._evict(
+                config_hash,
+                f"CSV digest {digest[:12]} != journaled "
+                f"{str(manifest.get('csv_sha256'))[:12]}",
+            )
+        try:
+            dataset = StudyDataset.from_csv_string(csv_bytes.decode("utf-8"))
+        except (ValueError, TypeError, UnicodeDecodeError) as exc:
+            return self._evict(config_hash, f"unparsable CSV: {exc}")
+        if len(dataset) != manifest.get("records"):
+            return self._evict(
+                config_hash,
+                f"{len(dataset)} records != journaled "
+                f"{manifest.get('records')}",
+            )
+        return CacheEntry(
+            config_hash=config_hash, dataset=dataset, manifest=manifest
+        )
+
+    def _evict(self, config_hash: str, reason: str) -> None:
+        self.evicted.append(f"{config_hash[:12]}: {reason}")
+        self.invalidate(config_hash)
+        return None
+
+    # -- write --------------------------------------------------------------
+
+    def store(
+        self,
+        config_hash: str,
+        dataset: StudyDataset,
+        extra: dict | None = None,
+    ) -> CacheEntry:
+        """Journal a completed study under its content address.
+
+        ``extra`` lands in the manifest verbatim (cell id, canonical
+        config, engine stats...); integrity fields are always written.
+        """
+        directory = self.entry_dir(config_hash)
+        directory.mkdir(parents=True, exist_ok=True)
+        csv_text = dataset.to_csv_string()
+        _atomic_write(directory / CSV_NAME, csv_text)
+        manifest = {
+            **(extra if extra is not None else {}),
+            "format": CACHE_FORMAT,
+            "config_hash": config_hash,
+            "records": len(dataset),
+            "csv_sha256": hashlib.sha256(
+                csv_text.encode("utf-8")
+            ).hexdigest(),
+        }
+        _atomic_write(
+            directory / MANIFEST_NAME, json.dumps(manifest, indent=2)
+        )
+        return CacheEntry(
+            config_hash=config_hash, dataset=dataset, manifest=manifest
+        )
+
+    def invalidate(self, config_hash: str) -> None:
+        """Remove an entry (no-op when absent)."""
+        directory = self.entry_dir(config_hash)
+        if directory.exists():
+            shutil.rmtree(directory)
+
+    def entries(self) -> list[str]:
+        """Every committed config hash currently in the store."""
+        if not self.root.exists():
+            return []
+        return sorted(
+            path.parent.name
+            for path in self.root.glob(f"??/*/{MANIFEST_NAME}")
+        )

@@ -1,0 +1,115 @@
+"""Rendering of sweep comparisons: ASCII for terminals, JSON for tools.
+
+Follows the `repro.analysis.report` conventions (fixed-width aligned
+columns, one row per series).  Both renderings are pure functions of
+the :class:`~repro.sweep.compare.SweepComparison` — no timestamps, no
+cache-traffic counters, no throughput — so a fully cached rerun of the
+same sweep emits byte-identical reports; run-specific accounting lives
+in ``SweepResult.manifest()`` instead.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.experiments.claims import NOT_APPLICABLE, PASS
+from repro.sweep.compare import KS_METRICS, SweepComparison
+
+#: Compact claim-verdict glyphs for the ASCII table.
+_GLYPH = {PASS: "+", NOT_APPLICABLE: "."}
+
+
+def _claim_glyphs(cell) -> str:
+    return "".join(
+        _GLYPH.get(verdict.verdict, "x") for verdict in cell.claims
+    )
+
+
+def format_sweep_report(comparison: SweepComparison) -> str:
+    """The sensitivity report as an aligned plain-text table.
+
+    Claim columns read ``+`` pass, ``x`` fail, ``.`` not applicable,
+    in C1..C8 order; KS columns are distances from the baseline cell's
+    distribution (the baseline row is all zeros by construction).
+    """
+    id_width = max(
+        len("cell"), max(len(cell.cell_id) for cell in comparison.cells)
+    )
+    header = [f"{'cell'.ljust(id_width)}  {'records':>7}"]
+    header.extend(f"{'ks:' + metric:>19}" for metric in KS_METRICS)
+    header.append(f"  {'C1-C8':8}  flips")
+    lines = [
+        f"sweep {comparison.sweep!r} — baseline {comparison.baseline_id}",
+        "".join(header),
+    ]
+    for cell in comparison.cells:
+        row = [f"{cell.cell_id.ljust(id_width)}  {cell.records:>7d}"]
+        for metric in KS_METRICS:
+            value = cell.ks.get(metric)
+            row.append(f"{value:>19.4f}" if value is not None else
+                       f"{'-':>19}")
+        flips = ",".join(cell.flipped_claims) if cell.flipped_claims else "-"
+        marker = " (baseline)" if cell.is_baseline else ""
+        row.append(f"  {_claim_glyphs(cell):8}  {flips}{marker}")
+        lines.append("".join(row))
+
+    sensitivity = comparison.sensitivity()
+    lines.append("")
+    if sensitivity:
+        lines.append("claim sensitivity (which cells flip which claim):")
+        for claim_id, cell_ids in sensitivity.items():
+            title = next(
+                v.title
+                for cell in comparison.cells
+                for v in cell.claims
+                if v.claim_id == claim_id
+            )
+            lines.append(f"  {claim_id} ({title}):")
+            for cell_id in cell_ids:
+                lines.append(f"    {cell_id}")
+    else:
+        lines.append("claim sensitivity: no cell flips any claim verdict")
+    return "\n".join(lines)
+
+
+def report_payload(comparison: SweepComparison) -> dict:
+    """The comparison as a JSON-ready dict (stable key order)."""
+    return {
+        "sweep": comparison.sweep,
+        "baseline": comparison.baseline_id,
+        "cells": [
+            {
+                "cell_id": cell.cell_id,
+                "config_hash": cell.config_hash,
+                "records": cell.records,
+                "is_baseline": cell.is_baseline,
+                "ks": {
+                    metric: cell.ks[metric]
+                    for metric in KS_METRICS
+                    if metric in cell.ks
+                },
+                "claims": [
+                    {
+                        "claim_id": verdict.claim_id,
+                        "title": verdict.title,
+                        "verdict": verdict.verdict,
+                        "metrics": dict(sorted(verdict.metrics.items())),
+                        **({"note": verdict.note} if verdict.note else {}),
+                    }
+                    for verdict in cell.claims
+                ],
+                "flipped_claims": list(cell.flipped_claims),
+            }
+            for cell in comparison.cells
+        ],
+        "sensitivity": {
+            claim_id: list(cell_ids)
+            for claim_id, cell_ids in comparison.sensitivity().items()
+        },
+    }
+
+
+def report_json(comparison: SweepComparison) -> str:
+    """Canonical JSON text of the report (byte-stable across reruns)."""
+    return json.dumps(report_payload(comparison), indent=2, sort_keys=True) \
+        + "\n"

@@ -1,0 +1,200 @@
+"""Execute a sweep: cached cells load, the rest simulate in parallel.
+
+Each cell resolves to a :class:`~repro.core.study.StudyConfig`, is
+content-addressed by its canonical hash, and — on a cache miss — runs
+through :func:`repro.runtime.run_study`, inheriting the engine's
+sharded parallelism, retries, and telemetry.  Because the runtime's
+determinism contract makes the dataset a pure function of the config,
+a verified cache hit *is* the simulation, and a sweep's results are
+identical whether every cell simulated or every cell loaded.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable
+
+from repro.core.records import StudyDataset
+from repro.errors import SweepError
+from repro.runtime import RuntimeConfig, run_study
+from repro.sweep.cache import StudyCache
+from repro.sweep.spec import SweepCell, SweepSpec
+
+
+@dataclass(frozen=True)
+class CellRun:
+    """One executed (or cache-loaded) cell."""
+
+    cell: SweepCell
+    config_hash: str
+    dataset: StudyDataset
+    #: Loaded from the cache instead of simulating.
+    cached: bool
+    #: Wall-clock seconds this run spent on the cell (load or simulate).
+    elapsed_s: float
+    #: Simulation throughput; None for cache hits (nothing simulated).
+    plays_per_second: float | None
+
+    @property
+    def cell_id(self) -> str:
+        return self.cell.cell_id
+
+    @property
+    def records(self) -> int:
+        return len(self.dataset)
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """Everything one sweep run produced."""
+
+    spec: SweepSpec
+    runs: tuple[CellRun, ...]
+    baseline: CellRun
+    hits: int
+    misses: int
+    #: Cache entries evicted for failing integrity checks (re-simulated).
+    evicted: tuple[str, ...]
+    workers: int
+    elapsed_s: float
+
+    def __getitem__(self, cell_id: str) -> CellRun:
+        for run in self.runs:
+            if run.cell_id == cell_id:
+                return run
+        raise KeyError(cell_id)
+
+    def manifest(self) -> dict:
+        """The run-specific record (cache traffic, throughput).
+
+        Timing and hit/miss counters live here — NOT in the
+        sensitivity report — so a fully-cached rerun can emit a
+        byte-identical report while still accounting for its traffic.
+        """
+        return {
+            "sweep": self.spec.name,
+            "cells": len(self.runs),
+            "cache_hits": self.hits,
+            "cache_misses": self.misses,
+            "cache_evicted": list(self.evicted),
+            "workers": self.workers,
+            "elapsed_s": round(self.elapsed_s, 3),
+            "baseline": self.baseline.cell_id,
+            "cell_runs": [
+                {
+                    "cell_id": run.cell_id,
+                    "config_hash": run.config_hash,
+                    "records": run.records,
+                    "cached": run.cached,
+                    "elapsed_s": round(run.elapsed_s, 3),
+                    "plays_per_second": (
+                        None
+                        if run.plays_per_second is None
+                        else round(run.plays_per_second, 2)
+                    ),
+                }
+                for run in self.runs
+            ],
+        }
+
+
+def run_cell(
+    cell: SweepCell,
+    cache: StudyCache | None = None,
+    workers: int = 1,
+    force: bool = False,
+) -> CellRun:
+    """Execute one cell: verified cache hit, else simulate and store."""
+    config = cell.study_config()
+    config_hash = config.canonical_hash()
+    started = time.monotonic()
+    if cache is not None and not force:
+        entry = cache.load(config_hash)
+        if entry is not None:
+            return CellRun(
+                cell=cell,
+                config_hash=config_hash,
+                dataset=entry.dataset,
+                cached=True,
+                elapsed_s=time.monotonic() - started,
+                plays_per_second=None,
+            )
+    result = run_study(config, RuntimeConfig(workers=workers))
+    if result.failed_shards:
+        raise SweepError(
+            f"cell {cell.cell_id!r}: shards {list(result.failed_shards)} "
+            "failed after retries; refusing to cache a partial study"
+        )
+    plays_per_second = result.telemetry.plays_per_second()
+    if cache is not None:
+        cache.store(
+            config_hash,
+            result.dataset,
+            extra={
+                "cell_id": cell.cell_id,
+                "config": config.to_canonical_dict(),
+                "engine": {
+                    "workers": workers,
+                    "plays_per_second": round(plays_per_second, 2),
+                    "shard_count": result.plan.shard_count,
+                },
+            },
+        )
+    return CellRun(
+        cell=cell,
+        config_hash=config_hash,
+        dataset=result.dataset,
+        cached=False,
+        elapsed_s=time.monotonic() - started,
+        plays_per_second=plays_per_second,
+    )
+
+
+def run_sweep(
+    spec: SweepSpec,
+    cache_dir: str | Path | None = None,
+    workers: int = 1,
+    force: bool = False,
+    progress: Callable[[str], None] | None = None,
+) -> SweepResult:
+    """Run every cell of the sweep and return the collected results.
+
+    ``cache_dir`` enables the content-addressed store (``force=True``
+    re-simulates and overwrites even on a hit); ``workers`` is passed
+    through to `repro.runtime` per cell; ``progress`` receives one
+    status line per cell.
+    """
+    if workers < 1:
+        raise SweepError(f"workers must be >= 1, got {workers}")
+    cells = spec.cells()
+    baseline_cell = spec.baseline_cell()
+    cache = StudyCache(cache_dir) if cache_dir is not None else None
+    started = time.monotonic()
+    runs: list[CellRun] = []
+    for index, cell in enumerate(cells):
+        run = run_cell(cell, cache=cache, workers=workers, force=force)
+        runs.append(run)
+        if progress is not None:
+            status = "cached" if run.cached else (
+                f"simulated at {run.plays_per_second:.1f} plays/s"
+            )
+            progress(
+                f"[{index + 1}/{len(cells)}] {run.cell_id}: "
+                f"{run.records} records, {status} "
+                f"({run.elapsed_s:.1f}s, {run.config_hash[:12]})"
+            )
+    baseline_run = next(
+        run for run in runs if run.cell_id == baseline_cell.cell_id
+    )
+    return SweepResult(
+        spec=spec,
+        runs=tuple(runs),
+        baseline=baseline_run,
+        hits=sum(1 for run in runs if run.cached),
+        misses=sum(1 for run in runs if not run.cached),
+        evicted=tuple(cache.evicted) if cache is not None else (),
+        workers=workers,
+        elapsed_s=time.monotonic() - started,
+    )

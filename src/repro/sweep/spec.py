@@ -1,0 +1,255 @@
+"""Declarative sweep specifications: axes over the study's knobs.
+
+A :class:`SweepSpec` names the scenario/seed/scale axes (plus arbitrary
+dotted-path overrides into :class:`~repro.core.study.StudyConfig`) and
+expands into a deterministic list of :class:`SweepCell`\\ s — the full
+grid, optionally extended with hand-written cells.  Each cell resolves
+to one concrete ``StudyConfig`` whose
+:meth:`~repro.core.study.StudyConfig.canonical_hash` is the cell's
+content address in the `repro.sweep.cache` store.
+
+Specs load from TOML or JSON (``load_spec``), so a what-if campaign is
+a file in the repo, not a hand-rolled benchmark.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+import json
+from dataclasses import dataclass, replace
+from pathlib import Path
+
+from repro.core.study import StudyConfig
+from repro.errors import SweepError
+from repro.world.scenarios import configured, get_scenario
+
+try:
+    import tomllib
+except ModuleNotFoundError:  # Python 3.10: stdlib tomllib is 3.11+
+    tomllib = None  # type: ignore[assignment]
+
+#: StudyConfig fields that are sweep axes (or never sweepable) and so
+#: cannot also be dotted-path overrides.
+_RESERVED_OVERRIDE_ROOTS = ("seed", "scale", "scenario", "validation")
+
+
+def apply_override(config: StudyConfig, path: str, value) -> StudyConfig:
+    """Return ``config`` with the dotted-path field replaced.
+
+    ``path`` walks nested config dataclasses
+    (``"tracer.playout.prebuffer_media_s"``); every segment must name
+    an existing field, and int values are widened to float when the
+    field holds a float so ``2`` and ``2.0`` hash identically.
+    """
+    root = path.split(".", 1)[0]
+    if root in _RESERVED_OVERRIDE_ROOTS:
+        raise SweepError(
+            f"override {path!r} targets the {root!r} axis; set it on the "
+            "cell, not in overrides"
+        )
+    return _replace_path(config, path.split("."), value, path)
+
+
+def _replace_path(obj, segments: list[str], value, full_path: str):
+    name = segments[0]
+    if not dataclasses.is_dataclass(obj):
+        raise SweepError(
+            f"override {full_path!r}: {name!r} is not reachable "
+            f"(parent is {type(obj).__name__}, not a config)"
+        )
+    if name not in {f.name for f in dataclasses.fields(obj)}:
+        raise SweepError(
+            f"override {full_path!r}: {type(obj).__name__} has no "
+            f"field {name!r}"
+        )
+    current = getattr(obj, name)
+    if len(segments) == 1:
+        if dataclasses.is_dataclass(current):
+            raise SweepError(
+                f"override {full_path!r} targets the whole "
+                f"{type(current).__name__}; set one of its fields instead"
+            )
+        if isinstance(current, float) and isinstance(value, int) \
+                and not isinstance(value, bool):
+            value = float(value)
+        return replace(obj, **{name: value})
+    return replace(
+        obj, **{name: _replace_path(current, segments[1:], value, full_path)}
+    )
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One point of the sweep grid: a fully determined study."""
+
+    scenario: str = "baseline"
+    seed: int = 2001
+    scale: float = 1.0
+    #: Sorted ``(dotted_path, value)`` pairs applied on top of the
+    #: scenario-configured StudyConfig.
+    overrides: tuple[tuple[str, object], ...] = ()
+
+    @property
+    def cell_id(self) -> str:
+        """Stable human-readable identity (report rows, baselines)."""
+        parts = [f"{self.scenario}@s{self.seed}x{self.scale:g}"]
+        parts.extend(f"{path}={value}" for path, value in self.overrides)
+        return "+".join(parts)
+
+    def study_config(self) -> StudyConfig:
+        """Resolve to the concrete study configuration."""
+        base = StudyConfig(seed=self.seed, scale=float(self.scale))
+        config = configured(get_scenario(self.scenario), base)
+        for path, value in self.overrides:
+            config = apply_override(config, path, value)
+        return config
+
+
+def _as_cell(data: dict, where: str) -> SweepCell:
+    data = dict(data)
+    overrides = data.pop("overrides", {})
+    if not isinstance(overrides, dict):
+        raise SweepError(f"{where}: overrides must be a table/object")
+    known = {"scenario", "seed", "scale"}
+    unknown = set(data) - known
+    if unknown:
+        raise SweepError(f"{where}: unknown cell keys {sorted(unknown)!r}")
+    return SweepCell(
+        scenario=data.get("scenario", "baseline"),
+        seed=int(data.get("seed", 2001)),
+        scale=float(data.get("scale", 1.0)),
+        overrides=tuple(sorted(overrides.items())),
+    )
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """Axes (and/or explicit cells) of one sweep campaign."""
+
+    name: str
+    scenarios: tuple[str, ...] = ("baseline",)
+    seeds: tuple[int, ...] = (2001,)
+    scales: tuple[float, ...] = (1.0,)
+    #: Gridded overrides: ``(dotted_path, (value, value, ...))`` —
+    #: every combination of every path's values is expanded.
+    overrides: tuple[tuple[str, tuple]] = ()
+    #: Hand-written cells appended after the grid.
+    extra_cells: tuple[SweepCell, ...] = ()
+    #: ``cell_id`` of the comparison baseline (default: first cell).
+    baseline: str | None = None
+
+    def cells(self) -> tuple[SweepCell, ...]:
+        """The deterministic cell list: grid order, then extras."""
+        axes = [
+            [(path, value) for value in values]
+            for path, values in self.overrides
+        ]
+        grid = []
+        for scenario, seed, scale, *chosen in itertools.product(
+            self.scenarios, self.seeds, self.scales, *axes
+        ):
+            grid.append(
+                SweepCell(
+                    scenario=scenario,
+                    seed=int(seed),
+                    scale=float(scale),
+                    overrides=tuple(sorted(chosen)),
+                )
+            )
+        cells = tuple(grid) + tuple(self.extra_cells)
+        if not cells:
+            raise SweepError(f"sweep {self.name!r} expands to no cells")
+        seen: set[str] = set()
+        for cell in cells:
+            if cell.cell_id in seen:
+                raise SweepError(
+                    f"sweep {self.name!r} has duplicate cell "
+                    f"{cell.cell_id!r}"
+                )
+            seen.add(cell.cell_id)
+        return cells
+
+    def baseline_cell(self) -> SweepCell:
+        """The cell every other cell is compared against."""
+        cells = self.cells()
+        if self.baseline is None:
+            return cells[0]
+        for cell in cells:
+            if cell.cell_id == self.baseline:
+                return cell
+        raise SweepError(
+            f"baseline {self.baseline!r} is not a cell of sweep "
+            f"{self.name!r} (cells: {[c.cell_id for c in cells]})"
+        )
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SweepSpec":
+        """Build a spec from a parsed TOML/JSON document."""
+        data = dict(data)
+        known = {
+            "name", "scenarios", "seeds", "scales", "overrides",
+            "cells", "baseline",
+        }
+        unknown = set(data) - known
+        if unknown:
+            raise SweepError(f"unknown spec keys {sorted(unknown)!r}")
+        if "name" not in data or not str(data["name"]):
+            raise SweepError("a sweep spec needs a non-empty name")
+        overrides = data.get("overrides", {})
+        if not isinstance(overrides, dict):
+            raise SweepError("overrides must map dotted paths to value lists")
+        for path, values in overrides.items():
+            if not isinstance(values, (list, tuple)) or not values:
+                raise SweepError(
+                    f"override axis {path!r} must list at least one value"
+                )
+        extra = tuple(
+            _as_cell(cell, f"cells[{index}]")
+            for index, cell in enumerate(data.get("cells", ()))
+        )
+        spec = cls(
+            name=str(data["name"]),
+            scenarios=tuple(data.get("scenarios", ("baseline",))),
+            seeds=tuple(int(s) for s in data.get("seeds", (2001,))),
+            scales=tuple(float(x) for x in data.get("scales", (1.0,))),
+            overrides=tuple(
+                (path, tuple(values))
+                for path, values in sorted(overrides.items())
+            ),
+            extra_cells=extra,
+            baseline=data.get("baseline"),
+        )
+        for scenario in spec.scenarios:
+            get_scenario(scenario)  # fail fast on typos
+        spec.baseline_cell()  # validates cells + baseline reference
+        return spec
+
+
+def load_spec(path: str | Path) -> SweepSpec:
+    """Load a sweep spec from a ``.toml`` or ``.json`` file."""
+    path = Path(path)
+    try:
+        raw = path.read_bytes()
+    except OSError as exc:
+        raise SweepError(f"cannot read sweep spec {path}: {exc}") from exc
+    if path.suffix.lower() == ".toml":
+        if tomllib is None:
+            raise SweepError(
+                f"TOML specs need Python 3.11+ (stdlib tomllib); rewrite "
+                f"{path.name} as JSON or upgrade"
+            )
+        try:
+            data = tomllib.loads(raw.decode("utf-8"))
+        except (tomllib.TOMLDecodeError, UnicodeDecodeError) as exc:
+            raise SweepError(f"malformed TOML spec {path}: {exc}") from exc
+    elif path.suffix.lower() == ".json":
+        try:
+            data = json.loads(raw)
+        except ValueError as exc:
+            raise SweepError(f"malformed JSON spec {path}: {exc}") from exc
+    else:
+        raise SweepError(
+            f"sweep spec {path} must be .toml or .json"
+        )
+    return SweepSpec.from_dict(data)

@@ -15,13 +15,12 @@ from typing import Callable
 
 import numpy as np
 
-from repro.core.realtracer import TracerConfig
 from repro.core.study import Study, StudyConfig
+from repro.errors import StudyError
 from repro.player.playout import PlayoutConfig
-from repro.rng import RngFactory
 from repro.server.session import SessionConfig
 from repro.world.connections import DSL_CABLE
-from repro.world.population import StudyPopulation, build_population
+from repro.world.population import StudyPopulation
 
 
 @dataclass(frozen=True)
@@ -84,6 +83,21 @@ def _red_queues(config: StudyConfig) -> StudyConfig:
     return replace(config, tracer=replace(config.tracer, red_bottleneck=True))
 
 
+def _no_massachusetts(
+    population: StudyPopulation, seed: int
+) -> StudyPopulation:
+    """Drop the over-represented Massachusetts users (paper Section IV).
+
+    Because every playback's RNG stream is keyed by ``(seed, user_id,
+    position)``, removing users leaves everyone else's records
+    byte-identical — this scenario *is* the paper's robustness check.
+    """
+    users = tuple(
+        user for user in population.users if user.state != "MA"
+    )
+    return StudyPopulation(users=users, playlist=population.playlist)
+
+
 BASELINE = Scenario(
     name="baseline",
     description="The calibrated June-2001 world.",
@@ -119,10 +133,45 @@ RED_QUEUES = Scenario(
     repopulate=_identity_population,
 )
 
+NO_MASSACHUSETTS = Scenario(
+    name="no-massachusetts",
+    description="Massachusetts users excluded (Section IV robustness).",
+    configure=_identity_config,
+    repopulate=_no_massachusetts,
+)
+
 SCENARIOS: dict[str, Scenario] = {
     s.name: s
-    for s in (BASELINE, ALL_BROADBAND, NO_SURESTREAM, SMALL_BUFFER, RED_QUEUES)
+    for s in (
+        BASELINE,
+        ALL_BROADBAND,
+        NO_SURESTREAM,
+        SMALL_BUFFER,
+        RED_QUEUES,
+        NO_MASSACHUSETTS,
+    )
 }
+
+
+def get_scenario(name: str) -> Scenario:
+    """Look a scenario up by name, failing with the known names."""
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        raise StudyError(
+            f"unknown scenario {name!r} (known: {sorted(SCENARIOS)})"
+        ) from None
+
+
+def configured(scenario: Scenario, base: StudyConfig) -> StudyConfig:
+    """The full study configuration of a scenario run.
+
+    Applies the scenario's config transform *and* stamps its name into
+    ``StudyConfig.scenario`` so any ``Study(config)`` — serial, in a
+    `repro.runtime` worker process, or rebuilt from a `repro.sweep`
+    cache manifest — applies the matching population transform.
+    """
+    return replace(scenario.configure(base), scenario=scenario.name)
 
 
 def run_scenario(
@@ -131,7 +180,5 @@ def run_scenario(
     scale: float = 0.1,
 ):
     """Run one scenario and return its dataset."""
-    config = scenario.configure(StudyConfig(seed=seed, scale=scale))
-    baseline_population = build_population(RngFactory(seed))
-    population = scenario.repopulate(baseline_population, seed)
-    return Study(config, population=population).run()
+    config = configured(scenario, StudyConfig(seed=seed, scale=scale))
+    return Study(config).run()

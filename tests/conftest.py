@@ -16,6 +16,30 @@ def rng() -> np.random.Generator:
     return np.random.default_rng(42)
 
 
+@pytest.fixture(scope="session")
+def tiny_sweep_spec():
+    """A 2-cell sweep small enough for unit tests (seconds, not minutes)."""
+    from repro.sweep import SweepSpec
+
+    return SweepSpec.from_dict({
+        "name": "tiny",
+        "scenarios": ["baseline", "small-buffer"],
+        "seeds": [13],
+        "scales": [0.15],
+        "overrides": {"max_users": [6], "playlist_length": [8]},
+    })
+
+
+@pytest.fixture(scope="session")
+def tiny_sweep(tiny_sweep_spec, tmp_path_factory):
+    """One executed tiny sweep, cached; shared across sweep tests."""
+    from repro.sweep import run_sweep
+
+    cache_dir = tmp_path_factory.mktemp("sweep-cache")
+    result = run_sweep(tiny_sweep_spec, cache_dir=cache_dir, workers=1)
+    return result, cache_dir
+
+
 @pytest.fixture
 def rngs() -> RngFactory:
     return RngFactory(42)

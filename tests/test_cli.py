@@ -40,6 +40,21 @@ class TestParser:
         assert args.workers == 2
         assert args.resume
 
+    def test_sweep_args(self):
+        args = cli.build_parser().parse_args(
+            ["sweep", "--spec", "s.toml", "--workers", "3",
+             "--cache-dir", "cache", "--force", "--report", "r.json"]
+        )
+        assert str(args.spec) == "s.toml"
+        assert args.workers == 3
+        assert str(args.cache_dir) == "cache"
+        assert args.force
+        assert str(args.report) == "r.json"
+
+    def test_sweep_requires_spec(self):
+        with pytest.raises(SystemExit):
+            cli.build_parser().parse_args(["sweep"])
+
 
 class TestPlayCommand:
     def test_play_runs(self, capsys):
@@ -86,3 +101,47 @@ class TestStudyAndReport:
             [record(outcome="unavailable")]
         ).to_csv(path)
         assert cli.main(["report", "--csv", str(path)]) == 2
+
+
+class TestSweepCommand:
+    def _write_spec(self, tmp_path):
+        import json
+
+        spec_path = tmp_path / "sweep.json"
+        spec_path.write_text(json.dumps({
+            "name": "cli-tiny",
+            "scenarios": ["baseline", "small-buffer"],
+            "seeds": [13],
+            "scales": [0.15],
+            "overrides": {
+                "max_users": [6], "playlist_length": [8],
+            },
+        }))
+        return spec_path
+
+    def test_sweep_runs_then_rerun_hits_cache(self, tmp_path, capsys):
+        spec_path = self._write_spec(tmp_path)
+        cache_dir = tmp_path / "cache"
+        report_path = tmp_path / "report.json"
+        argv = [
+            "sweep", "--spec", str(spec_path),
+            "--cache-dir", str(cache_dir),
+            "--report", str(report_path),
+        ]
+        assert cli.main(argv) == 0
+        out = capsys.readouterr().out
+        assert "2 simulated, 0 from cache" in out
+        assert "sweep 'cli-tiny'" in out
+        assert (cache_dir / "sweep_manifest.json").exists()
+        first_report = report_path.read_bytes()
+
+        assert cli.main(argv) == 0
+        out = capsys.readouterr().out
+        assert "0 simulated, 2 from cache" in out
+        assert report_path.read_bytes() == first_report
+
+    def test_sweep_bad_spec_exits_2(self, tmp_path, capsys):
+        spec_path = tmp_path / "bad.json"
+        spec_path.write_text('{"sceanrios": []}')
+        assert cli.main(["sweep", "--spec", str(spec_path)]) == 2
+        assert "error:" in capsys.readouterr().err

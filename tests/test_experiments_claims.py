@@ -1,0 +1,157 @@
+"""Executable claim predicates C1-C8."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.records import ClipRecord, StudyDataset
+from repro.experiments.claims import (
+    ALL_CLAIMS,
+    FAIL,
+    NOT_APPLICABLE,
+    PASS,
+    evaluate_claims,
+)
+
+
+def record(**overrides) -> ClipRecord:
+    base = dict(
+        user_id="user001",
+        user_country="US",
+        user_state="MA",
+        user_region="US/Canada",
+        connection="DSL/Cable",
+        pc_class="Pentium III / 256-512MB",
+        server_name="US/CNN",
+        server_country="US",
+        server_region="US/Canada",
+        clip_url="rtsp://us.cnn/clip00.rm",
+        outcome="played",
+        protocol="UDP",
+        encoded_bandwidth_bps=225_000.0,
+        encoded_frame_rate=24.0,
+        measured_bandwidth_bps=210_000.0,
+        measured_frame_rate=14.5,
+        jitter_s=0.032,
+        frames_displayed=870,
+        frames_late=3,
+        frames_lost=5,
+        frames_thinned=0,
+        rebuffer_count=0,
+        rebuffer_total_s=0.0,
+        initial_buffering_s=8.2,
+        play_span_s=60.0,
+        cpu_utilization=0.4,
+        rating=-1,
+    )
+    base.update(overrides)
+    return ClipRecord(**base)
+
+
+class TestRegistry:
+    def test_eight_claims_in_order(self):
+        assert [c.claim_id for c in ALL_CLAIMS] == \
+            [f"C{i}" for i in range(1, 9)]
+
+    def test_evaluate_returns_one_verdict_per_claim(self):
+        verdicts = evaluate_claims(StudyDataset([record()]))
+        assert [v.claim_id for v in verdicts] == \
+            [c.claim_id for c in ALL_CLAIMS]
+
+    def test_empty_dataset_is_entirely_not_applicable(self):
+        verdicts = evaluate_claims(StudyDataset())
+        assert all(v.verdict == NOT_APPLICABLE for v in verdicts)
+        assert all(v.note for v in verdicts)
+        assert not any(v.passed for v in verdicts)
+
+
+class TestAvailabilityC8:
+    def _verdict(self, dataset):
+        return next(
+            v for v in evaluate_claims(dataset) if v.claim_id == "C8"
+        )
+
+    def test_ten_percent_unavailable_passes(self):
+        records = [record() for _ in range(90)]
+        records += [record(outcome="unavailable") for _ in range(10)]
+        verdict = self._verdict(StudyDataset(records))
+        assert verdict.verdict == PASS
+        assert verdict.metrics["unavailable_fraction"] == pytest.approx(0.1)
+
+    def test_half_unavailable_fails(self):
+        records = [record() for _ in range(5)]
+        records += [record(outcome="unavailable") for _ in range(5)]
+        assert self._verdict(StudyDataset(records)).verdict == FAIL
+
+    def test_control_failures_are_not_attempts(self):
+        # 10 unavailable of 100 *reachable* attempts; the 50
+        # control-failed records must not dilute the fraction.
+        records = [record() for _ in range(90)]
+        records += [record(outcome="unavailable") for _ in range(10)]
+        records += [record(outcome="control_failed") for _ in range(50)]
+        verdict = self._verdict(StudyDataset(records))
+        assert verdict.metrics["unavailable_fraction"] == pytest.approx(0.1)
+
+
+class TestRatingsC6:
+    def _verdict(self, dataset):
+        return next(
+            v for v in evaluate_claims(dataset) if v.claim_id == "C6"
+        )
+
+    def test_uniform_ratings_pass(self):
+        records = [
+            record(rating=value) for value in range(11) for _ in range(2)
+        ]
+        assert self._verdict(StudyDataset(records)).verdict == PASS
+
+    def test_degenerate_ratings_fail(self):
+        records = [record(rating=9) for _ in range(20)]
+        assert self._verdict(StudyDataset(records)).verdict == FAIL
+
+    def test_too_few_ratings_not_applicable(self):
+        records = [record(rating=5) for _ in range(9)]
+        verdict = self._verdict(StudyDataset(records))
+        assert verdict.verdict == NOT_APPLICABLE
+        assert "too few" in verdict.note
+
+
+class TestAccessClassesC2:
+    def _verdict(self, dataset):
+        return next(
+            v for v in evaluate_claims(dataset) if v.claim_id == "C2"
+        )
+
+    def test_modem_clearly_worst_passes(self):
+        records = []
+        for _ in range(20):
+            records.append(
+                record(connection="56k Modem", measured_frame_rate=1.0)
+            )
+            records.append(
+                record(connection="DSL/Cable", measured_frame_rate=12.0)
+            )
+            records.append(
+                record(connection="T1/LAN", measured_frame_rate=13.0)
+            )
+        assert self._verdict(StudyDataset(records)).verdict == PASS
+
+    def test_broadband_split_fails(self):
+        # DSL far below T1 violates the "DSL ~ T1" half of the claim.
+        records = []
+        for _ in range(20):
+            records.append(
+                record(connection="56k Modem", measured_frame_rate=1.0)
+            )
+            records.append(
+                record(connection="DSL/Cable", measured_frame_rate=2.0)
+            )
+            records.append(
+                record(connection="T1/LAN", measured_frame_rate=13.0)
+            )
+        assert self._verdict(StudyDataset(records)).verdict == FAIL
+
+    def test_missing_class_not_applicable(self):
+        records = [record(connection="DSL/Cable") for _ in range(5)]
+        assert self._verdict(StudyDataset(records)).verdict == \
+            NOT_APPLICABLE

@@ -1,0 +1,170 @@
+"""Content-addressed study cache: round-trips and paranoid loads.
+
+Every corruption mode must read as an *eviction + miss* (re-simulate),
+never a crash and never a silent wrong dataset.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.records import ClipRecord, StudyDataset
+from repro.sweep import StudyCache
+from repro.sweep.cache import CACHE_FORMAT, CSV_NAME, MANIFEST_NAME
+
+
+def _record(index: int) -> ClipRecord:
+    return ClipRecord(
+        user_id=f"user{index:03d}",
+        user_country="US",
+        user_state="MA" if index % 2 else "CA",
+        user_region="US/Canada",
+        connection="DSL/Cable",
+        pc_class="Pentium III / 256-512MB",
+        server_name="US/CNN",
+        server_country="US",
+        server_region="US/Canada",
+        clip_url=f"rtsp://us.cnn/clip{index:02d}.rm",
+        outcome="played",
+        protocol="UDP",
+        encoded_bandwidth_bps=225_000.0,
+        encoded_frame_rate=24.0,
+        measured_bandwidth_bps=210_000.0 - index,
+        measured_frame_rate=14.5,
+        jitter_s=0.032,
+        frames_displayed=870,
+        frames_late=3,
+        frames_lost=5,
+        frames_thinned=0,
+        rebuffer_count=0,
+        rebuffer_total_s=0.0,
+        initial_buffering_s=8.2,
+        play_span_s=60.0,
+        cpu_utilization=0.4,
+        rating=7,
+    )
+
+
+HASH = "ab" + "0" * 62
+
+
+@pytest.fixture
+def dataset() -> StudyDataset:
+    return StudyDataset([_record(i) for i in range(5)])
+
+
+@pytest.fixture
+def cache(tmp_path) -> StudyCache:
+    return StudyCache(tmp_path / "cache")
+
+
+class TestRoundTrip:
+    def test_store_then_load(self, cache, dataset):
+        stored = cache.store(HASH, dataset, extra={"cell_id": "baseline@x"})
+        entry = cache.load(HASH)
+        assert entry is not None
+        assert len(entry.dataset) == len(dataset)
+        assert list(entry.dataset) == list(dataset)
+        assert entry.manifest["cell_id"] == "baseline@x"
+        assert entry.manifest == stored.manifest
+        assert cache.evicted == []
+
+    def test_missing_entry_is_a_plain_miss(self, cache):
+        assert cache.load(HASH) is None
+        assert cache.evicted == []
+
+    def test_entries_lists_committed_hashes(self, cache, dataset):
+        other = "cd" + "1" * 62
+        cache.store(HASH, dataset)
+        cache.store(other, dataset)
+        assert cache.entries() == sorted([HASH, other])
+
+    def test_invalidate_removes(self, cache, dataset):
+        cache.store(HASH, dataset)
+        cache.invalidate(HASH)
+        assert cache.load(HASH) is None
+        assert cache.entries() == []
+        cache.invalidate(HASH)  # idempotent
+
+
+class TestEvictions:
+    def _entry_dir(self, cache):
+        return cache.entry_dir(HASH)
+
+    def test_corrupt_manifest(self, cache, dataset):
+        cache.store(HASH, dataset)
+        (self._entry_dir(cache) / MANIFEST_NAME).write_text("{oops")
+        assert cache.load(HASH) is None
+        assert "unreadable manifest" in cache.evicted[0]
+        # The entry is gone; the next load is a clean miss.
+        assert not self._entry_dir(cache).exists()
+
+    def test_format_bump(self, cache, dataset):
+        cache.store(HASH, dataset)
+        path = self._entry_dir(cache) / MANIFEST_NAME
+        manifest = json.loads(path.read_text())
+        manifest["format"] = CACHE_FORMAT + 1
+        path.write_text(json.dumps(manifest))
+        assert cache.load(HASH) is None
+        assert "format" in cache.evicted[0]
+
+    def test_hash_mismatch(self, cache, dataset):
+        cache.store(HASH, dataset)
+        path = self._entry_dir(cache) / MANIFEST_NAME
+        manifest = json.loads(path.read_text())
+        manifest["config_hash"] = "ff" * 32
+        path.write_text(json.dumps(manifest))
+        assert cache.load(HASH) is None
+        assert "manifest is for" in cache.evicted[0]
+
+    def test_missing_csv(self, cache, dataset):
+        cache.store(HASH, dataset)
+        (self._entry_dir(cache) / CSV_NAME).unlink()
+        assert cache.load(HASH) is None
+        assert "unreadable CSV" in cache.evicted[0]
+
+    def test_truncated_csv(self, cache, dataset):
+        cache.store(HASH, dataset)
+        path = self._entry_dir(cache) / CSV_NAME
+        path.write_bytes(path.read_bytes()[:-40])
+        assert cache.load(HASH) is None
+        assert "digest" in cache.evicted[0]
+
+    def test_flipped_byte_in_csv(self, cache, dataset):
+        cache.store(HASH, dataset)
+        path = self._entry_dir(cache) / CSV_NAME
+        raw = bytearray(path.read_bytes())
+        raw[len(raw) // 2] ^= 0xFF
+        path.write_bytes(bytes(raw))
+        assert cache.load(HASH) is None
+        assert "digest" in cache.evicted[0]
+
+    def test_record_count_mismatch(self, cache, dataset):
+        import hashlib
+
+        cache.store(HASH, dataset)
+        directory = self._entry_dir(cache)
+        manifest_path = directory / MANIFEST_NAME
+        manifest = json.loads(manifest_path.read_text())
+        # Drop a CSV row but keep the digest consistent, so only the
+        # record-count check can catch the disagreement.
+        lines = (directory / CSV_NAME).read_text().splitlines(keepends=True)
+        shorter = "".join(lines[:-1])
+        (directory / CSV_NAME).write_text(shorter)
+        manifest["csv_sha256"] = hashlib.sha256(
+            shorter.encode("utf-8")
+        ).hexdigest()
+        manifest_path.write_text(json.dumps(manifest))
+        assert cache.load(HASH) is None
+        assert "records" in cache.evicted[0]
+
+    def test_eviction_then_store_recovers(self, cache, dataset):
+        cache.store(HASH, dataset)
+        (self._entry_dir(cache) / MANIFEST_NAME).write_text("junk")
+        assert cache.load(HASH) is None
+        cache.store(HASH, dataset)
+        entry = cache.load(HASH)
+        assert entry is not None
+        assert len(entry.dataset) == len(dataset)

@@ -1,0 +1,147 @@
+"""KS distances, claim flips, and report rendering."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.cdf import Cdf
+from repro.sweep import (
+    compare_sweep,
+    format_sweep_report,
+    ks_distance,
+    report_json,
+    report_payload,
+)
+from repro.sweep.compare import KS_METRICS
+
+
+class TestKsDistance:
+    def test_identical_samples(self):
+        cdf = Cdf([1.0, 2.0, 3.0, 4.0])
+        assert ks_distance(cdf, cdf) == 0.0
+
+    def test_disjoint_samples(self):
+        assert ks_distance(Cdf([1.0, 2.0]), Cdf([10.0, 11.0])) == 1.0
+
+    def test_known_half_overlap(self):
+        # grid {1,2,3}: F_a = (.5, 1, 1), F_b = (.5, .5, 1) -> sup .5
+        assert ks_distance(Cdf([1.0, 2.0]), Cdf([1.0, 3.0])) == 0.5
+
+    def test_symmetric(self):
+        a = Cdf([1.0, 2.0, 5.0])
+        b = Cdf([2.0, 3.0, 4.0, 6.0])
+        assert ks_distance(a, b) == ks_distance(b, a)
+
+    def test_unequal_sizes(self):
+        a = Cdf([1.0])
+        b = Cdf([1.0, 1.0, 1.0, 2.0])
+        assert ks_distance(a, b) == pytest.approx(0.25)
+
+
+@pytest.fixture(scope="module")
+def comparison(tiny_sweep):
+    result, _ = tiny_sweep
+    return compare_sweep(result)
+
+
+class TestCompareSweep:
+    def test_one_comparison_per_cell(self, tiny_sweep, comparison):
+        result, _ = tiny_sweep
+        assert [c.cell_id for c in comparison.cells] == \
+            [r.cell_id for r in result.runs]
+        assert comparison.baseline_id == result.baseline.cell_id
+        assert comparison.sweep == "tiny"
+
+    def test_baseline_distances_are_zero(self, comparison):
+        baseline = comparison[comparison.baseline_id]
+        assert baseline.is_baseline
+        assert baseline.ks
+        assert all(value == 0.0 for value in baseline.ks.values())
+        assert baseline.flipped_claims == ()
+
+    def test_non_baseline_gets_real_distances(self, comparison):
+        others = [c for c in comparison.cells if not c.is_baseline]
+        assert others
+        for cell in others:
+            assert set(cell.ks) <= set(KS_METRICS)
+            assert all(0.0 <= v <= 1.0 for v in cell.ks.values())
+        # small-buffer vs baseline genuinely moves the fps distribution.
+        assert any(cell.ks.get("fps", 0.0) > 0.0 for cell in others)
+
+    def test_all_claims_evaluated_in_order(self, comparison):
+        for cell in comparison.cells:
+            assert [v.claim_id for v in cell.claims] == \
+                [f"C{i}" for i in range(1, 9)]
+
+    def test_flips_match_baseline_disagreements(self, comparison):
+        baseline = comparison[comparison.baseline_id]
+        verdicts = {v.claim_id: v.verdict for v in baseline.claims}
+        for cell in comparison.cells:
+            expected = tuple(
+                v.claim_id for v in cell.claims
+                if v.verdict != verdicts[v.claim_id]
+            )
+            assert cell.flipped_claims == expected
+
+    def test_sensitivity_inverts_flips(self, comparison):
+        sensitivity = comparison.sensitivity()
+        for claim_id, cell_ids in sensitivity.items():
+            for cell_id in cell_ids:
+                assert claim_id in comparison[cell_id].flipped_claims
+        for cell in comparison.cells:
+            for claim_id in cell.flipped_claims:
+                assert cell.cell_id in sensitivity[claim_id]
+
+    def test_claim_lookup(self, comparison):
+        cell = comparison.cells[0]
+        assert cell.claim("C1").claim_id == "C1"
+        with pytest.raises(KeyError):
+            cell.claim("C99")
+
+
+class TestReport:
+    def test_ascii_report_shape(self, comparison):
+        text = format_sweep_report(comparison)
+        lines = text.splitlines()
+        assert lines[0] == \
+            f"sweep 'tiny' — baseline {comparison.baseline_id}"
+        assert "ks:fps" in lines[1]
+        assert "ks:bandwidth_kbps" in lines[1]
+        assert "ks:jitter_ms" in lines[1]
+        assert "(baseline)" in text
+        for cell in comparison.cells:
+            assert any(line.startswith(cell.cell_id) for line in lines)
+        # One glyph per claim, drawn from the 3-symbol alphabet.
+        for line in lines[2:2 + len(comparison.cells)]:
+            glyphs = line.split()[-2] if "(baseline)" not in line else \
+                line.split()[-3]
+            assert len(glyphs) == 8
+            assert set(glyphs) <= set("+x.")
+
+    def test_json_report_is_canonical(self, comparison):
+        text = report_json(comparison)
+        assert text.endswith("\n")
+        payload = json.loads(text)
+        assert payload == report_payload(comparison)
+        # Canonical form: re-dumping the parsed payload reproduces it.
+        assert json.dumps(payload, indent=2, sort_keys=True) + "\n" == text
+
+    def test_payload_carries_verdicts_and_metrics(self, comparison):
+        payload = report_payload(comparison)
+        assert payload["sweep"] == "tiny"
+        assert payload["baseline"] == comparison.baseline_id
+        for cell in payload["cells"]:
+            assert len(cell["claims"]) == 8
+            for claim in cell["claims"]:
+                assert claim["verdict"] in {"pass", "fail", "n/a"}
+                if claim["verdict"] == "n/a":
+                    assert claim["note"]
+                else:
+                    assert claim["metrics"]
+
+    def test_report_is_a_pure_function_of_the_comparison(self, comparison):
+        assert format_sweep_report(comparison) == \
+            format_sweep_report(comparison)
+        assert report_json(comparison) == report_json(comparison)

@@ -1,0 +1,76 @@
+"""The sweep runner reproduces the golden figures byte-for-byte.
+
+The baseline sweep cell at the pinned golden seed/scale must be *the
+same study* as the golden suite's ``make_context`` run — same records,
+same figures, same bytes — even though it travels through
+``repro.sweep`` (scenario stamping, content hashing, the runtime
+engine, the cache).  This is the acceptance test that a sweep's
+baseline row can be trusted against the paper reproduction.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.core.study import Study
+from repro.experiments.base import ExperimentContext, all_figures
+from repro.experiments.goldens import (
+    GOLDEN_SCALE,
+    GOLDEN_SEED,
+    canonical_json,
+    figure_payload,
+    read_golden,
+    read_meta,
+)
+from repro.sweep import StudyCache, SweepCell, run_cell
+
+GOLDEN_DIR = Path(__file__).parent / "goldens"
+
+FIGURES = all_figures()
+
+
+@pytest.fixture(scope="module")
+def golden_cell_ctx(tmp_path_factory):
+    """The golden-pinned baseline cell, run through the sweep stack."""
+    cache = StudyCache(tmp_path_factory.mktemp("golden-sweep-cache"))
+    cell = SweepCell(
+        scenario="baseline", seed=GOLDEN_SEED, scale=GOLDEN_SCALE
+    )
+    run = run_cell(cell, cache=cache)
+    assert run.cached is False
+    config = cell.study_config()
+    ctx = ExperimentContext(
+        dataset=run.dataset,
+        population=Study(config).population,
+        seed=GOLDEN_SEED,
+        scale=GOLDEN_SCALE,
+    )
+    return ctx, run, cache, cell
+
+
+def test_record_count_matches_golden_meta(golden_cell_ctx):
+    ctx, _, _, _ = golden_cell_ctx
+    assert len(ctx.dataset) == read_meta(GOLDEN_DIR)["records"]
+
+
+@pytest.mark.parametrize(
+    "figure", FIGURES, ids=[figure.figure_id for figure in FIGURES]
+)
+def test_sweep_baseline_cell_reproduces_golden(figure, golden_cell_ctx):
+    ctx, _, _, _ = golden_cell_ctx
+    recomputed = canonical_json(figure_payload(figure.run(ctx)))
+    assert recomputed == read_golden(GOLDEN_DIR, figure.figure_id), (
+        f"{figure.figure_id} computed from the sweep runner's baseline "
+        "cell differs from tests/goldens/ — the sweep stack changed the "
+        "study it claims to reproduce"
+    )
+
+
+def test_cache_hit_is_the_same_study(golden_cell_ctx):
+    _, run, cache, cell = golden_cell_ctx
+    again = run_cell(cell, cache=cache)
+    assert again.cached is True
+    assert again.config_hash == run.config_hash
+    assert list(again.dataset) == list(run.dataset)

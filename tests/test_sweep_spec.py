@@ -1,0 +1,236 @@
+"""Sweep specs: grid expansion, overrides, loading, validation."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.study import StudyConfig
+from repro.errors import StudyError, SweepError
+from repro.sweep import SweepCell, SweepSpec, apply_override, load_spec
+
+
+class TestApplyOverride:
+    def test_top_level_field(self):
+        config = apply_override(StudyConfig(), "max_users", 5)
+        assert config.max_users == 5
+
+    def test_nested_field(self):
+        config = apply_override(
+            StudyConfig(), "tracer.playout.prebuffer_media_s", 2.0
+        )
+        assert config.tracer.playout.prebuffer_media_s == 2.0
+        # The original default elsewhere is untouched.
+        assert config.tracer.playout.rebuffer_media_s == \
+            StudyConfig().tracer.playout.rebuffer_media_s
+
+    def test_int_widens_to_float_field(self):
+        config = apply_override(
+            StudyConfig(), "tracer.playout.prebuffer_media_s", 2
+        )
+        assert config.tracer.playout.prebuffer_media_s == 2.0
+        assert isinstance(config.tracer.playout.prebuffer_media_s, float)
+        # Identical hash either way: 2 and 2.0 are the same study.
+        other = apply_override(
+            StudyConfig(), "tracer.playout.prebuffer_media_s", 2.0
+        )
+        assert config.canonical_hash() == other.canonical_hash()
+
+    @pytest.mark.parametrize(
+        "path", ["seed", "scale", "scenario", "validation.enabled"]
+    )
+    def test_reserved_roots_rejected(self, path):
+        with pytest.raises(SweepError, match="axis"):
+            apply_override(StudyConfig(), path, 1)
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(SweepError, match="no .*field"):
+            apply_override(StudyConfig(), "tracer.playout.nope", 1.0)
+
+    def test_whole_dataclass_target_rejected(self):
+        with pytest.raises(SweepError, match="whole"):
+            apply_override(StudyConfig(), "tracer.playout", 1.0)
+
+    def test_path_through_leaf_rejected(self):
+        with pytest.raises(SweepError, match="not reachable"):
+            apply_override(StudyConfig(), "max_users.deeper", 1)
+
+
+class TestCell:
+    def test_cell_id_is_stable_and_readable(self):
+        cell = SweepCell(
+            scenario="red-queues", seed=7, scale=0.05,
+            overrides=(("max_users", 6),),
+        )
+        assert cell.cell_id == "red-queues@s7x0.05+max_users=6"
+
+    def test_study_config_applies_scenario_and_overrides(self):
+        cell = SweepCell(
+            scenario="no-surestream", seed=3, scale=0.1,
+            overrides=(("tracer.playout.prebuffer_media_s", 4.0),),
+        )
+        config = cell.study_config()
+        assert config.seed == 3
+        assert config.scenario == "no-surestream"
+        assert config.tracer.session.adaptation_enabled is False
+        assert config.tracer.playout.prebuffer_media_s == 4.0
+
+    def test_unknown_scenario_fails(self):
+        with pytest.raises(StudyError, match="unknown scenario"):
+            SweepCell(scenario="warp-speed").study_config()
+
+
+class TestGrid:
+    def test_full_product_in_deterministic_order(self):
+        spec = SweepSpec(
+            name="grid",
+            scenarios=("baseline", "red-queues"),
+            seeds=(1, 2),
+            scales=(0.1,),
+            overrides=(("max_users", (4, 8)),),
+        )
+        cells = spec.cells()
+        assert len(cells) == 2 * 2 * 1 * 2
+        assert cells == spec.cells()  # stable
+        assert cells[0].cell_id == "baseline@s1x0.1+max_users=4"
+        assert cells[-1].cell_id == "red-queues@s2x0.1+max_users=8"
+
+    def test_extra_cells_appended(self):
+        spec = SweepSpec(
+            name="extras",
+            scenarios=("baseline",),
+            seeds=(1,),
+            scales=(0.1,),
+            extra_cells=(SweepCell(scenario="small-buffer", seed=9,
+                                   scale=0.2),),
+        )
+        cells = spec.cells()
+        assert [c.cell_id for c in cells] == [
+            "baseline@s1x0.1", "small-buffer@s9x0.2",
+        ]
+
+    def test_duplicate_cells_rejected(self):
+        spec = SweepSpec(
+            name="dup", scenarios=("baseline",), seeds=(1,), scales=(0.1,),
+            extra_cells=(SweepCell(scenario="baseline", seed=1, scale=0.1),),
+        )
+        with pytest.raises(SweepError, match="duplicate"):
+            spec.cells()
+
+    def test_baseline_defaults_to_first_cell(self):
+        spec = SweepSpec(
+            name="b", scenarios=("red-queues", "baseline"),
+            seeds=(1,), scales=(0.1,),
+        )
+        assert spec.baseline_cell().cell_id == "red-queues@s1x0.1"
+
+    def test_named_baseline_resolved(self):
+        spec = SweepSpec(
+            name="b", scenarios=("red-queues", "baseline"),
+            seeds=(1,), scales=(0.1,), baseline="baseline@s1x0.1",
+        )
+        assert spec.baseline_cell().scenario == "baseline"
+
+    def test_missing_baseline_rejected(self):
+        spec = SweepSpec(
+            name="b", scenarios=("baseline",), seeds=(1,), scales=(0.1,),
+            baseline="nope@s1x0.1",
+        )
+        with pytest.raises(SweepError, match="not a cell"):
+            spec.baseline_cell()
+
+
+class TestFromDict:
+    def test_minimal(self):
+        spec = SweepSpec.from_dict({"name": "mini"})
+        assert [c.cell_id for c in spec.cells()] == ["baseline@s2001x1"]
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(SweepError, match="unknown spec keys"):
+            SweepSpec.from_dict({"name": "x", "sceanrios": ["baseline"]})
+
+    def test_unknown_cell_keys_rejected(self):
+        with pytest.raises(SweepError, match="cells\\[0\\]"):
+            SweepSpec.from_dict(
+                {"name": "x", "cells": [{"sead": 1}]}
+            )
+
+    def test_unknown_scenario_rejected_eagerly(self):
+        with pytest.raises(StudyError, match="unknown scenario"):
+            SweepSpec.from_dict({"name": "x", "scenarios": ["typo"]})
+
+    def test_empty_override_axis_rejected(self):
+        with pytest.raises(SweepError, match="at least one value"):
+            SweepSpec.from_dict(
+                {"name": "x", "overrides": {"max_users": []}}
+            )
+
+    def test_name_required(self):
+        with pytest.raises(SweepError, match="name"):
+            SweepSpec.from_dict({})
+
+
+class TestLoadSpec:
+    def test_json(self, tmp_path):
+        path = tmp_path / "s.json"
+        path.write_text(json.dumps({
+            "name": "from-json",
+            "scenarios": ["baseline"],
+            "seeds": [1, 2],
+            "scales": [0.1],
+        }))
+        spec = load_spec(path)
+        assert spec.name == "from-json"
+        assert len(spec.cells()) == 2
+
+    def test_toml(self, tmp_path):
+        pytest.importorskip("tomllib")
+        path = tmp_path / "s.toml"
+        path.write_text(
+            'name = "from-toml"\n'
+            'scenarios = ["baseline", "red-queues"]\n'
+            "seeds = [5]\n"
+            "scales = [0.1]\n"
+            "[overrides]\n"
+            '"tracer.playout.prebuffer_media_s" = [2.0, 9.0]\n'
+        )
+        spec = load_spec(path)
+        assert spec.name == "from-toml"
+        assert len(spec.cells()) == 4
+
+    def test_malformed_toml(self, tmp_path):
+        pytest.importorskip("tomllib")
+        path = tmp_path / "s.toml"
+        path.write_text("name = [unclosed")
+        with pytest.raises(SweepError, match="malformed TOML"):
+            load_spec(path)
+
+    def test_malformed_json(self, tmp_path):
+        path = tmp_path / "s.json"
+        path.write_text("{not json")
+        with pytest.raises(SweepError, match="malformed JSON"):
+            load_spec(path)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(SweepError, match="cannot read"):
+            load_spec(tmp_path / "absent.toml")
+
+    def test_unsupported_suffix(self, tmp_path):
+        path = tmp_path / "s.yaml"
+        path.write_text("name: x")
+        with pytest.raises(SweepError, match="toml or .json"):
+            load_spec(path)
+
+    def test_example_specs_parse(self):
+        from pathlib import Path
+
+        examples = Path(__file__).parent.parent / "examples" / "sweeps"
+        json_spec = load_spec(examples / "smoke.json")
+        assert len(json_spec.cells()) == 4
+        try:
+            import tomllib  # noqa: F401
+        except ModuleNotFoundError:
+            return
+        toml_spec = load_spec(examples / "ablations.toml")
+        assert len(toml_spec.cells()) == 12

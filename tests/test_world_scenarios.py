@@ -5,13 +5,17 @@ import pytest
 from repro.core.study import StudyConfig
 from repro.rng import RngFactory
 from repro.world.population import build_population
+from repro.errors import StudyError
 from repro.world.scenarios import (
     ALL_BROADBAND,
     BASELINE,
+    NO_MASSACHUSETTS,
     NO_SURESTREAM,
     RED_QUEUES,
     SCENARIOS,
     SMALL_BUFFER,
+    configured,
+    get_scenario,
     run_scenario,
 )
 
@@ -20,8 +24,29 @@ class TestDefinitions:
     def test_registry_complete(self):
         assert set(SCENARIOS) == {
             "baseline", "all-broadband", "no-surestream",
-            "small-buffer", "red-queues",
+            "small-buffer", "red-queues", "no-massachusetts",
         }
+
+    def test_get_scenario_by_name(self):
+        assert get_scenario("baseline") is BASELINE
+        with pytest.raises(StudyError, match="unknown scenario"):
+            get_scenario("nope")
+
+    def test_no_massachusetts_drops_only_ma(self, rngs):
+        population = build_population(rngs)
+        trimmed = NO_MASSACHUSETTS.repopulate(population, 1)
+        assert all(u.state != "MA" for u in trimmed.users)
+        assert len(trimmed.users) < len(population.users)
+        kept = {u.user_id for u in trimmed.users}
+        dropped = {
+            u.user_id for u in population.users if u.state == "MA"
+        }
+        assert kept | dropped == {u.user_id for u in population.users}
+
+    def test_configured_stamps_scenario_name(self):
+        config = configured(RED_QUEUES, StudyConfig(seed=1, scale=0.1))
+        assert config.scenario == "red-queues"
+        assert config.tracer.red_bottleneck is True
 
     def test_baseline_is_identity(self, rngs):
         config = StudyConfig(seed=1, scale=0.1)
@@ -57,6 +82,17 @@ class TestRunScenario:
     def test_baseline_runs(self):
         dataset = run_scenario(BASELINE, seed=6, scale=0.02)
         assert len(dataset.played()) > 0
+
+    def test_no_massachusetts_is_the_filtered_baseline(self):
+        # Per-playback RNG streams are keyed by (seed, user_id,
+        # position), so excluding the MA users must leave every other
+        # record byte-identical to the baseline run's.
+        baseline = run_scenario(BASELINE, seed=6, scale=0.02)
+        trimmed = run_scenario(NO_MASSACHUSETTS, seed=6, scale=0.02)
+        expected = [r for r in baseline if r.user_state != "MA"]
+        assert len(trimmed) == len(expected)
+        for ours, theirs in zip(trimmed, expected):
+            assert ours == theirs
 
     def test_no_surestream_never_switches(self):
         # With adaptation off, the coded bandwidth of each played clip
