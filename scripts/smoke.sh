@@ -6,7 +6,8 @@
 # hold) plus the serial-vs-parallel oracle, the corrupted-checkpoint
 # resume tests, and a 2x2 scenario sweep through repro.sweep (first
 # run simulates + caches, rerun must be 100% cache hits with a
-# byte-identical report).
+# byte-identical report), and the chaos smoke (a hung worker + a real
+# SIGTERM injected into a tiny study; recovery must be byte-identical).
 # Run from the repo root:  bash scripts/smoke.sh
 set -euo pipefail
 
@@ -79,6 +80,24 @@ assert baseline["records"] > 0
 assert all(v == 0.0 for v in baseline["ks"].values())
 print(f"sweep smoke ok: {manifest['cells']} cells, rerun all hits, "
       f"baseline {baseline['cell_id']} with {baseline['records']} records")
+EOF
+
+echo "== chaos smoke (hung worker + SIGTERM, byte-identical recovery) =="
+python -m repro.cli chaos --plan examples/chaos/smoke.json \
+    --scale 0.02 --workers 2 --report "$out/chaos.json" --quiet
+
+python - "$out" <<'EOF'
+import json, sys
+from pathlib import Path
+out = Path(sys.argv[1])
+report = json.loads((out / "chaos.json").read_text())
+assert report["ok"] is True, report
+outcomes = report["outcomes"]
+assert len(outcomes) == 2, [o["fault"] for o in outcomes]
+bad = [o for o in outcomes if o["status"] != "recovered"]
+assert not bad, bad
+print("chaos smoke ok: " + ", ".join(
+    f"{o['fault']} -> {o['status']}" for o in outcomes))
 EOF
 
 echo "== smoke passed =="

@@ -10,6 +10,9 @@ Subcommands::
     repro validate --scale 0.1 [--workers 2] [--strict] [--skip-oracle]
     repro sweep  --spec sweep.toml [--workers 4] [--cache-dir .sweep-cache]
                  [--force] [--report report.json]
+                 [--quarantine-threshold 0.05]
+    repro chaos  [--plan faults.toml] [--scale 0.02] [--workers 2]
+                 [--report chaos.json]
 
 ``repro`` is installed as a console script; the module also runs via
 ``python -m repro.cli``.
@@ -98,6 +101,7 @@ def _cmd_study(args: argparse.Namespace) -> int:
             checkpoint_dir=checkpoint_dir,
             resume=args.resume,
             progress=None if args.quiet else ThrottledProgressPrinter(),
+            handle_signals=True,
         )
         result = run_study(
             StudyConfig(seed=args.seed, scale=args.scale), runtime
@@ -106,9 +110,16 @@ def _cmd_study(args: argparse.Namespace) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     except KeyboardInterrupt:
+        # Second signal (immediate stop) or a non-main-thread run.
         print(f"\ninterrupted — finished shards are journaled in "
               f"{checkpoint_dir}; rerun with --resume to continue",
               file=sys.stderr)
+        return 130
+    if result.interrupted:
+        signal_name = result.manifest.get("interrupted_by", "signal")
+        print(f"\ninterrupted by {signal_name} — checkpoint flushed; "
+              f"finished shards are journaled in {checkpoint_dir}; "
+              f"rerun with --resume to continue", file=sys.stderr)
         return 130
     telemetry = result.telemetry
     if not args.quiet:
@@ -120,8 +131,9 @@ def _cmd_study(args: argparse.Namespace) -> int:
     print(f"wrote {len(result.dataset)} records to {args.out} "
           f"(checkpoints + run manifest in {checkpoint_dir})")
     if result.failed_shards:
-        print(f"WARNING: shards {list(result.failed_shards)} failed after "
-              f"retries; their records are missing", file=sys.stderr)
+        print(f"WARNING: shards {list(result.failed_shards)} quarantined "
+              f"after retries ({result.quarantined_fraction:.1%} of plays "
+              f"lost); their records are missing", file=sys.stderr)
         return 1
     return 0
 
@@ -253,6 +265,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             workers=args.workers,
             force=args.force,
             progress=None if args.quiet else print,
+            quarantine_threshold=args.quarantine_threshold,
         )
     except SweepError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -276,6 +289,44 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         if args.report is not None:
             print(f"wrote {args.report}")
     return 0
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    """Run the chaos matrix: the study under every fault of a plan,
+    asserting recovery/quarantine/artifact guarantees per fault."""
+    from repro.chaos import default_plan, load_plan
+    from repro.chaos.matrix import run_chaos_matrix
+    from repro.errors import ChaosError
+
+    try:
+        plan = load_plan(args.plan) if args.plan is not None \
+            else default_plan()
+    except ChaosError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if not plan.faults:
+        print(f"error: plan {plan.name!r} has no faults", file=sys.stderr)
+        return 2
+    config = StudyConfig(seed=args.seed, scale=args.scale)
+    report = run_chaos_matrix(
+        plan,
+        config,
+        workers=args.workers,
+        base_dir=args.base_dir,
+        max_retries=args.max_retries,
+        watchdog_deadline_s=args.watchdog_deadline,
+        progress=None if args.quiet else print,
+    )
+    if args.report is not None:
+        args.report.parent.mkdir(parents=True, exist_ok=True)
+        args.report.write_text(
+            json.dumps(report.payload(), indent=2, sort_keys=True) + "\n"
+        )
+    print()
+    print(report.format())
+    if not args.quiet and args.report is not None:
+        print(f"wrote {args.report}")
+    return 0 if report.ok else 1
 
 
 def _cmd_figures(args: argparse.Namespace) -> int:
@@ -355,8 +406,39 @@ def build_parser() -> argparse.ArgumentParser:
                        help="re-simulate every cell even on a cache hit")
     sweep.add_argument("--report", type=Path, default=None,
                        help="also write the sensitivity report as JSON here")
+    sweep.add_argument("--quarantine-threshold", type=float, default=0.05,
+                       help="max fraction of a cell's plays lost to "
+                            "quarantined shards before the sweep refuses "
+                            "the cell (claims are N/A above it)")
     sweep.add_argument("--quiet", action="store_true")
     sweep.set_defaults(func=_cmd_sweep)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="run the chaos matrix: inject each fault of a plan into a "
+             "study run and assert the recovery guarantees",
+    )
+    chaos.add_argument("--plan", type=Path, default=None,
+                       help="fault plan (.toml or .json); default: the "
+                            "built-in plan covering every fault site")
+    chaos.add_argument("--seed", type=int, default=2001)
+    chaos.add_argument("--scale", type=float, default=0.02,
+                       help="study scale per fault run (keep small: the "
+                            "matrix runs the study twice per fault)")
+    chaos.add_argument("--workers", type=int, default=2,
+                       help="worker processes per study run")
+    chaos.add_argument("--max-retries", type=int, default=2,
+                       help="per-shard retry budget before quarantine")
+    chaos.add_argument("--watchdog-deadline", type=float, default=2.0,
+                       help="seconds without a heartbeat before a worker "
+                            "is presumed hung and rescheduled")
+    chaos.add_argument("--base-dir", type=Path, default=None,
+                       help="keep per-fault checkpoint directories here "
+                            "(default: a temp directory)")
+    chaos.add_argument("--report", type=Path, default=None,
+                       help="also write the matrix verdicts as JSON here")
+    chaos.add_argument("--quiet", action="store_true")
+    chaos.set_defaults(func=_cmd_chaos)
 
     validate = sub.add_parser(
         "validate",

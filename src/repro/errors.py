@@ -67,6 +67,21 @@ class SweepError(StudyError):
     spec, unknown scenario/override path, failed shards in a cell)."""
 
 
+class ChaosError(StudyError):
+    """A fault-injection plan is malformed or a chaos-matrix guarantee
+    was violated (corrupt artifact left behind, resume not
+    byte-identical, dishonest partial manifest)."""
+
+
+class StudyInterrupted(StudyError):
+    """A study run was stopped by SIGINT/SIGTERM after flushing a
+    consistent checkpoint; rerun with ``resume=True`` to continue."""
+
+    def __init__(self, message: str, manifest: dict | None = None) -> None:
+        super().__init__(message)
+        self.manifest = manifest if manifest is not None else {}
+
+
 class AnalysisError(ReproError):
     """An analysis routine received data it cannot process."""
 

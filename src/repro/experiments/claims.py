@@ -256,6 +256,34 @@ ALL_CLAIMS: tuple[Claim, ...] = (
 )
 
 
-def evaluate_claims(dataset: StudyDataset) -> tuple[ClaimVerdict, ...]:
-    """Every claim's verdict on one dataset, in C1..C8 order."""
+#: Above this fraction of quarantined plays a dataset is too partial
+#: to judge the paper's claims against: the lost users could move any
+#: distributional threshold, so every verdict becomes NOT_APPLICABLE.
+DEFAULT_QUARANTINE_THRESHOLD = 0.05
+
+
+def evaluate_claims(
+    dataset: StudyDataset,
+    *,
+    quarantined_fraction: float = 0.0,
+    quarantine_threshold: float = DEFAULT_QUARANTINE_THRESHOLD,
+) -> tuple[ClaimVerdict, ...]:
+    """Every claim's verdict on one dataset, in C1..C8 order.
+
+    ``quarantined_fraction`` is the share of scheduled plays lost to
+    quarantined shards (``RunResult.quarantined_fraction``).  Above
+    ``quarantine_threshold`` the claims refuse to judge: every verdict
+    comes back NOT_APPLICABLE with the fraction in its note, so a
+    degraded run can never masquerade as a reproduction.
+    """
+    if quarantined_fraction > quarantine_threshold:
+        reason = (
+            f"{quarantined_fraction:.1%} of plays quarantined exceeds "
+            f"the {quarantine_threshold:.1%} threshold; dataset too "
+            "partial to judge"
+        )
+        return tuple(
+            _not_applicable(claim.claim_id, claim.title, reason)
+            for claim in ALL_CLAIMS
+        )
     return tuple(claim.check(dataset) for claim in ALL_CLAIMS)

@@ -63,6 +63,7 @@ def main(argv: list[str] | None = None) -> int:
             checkpoint_dir=checkpoint_dir,
             resume=args.resume,
             progress=None if args.quiet else ThrottledProgressPrinter(),
+            handle_signals=True,
         )
         result = run_study(
             StudyConfig(seed=args.seed, scale=args.scale), runtime
@@ -70,6 +71,14 @@ def main(argv: list[str] | None = None) -> int:
     except (ValueError, CheckpointError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    if result.interrupted:
+        where = checkpoint_dir if checkpoint_dir is not None else (
+            "a --checkpoint-dir (none was set; progress was not journaled)"
+        )
+        print(f"interrupted by {result.manifest.get('interrupted_by', 'signal')}"
+              f" — finished shards are journaled in {where}; rerun with "
+              f"--resume to continue", file=sys.stderr)
+        return 130
     telemetry = result.telemetry
     if not args.quiet:
         print(

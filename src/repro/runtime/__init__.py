@@ -17,11 +17,17 @@ the serial ``Study(config).run()`` for any worker count.
 
 from repro.runtime.checkpoint import CheckpointStore
 from repro.runtime.engine import RunResult, RuntimeConfig, run_study
-from repro.runtime.pool import FaultSpec, ShardResult, run_shards
+from repro.runtime.pool import (
+    BackoffPolicy,
+    FaultSpec,
+    ShardResult,
+    run_shards,
+)
 from repro.runtime.scheduler import ShardPlan, ShardSpec, plan_shards
 from repro.runtime.telemetry import RunTelemetry, ThrottledProgressPrinter
 
 __all__ = [
+    "BackoffPolicy",
     "CheckpointStore",
     "FaultSpec",
     "RunResult",

@@ -6,20 +6,21 @@ Layout of a checkpoint directory::
     shard_0003.csv       # one StudyDataset CSV per completed shard
     run_manifest.json    # final telemetry record (written on completion)
 
-Every write is atomic (temp file + ``os.replace``), and the manifest is
-updated only *after* a shard's CSV is safely on disk, so a run killed
-at any instant leaves a consistent journal: a resumed run re-simulates
-at most the shards that were in flight.  Compatibility between the
-journal and a requested run is decided by the shard plan's fingerprint
-(config + shard assignment).
+Every write is durable-atomic (temp file, fsync, ``os.replace``,
+directory fsync — through the `repro.chaos.seam` IO seam), and the
+manifest is updated only *after* a shard's CSV is safely on disk, so a
+run killed at any instant — even a power cut — leaves a consistent
+journal: a resumed run re-simulates at most the shards that were in
+flight.  Compatibility between the journal and a requested run is
+decided by the shard plan's fingerprint (config + shard assignment).
 """
 
 from __future__ import annotations
 
 import json
-import os
 from pathlib import Path
 
+from repro.chaos.seam import IoSeam, default_seam
 from repro.core.records import StudyDataset
 from repro.errors import CheckpointError
 
@@ -27,17 +28,19 @@ MANIFEST_NAME = "manifest.json"
 RUN_MANIFEST_NAME = "run_manifest.json"
 
 
-def _atomic_write(path: Path, text: str) -> None:
-    tmp = path.with_name(path.name + ".tmp")
-    tmp.write_text(text)
-    os.replace(tmp, path)
-
-
 class CheckpointStore:
-    """Journals completed shard results under one directory."""
+    """Journals completed shard results under one directory.
 
-    def __init__(self, directory: str | Path) -> None:
+    ``seam`` is the injectable IO layer every write goes through —
+    production uses the shared durable fault-free seam; chaos tests
+    pass one wired to a :class:`~repro.chaos.plan.FaultPlan`.
+    """
+
+    def __init__(
+        self, directory: str | Path, seam: IoSeam | None = None
+    ) -> None:
         self.directory = Path(directory)
+        self._seam = seam if seam is not None else default_seam()
         self._manifest: dict = {}
 
     def _shard_path(self, shard_id: int) -> Path:
@@ -84,13 +87,17 @@ class CheckpointStore:
         self.directory.mkdir(parents=True, exist_ok=True)
         for stale in self.directory.glob("shard_*.csv"):
             stale.unlink()
+        for orphan in self.directory.glob("*.tmp.*"):
+            orphan.unlink()  # temp files from a killed writer
         self._manifest = {"fingerprint": fingerprint, "shards": {}}
         self._flush()
         return set()
 
     def _flush(self) -> None:
-        _atomic_write(
-            self.manifest_path, json.dumps(self._manifest, indent=2)
+        self._seam.write_text(
+            self.manifest_path,
+            json.dumps(self._manifest, indent=2),
+            site="checkpoint.manifest",
         )
 
     # -- shard journal ------------------------------------------------------
@@ -103,7 +110,11 @@ class CheckpointStore:
         attempts: int,
     ) -> None:
         """Journal a completed shard (CSV first, then the manifest)."""
-        _atomic_write(self._shard_path(shard_id), dataset.to_csv_string())
+        self._seam.write_text(
+            self._shard_path(shard_id),
+            dataset.to_csv_string(),
+            site="checkpoint.shard",
+        )
         self._manifest["shards"][str(shard_id)] = {
             "status": "done",
             "records": len(dataset),
@@ -159,5 +170,8 @@ class CheckpointStore:
     def write_run_manifest(self, manifest: dict) -> Path:
         """Persist the final telemetry record next to the journal."""
         path = self.directory / RUN_MANIFEST_NAME
-        _atomic_write(path, json.dumps(manifest, indent=2))
+        self._seam.write_text(
+            path, json.dumps(manifest, indent=2),
+            site="checkpoint.run_manifest",
+        )
         return path

@@ -11,21 +11,45 @@ The engine's determinism contract: for the same
 **byte-identical** (as CSV) to ``Study(config).run()`` regardless of
 worker count, shard count, shard completion order, retries, or whether
 shards were resumed from a checkpoint.
+
+Degradation contract (the `repro.chaos` guarantees):
+
+- A shard that exhausts its retries is **quarantined**: named in the
+  run manifest, its plays accounted as a quarantined fraction, and the
+  study completes partially instead of aborting.
+- SIGINT/SIGTERM (when ``handle_signals`` is on) stop the run
+  **gracefully**: in-flight results are journaled, a resumable
+  manifest is flushed, and the partial :class:`RunResult` comes back
+  with ``interrupted=True``.  A second signal falls through to the
+  previous handler — immediate exit.
+- Checkpoint-journal write failures (disk full, IO errors) **degrade**
+  the journal, never the run: the error is counted in telemetry and
+  the affected shard simply re-simulates on a future resume.
 """
 
 from __future__ import annotations
 
+import signal
+import threading
 import time
 from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Callable
 
+from repro.chaos.plan import FaultPlan
+from repro.chaos.seam import IoSeam
 from repro.core.records import StudyDataset
 from repro.core.study import Study, StudyConfig
 from repro.core.submission import SubmissionSink
 from repro.errors import CheckpointError
 from repro.runtime.checkpoint import CheckpointStore
-from repro.runtime.pool import DEFAULT_MAX_RETRIES, FaultSpec, run_shards
+from repro.runtime.pool import (
+    DEFAULT_MAX_RETRIES,
+    DEFAULT_WATCHDOG_DEADLINE_S,
+    BackoffPolicy,
+    FaultSpec,
+    run_shards,
+)
 from repro.runtime.scheduler import ShardPlan, plan_shards
 from repro.runtime.telemetry import RunTelemetry
 from repro.validate import ValidationConfig
@@ -57,6 +81,21 @@ class RuntimeConfig:
     #: the simulated results, so it does not affect the checkpoint
     #: fingerprint and an audited run can resume an unaudited one.
     validation: ValidationConfig | None = None
+    #: `repro.chaos` fault plan: worker.play faults reach the pool
+    #: workers, write faults reach the checkpoint journal's IO seam,
+    #: signal faults are delivered on a timer (requires
+    #: ``handle_signals``).
+    fault_plan: FaultPlan | None = None
+    #: Retry backoff policy (None: pool default, jitter keyed by the
+    #: fault plan's seed).
+    backoff: BackoffPolicy | None = None
+    #: Kill and reschedule a worker with no heartbeat for this long.
+    watchdog_deadline_s: float = DEFAULT_WATCHDOG_DEADLINE_S
+    #: Install SIGINT/SIGTERM handlers for graceful shutdown (flush a
+    #: consistent checkpoint, return ``interrupted=True``; second
+    #: signal = immediate).  Off by default: libraries and test
+    #: harnesses own their signal disposition; the CLI turns it on.
+    handle_signals: bool = False
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -74,11 +113,92 @@ class RunResult:
     plan: ShardPlan
     telemetry: RunTelemetry
     manifest: dict = field(default_factory=dict)
+    #: Shards that exhausted their retries (quarantined).
     failed_shards: tuple[int, ...] = ()
+    #: The run was stopped by SIGINT/SIGTERM after flushing a
+    #: consistent, resumable checkpoint.
+    interrupted: bool = False
 
     @property
     def complete(self) -> bool:
-        return not self.failed_shards
+        return not self.failed_shards and not self.interrupted
+
+    @property
+    def quarantined_shards(self) -> tuple[int, ...]:
+        """Alias for :attr:`failed_shards`, the manifest's term."""
+        return self.failed_shards
+
+    @property
+    def quarantined_fraction(self) -> float:
+        """Fraction of scheduled plays lost to quarantined shards."""
+        if not self.failed_shards or self.plan.total_plays <= 0:
+            return 0.0
+        plays = {s.shard_id: s.plays for s in self.plan.shards}
+        lost = sum(plays[shard_id] for shard_id in self.failed_shards)
+        return lost / self.plan.total_plays
+
+
+class _Interrupted(Exception):
+    """Internal: unwinds the serial loop when a signal arrived."""
+
+
+class _GracefulStop:
+    """First SIGINT/SIGTERM sets a flag; the second one is immediate.
+
+    Handlers are installed only when enabled *and* on the main thread
+    (CPython restricts ``signal.signal`` to it), and the previous
+    disposition is restored as soon as the first signal lands — so the
+    second signal falls through to the default/previous behavior —
+    and unconditionally on exit.
+    """
+
+    def __init__(self, enabled: bool) -> None:
+        self.requested = False
+        self.signal_name = ""
+        self._previous: dict = {}
+        self._enabled = (
+            enabled
+            and threading.current_thread() is threading.main_thread()
+        )
+
+    def __enter__(self) -> "_GracefulStop":
+        if self._enabled:
+            for sig in (signal.SIGINT, signal.SIGTERM):
+                self._previous[sig] = signal.signal(sig, self._on_signal)
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._restore()
+
+    def _on_signal(self, signum, frame) -> None:
+        self.requested = True
+        self.signal_name = signal.Signals(signum).name
+        self._restore()
+
+    def _restore(self) -> None:
+        previous, self._previous = self._previous, {}
+        for sig, handler in previous.items():
+            signal.signal(sig, handler)
+
+
+def _signal_timers(
+    plan: FaultPlan | None, enabled: bool
+) -> list[threading.Timer]:
+    """Armed timers delivering the plan's scheduled signal faults."""
+    if plan is None or not enabled:
+        return []
+    timers = []
+    for fault in plan.for_site("signal"):
+        signum = (
+            signal.SIGINT if fault.action == "sigint" else signal.SIGTERM
+        )
+        timer = threading.Timer(
+            fault.after_s, signal.raise_signal, args=(signum,)
+        )
+        timer.daemon = True
+        timer.start()
+        timers.append(timer)
+    return timers
 
 
 def run_study(
@@ -107,15 +227,26 @@ def run_study(
     store: CheckpointStore | None = None
     completed: dict[int, StudyDataset] = {}
     if runtime.checkpoint_dir is not None:
-        store = CheckpointStore(runtime.checkpoint_dir)
+        store = CheckpointStore(
+            runtime.checkpoint_dir,
+            seam=IoSeam.from_plan(runtime.fault_plan),
+        )
         plays_by_id = {s.shard_id: s.plays for s in plan.shards}
-        for shard_id in sorted(store.open(plan.fingerprint, runtime.resume)):
+        try:
+            journaled = sorted(store.open(plan.fingerprint, runtime.resume))
+        except OSError as exc:
+            # The journal directory itself is unusable (disk full, IO
+            # error): run without checkpointing rather than aborting.
+            telemetry.journal_error(f"checkpoint open: {exc}")
+            store, journaled = None, []
+        for shard_id in journaled:
             try:
                 dataset = store.load_shard(shard_id)
             except CheckpointError:
                 # Damaged journal entry (truncated/corrupted CSV): drop
                 # it and leave the shard pending so it re-simulates.
-                store.invalidate_shard(shard_id)
+                _journal(telemetry, f"invalidate shard {shard_id}",
+                         lambda: store.invalidate_shard(shard_id))
                 continue
             completed[shard_id] = dataset
             telemetry.shard_resumed(
@@ -123,18 +254,33 @@ def run_study(
             )
 
     pending = [s for s in plan.shards if s.shard_id not in completed]
+    quarantined: set[int] = set()
     telemetry.run_started()
     notify()
 
-    if runtime.workers <= 1:
-        _run_serial(study, pending, telemetry, store, completed, notify)
-    else:
-        _run_parallel(
-            config, pending, runtime, telemetry, store, completed, notify
-        )
+    with _GracefulStop(runtime.handle_signals) as stop:
+        timers = _signal_timers(runtime.fault_plan, runtime.handle_signals)
+        try:
+            if runtime.workers <= 1:
+                _run_serial(
+                    study, pending, telemetry, store, completed, notify, stop
+                )
+            else:
+                _run_parallel(
+                    config, pending, runtime, telemetry, store, completed,
+                    quarantined, notify, stop,
+                )
+        finally:
+            for timer in timers:
+                timer.cancel()
+                timer.join(timeout=1.0)
 
-    failed = tuple(
-        s.shard_id for s in plan.shards if s.shard_id not in completed
+    interrupted = stop.requested
+    failed = tuple(sorted(quarantined))
+    unfinished = tuple(
+        s.shard_id
+        for s in plan.shards
+        if s.shard_id not in completed and s.shard_id not in quarantined
     )
     dataset = StudyDataset.merged_in_user_order(
         (completed[shard_id] for shard_id in sorted(completed)),
@@ -145,6 +291,8 @@ def run_study(
 
     telemetry.run_finished()
     notify()
+    plays_by_id = {s.shard_id: s.plays for s in plan.shards}
+    lost = sum(plays_by_id[shard_id] for shard_id in failed)
     manifest = {
         "seed": config.seed,
         "scale": config.scale,
@@ -152,10 +300,21 @@ def run_study(
         "shard_count": plan.shard_count,
         "records": len(dataset),
         "failed_shards": list(failed),
+        "quarantined": {
+            "shards": list(failed),
+            "plays": lost,
+            "fraction": round(
+                lost / plan.total_plays if plan.total_plays else 0.0, 6
+            ),
+        },
+        "interrupted": interrupted,
+        **({"interrupted_by": stop.signal_name} if interrupted else {}),
+        **({"pending_shards": list(unfinished)} if interrupted else {}),
         **telemetry.manifest(),
     }
     if store is not None:
-        store.write_run_manifest(manifest)
+        _journal(telemetry, "run manifest",
+                 lambda: store.write_run_manifest(manifest))
     return RunResult(
         dataset=dataset,
         population=study.population,
@@ -163,28 +322,53 @@ def run_study(
         telemetry=telemetry,
         manifest=manifest,
         failed_shards=failed,
+        interrupted=interrupted,
     )
 
 
-def _run_serial(study, pending, telemetry, store, completed, notify) -> None:
+def _journal(telemetry: RunTelemetry, what: str, write: Callable[[], object]):
+    """Checkpoint writes degrade (counted, resumable) instead of
+    sinking a healthy run on a full disk."""
+    try:
+        write()
+    except OSError as exc:
+        telemetry.journal_error(f"{what}: {exc}")
+
+
+def _run_serial(
+    study, pending, telemetry, store, completed, notify, stop
+) -> None:
     """In-process execution: no retries (exceptions propagate, as in
     ``Study.run``), but completed shards still journal, so a killed run
-    resumes."""
+    resumes.  A graceful-stop signal abandons the in-flight shard at
+    the next play boundary; completed shards stay journaled."""
     for shard in pending:
+        if stop.requested:
+            return
         telemetry.shard_started(shard.shard_id, shard.plays, attempt=1)
         started = time.monotonic()
 
         def tick(done: int, total: int) -> None:
             telemetry.shard_progress(shard.shard_id, done)
             notify()
+            if stop.requested:
+                raise _Interrupted
 
-        dataset = study.run_users(shard.user_ids, progress=tick)
+        try:
+            dataset = study.run_users(shard.user_ids, progress=tick)
+        except _Interrupted:
+            return
         elapsed = time.monotonic() - started
         ledger = study.last_validation
         if ledger is not None:
             telemetry.record_violations(ledger.summary(), ledger.checks_run)
         if store is not None:
-            store.record_shard(shard.shard_id, dataset, elapsed, attempts=1)
+            _journal(
+                telemetry, f"shard {shard.shard_id}",
+                lambda: store.record_shard(
+                    shard.shard_id, dataset, elapsed, attempts=1
+                ),
+            )
         completed[shard.shard_id] = dataset
         telemetry.shard_finished(
             shard.shard_id, len(dataset), elapsed, attempt=1
@@ -193,9 +377,11 @@ def _run_serial(study, pending, telemetry, store, completed, notify) -> None:
 
 
 def _run_parallel(
-    config, pending, runtime, telemetry, store, completed, notify
+    config, pending, runtime, telemetry, store, completed, quarantined,
+    notify, stop,
 ) -> None:
-    """Pool execution: crashes and raises retry up to ``max_retries``.
+    """Pool execution: crashes, raises and hangs retry (with backoff)
+    up to ``max_retries``; shards beyond that are quarantined.
 
     Shards are journaled the moment their ``finished`` event arrives,
     so even a parallel run killed mid-way resumes from the completed
@@ -213,9 +399,12 @@ def _run_parallel(
                 info.get("violations"), info.get("checks_run", 0)
             )
             if store is not None:
-                store.record_shard(
-                    shard_id, info["dataset"], info["elapsed_s"],
-                    attempts=info["attempt"],
+                _journal(
+                    telemetry, f"shard {shard_id}",
+                    lambda: store.record_shard(
+                        shard_id, info["dataset"], info["elapsed_s"],
+                        attempts=info["attempt"],
+                    ),
                 )
             completed[shard_id] = info["dataset"]
             telemetry.shard_finished(
@@ -225,13 +414,20 @@ def _run_parallel(
                 attempt=info["attempt"],
             )
         elif kind in ("failed_attempt", "failed_final"):
-            if kind == "failed_final" and store is not None:
-                store.record_failure(
-                    shard_id, info["attempt"], info["error"]
-                )
             telemetry.shard_failed(
-                shard_id, attempt=info["attempt"], error=info["error"]
+                shard_id, attempt=info["attempt"], error=info["error"],
+                backoff_s=info.get("backoff_s", 0.0),
             )
+            if kind == "failed_final":
+                quarantined.add(shard_id)
+                telemetry.shard_quarantined(shard_id)
+                if store is not None:
+                    _journal(
+                        telemetry, f"shard {shard_id} failure",
+                        lambda: store.record_failure(
+                            shard_id, info["attempt"], info["error"]
+                        ),
+                    )
         notify()
 
     run_shards(
@@ -241,4 +437,8 @@ def _run_parallel(
         max_retries=runtime.max_retries,
         fault=runtime.fault,
         on_event=on_event,
+        plan=runtime.fault_plan,
+        backoff=runtime.backoff,
+        watchdog_deadline_s=runtime.watchdog_deadline_s,
+        should_stop=lambda: stop.requested,
     )

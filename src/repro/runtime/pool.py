@@ -5,21 +5,38 @@ worker rebuilds the study from its (picklable) config — populations
 are deterministic, so every process agrees on the world — runs its
 users, and ships the records back as a CSV payload on an event queue.
 
-Two failure modes are handled the same way, by retrying the shard in a
-fresh process up to a bounded number of attempts:
+Three failure modes are handled the same way, by retrying the shard in
+a fresh process up to a bounded number of attempts:
 
 - the worker *raises* (caught in-process, reported as a ``failed``
-  event), and
+  event),
 - the worker *dies* (killed, segfault, ``os._exit``) — detected by the
-  parent when the process is gone without having reported a result.
+  parent when the process is gone without having reported a result,
+- the worker *hangs* (stops emitting progress ticks) — detected by the
+  per-shard watchdog, which kills the process after
+  ``watchdog_deadline_s`` without a heartbeat and reschedules it.
 
-A shard that exhausts its attempts is recorded as failed without
-sinking the run.  :class:`FaultSpec` is the deterministic test hook
-for both modes.
+Retries re-queue with exponential backoff and deterministic jitter
+(:class:`BackoffPolicy`), so a transient crash storm cannot spin the
+pool.  A shard that exhausts its attempts is recorded as failed
+(*quarantined* by the engine) without sinking the run.
+
+Deterministic fault injection comes in two layers: the legacy
+:class:`FaultSpec` single-shard hook, and the richer
+``worker.play`` faults of a :class:`~repro.chaos.plan.FaultPlan`
+(hang / crash / raise at a named play), threaded through
+:class:`~repro.chaos.seam.WorkerFaults` — never by monkeypatching.
+
+Shutdown correctness: every worker's last act is a ``bye`` sentinel on
+the event queue (crashes skip it — that's what makes them crashes), so
+the parent can distinguish "process exited, result still in the queue
+buffer" from "process died without reporting" by draining until the
+sentinel arrives instead of guessing with a zero-timeout poll.
 """
 
 from __future__ import annotations
 
+import hashlib
 import multiprocessing as mp
 import os
 import time
@@ -29,12 +46,50 @@ from dataclasses import dataclass
 from queue import Empty
 from typing import Callable, Sequence
 
+from repro.chaos.plan import FaultPlan
+from repro.chaos.seam import WorkerFaults
 from repro.core.records import StudyDataset
 from repro.core.study import Study, StudyConfig
 from repro.runtime.scheduler import ShardSpec
 
 #: Retries after the first attempt before a shard is declared failed.
 DEFAULT_MAX_RETRIES = 2
+
+#: Seconds without any worker event (tick/finish) before the watchdog
+#: declares a shard hung.  Generous: a healthy worker heartbeats once
+#: per finished play (~0.1 s), so even two orders of magnitude of
+#: machine jitter stay clear of it.
+DEFAULT_WATCHDOG_DEADLINE_S = 60.0
+
+#: How long reap/shutdown drains wait for a dead worker's sentinel
+#: before declaring its events lost.
+SENTINEL_GRACE_S = 1.0
+
+
+@dataclass(frozen=True)
+class BackoffPolicy:
+    """Exponential retry backoff with deterministic jitter.
+
+    ``delay(shard, attempt)`` is a pure function — same shard, attempt
+    and key always wait the same time — so chaos runs and their
+    resumes replay identically while distinct shards still de-correlate.
+    """
+
+    base_s: float = 0.1
+    cap_s: float = 5.0
+    #: Jitter amplitude as a fraction of the raw delay (+/-).
+    jitter: float = 0.25
+    #: Salt (e.g. the fault plan's seed) decorrelating schedules.
+    key: int = 0
+
+    def delay_s(self, shard_id: int, attempt: int) -> float:
+        """Seconds to wait before re-queueing attempt ``attempt + 1``."""
+        raw = min(self.cap_s, self.base_s * (2.0 ** max(0, attempt - 1)))
+        digest = hashlib.sha256(
+            f"{self.key}:{shard_id}:{attempt}".encode()
+        ).digest()
+        frac = int.from_bytes(digest[:8], "big") / 2.0 ** 64
+        return raw * (1.0 + self.jitter * (2.0 * frac - 1.0))
 
 
 @dataclass(frozen=True)
@@ -85,6 +140,7 @@ def _shard_worker(
     user_ids: tuple[str, ...],
     attempt: int,
     fault: FaultSpec | None,
+    plan: FaultPlan | None,
     queue,
 ) -> None:
     try:
@@ -98,11 +154,15 @@ def _shard_worker(
             raise RuntimeError(
                 f"injected fault (shard {shard_id}, attempt {attempt})"
             )
+        injected = WorkerFaults(plan, shard_id, attempt)
         started = time.monotonic()
         study = Study(config)
 
         def tick(done: int, total: int) -> None:
+            # The tick doubles as the watchdog heartbeat: a worker that
+            # stops finishing plays stops beating.
             queue.put(("tick", shard_id, done))
+            injected.on_play_done(done)
 
         dataset = study.run_users(user_ids, progress=tick)
         ledger = study.last_validation
@@ -119,6 +179,11 @@ def _shard_worker(
         )
     except Exception:
         queue.put(("failed", shard_id, attempt, traceback.format_exc(limit=5)))
+    finally:
+        # Shutdown sentinel: tells the parent this attempt's events are
+        # fully enqueued.  A hard crash (os._exit, kill) skips this —
+        # which is exactly how the parent recognizes a crash.
+        queue.put(("bye", shard_id, attempt))
 
 
 def _drain(queue, timeout: float) -> list[tuple]:
@@ -144,19 +209,38 @@ def run_shards(
     fault: FaultSpec | None = None,
     on_event: EventCallback | None = None,
     poll_interval_s: float = 0.05,
+    plan: FaultPlan | None = None,
+    backoff: BackoffPolicy | None = None,
+    watchdog_deadline_s: float = DEFAULT_WATCHDOG_DEADLINE_S,
+    should_stop: Callable[[], bool] | None = None,
 ) -> dict[int, ShardResult]:
-    """Run every shard on a bounded pool; return results keyed by id."""
+    """Run every shard on a bounded pool; return results keyed by id.
+
+    ``should_stop`` is polled between events; when it turns true the
+    pool stops launching, drains already-reported results (so they are
+    journaled, not lost), terminates in-flight workers, and returns the
+    partial result map — the graceful-shutdown path.
+    """
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
+    if backoff is None:
+        backoff = BackoffPolicy(key=plan.seed if plan is not None else 0)
     method = "fork" if "fork" in mp.get_all_start_methods() else "spawn"
     ctx = mp.get_context(method)
     queue = ctx.Queue()
+    clock = time.monotonic
 
     by_id = {spec.shard_id: spec for spec in shards}
-    pending: deque[ShardSpec] = deque(shards)
+    #: (ready_at, spec): launchable once the clock passes ready_at.
+    pending: deque[tuple[float, ShardSpec]] = deque(
+        (0.0, spec) for spec in shards
+    )
     attempts = {spec.shard_id: 0 for spec in shards}
     running: dict[int, mp.Process] = {}
+    last_seen: dict[int, float] = {}
+    byes: set[tuple[int, int]] = set()
     results: dict[int, ShardResult] = {}
+    stopped = False
 
     def emit(kind: str, shard_id: int, **info) -> None:
         if on_event is not None:
@@ -164,10 +248,12 @@ def run_shards(
 
     def retry_or_fail(shard_id: int, error: str) -> None:
         if attempts[shard_id] <= max_retries:
-            pending.append(by_id[shard_id])
+            delay = backoff.delay_s(shard_id, attempts[shard_id])
+            pending.append((clock() + delay, by_id[shard_id]))
             emit(
                 "failed_attempt", shard_id,
                 attempt=attempts[shard_id], error=error,
+                backoff_s=delay,
             )
         else:
             results[shard_id] = ShardResult(
@@ -184,6 +270,10 @@ def run_shards(
 
     def handle(event: tuple) -> None:
         kind, shard_id = event[0], event[1]
+        if kind == "bye":
+            byes.add((shard_id, event[2]))
+            return
+        last_seen[shard_id] = clock()
         if shard_id in results:
             return  # late event from a shard already settled
         if kind == "tick":
@@ -220,11 +310,29 @@ def run_shards(
         dead = [sid for sid, proc in running.items() if not proc.is_alive()]
         if not dead:
             return
-        # A dead process may have flushed its result just before
-        # exiting — drain first so a clean finish isn't misread as a
-        # crash.
-        for event in _drain(queue, timeout=0.0):
-            handle(event)
+        # A dead process may have flushed its result into the queue's
+        # feeder buffer just before exiting: ``is_alive() == False``
+        # does NOT mean its events are visible yet.  Drain until each
+        # cleanly-exited shard's sentinel arrives (its events are then
+        # complete) or the grace period expires — a zero-timeout poll
+        # here would misread a clean finish as a crash and re-simulate
+        # it.  Crashed workers (nonzero exitcode) skip the sentinel by
+        # construction, so only one drain pass is owed to them.
+        deadline = clock() + SENTINEL_GRACE_S
+        while True:
+            for event in _drain(queue, timeout=0.02):
+                handle(event)
+            dead = [
+                sid for sid in dead
+                if sid in running and not running[sid].is_alive()
+            ]
+            unsettled = [
+                sid for sid in dead
+                if running[sid].exitcode == 0
+                and (sid, attempts[sid]) not in byes
+            ]
+            if not unsettled or clock() >= deadline:
+                break
         for shard_id in dead:
             proc = running.pop(shard_id, None)
             if proc is None:
@@ -235,10 +343,39 @@ def run_shards(
                 f"worker died (exit code {proc.exitcode})",
             )
 
+    def kill_hung() -> None:
+        now = clock()
+        hung = [
+            sid for sid, proc in running.items()
+            if proc.is_alive()
+            and now - last_seen.get(sid, now) > watchdog_deadline_s
+        ]
+        for shard_id in hung:
+            proc = running.pop(shard_id)
+            proc.terminate()
+            proc.join()
+            stalled = now - last_seen.get(shard_id, now)
+            retry_or_fail(
+                shard_id,
+                f"watchdog: no heartbeat for {stalled:.1f}s "
+                f"(deadline {watchdog_deadline_s:.1f}s); worker killed",
+            )
+
     try:
         while pending or running:
-            while pending and len(running) < workers:
-                spec = pending.popleft()
+            if should_stop is not None and should_stop():
+                stopped = True
+                break
+            launchable = len(running) < workers and any(
+                ready_at <= clock() for ready_at, _spec in pending
+            )
+            while launchable:
+                for index, (ready_at, spec) in enumerate(pending):
+                    if ready_at <= clock():
+                        del pending[index]
+                        break
+                else:
+                    break
                 attempts[spec.shard_id] += 1
                 proc = ctx.Process(
                     target=_shard_worker,
@@ -248,20 +385,36 @@ def run_shards(
                         spec.user_ids,
                         attempts[spec.shard_id],
                         fault,
+                        plan,
                         queue,
                     ),
                     daemon=True,
                 )
                 proc.start()
                 running[spec.shard_id] = proc
+                last_seen[spec.shard_id] = clock()
                 emit(
                     "started", spec.shard_id,
                     attempt=attempts[spec.shard_id], plays=spec.plays,
                 )
+                launchable = len(running) < workers and any(
+                    ready_at <= clock() for ready_at, _spec in pending
+                )
             for event in _drain(queue, timeout=poll_interval_s):
                 handle(event)
             reap_dead()
+            kill_hung()
     finally:
+        if stopped:
+            # Graceful stop: pick up results that were already reported
+            # (they will be journaled by on_event) before terminating
+            # what's still in flight.
+            deadline = clock() + SENTINEL_GRACE_S
+            while running and clock() < deadline:
+                for event in _drain(queue, timeout=0.05):
+                    handle(event)
+                if all(proc.is_alive() for proc in running.values()):
+                    break
         for proc in running.values():
             proc.terminate()
         for proc in running.values():

@@ -19,13 +19,15 @@ class ShardStats:
 
     shard_id: int
     plays: int
-    status: str = "pending"  # running | done | resumed | failed
+    status: str = "pending"  # running | done | resumed | failed | quarantined
     records: int = 0
     done_plays: int = 0
     elapsed_s: float = 0.0
     attempts: int = 0
     started_at: float | None = None
     error: str = ""
+    #: Total seconds this shard spent queued in retry backoff.
+    backoff_s: float = 0.0
 
 
 @dataclass
@@ -40,6 +42,9 @@ class RunTelemetry:
     violations: dict[str, int] = field(default_factory=dict)
     #: Total invariant checks run (0 when validation is off).
     checks_run: int = 0
+    #: Checkpoint-journal writes that failed and were degraded (ENOSPC,
+    #: EIO...): the run continued, the shard re-simulates on resume.
+    journal_errors: list[str] = field(default_factory=list)
     _started_at: float | None = None
     _finished_at: float | None = None
     _busy_s: float = 0.0
@@ -85,16 +90,29 @@ class RunTelemetry:
         stats.started_at = None
         self._busy_s += elapsed_s
 
-    def shard_failed(self, shard_id: int, attempt: int, error: str) -> None:
-        """An attempt failed; the shard may still be retried."""
+    def shard_failed(
+        self, shard_id: int, attempt: int, error: str,
+        backoff_s: float = 0.0,
+    ) -> None:
+        """An attempt failed; the shard may still be retried (after
+        ``backoff_s`` of deterministic-jitter backoff)."""
         stats = self.shards[shard_id]
         stats.status = "failed"
         stats.attempts = attempt
         stats.error = error
         stats.done_plays = 0
+        stats.backoff_s += backoff_s
         if stats.started_at is not None:
             self._busy_s += self.clock() - stats.started_at
             stats.started_at = None
+
+    def shard_quarantined(self, shard_id: int) -> None:
+        """The shard exhausted its retries: quarantined for this run."""
+        self.shards[shard_id].status = "quarantined"
+
+    def journal_error(self, message: str) -> None:
+        """A checkpoint write failed and was degraded, not fatal."""
+        self.journal_errors.append(message)
 
     def record_violations(
         self, summary: dict[str, int] | None, checks_run: int = 0
@@ -118,6 +136,11 @@ class RunTelemetry:
     def violation_total(self) -> int:
         """Total invariant violations reported by all shards."""
         return sum(self.violations.values())
+
+    @property
+    def retries(self) -> int:
+        """Shard attempts beyond each shard's first (the retry load)."""
+        return sum(max(0, s.attempts - 1) for s in self.shards.values())
 
     @property
     def elapsed_s(self) -> float:
@@ -195,11 +218,17 @@ class RunTelemetry:
         )
         return {
             **validation,
+            **(
+                {"journal_errors": list(self.journal_errors)}
+                if self.journal_errors
+                else {}
+            ),
             "total_plays": self.total_plays,
             "done_plays": self.done_plays,
             "simulated_plays": self.simulated_plays,
             "elapsed_s": round(self.elapsed_s, 3),
             "plays_per_second": round(self.plays_per_second(), 3),
+            "retries": self.retries,
             "workers": self.workers,
             "worker_utilization": round(self.utilization(), 3),
             "shards": [
@@ -218,6 +247,11 @@ class RunTelemetry:
                         else 0.0
                     ),
                     "attempts": s.attempts,
+                    **(
+                        {"backoff_s": round(s.backoff_s, 3)}
+                        if s.backoff_s > 0.0
+                        else {}
+                    ),
                     **({"error": s.error} if s.error else {}),
                 }
                 for s in sorted(self.shards.values(), key=lambda s: s.shard_id)

@@ -7,8 +7,11 @@ Layout, keyed by :meth:`StudyConfig.canonical_hash`::
 
 (``hh`` is the first two hex digits, fanning entries out of one flat
 directory.)  The CSV is written first and the manifest last, both
-atomically, so the manifest's presence is the commit marker: a killed
-store leaves a miss, never a half-entry.
+durable-atomically through the `repro.chaos.seam` IO layer (fsync
+before rename, process-unique temp names), so the manifest's presence
+is the commit marker: a killed store leaves a miss, never a
+half-entry, and two processes racing to fill the same cell both leave
+a complete, valid entry (last writer wins).
 
 Loads are paranoid the way `repro.runtime`'s checkpoint journal is:
 missing/unparsable manifests, hash mismatches, damaged or truncated
@@ -21,11 +24,11 @@ from __future__ import annotations
 
 import hashlib
 import json
-import os
 import shutil
 from dataclasses import dataclass
 from pathlib import Path
 
+from repro.chaos.seam import IoSeam, default_seam
 from repro.core.records import StudyDataset
 
 MANIFEST_NAME = "manifest.json"
@@ -33,12 +36,6 @@ CSV_NAME = "study.csv"
 
 #: Bumped when the entry layout changes; old entries re-simulate.
 CACHE_FORMAT = 1
-
-
-def _atomic_write(path: Path, text: str) -> None:
-    tmp = path.with_name(path.name + ".tmp")
-    tmp.write_text(text)
-    os.replace(tmp, path)
 
 
 @dataclass(frozen=True)
@@ -53,8 +50,11 @@ class CacheEntry:
 class StudyCache:
     """The sweep's content-addressed study store."""
 
-    def __init__(self, root: str | Path) -> None:
+    def __init__(
+        self, root: str | Path, seam: IoSeam | None = None
+    ) -> None:
         self.root = Path(root)
+        self._seam = seam if seam is not None else default_seam()
         #: Entries dropped because they failed an integrity check.
         self.evicted: list[str] = []
 
@@ -133,7 +133,7 @@ class StudyCache:
         directory = self.entry_dir(config_hash)
         directory.mkdir(parents=True, exist_ok=True)
         csv_text = dataset.to_csv_string()
-        _atomic_write(directory / CSV_NAME, csv_text)
+        self._seam.write_text(directory / CSV_NAME, csv_text, site="cache.csv")
         manifest = {
             **(extra if extra is not None else {}),
             "format": CACHE_FORMAT,
@@ -143,8 +143,10 @@ class StudyCache:
                 csv_text.encode("utf-8")
             ).hexdigest(),
         }
-        _atomic_write(
-            directory / MANIFEST_NAME, json.dumps(manifest, indent=2)
+        self._seam.write_text(
+            directory / MANIFEST_NAME,
+            json.dumps(manifest, indent=2),
+            site="cache.manifest",
         )
         return CacheEntry(
             config_hash=config_hash, dataset=dataset, manifest=manifest

@@ -66,6 +66,10 @@ class CellComparison:
     claims: tuple[ClaimVerdict, ...]
     #: Claim ids whose verdict differs from the baseline cell's.
     flipped_claims: tuple[str, ...]
+    #: Share of the cell's scheduled plays lost to quarantined shards;
+    #: when it exceeds the sweep's threshold the claims above are all
+    #: NOT_APPLICABLE (the dataset is too partial to judge).
+    quarantined_fraction: float = 0.0
 
     def claim(self, claim_id: str) -> ClaimVerdict:
         for verdict in self.claims:
@@ -101,10 +105,19 @@ class SweepComparison:
 
 
 def compare_sweep(result: SweepResult) -> SweepComparison:
-    """Compare every cell of a sweep run against its baseline cell."""
+    """Compare every cell of a sweep run against its baseline cell.
+
+    Each cell's quarantined fraction is passed through to
+    :func:`~repro.experiments.claims.evaluate_claims`, so a cell that
+    lost too many plays gets NOT_APPLICABLE verdicts rather than
+    verdicts judged on a silently partial dataset.
+    """
     baseline = result.baseline
     baseline_cdfs = _metric_cdfs(baseline.dataset)
-    baseline_claims = evaluate_claims(baseline.dataset)
+    baseline_claims = evaluate_claims(
+        baseline.dataset,
+        quarantined_fraction=baseline.quarantined_fraction,
+    )
     baseline_by_id = {v.claim_id: v.verdict for v in baseline_claims}
 
     cells = []
@@ -114,7 +127,10 @@ def compare_sweep(result: SweepResult) -> SweepComparison:
             ks = {metric: 0.0 for metric in KS_METRICS
                   if metric in baseline_cdfs}
         else:
-            claims = evaluate_claims(run.dataset)
+            claims = evaluate_claims(
+                run.dataset,
+                quarantined_fraction=run.quarantined_fraction,
+            )
             cell_cdfs = _metric_cdfs(run.dataset)
             ks = {
                 metric: ks_distance(
@@ -137,6 +153,7 @@ def compare_sweep(result: SweepResult) -> SweepComparison:
                 ks=ks,
                 claims=claims,
                 flipped_claims=flipped,
+                quarantined_fraction=run.quarantined_fraction,
             )
         )
     return SweepComparison(

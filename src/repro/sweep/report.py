@@ -50,6 +50,10 @@ def format_sweep_report(comparison: SweepComparison) -> str:
                        f"{'-':>19}")
         flips = ",".join(cell.flipped_claims) if cell.flipped_claims else "-"
         marker = " (baseline)" if cell.is_baseline else ""
+        if cell.quarantined_fraction > 0:
+            marker += (
+                f" [quarantined {cell.quarantined_fraction:.1%} of plays]"
+            )
         row.append(f"  {_claim_glyphs(cell):8}  {flips}{marker}")
         lines.append("".join(row))
 
@@ -99,6 +103,15 @@ def report_payload(comparison: SweepComparison) -> dict:
                     for verdict in cell.claims
                 ],
                 "flipped_claims": list(cell.flipped_claims),
+                **(
+                    {
+                        "quarantined_fraction": round(
+                            cell.quarantined_fraction, 4
+                        )
+                    }
+                    if cell.quarantined_fraction > 0
+                    else {}
+                ),
             }
             for cell in comparison.cells
         ],

@@ -18,6 +18,7 @@ from typing import Callable
 
 from repro.core.records import StudyDataset
 from repro.errors import SweepError
+from repro.experiments.claims import DEFAULT_QUARANTINE_THRESHOLD
 from repro.runtime import RuntimeConfig, run_study
 from repro.sweep.cache import StudyCache
 from repro.sweep.spec import SweepCell, SweepSpec
@@ -36,6 +37,10 @@ class CellRun:
     elapsed_s: float
     #: Simulation throughput; None for cache hits (nothing simulated).
     plays_per_second: float | None
+    #: Share of scheduled plays lost to quarantined shards (0.0 for a
+    #: complete run; always 0.0 for cache hits — partials are never
+    #: cached).  Claims refuse to judge above the sweep's threshold.
+    quarantined_fraction: float = 0.0
 
     @property
     def cell_id(self) -> str:
@@ -94,6 +99,15 @@ class SweepResult:
                         if run.plays_per_second is None
                         else round(run.plays_per_second, 2)
                     ),
+                    **(
+                        {
+                            "quarantined_fraction": round(
+                                run.quarantined_fraction, 4
+                            )
+                        }
+                        if run.quarantined_fraction > 0
+                        else {}
+                    ),
                 }
                 for run in self.runs
             ],
@@ -105,8 +119,14 @@ def run_cell(
     cache: StudyCache | None = None,
     workers: int = 1,
     force: bool = False,
+    quarantine_threshold: float = DEFAULT_QUARANTINE_THRESHOLD,
 ) -> CellRun:
-    """Execute one cell: verified cache hit, else simulate and store."""
+    """Execute one cell: verified cache hit, else simulate and store.
+
+    A cell whose run quarantined shards is never cached; above
+    ``quarantine_threshold`` (fraction of scheduled plays lost) it is
+    refused outright, because its claims could not be judged anyway.
+    """
     config = cell.study_config()
     config_hash = config.canonical_hash()
     started = time.monotonic()
@@ -122,13 +142,19 @@ def run_cell(
                 plays_per_second=None,
             )
     result = run_study(config, RuntimeConfig(workers=workers))
+    quarantined_fraction = 0.0
     if result.failed_shards:
-        raise SweepError(
-            f"cell {cell.cell_id!r}: shards {list(result.failed_shards)} "
-            "failed after retries; refusing to cache a partial study"
-        )
+        quarantined_fraction = getattr(result, "quarantined_fraction", 1.0)
+        if quarantined_fraction > quarantine_threshold:
+            raise SweepError(
+                f"cell {cell.cell_id!r}: shards "
+                f"{list(result.failed_shards)} failed after retries "
+                f"({quarantined_fraction:.1%} of plays quarantined, "
+                f"threshold {quarantine_threshold:.1%}); refusing to "
+                "cache a partial study"
+            )
     plays_per_second = result.telemetry.plays_per_second()
-    if cache is not None:
+    if cache is not None and not result.failed_shards:
         cache.store(
             config_hash,
             result.dataset,
@@ -149,6 +175,7 @@ def run_cell(
         cached=False,
         elapsed_s=time.monotonic() - started,
         plays_per_second=plays_per_second,
+        quarantined_fraction=quarantined_fraction,
     )
 
 
@@ -158,13 +185,15 @@ def run_sweep(
     workers: int = 1,
     force: bool = False,
     progress: Callable[[str], None] | None = None,
+    quarantine_threshold: float = DEFAULT_QUARANTINE_THRESHOLD,
 ) -> SweepResult:
     """Run every cell of the sweep and return the collected results.
 
     ``cache_dir`` enables the content-addressed store (``force=True``
     re-simulates and overwrites even on a hit); ``workers`` is passed
     through to `repro.runtime` per cell; ``progress`` receives one
-    status line per cell.
+    status line per cell; ``quarantine_threshold`` bounds the fraction
+    of quarantined plays a cell may lose before the sweep refuses it.
     """
     if workers < 1:
         raise SweepError(f"workers must be >= 1, got {workers}")
@@ -174,7 +203,13 @@ def run_sweep(
     started = time.monotonic()
     runs: list[CellRun] = []
     for index, cell in enumerate(cells):
-        run = run_cell(cell, cache=cache, workers=workers, force=force)
+        run = run_cell(
+            cell,
+            cache=cache,
+            workers=workers,
+            force=force,
+            quarantine_threshold=quarantine_threshold,
+        )
         runs.append(run)
         if progress is not None:
             status = "cached" if run.cached else (

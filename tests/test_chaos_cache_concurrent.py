@@ -1,0 +1,93 @@
+"""Concurrent StudyCache writers must leave exactly one valid entry.
+
+The cache is content-addressed, so two processes racing to fill the
+same cell write identical bytes; the contract is that any interleaving
+of their (durable-atomic, process-unique-temp) writes commits a single
+complete entry — last writer wins — with no torn files and no eviction
+on the next load.  The injection seam's ``pause`` fault stretches the
+window between payload write and rename to force real interleavings.
+"""
+
+import multiprocessing as mp
+
+from repro.chaos import Fault, IoSeam
+from repro.core.study import Study, StudyConfig
+from repro.sweep.cache import StudyCache
+
+TINY = StudyConfig(seed=11, scale=0.02, max_users=6, playlist_length=4)
+
+
+def _racing_store(root, csv_text, config_hash, pause_site, barrier):
+    """One writer process: pause mid-write at ``pause_site``."""
+    from repro.core.records import StudyDataset
+
+    seam = IoSeam(faults=[
+        Fault(site=pause_site, action="pause", pause_s=0.3, times=1),
+    ])
+    cache = StudyCache(root, seam=seam)
+    dataset = StudyDataset.from_csv_string(csv_text)
+    barrier.wait(timeout=30)
+    cache.store(config_hash, dataset, extra={"writer": pause_site})
+
+
+def test_two_pausing_writers_commit_one_valid_entry(tmp_path):
+    dataset = Study(TINY).run()
+    csv_text = dataset.to_csv_string()
+    config_hash = TINY.canonical_hash()
+    root = tmp_path / "cache"
+
+    method = "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+    ctx = mp.get_context(method)
+    barrier = ctx.Barrier(2)
+    writers = [
+        ctx.Process(
+            target=_racing_store,
+            args=(root, csv_text, config_hash, site, barrier),
+        )
+        # One stalls between the CSV write and its rename, the other
+        # between the manifest write and its rename, so the four
+        # renames genuinely interleave.
+        for site in ("cache.csv", "cache.manifest")
+    ]
+    for proc in writers:
+        proc.start()
+    for proc in writers:
+        proc.join(timeout=60)
+        assert proc.exitcode == 0
+
+    # Exactly one committed entry, and it verifies end to end.
+    cache = StudyCache(root)
+    assert cache.entries() == [config_hash]
+    entry = cache.load(config_hash)
+    assert entry is not None
+    assert cache.evicted == []
+    assert entry.dataset.to_csv_string() == csv_text
+    assert entry.manifest["records"] == len(dataset)
+    # No temp files survived either writer.
+    assert list(root.rglob("*.tmp.*")) == []
+
+
+def test_writer_killed_mid_write_leaves_a_loadable_or_absent_entry(
+    tmp_path,
+):
+    """An ENOSPC'd (aborted) store next to a clean one: the clean
+    entry commits, the aborted write leaves nothing behind."""
+    dataset = Study(TINY).run()
+    config_hash = TINY.canonical_hash()
+    root = tmp_path / "cache"
+
+    broken = StudyCache(root, seam=IoSeam(faults=[
+        Fault(site="cache.manifest", action="enospc"),
+    ]))
+    try:
+        broken.store(config_hash, dataset)
+    except OSError:
+        pass
+    # CSV landed but the manifest (the commit marker) did not: a miss.
+    assert StudyCache(root).load(config_hash) is None
+    assert list(root.rglob("*.tmp.*")) == []
+
+    StudyCache(root).store(config_hash, dataset)
+    entry = StudyCache(root).load(config_hash)
+    assert entry is not None
+    assert entry.dataset.to_csv_string() == dataset.to_csv_string()

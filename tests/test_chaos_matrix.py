@@ -1,0 +1,209 @@
+"""The chaos matrix's guarantees, held on a tiny study.
+
+These are the tentpole's pinned behaviors: every fault family in the
+default plan must leave the runtime either recovered (byte-identical
+to the fault-free run) or honestly degraded (quarantine named in the
+manifest), and never a corrupt artifact.  The watchdog case runs at
+``--workers 4``, the acceptance bar for hang detection.
+"""
+
+import pytest
+
+from repro.chaos import Fault, FaultPlan, default_plan
+from repro.chaos.matrix import run_chaos_matrix, verify_artifacts
+from repro.core.study import Study, StudyConfig
+from repro.runtime import RuntimeConfig, run_study
+from repro.runtime.pool import BackoffPolicy
+
+#: Small enough that the full matrix (two study runs per fault) stays
+#: test-suite friendly.
+TINY = StudyConfig(seed=11, scale=0.02, max_users=10, playlist_length=6)
+
+FAST_BACKOFF = BackoffPolicy(base_s=0.01, cap_s=0.1)
+
+
+@pytest.fixture(scope="module")
+def tiny_serial_csv() -> str:
+    return Study(TINY).run().to_csv_string()
+
+
+class TestWatchdog:
+    def test_hung_worker_rescheduled_byte_identical_at_4_workers(
+        self, tiny_serial_csv, tmp_path
+    ):
+        plan = FaultPlan(faults=(
+            Fault(site="worker.play", action="hang", shard=1,
+                  hang_s=3600.0),
+        ))
+        result = run_study(
+            TINY,
+            RuntimeConfig(
+                workers=4,
+                shard_count=4,
+                checkpoint_dir=tmp_path / "ckpt",
+                fault_plan=plan,
+                backoff=FAST_BACKOFF,
+                watchdog_deadline_s=1.5,
+            ),
+        )
+        assert result.complete
+        # The watchdog killed the hung attempt and the retry ran clean.
+        assert result.telemetry.shards[1].attempts == 2
+        assert "watchdog" in result.telemetry.shards[1].error
+        assert result.dataset.to_csv_string() == tiny_serial_csv
+        assert verify_artifacts(tmp_path / "ckpt") == []
+
+
+class TestQuarantine:
+    def test_exhausted_shard_quarantined_honestly(self, tmp_path):
+        plan = FaultPlan(faults=(
+            Fault(site="worker.play", action="raise", shard=2,
+                  attempts=999),
+        ))
+        result = run_study(
+            TINY,
+            RuntimeConfig(
+                workers=2,
+                shard_count=4,
+                max_retries=2,
+                checkpoint_dir=tmp_path / "ckpt",
+                fault_plan=plan,
+                backoff=FAST_BACKOFF,
+            ),
+        )
+        assert result.failed_shards == (2,)
+        assert not result.complete
+        assert 0.0 < result.quarantined_fraction < 1.0
+        quarantined = result.manifest["quarantined"]
+        assert quarantined["shards"] == [2]
+        assert quarantined["plays"] == result.plan.shards[2].plays
+        assert quarantined["fraction"] == pytest.approx(
+            result.quarantined_fraction
+        )
+        assert result.telemetry.shards[2].status == "quarantined"
+        lost = set(result.plan.shards[2].user_ids)
+        assert not (lost & {r.user_id for r in result.dataset})
+
+    def test_quarantined_run_resumes_to_full_dataset(
+        self, tiny_serial_csv, tmp_path
+    ):
+        plan = FaultPlan(faults=(
+            Fault(site="worker.play", action="raise", shard=0,
+                  attempts=999),
+        ))
+        first = run_study(
+            TINY,
+            RuntimeConfig(
+                workers=2, shard_count=4, max_retries=1,
+                checkpoint_dir=tmp_path / "ckpt", fault_plan=plan,
+                backoff=FAST_BACKOFF,
+            ),
+        )
+        assert first.failed_shards == (0,)
+        resumed = run_study(
+            TINY,
+            RuntimeConfig(
+                workers=2, shard_count=4,
+                checkpoint_dir=tmp_path / "ckpt", resume=True,
+            ),
+        )
+        assert resumed.complete
+        assert resumed.dataset.to_csv_string() == tiny_serial_csv
+
+
+class TestWriteFaults:
+    def test_enospc_on_journal_degrades_without_losing_the_run(
+        self, tiny_serial_csv, tmp_path
+    ):
+        plan = FaultPlan(faults=(
+            Fault(site="checkpoint.shard", action="enospc", times=99),
+        ))
+        result = run_study(
+            TINY,
+            RuntimeConfig(
+                workers=2, shard_count=4,
+                checkpoint_dir=tmp_path / "ckpt", fault_plan=plan,
+            ),
+        )
+        assert result.complete
+        assert result.dataset.to_csv_string() == tiny_serial_csv
+        assert result.telemetry.journal_errors
+        assert "journal_errors" in result.manifest
+        # Failed writes left no torn files behind.
+        assert list((tmp_path / "ckpt").glob("*.tmp.*")) == []
+
+    def test_truncated_journal_entry_healed_on_resume(
+        self, tiny_serial_csv, tmp_path
+    ):
+        plan = FaultPlan(faults=(
+            Fault(site="checkpoint.shard", action="truncate",
+                  keep_bytes=20),
+        ))
+        run_study(
+            TINY,
+            RuntimeConfig(
+                workers=2, shard_count=4,
+                checkpoint_dir=tmp_path / "ckpt", fault_plan=plan,
+            ),
+        )
+        # The fault deliberately corrupted one journaled shard on disk.
+        assert verify_artifacts(tmp_path / "ckpt") != []
+        resumed = run_study(
+            TINY,
+            RuntimeConfig(
+                workers=2, shard_count=4,
+                checkpoint_dir=tmp_path / "ckpt", resume=True,
+            ),
+        )
+        assert resumed.complete
+        assert resumed.dataset.to_csv_string() == tiny_serial_csv
+        assert verify_artifacts(tmp_path / "ckpt") == []
+
+
+class TestVerifyArtifacts:
+    def test_flags_orphans_corruption_and_bad_manifests(self, tmp_path):
+        ckpt = tmp_path / "ckpt"
+        run_study(
+            TINY, RuntimeConfig(workers=1, shard_count=2,
+                                checkpoint_dir=ckpt),
+        )
+        assert verify_artifacts(ckpt) == []
+        (ckpt / "shard_0000.csv.tmp.999").write_text("torn")
+        victim = sorted(ckpt.glob("shard_*.csv"))[0]
+        victim.write_text(victim.read_text()[:10])
+        problems = verify_artifacts(ckpt)
+        assert any("orphaned temp file" in p for p in problems)
+        assert any("shard 0" in p for p in problems)
+        (ckpt / "manifest.json").write_text("{broken")
+        assert any(
+            "unreadable manifest" in p for p in verify_artifacts(ckpt)
+        )
+
+
+class TestFullMatrix:
+    def test_default_plan_holds_every_guarantee(self):
+        report = run_chaos_matrix(
+            default_plan(),
+            TINY,
+            workers=2,
+            shard_count=4,
+            max_retries=2,
+            watchdog_deadline_s=2.0,
+        )
+        assert report.ok, report.format()
+        by_label = {o.fault.label: o for o in report.outcomes}
+        assert len(by_label) == len(default_plan().faults)
+        statuses = {label: o.status for label, o in by_label.items()}
+        # The never-succeeding crash is the quarantine case; everything
+        # else must recover byte-identically.
+        assert statuses.pop(
+            "worker.play:crash+shard=2@play1+attempts<=999"
+        ) == "quarantined"
+        assert set(statuses.values()) == {"recovered"}
+        # Both signal rows went through the interrupt path or finished
+        # before delivery; either way their resume converged (ok above).
+        text = report.format()
+        assert "all guarantees held" in text
+        payload = report.payload()
+        assert payload["ok"] is True
+        assert len(payload["outcomes"]) == len(report.outcomes)

@@ -1,0 +1,154 @@
+"""FaultPlan/Fault: validation, labels, loading, the default matrix."""
+
+import json
+
+import pytest
+
+from repro.chaos import (
+    ACTIONS,
+    SITES,
+    WRITE_SITES,
+    Fault,
+    FaultPlan,
+    default_plan,
+    load_plan,
+)
+from repro.errors import ChaosError
+
+
+class TestFaultValidation:
+    def test_every_action_site_pair_in_the_table_constructs(self):
+        for action, sites in ACTIONS.items():
+            for site in sites:
+                Fault(site=site, action=action)
+
+    def test_unknown_site_rejected(self):
+        with pytest.raises(ChaosError, match="unknown fault site"):
+            Fault(site="worker.nope", action="hang")
+
+    def test_unknown_action_rejected(self):
+        with pytest.raises(ChaosError, match="unknown fault action"):
+            Fault(site="worker.play", action="explode")
+
+    def test_action_must_match_site(self):
+        with pytest.raises(ChaosError, match="cannot target"):
+            Fault(site="signal", action="hang")
+        with pytest.raises(ChaosError, match="cannot target"):
+            Fault(site="checkpoint.shard", action="crash")
+
+    def test_bad_point_rejected(self):
+        with pytest.raises(ChaosError, match="pre/mid/post"):
+            Fault(site="cache.csv", action="enospc", point="during")
+
+    def test_truncate_forced_to_post(self):
+        fault = Fault(site="checkpoint.shard", action="truncate")
+        assert fault.point == "post"
+
+    def test_labels_are_stable_and_distinct(self):
+        plan = default_plan()
+        labels = [fault.label for fault in plan.faults]
+        assert len(set(labels)) == len(labels)
+        assert "worker.play:hang+shard=1@play1" in labels
+        assert "signal:sigint+after=0.4s" in labels
+
+
+class TestFaultPlan:
+    def test_for_site_filters_in_order(self):
+        plan = default_plan()
+        writes = plan.for_site(*WRITE_SITES)
+        assert all(fault.site in WRITE_SITES for fault in writes)
+        signals = plan.for_site("signal")
+        assert [fault.action for fault in signals] == ["sigint", "sigterm"]
+
+    def test_singletons_cover_every_fault(self):
+        plan = default_plan()
+        cases = plan.singletons()
+        assert len(cases) == len(plan.faults)
+        for case, fault in zip(cases, plan.faults):
+            assert case.faults == (fault,)
+            assert case.seed == plan.seed
+            assert fault.label in case.name
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(ChaosError, match="unknown plan keys"):
+            FaultPlan.from_dict({"name": "x", "fault": []})
+        with pytest.raises(ChaosError, match="unknown keys"):
+            FaultPlan.from_dict(
+                {"faults": [{"site": "signal", "action": "sigint",
+                             "delay": 3}]}
+            )
+
+    def test_from_dict_requires_site_and_action(self):
+        with pytest.raises(ChaosError, match="'site' and 'action'"):
+            FaultPlan.from_dict({"faults": [{"site": "signal"}]})
+
+    def test_default_plan_covers_every_failure_family(self):
+        plan = default_plan()
+        assert {fault.site for fault in plan.faults} >= {
+            "worker.play", "checkpoint.shard", "signal",
+        }
+        actions = {fault.action for fault in plan.faults}
+        assert actions >= {"hang", "crash", "enospc", "truncate",
+                           "sigint", "sigterm"}
+        # The quarantine case: a crash that outlives any retry budget.
+        assert any(fault.attempts > 100 for fault in plan.faults)
+
+
+class TestLoadPlan:
+    def test_json_round_trip(self, tmp_path):
+        path = tmp_path / "plan.json"
+        path.write_text(json.dumps({
+            "name": "smoke",
+            "seed": 7,
+            "faults": [
+                {"site": "worker.play", "action": "hang", "shard": 0,
+                 "hang_s": 120.0},
+                {"site": "signal", "action": "sigterm", "after_s": 0.3},
+            ],
+        }))
+        plan = load_plan(path)
+        assert plan.name == "smoke"
+        assert plan.seed == 7
+        assert [fault.action for fault in plan.faults] == [
+            "hang", "sigterm",
+        ]
+        assert plan.faults[0].hang_s == 120.0
+
+    def test_toml_plan_loads_when_tomllib_available(self, tmp_path):
+        pytest.importorskip("tomllib")
+        path = tmp_path / "plan.toml"
+        path.write_text(
+            'name = "t"\nseed = 3\n\n'
+            '[[faults]]\nsite = "cache.csv"\naction = "pause"\n'
+            'pause_s = 0.1\n'
+        )
+        plan = load_plan(path)
+        assert plan.faults[0].site == "cache.csv"
+        assert plan.faults[0].pause_s == 0.1
+
+    def test_malformed_and_missing_files_raise_chaos_error(self, tmp_path):
+        with pytest.raises(ChaosError, match="cannot read"):
+            load_plan(tmp_path / "absent.json")
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        with pytest.raises(ChaosError, match="malformed JSON"):
+            load_plan(bad)
+        wrong = tmp_path / "plan.yaml"
+        wrong.write_text("faults: []")
+        with pytest.raises(ChaosError, match="must be .toml or .json"):
+            load_plan(wrong)
+
+    def test_shipped_example_plans_load(self):
+        from pathlib import Path
+
+        examples = Path(__file__).parent.parent / "examples" / "chaos"
+        smoke = load_plan(examples / "smoke.json")
+        assert smoke.faults
+        try:
+            import tomllib  # noqa: F401
+        except ModuleNotFoundError:
+            return
+        default = load_plan(examples / "default.toml")
+        assert {fault.site for fault in default.faults} == {
+            fault.site for fault in default_plan().faults
+        }

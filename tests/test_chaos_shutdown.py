@@ -1,0 +1,113 @@
+"""Graceful shutdown under a real signal, end to end.
+
+Kills an actual ``repro study --workers 4`` process with SIGTERM
+mid-flight, then resumes the journal and asserts the merged dataset is
+byte-identical to an uninterrupted run — the acceptance bar for the
+signal-handling path (flush a consistent checkpoint, exit 130, honor
+``--resume``).
+"""
+
+import hashlib
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.core.study import StudyConfig
+from repro.runtime import RuntimeConfig, run_study
+
+SEED = 11
+SCALE = 0.05
+
+
+def _cli_env() -> dict:
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(__file__), "..", "src")
+    env["PYTHONPATH"] = os.path.abspath(src) + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    return env
+
+
+def _study_argv(out, ckpt, resume=False) -> list[str]:
+    argv = [
+        sys.executable, "-m", "repro.cli", "study",
+        "--seed", str(SEED), "--scale", str(SCALE),
+        "--workers", "4", "--quiet",
+        "--out", str(out), "--checkpoint-dir", str(ckpt),
+    ]
+    if resume:
+        argv.append("--resume")
+    return argv
+
+
+def _wait_for_first_shard(ckpt, deadline_s=120.0) -> bool:
+    """True once the journal has at least one done shard."""
+    deadline = time.monotonic() + deadline_s
+    manifest = ckpt / "manifest.json"
+    while time.monotonic() < deadline:
+        if manifest.exists():
+            try:
+                shards = json.loads(manifest.read_text()).get("shards", {})
+            except (ValueError, OSError):
+                shards = {}
+            if any(e.get("status") == "done" for e in shards.values()):
+                return True
+        time.sleep(0.05)
+    return False
+
+
+def test_sigterm_mid_run_then_resume_is_byte_identical(tmp_path):
+    out = tmp_path / "study.csv"
+    ckpt = tmp_path / "ckpt"
+    proc = subprocess.Popen(
+        _study_argv(out, ckpt), env=_cli_env(),
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+    )
+    try:
+        saw_shard = _wait_for_first_shard(ckpt)
+        if proc.poll() is None:
+            proc.send_signal(signal.SIGTERM)
+        stdout, stderr = proc.communicate(timeout=120)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.communicate()
+    assert saw_shard, "no shard was journaled before the deadline"
+
+    if proc.returncode == 0:
+        # The run beat the signal — legitimate on a fast machine, but
+        # then this test proved nothing about interruption; re-examine
+        # SCALE if this starts happening.
+        pytest.skip("study completed before SIGTERM landed")
+    assert proc.returncode == 130, stderr
+    assert "rerun with --resume" in stderr
+    # The interrupted journal is consistent and honest.
+    manifest = json.loads((ckpt / "manifest.json").read_text())
+    done = [
+        sid for sid, entry in manifest["shards"].items()
+        if entry.get("status") == "done"
+    ]
+    assert done
+    run_manifest = json.loads((ckpt / "run_manifest.json").read_text())
+    assert run_manifest["interrupted"] is True
+    assert run_manifest["interrupted_by"] == "SIGTERM"
+    assert run_manifest["pending_shards"]
+
+    resumed = subprocess.run(
+        _study_argv(out, ckpt, resume=True), env=_cli_env(),
+        capture_output=True, text=True, timeout=300,
+    )
+    assert resumed.returncode == 0, resumed.stderr
+
+    reference = run_study(
+        StudyConfig(seed=SEED, scale=SCALE), RuntimeConfig(workers=2)
+    )
+    expected = hashlib.sha256(
+        reference.dataset.to_csv_string().encode()
+    ).hexdigest()
+    assert hashlib.sha256(out.read_bytes()).hexdigest() == expected

@@ -145,3 +145,60 @@ class TestSweepCommand:
         spec_path.write_text('{"sceanrios": []}')
         assert cli.main(["sweep", "--spec", str(spec_path)]) == 2
         assert "error:" in capsys.readouterr().err
+
+
+class TestChaosCommand:
+    def test_chaos_args(self):
+        args = cli.build_parser().parse_args(
+            ["chaos", "--plan", "p.json", "--scale", "0.02",
+             "--workers", "3", "--watchdog-deadline", "1.5",
+             "--report", "c.json"]
+        )
+        assert str(args.plan) == "p.json"
+        assert args.scale == 0.02
+        assert args.workers == 3
+        assert args.watchdog_deadline == 1.5
+        assert str(args.report) == "c.json"
+
+    def test_sweep_quarantine_threshold_arg(self):
+        args = cli.build_parser().parse_args(
+            ["sweep", "--spec", "s.toml", "--quarantine-threshold", "0.1"]
+        )
+        assert args.quarantine_threshold == 0.1
+
+    def test_chaos_runs_a_single_fault_plan(self, tmp_path, capsys):
+        import json
+
+        plan_path = tmp_path / "plan.json"
+        plan_path.write_text(json.dumps({
+            "name": "one",
+            "faults": [
+                {"site": "worker.play", "action": "crash", "shard": 0},
+            ],
+        }))
+        report_path = tmp_path / "chaos.json"
+        code = cli.main([
+            "chaos", "--plan", str(plan_path), "--seed", "11",
+            "--scale", "0.02", "--workers", "2",
+            "--report", str(report_path), "--quiet",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "all guarantees held" in out
+        payload = json.loads(report_path.read_text())
+        assert payload["ok"] is True
+        assert payload["outcomes"][0]["status"] == "recovered"
+
+    def test_chaos_rejects_bad_plan(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{broken")
+        assert cli.main(["chaos", "--plan", str(bad)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_chaos_rejects_empty_plan(self, tmp_path, capsys):
+        import json
+
+        empty = tmp_path / "empty.json"
+        empty.write_text(json.dumps({"name": "void", "faults": []}))
+        assert cli.main(["chaos", "--plan", str(empty)]) == 2
+        assert "no faults" in capsys.readouterr().err

@@ -155,3 +155,35 @@ class TestAccessClassesC2:
         records = [record(connection="DSL/Cable") for _ in range(5)]
         assert self._verdict(StudyDataset(records)).verdict == \
             NOT_APPLICABLE
+
+
+class TestQuarantineRefusal:
+    """Above the quarantine threshold every claim refuses to judge."""
+
+    def test_over_threshold_is_entirely_not_applicable(self):
+        dataset = StudyDataset([record() for _ in range(50)])
+        verdicts = evaluate_claims(dataset, quarantined_fraction=0.10)
+        assert [v.verdict for v in verdicts] == \
+            [NOT_APPLICABLE] * len(ALL_CLAIMS)
+        assert all("quarantined" in v.note for v in verdicts)
+        assert all("10.0%" in v.note for v in verdicts)
+
+    def test_at_or_under_threshold_judges_normally(self):
+        dataset = StudyDataset([record() for _ in range(50)])
+        baseline = evaluate_claims(dataset)
+        judged = evaluate_claims(dataset, quarantined_fraction=0.05)
+        assert [v.verdict for v in judged] == \
+            [v.verdict for v in baseline]
+
+    def test_threshold_is_tunable(self):
+        dataset = StudyDataset([record() for _ in range(50)])
+        strict = evaluate_claims(
+            dataset, quarantined_fraction=0.01,
+            quarantine_threshold=0.0,
+        )
+        assert {v.verdict for v in strict} == {NOT_APPLICABLE}
+        lax = evaluate_claims(
+            dataset, quarantined_fraction=0.30,
+            quarantine_threshold=0.5,
+        )
+        assert {v.verdict for v in lax} != {NOT_APPLICABLE}

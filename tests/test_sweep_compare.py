@@ -145,3 +145,54 @@ class TestReport:
         assert format_sweep_report(comparison) == \
             format_sweep_report(comparison)
         assert report_json(comparison) == report_json(comparison)
+
+
+class TestQuarantineThreading:
+    """A quarantined cell's claims refuse; the reports say why."""
+
+    @pytest.fixture()
+    def degraded(self, tiny_sweep):
+        import dataclasses
+
+        from repro.sweep import compare_sweep
+
+        first, _cache_dir = tiny_sweep
+        runs = list(first.runs)
+        # Doctor a non-baseline cell into a heavily quarantined run.
+        victim = next(
+            i for i, run in enumerate(runs)
+            if run.cell_id != first.baseline.cell_id
+        )
+        runs[victim] = dataclasses.replace(
+            runs[victim], quarantined_fraction=0.5
+        )
+        result = dataclasses.replace(first, runs=tuple(runs))
+        return compare_sweep(result), runs[victim].cell_id
+
+    def test_quarantined_cell_claims_all_not_applicable(self, degraded):
+        comparison, victim_id = degraded
+        cell = comparison[victim_id]
+        assert cell.quarantined_fraction == 0.5
+        assert {v.verdict for v in cell.claims} == {"n/a"}
+        assert all("quarantined" in v.note for v in cell.claims)
+        clean = [
+            c for c in comparison.cells if c.cell_id != victim_id
+        ]
+        assert all(c.quarantined_fraction == 0.0 for c in clean)
+
+    def test_text_report_marks_the_quarantined_cell(self, degraded):
+        comparison, victim_id = degraded
+        text = format_sweep_report(comparison)
+        line = next(
+            ln for ln in text.splitlines() if ln.startswith(victim_id)
+        )
+        assert "[quarantined 50.0% of plays]" in line
+
+    def test_json_key_present_only_for_quarantined_cells(self, degraded):
+        comparison, victim_id = degraded
+        payload = json.loads(report_json(comparison))
+        for cell in payload["cells"]:
+            if cell["cell_id"] == victim_id:
+                assert cell["quarantined_fraction"] == 0.5
+            else:
+                assert "quarantined_fraction" not in cell

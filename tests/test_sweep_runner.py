@@ -170,3 +170,45 @@ class TestRunCell:
     def test_workers_validated(self, tiny_sweep_spec, tmp_path):
         with pytest.raises(SweepError, match="workers"):
             run_sweep(tiny_sweep_spec, cache_dir=tmp_path, workers=0)
+
+    def test_over_threshold_quarantine_message_names_the_fraction(
+        self, tiny_sweep_spec, tmp_path, monkeypatch
+    ):
+        import repro.sweep.runner as runner_module
+
+        def degraded_run_study(config, runtime):
+            return SimpleNamespace(
+                failed_shards=(1,), quarantined_fraction=0.25
+            )
+
+        monkeypatch.setattr(runner_module, "run_study", degraded_run_study)
+        with pytest.raises(SweepError, match=r"25\.0% of plays"):
+            run_cell(tiny_sweep_spec.cells()[0], quarantine_threshold=0.05)
+
+    def test_sub_threshold_quarantine_runs_uncached(
+        self, tiny_sweep_spec, tiny_sweep, tmp_path, monkeypatch
+    ):
+        """A cell that lost a tolerable sliver of plays completes, but
+        its partial dataset must never be committed to the cache."""
+        import repro.sweep.runner as runner_module
+
+        first, _cache_dir = tiny_sweep
+        partial = first.runs[0].dataset
+
+        def degraded_run_study(config, runtime):
+            return SimpleNamespace(
+                failed_shards=(1,),
+                quarantined_fraction=0.02,
+                dataset=partial,
+                telemetry=SimpleNamespace(plays_per_second=lambda: 9.0),
+            )
+
+        monkeypatch.setattr(runner_module, "run_study", degraded_run_study)
+        cache = StudyCache(tmp_path / "cache")
+        run = run_cell(
+            tiny_sweep_spec.cells()[0], cache=cache,
+            quarantine_threshold=0.05,
+        )
+        assert run.quarantined_fraction == pytest.approx(0.02)
+        assert run.cached is False
+        assert cache.entries() == []
