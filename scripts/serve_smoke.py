@@ -1,0 +1,121 @@
+#!/usr/bin/env python
+"""Service smoke: boot a real `repro serve`, round-trip one study.
+
+Boots the server as a subprocess on a free port, POSTs a tiny study,
+follows the SSE stream to `done`, downloads the CSV and diffs it
+byte-for-byte against a direct `repro study` run of the same config,
+checks the manifest, then SIGTERMs the server and asserts a clean
+(code 0) drain.  Usage::
+
+    python scripts/serve_smoke.py WORKDIR [DIRECT_CSV]
+
+``DIRECT_CSV`` reuses an existing direct-run CSV (smoke.sh passes the
+one its parallel-study stage already produced); without it the script
+runs `repro study` itself.
+"""
+
+import json
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+import urllib.request
+from pathlib import Path
+
+CONFIG = {"seed": 2001, "scale": 0.02}
+TIMEOUT_S = 300
+
+
+def sse_frames(raw: str):
+    """Yield (event, data) from a raw SSE stream, skipping comments."""
+    for frame in raw.split("\n\n"):
+        fields = {}
+        for line in frame.splitlines():
+            if ":" in line and not line.startswith(":"):
+                key, _, value = line.partition(":")
+                fields[key.strip()] = value.strip()
+        if "event" in fields:
+            yield fields["event"], json.loads(fields["data"])
+
+
+def get(base: str, path: str) -> bytes:
+    with urllib.request.urlopen(base + path, timeout=TIMEOUT_S) as resp:
+        return resp.read()
+
+
+def main() -> int:
+    out = Path(sys.argv[1]) if len(sys.argv) > 1 else \
+        Path(tempfile.mkdtemp(prefix="serve-smoke-"))
+    out.mkdir(parents=True, exist_ok=True)
+
+    direct_csv = Path(sys.argv[2]) if len(sys.argv) > 2 else None
+    if direct_csv is None or not direct_csv.exists():
+        direct_csv = out / "direct.csv"
+        subprocess.run(
+            [sys.executable, "-m", "repro.cli", "study",
+             "--seed", str(CONFIG["seed"]), "--scale", str(CONFIG["scale"]),
+             "--workers", "2", "--out", str(direct_csv),
+             "--checkpoint-dir", str(out / "direct.ckpt"), "--quiet"],
+            check=True, timeout=TIMEOUT_S,
+        )
+
+    server = subprocess.Popen(
+        # -u: the listen announcement must not sit in a block buffer
+        [sys.executable, "-u", "-m", "repro.cli", "serve", "--port", "0",
+         "--workers", "2", "--cache-dir", str(out / "serve-cache")],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+    )
+    try:
+        assert server.stdout is not None
+        line = server.stdout.readline()
+        match = re.search(r"http://([\d.]+):(\d+)", line)
+        assert match, f"no listen announcement in {line!r}"
+        base = f"http://{match.group(1)}:{match.group(2)}"
+
+        body = json.dumps(CONFIG).encode()
+        with urllib.request.urlopen(urllib.request.Request(
+            base + "/v1/studies", data=body, method="POST",
+            headers={"content-type": "application/json"},
+        ), timeout=TIMEOUT_S) as resp:
+            assert resp.status == 201, resp.status
+            doc = json.loads(resp.read())
+        job_id = doc["job_id"]
+        print(f"submitted {job_id} to {base}")
+
+        # the SSE stream runs from first state event to settle
+        events = list(sse_frames(
+            get(base, f"/v1/jobs/{job_id}/events").decode()
+        ))
+        kinds = [kind for kind, _ in events]
+        assert kinds[0] == "state" and kinds[-1] == "done", kinds
+        final = events[-1][1]
+        assert final["state"] == "done", final
+        assert any(k == "telemetry" for k in kinds), kinds
+        print(f"SSE: {len(events)} events, {final['records']} records")
+
+        served = get(base, f"/v1/jobs/{job_id}/study.csv")
+        assert served == direct_csv.read_bytes(), (
+            "served CSV differs from the direct `repro study` run"
+        )
+        status = json.loads(get(base, f"/v1/jobs/{job_id}"))
+        manifest = json.loads(get(base, f"/v1/jobs/{job_id}/manifest"))
+        assert manifest["config_hash"] == status["study"]["config_hash"]
+        assert manifest["failed_shards"] == [], manifest["failed_shards"]
+        stats = json.loads(get(base, "/v1/stats"))
+        assert stats["simulated"] == 1 and stats["cache"]["stores"] == 1
+        print(f"CSV byte-identical ({len(served)} bytes), manifest honest")
+
+        server.send_signal(signal.SIGTERM)
+        code = server.wait(timeout=TIMEOUT_S)
+        assert code == 0, f"drain exited {code}"
+        print("serve smoke ok: SIGTERM drained, exit 0")
+        return 0
+    finally:
+        if server.poll() is None:
+            server.kill()
+            server.wait(timeout=30)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,8 +6,10 @@
 # hold) plus the serial-vs-parallel oracle, the corrupted-checkpoint
 # resume tests, and a 2x2 scenario sweep through repro.sweep (first
 # run simulates + caches, rerun must be 100% cache hits with a
-# byte-identical report), and the chaos smoke (a hung worker + a real
-# SIGTERM injected into a tiny study; recovery must be byte-identical).
+# byte-identical report), the chaos smoke (a hung worker + a real
+# SIGTERM injected into a tiny study; recovery must be byte-identical),
+# and the service smoke (a real `repro serve` round trip: POST, SSE,
+# CSV download diffed against the direct run, SIGTERM drain).
 # Run from the repo root:  bash scripts/smoke.sh
 set -euo pipefail
 
@@ -99,5 +101,9 @@ assert not bad, bad
 print("chaos smoke ok: " + ", ".join(
     f"{o['fault']} -> {o['status']}" for o in outcomes))
 EOF
+
+echo "== service smoke (serve, SSE, CSV diff, SIGTERM drain) =="
+# reuses the parallel-study stage's CSV as the direct-run reference
+python scripts/serve_smoke.py "$out/serve-smoke" "$out/smoke.csv"
 
 echo "== smoke passed =="

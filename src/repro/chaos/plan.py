@@ -23,6 +23,13 @@ Sites
 ``signal``
     Deliver a real signal to the running process at ``after_s``
     seconds into the run.  Actions: ``sigint``, ``sigterm``.
+``serve.request``
+    The `repro.serve` HTTP front end, fired per accepted request
+    (first ``times`` matching requests).  Actions: ``drop`` (close the
+    connection before any response bytes — the client sees a reset and
+    must retry; dedup guarantees the retry attaches instead of
+    re-simulating), ``stall`` (sleep ``pause_s`` before handling — a
+    slow-loris stand-in that must not block other clients).
 
 Plans load from TOML or JSON (:func:`load_plan`) and
 :func:`default_plan` is the standing chaos matrix: one fault per
@@ -52,7 +59,7 @@ WRITE_SITES = (
     "cache.manifest",
 )
 #: Every valid fault site.
-SITES = WRITE_SITES + ("worker.play", "signal")
+SITES = WRITE_SITES + ("worker.play", "signal", "serve.request")
 
 #: action -> the sites it may target.
 ACTIONS = {
@@ -65,6 +72,8 @@ ACTIONS = {
     "pause": WRITE_SITES,
     "sigint": ("signal",),
     "sigterm": ("signal",),
+    "drop": ("serve.request",),
+    "stall": ("serve.request",),
 }
 
 
@@ -129,6 +138,9 @@ class Fault:
                 parts.append(f"attempts<={self.attempts}")
         elif self.site == "signal":
             parts.append(f"after={self.after_s:g}s")
+        elif self.site == "serve.request":
+            if self.times != 1:
+                parts.append(f"times={self.times}")
         elif self.point != "mid":
             parts.append(self.point)
         return "+".join(parts)

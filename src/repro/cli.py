@@ -13,6 +13,8 @@ Subcommands::
                  [--quarantine-threshold 0.05]
     repro chaos  [--plan faults.toml] [--scale 0.02] [--workers 2]
                  [--report chaos.json]
+    repro serve  [--host 127.0.0.1] [--port 8050] [--workers 2]
+                 [--cache-dir .serve-cache] [--queue-capacity 64]
 
 ``repro`` is installed as a console script; the module also runs via
 ``python -m repro.cli``.
@@ -286,6 +288,12 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         print()
         print(f"{result.misses} simulated, {result.hits} from cache "
               f"({len(result.evicted)} evicted) in {result.elapsed_s:.1f}s")
+        if result.cache_counters is not None:
+            counters = result.cache_counters
+            print(f"cache traffic: {counters['hits']} hits, "
+                  f"{counters['misses']} misses, "
+                  f"{counters['stores']} stores, "
+                  f"{counters['evicted']} evicted")
         if args.report is not None:
             print(f"wrote {args.report}")
     return 0
@@ -327,6 +335,41 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     if not args.quiet and args.report is not None:
         print(f"wrote {args.report}")
     return 0 if report.ok else 1
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the study-as-a-service HTTP front end until SIGTERM."""
+    import asyncio
+
+    from repro.chaos import load_plan
+    from repro.errors import ChaosError
+    from repro.serve import serve_forever
+
+    plan = None
+    if args.chaos_plan is not None:
+        try:
+            plan = load_plan(args.chaos_plan)
+        except ChaosError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    try:
+        asyncio.run(serve_forever(
+            host=args.host,
+            port=args.port,
+            cache_dir=args.cache_dir,
+            workers=args.workers,
+            shard_workers=args.shard_workers,
+            queue_capacity=args.queue_capacity,
+            fault_plan=plan,
+        ))
+    except KeyboardInterrupt:
+        # Second signal during the drain: the default handler wins.
+        print("interrupted before the drain finished", file=sys.stderr)
+        return 130
+    except OSError as exc:  # port in use, bad host...
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return 0
 
 
 def _cmd_figures(args: argparse.Namespace) -> int:
@@ -439,6 +482,29 @@ def build_parser() -> argparse.ArgumentParser:
                        help="also write the matrix verdicts as JSON here")
     chaos.add_argument("--quiet", action="store_true")
     chaos.set_defaults(func=_cmd_chaos)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the study-as-a-service HTTP front end (JSON API + "
+             "SSE progress over the runtime's worker pool)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8050,
+                       help="TCP port (0: pick a free one)")
+    serve.add_argument("--workers", type=int, default=2,
+                       help="concurrent simulations (service worker slots)")
+    serve.add_argument("--shard-workers", type=int, default=1,
+                       help="repro.runtime worker processes per simulation")
+    serve.add_argument("--cache-dir", type=Path,
+                       default=Path(".serve-cache"),
+                       help="content-addressed study cache + checkpoint "
+                            "root shared across restarts")
+    serve.add_argument("--queue-capacity", type=int, default=64,
+                       help="queued simulations before submissions get 429")
+    serve.add_argument("--chaos-plan", type=Path, default=None,
+                       help="fault plan with serve.request faults to "
+                            "inject (drop/stall)")
+    serve.set_defaults(func=_cmd_serve)
 
     validate = sub.add_parser(
         "validate",

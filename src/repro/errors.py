@@ -67,6 +67,11 @@ class SweepError(StudyError):
     spec, unknown scenario/override path, failed shards in a cell)."""
 
 
+class ServeError(StudyError):
+    """The `repro.serve` HTTP front end rejected a request or was
+    misconfigured (malformed spec, unknown job, queue saturated)."""
+
+
 class ChaosError(StudyError):
     """A fault-injection plan is malformed or a chaos-matrix guarantee
     was violated (corrupt artifact left behind, resume not

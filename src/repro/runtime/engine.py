@@ -96,6 +96,14 @@ class RuntimeConfig:
     #: signal = immediate).  Off by default: libraries and test
     #: harnesses own their signal disposition; the CLI turns it on.
     handle_signals: bool = False
+    #: External stop request, polled at play boundaries.  When it
+    #: returns True the run drains exactly like a first SIGINT/SIGTERM
+    #: — in-flight results journal, a consistent checkpoint and honest
+    #: manifest flush, and the partial result comes back with
+    #: ``interrupted=True`` (``interrupted_by: "external"``).  This is
+    #: how `repro.serve` reuses the graceful-shutdown path from worker
+    #: threads, where signal handlers cannot be installed.
+    should_stop: Callable[[], bool] | None = None
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -181,6 +189,35 @@ class _GracefulStop:
             signal.signal(sig, handler)
 
 
+class _CombinedStop:
+    """The run's stop view: a signal *or* the external ``should_stop``.
+
+    The external predicate is latched on its first True so a flapping
+    callable cannot un-request a drain half-way through.
+    """
+
+    def __init__(
+        self, signals: _GracefulStop, external: Callable[[], bool] | None
+    ) -> None:
+        self._signals = signals
+        self._external = external
+        self._tripped = False
+
+    @property
+    def requested(self) -> bool:
+        if self._signals.requested:
+            return True
+        if not self._tripped and self._external is not None:
+            self._tripped = bool(self._external())
+        return self._tripped
+
+    @property
+    def signal_name(self) -> str:
+        if self._signals.signal_name:
+            return self._signals.signal_name
+        return "external" if self._tripped else ""
+
+
 def _signal_timers(
     plan: FaultPlan | None, enabled: bool
 ) -> list[threading.Timer]:
@@ -258,7 +295,8 @@ def run_study(
     telemetry.run_started()
     notify()
 
-    with _GracefulStop(runtime.handle_signals) as stop:
+    with _GracefulStop(runtime.handle_signals) as signals:
+        stop = _CombinedStop(signals, runtime.should_stop)
         timers = _signal_timers(runtime.fault_plan, runtime.handle_signals)
         try:
             if runtime.workers <= 1:

@@ -8,9 +8,10 @@ injectable so the arithmetic is unit-testable.
 
 from __future__ import annotations
 
+import sys
 import time
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Callable, TextIO
 
 
 @dataclass
@@ -143,6 +144,11 @@ class RunTelemetry:
         return sum(max(0, s.attempts - 1) for s in self.shards.values())
 
     @property
+    def finished(self) -> bool:
+        """``run_finished`` has been seen: the run is over."""
+        return self._finished_at is not None
+
+    @property
     def elapsed_s(self) -> float:
         if self._started_at is None:
             return 0.0
@@ -190,21 +196,76 @@ class RunTelemetry:
 
     # -- rendering ----------------------------------------------------------
 
-    def progress_line(self) -> str:
-        """One status line: plays done, rate, ETA, worker utilization."""
+    def snapshot(self) -> dict:
+        """Point-in-time, JSON-safe view of the run.
+
+        This is the one serialization shared by the progress printer,
+        the run manifest, and the `repro.serve` SSE telemetry stream.
+        Keys (all JSON-scalar except ``shard_states``):
+
+        ``total_plays``
+            Plays scheduled for the whole run.
+        ``done_plays`` / ``simulated_plays``
+            Plays finished so far / finished *by this run* (resumed
+            shards excluded from the latter).
+        ``elapsed_s`` / ``plays_per_second`` / ``eta_s``
+            Wall-clock so far, simulation rate, and the estimated
+            seconds to completion (``None`` before any rate exists).
+        ``workers`` / ``worker_utilization``
+            Pool size and the busy fraction of its worker-seconds.
+        ``retries``
+            Shard attempts beyond each shard's first.
+        ``violation_total``
+            `repro.validate` violations reported so far.
+        ``journal_errors``
+            Count of degraded (non-fatal) checkpoint writes.
+        ``shard_states``
+            ``{status: count}`` over pending/running/done/resumed/
+            failed/quarantined shards.
+        ``finished``
+            The run is over (``run_finished`` seen).
+        """
         eta = self.eta_s()
+        states: dict[str, int] = {}
+        for stats in self.shards.values():
+            states[stats.status] = states.get(stats.status, 0) + 1
+        return {
+            "total_plays": self.total_plays,
+            "done_plays": self.done_plays,
+            "simulated_plays": self.simulated_plays,
+            "elapsed_s": round(self.elapsed_s, 3),
+            "plays_per_second": round(self.plays_per_second(), 3),
+            "eta_s": None if eta is None else round(eta, 1),
+            "workers": self.workers,
+            "worker_utilization": round(self.utilization(), 3),
+            "retries": self.retries,
+            "violation_total": self.violation_total,
+            "journal_errors": len(self.journal_errors),
+            "shard_states": states,
+            "finished": self.finished,
+        }
+
+    def progress_line(self) -> str:
+        """One status line rendered from :meth:`snapshot`."""
+        snap = self.snapshot()
+        eta = snap["eta_s"]
         eta_text = "--" if eta is None else f"{eta:.0f}s"
         line = (
-            f"{self.done_plays}/{self.total_plays} plays  "
-            f"{self.plays_per_second():.1f} plays/s  ETA {eta_text}  "
-            f"workers {self.workers} ({self.utilization():.0%} busy)"
+            f"{snap['done_plays']}/{snap['total_plays']} plays  "
+            f"{snap['plays_per_second']:.1f} plays/s  ETA {eta_text}  "
+            f"workers {snap['workers']} "
+            f"({snap['worker_utilization']:.0%} busy)"
         )
-        if self.violation_total:
-            line += f"  VIOLATIONS {self.violation_total}"
+        if snap["violation_total"]:
+            line += f"  VIOLATIONS {snap['violation_total']}"
         return line
 
     def manifest(self) -> dict:
-        """The run's JSON-ready record."""
+        """The run's JSON-ready record: :meth:`snapshot` plus the
+        per-shard detail, validation counters, and the full journal
+        error messages (the snapshot only carries their count)."""
+        snap = self.snapshot()
+        del snap["journal_errors"], snap["finished"]
         validation = (
             {
                 "validation": {
@@ -223,14 +284,7 @@ class RunTelemetry:
                 if self.journal_errors
                 else {}
             ),
-            "total_plays": self.total_plays,
-            "done_plays": self.done_plays,
-            "simulated_plays": self.simulated_plays,
-            "elapsed_s": round(self.elapsed_s, 3),
-            "plays_per_second": round(self.plays_per_second(), 3),
-            "retries": self.retries,
-            "workers": self.workers,
-            "worker_utilization": round(self.utilization(), 3),
+            **snap,
             "shards": [
                 {
                     "shard_id": s.shard_id,
@@ -261,22 +315,59 @@ class RunTelemetry:
 
 class ThrottledProgressPrinter:
     """A ready-made ``progress`` callback: prints the telemetry's
-    progress line at most once per ``interval_s``."""
+    progress line at most once per ``interval_s``.
+
+    Rendering adapts to where the output is going.  On an interactive
+    terminal the line is rewritten in place (``\\r``) and finished with
+    a newline when the run ends; on a pipe — CI logs, the service's
+    journald/stdout capture — every update is its own newline-
+    terminated line, so logs stay greppable instead of accumulating
+    carriage-return garbage.  Passing ``echo`` opts out of stream
+    handling entirely: each update is handed to it as a plain string.
+    """
 
     def __init__(
         self,
         interval_s: float = 2.0,
-        echo: Callable[[str], None] = print,
+        echo: Callable[[str], None] | None = None,
         clock: Callable[[], float] = time.monotonic,
+        stream: TextIO | None = None,
     ) -> None:
         self._interval_s = interval_s
         self._echo = echo
         self._clock = clock
+        self._stream = stream
         self._last: float | None = None
+        self._line_width = 0
+
+    def _tty(self) -> bool:
+        stream = self._stream if self._stream is not None else sys.stdout
+        isatty = getattr(stream, "isatty", None)
+        try:
+            return bool(isatty()) if isatty is not None else False
+        except (OSError, ValueError):
+            return False
 
     def __call__(self, telemetry: RunTelemetry) -> None:
         now = self._clock()
-        if self._last is not None and now - self._last < self._interval_s:
+        final = telemetry.finished
+        throttled = (
+            self._last is not None and now - self._last < self._interval_s
+        )
+        if throttled and not final:
             return
         self._last = now
-        self._echo("  " + telemetry.progress_line())
+        line = "  " + telemetry.progress_line()
+        if self._echo is not None:
+            self._echo(line)
+            return
+        stream = self._stream if self._stream is not None else sys.stdout
+        if self._tty():
+            # Rewrite in place, padding over the previous (possibly
+            # longer) line; the run's last update gets the newline.
+            padded = line.ljust(self._line_width)
+            self._line_width = len(line)
+            stream.write("\r" + padded + ("\n" if final else ""))
+        else:
+            stream.write(line + "\n")
+        stream.flush()

@@ -1,0 +1,39 @@
+"""Study-as-a-service: an async HTTP front end over `repro.runtime`.
+
+``repro serve`` exposes the study/sweep machinery to many concurrent
+clients with the same guarantees the CLI gives one: submissions are
+content-addressed through :meth:`StudyConfig.canonical_hash`, so
+identical specs — in flight or already cached — attach to the same
+job instead of re-simulating; distinct specs queue onto a persistent
+worker pool under deficit-round-robin fairness across client ids; and
+SIGTERM drains in-flight runs through the runtime's graceful-shutdown
+path into honest, resumable checkpoints.
+
+Stdlib only: the HTTP/1.1 layer is hand-rolled over
+``asyncio.start_server`` (`repro.serve.protocol`), live progress is
+Server-Sent Events fed from `repro.runtime` telemetry snapshots
+(`repro.serve.broker`), and scheduling is classic DRR
+(`repro.serve.scheduler`).  See ``docs/SERVICE.md``.
+"""
+
+from repro.serve.app import ReproService, ServeFaults, serve_forever
+from repro.serve.broker import SseBroker
+from repro.serve.jobs import Job, JobManager, Simulation, estimate_plays
+from repro.serve.protocol import ProtocolError, Request, read_request
+from repro.serve.scheduler import FairScheduler, QueueFull
+
+__all__ = [
+    "FairScheduler",
+    "Job",
+    "JobManager",
+    "ProtocolError",
+    "QueueFull",
+    "ReproService",
+    "Request",
+    "ServeFaults",
+    "Simulation",
+    "SseBroker",
+    "estimate_plays",
+    "read_request",
+    "serve_forever",
+]

@@ -1,0 +1,105 @@
+"""Per-job event fan-out: bounded history replay + live subscribers.
+
+Every job owns one :class:`SseBroker`.  Publishers (the executor
+slots, via ``loop.call_soon_threadsafe``) append events; subscribers
+(one per open ``GET /v1/jobs/{id}/events`` stream) first replay the
+retained history — so a client attaching after the run started still
+sees the lifecycle from the beginning — then receive live events until
+the broker closes.
+
+History is bounded: when it overflows, the oldest *telemetry* events
+are dropped first, because they are periodic snapshots a late
+subscriber only needs the latest of; lifecycle events (``state``,
+``cell``, ``quarantine``, ``done``) are kept.  All broker methods must
+run on the owning event loop's thread.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import AsyncIterator
+
+#: Retained events per job before the oldest telemetry is dropped.
+DEFAULT_HISTORY = 256
+
+#: The sentinel a closed broker feeds every subscriber queue.
+_CLOSED = object()
+
+
+class SseBroker:
+    """One job's event history and live subscriber queues."""
+
+    def __init__(self, history: int = DEFAULT_HISTORY) -> None:
+        self._history_limit = max(8, history)
+        self._events: list[tuple[int, str, dict]] = []
+        self._queues: list[asyncio.Queue] = []
+        self._next_id = 1
+        self.closed = False
+
+    def publish(self, event: str, data: dict) -> None:
+        """Append an event and wake every live subscriber."""
+        if self.closed:
+            return
+        entry = (self._next_id, event, data)
+        self._next_id += 1
+        self._events.append(entry)
+        self._trim()
+        for queue in self._queues:
+            queue.put_nowait(entry)
+
+    def close(self) -> None:
+        """No more events: end every subscriber's stream after replay."""
+        if self.closed:
+            return
+        self.closed = True
+        for queue in self._queues:
+            queue.put_nowait(_CLOSED)
+
+    def _trim(self) -> None:
+        if len(self._events) <= self._history_limit:
+            return
+        for index, (_, event, _data) in enumerate(self._events):
+            if event == "telemetry":
+                del self._events[index]
+                return
+        del self._events[0]
+
+    @property
+    def history(self) -> tuple[tuple[int, str, dict], ...]:
+        return tuple(self._events)
+
+    async def subscribe(
+        self, last_event_id: int = 0
+    ) -> AsyncIterator[tuple[int, str, dict]]:
+        """Replay history after ``last_event_id``, then stream live.
+
+        The iterator ends when the broker closes (after delivering
+        everything published before the close).
+        """
+        queue: asyncio.Queue = asyncio.Queue()
+        self._queues.append(queue)
+        try:
+            replayed = 0
+            for entry in list(self._events):
+                if entry[0] > last_event_id:
+                    replayed = entry[0]
+                    yield entry
+            if self.closed:
+                # Deliver anything enqueued between our history
+                # snapshot and the close, then end the stream.
+                while not queue.empty():
+                    entry = queue.get_nowait()
+                    if entry is _CLOSED:
+                        break
+                    if entry[0] > replayed:
+                        yield entry
+                return
+            while True:
+                entry = await queue.get()
+                if entry is _CLOSED:
+                    return
+                if entry[0] <= replayed:
+                    continue  # arrived while we were replaying it
+                yield entry
+        finally:
+            self._queues.remove(queue)

@@ -1,0 +1,195 @@
+"""Hand-rolled HTTP/1.1 over asyncio streams.
+
+The service speaks a deliberately small slice of HTTP — enough for
+JSON APIs, CSV downloads, and Server-Sent Events — with no runtime
+dependencies beyond the stdlib, in the spirit of the rest of the
+codebase.  One request per connection (every response carries
+``Connection: close``), which sidesteps pipelining and keep-alive
+bookkeeping entirely; SSE responses stream until the job's broker
+closes.
+
+Parsing is strict about the parts that matter (request line shape,
+header framing, ``Content-Length`` bounds) and permissive about the
+rest; anything malformed raises :class:`ProtocolError`, which the
+connection handler turns into a 400.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass
+from urllib.parse import parse_qsl, unquote, urlsplit
+
+#: Bounds a hostile or confused client hits before the server does.
+MAX_REQUEST_LINE = 8 * 1024
+MAX_HEADER_BYTES = 32 * 1024
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+_REASONS = {
+    200: "OK",
+    201: "Created",
+    202: "Accepted",
+    204: "No Content",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class ProtocolError(Exception):
+    """The request could not be parsed as HTTP we accept."""
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request."""
+
+    method: str
+    path: str
+    query: dict[str, str]
+    headers: dict[str, str]  # keys lower-cased
+    body: bytes = b""
+
+    @property
+    def client_id(self) -> str:
+        """The fairness identity: ``X-Client-Id`` header, else the
+        ``client`` query parameter, else ``"anon"``."""
+        return (
+            self.headers.get("x-client-id")
+            or self.query.get("client")
+            or "anon"
+        ).strip() or "anon"
+
+    def json(self) -> dict:
+        """The body parsed as a JSON object."""
+        try:
+            data = json.loads(self.body.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise ProtocolError(f"body is not valid JSON: {exc}") from exc
+        if not isinstance(data, dict):
+            raise ProtocolError("body must be a JSON object")
+        return data
+
+
+async def read_request(
+    reader: asyncio.StreamReader,
+    max_body: int = MAX_BODY_BYTES,
+) -> Request | None:
+    """Parse one request off the stream; None on a clean EOF."""
+    try:
+        line = await reader.readline()
+    except (ConnectionError, asyncio.LimitOverrunError) as exc:
+        raise ProtocolError(f"unreadable request line: {exc}") from exc
+    if not line:
+        return None
+    if len(line) > MAX_REQUEST_LINE:
+        raise ProtocolError("request line too long")
+    try:
+        method, target, version = line.decode("latin-1").split()
+    except ValueError:
+        raise ProtocolError(f"malformed request line {line!r}") from None
+    if not version.startswith("HTTP/1."):
+        raise ProtocolError(f"unsupported protocol {version!r}")
+
+    headers: dict[str, str] = {}
+    seen = 0
+    while True:
+        raw = await reader.readline()
+        seen += len(raw)
+        if seen > MAX_HEADER_BYTES:
+            raise ProtocolError("headers too large")
+        if raw in (b"\r\n", b"\n", b""):
+            break
+        name, sep, value = raw.decode("latin-1").partition(":")
+        if not sep:
+            raise ProtocolError(f"malformed header line {raw!r}")
+        headers[name.strip().lower()] = value.strip()
+
+    body = b""
+    if "content-length" in headers:
+        try:
+            length = int(headers["content-length"])
+        except ValueError:
+            raise ProtocolError("malformed Content-Length") from None
+        if length < 0 or length > max_body:
+            raise ProtocolError(f"body of {length} bytes refused")
+        try:
+            body = await reader.readexactly(length)
+        except asyncio.IncompleteReadError as exc:
+            raise ProtocolError("body shorter than Content-Length") from exc
+    elif headers.get("transfer-encoding"):
+        raise ProtocolError("chunked request bodies are not supported")
+
+    split = urlsplit(target)
+    query = dict(parse_qsl(split.query, keep_blank_values=True))
+    return Request(
+        method=method.upper(),
+        path=unquote(split.path) or "/",
+        query=query,
+        headers=headers,
+        body=body,
+    )
+
+
+def response_bytes(
+    status: int,
+    body: bytes = b"",
+    content_type: str = "application/json; charset=utf-8",
+    extra_headers: tuple[tuple[str, str], ...] = (),
+) -> bytes:
+    """A complete Content-Length response, ready to write."""
+    reason = _REASONS.get(status, "Unknown")
+    head = [
+        f"HTTP/1.1 {status} {reason}",
+        f"Content-Type: {content_type}",
+        f"Content-Length: {len(body)}",
+        "Connection: close",
+    ]
+    head.extend(f"{name}: {value}" for name, value in extra_headers)
+    return ("\r\n".join(head) + "\r\n\r\n").encode("latin-1") + body
+
+
+def json_response(
+    status: int,
+    payload: dict,
+    extra_headers: tuple[tuple[str, str], ...] = (),
+) -> bytes:
+    """A JSON response (sorted keys, trailing newline)."""
+    body = (json.dumps(payload, indent=2, sort_keys=True) + "\n").encode()
+    return response_bytes(status, body, extra_headers=extra_headers)
+
+
+def error_response(status: int, message: str) -> bytes:
+    return json_response(status, {"error": message, "status": status})
+
+
+def sse_headers() -> bytes:
+    """The response head that opens a Server-Sent-Events stream."""
+    return (
+        "HTTP/1.1 200 OK\r\n"
+        "Content-Type: text/event-stream\r\n"
+        "Cache-Control: no-store\r\n"
+        "Connection: close\r\n"
+        "\r\n"
+    ).encode("latin-1")
+
+
+def sse_event(event: str, data: dict, event_id: int | None = None) -> bytes:
+    """One ``id``/``event``/``data`` SSE frame (JSON payload)."""
+    lines = []
+    if event_id is not None:
+        lines.append(f"id: {event_id}")
+    lines.append(f"event: {event}")
+    lines.append("data: " + json.dumps(data, sort_keys=True))
+    return ("\n".join(lines) + "\n\n").encode("utf-8")
+
+
+def sse_comment(text: str = "keepalive") -> bytes:
+    """A comment frame — SSE's keepalive."""
+    return f": {text}\n\n".encode("utf-8")

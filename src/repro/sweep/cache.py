@@ -57,6 +57,21 @@ class StudyCache:
         self._seam = seam if seam is not None else default_seam()
         #: Entries dropped because they failed an integrity check.
         self.evicted: list[str] = []
+        #: Verified loads served from disk.
+        self.hits = 0
+        #: Loads that found nothing (evictions included).
+        self.misses = 0
+        #: Completed studies journaled into the store.
+        self.stores = 0
+
+    def counters(self) -> dict:
+        """Cache-traffic counters since this instance was created."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "evicted": len(self.evicted),
+        }
 
     def entry_dir(self, config_hash: str) -> Path:
         return self.root / config_hash[:2] / config_hash
@@ -72,6 +87,7 @@ class StudyCache:
         directory = self.entry_dir(config_hash)
         manifest_path = directory / MANIFEST_NAME
         if not manifest_path.exists():
+            self.misses += 1
             return None
         try:
             manifest = json.loads(manifest_path.read_text())
@@ -108,12 +124,14 @@ class StudyCache:
                 f"{len(dataset)} records != journaled "
                 f"{manifest.get('records')}",
             )
+        self.hits += 1
         return CacheEntry(
             config_hash=config_hash, dataset=dataset, manifest=manifest
         )
 
     def _evict(self, config_hash: str, reason: str) -> None:
         self.evicted.append(f"{config_hash[:12]}: {reason}")
+        self.misses += 1
         self.invalidate(config_hash)
         return None
 
@@ -148,6 +166,7 @@ class StudyCache:
             json.dumps(manifest, indent=2),
             site="cache.manifest",
         )
+        self.stores += 1
         return CacheEntry(
             config_hash=config_hash, dataset=dataset, manifest=manifest
         )

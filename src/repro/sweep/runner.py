@@ -64,6 +64,9 @@ class SweepResult:
     evicted: tuple[str, ...]
     workers: int
     elapsed_s: float
+    #: :meth:`StudyCache.counters` at the end of the run — the store's
+    #: own load/store traffic (None when the sweep ran uncached).
+    cache_counters: dict | None = None
 
     def __getitem__(self, cell_id: str) -> CellRun:
         for run in self.runs:
@@ -84,6 +87,11 @@ class SweepResult:
             "cache_hits": self.hits,
             "cache_misses": self.misses,
             "cache_evicted": list(self.evicted),
+            **(
+                {"cache": dict(self.cache_counters)}
+                if self.cache_counters is not None
+                else {}
+            ),
             "workers": self.workers,
             "elapsed_s": round(self.elapsed_s, 3),
             "baseline": self.baseline.cell_id,
@@ -232,4 +240,5 @@ def run_sweep(
         evicted=tuple(cache.evicted) if cache is not None else (),
         workers=workers,
         elapsed_s=time.monotonic() - started,
+        cache_counters=cache.counters() if cache is not None else None,
     )

@@ -1,0 +1,220 @@
+"""In-process harness + blocking HTTP helpers for the serve tests.
+
+:class:`ServeHarness` runs :func:`repro.serve.serve_forever` on its own
+event loop in a daemon thread (port 0, so tests never collide) and
+exposes the drain trigger the CLI wires to SIGTERM.  The client
+helpers speak blocking ``urllib``/raw sockets from the test thread —
+deliberately not asyncio, so the tests exercise the server the way a
+real external client would.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+import threading
+import urllib.error
+import urllib.request
+from contextlib import contextmanager
+
+from repro.serve import serve_forever
+
+#: The suite's standard tiny study (a couple of seconds to simulate).
+TINY_CONFIG = {
+    "seed": 11, "scale": 0.02, "max_users": 6, "playlist_length": 4,
+}
+
+#: A second distinct tiny study.
+OTHER_CONFIG = {
+    "seed": 12, "scale": 0.02, "max_users": 6, "playlist_length": 4,
+}
+
+#: A 2-cell sweep over the tiny studies.
+TINY_SWEEP = {
+    "name": "tiny-serve",
+    "seeds": [11, 12],
+    "scales": [0.02],
+    "overrides": {"max_users": [6], "playlist_length": [4]},
+}
+
+
+class ServeHarness:
+    """One running service instance on a private port."""
+
+    def __init__(self, cache_dir, **kwargs) -> None:
+        self.cache_dir = cache_dir
+        self.kwargs = kwargs
+        self.lines: list[str] = []
+        self.port: int | None = None
+        self._bound = threading.Event()
+        self._stop: asyncio.Event | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    @property
+    def base(self) -> str:
+        return f"http://127.0.0.1:{self.port}"
+
+    def start(self) -> "ServeHarness":
+        self._thread.start()
+        if not self._bound.wait(timeout=30):
+            raise RuntimeError("server did not bind within 30s")
+        return self
+
+    def _run(self) -> None:
+        asyncio.run(self._main())
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+
+        def bound(_host: str, port: int) -> None:
+            self.port = port
+            self._bound.set()
+
+        try:
+            await serve_forever(
+                "127.0.0.1",
+                0,
+                self.cache_dir,
+                stop=self._stop,
+                on_bound=bound,
+                announce=self.lines.append,
+                **self.kwargs,
+            )
+        finally:
+            self._bound.set()  # never leave start() hanging on a crash
+
+    def trigger_drain(self) -> None:
+        """What the CLI's SIGTERM handler does."""
+        assert self._loop is not None and self._stop is not None
+        self._loop.call_soon_threadsafe(self._stop.set)
+
+    def join(self, timeout: float = 60) -> None:
+        self._thread.join(timeout=timeout)
+        if self._thread.is_alive():
+            raise RuntimeError("server did not drain within the timeout")
+
+
+@contextmanager
+def running_server(cache_dir, **kwargs):
+    harness = ServeHarness(cache_dir, **kwargs).start()
+    try:
+        yield harness
+    finally:
+        if harness._thread.is_alive():
+            harness.trigger_drain()
+            harness.join()
+
+
+# -- blocking client helpers -------------------------------------------------
+
+
+def request(
+    base: str,
+    path: str,
+    method: str = "GET",
+    payload: dict | None = None,
+    client: str | None = None,
+    timeout: float = 60,
+) -> tuple[int, dict, bytes]:
+    """(status, headers-as-dict, body) — HTTP errors return, not raise."""
+    data = None
+    headers = {}
+    if payload is not None:
+        data = json.dumps(payload).encode("utf-8")
+        headers["Content-Type"] = "application/json"
+    if client is not None:
+        headers["X-Client-Id"] = client
+    req = urllib.request.Request(
+        base + path, data=data, headers=headers, method=method
+    )
+    try:
+        with urllib.request.urlopen(req, timeout=timeout) as resp:
+            return resp.status, dict(resp.headers), resp.read()
+    except urllib.error.HTTPError as exc:
+        return exc.code, dict(exc.headers), exc.read()
+
+
+def get_json(base: str, path: str, **kw) -> tuple[int, dict]:
+    status, _headers, body = request(base, path, **kw)
+    return status, json.loads(body)
+
+
+def post_json(
+    base: str, path: str, payload: dict, client: str = "anon", **kw
+) -> tuple[int, dict]:
+    status, _headers, body = request(
+        base, path, method="POST", payload=payload, client=client, **kw
+    )
+    return status, json.loads(body)
+
+
+class SseStream:
+    """A blocking SSE reader over a raw socket.
+
+    Raw sockets (not urllib) so tests can interleave reading events
+    with other actions — e.g. wait for the first ``telemetry`` frame,
+    then SIGTERM the server, then keep reading to the stream's end.
+    """
+
+    def __init__(self, base: str, path: str, timeout: float = 60) -> None:
+        host, port = base.removeprefix("http://").split(":")
+        self.sock = socket.create_connection(
+            (host, int(port)), timeout=timeout
+        )
+        self.sock.sendall(
+            f"GET {path} HTTP/1.1\r\nHost: {host}\r\n\r\n".encode()
+        )
+        self.file = self.sock.makefile("rb")
+        status_line = self.file.readline().decode()
+        assert " 200 " in status_line, status_line
+        while self.file.readline() not in (b"\r\n", b"\n", b""):
+            pass  # drain response headers
+
+    def events(self):
+        """Yield (event, data) frames until the server ends the stream."""
+        event, data = None, None
+        for raw in self.file:
+            line = raw.decode("utf-8").rstrip("\n").rstrip("\r")
+            if line.startswith("event: "):
+                event = line[len("event: "):]
+            elif line.startswith("data: "):
+                data = json.loads(line[len("data: "):])
+            elif line == "" and event is not None:
+                yield event, data
+                event, data = None, None
+
+    def collect(self) -> list[tuple[str, dict]]:
+        try:
+            return list(self.events())
+        finally:
+            self.close()
+
+    def close(self) -> None:
+        try:
+            self.file.close()
+            self.sock.close()
+        except OSError:
+            pass
+
+
+def wait_for_state(
+    base: str, job_id: str, states: tuple[str, ...], timeout: float = 60
+) -> dict:
+    """Poll the status document until the job reaches one of ``states``."""
+    import time
+
+    deadline = time.monotonic() + timeout
+    while True:
+        status, doc = get_json(base, f"/v1/jobs/{job_id}")
+        assert status == 200, doc
+        if doc["state"] in states:
+            return doc
+        if time.monotonic() > deadline:
+            raise AssertionError(
+                f"job {job_id} stuck in {doc['state']!r}, "
+                f"wanted one of {states}"
+            )
+        time.sleep(0.05)

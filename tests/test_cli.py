@@ -131,6 +131,7 @@ class TestSweepCommand:
         assert cli.main(argv) == 0
         out = capsys.readouterr().out
         assert "2 simulated, 0 from cache" in out
+        assert "cache traffic: 0 hits, 2 misses, 2 stores, 0 evicted" in out
         assert "sweep 'cli-tiny'" in out
         assert (cache_dir / "sweep_manifest.json").exists()
         first_report = report_path.read_bytes()
@@ -138,6 +139,7 @@ class TestSweepCommand:
         assert cli.main(argv) == 0
         out = capsys.readouterr().out
         assert "0 simulated, 2 from cache" in out
+        assert "cache traffic: 2 hits, 0 misses, 0 stores, 0 evicted" in out
         assert report_path.read_bytes() == first_report
 
     def test_sweep_bad_spec_exits_2(self, tmp_path, capsys):

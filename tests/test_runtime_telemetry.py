@@ -130,3 +130,141 @@ class TestRendering:
         printer(telemetry)          # interval elapsed
         assert len(lines) == 2
         assert all("plays" in line for line in lines)
+
+
+class TestSnapshot:
+    def test_documented_keys_and_values(self):
+        telemetry, clock = make_telemetry()
+        telemetry.run_started()
+        telemetry.shard_started(0, 10, attempt=1)
+        clock.now += 10.0
+        telemetry.shard_finished(0, records=10, elapsed_s=10.0, attempt=1)
+        snap = telemetry.snapshot()
+        assert snap == {
+            "total_plays": 40,
+            "done_plays": 10,
+            "simulated_plays": 10,
+            "elapsed_s": 10.0,
+            "plays_per_second": 1.0,
+            "eta_s": 30.0,
+            "workers": 2,
+            "worker_utilization": 0.5,
+            "retries": 0,
+            "violation_total": 0,
+            "journal_errors": 0,
+            "shard_states": {"pending": 3, "done": 1},
+            "finished": False,
+        }
+
+    def test_snapshot_is_json_safe(self):
+        import json
+
+        telemetry, _clock = make_telemetry()
+        telemetry.run_started()
+        telemetry.journal_error("enospc")
+        telemetry.record_violations({"inv": 2}, checks_run=5)
+        snap = telemetry.snapshot()
+        assert json.loads(json.dumps(snap)) == snap
+        assert snap["eta_s"] is None           # no rate yet
+        assert snap["journal_errors"] == 1     # a count, not messages
+        assert snap["violation_total"] == 2
+
+    def test_finished_flag_follows_run_finished(self):
+        telemetry, _clock = make_telemetry()
+        telemetry.run_started()
+        assert telemetry.snapshot()["finished"] is False
+        telemetry.run_finished()
+        assert telemetry.snapshot()["finished"] is True
+
+    def test_manifest_builds_on_snapshot(self):
+        """The manifest is the snapshot plus shard detail — one
+        serialization, not three diverging ones."""
+        telemetry, clock = make_telemetry()
+        telemetry.run_started()
+        telemetry.shard_started(0, 10, attempt=1)
+        clock.now += 2.0
+        telemetry.shard_finished(0, records=9, elapsed_s=2.0, attempt=1)
+        telemetry.journal_error("write failed: enospc")
+        telemetry.run_finished()
+        manifest = telemetry.manifest()
+        snap = telemetry.snapshot()
+        for key in ("total_plays", "done_plays", "eta_s", "shard_states",
+                    "plays_per_second", "worker_utilization"):
+            assert manifest[key] == snap[key]
+        # the manifest carries the full journal messages, the snapshot
+        # only their count; `finished` is implicit in a manifest
+        assert manifest["journal_errors"] == ["write failed: enospc"]
+        assert "finished" not in manifest
+
+
+class _FakeStream:
+    def __init__(self, tty: bool) -> None:
+        self.tty = tty
+        self.written: list[str] = []
+
+    def isatty(self) -> bool:
+        return self.tty
+
+    def write(self, text: str) -> None:
+        self.written.append(text)
+
+    def flush(self) -> None:
+        pass
+
+
+class TestPrinterStreams:
+    def test_non_tty_emits_newline_terminated_lines(self):
+        telemetry, clock = make_telemetry()
+        telemetry.run_started()
+        stream = _FakeStream(tty=False)
+        printer = ThrottledProgressPrinter(
+            interval_s=2.0, clock=clock, stream=stream
+        )
+        printer(telemetry)
+        clock.now += 2.5
+        printer(telemetry)
+        assert len(stream.written) == 2
+        for chunk in stream.written:
+            assert chunk.endswith("\n")
+            assert "\r" not in chunk
+
+    def test_tty_rewrites_in_place_and_pads_shrinking_lines(self):
+        telemetry, clock = make_telemetry()
+        telemetry.run_started()
+        stream = _FakeStream(tty=True)
+        printer = ThrottledProgressPrinter(
+            interval_s=0.0, clock=clock, stream=stream
+        )
+        printer(telemetry)
+        clock.now += 1.0
+        printer(telemetry)
+        assert all(chunk.startswith("\r") for chunk in stream.written)
+        assert not any(chunk.endswith("\n") for chunk in stream.written)
+        # the second write pads over the first line's width
+        assert len(stream.written[1]) - 1 >= len(stream.written[0]) - 1
+
+    def test_tty_final_update_gets_the_newline(self):
+        telemetry, clock = make_telemetry()
+        telemetry.run_started()
+        stream = _FakeStream(tty=True)
+        printer = ThrottledProgressPrinter(
+            interval_s=2.0, clock=clock, stream=stream
+        )
+        printer(telemetry)
+        telemetry.run_finished()
+        printer(telemetry)  # finished: bypasses the throttle
+        assert len(stream.written) == 2
+        assert stream.written[-1].endswith("\n")
+
+    def test_finished_bypasses_throttle_on_pipes_too(self):
+        telemetry, clock = make_telemetry()
+        telemetry.run_started()
+        stream = _FakeStream(tty=False)
+        printer = ThrottledProgressPrinter(
+            interval_s=60.0, clock=clock, stream=stream
+        )
+        printer(telemetry)
+        printer(telemetry)  # throttled
+        telemetry.run_finished()
+        printer(telemetry)  # final line always lands
+        assert len(stream.written) == 2

@@ -1,0 +1,138 @@
+"""Per-job SSE fan-out: history replay, live delivery, bounded memory."""
+
+import asyncio
+
+from repro.serve.broker import SseBroker
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+async def collect(broker, last_event_id=0):
+    return [
+        entry async for entry in broker.subscribe(last_event_id)
+    ]
+
+
+class TestPublish:
+    def test_events_get_monotonic_ids(self):
+        b = SseBroker()
+        b.publish("state", {"s": "queued"})
+        b.publish("state", {"s": "running"})
+        assert [e[0] for e in b.history] == [1, 2]
+
+    def test_publish_after_close_is_dropped(self):
+        b = SseBroker()
+        b.publish("state", {})
+        b.close()
+        b.publish("late", {})
+        assert [e[1] for e in b.history] == ["state"]
+
+
+class TestReplay:
+    def test_late_subscriber_sees_full_history(self):
+        async def go():
+            b = SseBroker()
+            b.publish("state", {"s": "queued"})
+            b.publish("telemetry", {"n": 1})
+            b.publish("done", {})
+            b.close()
+            return await collect(b)
+
+        events = run(go())
+        assert [e[1] for e in events] == ["state", "telemetry", "done"]
+
+    def test_last_event_id_resumes_mid_history(self):
+        async def go():
+            b = SseBroker()
+            for n in range(5):
+                b.publish("telemetry", {"n": n})
+            b.close()
+            return await collect(b, last_event_id=3)
+
+        assert [e[2]["n"] for e in run(go())] == [3, 4]
+
+    def test_live_events_follow_replay_without_duplicates(self):
+        async def go():
+            b = SseBroker()
+            b.publish("state", {"s": "queued"})
+
+            async def subscriber():
+                return await collect(b)
+
+            task = asyncio.ensure_future(subscriber())
+            await asyncio.sleep(0.01)  # replay finishes, goes live
+            b.publish("state", {"s": "running"})
+            b.publish("done", {})
+            b.close()
+            return await asyncio.wait_for(task, timeout=5)
+
+        events = run(go())
+        assert [e[0] for e in events] == [1, 2, 3]
+
+    def test_subscriber_count_returns_to_zero(self):
+        async def go():
+            b = SseBroker()
+            b.publish("done", {})
+            b.close()
+            await collect(b)
+            return len(b._queues)
+
+        assert run(go()) == 0
+
+
+class TestTrim:
+    def test_telemetry_dropped_before_lifecycle_events(self):
+        b = SseBroker(history=8)
+        b.publish("state", {"s": "queued"})
+        for n in range(20):
+            b.publish("telemetry", {"n": n})
+        b.publish("done", {})
+        kinds = [e[1] for e in b.history]
+        assert len(kinds) <= 8
+        assert kinds[0] == "state"      # lifecycle survives
+        assert kinds[-1] == "done"
+        # the retained telemetry is the most recent
+        assert [e[2]["n"] for e in b.history if e[1] == "telemetry"] == list(
+            range(14, 20)
+        )
+
+    def test_oldest_event_dropped_when_no_telemetry_left(self):
+        b = SseBroker(history=8)
+        for n in range(10):
+            b.publish("state", {"n": n})
+        assert [e[2]["n"] for e in b.history] == list(range(2, 10))
+
+
+class TestClose:
+    def test_close_ends_live_subscriber(self):
+        async def go():
+            b = SseBroker()
+
+            async def subscriber():
+                return await collect(b)
+
+            task = asyncio.ensure_future(subscriber())
+            await asyncio.sleep(0.01)
+            b.publish("done", {})
+            b.close()
+            return await asyncio.wait_for(task, timeout=5)
+
+        assert [e[1] for e in run(go())] == ["done"]
+
+    def test_events_between_snapshot_and_close_still_delivered(self):
+        """A subscriber that attaches, then sees a publish + close
+        before its replay loop checks ``closed``, must still get the
+        late event (the drain-the-queue path)."""
+        async def go():
+            b = SseBroker()
+            b.publish("state", {"s": "queued"})
+            gen = b.subscribe()
+            first = await gen.__anext__()   # replayed entry 1
+            b.publish("done", {})           # arrives via the queue
+            b.close()
+            rest = [entry async for entry in gen]
+            return [first] + rest
+
+        assert [e[1] for e in run(go())] == ["state", "done"]

@@ -1,0 +1,135 @@
+"""Fault injection at the HTTP boundary: ``serve.request`` faults.
+
+``drop`` models a connection reset before any response byte: the
+client's retry must attach to the same job (content-addressed dedup),
+never trigger a second simulation.  ``stall`` models a slow/hostile
+client connection: one stalled request must not block the others
+(per-connection asyncio tasks).
+"""
+
+import time
+import urllib.error
+
+import pytest
+
+from repro.chaos import Fault, FaultPlan
+from repro.serve import ServeFaults
+from tests.serve_util import (
+    TINY_CONFIG,
+    get_json,
+    post_json,
+    running_server,
+    wait_for_state,
+)
+
+
+class TestFaultPlanSite:
+    def test_serve_request_faults_validate(self):
+        drop = Fault(site="serve.request", action="drop")
+        stall = Fault(site="serve.request", action="stall", pause_s=0.1)
+        assert drop.label == "serve.request:drop"
+        assert stall.label == "serve.request:stall"
+        assert Fault(
+            site="serve.request", action="drop", times=3
+        ).label == "serve.request:drop+times=3"
+
+    def test_wrong_site_for_drop_rejected(self):
+        from repro.errors import ChaosError
+
+        with pytest.raises(ChaosError, match="cannot target"):
+            Fault(site="worker.play", action="drop")
+
+    def test_budgets_consume_in_plan_order(self):
+        faults = ServeFaults(FaultPlan(faults=(
+            Fault(site="serve.request", action="drop", times=2),
+            Fault(site="serve.request", action="stall"),
+        )))
+        actions = [faults.next_fault().action for _ in range(3)]
+        assert actions == ["drop", "drop", "stall"]
+        assert faults.next_fault() is None
+        assert faults.fired == [
+            "serve.request:drop+times=2",
+            "serve.request:drop+times=2",
+            "serve.request:stall",
+        ]
+
+
+class TestDrop:
+    def test_dropped_request_retries_and_attaches(self, tmp_path):
+        plan = FaultPlan(faults=(
+            Fault(site="serve.request", action="drop"),
+        ))
+        with running_server(
+            tmp_path / "cache", workers=1, fault_plan=plan
+        ) as harness:
+            # first request: connection closed before any response
+            with pytest.raises((urllib.error.URLError, ConnectionError)):
+                post_json(
+                    harness.base, "/v1/studies", TINY_CONFIG,
+                    client="alice", timeout=10,
+                )
+            # the retry lands; the fault budget is spent
+            status, doc = post_json(
+                harness.base, "/v1/studies", TINY_CONFIG, client="alice"
+            )
+            assert status == 201
+            wait_for_state(harness.base, doc["job_id"], ("done",))
+            _s, stats = get_json(harness.base, "/v1/stats")
+            assert stats["simulated"] == 1
+
+    def test_drop_between_duplicate_submitters_loses_nothing(self, tmp_path):
+        """alice's POST is dropped; bob's identical POST creates the
+        job; alice's retry attaches — one simulation total."""
+        plan = FaultPlan(faults=(
+            Fault(site="serve.request", action="drop"),
+        ))
+        with running_server(
+            tmp_path / "cache", workers=1, fault_plan=plan
+        ) as harness:
+            with pytest.raises((urllib.error.URLError, ConnectionError)):
+                post_json(
+                    harness.base, "/v1/studies", TINY_CONFIG,
+                    client="alice", timeout=10,
+                )
+            _s1, bob = post_json(
+                harness.base, "/v1/studies", TINY_CONFIG, client="bob"
+            )
+            status, alice = post_json(
+                harness.base, "/v1/studies", TINY_CONFIG, client="alice"
+            )
+            assert status == 200  # attached, not re-created
+            assert alice["job_id"] == bob["job_id"]
+            wait_for_state(harness.base, alice["job_id"], ("done",))
+            _s, stats = get_json(harness.base, "/v1/stats")
+            assert stats["simulated"] == 1
+
+
+class TestStall:
+    def test_stalled_request_does_not_block_others(self, tmp_path):
+        import threading
+
+        plan = FaultPlan(faults=(
+            Fault(site="serve.request", action="stall", pause_s=1.5),
+        ))
+        with running_server(
+            tmp_path / "cache", workers=1, fault_plan=plan
+        ) as harness:
+            stalled: dict = {}
+
+            def slow_request() -> None:
+                started = time.monotonic()
+                stalled["status"] = get_json(harness.base, "/healthz")[0]
+                stalled["elapsed"] = time.monotonic() - started
+
+            thread = threading.Thread(target=slow_request)
+            thread.start()
+            time.sleep(0.2)  # the stalled connection is in its sleep
+            started = time.monotonic()
+            status, _doc = get_json(harness.base, "/healthz")
+            fast_elapsed = time.monotonic() - started
+            thread.join(timeout=30)
+
+            assert status == 200
+            assert stalled["status"] == 200       # stalled, not broken
+            assert stalled["elapsed"] >= 1.4      # it really stalled
+            assert fast_elapsed < 1.0             # others kept moving

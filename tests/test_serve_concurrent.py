@@ -1,0 +1,222 @@
+"""Concurrent clients and graceful shutdown.
+
+The service's acceptance contract: N clients posting a mix of
+duplicate and distinct specs each get results byte-identical to a
+direct CLI run, with exactly one simulation per distinct canonical
+hash — and SIGTERM mid-run drains every accepted job into an honest,
+resumable state (the PR-5 shutdown guarantees, now multi-tenant).
+"""
+
+import threading
+
+from repro.core.study import Study, StudyConfig
+from tests.serve_util import (
+    TINY_CONFIG,
+    SseStream,
+    get_json,
+    post_json,
+    request,
+    running_server,
+    wait_for_state,
+)
+
+
+class TestConcurrentDuplicates:
+    def test_simultaneous_duplicate_posts_run_one_simulation(self, tmp_path):
+        """Two clients race to POST the same canonical hash: exactly
+        one job is created, both SSE streams see the full lifecycle,
+        and both download byte-identical CSVs."""
+        with running_server(tmp_path / "cache", workers=2) as harness:
+            barrier = threading.Barrier(2)
+            results: dict[str, tuple[int, dict]] = {}
+
+            def submit(client: str) -> None:
+                barrier.wait(timeout=30)
+                results[client] = post_json(
+                    harness.base, "/v1/studies", TINY_CONFIG, client=client
+                )
+
+            threads = [
+                threading.Thread(target=submit, args=(client,))
+                for client in ("alice", "bob")
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=30)
+
+            (s1, d1), (s2, d2) = results["alice"], results["bob"]
+            assert d1["job_id"] == d2["job_id"]
+            assert sorted((s1, s2)) == [200, 201]  # one created, one attached
+            job_id = d1["job_id"]
+
+            # two independent SSE subscribers both see the lifecycle
+            streams = [
+                SseStream(harness.base, f"/v1/jobs/{job_id}/events")
+                for _ in range(2)
+            ]
+            collected = [s.collect() for s in streams]
+            for events in collected:
+                kinds = [kind for kind, _ in events]
+                assert kinds[-1] == "done"
+                assert events[-1][1]["state"] == "done"
+
+            # both clients download byte-identical CSVs, identical to
+            # what the CLI path (a direct serial run) produces
+            bodies = [
+                request(harness.base, f"/v1/jobs/{job_id}/study.csv")[2]
+                for _ in range(2)
+            ]
+            assert bodies[0] == bodies[1]
+            direct = Study(StudyConfig.from_dict(TINY_CONFIG)).run()
+            assert bodies[0].decode("utf-8") == direct.to_csv_string()
+
+            # exactly one simulation ran
+            _s, stats = get_json(harness.base, "/v1/stats")
+            assert stats["simulated"] == 1
+            assert stats["simulations"] == 1
+            status_doc = get_json(harness.base, f"/v1/jobs/{job_id}")[1]
+            assert sorted(status_doc["clients"]) == ["alice", "bob"]
+
+    def test_mixed_duplicate_and_distinct_specs(self, tmp_path):
+        """Four posts over two distinct hashes: two simulations."""
+        with running_server(tmp_path / "cache", workers=2) as harness:
+            other = {**TINY_CONFIG, "seed": 17}
+            docs = [
+                post_json(harness.base, "/v1/studies", config, client=who)[1]
+                for config, who in [
+                    (TINY_CONFIG, "alice"), (other, "bob"),
+                    (TINY_CONFIG, "carol"), (other, "dave"),
+                ]
+            ]
+            assert docs[0]["job_id"] == docs[2]["job_id"]
+            assert docs[1]["job_id"] == docs[3]["job_id"]
+            assert docs[0]["job_id"] != docs[1]["job_id"]
+            for doc in docs[:2]:
+                wait_for_state(harness.base, doc["job_id"], ("done",))
+            _s, stats = get_json(harness.base, "/v1/stats")
+            assert stats["simulated"] == 2
+            assert stats["simulations"] == 2
+
+
+class TestGracefulShutdown:
+    def test_sigterm_mid_run_drains_honestly_and_resumes(self, tmp_path):
+        """Drain while a simulation is mid-flight: the job settles as
+        ``interrupted`` with an honest manifest, new submissions get
+        503, and a restarted server resumes from the checkpoint to a
+        byte-identical result."""
+        cache_dir = tmp_path / "cache"
+        # big enough that the run is still in flight when we drain
+        config = {"seed": 11, "scale": 0.05}
+        config_hash = StudyConfig.from_dict(config).canonical_hash()
+
+        with running_server(cache_dir, workers=1) as harness:
+            _s, doc = post_json(harness.base, "/v1/studies", config)
+            job_id = doc["job_id"]
+            stream = SseStream(harness.base, f"/v1/jobs/{job_id}/events")
+            events = stream.events()
+            for kind, _data in events:
+                if kind == "telemetry":
+                    break  # the simulation is demonstrably running
+            harness.trigger_drain()  # what SIGTERM does
+
+            tail = list(events)
+            stream.close()
+            assert tail[-1][0] == "done"
+            final = tail[-1][1]
+            assert final["state"] == "interrupted"
+
+            # the run manifest on disk is honest: interrupted, with
+            # the stop attributed and unfinished shards named
+            ckpt = cache_dir / "checkpoints" / config_hash
+            assert (ckpt / "manifest.json").exists()
+            import json as _json
+
+            run_manifest = _json.loads(
+                (ckpt / "run_manifest.json").read_text()
+            )
+            assert run_manifest["interrupted"] is True
+            assert run_manifest["interrupted_by"] == "external"
+            assert run_manifest["pending_shards"]
+            harness.join()
+
+        # while draining, new submissions were refused — verify the
+        # behavior on a fresh instance mid-drain is covered by the
+        # unit-level ServeError path; here the server is already gone.
+
+        # restart on the same cache/checkpoint root: the resubmitted
+        # study resumes from the journal instead of starting over
+        with running_server(cache_dir, workers=1) as harness:
+            _s, doc = post_json(harness.base, "/v1/studies", config)
+            final = wait_for_state(
+                harness.base, doc["job_id"], ("done",), timeout=300
+            )
+            assert final["study"]["source"] == "simulated"
+            _s, _h, body = request(
+                harness.base, f"/v1/jobs/{doc['job_id']}/study.csv"
+            )
+
+        direct = Study(StudyConfig.from_dict(config)).run()
+        assert body.decode("utf-8") == direct.to_csv_string()
+        # the interrupted run's checkpoint was cleaned up after the
+        # completed run was journaled into the cache
+        assert not (cache_dir / "checkpoints" / config_hash).exists()
+
+    def test_queued_jobs_cancel_on_drain(self, tmp_path):
+        """A queued-but-unstarted job settles as cancelled (never
+        interrupted: it has no partial state to be honest about)."""
+        cache_dir = tmp_path / "cache"
+        with running_server(cache_dir, workers=1) as harness:
+            # saturate the single worker, then queue one more
+            post_json(harness.base, "/v1/studies", {"seed": 11, "scale": 0.1})
+            _s, queued = post_json(
+                harness.base, "/v1/studies", {"seed": 12, "scale": 0.1}
+            )
+            # subscribe before draining: the stream survives the drain
+            stream = SseStream(
+                harness.base, f"/v1/jobs/{queued['job_id']}/events"
+            )
+            harness.trigger_drain()
+            events = stream.collect()
+            assert events[-1][0] == "done"
+            final = events[-1][1]
+            assert final["state"] == "cancelled"
+            assert "shutting down" in final["error"]
+            harness.join()
+
+    def test_draining_manager_refuses_new_work_with_503(self, tmp_path):
+        """New submissions during the drain answer 503."""
+        import asyncio
+        import json
+
+        from repro.serve import JobManager, ReproService, Request
+
+        class _Writer:
+            data = b""
+
+            def write(self, chunk: bytes) -> None:
+                self.data += chunk
+
+            async def drain(self) -> None:
+                pass
+
+        async def go():
+            manager = JobManager(tmp_path / "cache", workers=1)
+            manager.start()
+            manager.begin_shutdown()
+            service = ReproService(manager)
+            writer = _Writer()
+            await service.respond(Request(
+                method="POST", path="/v1/studies", query={}, headers={},
+                body=json.dumps(TINY_CONFIG).encode(),
+            ), writer)
+            health = await service.route(Request(
+                method="GET", path="/healthz", query={}, headers={},
+            ), writer=None)
+            await manager.wait_closed()
+            return writer.data, health
+
+        refused, health = asyncio.run(go())
+        assert refused.startswith(b"HTTP/1.1 503")
+        assert b"draining" in refused
+        assert b'"draining": true' in health

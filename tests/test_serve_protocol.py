@@ -1,0 +1,152 @@
+"""The hand-rolled HTTP layer: strict parsing, bounded inputs."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.serve.protocol import (
+    MAX_BODY_BYTES,
+    ProtocolError,
+    Request,
+    error_response,
+    json_response,
+    read_request,
+    response_bytes,
+    sse_comment,
+    sse_event,
+    sse_headers,
+)
+
+
+def parse(raw: bytes, **kw):
+    async def go():
+        reader = asyncio.StreamReader()
+        reader.feed_data(raw)
+        reader.feed_eof()
+        return await read_request(reader, **kw)
+
+    return asyncio.run(go())
+
+
+class TestReadRequest:
+    def test_get_with_query(self):
+        req = parse(b"GET /v1/jobs?client=alice&x=1 HTTP/1.1\r\n\r\n")
+        assert req.method == "GET"
+        assert req.path == "/v1/jobs"
+        assert req.query == {"client": "alice", "x": "1"}
+
+    def test_post_with_body(self):
+        body = json.dumps({"seed": 1}).encode()
+        req = parse(
+            b"POST /v1/studies HTTP/1.1\r\n"
+            b"Content-Type: application/json\r\n"
+            + f"Content-Length: {len(body)}\r\n\r\n".encode()
+            + body
+        )
+        assert req.method == "POST"
+        assert req.json() == {"seed": 1}
+
+    def test_header_names_lowercased(self):
+        req = parse(b"GET / HTTP/1.1\r\nX-Client-ID: bob\r\n\r\n")
+        assert req.headers["x-client-id"] == "bob"
+        assert req.client_id == "bob"
+
+    def test_client_id_falls_back_to_query_then_anon(self):
+        assert parse(
+            b"GET /?client=carol HTTP/1.1\r\n\r\n"
+        ).client_id == "carol"
+        assert parse(b"GET / HTTP/1.1\r\n\r\n").client_id == "anon"
+
+    def test_clean_eof_returns_none(self):
+        assert parse(b"") is None
+
+    def test_percent_encoded_path_decoded(self):
+        assert parse(b"GET /v1/jobs/a%20b HTTP/1.1\r\n\r\n").path == (
+            "/v1/jobs/a b"
+        )
+
+    @pytest.mark.parametrize("raw", [
+        b"GARBAGE\r\n\r\n",
+        b"GET /\r\n\r\n",                      # no version
+        b"GET / SPDY/3\r\n\r\n",               # wrong protocol
+        b"GET / HTTP/1.1\r\nbad header\r\n\r\n",
+    ])
+    def test_malformed_requests_rejected(self, raw):
+        with pytest.raises(ProtocolError):
+            parse(raw)
+
+    def test_oversized_body_refused(self):
+        with pytest.raises(ProtocolError, match="refused"):
+            parse(
+                b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\n0123456789",
+                max_body=5,
+            )
+        assert MAX_BODY_BYTES > 1024 * 1024  # default fits real specs
+
+    def test_truncated_body_rejected(self):
+        with pytest.raises(ProtocolError, match="shorter"):
+            parse(b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc")
+
+    def test_chunked_encoding_rejected(self):
+        with pytest.raises(ProtocolError, match="chunked"):
+            parse(
+                b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"
+            )
+
+    def test_non_object_json_rejected(self):
+        req = Request(
+            method="POST", path="/", query={}, headers={}, body=b"[1]"
+        )
+        with pytest.raises(ProtocolError, match="JSON object"):
+            req.json()
+
+    def test_invalid_json_rejected(self):
+        req = Request(
+            method="POST", path="/", query={}, headers={}, body=b"{nope"
+        )
+        with pytest.raises(ProtocolError, match="not valid JSON"):
+            req.json()
+
+
+class TestResponses:
+    def test_response_framing(self):
+        raw = response_bytes(200, b"hi", content_type="text/plain")
+        head, _, body = raw.partition(b"\r\n\r\n")
+        assert head.startswith(b"HTTP/1.1 200 OK\r\n")
+        assert b"Content-Length: 2" in head
+        assert b"Connection: close" in head
+        assert body == b"hi"
+
+    def test_json_response_sorted_and_terminated(self):
+        raw = json_response(201, {"b": 1, "a": 2})
+        body = raw.partition(b"\r\n\r\n")[2]
+        assert body.endswith(b"\n")
+        parsed = json.loads(body)
+        assert list(parsed) == ["a", "b"]
+
+    def test_error_response_carries_status(self):
+        raw = error_response(429, "slow down")
+        assert raw.startswith(b"HTTP/1.1 429 Too Many Requests")
+        assert json.loads(raw.partition(b"\r\n\r\n")[2]) == {
+            "error": "slow down", "status": 429,
+        }
+
+
+class TestSse:
+    def test_headers_open_an_event_stream(self):
+        head = sse_headers()
+        assert b"text/event-stream" in head
+        assert head.endswith(b"\r\n\r\n")
+
+    def test_event_frame(self):
+        frame = sse_event("state", {"x": 1}, event_id=7).decode()
+        assert frame == 'id: 7\nevent: state\ndata: {"x": 1}\n\n'
+
+    def test_event_frame_without_id(self):
+        assert sse_event("done", {}).decode() == (
+            "event: done\ndata: {}\n\n"
+        )
+
+    def test_comment_frame(self):
+        assert sse_comment().decode() == ": keepalive\n\n"

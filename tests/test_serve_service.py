@@ -1,0 +1,269 @@
+"""End-to-end service tests over real sockets.
+
+Each test boots a real ``repro serve`` instance (port 0) in a thread
+and drives it with blocking HTTP clients — the same path external
+tools take.  Simulations use the suite's tiny configs, so a full
+submit → SSE → download round trip is a couple of seconds.
+"""
+
+import json
+
+import pytest
+
+from repro.core.study import Study, StudyConfig
+from tests.serve_util import (
+    OTHER_CONFIG,
+    TINY_CONFIG,
+    TINY_SWEEP,
+    SseStream,
+    get_json,
+    post_json,
+    request,
+    running_server,
+    wait_for_state,
+)
+
+
+@pytest.fixture(scope="module")
+def server(tmp_path_factory):
+    """One service instance shared by this module's read-path tests."""
+    cache_dir = tmp_path_factory.mktemp("serve-cache")
+    with running_server(cache_dir, workers=2) as harness:
+        yield harness
+
+
+class TestStudyLifecycle:
+    def test_submit_stream_download(self, server):
+        status, doc = post_json(
+            server.base, "/v1/studies", TINY_CONFIG, client="alice"
+        )
+        assert status in (200, 201)  # 200 when another test got there first
+        job_id = doc["job_id"]
+        assert job_id.startswith("st-")
+        assert doc["links"]["csv"] == f"/v1/jobs/{job_id}/study.csv"
+
+        events = SseStream(
+            server.base, f"/v1/jobs/{job_id}/events"
+        ).collect()
+        kinds = [kind for kind, _data in events]
+        assert kinds[0] == "state"
+        assert kinds[-1] == "done"
+        done = events[-1][1]
+        assert done["state"] == "done"
+        assert done["records"] > 0
+
+        # the status document agrees with the stream
+        status, doc = get_json(server.base, f"/v1/jobs/{job_id}")
+        assert doc["state"] == "done"
+        assert doc["study"]["source"] in ("simulated", "cache")
+
+        # the CSV is byte-identical to a direct serial run
+        status, _headers, body = request(
+            server.base, f"/v1/jobs/{job_id}/study.csv"
+        )
+        assert status == 200
+        direct = Study(StudyConfig.from_dict(TINY_CONFIG)).run()
+        assert body.decode("utf-8") == direct.to_csv_string()
+
+    def test_telemetry_events_carry_documented_keys(self, server):
+        status, doc = post_json(server.base, "/v1/studies", OTHER_CONFIG)
+        job_id = doc["job_id"]
+        events = SseStream(
+            server.base, f"/v1/jobs/{job_id}/events"
+        ).collect()
+        telemetry = [data for kind, data in events if kind == "telemetry"]
+        if not telemetry:  # pure cache hit: no simulation, no telemetry
+            pytest.skip("study served from cache before first snapshot")
+        snap = telemetry[-1]
+        for key in (
+            "total_plays", "done_plays", "plays_per_second", "elapsed_s",
+            "workers", "shard_states", "finished",
+        ):
+            assert key in snap, sorted(snap)
+
+    def test_duplicate_submission_attaches(self, server):
+        status1, doc1 = post_json(
+            server.base, "/v1/studies", TINY_CONFIG, client="alice"
+        )
+        status2, doc2 = post_json(
+            server.base, "/v1/studies", {"study": TINY_CONFIG}, client="bob"
+        )
+        assert doc1["job_id"] == doc2["job_id"]
+        assert status2 == 200 and doc2["created"] is False
+        assert "bob" in doc2["clients"]
+
+    def test_manifest_served_when_done(self, server):
+        _status, doc = post_json(server.base, "/v1/studies", TINY_CONFIG)
+        wait_for_state(server.base, doc["job_id"], ("done",))
+        status, manifest = get_json(
+            server.base, f"/v1/jobs/{doc['job_id']}/manifest"
+        )
+        assert status == 200
+        assert manifest["config_hash"] == doc["study"]["config_hash"]
+
+
+class TestSweepLifecycle:
+    def test_sweep_submits_reports_and_dedupes_cells(self, server):
+        status, doc = post_json(
+            server.base, "/v1/sweeps", TINY_SWEEP, client="alice"
+        )
+        assert status in (200, 201)
+        job_id = doc["job_id"]
+        assert job_id.startswith("sw-")
+        assert len(doc["cells"]) == 2
+
+        final = wait_for_state(server.base, job_id, ("done", "failed"))
+        assert final["state"] == "done", final
+        assert final["report_ready"] is True
+
+        status, report = get_json(server.base, f"/v1/jobs/{job_id}/report")
+        assert status == 200
+        assert report["sweep"] == "tiny-serve"
+        assert len(report["cells"]) == 2
+
+        status, _headers, text = request(
+            server.base, f"/v1/jobs/{job_id}/report?format=text"
+        )
+        assert status == 200
+        assert b"cell" in text
+
+        status, manifest = get_json(
+            server.base, f"/v1/jobs/{job_id}/manifest"
+        )
+        assert manifest["cells"] == 2
+        assert "cache" in manifest
+
+    def test_study_and_sweep_cell_share_one_simulation(self, server):
+        """A study posted with a cell's exact canonical config attaches
+        to (or pre-fills) the sweep's simulation of that cell."""
+        from repro.sweep.spec import SweepSpec
+
+        cell_config = (
+            SweepSpec.from_dict(TINY_SWEEP).cells()[0]
+            .study_config().to_canonical_dict()
+        )
+        _s, before = get_json(server.base, "/v1/stats")
+        _s, study_doc = post_json(
+            server.base, "/v1/studies", cell_config, client="alice"
+        )
+        _s, sweep_doc = post_json(
+            server.base, "/v1/sweeps", TINY_SWEEP, client="bob"
+        )
+        cell_hashes = [c["config_hash"] for c in sweep_doc["cells"]]
+        assert study_doc["study"]["config_hash"] in cell_hashes
+        wait_for_state(server.base, sweep_doc["job_id"], ("done",))
+        wait_for_state(server.base, study_doc["job_id"], ("done",))
+        # one Simulation serves both jobs: a study + a 2-cell sweep
+        # sharing a hash register at most 2 new simulations, never 3.
+        _s, after = get_json(server.base, "/v1/stats")
+        assert after["simulations"] - before["simulations"] <= 2
+
+
+class TestErrors:
+    def test_malformed_config_is_400(self, server):
+        status, doc = post_json(
+            server.base, "/v1/studies", {"seeed": 1}
+        )
+        assert status == 400
+        assert "seeed" in doc["error"]
+
+    def test_malformed_sweep_is_400(self, server):
+        status, doc = post_json(server.base, "/v1/sweeps", {"cells": []})
+        assert status == 400
+
+    def test_non_object_body_is_400(self, server):
+        status, _headers, body = request(
+            server.base, "/v1/studies", method="POST", payload=None,
+        )
+        # no body at all: not valid JSON
+        assert status == 400
+
+    def test_unknown_job_is_404(self, server):
+        status, doc = get_json(server.base, "/v1/jobs/st-nope")
+        assert status == 404
+
+    def test_unknown_route_is_404(self, server):
+        status, _doc = get_json(server.base, "/v1/nothing")
+        assert status == 404
+
+    def test_wrong_method_is_405(self, server):
+        status, _doc = get_json(server.base, "/v1/studies")
+        assert status == 405
+
+    def test_csv_of_unfinished_job_is_409(self, server):
+        # a job that is not done cannot serve a CSV; easiest honest
+        # probe: a sweep job has no CSV endpoint semantics at all.
+        _s, doc = post_json(server.base, "/v1/sweeps", TINY_SWEEP)
+        status, err = get_json(
+            server.base, f"/v1/jobs/{doc['job_id']}/study.csv"
+        )
+        assert status == 409
+        assert "not a study" in err["error"]
+
+    def test_queue_saturation_is_429(self, tmp_path):
+        with running_server(
+            tmp_path / "c", workers=1, queue_capacity=1
+        ) as harness:
+            first = post_json(
+                harness.base, "/v1/studies", TINY_CONFIG
+            )
+            assert first[0] == 201
+            # distinct configs keep claiming slots; capacity 1 means
+            # at most one *queued* behind the running one.
+            codes = []
+            for seed in range(100, 110):
+                config = {**TINY_CONFIG, "seed": seed}
+                codes.append(
+                    post_json(harness.base, "/v1/studies", config)[0]
+                )
+            assert 429 in codes
+
+    def test_health_endpoint(self, server):
+        status, doc = get_json(server.base, "/healthz")
+        assert status == 200
+        assert doc["ok"] is True and doc["draining"] is False
+
+
+class TestStats:
+    def test_stats_counts_jobs_and_cache_traffic(self, server):
+        post_json(server.base, "/v1/studies", TINY_CONFIG)
+        status, stats = get_json(server.base, "/v1/stats")
+        assert status == 200
+        assert stats["jobs"] >= 1
+        assert set(stats["cache"]) == {
+            "hits", "misses", "stores", "evicted",
+        }
+        assert stats["queue_capacity"] == 64
+
+    def test_jobs_listing(self, server):
+        post_json(server.base, "/v1/studies", TINY_CONFIG)
+        status, doc = get_json(server.base, "/v1/jobs")
+        ids = [job["job_id"] for job in doc["jobs"]]
+        assert len(ids) == len(set(ids))
+        assert any(j.startswith("st-") for j in ids)
+
+
+class TestRestart:
+    def test_restarted_server_serves_from_shared_cache(self, tmp_path):
+        cache_dir = tmp_path / "shared"
+        with running_server(cache_dir, workers=1) as harness:
+            _s, doc = post_json(harness.base, "/v1/studies", TINY_CONFIG)
+            wait_for_state(harness.base, doc["job_id"], ("done",))
+            _s, _h, first_csv = request(
+                harness.base, f"/v1/jobs/{doc['job_id']}/study.csv"
+            )
+            _s, stats = get_json(harness.base, "/v1/stats")
+            assert stats["simulated"] == 1
+
+        # same cache dir, fresh process-equivalent: no re-simulation
+        with running_server(cache_dir, workers=1) as harness:
+            _s, doc = post_json(harness.base, "/v1/studies", TINY_CONFIG)
+            final = wait_for_state(harness.base, doc["job_id"], ("done",))
+            assert final["study"]["source"] == "cache"
+            _s, stats = get_json(harness.base, "/v1/stats")
+            assert stats["simulated"] == 0
+            assert stats["cache"]["hits"] == 1
+            _s, _h, second_csv = request(
+                harness.base, f"/v1/jobs/{doc['job_id']}/study.csv"
+            )
+            assert second_csv == first_csv

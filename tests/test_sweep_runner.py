@@ -68,6 +68,13 @@ class TestFirstRun:
             assert entry["cached"] is False
             assert entry["plays_per_second"] > 0
 
+    def test_manifest_reports_cache_traffic(self, tiny_sweep):
+        result, _ = tiny_sweep
+        manifest = result.manifest()
+        assert manifest["cache"] == {
+            "hits": 0, "misses": 2, "stores": 2, "evicted": 0,
+        }
+
     def test_cache_manifest_echoes_cell_and_config(self, tiny_sweep):
         result, cache_dir = tiny_sweep
         cache = StudyCache(cache_dir)
@@ -97,6 +104,9 @@ class TestRerun:
             assert after.config_hash == before.config_hash
             assert list(after.dataset) == list(before.dataset)
         assert all("cached" in line for line in lines)
+        assert again.manifest()["cache"] == {
+            "hits": 2, "misses": 0, "stores": 0, "evicted": 0,
+        }
 
     def test_rerun_report_is_byte_identical(
         self, tiny_sweep_spec, tiny_sweep
