@@ -2,7 +2,8 @@
 # Tier-1 smoke: the full unit suite (golden-figure regression
 # included), a quick throughput benchmark, a tiny parallel study
 # through the repro.runtime engine (2 workers, checkpointed), a
-# strict-mode validated study (every repro.validate invariant must
+# streaming (sketch-mode) study over an expanded population plus the
+# memory-ceiling benchmark, a strict-mode validated study (every repro.validate invariant must
 # hold) plus the serial-vs-parallel oracle, the corrupted-checkpoint
 # resume tests, and a 2x2 scenario sweep through repro.sweep (first
 # run simulates + caches, rerun must be 100% cache hits with a
@@ -45,6 +46,27 @@ print(f"smoke ok: {len(dataset)} records, "
       f"{manifest['plays_per_second']} plays/s, "
       f"{manifest['shard_count']} shards")
 EOF
+
+echo "== streaming study smoke (expanded population, sketch mode) =="
+python -m repro.cli study --seed 2001 --scale 0.02 --users 300 \
+    --aggregation sketch --workers 2 --out "$out/stream.csv" --quiet
+
+python - "$out" <<'EOF'
+import json, sys
+from pathlib import Path
+out = Path(sys.argv[1])
+from repro.core.records import StudyDataset
+dataset = StudyDataset.from_csv(out / "stream.csv")
+assert len({r.user_id for r in dataset}) == 300, "population not expanded"
+report = json.loads((out / "stream.csv.aggregates.json").read_text())
+assert report["records"] == len(dataset), (report["records"], len(dataset))
+assert sum(report["by_outcome"].values()) == len(dataset)
+print(f"streaming smoke ok: {len(dataset)} records from 300 users, "
+      f"{len(report['distributions'])} streamed distributions")
+EOF
+
+echo "== streaming memory ceiling (peak bounded by batch, not records) =="
+python -m pytest -x -q benchmarks/test_bench_memory.py
 
 echo "== strict validated study (zero violations required) =="
 python -m repro.cli validate --seed 2001 --scale 0.02 --workers 2 \

@@ -1,0 +1,284 @@
+"""Streaming study aggregates: the sketch-mode analysis state.
+
+A :class:`StudyAggregates` consumes :class:`ClipRecord`\\ s one at a
+time and maintains everything the headline analyses need — grouped
+quantile sketches for the distributional figures, streaming moments
+for the means, streaming co-moments for the jitter–bandwidth and
+rating correlations, and the outcome/protocol/geography counts — in
+memory bounded by the number of *groups*, never the number of plays.
+
+Aggregates are **mergeable**: each shard worker builds its own over
+its users and the engine folds them together, and the merged result is
+independent of shard count and completion order (the per-record update
+commutes for counts/moments and the sketches are order-independent by
+construction — see `repro.analysis.sketch`).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.analysis.sketch import (
+    DEFAULT_EXACT_LIMIT,
+    DEFAULT_RELATIVE_ACCURACY,
+    QuantileSketch,
+    StreamingCorrelation,
+    StreamingMoments,
+)
+from repro.core.records import ClipRecord
+
+#: Distributional metrics tracked per group: (name, record attribute,
+#: eligibility).  Eligibility mirrors the figure modules' filters.
+METRICS = (
+    ("frame_rate_fps", "measured_frame_rate", "played"),
+    ("bandwidth_bps", "measured_bandwidth_bps", "played"),
+    ("jitter_ms", "jitter_ms", "jitter"),
+    ("initial_buffering_s", "initial_buffering_s", "played"),
+    ("rating", "rating", "rated"),
+)
+
+#: Grouping dimensions (record attributes); "all" is implicit.
+GROUP_FIELDS = (
+    "connection", "protocol", "server_region", "user_region", "pc_class",
+)
+
+#: Report percentiles.
+PERCENTILES = (0.10, 0.25, 0.50, 0.75, 0.90)
+
+AGGREGATES_FORMAT = 1
+
+
+def _eligible(record: ClipRecord, rule: str) -> bool:
+    if rule == "played":
+        return record.played
+    if rule == "jitter":
+        return record.played and record.has_jitter_sample
+    if rule == "rated":
+        return record.rated
+    raise ValueError(f"unknown eligibility rule {rule!r}")
+
+
+class StudyAggregates:
+    """Mergeable online summary of a study's records."""
+
+    def __init__(
+        self,
+        exact_limit: int = DEFAULT_EXACT_LIMIT,
+        relative_accuracy: float = DEFAULT_RELATIVE_ACCURACY,
+    ) -> None:
+        self.exact_limit = exact_limit
+        self.relative_accuracy = relative_accuracy
+        self.records = 0
+        self.by_outcome: dict[str, int] = {}
+        self.by_protocol: dict[str, int] = {}
+        self.plays_by_country: dict[str, int] = {}
+        self.plays_by_state: dict[str, int] = {}
+        #: metric -> group_field -> group_value -> sketch; group_field
+        #: "all" (value "all") is the ungrouped distribution.
+        self.sketches: dict[str, dict[str, dict[str, QuantileSketch]]] = {
+            metric: {"all": {}, **{g: {} for g in GROUP_FIELDS}}
+            for metric, _attr, _rule in METRICS
+        }
+        #: metric -> exact streaming moments over the eligible records.
+        self.moments: dict[str, StreamingMoments] = {
+            metric: StreamingMoments() for metric, _attr, _rule in METRICS
+        }
+        self.correlations: dict[str, StreamingCorrelation] = {
+            "jitter_vs_bandwidth": StreamingCorrelation(),
+            "rating_vs_bandwidth": StreamingCorrelation(),
+            "rating_vs_frame_rate": StreamingCorrelation(),
+        }
+
+    # -- ingestion ----------------------------------------------------------
+
+    def _sketch(self, metric: str, group_field: str, value: str
+                ) -> QuantileSketch:
+        bucket = self.sketches[metric][group_field]
+        sketch = bucket.get(value)
+        if sketch is None:
+            sketch = QuantileSketch(
+                exact_limit=self.exact_limit,
+                relative_accuracy=self.relative_accuracy,
+            )
+            bucket[value] = sketch
+        return sketch
+
+    def add(self, record: ClipRecord) -> None:
+        self.records += 1
+        self.by_outcome[record.outcome] = (
+            self.by_outcome.get(record.outcome, 0) + 1
+        )
+        if record.protocol:
+            self.by_protocol[record.protocol] = (
+                self.by_protocol.get(record.protocol, 0) + 1
+            )
+        country = record.user_country
+        self.plays_by_country[country] = (
+            self.plays_by_country.get(country, 0) + 1
+        )
+        if record.user_state:
+            self.plays_by_state[record.user_state] = (
+                self.plays_by_state.get(record.user_state, 0) + 1
+            )
+        for metric, attr, rule in METRICS:
+            if not _eligible(record, rule):
+                continue
+            value = float(getattr(record, attr))
+            self._sketch(metric, "all", "all").add(value)
+            for group_field in GROUP_FIELDS:
+                group_value = getattr(record, group_field)
+                if group_value:
+                    self._sketch(metric, group_field, group_value).add(value)
+            self.moments[metric].add(value)
+        if record.played and record.has_jitter_sample:
+            self.correlations["jitter_vs_bandwidth"].add(
+                record.jitter_ms, record.measured_bandwidth_bps
+            )
+        if record.played and record.rated:
+            self.correlations["rating_vs_bandwidth"].add(
+                record.rating, record.measured_bandwidth_bps
+            )
+            self.correlations["rating_vs_frame_rate"].add(
+                record.rating, record.measured_frame_rate
+            )
+
+    def add_many(self, records: Iterable[ClipRecord]) -> None:
+        for record in records:
+            self.add(record)
+
+    # -- merge --------------------------------------------------------------
+
+    def merge(self, other: "StudyAggregates") -> None:
+        self.records += other.records
+        for mine, theirs in (
+            (self.by_outcome, other.by_outcome),
+            (self.by_protocol, other.by_protocol),
+            (self.plays_by_country, other.plays_by_country),
+            (self.plays_by_state, other.plays_by_state),
+        ):
+            for key, count in theirs.items():
+                mine[key] = mine.get(key, 0) + count
+        for metric, groups in other.sketches.items():
+            for group_field, bucket in groups.items():
+                for value, sketch in bucket.items():
+                    self._sketch(metric, group_field, value).merge(sketch)
+        for metric, moments in other.moments.items():
+            self.moments[metric].merge(moments)
+        for name, corr in other.correlations.items():
+            self.correlations[name].merge(corr)
+
+    # -- serialization ------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "format": AGGREGATES_FORMAT,
+            "exact_limit": self.exact_limit,
+            "relative_accuracy": self.relative_accuracy,
+            "records": self.records,
+            "by_outcome": dict(self.by_outcome),
+            "by_protocol": dict(self.by_protocol),
+            "plays_by_country": dict(self.plays_by_country),
+            "plays_by_state": dict(self.plays_by_state),
+            "sketches": {
+                metric: {
+                    group_field: {
+                        value: sketch.to_dict()
+                        for value, sketch in bucket.items()
+                    }
+                    for group_field, bucket in groups.items()
+                }
+                for metric, groups in self.sketches.items()
+            },
+            "moments": {
+                metric: moments.to_dict()
+                for metric, moments in self.moments.items()
+            },
+            "correlations": {
+                name: corr.to_dict()
+                for name, corr in self.correlations.items()
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "StudyAggregates":
+        aggregates = cls(
+            exact_limit=int(data["exact_limit"]),
+            relative_accuracy=float(data["relative_accuracy"]),
+        )
+        aggregates.records = int(data["records"])
+        aggregates.by_outcome = {
+            str(k): int(v) for k, v in data["by_outcome"].items()
+        }
+        aggregates.by_protocol = {
+            str(k): int(v) for k, v in data["by_protocol"].items()
+        }
+        aggregates.plays_by_country = {
+            str(k): int(v) for k, v in data["plays_by_country"].items()
+        }
+        aggregates.plays_by_state = {
+            str(k): int(v) for k, v in data["plays_by_state"].items()
+        }
+        for metric, groups in data["sketches"].items():
+            for group_field, bucket in groups.items():
+                for value, payload in bucket.items():
+                    aggregates.sketches[metric][group_field][value] = (
+                        QuantileSketch.from_dict(payload)
+                    )
+        for metric, payload in data["moments"].items():
+            aggregates.moments[metric] = StreamingMoments.from_dict(payload)
+        for name, payload in data["correlations"].items():
+            aggregates.correlations[name] = (
+                StreamingCorrelation.from_dict(payload)
+            )
+        return aggregates
+
+    # -- reporting ----------------------------------------------------------
+
+    def report(self) -> dict:
+        """The JSON report written next to ``study.csv`` in sketch mode
+        (`aggregates.json`): counts, grouped distribution summaries,
+        and the streaming correlations."""
+        distributions: dict = {}
+        for metric, _attr, _rule in METRICS:
+            groups_out: dict = {}
+            for group_field, bucket in self.sketches[metric].items():
+                entries = {}
+                for value in sorted(bucket):
+                    sketch = bucket[value]
+                    cdf = sketch.to_cdf()
+                    entries[value] = {
+                        "n": sketch.count,
+                        "exact": sketch.is_exact,
+                        "min": sketch.minimum,
+                        "max": sketch.maximum,
+                        "mean": cdf.mean,
+                        "percentiles": {
+                            f"p{int(q * 100):02d}": cdf.percentile(q)
+                            for q in PERCENTILES
+                        },
+                    }
+                if entries:
+                    groups_out[group_field] = entries
+            moments = self.moments[metric]
+            distributions[metric] = {
+                "n": moments.count,
+                **(
+                    {"mean": moments.mean, "std": moments.std}
+                    if moments.count
+                    else {}
+                ),
+                "groups": groups_out,
+            }
+        correlations = {
+            name: (corr.correlation if corr.count >= 2 else None)
+            for name, corr in self.correlations.items()
+        }
+        return {
+            "records": self.records,
+            "by_outcome": dict(sorted(self.by_outcome.items())),
+            "by_protocol": dict(sorted(self.by_protocol.items())),
+            "plays_by_country": dict(sorted(self.plays_by_country.items())),
+            "plays_by_state": dict(sorted(self.plays_by_state.items())),
+            "distributions": distributions,
+            "correlations": correlations,
+        }

@@ -5,6 +5,7 @@ Subcommands::
     repro play   --seed 42 [--connection "DSL/Cable"] [--trace]
     repro study  --scale 0.1 --out study.csv [--seed 2001]
                  [--workers 4] [--resume] [--checkpoint-dir DIR]
+                 [--users 100000] [--aggregation exact|sketch]
     repro report --csv study.csv [--plots]
     repro figures --scale 1.0 --out results/ [--workers 4] [--resume]
     repro validate --scale 0.1 [--workers 2] [--strict] [--skip-oracle]
@@ -106,7 +107,13 @@ def _cmd_study(args: argparse.Namespace) -> int:
             handle_signals=True,
         )
         result = run_study(
-            StudyConfig(seed=args.seed, scale=args.scale), runtime
+            StudyConfig(
+                seed=args.seed,
+                scale=args.scale,
+                max_users=args.users,
+                aggregation=args.aggregation,
+            ),
+            runtime,
         )
     except (ValueError, CheckpointError) as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -132,6 +139,13 @@ def _cmd_study(args: argparse.Namespace) -> int:
     result.dataset.to_csv(args.out)
     print(f"wrote {len(result.dataset)} records to {args.out} "
           f"(checkpoints + run manifest in {checkpoint_dir})")
+    if result.aggregates is not None:
+        aggregates_path = Path(str(args.out) + ".aggregates.json")
+        aggregates_path.write_text(
+            json.dumps(result.aggregates.report(), indent=2,
+                       sort_keys=True) + "\n"
+        )
+        print(f"wrote streaming aggregates to {aggregates_path}")
     if result.failed_shards:
         print(f"WARNING: shards {list(result.failed_shards)} quarantined "
               f"after retries ({result.quarantined_fraction:.1%} of plays "
@@ -409,6 +423,17 @@ def build_parser() -> argparse.ArgumentParser:
     study.add_argument("--out", type=Path, default=Path("study.csv"))
     study.add_argument("--workers", type=int, default=1,
                        help="worker processes (1: in-process serial)")
+    study.add_argument("--users", type=int, default=None,
+                       help="population size: truncate below the paper's "
+                            "63 users, synthesize beyond it (million-user "
+                            "studies pair this with --aggregation sketch)")
+    study.add_argument("--aggregation", choices=["exact", "sketch"],
+                       default="exact",
+                       help="record path: 'exact' collects every record "
+                            "in memory (byte-identical goldens); 'sketch' "
+                            "streams shards to disk spills and folds "
+                            "constant-memory quantile sketches, writing "
+                            "<out>.aggregates.json")
     study.add_argument("--checkpoint-dir", type=Path, default=None,
                        help="shard journal directory (default: <out>.ckpt)")
     study.add_argument("--resume", action="store_true",

@@ -139,28 +139,50 @@ class StudyDataset:
     ) -> "StudyDataset":
         """Deterministically merge shard datasets back into serial order.
 
-        Records are regrouped by user and concatenated following
-        ``user_order`` (the population order), preserving each dataset's
-        internal per-user ordering.  As long as every user's records
-        live in a single input dataset — `repro.runtime` shards are
-        user-atomic — the merge is byte-identical to a serial
-        :meth:`~repro.core.study.Study.run` no matter how many shards
-        there were or in what order they finished.
+        Records are reordered to follow ``user_order`` (the population
+        order), preserving each dataset's internal per-user ordering.
+        As long as every user's records live in a single input dataset
+        — `repro.runtime` shards are user-atomic — the merge is
+        byte-identical to a serial :meth:`~repro.core.study.Study.run`
+        no matter how many shards there were or in what order they
+        finished.
+
+        The merge is a two-pass counting placement: pass one sizes each
+        user's run, pass two writes every record reference straight
+        into its final slot of one exactly-sized list.  Peak memory is
+        one extra reference per record — nothing is regrouped into
+        per-user side lists (the old dict-of-lists paid ~2×), and no
+        sort ever materializes a keys array or merge buffer.
         """
-        by_user: dict[str, list[ClipRecord]] = {
-            user_id: [] for user_id in user_order
+        order_index = {
+            user_id: index for index, user_id in enumerate(user_order)
         }
+        datasets = list(datasets)
+        cursors = [0] * len(order_index)
+        total = 0
         for dataset in datasets:
-            for record in dataset:
-                if record.user_id not in by_user:
+            for record in dataset._records:
+                index = order_index.get(record.user_id)
+                if index is None:
                     raise ValueError(
                         f"record for unknown user {record.user_id!r} "
                         "(not in user_order)"
                     )
-                by_user[record.user_id].append(record)
+                cursors[index] += 1
+                total += 1
+        # Prefix-sum the run lengths into per-user write cursors.
+        offset = 0
+        for index, count in enumerate(cursors):
+            cursors[index] = offset
+            offset += count
+        slots: list = [None] * total
+        for dataset in datasets:
+            for record in dataset._records:
+                index = order_index[record.user_id]
+                slots[cursors[index]] = record
+                cursors[index] += 1
         merged = cls()
-        for user_id in by_user:
-            merged.extend(by_user[user_id])
+        merged._records = slots
         return merged
 
     # -- filters ------------------------------------------------------------

@@ -1,0 +1,458 @@
+"""Columnar spill files: the constant-memory record path.
+
+At million-user scale a study cannot hold its :class:`ClipRecord`\\ s in
+memory, so streaming runs write each shard's records to disk as
+fixed-size **batches** of a numpy structured array and merge them back
+into serial user order out-of-core:
+
+- :class:`SpillWriter` buffers at most ``batch_size`` records before
+  flushing a ``shard_SSSS.bNNNNNN.npy`` batch file, then commits the
+  shard with a JSON **index** recording the batch files, the total
+  count, and the per-user run lengths (in shard order).
+- :class:`ShardSpill` is the streaming reader: it holds one batch in
+  memory at a time.
+- :func:`iter_merged_records` replays several shards' records in
+  population order.  Shards are user-atomic and internally ordered by
+  the population (the `repro.runtime` contract), so the merge is a
+  sequential walk of ``user_order`` that drains each user's run from
+  whichever shard owns it — peak memory is O(shards × batch_size)
+  rows, independent of study size.
+- :class:`SpilledDataset` wraps the merged stream in the small corner
+  of the `StudyDataset` surface the callers of a streaming run need:
+  ``__len__``, ``__iter__`` and byte-identical CSV output.
+
+The batch files round-trip every field exactly (strings are validated
+against the dtype widths at write time — silent numpy truncation would
+corrupt records), so a spilled study's CSV is byte-identical to the
+in-memory path's.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+import os
+import shutil
+import tempfile
+import weakref
+from dataclasses import fields
+from pathlib import Path
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from repro.core.records import ClipRecord, _FLOAT_FIELDS, _INT_FIELDS
+
+#: Records buffered in memory per shard before a batch is flushed.
+DEFAULT_BATCH_SIZE = 8192
+
+#: Spill index schema version (bump on layout changes).
+SPILL_FORMAT = 1
+
+#: Unicode widths for the string fields.  Generous versus today's data
+#: (longest observed value is 24 chars) but enforced — see
+#: :func:`_check_widths`.
+_STRING_WIDTHS = {
+    "user_id": 32,
+    "user_country": 8,
+    "user_state": 8,
+    "user_region": 32,
+    "connection": 24,
+    "pc_class": 48,
+    "server_name": 32,
+    "server_country": 8,
+    "server_region": 24,
+    "clip_url": 96,
+    "outcome": 24,
+    "protocol": 8,
+}
+
+_FIELD_NAMES = tuple(f.name for f in fields(ClipRecord))
+
+
+def _dtype() -> np.dtype:
+    parts = []
+    for name in _FIELD_NAMES:
+        if name in _INT_FIELDS:
+            parts.append((name, np.int64))
+        elif name in _FLOAT_FIELDS:
+            parts.append((name, np.float64))
+        else:
+            parts.append((name, f"U{_STRING_WIDTHS[name]}"))
+    return np.dtype(parts)
+
+
+#: The structured dtype of one spilled record (one row per playback).
+RECORD_DTYPE = _dtype()
+
+_STRING_FIELDS = tuple(
+    name for name in _FIELD_NAMES
+    if name not in _INT_FIELDS and name not in _FLOAT_FIELDS
+)
+
+
+class SpillError(RuntimeError):
+    """A spill file is missing, damaged, or inconsistent with its index."""
+
+
+def _check_widths(record: ClipRecord) -> None:
+    for name in _STRING_FIELDS:
+        value = getattr(record, name)
+        if len(value) > _STRING_WIDTHS[name]:
+            raise SpillError(
+                f"record field {name}={value!r} exceeds the spill dtype "
+                f"width U{_STRING_WIDTHS[name]}; widen _STRING_WIDTHS"
+            )
+
+
+def row_to_record(row: np.void) -> ClipRecord:
+    """Rebuild the exact :class:`ClipRecord` a spilled row came from."""
+    # ``.item()`` converts numpy scalars back to the Python str/int/
+    # float the record was built from — bit-identical for float64.
+    return ClipRecord(**{
+        name: row[name].item() for name in _FIELD_NAMES
+    })
+
+
+def batch_file_name(shard_id: int, batch: int) -> str:
+    return f"shard_{shard_id:04d}.b{batch:06d}.npy"
+
+
+def index_file_name(shard_id: int) -> str:
+    return f"shard_{shard_id:04d}.spill.json"
+
+
+class SpillWriter:
+    """Streams one shard's records into batch files plus an index.
+
+    Not thread-safe; one writer per shard attempt.  Call
+    :meth:`finish` to flush the tail batch and write the index —
+    without it the spill is invisible to readers (a crashed attempt
+    leaves only ignorable orphan batch files that the next attempt
+    overwrites).
+    """
+
+    def __init__(
+        self,
+        directory: str | Path,
+        shard_id: int,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+    ) -> None:
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.shard_id = shard_id
+        self.batch_size = batch_size
+        self._buffer = np.zeros(batch_size, dtype=RECORD_DTYPE)
+        self._fill = 0
+        self._batches: list[dict] = []
+        self._users: list[list] = []  # [user_id, run_length] in order
+        self._count = 0
+        self._finished = False
+
+    def add(self, record: ClipRecord) -> None:
+        if self._finished:
+            raise SpillError("spill writer already finished")
+        _check_widths(record)
+        row = self._buffer[self._fill]
+        for name in _FIELD_NAMES:
+            row[name] = getattr(record, name)
+        self._fill += 1
+        self._count += 1
+        if self._users and self._users[-1][0] == record.user_id:
+            self._users[-1][1] += 1
+        else:
+            self._users.append([record.user_id, 1])
+        if self._fill == self.batch_size:
+            self._flush_batch()
+
+    def _flush_batch(self) -> None:
+        name = batch_file_name(self.shard_id, len(self._batches))
+        path = self.directory / name
+        # Write-then-rename so readers never observe a half-written
+        # batch; the index names only fully flushed files.
+        fd, tmp = tempfile.mkstemp(
+            prefix=f"{name}.tmp.", dir=self.directory
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                np.save(handle, self._buffer[: self._fill])
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self._batches.append({"file": name, "count": self._fill})
+        self._fill = 0
+
+    def finish(self) -> dict:
+        """Flush the tail and return the shard's index (also written to
+        ``shard_SSSS.spill.json`` in the spill directory)."""
+        if self._finished:
+            raise SpillError("spill writer already finished")
+        if self._fill:
+            self._flush_batch()
+        self._finished = True
+        index = {
+            "format": SPILL_FORMAT,
+            "shard_id": self.shard_id,
+            "count": self._count,
+            "batches": self._batches,
+            "users": self._users,
+        }
+        path = self.directory / index_file_name(self.shard_id)
+        fd, tmp = tempfile.mkstemp(
+            prefix=f"{path.name}.tmp.", dir=self.directory
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(index, handle)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return index
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+
+class ShardSpill:
+    """Streaming reader over one shard's committed spill."""
+
+    def __init__(self, directory: str | Path, index: dict) -> None:
+        self.directory = Path(directory)
+        if index.get("format") != SPILL_FORMAT:
+            raise SpillError(
+                f"unsupported spill format {index.get('format')!r} "
+                f"(expected {SPILL_FORMAT})"
+            )
+        self.index = index
+        self.shard_id = int(index["shard_id"])
+        self.count = int(index["count"])
+        batched = sum(int(b["count"]) for b in index["batches"])
+        run_total = sum(int(run) for _uid, run in index["users"])
+        if batched != self.count or run_total != self.count:
+            raise SpillError(
+                f"inconsistent spill index for shard {self.shard_id}: "
+                f"count={self.count}, batches sum to {batched}, "
+                f"user runs sum to {run_total}"
+            )
+
+    @classmethod
+    def open(cls, directory: str | Path, shard_id: int) -> "ShardSpill":
+        path = Path(directory) / index_file_name(shard_id)
+        try:
+            index = json.loads(path.read_text())
+        except (OSError, ValueError) as exc:
+            raise SpillError(f"unreadable spill index {path}: {exc}") from exc
+        return cls(directory, index)
+
+    @property
+    def user_runs(self) -> list[tuple[str, int]]:
+        """``(user_id, run_length)`` in shard (= population) order."""
+        return [(str(uid), int(run)) for uid, run in self.index["users"]]
+
+    def __len__(self) -> int:
+        return self.count
+
+    def iter_rows(self) -> Iterator[np.void]:
+        """All rows in shard order, one batch in memory at a time."""
+        seen = 0
+        for entry in self.index["batches"]:
+            path = self.directory / entry["file"]
+            try:
+                array = np.load(path, allow_pickle=False)
+            except (OSError, ValueError) as exc:
+                raise SpillError(
+                    f"unreadable spill batch {path}: {exc}"
+                ) from exc
+            if array.dtype != RECORD_DTYPE or len(array) != entry["count"]:
+                raise SpillError(
+                    f"corrupt spill batch {path}: dtype/count mismatch "
+                    f"({len(array)} rows, index says {entry['count']})"
+                )
+            yield from array
+            seen += len(array)
+        if seen != self.count:
+            raise SpillError(
+                f"spill for shard {self.shard_id} yielded {seen} rows, "
+                f"index says {self.count}"
+            )
+
+    def iter_records(self) -> Iterator[ClipRecord]:
+        for row in self.iter_rows():
+            yield row_to_record(row)
+
+    def verify(self) -> None:
+        """Check every batch file loads and matches the index (used by
+        checkpoint resume before trusting a journaled spill)."""
+        for _row in self.iter_rows():
+            pass
+
+    def remove(self) -> None:
+        """Delete the spill's files (index last)."""
+        for entry in self.index["batches"]:
+            path = self.directory / entry["file"]
+            if path.exists():
+                path.unlink()
+        index_path = self.directory / index_file_name(self.shard_id)
+        if index_path.exists():
+            index_path.unlink()
+
+
+def iter_merged_rows(
+    spills: Iterable[ShardSpill], user_order: Iterable[str]
+) -> Iterator[np.void]:
+    """All shards' rows, merged into population (= serial) order.
+
+    Exploits the runtime contract: shards are user-atomic and each
+    shard's rows are already in population order, so the merge walks
+    ``user_order`` once and drains each user's run from the single
+    shard that owns it.  Only one in-flight batch per shard is ever
+    resident.
+    """
+    owner: dict[str, int] = {}
+    runs: dict[int, dict[str, int]] = {}
+    iters: dict[int, Iterator[np.void]] = {}
+    for spill in spills:
+        iters[spill.shard_id] = spill.iter_rows()
+        runs[spill.shard_id] = {}
+        for user_id, run in spill.user_runs:
+            if user_id in owner:
+                raise SpillError(
+                    f"user {user_id!r} appears in shards "
+                    f"{owner[user_id]} and {spill.shard_id}; shards "
+                    "must be user-atomic"
+                )
+            owner[user_id] = spill.shard_id
+            runs[spill.shard_id][user_id] = run
+    for user_id in user_order:
+        shard_id = owner.pop(user_id, None)
+        if shard_id is None:
+            continue  # user simulated by no completed shard
+        run = runs[shard_id][user_id]
+        rows = iters[shard_id]
+        for _ in range(run):
+            try:
+                yield next(rows)
+            except StopIteration:  # pragma: no cover - verify() catches
+                raise SpillError(
+                    f"spill for shard {shard_id} exhausted mid-run "
+                    f"for user {user_id!r}"
+                ) from None
+    if owner:
+        raise SpillError(
+            f"spilled users not in user_order: {sorted(owner)[:5]!r}"
+        )
+
+
+def iter_merged_records(
+    spills: Iterable[ShardSpill], user_order: Iterable[str]
+) -> Iterator[ClipRecord]:
+    for row in iter_merged_rows(spills, user_order):
+        yield row_to_record(row)
+
+
+def write_rows_csv(handle, rows: Iterable[np.void]) -> None:
+    """Stream spilled rows as CSV, byte-identical to
+    :meth:`StudyDataset.to_csv` on the same records."""
+    writer = csv.writer(handle)
+    writer.writerow(list(_FIELD_NAMES))
+    writer.writerows(
+        [row[name].item() for name in _FIELD_NAMES] for row in rows
+    )
+
+
+class SpilledDataset:
+    """A completed streaming run's records, served out-of-core.
+
+    Quacks like the corner of :class:`StudyDataset` the engine's
+    callers rely on — ``len``, iteration in serial user order, and CSV
+    output — without ever materializing the records.  ``materialize()``
+    loads everything into a real `StudyDataset` for callers that need
+    column analytics and know the study is small enough.
+    """
+
+    def __init__(
+        self,
+        spills: Iterable[ShardSpill],
+        user_order: tuple[str, ...],
+        cleanup_dir: str | Path | None = None,
+    ) -> None:
+        self._spills = sorted(spills, key=lambda s: s.shard_id)
+        self._user_order = tuple(user_order)
+        self._count = sum(s.count for s in self._spills)
+        # When the engine spilled to an unmanaged temp dir, the dataset
+        # owns it: the files live as long as the dataset does, and are
+        # removed at cleanup()/garbage collection.
+        self._finalizer = (
+            weakref.finalize(self, shutil.rmtree, str(cleanup_dir), True)
+            if cleanup_dir is not None
+            else None
+        )
+
+    def cleanup(self) -> None:
+        """Delete the owned spill directory now (no-op for datasets
+        reading a caller-managed directory, e.g. a checkpoint)."""
+        if self._finalizer is not None:
+            self._finalizer()
+
+    def __len__(self) -> int:
+        return self._count
+
+    def __iter__(self) -> Iterator[ClipRecord]:
+        return iter_merged_records(self._spills, self._user_order)
+
+    @property
+    def spills(self) -> tuple[ShardSpill, ...]:
+        return tuple(self._spills)
+
+    def iter_rows(self) -> Iterator[np.void]:
+        return iter_merged_rows(self._spills, self._user_order)
+
+    def to_csv(self, path: str | Path) -> None:
+        with open(path, "w", newline="") as handle:
+            write_rows_csv(handle, self.iter_rows())
+
+    def to_csv_string(self) -> str:
+        buffer = io.StringIO()
+        write_rows_csv(buffer, self.iter_rows())
+        return buffer.getvalue()
+
+    def iter_csv_chunks(self, rows_per_chunk: int = 4096) -> Iterator[str]:
+        """The CSV text in bounded-size string chunks (for streaming
+        cache stores and HTTP responses)."""
+        buffer = io.StringIO()
+        writer = csv.writer(buffer)
+        writer.writerow(list(_FIELD_NAMES))
+        pending = 0
+        for row in self.iter_rows():
+            writer.writerow([row[name].item() for name in _FIELD_NAMES])
+            pending += 1
+            if pending >= rows_per_chunk:
+                yield buffer.getvalue()
+                buffer.seek(0)
+                buffer.truncate(0)
+                pending = 0
+        if pending or buffer.tell():
+            yield buffer.getvalue()
+
+    def materialize(self):
+        """The records as an in-memory :class:`StudyDataset` (only for
+        studies known to fit — figures at paper scale, tests)."""
+        from repro.core.records import StudyDataset
+
+        return StudyDataset(iter(self))

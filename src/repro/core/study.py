@@ -17,7 +17,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Iterable
 
 from repro.core.realtracer import RealTracer, TracerConfig
-from repro.core.records import StudyDataset
+from repro.core.records import ClipRecord, StudyDataset
 from repro.core.submission import SubmissionSink
 from repro.errors import StudyError
 from repro.player.playout import PlayoutConfig
@@ -90,10 +90,23 @@ class StudyConfig:
     #: validation on or off never changes the simulated results, only
     #: whether they are audited.
     validation: ValidationConfig = field(default_factory=ValidationConfig)
+    #: Record-path aggregation mode: ``"exact"`` collects every
+    #: `ClipRecord` in memory (the figure-faithful default), ``"sketch"``
+    #: streams records to columnar disk spills and mergeable online
+    #: sketches so peak memory is bounded by shard batch size, not
+    #: population.  Like ``validation``, excluded from the canonical
+    #: dict/fingerprint: it changes how records are *held*, never what
+    #: is simulated — both modes produce byte-identical record CSVs.
+    aggregation: str = "exact"
 
     def __post_init__(self) -> None:
         if not 0.0 < self.scale <= 1.0:
             raise ValueError(f"scale must be in (0, 1], got {self.scale}")
+        if self.aggregation not in ("exact", "sketch"):
+            raise ValueError(
+                "aggregation must be 'exact' or 'sketch', "
+                f"got {self.aggregation!r}"
+            )
 
     def to_canonical_dict(self) -> dict:
         """Deterministic plain-dict serialization of everything that
@@ -137,6 +150,7 @@ class StudyConfig:
             "tracer",
         )
         data.pop("validation", None)  # legacy payloads; never canonical
+        data.pop("aggregation", None)  # execution knob; never canonical
         config = _dataclass_from_dict(
             cls, {**data, "tracer": tracer}, "config"
         )
@@ -203,6 +217,8 @@ class Study:
         user_ids: Iterable[str] | None,
         progress: Callable[[int, int], None] | None = None,
         sink: SubmissionSink | None = None,
+        on_record: Callable[[ClipRecord], None] | None = None,
+        collect: bool = True,
     ) -> StudyDataset:
         """Simulate the playbacks of a subset of users (``None``: everyone).
 
@@ -214,6 +230,12 @@ class Study:
         rating budget is the only sequential state, and it never crosses
         user boundaries.  ``progress(done, total)`` counts only the
         selected users' playbacks.
+
+        ``on_record`` sees every record the moment it is produced —
+        the streaming record path (`repro.core.spill`) hangs off it —
+        and ``collect=False`` skips retaining records in the returned
+        dataset (which then comes back empty) so a streaming run's
+        memory stays flat no matter how many plays it simulates.
         """
         if user_ids is None:
             selected = self.population.users
@@ -256,7 +278,10 @@ class Study:
                 )
                 if record.rated:
                     rated_so_far += 1
-                dataset.append(record)
+                if collect:
+                    dataset.append(record)
+                if on_record is not None:
+                    on_record(record)
                 if sink is not None:
                     sink.submit(record)
                 done += 1

@@ -30,9 +30,18 @@ class SubmissionSink:
         self,
         csv_path: str | Path | None = None,
         validation: ValidationConfig | None = None,
+        keep_records: bool = True,
     ) -> None:
+        """``keep_records=False`` validates and persists submissions
+        without retaining them in memory (:attr:`records` stays empty;
+        :attr:`submitted` still counts) — the streaming record path's
+        sink mode, where retaining would defeat the constant-memory
+        guarantee."""
         self._csv_path = Path(csv_path) if csv_path is not None else None
+        self.keep_records = keep_records
         self.records: list[ClipRecord] = []
+        #: Records accepted so far (kept or not).
+        self.submitted = 0
         self._header_written = False
         self.validation = validation if validation is not None else ValidationConfig()
         self.ledger: ValidationLedger | None = None
@@ -61,7 +70,9 @@ class SubmissionSink:
         if self.ledger is not None:
             for record in records:
                 validate_record(self.ledger, record)
-        self.records.extend(records)
+        self.submitted += len(records)
+        if self.keep_records:
+            self.records.extend(records)
         if self._csv_path is None or not records:
             return
         names = [f.name for f in fields(ClipRecord)]

@@ -126,6 +126,23 @@ def cdf_series(cdf: Cdf, grid: Sequence[float]) -> list[tuple[float, float]]:
     return cdf.series(grid)
 
 
+def empty_figure(figure_id: str, title: str, reason: str) -> FigureResult:
+    """An honest ``n=0`` figure for a sample with no eligible records.
+
+    Tiny ``--scale`` runs and shard-quarantined studies can leave a
+    figure's sample (or a required group) empty; figures must degrade
+    to an explicit empty result instead of crashing the whole
+    ``repro figures`` run on `Cdf`'s empty-sample error.
+    """
+    return FigureResult(
+        figure_id=figure_id,
+        title=title,
+        series={},
+        headline={"n": 0.0},
+        text=f"{title}\n  (no data: {reason}; n=0)",
+    )
+
+
 def cdf_figure(
     figure_id: str,
     title: str,

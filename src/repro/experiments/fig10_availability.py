@@ -3,13 +3,17 @@
 from __future__ import annotations
 
 from repro.analysis.breakdowns import group_by
-from repro.experiments.base import Figure, FigureResult
+from repro.experiments.base import Figure, FigureResult, empty_figure
 
 
 def run(ctx):
     # The paper removed firewall-blocked (control-failed) attempts
     # from all analysis, including this figure.
     reachable = ctx.dataset.filter(lambda r: r.outcome != "control_failed")
+    if not len(reachable):
+        return empty_figure(
+            "fig10", "Fraction of Unavailable Clips", "no reachable attempts"
+        )
     by_server = group_by(reachable, lambda r: r.server_name)
     fractions = {}
     for name in sorted(by_server):

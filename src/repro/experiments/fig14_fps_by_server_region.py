@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from repro.analysis.breakdowns import by_server_region
 from repro.analysis.cdf import Cdf
-from repro.experiments.base import FPS_GRID, Figure, cdf_figure
+from repro.experiments.base import FPS_GRID, Figure, cdf_figure, empty_figure
 
 
 def run(ctx):
@@ -18,6 +18,13 @@ def run(ctx):
         name: Cdf(group.values("measured_frame_rate"))
         for name, group in by_server_region(played).items()
     }
+    if not cdfs:
+        return empty_figure(
+            "fig14",
+            "CDF of Frame Rate for RealServers in Different Geographic "
+            "Regions",
+            "no played clips",
+        )
     means = {name: cdf.mean for name, cdf in cdfs.items()}
     headline = {
         "best_region_mean": max(means.values()),

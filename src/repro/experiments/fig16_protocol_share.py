@@ -6,26 +6,39 @@ use TCP.
 
 from __future__ import annotations
 
-from repro.analysis.tcp_friendly import compare_protocols
-from repro.experiments.base import Figure, FigureResult
+from repro.experiments.base import Figure, FigureResult, empty_figure
 
 
 def run(ctx):
-    report = compare_protocols(ctx.dataset)
+    # Shares come from plain counts (not `compare_protocols`, which
+    # needs both protocols present to build its bandwidth CDFs), so a
+    # tiny or quarantined study with a single protocol still reports
+    # honestly instead of crashing.
+    played = ctx.dataset.played()
+    tcp_count = sum(1 for r in played if r.protocol == "TCP")
+    udp_count = sum(1 for r in played if r.protocol == "UDP")
+    total = tcp_count + udp_count
+    if not total:
+        return empty_figure(
+            "fig16", "Fraction of Transport Protocols Observed",
+            "no played clips with a negotiated protocol",
+        )
+    tcp_share = tcp_count / total
+    udp_share = udp_count / total
     text = (
         "Figure 16: transport protocols observed\n"
-        f"  TCP: {report.tcp_share:.2f} ({report.tcp_count} clips)\n"
-        f"  UDP: {report.udp_share:.2f} ({report.udp_count} clips)"
+        f"  TCP: {tcp_share:.2f} ({tcp_count} clips)\n"
+        f"  UDP: {udp_share:.2f} ({udp_count} clips)"
     )
     return FigureResult(
         figure_id="fig16",
         title="Fraction of Transport Protocols Observed",
         series={
-            "share": [(0.0, report.tcp_share), (1.0, report.udp_share)]
+            "share": [(0.0, tcp_share), (1.0, udp_share)]
         },
         headline={
-            "tcp_share": report.tcp_share,
-            "udp_share": report.udp_share,
+            "tcp_share": tcp_share,
+            "udp_share": udp_share,
         },
         text=text,
     )

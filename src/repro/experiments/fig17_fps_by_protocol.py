@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from repro.analysis.breakdowns import by_protocol
 from repro.analysis.cdf import Cdf
-from repro.experiments.base import FPS_GRID, Figure, cdf_figure
+from repro.experiments.base import FPS_GRID, Figure, cdf_figure, empty_figure
 
 
 def run(ctx):
@@ -19,6 +19,25 @@ def run(ctx):
         for name, group in by_protocol(played).items()
         if name in ("TCP", "UDP")
     }
+    if "TCP" not in cdfs or "UDP" not in cdfs:
+        # One (or both) protocol groups empty: report what exists with
+        # honest per-protocol counts instead of crashing on a KeyError.
+        if not cdfs:
+            return empty_figure(
+                "fig17", "CDF of Frame Rate for Transport Protocols",
+                "no played clips with a negotiated protocol",
+            )
+        return cdf_figure(
+            "fig17",
+            "CDF of Frame Rate for Transport Protocols",
+            cdfs,
+            FPS_GRID,
+            "fps",
+            {
+                "tcp_n": float(len(cdfs.get("TCP", ()))),
+                "udp_n": float(len(cdfs.get("UDP", ()))),
+            },
+        )
     headline = {
         "tcp_below_3fps": cdfs["TCP"].fraction_below(3.0),
         "udp_below_3fps": cdfs["UDP"].fraction_below(3.0),

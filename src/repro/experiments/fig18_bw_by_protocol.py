@@ -10,7 +10,12 @@ from __future__ import annotations
 from repro.analysis.breakdowns import by_protocol
 from repro.analysis.cdf import Cdf
 from repro.analysis.tcp_friendly import compare_protocols
-from repro.experiments.base import BANDWIDTH_KBPS_GRID, Figure, cdf_figure
+from repro.experiments.base import (
+    BANDWIDTH_KBPS_GRID,
+    Figure,
+    cdf_figure,
+    empty_figure,
+)
 
 
 def run(ctx):
@@ -20,6 +25,25 @@ def run(ctx):
         for name, group in by_protocol(played).items()
         if name in ("TCP", "UDP")
     }
+    if "TCP" not in cdfs or "UDP" not in cdfs:
+        # `compare_protocols` needs both groups; degrade to the CDFs
+        # that exist with honest counts.
+        if not cdfs:
+            return empty_figure(
+                "fig18", "CDF of Bandwidth for Transport Protocols",
+                "no played clips with a negotiated protocol",
+            )
+        return cdf_figure(
+            "fig18",
+            "CDF of Bandwidth for Transport Protocols",
+            cdfs,
+            BANDWIDTH_KBPS_GRID,
+            "kbps",
+            {
+                "tcp_n": float(len(cdfs.get("TCP", ()))),
+                "udp_n": float(len(cdfs.get("UDP", ()))),
+            },
+        )
     report = compare_protocols(ctx.dataset)
     headline = {
         "udp_over_tcp_median_ratio": report.ratio_p50,

@@ -8,11 +8,20 @@ Paper: just over 50% of clips play with imperceptible jitter
 from __future__ import annotations
 
 from repro.analysis.cdf import Cdf
-from repro.experiments.base import JITTER_MS_GRID, Figure, cdf_figure
+from repro.experiments.base import (
+    JITTER_MS_GRID,
+    Figure,
+    cdf_figure,
+    empty_figure,
+)
 
 
 def run(ctx):
     sample = ctx.dataset.with_jitter()
+    if not len(sample):
+        return empty_figure(
+            "fig20", "CDF of Overall Jitter", "no jitter samples"
+        )
     cdf = Cdf([j * 1000.0 for j in sample.values("jitter_s")])
     return cdf_figure(
         "fig20",

@@ -7,7 +7,12 @@ from __future__ import annotations
 
 from repro.analysis.breakdowns import by_protocol
 from repro.analysis.cdf import Cdf
-from repro.experiments.base import JITTER_MS_GRID, Figure, cdf_figure
+from repro.experiments.base import (
+    JITTER_MS_GRID,
+    Figure,
+    cdf_figure,
+    empty_figure,
+)
 
 
 def run(ctx):
@@ -17,6 +22,23 @@ def run(ctx):
         for name, group in by_protocol(sample).items()
         if name in ("TCP", "UDP")
     }
+    if "TCP" not in cdfs or "UDP" not in cdfs:
+        if not cdfs:
+            return empty_figure(
+                "fig24", "CDF of Jitter for Transport Protocols",
+                "no jitter samples with a negotiated protocol",
+            )
+        return cdf_figure(
+            "fig24",
+            "CDF of Jitter for Transport Protocols",
+            cdfs,
+            JITTER_MS_GRID,
+            "ms",
+            {
+                "tcp_n": float(len(cdfs.get("TCP", ()))),
+                "udp_n": float(len(cdfs.get("UDP", ()))),
+            },
+        )
     headline = {
         "tcp_imperceptible": cdfs["TCP"].at(50.0),
         "udp_imperceptible": cdfs["UDP"].at(50.0),

@@ -7,11 +7,20 @@ their ratings, suggesting per-user mappings rather than a global one.
 from __future__ import annotations
 
 from repro.analysis.cdf import Cdf
-from repro.experiments.base import RATING_GRID, Figure, cdf_figure
+from repro.experiments.base import (
+    RATING_GRID,
+    Figure,
+    cdf_figure,
+    empty_figure,
+)
 
 
 def run(ctx):
     rated = ctx.dataset.rated()
+    if not len(rated):
+        return empty_figure(
+            "fig26", "CDF of Overall Quality", "no rated clips"
+        )
     cdf = Cdf(rated.values("rating"))
     # Uniformity check: max deviation of the CDF from the uniform line.
     deviation = max(

@@ -2,17 +2,26 @@
 
 Layout of a checkpoint directory::
 
-    manifest.json        # fingerprint + per-shard status
-    shard_0003.csv       # one StudyDataset CSV per completed shard
-    run_manifest.json    # final telemetry record (written on completion)
+    manifest.json           # fingerprint + per-shard status
+    shard_0003.csv          # one StudyDataset CSV per completed shard
+    shard_0003.spill.json   # spill journal entry (streaming runs)
+    spill/                  # columnar batch files (streaming runs)
+    run_manifest.json       # final telemetry record (on completion)
 
-Every write is durable-atomic (temp file, fsync, ``os.replace``,
-directory fsync — through the `repro.chaos.seam` IO seam), and the
-manifest is updated only *after* a shard's CSV is safely on disk, so a
-run killed at any instant — even a power cut — leaves a consistent
-journal: a resumed run re-simulates at most the shards that were in
-flight.  Compatibility between the journal and a requested run is
-decided by the shard plan's fingerprint (config + shard assignment).
+Exact-mode shards journal as CSVs; streaming (sketch-mode) shards
+journal as a **spill entry** — the `repro.core.spill` index plus the
+shard's serialized aggregates — whose batch files live under
+``spill/``.  Every journal write is durable-atomic (temp file, fsync,
+``os.replace``, directory fsync — through the `repro.chaos.seam` IO
+seam), and the manifest is updated only *after* a shard's payload is
+safely on disk, so a run killed at any instant — even a power cut —
+leaves a consistent journal: a resumed run re-simulates at most the
+shards that were in flight.  Compatibility between the journal and a
+requested run is decided by the shard plan's fingerprint (config +
+shard assignment); the aggregation mode is deliberately *not* in the
+fingerprint (it never changes results), so a sketch-mode resume of an
+exact checkpoint simply re-simulates shards whose journal format does
+not match.
 """
 
 from __future__ import annotations
@@ -22,10 +31,12 @@ from pathlib import Path
 
 from repro.chaos.seam import IoSeam, default_seam
 from repro.core.records import StudyDataset
+from repro.core.spill import ShardSpill, SpillError
 from repro.errors import CheckpointError
 
 MANIFEST_NAME = "manifest.json"
 RUN_MANIFEST_NAME = "run_manifest.json"
+SPILL_DIR_NAME = "spill"
 
 
 class CheckpointStore:
@@ -45,6 +56,14 @@ class CheckpointStore:
 
     def _shard_path(self, shard_id: int) -> Path:
         return self.directory / f"shard_{shard_id:04d}.csv"
+
+    def _spill_entry_path(self, shard_id: int) -> Path:
+        return self.directory / f"shard_{shard_id:04d}.spill.json"
+
+    @property
+    def spill_dir(self) -> Path:
+        """Where streaming shards write their columnar batch files."""
+        return self.directory / SPILL_DIR_NAME
 
     @property
     def manifest_path(self) -> Path:
@@ -87,8 +106,14 @@ class CheckpointStore:
         self.directory.mkdir(parents=True, exist_ok=True)
         for stale in self.directory.glob("shard_*.csv"):
             stale.unlink()
+        for stale in self.directory.glob("shard_*.spill.json"):
+            stale.unlink()
         for orphan in self.directory.glob("*.tmp.*"):
             orphan.unlink()  # temp files from a killed writer
+        if self.spill_dir.is_dir():
+            for stale in self.spill_dir.iterdir():
+                if stale.is_file():
+                    stale.unlink()
         self._manifest = {"fingerprint": fingerprint, "shards": {}}
         self._flush()
         return set()
@@ -122,6 +147,73 @@ class CheckpointStore:
             "attempts": attempts,
         }
         self._flush()
+
+    def record_shard_spill(
+        self,
+        shard_id: int,
+        index: dict,
+        elapsed_s: float,
+        attempts: int,
+        aggregates: dict,
+    ) -> None:
+        """Journal a streaming shard: its batch files are already under
+        :attr:`spill_dir` (written by the worker), so the commit point
+        is this durable-atomic write of the spill entry — the index the
+        reader trusts plus the shard's serialized aggregates — followed
+        by the manifest."""
+        entry = {"index": index, "aggregates": aggregates}
+        self._seam.write_text(
+            self._spill_entry_path(shard_id),
+            json.dumps(entry),
+            site="checkpoint.shard",
+        )
+        self._manifest["shards"][str(shard_id)] = {
+            "status": "done",
+            "format": "spill",
+            "records": int(index["count"]),
+            "elapsed_s": round(elapsed_s, 3),
+            "attempts": attempts,
+        }
+        self._flush()
+
+    def shard_format(self, shard_id: int) -> str:
+        """``"csv"`` or ``"spill"`` for a journaled shard."""
+        entry = self._manifest.get("shards", {}).get(str(shard_id), {})
+        return entry.get("format", "csv")
+
+    def load_shard_spill(self, shard_id: int) -> tuple[ShardSpill, dict]:
+        """Load a streaming shard's spill reader and aggregates.
+
+        Verifies every batch file against the journaled index before
+        trusting it; any damage raises
+        :class:`~repro.errors.CheckpointError` so the engine
+        invalidates and re-simulates the shard.
+        """
+        entry_path = self._spill_entry_path(shard_id)
+        manifest_entry = self._manifest.get("shards", {}).get(str(shard_id))
+        if manifest_entry is not None and \
+                manifest_entry.get("format") != "spill":
+            raise CheckpointError(
+                f"shard {shard_id} journaled as "
+                f"{manifest_entry.get('format', 'csv')!r}, not spill"
+            )
+        try:
+            entry = json.loads(entry_path.read_text())
+            spill = ShardSpill(self.spill_dir, entry["index"])
+            spill.verify()
+        except (OSError, ValueError, KeyError, SpillError) as exc:
+            raise CheckpointError(
+                f"corrupt checkpoint spill for shard {shard_id}: {exc}"
+            ) from exc
+        expected = (
+            manifest_entry.get("records") if manifest_entry else None
+        )
+        if expected is not None and spill.count != expected:
+            raise CheckpointError(
+                f"corrupt checkpoint spill for shard {shard_id}: has "
+                f"{spill.count} records, manifest journaled {expected}"
+            )
+        return spill, entry["aggregates"]
 
     def record_failure(
         self, shard_id: int, attempts: int, error: str
@@ -165,6 +257,15 @@ class CheckpointStore:
         path = self._shard_path(shard_id)
         if path.exists():
             path.unlink()
+        entry_path = self._spill_entry_path(shard_id)
+        if entry_path.exists():
+            try:
+                entry = json.loads(entry_path.read_text())
+                ShardSpill(self.spill_dir, entry["index"]).remove()
+            except (OSError, ValueError, KeyError, SpillError):
+                pass  # damaged entry: the batches it named are orphans
+            if entry_path.exists():
+                entry_path.unlink()
         self._flush()
 
     def write_run_manifest(self, manifest: dict) -> Path:

@@ -36,9 +36,13 @@ from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Callable
 
+import tempfile
+
+from repro.analysis.streaming import StudyAggregates
 from repro.chaos.plan import FaultPlan
 from repro.chaos.seam import IoSeam
 from repro.core.records import StudyDataset
+from repro.core.spill import ShardSpill, SpilledDataset, SpillWriter
 from repro.core.study import Study, StudyConfig
 from repro.core.submission import SubmissionSink
 from repro.errors import CheckpointError
@@ -114,9 +118,17 @@ class RuntimeConfig:
 
 @dataclass
 class RunResult:
-    """Everything a sharded run produced."""
+    """Everything a sharded run produced.
 
-    dataset: StudyDataset
+    ``dataset`` is an in-memory :class:`StudyDataset` for exact-mode
+    runs and an out-of-core :class:`~repro.core.spill.SpilledDataset`
+    for streaming (``aggregation="sketch"``) runs — both iterate
+    records in serial user order and emit byte-identical CSV.
+    Streaming runs additionally carry the merged
+    :class:`~repro.analysis.streaming.StudyAggregates`.
+    """
+
+    dataset: StudyDataset | SpilledDataset
     population: StudyPopulation
     plan: ShardPlan
     telemetry: RunTelemetry
@@ -126,6 +138,8 @@ class RunResult:
     #: The run was stopped by SIGINT/SIGTERM after flushing a
     #: consistent, resumable checkpoint.
     interrupted: bool = False
+    #: Merged streaming aggregates (``aggregation="sketch"`` only).
+    aggregates: StudyAggregates | None = None
 
     @property
     def complete(self) -> bool:
@@ -261,8 +275,10 @@ def run_study(
         if runtime.progress is not None:
             runtime.progress(telemetry)
 
+    streaming = config.aggregation == "sketch"
     store: CheckpointStore | None = None
-    completed: dict[int, StudyDataset] = {}
+    completed: dict[int, StudyDataset | ShardSpill] = {}
+    shard_aggregates: dict[int, dict] = {}
     if runtime.checkpoint_dir is not None:
         store = CheckpointStore(
             runtime.checkpoint_dir,
@@ -278,17 +294,35 @@ def run_study(
             store, journaled = None, []
         for shard_id in journaled:
             try:
-                dataset = store.load_shard(shard_id)
+                if streaming:
+                    spill, aggregates = store.load_shard_spill(shard_id)
+                    completed[shard_id] = spill
+                    shard_aggregates[shard_id] = aggregates
+                    records = spill.count
+                else:
+                    dataset = store.load_shard(shard_id)
+                    completed[shard_id] = dataset
+                    records = len(dataset)
             except CheckpointError:
-                # Damaged journal entry (truncated/corrupted CSV): drop
-                # it and leave the shard pending so it re-simulates.
+                # Damaged journal entry (truncated/corrupted payload,
+                # or the other aggregation mode's format): drop it and
+                # leave the shard pending so it re-simulates.
                 _journal(telemetry, f"invalidate shard {shard_id}",
                          lambda: store.invalidate_shard(shard_id))
                 continue
-            completed[shard_id] = dataset
             telemetry.shard_resumed(
-                shard_id, plays_by_id[shard_id], len(dataset)
+                shard_id, plays_by_id[shard_id], records
             )
+
+    spill_tmp: str | None = None
+    spill_dir: Path | None = None
+    if streaming:
+        if store is not None:
+            spill_dir = store.spill_dir
+        else:
+            spill_tmp = tempfile.mkdtemp(prefix="repro-spill-")
+            spill_dir = Path(spill_tmp)
+        spill_dir.mkdir(parents=True, exist_ok=True)
 
     pending = [s for s in plan.shards if s.shard_id not in completed]
     quarantined: set[int] = set()
@@ -301,12 +335,13 @@ def run_study(
         try:
             if runtime.workers <= 1:
                 _run_serial(
-                    study, pending, telemetry, store, completed, notify, stop
+                    study, pending, telemetry, store, completed, notify,
+                    stop, spill_dir, shard_aggregates,
                 )
             else:
                 _run_parallel(
                     config, pending, runtime, telemetry, store, completed,
-                    quarantined, notify, stop,
+                    quarantined, notify, stop, spill_dir, shard_aggregates,
                 )
         finally:
             for timer in timers:
@@ -320,12 +355,38 @@ def run_study(
         for s in plan.shards
         if s.shard_id not in completed and s.shard_id not in quarantined
     )
-    dataset = StudyDataset.merged_in_user_order(
-        (completed[shard_id] for shard_id in sorted(completed)),
-        plan.user_order,
-    )
+    aggregates: StudyAggregates | None = None
+    if streaming:
+        dataset = SpilledDataset(
+            completed.values(), plan.user_order, cleanup_dir=spill_tmp
+        )
+        for shard_id in sorted(shard_aggregates):
+            part = StudyAggregates.from_dict(shard_aggregates[shard_id])
+            if aggregates is None:
+                aggregates = part
+            else:
+                aggregates.merge(part)
+        if aggregates is None:
+            aggregates = StudyAggregates()
+    else:
+        dataset = StudyDataset.merged_in_user_order(
+            (completed[shard_id] for shard_id in sorted(completed)),
+            plan.user_order,
+        )
     if sink is not None:
-        sink.submit_many(dataset)
+        if streaming:
+            # Bounded batches: the sink sees every record in serial
+            # order without the run ever materializing them all.
+            batch: list = []
+            for record in dataset:
+                batch.append(record)
+                if len(batch) >= 4096:
+                    sink.submit_many(batch)
+                    batch.clear()
+            if batch:
+                sink.submit_many(batch)
+        else:
+            sink.submit_many(dataset)
 
     telemetry.run_finished()
     notify()
@@ -334,6 +395,7 @@ def run_study(
     manifest = {
         "seed": config.seed,
         "scale": config.scale,
+        "aggregation": config.aggregation,
         "fingerprint": plan.fingerprint,
         "shard_count": plan.shard_count,
         "records": len(dataset),
@@ -361,6 +423,7 @@ def run_study(
         manifest=manifest,
         failed_shards=failed,
         interrupted=interrupted,
+        aggregates=aggregates,
     )
 
 
@@ -374,12 +437,19 @@ def _journal(telemetry: RunTelemetry, what: str, write: Callable[[], object]):
 
 
 def _run_serial(
-    study, pending, telemetry, store, completed, notify, stop
+    study, pending, telemetry, store, completed, notify, stop,
+    spill_dir=None, shard_aggregates=None,
 ) -> None:
     """In-process execution: no retries (exceptions propagate, as in
     ``Study.run``), but completed shards still journal, so a killed run
     resumes.  A graceful-stop signal abandons the in-flight shard at
-    the next play boundary; completed shards stay journaled."""
+    the next play boundary; completed shards stay journaled.
+
+    With ``spill_dir`` (streaming mode) shard records go straight to
+    columnar batches + aggregates instead of an in-memory dataset; an
+    abandoned shard leaves only orphan batch files the next attempt
+    overwrites."""
+    streaming = spill_dir is not None
     for shard in pending:
         if stop.requested:
             return
@@ -392,31 +462,62 @@ def _run_serial(
             if stop.requested:
                 raise _Interrupted
 
-        try:
-            dataset = study.run_users(shard.user_ids, progress=tick)
-        except _Interrupted:
-            return
+        if streaming:
+            writer = SpillWriter(spill_dir, shard.shard_id)
+            aggregates = StudyAggregates()
+
+            def on_record(record) -> None:
+                writer.add(record)
+                aggregates.add(record)
+
+            try:
+                study.run_users(
+                    shard.user_ids, progress=tick,
+                    on_record=on_record, collect=False,
+                )
+            except _Interrupted:
+                return
+            index = writer.finish()
+            result = ShardSpill(spill_dir, index)
+            records = result.count
+        else:
+            try:
+                result = study.run_users(shard.user_ids, progress=tick)
+            except _Interrupted:
+                return
+            records = len(result)
         elapsed = time.monotonic() - started
         ledger = study.last_validation
         if ledger is not None:
             telemetry.record_violations(ledger.summary(), ledger.checks_run)
         if store is not None:
-            _journal(
-                telemetry, f"shard {shard.shard_id}",
-                lambda: store.record_shard(
-                    shard.shard_id, dataset, elapsed, attempts=1
-                ),
-            )
-        completed[shard.shard_id] = dataset
+            if streaming:
+                _journal(
+                    telemetry, f"shard {shard.shard_id}",
+                    lambda: store.record_shard_spill(
+                        shard.shard_id, index, elapsed, attempts=1,
+                        aggregates=aggregates.to_dict(),
+                    ),
+                )
+            else:
+                _journal(
+                    telemetry, f"shard {shard.shard_id}",
+                    lambda: store.record_shard(
+                        shard.shard_id, result, elapsed, attempts=1
+                    ),
+                )
+        completed[shard.shard_id] = result
+        if streaming:
+            shard_aggregates[shard.shard_id] = aggregates.to_dict()
         telemetry.shard_finished(
-            shard.shard_id, len(dataset), elapsed, attempt=1
+            shard.shard_id, records, elapsed, attempt=1
         )
         notify()
 
 
 def _run_parallel(
     config, pending, runtime, telemetry, store, completed, quarantined,
-    notify, stop,
+    notify, stop, spill_dir=None, shard_aggregates=None,
 ) -> None:
     """Pool execution: crashes, raises and hangs retry (with backoff)
     up to ``max_retries``; shards beyond that are quarantined.
@@ -436,15 +537,28 @@ def _run_parallel(
             telemetry.record_violations(
                 info.get("violations"), info.get("checks_run", 0)
             )
-            if store is not None:
-                _journal(
-                    telemetry, f"shard {shard_id}",
-                    lambda: store.record_shard(
-                        shard_id, info["dataset"], info["elapsed_s"],
-                        attempts=info["attempt"],
-                    ),
-                )
-            completed[shard_id] = info["dataset"]
+            if info.get("spill") is not None:
+                if store is not None:
+                    _journal(
+                        telemetry, f"shard {shard_id}",
+                        lambda: store.record_shard_spill(
+                            shard_id, info["spill_index"],
+                            info["elapsed_s"], attempts=info["attempt"],
+                            aggregates=info["aggregates"],
+                        ),
+                    )
+                completed[shard_id] = info["spill"]
+                shard_aggregates[shard_id] = info["aggregates"]
+            else:
+                if store is not None:
+                    _journal(
+                        telemetry, f"shard {shard_id}",
+                        lambda: store.record_shard(
+                            shard_id, info["dataset"], info["elapsed_s"],
+                            attempts=info["attempt"],
+                        ),
+                    )
+                completed[shard_id] = info["dataset"]
             telemetry.shard_finished(
                 shard_id,
                 records=info["records"],
@@ -479,4 +593,5 @@ def _run_parallel(
         backoff=runtime.backoff,
         watchdog_deadline_s=runtime.watchdog_deadline_s,
         should_stop=lambda: stop.requested,
+        spill_dir=str(spill_dir) if spill_dir is not None else None,
     )

@@ -48,7 +48,9 @@ from typing import Callable, Sequence
 
 from repro.chaos.plan import FaultPlan
 from repro.chaos.seam import WorkerFaults
+from repro.analysis.streaming import StudyAggregates
 from repro.core.records import StudyDataset
+from repro.core.spill import ShardSpill, SpillError, SpillWriter
 from repro.core.study import Study, StudyConfig
 from repro.runtime.scheduler import ShardSpec
 
@@ -119,6 +121,10 @@ class ShardResult:
     violations: dict = None  # type: ignore[assignment]
     #: Invariant checks the worker ran (0 when validation is off).
     checks_run: int = 0
+    #: Streaming (sketch-mode) runs: the shard's on-disk records and
+    #: serialized aggregates instead of an in-memory ``dataset``.
+    spill: ShardSpill | None = None
+    aggregates: dict | None = None
 
     def __post_init__(self) -> None:
         if self.violations is None:
@@ -126,7 +132,7 @@ class ShardResult:
 
     @property
     def ok(self) -> bool:
-        return self.dataset is not None
+        return self.dataset is not None or self.spill is not None
 
 
 #: ``on_event(kind, shard_id, info)`` — kinds: started, tick, finished,
@@ -142,6 +148,7 @@ def _shard_worker(
     fault: FaultSpec | None,
     plan: FaultPlan | None,
     queue,
+    spill_dir: str | None = None,
 ) -> None:
     try:
         if (
@@ -164,14 +171,36 @@ def _shard_worker(
             queue.put(("tick", shard_id, done))
             injected.on_play_done(done)
 
-        dataset = study.run_users(user_ids, progress=tick)
+        if config.aggregation == "sketch" and spill_dir is not None:
+            # Streaming mode: records go to columnar disk batches and
+            # mergeable sketches as they are produced; the event queue
+            # carries only the spill index + serialized aggregates, so
+            # neither the worker nor the parent ever holds the shard's
+            # records in memory.
+            writer = SpillWriter(spill_dir, shard_id)
+            aggregates = StudyAggregates()
+
+            def on_record(record) -> None:
+                writer.add(record)
+                aggregates.add(record)
+
+            study.run_users(
+                user_ids, progress=tick, on_record=on_record, collect=False
+            )
+            payload: object = {
+                "spill_index": writer.finish(),
+                "aggregates": aggregates.to_dict(),
+            }
+        else:
+            dataset = study.run_users(user_ids, progress=tick)
+            payload = dataset.to_csv_string()
         ledger = study.last_validation
         queue.put(
             (
                 "finished",
                 shard_id,
                 attempt,
-                dataset.to_csv_string(),
+                payload,
                 time.monotonic() - started,
                 ledger.summary() if ledger is not None else {},
                 ledger.checks_run if ledger is not None else 0,
@@ -213,8 +242,15 @@ def run_shards(
     backoff: BackoffPolicy | None = None,
     watchdog_deadline_s: float = DEFAULT_WATCHDOG_DEADLINE_S,
     should_stop: Callable[[], bool] | None = None,
+    spill_dir: str | None = None,
 ) -> dict[int, ShardResult]:
     """Run every shard on a bounded pool; return results keyed by id.
+
+    ``spill_dir`` (with ``config.aggregation == "sketch"``) switches
+    workers to the streaming record path: shard records spill to
+    columnar batches under it and results carry a
+    :class:`~repro.core.spill.ShardSpill` + aggregates instead of an
+    in-memory dataset.
 
     ``should_stop`` is polled between events; when it turns true the
     pool stops launching, drains already-reported results (so they are
@@ -280,11 +316,39 @@ def run_shards(
             if shard_id in running:
                 emit("tick", shard_id, done=event[2])
         elif kind == "finished":
-            _kind, _sid, attempt, csv_text, elapsed, violations, checks = event
+            _kind, _sid, attempt, payload, elapsed, violations, checks = event
             proc = running.pop(shard_id, None)
             if proc is not None:
                 proc.join()
-            dataset = StudyDataset.from_csv_string(csv_text)
+            if isinstance(payload, dict):
+                # Streaming result: open and validate the worker's
+                # spill; damage retries the shard like any worker
+                # failure instead of sinking the pool.
+                try:
+                    spill = ShardSpill(spill_dir, payload["spill_index"])
+                except SpillError as exc:
+                    retry_or_fail(shard_id, f"bad spill: {exc}")
+                    return
+                results[shard_id] = ShardResult(
+                    shard_id=shard_id,
+                    dataset=None,
+                    elapsed_s=elapsed,
+                    attempts=attempt,
+                    violations=violations,
+                    checks_run=checks,
+                    spill=spill,
+                    aggregates=payload["aggregates"],
+                )
+                emit(
+                    "finished", shard_id,
+                    attempt=attempt, elapsed_s=elapsed,
+                    records=spill.count, dataset=None,
+                    spill=spill, spill_index=payload["spill_index"],
+                    aggregates=payload["aggregates"],
+                    violations=violations, checks_run=checks,
+                )
+                return
+            dataset = StudyDataset.from_csv_string(payload)
             results[shard_id] = ShardResult(
                 shard_id=shard_id,
                 dataset=dataset,
@@ -387,6 +451,7 @@ def run_shards(
                         fault,
                         plan,
                         queue,
+                        spill_dir,
                     ),
                     daemon=True,
                 )

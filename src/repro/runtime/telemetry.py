@@ -161,14 +161,29 @@ class RunTelemetry:
         return sum(s.done_plays for s in self.shards.values())
 
     @property
-    def simulated_plays(self) -> int:
-        """Plays actually simulated by *this* run (resumed excluded)."""
+    def restored_plays(self) -> int:
+        """Plays loaded from a checkpoint instead of simulated now.
+
+        Tracked separately from :attr:`simulated_plays` so a resumed
+        run's throughput and ETA are computed from the work *this*
+        process did against *this* process's clock — counting restored
+        plays against a fresh ``elapsed_s`` would inflate plays/sec by
+        the restored fraction and corrupt the ETA (and the SSE
+        telemetry and run manifest that republish both).
+        """
         return sum(
             s.done_plays for s in self.shards.values()
-            if s.status != "resumed"
+            if s.status == "resumed"
         )
 
+    @property
+    def simulated_plays(self) -> int:
+        """Plays actually simulated by *this* run (restored excluded)."""
+        return self.done_plays - self.restored_plays
+
     def plays_per_second(self) -> float:
+        """This run's simulation rate: :attr:`simulated_plays` over
+        this run's wall clock.  Restored plays never enter it."""
         elapsed = self.elapsed_s
         if elapsed <= 0.0:
             return 0.0
@@ -205,9 +220,10 @@ class RunTelemetry:
 
         ``total_plays``
             Plays scheduled for the whole run.
-        ``done_plays`` / ``simulated_plays``
-            Plays finished so far / finished *by this run* (resumed
-            shards excluded from the latter).
+        ``done_plays`` / ``simulated_plays`` / ``restored_plays``
+            Plays finished so far / finished *by this run* / loaded
+            from a checkpoint (``done = simulated + restored``; rate
+            and ETA always derive from ``simulated_plays``).
         ``elapsed_s`` / ``plays_per_second`` / ``eta_s``
             Wall-clock so far, simulation rate, and the estimated
             seconds to completion (``None`` before any rate exists).
@@ -233,6 +249,7 @@ class RunTelemetry:
             "total_plays": self.total_plays,
             "done_plays": self.done_plays,
             "simulated_plays": self.simulated_plays,
+            "restored_plays": self.restored_plays,
             "elapsed_s": round(self.elapsed_s, 3),
             "plays_per_second": round(self.plays_per_second(), 3),
             "eta_s": None if eta is None else round(eta, 1),
@@ -250,8 +267,13 @@ class RunTelemetry:
         snap = self.snapshot()
         eta = snap["eta_s"]
         eta_text = "--" if eta is None else f"{eta:.0f}s"
+        restored = (
+            f" ({snap['restored_plays']} restored)"
+            if snap["restored_plays"]
+            else ""
+        )
         line = (
-            f"{snap['done_plays']}/{snap['total_plays']} plays  "
+            f"{snap['done_plays']}/{snap['total_plays']} plays{restored}  "
             f"{snap['plays_per_second']:.1f} plays/s  ETA {eta_text}  "
             f"workers {snap['workers']} "
             f"({snap['worker_utilization']:.0%} busy)"

@@ -38,6 +38,7 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from repro.core.spill import SpilledDataset
 from repro.core.study import StudyConfig
 from repro.errors import ServeError
 from repro.runtime import RunTelemetry, RuntimeConfig, run_study
@@ -424,14 +425,19 @@ class JobManager:
         started = time.monotonic()
         cache = StudyCache(self.cache_dir)
         try:
-            entry = cache.load(sim.config_hash)
-            if entry is not None:
+            # probe(), not load(): answering a warm submission only
+            # needs "a verified study.csv is on disk" (the CSV route
+            # streams the entry file directly), so don't pay a full
+            # parse — at million-user scale that parse is exactly the
+            # memory spike the streaming record path exists to avoid.
+            manifest = cache.probe(sim.config_hash)
+            if manifest is not None:
                 return {
                     "state": "done",
                     "source": "cache",
-                    "records": len(entry.dataset),
+                    "records": int(manifest.get("records", 0)),
                     "elapsed_s": time.monotonic() - started,
-                    "manifest": entry.manifest,
+                    "manifest": manifest,
                     "cache_counters": cache.counters(),
                 }
             return self._simulate(sim, cache, started)
@@ -503,20 +509,28 @@ class JobManager:
                 "studies are never cached"
             )
         else:
-            cache.store(
-                sim.config_hash,
-                result.dataset,
-                extra={
-                    "config": sim.config.to_canonical_dict(),
-                    "engine": {
-                        "workers": self.shard_workers,
-                        "plays_per_second": round(
-                            result.telemetry.plays_per_second(), 2
-                        ),
-                        "shard_count": result.plan.shard_count,
-                    },
+            extra = {
+                "config": sim.config.to_canonical_dict(),
+                "engine": {
+                    "workers": self.shard_workers,
+                    "plays_per_second": round(
+                        result.telemetry.plays_per_second(), 2
+                    ),
+                    "shard_count": result.plan.shard_count,
                 },
-            )
+            }
+            if isinstance(result.dataset, SpilledDataset):
+                # Streaming (sketch) runs never materialize the CSV:
+                # chunks flow from the spill files into the cache entry
+                # while the digest folds incrementally.
+                cache.store_stream(
+                    sim.config_hash,
+                    result.dataset.iter_csv_chunks(),
+                    records=len(result.dataset),
+                    extra=extra,
+                )
+            else:
+                cache.store(sim.config_hash, result.dataset, extra=extra)
             shutil.rmtree(ckpt, ignore_errors=True)
             outcome["state"] = "done"
         outcome["cache_counters"] = cache.counters()

@@ -129,6 +129,64 @@ class StudyCache:
             config_hash=config_hash, dataset=dataset, manifest=manifest
         )
 
+    def probe(self, config_hash: str, chunk_bytes: int = 1 << 20) -> dict | None:
+        """Verify an entry's integrity without materializing it.
+
+        Runs the same paranoid checks as :meth:`load` — manifest
+        presence/format/hash, CSV digest — but hashes the CSV in
+        fixed-size chunks and never parses it into records, so probing
+        a million-record entry costs O(chunk) memory.  Returns the
+        manifest on a verified hit (counted in :attr:`hits`), None on
+        a miss; integrity failures evict, exactly like :meth:`load`.
+
+        This is the streaming record path's cache check: callers that
+        only need to know "is a valid study.csv on disk?" (the sweep
+        runner skipping cells, ``repro.serve`` replaying a finished
+        job's CSV straight from the entry file) use this instead of
+        paying the full parse.
+        """
+        directory = self.entry_dir(config_hash)
+        manifest_path = directory / MANIFEST_NAME
+        if not manifest_path.exists():
+            self.misses += 1
+            return None
+        try:
+            manifest = json.loads(manifest_path.read_text())
+        except (OSError, ValueError) as exc:
+            return self._evict(config_hash, f"unreadable manifest: {exc}")
+        if manifest.get("format") != CACHE_FORMAT:
+            return self._evict(
+                config_hash,
+                f"format {manifest.get('format')!r} != {CACHE_FORMAT}",
+            )
+        if manifest.get("config_hash") != config_hash:
+            return self._evict(
+                config_hash,
+                f"manifest is for {manifest.get('config_hash')!r}",
+            )
+        digest = hashlib.sha256()
+        try:
+            with open(directory / CSV_NAME, "rb") as handle:
+                while True:
+                    chunk = handle.read(chunk_bytes)
+                    if not chunk:
+                        break
+                    digest.update(chunk)
+        except OSError as exc:
+            return self._evict(config_hash, f"unreadable CSV: {exc}")
+        if digest.hexdigest() != manifest.get("csv_sha256"):
+            return self._evict(
+                config_hash,
+                f"CSV digest {digest.hexdigest()[:12]} != journaled "
+                f"{str(manifest.get('csv_sha256'))[:12]}",
+            )
+        self.hits += 1
+        return manifest
+
+    def csv_path(self, config_hash: str) -> Path:
+        """Where an entry's CSV lives (existence not implied)."""
+        return self.entry_dir(config_hash) / CSV_NAME
+
     def _evict(self, config_hash: str, reason: str) -> None:
         self.evicted.append(f"{config_hash[:12]}: {reason}")
         self.misses += 1
@@ -170,6 +228,51 @@ class StudyCache:
         return CacheEntry(
             config_hash=config_hash, dataset=dataset, manifest=manifest
         )
+
+    def store_stream(
+        self,
+        config_hash: str,
+        chunks,
+        records: int,
+        extra: dict | None = None,
+    ) -> dict:
+        """Journal a study from an iterator of CSV text chunks.
+
+        The constant-memory twin of :meth:`store`: chunks are written
+        through the seam's streaming path while the SHA-256 digest is
+        folded incrementally, so the full CSV text never exists in this
+        process.  ``records`` is journaled as the entry's record count
+        (the caller — a :class:`~repro.core.spill.SpilledDataset`, an
+        engine run — already knows it).  Returns the manifest; commit
+        semantics are identical to :meth:`store` (CSV first, manifest
+        last, manifest presence is the commit marker).
+        """
+        directory = self.entry_dir(config_hash)
+        directory.mkdir(parents=True, exist_ok=True)
+        digest = hashlib.sha256()
+
+        def hashing():
+            for chunk in chunks:
+                digest.update(chunk.encode("utf-8"))
+                yield chunk
+
+        self._seam.write_chunks(
+            directory / CSV_NAME, hashing(), site="cache.csv"
+        )
+        manifest = {
+            **(extra if extra is not None else {}),
+            "format": CACHE_FORMAT,
+            "config_hash": config_hash,
+            "records": records,
+            "csv_sha256": digest.hexdigest(),
+        }
+        self._seam.write_text(
+            directory / MANIFEST_NAME,
+            json.dumps(manifest, indent=2),
+            site="cache.manifest",
+        )
+        self.stores += 1
+        return manifest
 
     def invalidate(self, config_hash: str) -> None:
         """Remove an entry (no-op when absent)."""

@@ -42,19 +42,24 @@ def build_population(
 ) -> StudyPopulation:
     """Build the calibrated population.
 
-    ``playlist_length`` and ``max_users`` shrink the world for tests
-    and quick runs; the defaults reproduce the paper's scale (98 clips,
-    ~63 users).
+    ``playlist_length`` and ``max_users`` resize the world; the
+    defaults reproduce the paper's scale (98 clips, ~63 users).
+    ``max_users`` below the calibrated count shrinks it for tests and
+    quick runs; above it, the population *expands* by cycling the
+    calibrated country/state mix (see
+    :func:`~repro.world.users.build_user_population`), which is how
+    million-user studies are populated.
     """
-    users = build_user_population(rngs.child("population", "users"))
-    if max_users is not None:
-        if max_users < 1:
-            raise ValueError(f"max_users must be >= 1, got {max_users}")
+    if max_users is not None and max_users < 1:
+        raise ValueError(f"max_users must be >= 1, got {max_users}")
+    users = build_user_population(
+        rngs.child("population", "users"), target_users=max_users
+    )
+    if max_users is not None and max_users < len(users):
         # Spread the cut across countries rather than truncating the
         # (country-sorted) list: take every k-th user.
-        if max_users < len(users):
-            stride = len(users) / max_users
-            users = [users[int(i * stride)] for i in range(max_users)]
+        stride = len(users) / max_users
+        users = [users[int(i * stride)] for i in range(max_users)]
     playlist = build_playlist_clips(
         playlist_length if playlist_length is not None else 98
     )

@@ -152,32 +152,51 @@ def _build_user(
     )
 
 
-def build_user_population(rng: np.random.Generator) -> list[UserProfile]:
-    """Create the full calibrated user population (~63 users).
-
-    Each user samples from an independent child stream, so editing one
-    behavior model never re-rolls the rest of the population.
-    """
-    users: list[UserProfile] = []
-    serial = 0
-
-    def next_user(home: Country, state: str | None, mean: float) -> None:
-        nonlocal serial
-        serial += 1
-        user_rng = np.random.default_rng(int(rng.integers(2**62)))
-        users.append(
-            _build_user(f"user{serial:03d}", home, state, mean, user_rng)
-        )
-
+def _population_specs() -> list[tuple[Country, str | None, float]]:
+    """The calibrated (country, state, mean-plays) slot per user, in
+    the fixed country/state order Figures 7 and 9 pin down."""
+    specs: list[tuple[Country, str | None, float]] = []
     for code, target in sorted(PLAYS_BY_USER_COUNTRY.items()):
         home = country(code)
         if code == "US":
             for state, state_target in sorted(PLAYS_BY_US_STATE.items()):
                 count = _users_for_target(state_target)
                 for _ in range(count):
-                    next_user(home, state, state_target / count)
+                    specs.append((home, state, state_target / count))
         else:
             count = _users_for_target(target)
             for _ in range(count):
-                next_user(home, None, target / count)
+                specs.append((home, None, target / count))
+    return specs
+
+
+def build_user_population(
+    rng: np.random.Generator, target_users: int | None = None
+) -> list[UserProfile]:
+    """Create the calibrated user population (~63 users by default).
+
+    Each user samples from an independent child stream, so editing one
+    behavior model never re-rolls the rest of the population.
+
+    ``target_users`` beyond the calibrated count *expands* the
+    population for large-scale (million-user) studies: synthesized
+    users cycle through the calibrated country/state slots — keeping
+    the geographic mix of Figures 7/9 — continue the ``userNNN``
+    serial numbering, and draw fresh child streams from the same
+    parent generator *after* the calibrated users have drawn theirs,
+    so the first ~63 users are byte-identical at every population
+    size.
+    """
+    specs = _population_specs()
+    if target_users is not None and target_users > len(specs):
+        base = tuple(specs)
+        specs += [
+            base[i % len(base)] for i in range(target_users - len(base))
+        ]
+    users: list[UserProfile] = []
+    for serial, (home, state, mean) in enumerate(specs, start=1):
+        user_rng = np.random.default_rng(int(rng.integers(2**62)))
+        users.append(
+            _build_user(f"user{serial:03d}", home, state, mean, user_rng)
+        )
     return users

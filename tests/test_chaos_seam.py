@@ -137,3 +137,30 @@ class TestWorkerFaults:
         injected = WorkerFaults(plan, 0, 1, sleep=slept.append)
         injected.on_play_done(1)
         assert slept == [42.0]
+
+
+class TestWriteChunks:
+    def test_streamed_write_equals_whole_write(self, tmp_path):
+        whole, streamed = tmp_path / "whole", tmp_path / "streamed"
+        IoSeam().write_text(whole, "abcdefgh", site="cache.csv")
+        written = IoSeam().write_chunks(
+            streamed, iter(["abc", "", "defg", "h"]), site="cache.csv"
+        )
+        assert streamed.read_bytes() == whole.read_bytes()
+        assert written == 8
+        assert list(tmp_path.glob("*.tmp.*")) == []
+
+    def test_replaces_atomically(self, tmp_path):
+        target = tmp_path / "data.csv"
+        target.write_text("old")
+        IoSeam().write_chunks(target, iter(["new"]), site="cache.csv")
+        assert target.read_text() == "new"
+
+    def test_mid_fault_leaves_old_file_and_no_temp(self, tmp_path):
+        target = tmp_path / "data.csv"
+        target.write_text("old")
+        seam = IoSeam(faults=[_fault(site="cache.csv")])
+        with pytest.raises(OSError):
+            seam.write_chunks(target, iter(["n", "ew"]), site="cache.csv")
+        assert target.read_text() == "old"
+        assert list(tmp_path.glob("*.tmp.*")) == []

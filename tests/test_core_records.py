@@ -153,3 +153,43 @@ class TestCsvRoundTrip:
         assert isinstance(restored.frames_displayed, int)
         assert isinstance(restored.measured_frame_rate, float)
         assert isinstance(restored.rating, int)
+
+
+class TestMergePeakMemory:
+    """S2 regression: the shard merge must cost one extra reference
+    per record, not the ~2x the old dict-of-lists regrouping paid
+    (per-user side lists held alive alongside the merged output)."""
+
+    def test_merge_allocates_about_one_reference_per_record(self):
+        import tracemalloc
+
+        n_users, plays, shard_count = 200, 50, 8
+        users = [f"user{i:06d}" for i in range(n_users)]
+        shards = []
+        for shard in range(shard_count):
+            dataset = StudyDataset()
+            for i in range(shard, n_users, shard_count):
+                for _ in range(plays):
+                    dataset.append(record(user_id=users[i]))
+            shards.append(dataset)
+        n_records = n_users * plays
+
+        tracemalloc.start()
+        try:
+            tracemalloc.reset_peak()
+            merged = StudyDataset.merged_in_user_order(shards, tuple(users))
+            _current, peak = tracemalloc.get_traced_memory()
+        finally:
+            tracemalloc.stop()
+
+        assert len(merged) == n_records
+        assert [r.user_id for r in merged] == sorted(
+            r.user_id for r in merged
+        )
+        # One 8-byte reference per record, plus bounded bookkeeping
+        # (the user-order index and per-user cursors).
+        ref_bytes = 8 * n_records
+        assert peak < 1.5 * ref_bytes + 65536, (
+            f"merge peak {peak} is {peak / ref_bytes:.2f} references "
+            f"per record; the constant-residency merge is leaking"
+        )

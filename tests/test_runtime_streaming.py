@@ -1,0 +1,247 @@
+"""Streaming (sketch-mode) runs through the sharded engine.
+
+The tentpole contract: ``aggregation="sketch"`` must export a CSV
+byte-identical to the exact in-memory path at any worker count —
+including runs killed mid-way and resumed — while the record residency
+moves out of core and the analysis state becomes mergeable aggregates.
+Also pins the S4 telemetry split: restored plays never inflate a
+resumed run's simulation rate.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import Counter
+
+import pytest
+
+from repro.analysis.streaming import StudyAggregates
+from repro.core.records import StudyDataset
+from repro.core.spill import SpilledDataset
+from repro.core.study import Study, StudyConfig
+from repro.core.submission import SubmissionSink
+from repro.runtime import RuntimeConfig, run_study
+
+EXACT_CONFIG = StudyConfig(seed=7, playlist_length=8, max_users=8,
+                           scale=0.1)
+SKETCH_CONFIG = StudyConfig(seed=7, playlist_length=8, max_users=8,
+                            scale=0.1, aggregation="sketch")
+
+
+@pytest.fixture(scope="module")
+def serial_csv() -> str:
+    return Study(EXACT_CONFIG).run().to_csv_string()
+
+
+def _digest(csv_text: str) -> str:
+    return hashlib.sha256(csv_text.encode()).hexdigest()
+
+
+class KillRun(Exception):
+    """Stands in for SIGKILL in the mid-run interruption tests."""
+
+
+def _kill_after_one_shard(telemetry) -> None:
+    if any(s.status == "done" for s in telemetry.shards.values()):
+        raise KillRun
+
+
+class TestByteIdentity:
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_sketch_csv_matches_exact_serial(self, workers, serial_csv):
+        result = run_study(
+            SKETCH_CONFIG, RuntimeConfig(workers=workers, shard_count=4)
+        )
+        assert isinstance(result.dataset, SpilledDataset)
+        assert result.dataset.to_csv_string() == serial_csv
+        assert result.manifest["aggregation"] == "sketch"
+
+    def test_csv_chunks_concatenate_to_the_export(self, serial_csv):
+        result = run_study(SKETCH_CONFIG, RuntimeConfig(workers=1))
+        assert "".join(result.dataset.iter_csv_chunks()) == serial_csv
+
+    def test_sink_sees_the_serial_stream(self, tmp_path):
+        serial_sink = SubmissionSink(tmp_path / "serial.csv")
+        Study(EXACT_CONFIG).run(sink=serial_sink)
+        streamed_sink = SubmissionSink(tmp_path / "streamed.csv")
+        run_study(
+            SKETCH_CONFIG,
+            RuntimeConfig(workers=2, shard_count=4),
+            sink=streamed_sink,
+        )
+        assert (
+            (tmp_path / "streamed.csv").read_bytes()
+            == (tmp_path / "serial.csv").read_bytes()
+        )
+
+
+class TestAggregates:
+    def test_exact_mode_has_no_aggregates(self):
+        result = run_study(EXACT_CONFIG, RuntimeConfig(workers=1))
+        assert result.aggregates is None
+        assert isinstance(result.dataset, StudyDataset)
+
+    def test_merged_aggregates_match_the_dataset(self):
+        result = run_study(
+            SKETCH_CONFIG, RuntimeConfig(workers=2, shard_count=4)
+        )
+        aggregates = result.aggregates
+        assert isinstance(aggregates, StudyAggregates)
+        records = list(result.dataset)
+        assert aggregates.records == len(records)
+        assert aggregates.by_outcome == Counter(
+            r.outcome for r in records
+        )
+        assert aggregates.by_protocol == Counter(
+            r.protocol for r in records if r.protocol
+        )
+        played = [r for r in records if r.played]
+        moments = aggregates.moments["bandwidth_bps"]
+        assert moments.count == len(played)
+        mean = sum(r.measured_bandwidth_bps for r in played) / len(played)
+        assert moments.mean == pytest.approx(mean)
+
+    def test_aggregates_independent_of_worker_count(self):
+        # Same shard partitioning, different scheduling: the merged
+        # aggregates must be identical (shard merge order is sorted,
+        # not completion order).
+        serial = run_study(
+            SKETCH_CONFIG, RuntimeConfig(workers=1, shard_count=4)
+        )
+        pooled = run_study(
+            SKETCH_CONFIG, RuntimeConfig(workers=2, shard_count=4)
+        )
+        assert serial.aggregates.to_dict() == pooled.aggregates.to_dict()
+
+    def test_report_shape(self):
+        result = run_study(SKETCH_CONFIG, RuntimeConfig(workers=1))
+        report = result.aggregates.report()
+        assert report["records"] == len(result.dataset)
+        assert set(report["distributions"]) == {
+            "frame_rate_fps", "bandwidth_bps", "jitter_ms",
+            "initial_buffering_s", "rating",
+        }
+        bandwidth = report["distributions"]["bandwidth_bps"]
+        assert bandwidth["n"] > 0
+        everyone = bandwidth["groups"]["all"]["all"]
+        assert everyone["n"] == bandwidth["n"]
+        assert set(everyone["percentiles"]) == {
+            "p10", "p25", "p50", "p75", "p90",
+        }
+        assert set(report["correlations"]) == {
+            "jitter_vs_bandwidth", "rating_vs_bandwidth",
+            "rating_vs_frame_rate",
+        }
+
+
+class TestStreamingResume:
+    def test_killed_sketch_run_resumes_byte_identical(
+        self, serial_csv, tmp_path
+    ):
+        ckpt = tmp_path / "ckpt"
+        with pytest.raises(KillRun):
+            run_study(
+                SKETCH_CONFIG,
+                RuntimeConfig(
+                    workers=1, shard_count=4, checkpoint_dir=ckpt,
+                    progress=_kill_after_one_shard,
+                ),
+            )
+        resumed = run_study(
+            SKETCH_CONFIG,
+            RuntimeConfig(
+                workers=2, shard_count=4, checkpoint_dir=ckpt, resume=True
+            ),
+        )
+        assert _digest(resumed.dataset.to_csv_string()) == _digest(
+            serial_csv
+        )
+        assert any(
+            s.status == "resumed"
+            for s in resumed.telemetry.shards.values()
+        )
+        # Merged aggregates cover every record, restored or simulated.
+        assert resumed.aggregates.records == len(resumed.dataset)
+
+    def test_resumed_rate_excludes_restored_plays(self, tmp_path):
+        """S4 regression: a resumed run's rate/ETA must derive from the
+        plays it actually simulated, not the checkpoint it restored —
+        restored shards land instantly and used to inflate the rate."""
+        ckpt = tmp_path / "ckpt"
+        with pytest.raises(KillRun):
+            run_study(
+                SKETCH_CONFIG,
+                RuntimeConfig(
+                    workers=1, shard_count=4, checkpoint_dir=ckpt,
+                    progress=_kill_after_one_shard,
+                ),
+            )
+        resumed = run_study(
+            SKETCH_CONFIG,
+            RuntimeConfig(
+                workers=1, shard_count=4, checkpoint_dir=ckpt, resume=True
+            ),
+        )
+        telemetry = resumed.telemetry
+        restored_shards = [
+            s for s in telemetry.shards.values() if s.status == "resumed"
+        ]
+        assert restored_shards
+        assert telemetry.restored_plays == sum(
+            s.plays for s in restored_shards
+        )
+        assert (
+            telemetry.simulated_plays
+            == telemetry.done_plays - telemetry.restored_plays
+        )
+        assert telemetry.simulated_plays > 0
+        assert telemetry.plays_per_second() == pytest.approx(
+            telemetry.simulated_plays / telemetry.elapsed_s
+        )
+        snapshot = telemetry.snapshot()
+        assert snapshot["restored_plays"] == telemetry.restored_plays
+        assert snapshot["simulated_plays"] == telemetry.simulated_plays
+        assert resumed.manifest["restored_plays"] == (
+            telemetry.restored_plays
+        )
+
+    def test_cross_mode_resume_resimulates(self, serial_csv, tmp_path):
+        """A sketch resume over an exact-mode checkpoint (or vice
+        versa) must invalidate the other format's shards and
+        re-simulate, not crash or mix formats."""
+        ckpt = tmp_path / "ckpt"
+        run_study(
+            EXACT_CONFIG,
+            RuntimeConfig(workers=1, shard_count=4, checkpoint_dir=ckpt),
+        )
+        result = run_study(
+            SKETCH_CONFIG,
+            RuntimeConfig(
+                workers=1, shard_count=4, checkpoint_dir=ckpt, resume=True
+            ),
+        )
+        assert result.complete
+        assert result.dataset.to_csv_string() == serial_csv
+        # Nothing restored: every shard re-simulated under sketch mode.
+        assert all(
+            s.status == "done" for s in result.telemetry.shards.values()
+        )
+        assert result.telemetry.restored_plays == 0
+
+    def test_exact_resume_over_sketch_checkpoint(
+        self, serial_csv, tmp_path
+    ):
+        ckpt = tmp_path / "ckpt"
+        run_study(
+            SKETCH_CONFIG,
+            RuntimeConfig(workers=1, shard_count=4, checkpoint_dir=ckpt),
+        )
+        result = run_study(
+            EXACT_CONFIG,
+            RuntimeConfig(
+                workers=1, shard_count=4, checkpoint_dir=ckpt, resume=True
+            ),
+        )
+        assert result.complete
+        assert result.dataset.to_csv_string() == serial_csv
+        assert result.telemetry.restored_plays == 0

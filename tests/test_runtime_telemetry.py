@@ -144,6 +144,7 @@ class TestSnapshot:
             "total_plays": 40,
             "done_plays": 10,
             "simulated_plays": 10,
+            "restored_plays": 0,
             "elapsed_s": 10.0,
             "plays_per_second": 1.0,
             "eta_s": 30.0,

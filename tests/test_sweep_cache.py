@@ -168,3 +168,101 @@ class TestEvictions:
         entry = cache.load(HASH)
         assert entry is not None
         assert len(entry.dataset) == len(dataset)
+
+
+class TestProbe:
+    """`probe` is the parse-free twin of `load`: same verdicts, O(chunk)
+    memory."""
+
+    def test_hit_returns_manifest_without_parsing(self, cache, dataset):
+        cache.store(HASH, dataset, extra={"cell_id": "baseline@x"})
+        manifest = cache.probe(HASH, chunk_bytes=7)
+        assert manifest is not None
+        assert manifest["records"] == len(dataset)
+        assert manifest["cell_id"] == "baseline@x"
+        assert cache.hits == 1
+
+    def test_miss_on_absent_entry(self, cache):
+        assert cache.probe(HASH) is None
+        assert cache.misses == 1
+        assert cache.evicted == []
+
+    def test_flipped_byte_evicts(self, cache, dataset):
+        cache.store(HASH, dataset)
+        csv_path = cache.entry_dir(HASH) / CSV_NAME
+        raw = bytearray(csv_path.read_bytes())
+        raw[len(raw) // 2] ^= 0xFF
+        csv_path.write_bytes(bytes(raw))
+        assert cache.probe(HASH) is None
+        assert len(cache.evicted) == 1
+        assert not cache.entry_dir(HASH).exists()
+
+    def test_missing_csv_evicts(self, cache, dataset):
+        cache.store(HASH, dataset)
+        (cache.entry_dir(HASH) / CSV_NAME).unlink()
+        assert cache.probe(HASH) is None
+        assert len(cache.evicted) == 1
+
+    def test_wrong_hash_in_manifest_evicts(self, cache, dataset):
+        cache.store(HASH, dataset)
+        manifest_path = cache.entry_dir(HASH) / MANIFEST_NAME
+        manifest = json.loads(manifest_path.read_text())
+        manifest["config_hash"] = "cd" + "0" * 62
+        manifest_path.write_text(json.dumps(manifest))
+        assert cache.probe(HASH) is None
+        assert len(cache.evicted) == 1
+
+    def test_csv_path_points_at_the_entry_file(self, cache, dataset):
+        cache.store(HASH, dataset)
+        assert (
+            cache.csv_path(HASH).read_bytes()
+            == dataset.to_csv_string().encode("utf-8")
+        )
+
+
+class TestStoreStream:
+    """`store_stream` journals chunked CSV text without ever holding
+    the whole export; the committed entry is indistinguishable from a
+    `store` of the same dataset."""
+
+    def _chunks(self, dataset, size=17):
+        text = dataset.to_csv_string()
+        return [text[i:i + size] for i in range(0, len(text), size)]
+
+    def test_round_trips_through_load(self, cache, dataset):
+        manifest = cache.store_stream(
+            HASH, iter(self._chunks(dataset)), records=len(dataset),
+            extra={"cell_id": "baseline@x"},
+        )
+        assert manifest["records"] == len(dataset)
+        entry = cache.load(HASH)
+        assert entry is not None
+        assert list(entry.dataset) == list(dataset)
+        assert entry.manifest["cell_id"] == "baseline@x"
+        assert cache.stores == 1
+
+    def test_identical_to_whole_store(self, cache, dataset, tmp_path):
+        other = StudyCache(tmp_path / "other")
+        whole = other.store(HASH, dataset)
+        streamed = cache.store_stream(
+            HASH, iter(self._chunks(dataset, size=3)),
+            records=len(dataset),
+        )
+        assert streamed["csv_sha256"] == whole.manifest["csv_sha256"]
+        assert (
+            cache.csv_path(HASH).read_bytes()
+            == other.csv_path(HASH).read_bytes()
+        )
+
+    def test_probe_verifies_a_streamed_store(self, cache, dataset):
+        cache.store_stream(
+            HASH, iter(self._chunks(dataset)), records=len(dataset)
+        )
+        assert cache.probe(HASH) is not None
+
+    def test_wrong_record_count_is_caught_by_load(self, cache, dataset):
+        cache.store_stream(
+            HASH, iter(self._chunks(dataset)), records=len(dataset) + 1
+        )
+        assert cache.load(HASH) is None
+        assert len(cache.evicted) == 1

@@ -24,9 +24,21 @@ class TestBuildPopulation:
         # alphabetical country's users).
         assert len(countries) >= 3
 
-    def test_max_users_larger_than_population_is_noop(self, rngs):
-        population = build_population(rngs, max_users=10_000)
-        assert 55 <= population.user_count <= 70
+    def test_max_users_larger_than_population_expands(self, rngs):
+        population = build_population(rngs, max_users=200)
+        assert population.user_count == 200
+        # The calibrated prefix is byte-identical at every population
+        # size: expansion only appends synthesized users.
+        calibrated = build_population(RngFactory(rngs.seed))
+        prefix = population.users[: calibrated.user_count]
+        assert [u.user_id for u in prefix] == [
+            u.user_id for u in calibrated.users
+        ]
+        assert [u.plays for u in prefix] == [u.plays for u in calibrated.users]
+        # Synthesized users keep the calibrated geographic mix.
+        assert {u.country.code for u in population.users[calibrated.user_count :]} <= {
+            u.country.code for u in calibrated.users
+        }
 
     def test_max_users_validation(self, rngs):
         with pytest.raises(ValueError):
