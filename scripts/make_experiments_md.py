@@ -182,6 +182,11 @@ def main() -> int:
     print("Composition figures (3-10) are calibration inputs; performance")
     print("figures (1, 11-28) are emergent outputs.  See DESIGN.md.")
     print()
+    print("Every figure also renders from streamed aggregates")
+    print("(`repro figures --aggregation sketch`): byte-identical to the")
+    print("exact path while the sketches hold raw samples, within one grid")
+    print("step once collapsed (`tests/test_figure_parity.py`).")
+    print()
     for figure_id, rows in PAPER.items():
         measured = summary.get(figure_id, {})
         print(f"## {figure_id} — {TITLES[figure_id]}")

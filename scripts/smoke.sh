@@ -3,7 +3,9 @@
 # included), a quick throughput benchmark, a tiny parallel study
 # through the repro.runtime engine (2 workers, checkpointed), a
 # streaming (sketch-mode) study over an expanded population plus the
-# memory-ceiling benchmark, a strict-mode validated study (every repro.validate invariant must
+# memory-ceiling benchmark, the sketch-figures stage (all 26 figures
+# rendered from streamed aggregates, headline JSON diffed against an
+# exact-mode run), a strict-mode validated study (every repro.validate invariant must
 # hold) plus the serial-vs-parallel oracle, the corrupted-checkpoint
 # resume tests, and a 2x2 scenario sweep through repro.sweep (first
 # run simulates + caches, rerun must be 100% cache hits with a
@@ -63,6 +65,29 @@ assert report["records"] == len(dataset), (report["records"], len(dataset))
 assert sum(report["by_outcome"].values()) == len(dataset)
 print(f"streaming smoke ok: {len(dataset)} records from 300 users, "
       f"{len(report['distributions'])} streamed distributions")
+EOF
+
+echo "== sketch figures smoke (26 figures, headline diff vs exact) =="
+python -m repro.cli figures --seed 2001 --scale 0.02 \
+    --out "$out/figs-exact" --quiet
+python -m repro.cli figures --seed 2001 --scale 0.02 \
+    --aggregation sketch --out "$out/figs-sketch" --quiet
+
+python - "$out" <<'EOF'
+import json, sys
+from pathlib import Path
+out = Path(sys.argv[1])
+exact = json.loads((out / "figs-exact" / "summary.json").read_text())
+sketch = json.loads((out / "figs-sketch" / "summary.json").read_text())
+assert len(sketch) == 26, f"expected 26 figures, got {len(sketch)}"
+assert sketch == exact, "sketch-mode figure headlines drifted from exact"
+report = json.loads((out / "figs-sketch" / "aggregates.json").read_text())
+assert report["records"] > 0
+assert not (out / "figs-exact" / "aggregates.json").exists(), (
+    "exact mode must not journal aggregates"
+)
+print(f"figures smoke ok: {len(sketch)} figures byte-equal across "
+      f"backends over {report['records']} streamed records")
 EOF
 
 echo "== streaming memory ceiling (peak bounded by batch, not records) =="

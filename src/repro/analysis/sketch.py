@@ -52,6 +52,60 @@ DEFAULT_RELATIVE_ACCURACY = 0.001
 MIN_MAGNITUDE = 1e-9
 
 
+class LogBinGrid:
+    """The DDSketch-style fixed log grid: value -> signed bin key.
+
+    A value's key depends only on the value and the configured
+    relative accuracy, so bin counts commute under any merge order.
+    Shared by :class:`QuantileSketch` and the fig28 rated-scatter
+    summary (`repro.analysis.streaming.RatedScatter`), which bins
+    bandwidth on the same grid once its exact budget is exhausted.
+    """
+
+    __slots__ = ("relative_accuracy", "gamma", "_log_gamma", "_key_offset")
+
+    def __init__(self, relative_accuracy: float) -> None:
+        if not 0.0 < relative_accuracy < 1.0:
+            raise AnalysisError(
+                "relative_accuracy must be in (0, 1), "
+                f"got {relative_accuracy}"
+            )
+        self.relative_accuracy = float(relative_accuracy)
+        self.gamma = (1.0 + relative_accuracy) / (1.0 - relative_accuracy)
+        self._log_gamma = math.log(self.gamma)
+        # Shift the raw log-bin index so every magnitude above
+        # MIN_MAGNITUDE lands on |key| >= 1: key 0 can then mean "zero"
+        # unambiguously, and a negative value's key is the negation of
+        # its magnitude's key without colliding with sub-unit positive
+        # magnitudes (whose raw log index is <= 0).
+        self._key_offset = (
+            int(math.ceil(math.log(MIN_MAGNITUDE) / self._log_gamma)) - 1
+        )
+
+    def key(self, value: float) -> int:
+        magnitude = abs(value)
+        if magnitude <= MIN_MAGNITUDE:
+            return 0
+        key = (
+            int(math.ceil(math.log(magnitude) / self._log_gamma))
+            - self._key_offset
+        )
+        if key < 1:  # fp rounding right at MIN_MAGNITUDE
+            key = 1
+        return key if value > 0.0 else -key
+
+    def representative(self, key: int) -> float:
+        """The value every member of bin ``key`` is reported as: the
+        geometric midpoint, within ``relative_accuracy`` of anything
+        the bin covers."""
+        if key == 0:
+            return 0.0
+        magnitude = 2.0 * math.exp(
+            (abs(key) + self._key_offset) * self._log_gamma
+        ) / (self.gamma + 1.0)
+        return magnitude if key > 0 else -magnitude
+
+
 class QuantileSketch:
     """Hybrid exact / fixed-log-grid quantile sketch.
 
@@ -63,8 +117,8 @@ class QuantileSketch:
     """
 
     __slots__ = (
-        "exact_limit", "relative_accuracy", "_gamma", "_log_gamma",
-        "_key_offset", "_count", "_values", "_bins", "_min", "_max",
+        "exact_limit", "relative_accuracy", "_grid",
+        "_count", "_values", "_bins", "_min", "_max",
     )
 
     def __init__(
@@ -76,23 +130,9 @@ class QuantileSketch:
             raise AnalysisError(
                 f"exact_limit must be >= 0, got {exact_limit}"
             )
-        if not 0.0 < relative_accuracy < 1.0:
-            raise AnalysisError(
-                "relative_accuracy must be in (0, 1), "
-                f"got {relative_accuracy}"
-            )
         self.exact_limit = int(exact_limit)
-        self.relative_accuracy = float(relative_accuracy)
-        self._gamma = (1.0 + relative_accuracy) / (1.0 - relative_accuracy)
-        self._log_gamma = math.log(self._gamma)
-        # Shift the raw log-bin index so every magnitude above
-        # MIN_MAGNITUDE lands on |key| >= 1: key 0 can then mean "zero"
-        # unambiguously, and a negative value's key is the negation of
-        # its magnitude's key without colliding with sub-unit positive
-        # magnitudes (whose raw log index is <= 0).
-        self._key_offset = (
-            int(math.ceil(math.log(MIN_MAGNITUDE) / self._log_gamma)) - 1
-        )
+        self._grid = LogBinGrid(relative_accuracy)
+        self.relative_accuracy = self._grid.relative_accuracy
         self._count = 0
         #: Exact mode: the raw observations (unsorted multiset).
         self._values: list[float] | None = []
@@ -176,16 +216,26 @@ class QuantileSketch:
 
     # -- queries ------------------------------------------------------------
 
-    def to_cdf(self) -> Cdf | WeightedCdf:
-        """The sketch as a CDF object the figure modules understand."""
+    def to_cdf(self, divide_by: float = 1.0) -> Cdf | WeightedCdf:
+        """The sketch as a CDF object the figure modules understand.
+
+        ``divide_by`` applies a unit change (e.g. bps -> kbps) to every
+        value.  In exact mode the division happens element-wise before
+        the sort, exactly matching the figure modules' historical
+        ``[v / 1000.0 for v in values]`` list comprehensions — the
+        resulting `Cdf` is bit-identical to the dataset-backed one.
+        """
         if self._count == 0:
             raise AnalysisError("cannot build a CDF from an empty sketch")
         if self._values is not None:
-            return Cdf(np.asarray(self._values, dtype=np.float64))
+            array = np.asarray(self._values, dtype=np.float64)
+            if divide_by != 1.0:
+                array = array / divide_by
+            return Cdf(array)
         assert self._bins is not None
         keys = sorted(self._bins)
         return WeightedCdf(
-            (self._representative(key) for key in keys),
+            (self._representative(key) / divide_by for key in keys),
             (self._bins[key] for key in keys),
         )
 
@@ -248,27 +298,10 @@ class QuantileSketch:
     # -- internals ----------------------------------------------------------
 
     def _key(self, value: float) -> int:
-        magnitude = abs(value)
-        if magnitude <= MIN_MAGNITUDE:
-            return 0
-        key = (
-            int(math.ceil(math.log(magnitude) / self._log_gamma))
-            - self._key_offset
-        )
-        if key < 1:  # fp rounding right at MIN_MAGNITUDE
-            key = 1
-        return key if value > 0.0 else -key
+        return self._grid.key(value)
 
     def _representative(self, key: int) -> float:
-        """The value every member of bin ``key`` is reported as: the
-        geometric midpoint, within ``relative_accuracy`` of anything
-        the bin covers."""
-        if key == 0:
-            return 0.0
-        magnitude = 2.0 * math.exp(
-            (abs(key) + self._key_offset) * self._log_gamma
-        ) / (self._gamma + 1.0)
-        return magnitude if key > 0 else -magnitude
+        return self._grid.representative(key)
 
     def _collapse(self) -> None:
         assert self._values is not None
@@ -405,7 +438,10 @@ class StreamingCorrelation:
             raise AnalysisError("correlation needs at least two points")
         if self._m2_x <= 0.0 or self._m2_y <= 0.0:
             return 0.0
-        return self._cxy / math.sqrt(self._m2_x * self._m2_y)
+        value = self._cxy / math.sqrt(self._m2_x * self._m2_y)
+        # Rounding in the co-moment updates can push the ratio a hair
+        # outside the mathematically guaranteed [-1, 1].
+        return max(-1.0, min(1.0, value))
 
     def to_dict(self) -> dict:
         return {

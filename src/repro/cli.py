@@ -8,6 +8,7 @@ Subcommands::
                  [--users 100000] [--aggregation exact|sketch]
     repro report --csv study.csv [--plots]
     repro figures --scale 1.0 --out results/ [--workers 4] [--resume]
+                 [--users 100000] [--aggregation exact|sketch]
     repro validate --scale 0.1 [--workers 2] [--strict] [--skip-oracle]
     repro sweep  --spec sweep.toml [--workers 4] [--cache-dir .sweep-cache]
                  [--force] [--report report.json]
@@ -390,7 +391,10 @@ def _cmd_figures(args: argparse.Namespace) -> int:
     from repro.experiments import runner
 
     forwarded = ["--scale", str(args.scale), "--seed", str(args.seed),
-                 "--out", str(args.out), "--workers", str(args.workers)]
+                 "--out", str(args.out), "--workers", str(args.workers),
+                 "--aggregation", args.aggregation]
+    if args.users is not None:
+        forwarded += ["--users", str(args.users)]
     if args.checkpoint_dir is not None:
         forwarded += ["--checkpoint-dir", str(args.checkpoint_dir)]
     if args.resume:
@@ -454,6 +458,16 @@ def build_parser() -> argparse.ArgumentParser:
     figures.add_argument("--out", type=Path, default=Path("results"))
     figures.add_argument("--workers", type=int, default=1,
                          help="worker processes for the study run")
+    figures.add_argument("--users", type=int, default=None,
+                         help="population size: truncate below the paper's "
+                              "63 users, synthesize beyond it (same "
+                              "RNG-keyed expansion as `repro study`)")
+    figures.add_argument("--aggregation", choices=["exact", "sketch"],
+                         default="exact",
+                         help="'exact' renders figures from the in-memory "
+                              "record list; 'sketch' renders them from "
+                              "constant-memory streaming aggregates "
+                              "(million-user studies)")
     figures.add_argument("--checkpoint-dir", type=Path, default=None)
     figures.add_argument("--resume", action="store_true")
     figures.add_argument("--quiet", action="store_true")

@@ -219,7 +219,7 @@ class Study:
         sink: SubmissionSink | None = None,
         on_record: Callable[[ClipRecord], None] | None = None,
         collect: bool = True,
-    ) -> StudyDataset:
+    ) -> StudyDataset | None:
         """Simulate the playbacks of a subset of users (``None``: everyone).
 
         Selected users run in population order, and each playback's RNG
@@ -233,9 +233,10 @@ class Study:
 
         ``on_record`` sees every record the moment it is produced —
         the streaming record path (`repro.core.spill`) hangs off it —
-        and ``collect=False`` skips retaining records in the returned
-        dataset (which then comes back empty) so a streaming run's
-        memory stays flat no matter how many plays it simulates.
+        and ``collect=False`` skips the dataset entirely (the call
+        returns ``None`` and never constructs a ``StudyDataset``) so a
+        streaming run's memory stays flat no matter how many plays it
+        simulates.
         """
         if user_ids is None:
             selected = self.population.users
@@ -260,7 +261,7 @@ class Study:
         tracer = RealTracer(
             config=self.config.tracer, validation=validation, ledger=ledger
         )
-        dataset = StudyDataset()
+        dataset = StudyDataset() if collect else None
         playlist = self.population.playlist
         total = sum(self._scaled_plays(user.plays) for user in selected)
         done = 0

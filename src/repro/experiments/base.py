@@ -8,8 +8,10 @@ from typing import Callable, Mapping, Sequence
 
 from repro.analysis.cdf import Cdf
 from repro.analysis.report import format_cdf_table, format_counts
+from repro.analysis.streaming import StudyAggregates
 from repro.core.records import StudyDataset
 from repro.core.study import Study, StudyConfig
+from repro.experiments.source import AggregatesSource, DatasetSource
 from repro.world.population import StudyPopulation
 
 #: Sampling grids used to print CDF figures as rows.
@@ -21,12 +23,46 @@ RATING_GRID = tuple(float(x) for x in range(11))
 
 @dataclass
 class ExperimentContext:
-    """Everything a figure needs: the dataset and how it was made."""
+    """Everything a figure needs, and how it was made.
 
-    dataset: StudyDataset
-    population: StudyPopulation
-    seed: int
-    scale: float
+    Dual-backed: exactly one record backend is expected — an in-memory
+    ``dataset`` (exact mode) or streamed ``aggregates`` (sketch mode).
+    Figures read through :attr:`source`, which answers the same
+    queries from either; when both are supplied the dataset wins (and
+    the aggregates are ignored).
+    """
+
+    dataset: StudyDataset | None = None
+    population: StudyPopulation | None = None
+    seed: int = 2001
+    scale: float = 1.0
+    aggregates: StudyAggregates | None = None
+    _source: DatasetSource | AggregatesSource | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
+
+    def __post_init__(self) -> None:
+        if self.dataset is None and self.aggregates is None:
+            raise ValueError(
+                "ExperimentContext needs a dataset or aggregates backend"
+            )
+
+    @property
+    def backend(self) -> str:
+        """``"exact"`` (dataset-backed) or ``"sketch"``."""
+        return "exact" if self.dataset is not None else "sketch"
+
+    @property
+    def source(self) -> DatasetSource | AggregatesSource:
+        """The backend-agnostic accessor the figure modules query."""
+        if self._source is None:
+            if self.dataset is not None:
+                self._source = DatasetSource(self.dataset, self.population)
+            else:
+                self._source = AggregatesSource(
+                    self.aggregates, self.population
+                )
+        return self._source
 
 
 @dataclass

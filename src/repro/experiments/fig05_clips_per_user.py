@@ -2,19 +2,15 @@
 
 from __future__ import annotations
 
-from collections import Counter
-
-from repro.analysis.cdf import Cdf
 from repro.experiments.base import Figure, cdf_figure, empty_figure
 
 
 def run(ctx):
-    plays = Counter(r.user_id for r in ctx.dataset)
-    if not plays:
+    cdf = ctx.source.clips_per_user()
+    if cdf is None:
         return empty_figure(
             "fig05", "CDF of Video Clips Played per User", "no records"
         )
-    cdf = Cdf(plays.values())
     grid = (5.0, 10.0, 20.0, 40.0, 60.0, 80.0, 98.0)
     return cdf_figure(
         "fig05",

@@ -2,19 +2,11 @@
 
 from __future__ import annotations
 
-from collections import Counter
-
-from repro.analysis.cdf import Cdf
 from repro.experiments.base import Figure, cdf_figure
 
 
 def run(ctx):
-    rated = Counter()
-    for user in ctx.population.users:
-        rated[user.user_id] = 0
-    for record in ctx.dataset.rated():
-        rated[record.user_id] += 1
-    cdf = Cdf(rated.values())
+    cdf = ctx.source.rated_per_user()
     grid = (0.0, 1.0, 3.0, 5.0, 10.0, 20.0, 35.0)
     return cdf_figure(
         "fig06",

@@ -2,12 +2,11 @@
 
 from __future__ import annotations
 
-from repro.analysis.breakdowns import counts_by
 from repro.experiments.base import Figure, counts_figure
 
 
 def run(ctx):
-    counts = counts_by(ctx.dataset, lambda r: r.user_country)
+    counts = ctx.source.plays_by_country()
     total = sum(counts.values())
     us_share = counts.get("US", 0) / total if total else 0.0
     return counts_figure(

@@ -2,12 +2,11 @@
 
 from __future__ import annotations
 
-from repro.analysis.breakdowns import counts_by
 from repro.experiments.base import Figure, counts_figure
 
 
 def run(ctx):
-    counts = counts_by(ctx.dataset, lambda r: r.server_country)
+    counts = ctx.source.served_by_country()
     total = sum(counts.values())
     return counts_figure(
         "fig08",

@@ -2,13 +2,11 @@
 
 from __future__ import annotations
 
-from repro.analysis.breakdowns import counts_by
 from repro.experiments.base import Figure, counts_figure
 
 
 def run(ctx):
-    us_records = ctx.dataset.filter(lambda r: r.user_country == "US")
-    counts = counts_by(us_records, lambda r: r.user_state)
+    counts = ctx.source.us_plays_by_state()
     total = sum(counts.values())
     return counts_figure(
         "fig09",

@@ -2,28 +2,18 @@
 
 from __future__ import annotations
 
-from repro.analysis.breakdowns import group_by
 from repro.experiments.base import Figure, FigureResult, empty_figure
 
 
 def run(ctx):
     # The paper removed firewall-blocked (control-failed) attempts
     # from all analysis, including this figure.
-    reachable = ctx.dataset.filter(lambda r: r.outcome != "control_failed")
-    if not len(reachable):
+    availability = ctx.source.availability()
+    if availability is None:
         return empty_figure(
             "fig10", "Fraction of Unavailable Clips", "no reachable attempts"
         )
-    by_server = group_by(reachable, lambda r: r.server_name)
-    fractions = {}
-    for name in sorted(by_server):
-        group = by_server[name]
-        unavailable = len(group.filter(lambda r: r.outcome == "unavailable"))
-        fractions[name] = unavailable / len(group)
-    total_unavailable = len(
-        reachable.filter(lambda r: r.outcome == "unavailable")
-    )
-    overall = total_unavailable / len(reachable)
+    fractions, overall = availability
     lines = ["Figure 10: fraction of unavailable clips per server"]
     for name, fraction in fractions.items():
         lines.append(f"  {name:12s} {fraction:6.3f}")

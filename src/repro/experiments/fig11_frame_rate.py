@@ -6,18 +6,16 @@ under 1% at true full motion (24+ fps).
 
 from __future__ import annotations
 
-from repro.analysis.cdf import Cdf
 from repro.experiments.base import FPS_GRID, Figure, cdf_figure, empty_figure
 
 
 def run(ctx):
-    played = ctx.dataset.played()
-    if not len(played):
+    cdf = ctx.source.metric_cdf("frame_rate_fps")
+    if cdf is None:
         return empty_figure(
             "fig11", "CDF of Frame Rate for all Video Clips",
             "no played clips",
         )
-    cdf = Cdf(played.values("measured_frame_rate"))
     return cdf_figure(
         "fig11",
         "CDF of Frame Rate for all Video Clips",

@@ -7,17 +7,11 @@ the bottleneck has moved past the access link.
 
 from __future__ import annotations
 
-from repro.analysis.breakdowns import by_connection
-from repro.analysis.cdf import Cdf
 from repro.experiments.base import FPS_GRID, Figure, cdf_figure
 
 
 def run(ctx):
-    played = ctx.dataset.played()
-    cdfs = {
-        name: Cdf(group.values("measured_frame_rate"))
-        for name, group in by_connection(played).items()
-    }
+    cdfs = ctx.source.metric_cdfs("frame_rate_fps", "connection")
     headline = {}
     for name, cdf in cdfs.items():
         key = name.split()[0].split("/")[0].lower()

@@ -7,18 +7,11 @@ access link.
 
 from __future__ import annotations
 
-from repro.analysis.breakdowns import by_connection
-from repro.analysis.cdf import Cdf
 from repro.experiments.base import BANDWIDTH_KBPS_GRID, Figure, cdf_figure
-from repro.units import kbps
 
 
 def run(ctx):
-    played = ctx.dataset.played()
-    cdfs = {
-        name: Cdf([b / 1000.0 for b in group.values("measured_bandwidth_bps")])
-        for name, group in by_connection(played).items()
-    }
+    cdfs = ctx.source.metric_cdfs("bandwidth_kbps", "connection")
     dsl = cdfs.get("DSL/Cable")
     headline = {}
     if dsl is not None:

@@ -7,17 +7,11 @@ matters little.
 
 from __future__ import annotations
 
-from repro.analysis.breakdowns import by_server_region
-from repro.analysis.cdf import Cdf
 from repro.experiments.base import FPS_GRID, Figure, cdf_figure, empty_figure
 
 
 def run(ctx):
-    played = ctx.dataset.played()
-    cdfs = {
-        name: Cdf(group.values("measured_frame_rate"))
-        for name, group in by_server_region(played).items()
-    }
+    cdfs = ctx.source.metric_cdfs("frame_rate_fps", "server_region")
     if not cdfs:
         return empty_figure(
             "fig14",

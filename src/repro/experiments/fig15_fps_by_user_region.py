@@ -7,17 +7,11 @@ Australia/NZ worst (75% under 3 fps, <10% at 15+), Europe best
 
 from __future__ import annotations
 
-from repro.analysis.breakdowns import by_user_region
-from repro.analysis.cdf import Cdf
 from repro.experiments.base import FPS_GRID, Figure, cdf_figure
 
 
 def run(ctx):
-    played = ctx.dataset.played()
-    cdfs = {
-        name: Cdf(group.values("measured_frame_rate"))
-        for name, group in by_user_region(played).items()
-    }
+    cdfs = ctx.source.metric_cdfs("frame_rate_fps", "user_region")
     headline = {}
     for name, cdf in cdfs.items():
         key = name.split("/")[0].lower().replace(" ", "")

@@ -14,9 +14,7 @@ def run(ctx):
     # needs both protocols present to build its bandwidth CDFs), so a
     # tiny or quarantined study with a single protocol still reports
     # honestly instead of crashing.
-    played = ctx.dataset.played()
-    tcp_count = sum(1 for r in played if r.protocol == "TCP")
-    udp_count = sum(1 for r in played if r.protocol == "UDP")
+    tcp_count, udp_count = ctx.source.played_protocol_counts()
     total = tcp_count + udp_count
     if not total:
         return empty_figure(

@@ -7,16 +7,15 @@ better application frame rates.
 
 from __future__ import annotations
 
-from repro.analysis.breakdowns import by_protocol
-from repro.analysis.cdf import Cdf
 from repro.experiments.base import FPS_GRID, Figure, cdf_figure, empty_figure
 
 
 def run(ctx):
-    played = ctx.dataset.played()
     cdfs = {
-        name: Cdf(group.values("measured_frame_rate"))
-        for name, group in by_protocol(played).items()
+        name: cdf
+        for name, cdf in ctx.source.metric_cdfs(
+            "frame_rate_fps", "protocol"
+        ).items()
         if name in ("TCP", "UDP")
     }
     if "TCP" not in cdfs or "UDP" not in cdfs:

@@ -7,9 +7,6 @@ responsive, but perhaps not strictly TCP-friendly).
 
 from __future__ import annotations
 
-from repro.analysis.breakdowns import by_protocol
-from repro.analysis.cdf import Cdf
-from repro.analysis.tcp_friendly import compare_protocols
 from repro.experiments.base import (
     BANDWIDTH_KBPS_GRID,
     Figure,
@@ -19,14 +16,15 @@ from repro.experiments.base import (
 
 
 def run(ctx):
-    played = ctx.dataset.played()
     cdfs = {
-        name: Cdf([b / 1000.0 for b in group.values("measured_bandwidth_bps")])
-        for name, group in by_protocol(played).items()
+        name: cdf
+        for name, cdf in ctx.source.metric_cdfs(
+            "bandwidth_kbps", "protocol"
+        ).items()
         if name in ("TCP", "UDP")
     }
     if "TCP" not in cdfs or "UDP" not in cdfs:
-        # `compare_protocols` needs both groups; degrade to the CDFs
+        # `protocol_report` needs both groups; degrade to the CDFs
         # that exist with honest counts.
         if not cdfs:
             return empty_figure(
@@ -44,7 +42,7 @@ def run(ctx):
                 "udp_n": float(len(cdfs.get("UDP", ()))),
             },
         )
-    report = compare_protocols(ctx.dataset)
+    report = ctx.source.protocol_report()
     headline = {
         "udp_over_tcp_median_ratio": report.ratio_p50,
         "udp_over_tcp_p75_ratio": report.ratio_p75,

@@ -7,19 +7,13 @@ classes are mixed and unordered.
 
 from __future__ import annotations
 
-from repro.analysis.breakdowns import by_pc_class
-from repro.analysis.cdf import Cdf
 from repro.experiments.base import FPS_GRID, Figure, cdf_figure
 
 OLD_CLASSES = ("Intel Pentium MMX / 24MB", "Pentium II / 32MB")
 
 
 def run(ctx):
-    played = ctx.dataset.played()
-    cdfs = {
-        name: Cdf(group.values("measured_frame_rate"))
-        for name, group in by_pc_class(played).items()
-    }
+    cdfs = ctx.source.metric_cdfs("frame_rate_fps", "pc_class")
     old = [cdf for name, cdf in cdfs.items() if name in OLD_CLASSES]
     new = [cdf for name, cdf in cdfs.items() if name not in OLD_CLASSES]
     headline = {

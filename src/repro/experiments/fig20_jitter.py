@@ -7,7 +7,6 @@ Paper: just over 50% of clips play with imperceptible jitter
 
 from __future__ import annotations
 
-from repro.analysis.cdf import Cdf
 from repro.experiments.base import (
     JITTER_MS_GRID,
     Figure,
@@ -17,12 +16,11 @@ from repro.experiments.base import (
 
 
 def run(ctx):
-    sample = ctx.dataset.with_jitter()
-    if not len(sample):
+    cdf = ctx.source.metric_cdf("jitter_ms")
+    if cdf is None:
         return empty_figure(
             "fig20", "CDF of Overall Jitter", "no jitter samples"
         )
-    cdf = Cdf([j * 1000.0 for j in sample.values("jitter_s")])
     return cdf_figure(
         "fig20",
         "CDF of Overall Jitter",

@@ -8,17 +8,11 @@ imperceptible cutoff, with DSL slightly better at the 300 ms bound
 
 from __future__ import annotations
 
-from repro.analysis.breakdowns import by_connection
-from repro.analysis.cdf import Cdf
 from repro.experiments.base import JITTER_MS_GRID, Figure, cdf_figure
 
 
 def run(ctx):
-    sample = ctx.dataset.with_jitter()
-    cdfs = {
-        name: Cdf([j * 1000.0 for j in group.values("jitter_s")])
-        for name, group in by_connection(sample).items()
-    }
+    cdfs = ctx.source.metric_cdfs("jitter_ms", "connection")
     headline = {}
     for name, cdf in cdfs.items():
         key = name.split()[0].split("/")[0].lower()

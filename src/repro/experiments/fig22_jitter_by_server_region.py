@@ -7,17 +7,11 @@ both cutoffs.
 
 from __future__ import annotations
 
-from repro.analysis.breakdowns import by_server_region
-from repro.analysis.cdf import Cdf
 from repro.experiments.base import JITTER_MS_GRID, Figure, cdf_figure
 
 
 def run(ctx):
-    sample = ctx.dataset.with_jitter()
-    cdfs = {
-        name: Cdf([j * 1000.0 for j in group.values("jitter_s")])
-        for name, group in by_server_region(sample).items()
-    }
+    cdfs = ctx.source.metric_cdfs("jitter_ms", "server_region")
     imperceptible = {name: cdf.at(50.0) for name, cdf in cdfs.items()}
     others = [v for name, v in imperceptible.items() if name != "Asia"]
     headline = {

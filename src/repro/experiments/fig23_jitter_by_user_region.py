@@ -6,17 +6,11 @@ limits, Asia next, Europe and North America comparable.
 
 from __future__ import annotations
 
-from repro.analysis.breakdowns import by_user_region
-from repro.analysis.cdf import Cdf
 from repro.experiments.base import JITTER_MS_GRID, Figure, cdf_figure
 
 
 def run(ctx):
-    sample = ctx.dataset.with_jitter()
-    cdfs = {
-        name: Cdf([j * 1000.0 for j in group.values("jitter_s")])
-        for name, group in by_user_region(sample).items()
-    }
+    cdfs = ctx.source.metric_cdfs("jitter_ms", "user_region")
     imperceptible = {name: cdf.at(50.0) for name, cdf in cdfs.items()}
     headline = {
         f"{name.split('/')[0].lower().replace(' ', '')}_imperceptible": value

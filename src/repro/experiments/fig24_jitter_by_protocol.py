@@ -5,8 +5,6 @@ Paper: both protocols provide nearly identical smoothness of playout.
 
 from __future__ import annotations
 
-from repro.analysis.breakdowns import by_protocol
-from repro.analysis.cdf import Cdf
 from repro.experiments.base import (
     JITTER_MS_GRID,
     Figure,
@@ -16,10 +14,11 @@ from repro.experiments.base import (
 
 
 def run(ctx):
-    sample = ctx.dataset.with_jitter()
     cdfs = {
-        name: Cdf([j * 1000.0 for j in group.values("jitter_s")])
-        for name, group in by_protocol(sample).items()
+        name: cdf
+        for name, cdf in ctx.source.metric_cdfs(
+            "jitter_ms", "protocol"
+        ).items()
         if name in ("TCP", "UDP")
     }
     if "TCP" not in cdfs or "UDP" not in cdfs:

@@ -8,21 +8,14 @@ acceptable).
 
 from __future__ import annotations
 
-from repro.analysis.breakdowns import by_bandwidth_bin
-from repro.analysis.cdf import Cdf
 from repro.experiments.base import JITTER_MS_GRID, Figure, cdf_figure
 
 BIN_ORDER = ("< 10K", "10K - 100K", "> 100K")
 
 
 def run(ctx):
-    sample = ctx.dataset.with_jitter()
-    groups = by_bandwidth_bin(sample)
-    cdfs = {
-        name: Cdf([j * 1000.0 for j in groups[name].values("jitter_s")])
-        for name in BIN_ORDER
-        if name in groups and len(groups[name]) > 0
-    }
+    groups = ctx.source.metric_cdfs("jitter_ms", "bandwidth_bin")
+    cdfs = {name: groups[name] for name in BIN_ORDER if name in groups}
     headline = {}
     if "> 100K" in cdfs:
         headline["high_bw_imperceptible"] = cdfs["> 100K"].at(50.0)

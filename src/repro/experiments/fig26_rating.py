@@ -6,7 +6,6 @@ their ratings, suggesting per-user mappings rather than a global one.
 
 from __future__ import annotations
 
-from repro.analysis.cdf import Cdf
 from repro.experiments.base import (
     RATING_GRID,
     Figure,
@@ -16,12 +15,11 @@ from repro.experiments.base import (
 
 
 def run(ctx):
-    rated = ctx.dataset.rated()
-    if not len(rated):
+    cdf = ctx.source.metric_cdf("rating")
+    if cdf is None:
         return empty_figure(
             "fig26", "CDF of Overall Quality", "no rated clips"
         )
-    cdf = Cdf(rated.values("rating"))
     # Uniformity check: max deviation of the CDF from the uniform line.
     deviation = max(
         abs(cdf.at(float(x)) - (x + 1) / 11.0) for x in range(11)
@@ -36,7 +34,7 @@ def run(ctx):
             "mean_rating": cdf.mean,
             "median_rating": cdf.median,
             "uniformity_deviation": deviation,
-            "rated_count": float(len(rated)),
+            "rated_count": float(len(cdf)),
         },
     )
 

@@ -7,18 +7,11 @@ as good as on DSL/Cable; DSL/Cable rates slightly better than T1/LAN
 
 from __future__ import annotations
 
-from repro.analysis.breakdowns import by_connection
-from repro.analysis.cdf import Cdf
 from repro.experiments.base import RATING_GRID, Figure, cdf_figure
 
 
 def run(ctx):
-    rated = ctx.dataset.rated()
-    cdfs = {
-        name: Cdf(group.values("rating"))
-        for name, group in by_connection(rated).items()
-        if len(group) > 0
-    }
+    cdfs = ctx.source.metric_cdfs("rating", "connection")
     means = {name: cdf.mean for name, cdf in cdfs.items()}
     headline = {
         "modem_mean": means.get("56k Modem", 0.0),

@@ -6,53 +6,29 @@ ratings at high bandwidth, and a slight upward trend.
 
 from __future__ import annotations
 
-from repro.analysis.stats import correlation, per_user_correlations
 from repro.experiments.base import ExperimentContext, Figure, FigureResult
-from repro.units import kbps
 
 
 def run(ctx: ExperimentContext) -> FigureResult:
-    rated = ctx.dataset.rated()
-    points = [
-        (r.measured_bandwidth_bps / 1000.0, float(r.rating)) for r in rated
-    ]
-    global_corr = (
-        correlation(
-            rated.values("measured_bandwidth_bps"), rated.values("rating")
-        )
-        if len(rated) >= 2
-        else 0.0
-    )
-    high_bw = rated.filter(
-        lambda r: r.measured_bandwidth_bps > kbps(300)
-    )
-    min_high_rating = (
-        min(high_bw.values("rating")) if len(high_bw) else -1
-    )
+    scatter = ctx.source.rating_scatter()
     # The per-user analysis the paper leaves as future work: strong
     # per-user relationships hide under the weak global one.
-    per_user = per_user_correlations(
-        rated, "measured_bandwidth_bps", "rating", min_points=4
-    )
-    mean_per_user = (
-        sum(per_user.values()) / len(per_user) if per_user else 0.0
-    )
     lines = [
         "Figure 28: quality rating vs network bandwidth",
-        f"  n = {len(rated)} rated clips",
-        f"  global correlation: {global_corr:.3f}",
-        f"  min rating at >300 Kbps: {min_high_rating}",
-        f"  mean per-user correlation ({len(per_user)} users): "
-        f"{mean_per_user:.3f}",
+        f"  n = {scatter.n} rated clips",
+        f"  global correlation: {scatter.global_correlation:.3f}",
+        f"  min rating at >300 Kbps: {scatter.min_rating_above_300k}",
+        f"  mean per-user correlation ({scatter.per_user_count} users): "
+        f"{scatter.mean_per_user_correlation:.3f}",
     ]
     return FigureResult(
         figure_id="fig28",
         title="Quality Rating vs. Network Bandwidth",
-        series={"rating_vs_kbps": points},
+        series={"rating_vs_kbps": scatter.points},
         headline={
-            "global_correlation": global_corr,
-            "min_rating_above_300k": float(min_high_rating),
-            "mean_per_user_correlation": mean_per_user,
+            "global_correlation": scatter.global_correlation,
+            "min_rating_above_300k": float(scatter.min_rating_above_300k),
+            "mean_per_user_correlation": scatter.mean_per_user_correlation,
         },
         text="\n".join(lines),
     )

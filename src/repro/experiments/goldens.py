@@ -62,6 +62,54 @@ def golden_context() -> ExperimentContext:
     return make_context(seed=GOLDEN_SEED, scale=GOLDEN_SCALE)
 
 
+def sketch_golden_context() -> ExperimentContext:
+    """Run the pinned golden study in streaming (sketch) mode.
+
+    The runtime shards the study, spills records out-of-core, and
+    merges per-shard :class:`~repro.analysis.streaming.StudyAggregates`
+    — the figure backend million-user studies use.  At golden scale
+    every sketch stays in its exact regime, so figures rendered from
+    this context must be byte-identical to :func:`golden_context` ones
+    (pinned by ``tests/test_figure_parity.py``).
+    """
+    from repro.core.study import StudyConfig
+    from repro.runtime import RuntimeConfig, run_study
+
+    result = run_study(
+        StudyConfig(
+            seed=GOLDEN_SEED, scale=GOLDEN_SCALE, aggregation="sketch"
+        ),
+        RuntimeConfig(workers=1),
+    )
+    return ExperimentContext(
+        aggregates=result.aggregates,
+        population=result.population,
+        seed=GOLDEN_SEED,
+        scale=GOLDEN_SCALE,
+    )
+
+
+def write_aggregate_goldens(
+    ctx: ExperimentContext, directory: str | Path
+) -> list[Path]:
+    """Compute every figure from a sketch-backed ``ctx`` and write one
+    ``figNN.aggregates.json`` golden per module.
+
+    These pin the aggregates-backed rendering path independently of the
+    ``figNN.json`` exact-path goldens (at golden scale the two must
+    carry identical numbers).
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    written = []
+    for figure in all_figures():
+        payload = figure_payload(figure.run(ctx))
+        path = directory / f"{figure.figure_id}.aggregates.json"
+        path.write_text(canonical_json(payload))
+        written.append(path)
+    return written
+
+
 def write_goldens(ctx: ExperimentContext, directory: str | Path) -> list[Path]:
     """Compute every figure from ``ctx`` and write one golden per module.
 

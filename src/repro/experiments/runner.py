@@ -5,6 +5,7 @@ Usage::
     python -m repro.experiments.runner [--scale 1.0] [--seed 2001]
         [--out results/] [--csv study.csv] [--workers 4]
         [--checkpoint-dir DIR] [--resume]
+        [--users 100000] [--aggregation exact|sketch]
 
 At scale 1.0 this reproduces the full campaign (~2,855 playbacks,
 around 15-25 minutes on a laptop — less with ``--workers``); smaller
@@ -12,6 +13,11 @@ scales simulate a proportional slice of each user's plays.  The study
 phase runs on `repro.runtime`, printing live plays/sec and an ETA, and
 (with a checkpoint directory) can be killed and resumed with
 ``--resume`` without re-simulating finished shards.
+
+``--aggregation sketch`` renders every figure from the streamed
+:class:`~repro.analysis.streaming.StudyAggregates` instead of an
+in-memory record list — pair with ``--users`` for populations that
+never fit in RAM.  See EXPERIMENTS.md for the exactness contract.
 """
 
 from __future__ import annotations
@@ -44,6 +50,15 @@ def main(argv: list[str] | None = None) -> int:
                         help="also write the raw dataset as CSV")
     parser.add_argument("--workers", type=int, default=1,
                         help="worker processes for the study run")
+    parser.add_argument("--users", type=int, default=None,
+                        help="population size: truncate below the paper's "
+                             "63 users, synthesize beyond it (same RNG-keyed "
+                             "expansion as `repro study --users`)")
+    parser.add_argument("--aggregation", choices=["exact", "sketch"],
+                        default="exact",
+                        help="'exact' collects every record in memory; "
+                             "'sketch' streams constant-memory aggregates "
+                             "and renders the figures from them")
     parser.add_argument("--checkpoint-dir", type=Path, default=None,
                         help="journal shard results here (enables --resume)")
     parser.add_argument("--resume", action="store_true",
@@ -66,7 +81,13 @@ def main(argv: list[str] | None = None) -> int:
             handle_signals=True,
         )
         result = run_study(
-            StudyConfig(seed=args.seed, scale=args.scale), runtime
+            StudyConfig(
+                seed=args.seed,
+                scale=args.scale,
+                max_users=args.users,
+                aggregation=args.aggregation,
+            ),
+            runtime,
         )
     except (ValueError, CheckpointError) as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -91,19 +112,34 @@ def main(argv: list[str] | None = None) -> int:
         print(f"WARNING: shards {list(result.failed_shards)} failed; "
               f"figures are computed without their records",
               file=sys.stderr)
-    ctx = ExperimentContext(
-        dataset=result.dataset,
-        population=result.population,
-        seed=args.seed,
-        scale=args.scale,
-    )
+    if args.aggregation == "sketch":
+        # Figures come straight from the merged aggregates; the record
+        # stream stays on disk and is only consulted for --csv.
+        ctx = ExperimentContext(
+            aggregates=result.aggregates,
+            population=result.population,
+            seed=args.seed,
+            scale=args.scale,
+        )
+    else:
+        ctx = ExperimentContext(
+            dataset=result.dataset,
+            population=result.population,
+            seed=args.seed,
+            scale=args.scale,
+        )
 
     args.out.mkdir(parents=True, exist_ok=True)
     if args.csv is not None:
-        ctx.dataset.to_csv(args.csv)
+        result.dataset.to_csv(args.csv)
     (args.out / "run_manifest.json").write_text(
         json.dumps(result.manifest, indent=2)
     )
+    if result.aggregates is not None:
+        (args.out / "aggregates.json").write_text(
+            json.dumps(result.aggregates.report(), indent=2,
+                       sort_keys=True) + "\n"
+        )
 
     summary = {}
     for figure in all_figures():

@@ -29,6 +29,7 @@ from __future__ import annotations
 import json
 from pathlib import Path
 
+from repro.analysis.streaming import AGGREGATES_FORMAT
 from repro.chaos.seam import IoSeam, default_seam
 from repro.core.records import StudyDataset
 from repro.core.spill import ShardSpill, SpillError
@@ -213,7 +214,17 @@ class CheckpointStore:
                 f"corrupt checkpoint spill for shard {shard_id}: has "
                 f"{spill.count} records, manifest journaled {expected}"
             )
-        return spill, entry["aggregates"]
+        aggregates = entry["aggregates"]
+        found_format = aggregates.get("format") if isinstance(
+            aggregates, dict
+        ) else None
+        if found_format != AGGREGATES_FORMAT:
+            raise CheckpointError(
+                f"shard {shard_id} aggregates journaled as format "
+                f"{found_format!r}, need {AGGREGATES_FORMAT}; "
+                "re-simulating"
+            )
+        return spill, aggregates
 
     def record_failure(
         self, shard_id: int, attempts: int, error: str

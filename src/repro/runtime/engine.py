@@ -38,7 +38,7 @@ from typing import Callable
 
 import tempfile
 
-from repro.analysis.streaming import StudyAggregates
+from repro.analysis.streaming import StudyAggregates, user_base_ranks
 from repro.chaos.plan import FaultPlan
 from repro.chaos.seam import IoSeam
 from repro.core.records import StudyDataset
@@ -450,6 +450,7 @@ def _run_serial(
     abandoned shard leaves only orphan batch files the next attempt
     overwrites."""
     streaming = spill_dir is not None
+    base_ranks = user_base_ranks(study.schedule()) if streaming else None
     for shard in pending:
         if stop.requested:
             return
@@ -464,7 +465,7 @@ def _run_serial(
 
         if streaming:
             writer = SpillWriter(spill_dir, shard.shard_id)
-            aggregates = StudyAggregates()
+            aggregates = StudyAggregates(user_base_rank=base_ranks)
 
             def on_record(record) -> None:
                 writer.add(record)

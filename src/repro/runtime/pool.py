@@ -48,7 +48,7 @@ from typing import Callable, Sequence
 
 from repro.chaos.plan import FaultPlan
 from repro.chaos.seam import WorkerFaults
-from repro.analysis.streaming import StudyAggregates
+from repro.analysis.streaming import StudyAggregates, user_base_ranks
 from repro.core.records import StudyDataset
 from repro.core.spill import ShardSpill, SpillError, SpillWriter
 from repro.core.study import Study, StudyConfig
@@ -178,7 +178,9 @@ def _shard_worker(
             # neither the worker nor the parent ever holds the shard's
             # records in memory.
             writer = SpillWriter(spill_dir, shard_id)
-            aggregates = StudyAggregates()
+            aggregates = StudyAggregates(
+                user_base_rank=user_base_ranks(study.schedule())
+            )
 
             def on_record(record) -> None:
                 writer.add(record)

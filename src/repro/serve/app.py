@@ -14,6 +14,7 @@ one request per connection (see `repro.serve.protocol`).  Endpoints::
     GET  /v1/jobs/{id}/study.csv   completed study's dataset
     GET  /v1/jobs/{id}/manifest    run/cache manifest (study or sweep)
     GET  /v1/jobs/{id}/report      sweep sensitivity report (json|text)
+    GET  /v1/jobs/{id}/figures     figure headlines (sketch-mode studies)
 
 Status mapping: created submissions answer 201 and duplicate
 submissions attach with 200 (same body either way — the job document);
@@ -185,6 +186,8 @@ class ReproService:
                     return self.job_manifest(job)
                 if tail == "report":
                     return self.sweep_report(request, job)
+                if tail == "figures":
+                    return self.study_figures(job)
         return error_response(404, f"no route for {method} {path}")
 
     # -- handlers -----------------------------------------------------------
@@ -289,6 +292,21 @@ class ReproService:
                 f"job {job.job_id} has no manifest yet (state {job.state})"
             )
         return json_response(200, manifest)
+
+    def study_figures(self, job: Job) -> bytes:
+        if job.kind != "study" or job.simulation is None:
+            raise ServeError(f"job {job.job_id} is not a study")
+        figures = job.simulation.figures
+        if figures is None:
+            raise ServeError(
+                f"job {job.job_id} has no figures (state {job.state}; "
+                "only aggregation='sketch' studies render them)"
+            )
+        return json_response(200, {
+            "job_id": job.job_id,
+            "config_hash": job.simulation.config_hash,
+            "figures": figures,
+        })
 
     def sweep_report(self, request: Request, job: Job) -> bytes:
         if job.kind != "sweep":

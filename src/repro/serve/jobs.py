@@ -35,12 +35,12 @@ import shutil
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 
 from repro.core.spill import SpilledDataset
 from repro.core.study import StudyConfig
-from repro.errors import ServeError
+from repro.errors import ServeError, StudyError
 from repro.runtime import RunTelemetry, RuntimeConfig, run_study
 from repro.serve.broker import SseBroker
 from repro.serve.scheduler import FairScheduler, QueueFull
@@ -60,6 +60,29 @@ TELEMETRY_INTERVAL_S = 0.25
 
 #: Fraction of plays lost to quarantine above which a study job fails.
 DEFAULT_QUARANTINE_THRESHOLD = 0.05
+
+
+def render_figure_summary(result, config: StudyConfig) -> dict:
+    """Render every paper figure from a streaming run's merged
+    aggregates (no record list is ever materialized) and return the
+    ``{figure_id: {"title", "headline"}}`` summary served at
+    ``/v1/jobs/{id}/figures`` and stored in the cache manifest."""
+    from repro.experiments.base import ExperimentContext, all_figures
+
+    ctx = ExperimentContext(
+        aggregates=result.aggregates,
+        population=result.population,
+        seed=config.seed,
+        scale=config.scale,
+    )
+    summary = {}
+    for figure in all_figures():
+        fig_result = figure.run(ctx)
+        summary[fig_result.figure_id] = {
+            "title": fig_result.title,
+            "headline": fig_result.headline,
+        }
+    return summary
 
 
 def estimate_plays(config: StudyConfig) -> int:
@@ -96,6 +119,8 @@ class Simulation:
     telemetry: dict | None = None
     #: The run manifest (simulated runs) or cache-entry manifest.
     manifest: dict | None = None
+    #: Streaming runs: figure headlines rendered from the aggregates.
+    figures: dict | None = None
     #: Jobs to notify on state changes/telemetry.
     watchers: list["Job"] = field(default_factory=list)
 
@@ -173,6 +198,11 @@ class Job:
         if self.kind == "study":
             links["csv"] = f"{base}/study.csv"
             links["manifest"] = f"{base}/manifest"
+            if (
+                self.simulation is not None
+                and self.simulation.config.aggregation == "sketch"
+            ):
+                links["figures"] = f"{base}/figures"
         else:
             links["report"] = f"{base}/report"
             links["manifest"] = f"{base}/manifest"
@@ -284,6 +314,17 @@ class JobManager:
         whether this call created it."""
         self._refuse_if_draining()
         config = StudyConfig.from_dict(config_data)  # StudyError -> 400
+        # `aggregation` is an execution knob excluded from the canonical
+        # hash (and therefore dropped by from_dict): re-apply it so a
+        # sketch-mode submission streams its records and renders
+        # figures.  Dedup stays mode-agnostic — the first submission's
+        # mode wins for an already-running job.
+        aggregation = config_data.get("aggregation", config.aggregation)
+        if aggregation != config.aggregation:
+            try:
+                config = replace(config, aggregation=aggregation)
+            except ValueError as exc:
+                raise StudyError(str(exc)) from exc
         config_hash = config.canonical_hash()
         job_id = _job_id("study", config_hash)
         existing = self.jobs.get(job_id)
@@ -414,6 +455,7 @@ class JobManager:
         sim.quarantined = tuple(outcome.get("quarantined", ()))
         sim.quarantined_fraction = outcome.get("quarantined_fraction", 0.0)
         sim.manifest = outcome.get("manifest")
+        sim.figures = outcome.get("figures")
         for key, value in outcome.get("cache_counters", {}).items():
             self.cache_counters[key] += value
         if outcome.get("simulated"):
@@ -438,6 +480,7 @@ class JobManager:
                     "records": int(manifest.get("records", 0)),
                     "elapsed_s": time.monotonic() - started,
                     "manifest": manifest,
+                    "figures": manifest.get("figures"),
                     "cache_counters": cache.counters(),
                 }
             return self._simulate(sim, cache, started)
@@ -519,6 +562,13 @@ class JobManager:
                     "shard_count": result.plan.shard_count,
                 },
             }
+            if result.aggregates is not None:
+                # Streaming runs ship their figure headlines with the
+                # cache entry so warm restarts serve them without
+                # re-running the study.
+                figures = render_figure_summary(result, sim.config)
+                extra["figures"] = figures
+                outcome["figures"] = figures
             if isinstance(result.dataset, SpilledDataset):
                 # Streaming (sketch) runs never materialize the CSV:
                 # chunks flow from the spill files into the cache entry

@@ -40,6 +40,22 @@ class TestParser:
         assert args.workers == 2
         assert args.resume
 
+    def test_figures_aggregation_args(self):
+        args = cli.build_parser().parse_args(["figures"])
+        assert args.aggregation == "exact"
+        assert args.users is None
+        args = cli.build_parser().parse_args(
+            ["figures", "--aggregation", "sketch", "--users", "500"]
+        )
+        assert args.aggregation == "sketch"
+        assert args.users == 500
+
+    def test_figures_rejects_unknown_aggregation(self):
+        with pytest.raises(SystemExit):
+            cli.build_parser().parse_args(
+                ["figures", "--aggregation", "bogus"]
+            )
+
     def test_sweep_args(self):
         args = cli.build_parser().parse_args(
             ["sweep", "--spec", "s.toml", "--workers", "3",
@@ -101,6 +117,64 @@ class TestStudyAndReport:
             [record(outcome="unavailable")]
         ).to_csv(path)
         assert cli.main(["report", "--csv", str(path)]) == 2
+
+
+class TestFiguresCommand:
+    def test_forwards_aggregation_and_users_to_runner(self, monkeypatch):
+        from repro.experiments import runner
+
+        captured = {}
+
+        def fake_main(argv):
+            captured["argv"] = argv
+            return 0
+
+        monkeypatch.setattr(runner, "main", fake_main)
+        code = cli.main([
+            "figures", "--seed", "9", "--scale", "0.03",
+            "--aggregation", "sketch", "--users", "40", "--quiet",
+        ])
+        assert code == 0
+        argv = captured["argv"]
+        assert argv[argv.index("--aggregation") + 1] == "sketch"
+        assert argv[argv.index("--users") + 1] == "40"
+        assert argv[argv.index("--seed") + 1] == "9"
+        assert argv[argv.index("--scale") + 1] == "0.03"
+        assert "--quiet" in argv
+
+    def test_exact_mode_forwards_no_users_flag(self, monkeypatch):
+        from repro.experiments import runner
+
+        captured = {}
+        monkeypatch.setattr(
+            runner, "main",
+            lambda argv: captured.setdefault("argv", argv) and 0 or 0,
+        )
+        assert cli.main(["figures", "--quiet"]) == 0
+        argv = captured["argv"]
+        assert argv[argv.index("--aggregation") + 1] == "exact"
+        assert "--users" not in argv
+
+    def test_sketch_figures_round_trip(self, tmp_path):
+        """End-to-end: ``repro figures --aggregation sketch`` renders
+        every figure and journals the merged aggregates."""
+        import json
+
+        out = tmp_path / "figs"
+        code = cli.main([
+            "figures", "--seed", "2001", "--scale", "0.01",
+            "--users", "12", "--aggregation", "sketch",
+            "--out", str(out), "--quiet",
+        ])
+        assert code == 0
+        summary = json.loads((out / "summary.json").read_text())
+        assert len(summary) == 26
+        assert (out / "fig11.txt").exists()
+        assert (out / "fig28.json").exists()
+        aggregates = json.loads((out / "aggregates.json").read_text())
+        assert aggregates["records"] > 0
+        manifest = json.loads((out / "run_manifest.json").read_text())
+        assert manifest["aggregation"] == "sketch"
 
 
 class TestSweepCommand:

@@ -142,6 +142,69 @@ class TestDegenerateDatasets:
         assert result.text
         assert all(isinstance(v, float) for v in result.headline.values())
 
+    @pytest.mark.parametrize(
+        "variant", sorted(_degenerate_variants()), ids=str
+    )
+    @pytest.mark.parametrize(
+        "figure", all_figures(), ids=lambda f: f.figure_id
+    )
+    def test_figure_survives_aggregates_backend(self, figure, variant):
+        """The same 26×7 matrix through the streaming backend: an
+        aggregates-backed context built from a degenerate record set
+        must degrade identically — honest ``n=0`` figures, never a
+        ``KeyError`` on a missing group or an empty-sketch query."""
+        from repro.analysis.streaming import StudyAggregates
+        from repro.rng import RngFactory
+        from repro.world.population import build_population
+
+        aggregates = StudyAggregates()
+        aggregates.add_many(_degenerate_variants()[variant])
+        aggregates.flush()
+        ctx = ExperimentContext(
+            aggregates=aggregates,
+            population=build_population(RngFactory(0), playlist_length=5),
+            seed=0,
+            scale=1.0,
+        )
+        result = figure.run(ctx)
+        assert isinstance(result, FigureResult)
+        assert result.text
+        assert all(isinstance(v, float) for v in result.headline.values())
+
+    @pytest.mark.parametrize(
+        "variant", sorted(_degenerate_variants()), ids=str
+    )
+    @pytest.mark.parametrize(
+        "figure", all_figures(), ids=lambda f: f.figure_id
+    )
+    def test_backends_agree_on_degenerate_datasets(self, figure, variant):
+        """Degenerate samples sit entirely in every sketch's exact
+        regime, so the two backends must render them byte-identically
+        — including which figures degrade to ``n=0`` and why."""
+        from repro.analysis.streaming import StudyAggregates
+        from repro.core.records import StudyDataset
+        from repro.rng import RngFactory
+        from repro.world.population import build_population
+
+        records = _degenerate_variants()[variant]
+        population = build_population(RngFactory(0), playlist_length=5)
+        exact_ctx = ExperimentContext(
+            dataset=StudyDataset(records),
+            population=population,
+            seed=0,
+            scale=1.0,
+        )
+        aggregates = StudyAggregates()
+        aggregates.add_many(records)
+        aggregates.flush()
+        sketch_ctx = ExperimentContext(
+            aggregates=aggregates,
+            population=population,
+            seed=0,
+            scale=1.0,
+        )
+        assert figure.run(sketch_ctx).text == figure.run(exact_ctx).text
+
     def test_empty_dataset_reports_n_zero(self):
         from repro.core.records import StudyDataset
         from repro.rng import RngFactory

@@ -62,7 +62,10 @@ def test_meta_matches_pinned_study(golden_ctx):
 
 
 def test_no_orphan_goldens():
-    known = {figure.figure_id for figure in FIGURES} | {"meta"}
+    figure_ids = {figure.figure_id for figure in FIGURES}
+    known = figure_ids | {"meta"} | {
+        f"{figure_id}.aggregates" for figure_id in figure_ids
+    }
     orphans = [
         path.name
         for path in GOLDEN_DIR.glob("*.json")

@@ -101,6 +101,33 @@ class TestStudyLifecycle:
         assert status == 200
         assert manifest["config_hash"] == doc["study"]["config_hash"]
 
+    def test_sketch_study_serves_figures(self, server):
+        """A sketch-mode study renders all 26 figure summaries from its
+        merged aggregates and links them; an exact-mode job refuses."""
+        # a seed no other test submits: `aggregation` is excluded from
+        # the canonical hash, so reusing TINY_CONFIG would dedup onto
+        # an already-run exact-mode simulation.
+        sketch_config = dict(TINY_CONFIG, seed=14, aggregation="sketch")
+        _status, doc = post_json(server.base, "/v1/studies", sketch_config)
+        job_id = doc["job_id"]
+        wait_for_state(server.base, job_id, ("done",))
+        status, doc = get_json(server.base, f"/v1/jobs/{job_id}")
+        assert doc["links"]["figures"] == f"/v1/jobs/{job_id}/figures"
+        status, payload = get_json(server.base, f"/v1/jobs/{job_id}/figures")
+        assert status == 200
+        figures = payload["figures"]
+        assert len(figures) == 26
+        assert figures["fig11"]["headline"]
+        assert figures["fig28"]["title"]
+
+        # exact-mode jobs have no figures endpoint payload
+        _status, doc = post_json(server.base, "/v1/studies", TINY_CONFIG)
+        wait_for_state(server.base, doc["job_id"], ("done",))
+        status, body = get_json(
+            server.base, f"/v1/jobs/{doc['job_id']}/figures"
+        )
+        assert status >= 400
+
 
 class TestSweepLifecycle:
     def test_sweep_submits_reports_and_dedupes_cells(self, server):
