@@ -1,0 +1,230 @@
+#!/usr/bin/env python
+"""Opt-in large-scale sketch-vs-exact parity check.
+
+The golden-scale parity battery (``tests/test_figure_parity.py``) pins
+the streaming figure backend byte-for-byte while every sketch is in
+its exact regime, and pins the collapsed regime on a 137-record study.
+This script stretches the same contract to million-user class sizes,
+where holding an exact oracle for the *full* record stream is exactly
+what the streaming backend exists to avoid:
+
+1. **Full streaming run** — ``--users`` synthesized users through
+   ``aggregation="sketch"`` (workers, spills, merged aggregates).
+   Asserts the pipeline holds at scale: every scheduled play lands in
+   the aggregates, all 29 figures render from sketches alone, every
+   headline number is finite.
+
+2. **Sampled-exact oracle** — every ``--sample-every``-th user of the
+   same population re-simulated serially in exact mode.  Because each
+   playback's RNG stream is keyed only by ``(seed, user_id,
+   position)``, these records are byte-identical to their full-run
+   counterparts, so the sample is a true subset of the stream, not an
+   approximation of it.
+
+3. **Collapsed-regime parity on the oracle** — the oracle's records
+   are streamed through deliberately tiny sketches
+   (``--oracle-exact-limit``), and figures rendered both ways.  The
+   assertions are the tolerance classes of
+   ``tests/test_figure_parity.py``: tally-derived numbers exact,
+   sketched values within 1% of magnitude, boolean verdicts in {0, 1},
+   at-threshold CDF fractions within the 0.30 atom bound.
+
+Usage (from the repo root)::
+
+    PYTHONPATH=src python scripts/parity_large.py \
+        --users 1000000 --scale 0.01 --workers 8
+
+The defaults target the million-user class and take hours; the
+``-m slow`` pytest wrapper (``tests/test_parity_large.py``) runs the
+same code at a CI-sized population.
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.analysis.streaming import StudyAggregates  # noqa: E402
+from repro.core.study import Study, StudyConfig  # noqa: E402
+from repro.experiments.base import ExperimentContext, all_figures  # noqa: E402
+
+#: Tolerance classes, mirroring tests/test_figure_parity.py (kept in
+#: lockstep: a key token added there must be added here too).
+BOOLEAN_KEYS = {"strictly_friendly", "comparable"}
+VALUE_TOKENS = {
+    "mean", "median", "max", "min", "kbps", "spread", "correlation",
+    "over",
+}
+TALLY_TOKENS = {
+    "n", "count", "counts", "countries", "states", "servers", "total",
+    "plays", "share", "none", "unavailable", "users", "clips",
+}
+
+
+def classify(key: str) -> str:
+    if key in BOOLEAN_KEYS:
+        return "boolean"
+    tokens = set(key.split("_"))
+    if tokens & VALUE_TOKENS:
+        return "value"
+    if tokens & TALLY_TOKENS:
+        return "tally"
+    return "other"
+
+
+def check_headline(figure_id: str, exact: dict, collapsed: dict,
+                   failures: list[str]) -> None:
+    if set(collapsed) != set(exact):
+        failures.append(
+            f"{figure_id}: headline keys diverged "
+            f"({sorted(set(collapsed) ^ set(exact))})"
+        )
+        return
+    for key, value in exact.items():
+        found = collapsed[key]
+        kind = classify(key)
+        label = f"{figure_id}.{key} ({kind}): sketch {found} vs {value}"
+        if not math.isfinite(found):
+            failures.append(label + " (non-finite)")
+        elif kind == "boolean":
+            if found not in (0.0, 1.0):
+                failures.append(label)
+        elif kind == "value":
+            if abs(found - value) > 0.01 * (1.0 + abs(value)):
+                failures.append(label)
+        elif kind == "tally":
+            if found != value:
+                failures.append(label)
+        else:
+            if abs(found - value) > 0.30 * (1.0 + abs(value)):
+                failures.append(label)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--users", type=int, default=1_000_000,
+                        help="full-run population size (synthesized)")
+    parser.add_argument("--scale", type=float, default=0.01,
+                        help="fraction of each user's plays simulated")
+    parser.add_argument("--seed", type=int, default=2001)
+    parser.add_argument("--scenario", default=None,
+                        help="run a named scenario (e.g. dash-abr) "
+                             "instead of the baseline world")
+    parser.add_argument("--workers", type=int, default=4,
+                        help="worker processes for the streaming run")
+    parser.add_argument("--sample-every", type=int, default=1000,
+                        help="oracle takes every Nth user of the "
+                             "population (serial exact re-simulation)")
+    parser.add_argument("--oracle-exact-limit", type=int, default=8,
+                        help="sketch exact_limit for the collapsed-"
+                             "regime oracle pass (small = collapsed)")
+    parser.add_argument("--quiet", action="store_true")
+    args = parser.parse_args(argv)
+
+    from repro.runtime import (
+        RuntimeConfig, ThrottledProgressPrinter, run_study,
+    )
+
+    config = StudyConfig(
+        seed=args.seed, scale=args.scale, max_users=args.users,
+        aggregation="sketch",
+    )
+    if args.scenario is not None:
+        from repro.world.scenarios import configured, get_scenario
+
+        config = configured(get_scenario(args.scenario), config)
+
+    failures: list[str] = []
+
+    # -- 1: the full streaming run -------------------------------------
+    if not args.quiet:
+        print(f"streaming run: {args.users} users, scale={args.scale}, "
+              f"workers={args.workers}...", flush=True)
+    result = run_study(
+        config,
+        RuntimeConfig(
+            workers=args.workers,
+            progress=None if args.quiet else ThrottledProgressPrinter(),
+        ),
+    )
+    aggregates = result.aggregates
+    if aggregates is None:
+        print("FAIL: streaming run produced no aggregates",
+              file=sys.stderr)
+        return 1
+    scheduled = result.plan.total_plays if result.plan is not None else None
+    report = aggregates.report()
+    if not args.quiet:
+        print(f"  {report['records']} records streamed", flush=True)
+    if scheduled is not None and report["records"] != scheduled:
+        failures.append(
+            f"streamed {report['records']} records, scheduled {scheduled}"
+        )
+    full_ctx = ExperimentContext(
+        aggregates=aggregates,
+        population=result.population,
+        seed=args.seed,
+        scale=args.scale,
+    )
+    figures = all_figures()
+    for figure in figures:
+        rendered = figure.run(full_ctx)
+        for key, value in rendered.headline.items():
+            if not math.isfinite(value):
+                failures.append(
+                    f"{figure.figure_id}.{key} non-finite at full scale"
+                )
+
+    # -- 2: the sampled-exact oracle -----------------------------------
+    study = Study(config)
+    sampled = [
+        user.user_id
+        for index, user in enumerate(study.population.users)
+        if index % args.sample_every == 0
+    ]
+    if not args.quiet:
+        print(f"oracle: re-simulating {len(sampled)} sampled users "
+              "serially (exact mode)...", flush=True)
+    dataset = study.run_users(sampled)
+
+    # -- 3: collapsed-regime parity over the oracle records ------------
+    oracle_sketch = StudyAggregates(exact_limit=args.oracle_exact_limit)
+    oracle_sketch.add_many(dataset)
+    oracle_sketch.flush()
+    exact_ctx = ExperimentContext(
+        dataset=dataset,
+        population=study.population,
+        seed=args.seed,
+        scale=args.scale,
+    )
+    collapsed_ctx = ExperimentContext(
+        aggregates=oracle_sketch,
+        population=study.population,
+        seed=args.seed,
+        scale=args.scale,
+    )
+    for figure in figures:
+        exact = figure.run(exact_ctx)
+        collapsed = figure.run(collapsed_ctx)
+        check_headline(
+            figure.figure_id, exact.headline, collapsed.headline, failures
+        )
+
+    if failures:
+        print(f"PARITY FAILURES ({len(failures)}):", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    if not args.quiet:
+        print(f"parity ok: {report['records']} streamed records, "
+              f"{len(sampled)}-user oracle, {len(figures)} figures "
+              "within collapsed-regime tolerance classes")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -3,9 +3,11 @@
 # included), a quick throughput benchmark, a tiny parallel study
 # through the repro.runtime engine (2 workers, checkpointed), a
 # streaming (sketch-mode) study over an expanded population plus the
-# memory-ceiling benchmark, the sketch-figures stage (all 26 figures
+# memory-ceiling benchmark, the sketch-figures stage (all 29 figures
 # rendered from streamed aggregates, headline JSON diffed against an
-# exact-mode run), a strict-mode validated study (every repro.validate invariant must
+# exact-mode run), the ABR stack smoke (a tiny dash-abr study with
+# figures + claim report, byte-stability diffed across backends),
+# a strict-mode validated study (every repro.validate invariant must
 # hold) plus the serial-vs-parallel oracle, the corrupted-checkpoint
 # resume tests, and a 2x2 scenario sweep through repro.sweep (first
 # run simulates + caches, rerun must be 100% cache hits with a
@@ -67,7 +69,7 @@ print(f"streaming smoke ok: {len(dataset)} records from 300 users, "
       f"{len(report['distributions'])} streamed distributions")
 EOF
 
-echo "== sketch figures smoke (26 figures, headline diff vs exact) =="
+echo "== sketch figures smoke (29 figures, headline diff vs exact) =="
 python -m repro.cli figures --seed 2001 --scale 0.02 \
     --out "$out/figs-exact" --quiet
 python -m repro.cli figures --seed 2001 --scale 0.02 \
@@ -79,7 +81,7 @@ from pathlib import Path
 out = Path(sys.argv[1])
 exact = json.loads((out / "figs-exact" / "summary.json").read_text())
 sketch = json.loads((out / "figs-sketch" / "summary.json").read_text())
-assert len(sketch) == 26, f"expected 26 figures, got {len(sketch)}"
+assert len(sketch) == 29, f"expected 29 figures, got {len(sketch)}"
 assert sketch == exact, "sketch-mode figure headlines drifted from exact"
 report = json.loads((out / "figs-sketch" / "aggregates.json").read_text())
 assert report["records"] > 0
@@ -88,6 +90,36 @@ assert not (out / "figs-exact" / "aggregates.json").exists(), (
 )
 print(f"figures smoke ok: {len(sketch)} figures byte-equal across "
       f"backends over {report['records']} streamed records")
+EOF
+
+echo "== ABR stack smoke (dash-abr study, figures, byte-stability) =="
+python -m repro.cli study --seed 2001 --scale 0.02 --scenario dash-abr \
+    --workers 2 --out "$out/abr.csv" --checkpoint-dir "$out/abr.ckpt" --quiet
+python -m repro.cli figures --seed 2001 --scale 0.02 --scenario dash-abr \
+    --out "$out/figs-abr" --quiet
+python -m repro.cli figures --seed 2001 --scale 0.02 --scenario dash-abr \
+    --aggregation sketch --out "$out/figs-abr-sketch" --quiet
+
+python - "$out" <<'EOF'
+import json, sys
+from pathlib import Path
+out = Path(sys.argv[1])
+from repro.core.records import StudyDataset
+from repro.experiments.claims import evaluate_claims
+dataset = StudyDataset.from_csv(out / "abr.csv")
+abr = [r for r in dataset if r.is_abr]
+assert abr, "dash-abr study produced no ABR records"
+assert all(r.protocol == "TCP" for r in abr)
+verdicts = evaluate_claims(dataset)
+assert len(verdicts) == 8
+exact = json.loads((out / "figs-abr" / "summary.json").read_text())
+sketch = json.loads((out / "figs-abr-sketch" / "summary.json").read_text())
+assert len(exact) == 29, f"expected 29 figures, got {len(exact)}"
+assert exact == sketch, "ABR figure headlines drifted across backends"
+assert exact["fig29"].get("n") != 0.0, "fig29 empty on a dash-abr study"
+print(f"abr smoke ok: {len(abr)} ABR records, 29 figures byte-equal "
+      f"across backends, claims: "
+      + ", ".join(f"{v.claim_id}={v.verdict}" for v in verdicts))
 EOF
 
 echo "== streaming memory ceiling (peak bounded by batch, not records) =="

@@ -1,0 +1,36 @@
+"""repro.abr — the modern DASH-style HTTP adaptive-streaming stack.
+
+A chunked HTTP/TCP segment server and buffer-based ABR client, with a
+BBR-style paced sender variant, runnable as first-class scenarios
+(``dash-abr``, ``dash-abr-bbr``) against the paper's 2001 RealVideo
+stack.  See ``docs/ABR.md``.
+"""
+
+from repro.abr.config import AbrConfig
+from repro.abr.client import AbrPlayer
+from repro.abr.controller import AbrController, ThroughputEstimator
+from repro.abr.messages import (
+    AbrManifest,
+    LevelInfo,
+    ManifestRequest,
+    ManifestResponse,
+    SegmentEnd,
+    SegmentRequest,
+)
+from repro.abr.server import AbrSession, SegmentServer, abr_ladder
+
+__all__ = [
+    "AbrConfig",
+    "AbrController",
+    "AbrManifest",
+    "AbrPlayer",
+    "AbrSession",
+    "LevelInfo",
+    "ManifestRequest",
+    "ManifestResponse",
+    "SegmentEnd",
+    "SegmentRequest",
+    "SegmentServer",
+    "ThroughputEstimator",
+    "abr_ladder",
+]

@@ -1,0 +1,79 @@
+"""Configuration of the DASH-style adaptive-streaming stack.
+
+One :class:`AbrConfig` travels inside
+:class:`~repro.core.realtracer.TracerConfig` the way the playout and
+session policies already do, so scenarios can flip the modern stack on
+per sweep cell while `StudyConfig.canonical_hash()` keeps working
+(every field is a plain scalar).
+
+The buffer thresholds follow the classic buffer-based controller
+shape: stay at the lowest rung until the initial buffer is built,
+track the throughput estimate in steady state, and probe one rung
+above the fit once the target buffer is comfortably full.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Pacing variants the segment sender supports.
+PACING_RENO = "reno"
+PACING_BBR = "bbr"
+
+
+@dataclass
+class AbrConfig:
+    """Knobs of the DASH-style ABR client and segment server."""
+
+    #: Run the DASH-ABR stack instead of the 2001 RealVideo stack.
+    enabled: bool = False
+    #: Sender pacing: ``"reno"`` (loss-based AIMD) or ``"bbr"``
+    #: (model-based pacing, no loss collapse).
+    pacing: str = PACING_RENO
+    #: Nominal media seconds per segment.
+    segment_duration_s: float = 2.0
+    #: Ladder rungs exposed by the segment server; the clip's
+    #: SureStream ladder is subsampled down to at most this many.
+    max_levels: int = 5
+    #: Below this buffer level the controller stays at the lowest rung.
+    initial_buffer_s: float = 5.0
+    #: At or above this buffer level the client pauses requesting and
+    #: the controller may probe one rung above the throughput fit.
+    target_buffer_s: float = 15.0
+    #: Fraction of the throughput estimate the chosen rung must fit in.
+    throughput_safety: float = 0.9
+    #: Harmonic-mean window over per-segment throughput samples.
+    throughput_window: int = 3
+
+    def __post_init__(self) -> None:
+        if self.pacing not in (PACING_RENO, PACING_BBR):
+            raise ValueError(
+                f"pacing must be {PACING_RENO!r} or {PACING_BBR!r}, "
+                f"got {self.pacing!r}"
+            )
+        if self.segment_duration_s <= 0:
+            raise ValueError(
+                "segment duration must be positive, got "
+                f"{self.segment_duration_s}"
+            )
+        if self.max_levels < 1:
+            raise ValueError(
+                f"ladder needs at least one level, got {self.max_levels}"
+            )
+        if self.initial_buffer_s < 0 or self.target_buffer_s < 0:
+            raise ValueError("buffer thresholds must be non-negative")
+        if self.target_buffer_s < self.initial_buffer_s:
+            raise ValueError(
+                f"target buffer {self.target_buffer_s}s is below the "
+                f"initial buffer {self.initial_buffer_s}s"
+            )
+        if not 0.0 < self.throughput_safety <= 1.0:
+            raise ValueError(
+                "throughput safety must be in (0, 1], got "
+                f"{self.throughput_safety}"
+            )
+        if self.throughput_window < 1:
+            raise ValueError(
+                "throughput window must be at least 1, got "
+                f"{self.throughput_window}"
+            )

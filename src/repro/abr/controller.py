@@ -1,0 +1,80 @@
+"""The buffer-based ABR controller with throughput fallback.
+
+Rate decisions follow the classic hybrid shape (the SNIPPETS exemplar
+and BOLA/buffer-based literature): the buffer level gates how
+aggressive the throughput fit may be —
+
+* below ``initial_buffer_s`` the controller stays on the lowest rung
+  (startup and panic regime),
+* between the thresholds it picks the highest rung fitting inside
+  ``throughput_safety ×`` the harmonic-mean throughput estimate,
+* at or above ``target_buffer_s`` it may probe one rung above the fit
+  (the buffer absorbs a mis-estimate).
+
+Everything is deterministic: the same sample sequence and buffer
+levels produce the same decisions.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Sequence
+
+from repro.abr.config import AbrConfig
+
+
+class ThroughputEstimator:
+    """Harmonic mean over the last ``window`` per-segment samples.
+
+    The harmonic mean is the standard DASH estimator choice: it is
+    dominated by the slow segments, which is what matters when the
+    next segment must not stall the buffer.
+    """
+
+    def __init__(self, window: int) -> None:
+        if window < 1:
+            raise ValueError(f"window must be at least 1, got {window}")
+        self._samples: deque[float] = deque(maxlen=window)
+
+    def add(self, bps: float) -> None:
+        """Record one per-segment throughput sample, bits/s."""
+        if bps > 0.0:
+            self._samples.append(bps)
+
+    def estimate(self) -> float:
+        """The harmonic-mean estimate, or 0.0 before any sample."""
+        if not self._samples:
+            return 0.0
+        return len(self._samples) / sum(1.0 / s for s in self._samples)
+
+
+class AbrController:
+    """Chooses the ladder rung for the next segment request."""
+
+    def __init__(self, config: AbrConfig, ladder_bps: Sequence[float]) -> None:
+        if not ladder_bps:
+            raise ValueError("controller needs at least one ladder rung")
+        self._config = config
+        self._ladder_bps = list(ladder_bps)
+
+    def choose(self, buffer_level_s: float, throughput_bps: float) -> int:
+        """The rung position for the next segment.
+
+        ``buffer_level_s`` is media seconds buffered ahead of the
+        playhead; ``throughput_bps`` the current estimate (0.0 before
+        the first sample).
+        """
+        config = self._config
+        top = len(self._ladder_bps) - 1
+        if buffer_level_s < config.initial_buffer_s:
+            return 0
+        if throughput_bps <= 0.0:
+            return 0
+        safe = config.throughput_safety * throughput_bps
+        fit = 0
+        for position, total_bps in enumerate(self._ladder_bps):
+            if total_bps <= safe:
+                fit = position
+        if buffer_level_s >= config.target_buffer_s:
+            return min(fit + 1, top)
+        return fit

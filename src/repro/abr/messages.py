@@ -1,0 +1,86 @@
+"""Message vocabulary of the DASH-style segment protocol.
+
+The control channel carries the HTTP request/response analogs
+(manifest fetch, per-segment GETs); the TCP data channel carries the
+segment bytes themselves, terminated by an in-band :class:`SegmentEnd`
+marker that arrives in order after the last media byte — the client
+uses it for per-segment throughput samples and end-of-stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+#: Wire size of the in-band segment-end marker, bytes.
+SEGMENT_END_BYTES = 40
+
+
+@dataclass(frozen=True)
+class LevelInfo:
+    """One rung of the manifest's bitrate ladder."""
+
+    #: Position in the ABR ladder (0 = lowest rate).
+    position: int
+    #: Index of the underlying SureStream encoding level.
+    level_index: int
+    total_bps: float
+    frame_rate: float
+
+
+@dataclass(frozen=True)
+class AbrManifest:
+    """What the client learns from the manifest (MPD analog)."""
+
+    clip_url: str
+    duration_s: float
+    segment_duration_s: float
+    segment_count: int
+    levels: tuple[LevelInfo, ...]
+
+
+@dataclass(frozen=True)
+class ManifestRequest:
+    """HTTP GET of the manifest; opens the session."""
+
+    clip_url: str
+    client_max_bps: float
+
+
+@dataclass(frozen=True)
+class ManifestResponse:
+    """Manifest response; carries the server-side session on success."""
+
+    ok: bool
+    manifest: AbrManifest | None = None
+    #: The server-side :class:`~repro.abr.server.AbrSession` (the SETUP
+    #: body analog: the client wires its data channel from it).
+    session: Any = None
+
+
+@dataclass(frozen=True)
+class SegmentRequest:
+    """HTTP GET of one media segment at one ladder rung."""
+
+    clip_url: str
+    segment_index: int
+    level_position: int
+
+
+@dataclass(frozen=True)
+class SegmentEnd:
+    """In-band end-of-segment marker, sent through the data channel."""
+
+    segment_index: int
+    level_position: int
+    level_index: int
+    total_bps: float
+    frame_rate: float
+    #: Nominal media span the segment covers, seconds.
+    media_start: float
+    media_end: float
+    #: Media/audio payload bytes of the segment (marker excluded).
+    payload_bytes: int
+    #: True on the clip's last segment.
+    eos: bool
+    final_media_time: float = 0.0

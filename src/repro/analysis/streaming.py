@@ -1,7 +1,7 @@
 """Streaming study aggregates: the sketch-mode analysis state.
 
 A :class:`StudyAggregates` consumes :class:`ClipRecord`\\ s one at a
-time and maintains everything the headline analyses *and the 26 paper
+time and maintains everything the headline analyses *and all 29
 figures* need — grouped quantile sketches for the distributional
 figures, streaming moments for the means, streaming co-moments for the
 jitter–bandwidth and rating correlations, outcome/protocol/geography
@@ -61,6 +61,11 @@ METRICS = (
     ("jitter_ms", "jitter_ms", "jitter"),
     ("initial_buffering_s", "initial_buffering_s", "played"),
     ("rating", "rating", "rated"),
+    # ABR QoE (DASH-style playbacks only; empty on the 2001 stack).
+    ("stall_count", "stall_count", "abr"),
+    ("stall_seconds", "stall_seconds", "abr"),
+    ("switch_count", "switch_count", "abr"),
+    ("mean_level", "mean_level", "abr"),
 )
 
 #: Grouping dimensions (record attributes); "all" is implicit.
@@ -81,7 +86,9 @@ HIGH_BANDWIDTH_BPS = kbps(300)
 #: fig28's per-user correlation minimum sample size.
 SCATTER_MIN_POINTS = 4
 
-AGGREGATES_FORMAT = 2
+#: Bumped to 3 when the ABR QoE metrics joined METRICS: older
+#: serialized aggregates lack their sketches and cannot be resumed.
+AGGREGATES_FORMAT = 3
 
 
 def _eligible(record: ClipRecord, rule: str) -> bool:
@@ -91,6 +98,8 @@ def _eligible(record: ClipRecord, rule: str) -> bool:
         return record.played and record.has_jitter_sample
     if rule == "rated":
         return record.rated
+    if rule == "abr":
+        return record.is_abr
     raise ValueError(f"unknown eligibility rule {rule!r}")
 
 

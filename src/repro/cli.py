@@ -6,6 +6,8 @@ Subcommands::
     repro study  --scale 0.1 --out study.csv [--seed 2001]
                  [--workers 4] [--resume] [--checkpoint-dir DIR]
                  [--users 100000] [--aggregation exact|sketch]
+                 [--scenario dash-abr]
+    repro scenarios [--json]
     repro report --csv study.csv [--plots]
     repro figures --scale 1.0 --out results/ [--workers 4] [--resume]
                  [--users 100000] [--aggregation exact|sketch]
@@ -96,6 +98,22 @@ def _cmd_study(args: argparse.Namespace) -> int:
 
     from repro.errors import CheckpointError
 
+    config = StudyConfig(
+        seed=args.seed,
+        scale=args.scale,
+        max_users=args.users,
+        aggregation=args.aggregation,
+    )
+    if args.scenario is not None:
+        from repro.errors import StudyError
+        from repro.world.scenarios import configured, get_scenario
+
+        try:
+            config = configured(get_scenario(args.scenario), config)
+        except StudyError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+
     checkpoint_dir = args.checkpoint_dir
     if checkpoint_dir is None:
         checkpoint_dir = Path(str(args.out) + ".ckpt")
@@ -107,15 +125,7 @@ def _cmd_study(args: argparse.Namespace) -> int:
             progress=None if args.quiet else ThrottledProgressPrinter(),
             handle_signals=True,
         )
-        result = run_study(
-            StudyConfig(
-                seed=args.seed,
-                scale=args.scale,
-                max_users=args.users,
-                aggregation=args.aggregation,
-            ),
-            runtime,
-        )
+        result = run_study(config, runtime)
     except (ValueError, CheckpointError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -387,6 +397,35 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_scenarios(args: argparse.Namespace) -> int:
+    """List the scenario registry: every named what-if world, with the
+    transport stack its playbacks run over."""
+    from repro.world.scenarios import SCENARIOS
+
+    rows = []
+    for scenario in SCENARIOS.values():
+        config = scenario.configure(StudyConfig())
+        abr = config.tracer.abr
+        if abr.enabled:
+            stack = f"HTTP/TCP DASH-ABR ({abr.pacing} pacing)"
+        else:
+            stack = "RTSP + RDT/UDP (TCP fallback)"
+        rows.append({
+            "name": scenario.name,
+            "description": scenario.description,
+            "stack": stack,
+        })
+    if args.json:
+        print(json.dumps(rows, indent=2))
+        return 0
+    name_w = max(len(r["name"]) for r in rows)
+    stack_w = max(len(r["stack"]) for r in rows)
+    for row in rows:
+        print(f"{row['name']:<{name_w}}  {row['stack']:<{stack_w}}  "
+              f"{row['description']}")
+    return 0
+
+
 def _cmd_figures(args: argparse.Namespace) -> int:
     from repro.experiments import runner
 
@@ -395,6 +434,8 @@ def _cmd_figures(args: argparse.Namespace) -> int:
                  "--aggregation", args.aggregation]
     if args.users is not None:
         forwarded += ["--users", str(args.users)]
+    if args.scenario is not None:
+        forwarded += ["--scenario", args.scenario]
     if args.checkpoint_dir is not None:
         forwarded += ["--checkpoint-dir", str(args.checkpoint_dir)]
     if args.resume:
@@ -438,6 +479,9 @@ def build_parser() -> argparse.ArgumentParser:
                             "streams shards to disk spills and folds "
                             "constant-memory quantile sketches, writing "
                             "<out>.aggregates.json")
+    study.add_argument("--scenario", default=None,
+                       help="run a named what-if scenario (see `repro "
+                            "scenarios`) instead of the baseline world")
     study.add_argument("--checkpoint-dir", type=Path, default=None,
                        help="shard journal directory (default: <out>.ckpt)")
     study.add_argument("--resume", action="store_true",
@@ -468,10 +512,22 @@ def build_parser() -> argparse.ArgumentParser:
                               "record list; 'sketch' renders them from "
                               "constant-memory streaming aggregates "
                               "(million-user studies)")
+    figures.add_argument("--scenario", default=None,
+                         help="run a named what-if scenario (see `repro "
+                              "scenarios`) instead of the baseline world")
     figures.add_argument("--checkpoint-dir", type=Path, default=None)
     figures.add_argument("--resume", action="store_true")
     figures.add_argument("--quiet", action="store_true")
     figures.set_defaults(func=_cmd_figures)
+
+    scenarios = sub.add_parser(
+        "scenarios",
+        help="list the what-if scenario registry (name, transport "
+             "stack, description)",
+    )
+    scenarios.add_argument("--json", action="store_true",
+                           help="machine-readable output")
+    scenarios.set_defaults(func=_cmd_scenarios)
 
     sweep = sub.add_parser(
         "sweep",

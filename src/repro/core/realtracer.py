@@ -18,6 +18,9 @@ from typing import Callable
 
 import numpy as np
 
+from repro.abr.client import AbrPlayer
+from repro.abr.config import AbrConfig
+from repro.abr.server import SegmentServer
 from repro.core.records import ClipRecord
 from repro.media.clip import VideoClip
 from repro.player.playout import PlayoutConfig
@@ -50,6 +53,8 @@ class TracerConfig:
     playout: PlayoutConfig = field(default_factory=PlayoutConfig)
     #: Server-side streaming policy.
     session: SessionConfig = field(default_factory=SessionConfig)
+    #: The modern DASH-style stack (off: the 2001 RealVideo stack).
+    abr: AbrConfig = field(default_factory=AbrConfig)
 
 
 #: Signature of the player factory (MediaTracer extension point).
@@ -113,9 +118,11 @@ class RealTracer:
         rate_it: bool = False,
     ) -> ClipRecord:
         """Play one clip for one user and return its record."""
-        if user.rtsp_blocked:
+        abr_enabled = self.config.abr.enabled
+        if user.rtsp_blocked and not abr_enabled:
             # The user's firewall drops RTSP outright (paper Section
             # IV); nothing to simulate — the attempt dies at setup.
+            # The DASH stack is plain HTTP and passes these firewalls.
             return self._blocked_record(user, site, clip)
         loop = EventLoop(
             strict=self.validation.enabled and self.validation.engine_strict
@@ -123,23 +130,41 @@ class RealTracer:
         path = self._paths.build(
             loop, user, site, rng, red_bottleneck=self.config.red_bottleneck
         )
-        server = RealServer(
-            loop=loop,
-            name=site.name,
-            clips={clip.url: clip},
-            availability=AvailabilityModel(site.unavailable_fraction),
-            rng=rng,
-            session_config=self.config.session,
-        )
         player_config = PlayerConfig(
             client_max_bps=user.client_max_bps,
             force_tcp=user.force_tcp,
             playout=self.config.playout,
             sample_timeline=self.config.sample_timeline,
         )
-        player = self._player_factory(
-            loop, path, server, clip.url, player_config, user.pc.profile
-        )
+        if abr_enabled:
+            segment_server = SegmentServer(
+                loop=loop,
+                name=site.name,
+                clips={clip.url: clip},
+                availability=AvailabilityModel(site.unavailable_fraction),
+                rng=rng,
+                config=self.config.abr,
+            )
+            player = AbrPlayer(
+                loop=loop,
+                path=path,
+                server=segment_server,
+                clip_url=clip.url,
+                config=player_config,
+                decoder_profile=user.pc.profile,
+            )
+        else:
+            server = RealServer(
+                loop=loop,
+                name=site.name,
+                clips={clip.url: clip},
+                availability=AvailabilityModel(site.unavailable_fraction),
+                rng=rng,
+                session_config=self.config.session,
+            )
+            player = self._player_factory(
+                loop, path, server, clip.url, player_config, user.pc.profile
+            )
         self.last_player = player
 
         path.start()
@@ -242,6 +267,12 @@ class RealTracer:
             if player.outcome is not None
             else PlaybackOutcome.CONTROL_FAILED.value
         )
+        # ABR QoE: only a session the segment server accepted reports a
+        # ladder position (stalls are the engine's rebuffer counters).
+        is_abr = (
+            stats.abr_mean_level >= 0.0
+            and outcome == PlaybackOutcome.PLAYED.value
+        )
         return ClipRecord(
             user_id=user.user_id,
             user_country=user.country.code,
@@ -273,5 +304,9 @@ class RealTracer:
             ),
             play_span_s=stats.play_span_s,
             cpu_utilization=stats.cpu_utilization,
+            stall_count=stats.rebuffer_count if is_abr else 0,
+            stall_seconds=stats.rebuffer_total_s if is_abr else 0.0,
+            switch_count=stats.abr_switch_count if is_abr else 0,
+            mean_level=stats.abr_mean_level if is_abr else -1.0,
             rating=rating,
         )

@@ -69,6 +69,17 @@ class ClipRecord:
     play_span_s: float
     cpu_utilization: float
 
+    # ABR QoE (DASH-style sessions only; defaults mark "not an ABR
+    # playback" so 2001-stack records and old CSVs load unchanged).
+    #: Playback stalls after playout started (== rebuffer_count for ABR).
+    stall_count: int = 0
+    #: Total stalled wall-clock seconds after playout started.
+    stall_seconds: float = 0.0
+    #: Ladder level switches during playback.
+    switch_count: int = 0
+    #: Time-weighted mean ladder level index, or -1.0 for non-ABR.
+    mean_level: float = -1.0
+
     #: User rating 0-10, or -1 when the clip was not rated.
     rating: int = -1
 
@@ -80,6 +91,11 @@ class ClipRecord:
     @property
     def rated(self) -> bool:
         return self.rating >= 0
+
+    @property
+    def is_abr(self) -> bool:
+        """The playback ran the DASH-style ABR stack (and played)."""
+        return self.played and self.mean_level >= 0.0
 
     @property
     def jitter_ms(self) -> float:

@@ -47,8 +47,16 @@ from repro.core.records import ClipRecord, _FLOAT_FIELDS, _INT_FIELDS
 #: Records buffered in memory per shard before a batch is flushed.
 DEFAULT_BATCH_SIZE = 8192
 
-#: Spill index schema version (bump on layout changes).
-SPILL_FORMAT = 1
+#: Spill index layout version (bump on index-structure changes).
+SPILL_FORMAT = 2
+
+#: Record schema version: bumped whenever :class:`ClipRecord` gains,
+#: loses, or reorders fields.  v1 was the pre-ABR record; v2 added the
+#: ABR QoE fields (stall_count, stall_seconds, switch_count,
+#: mean_level).  Spills written under a different schema are rejected
+#: at open time with a clear error instead of a numpy dtype mismatch
+#: deep in batch loading.
+RECORD_SCHEMA_VERSION = 2
 
 #: Unicode widths for the string fields.  Generous versus today's data
 #: (longest observed value is 24 chars) but enforced — see
@@ -201,6 +209,8 @@ class SpillWriter:
         self._finished = True
         index = {
             "format": SPILL_FORMAT,
+            "schema_version": RECORD_SCHEMA_VERSION,
+            "fields": list(_FIELD_NAMES),
             "shard_id": self.shard_id,
             "count": self._count,
             "batches": self._batches,
@@ -237,7 +247,24 @@ class ShardSpill:
         if index.get("format") != SPILL_FORMAT:
             raise SpillError(
                 f"unsupported spill format {index.get('format')!r} "
-                f"(expected {SPILL_FORMAT})"
+                f"(expected {SPILL_FORMAT}); the spill was written by "
+                "an older repro version and cannot be resumed — "
+                "re-simulate the shard"
+            )
+        if index.get("schema_version") != RECORD_SCHEMA_VERSION:
+            raise SpillError(
+                "spill record schema "
+                f"v{index.get('schema_version')!r} does not match this "
+                f"build's v{RECORD_SCHEMA_VERSION}; the ClipRecord "
+                "field set changed since the spill was written — "
+                "re-simulate the shard"
+            )
+        written = index.get("fields")
+        if written is not None and tuple(written) != _FIELD_NAMES:
+            raise SpillError(
+                "spill field list does not match ClipRecord: spill has "
+                f"{list(written)!r}, this build expects "
+                f"{list(_FIELD_NAMES)!r} — re-simulate the shard"
             )
         self.index = index
         self.shard_id = int(index["shard_id"])

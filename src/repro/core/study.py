@@ -16,6 +16,7 @@ import json
 from dataclasses import dataclass, field
 from typing import Callable, Iterable
 
+from repro.abr.config import AbrConfig
 from repro.core.realtracer import RealTracer, TracerConfig
 from repro.core.records import ClipRecord, StudyDataset
 from repro.core.submission import SubmissionSink
@@ -144,9 +145,14 @@ class StudyConfig:
             SessionConfig, dict(tracer_data.pop("session", {})),
             "tracer.session",
         )
+        abr = _dataclass_from_dict(
+            AbrConfig, dict(tracer_data.pop("abr", {})),
+            "tracer.abr",
+        )
         tracer = _dataclass_from_dict(
             TracerConfig,
-            {**tracer_data, "playout": playout, "session": session},
+            {**tracer_data, "playout": playout, "session": session,
+             "abr": abr},
             "tracer",
         )
         data.pop("validation", None)  # legacy payloads; never canonical

@@ -19,6 +19,9 @@ FPS_GRID = (1.0, 3.0, 5.0, 7.0, 10.0, 15.0, 20.0, 24.0, 30.0)
 JITTER_MS_GRID = (25.0, 50.0, 100.0, 300.0, 550.0, 1050.0, 2050.0, 3050.0)
 BANDWIDTH_KBPS_GRID = (10.0, 25.0, 50.0, 100.0, 150.0, 250.0, 350.0, 450.0, 600.0)
 RATING_GRID = tuple(float(x) for x in range(11))
+STALL_SECONDS_GRID = (0.0, 0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 40.0)
+SWITCH_COUNT_GRID = (0.0, 1.0, 2.0, 3.0, 5.0, 8.0, 12.0, 20.0)
+ABR_LEVEL_GRID = (0.0, 0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 3.5, 4.0)
 
 
 @dataclass
@@ -116,6 +119,9 @@ _FIGURE_MODULES = [
     "fig26_rating",
     "fig27_rating_by_connection",
     "fig28_rating_vs_bandwidth",
+    "fig29_abr_stalls",
+    "fig30_abr_switches",
+    "fig31_abr_level",
 ]
 
 

@@ -1,0 +1,40 @@
+"""Figure 29: CDF of ABR rebuffering (stall) time.
+
+Modern-stack extension (not in the 2001 paper): DASH-style playbacks
+trade the RealVideo stack's frame-rate degradation for discrete
+rebuffering stalls, the QoE currency of buffer-based ABR.  The figure
+is empty (n=0) for baseline studies that never enable the ABR stack.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.base import (
+    STALL_SECONDS_GRID,
+    Figure,
+    cdf_figure,
+    empty_figure,
+)
+
+
+def run(ctx):
+    cdf = ctx.source.metric_cdf("stall_seconds")
+    counts = ctx.source.metric_cdf("stall_count")
+    if cdf is None or counts is None:
+        return empty_figure(
+            "fig29", "CDF of ABR Stall Time", "no ABR playbacks"
+        )
+    return cdf_figure(
+        "fig29",
+        "CDF of ABR Stall Time",
+        {"all ABR clips": cdf},
+        STALL_SECONDS_GRID,
+        "s",
+        headline={
+            "fraction_stall_free": counts.at(0.0),
+            "median_stall_seconds": cdf.median,
+            "median_stall_count": counts.median,
+        },
+    )
+
+
+FIGURE = Figure("fig29", "CDF of ABR Stall Time", run)

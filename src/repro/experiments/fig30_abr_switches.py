@@ -1,0 +1,39 @@
+"""Figure 30: CDF of ABR quality switches per playback.
+
+Modern-stack extension (not in the 2001 paper): how often the
+buffer-based controller moved between ladder rungs during one
+playback.  Frequent oscillation is the classic failure mode of pure
+throughput-rule ABR; the buffer thresholds are meant to damp it.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.base import (
+    SWITCH_COUNT_GRID,
+    Figure,
+    cdf_figure,
+    empty_figure,
+)
+
+
+def run(ctx):
+    cdf = ctx.source.metric_cdf("switch_count")
+    if cdf is None:
+        return empty_figure(
+            "fig30", "CDF of ABR Quality Switches", "no ABR playbacks"
+        )
+    return cdf_figure(
+        "fig30",
+        "CDF of ABR Quality Switches",
+        {"all ABR clips": cdf},
+        SWITCH_COUNT_GRID,
+        "switches",
+        headline={
+            "fraction_no_switch": cdf.at(0.0),
+            "median_switches": cdf.median,
+            "fraction_many_switches": cdf.fraction_at_least(8.0),
+        },
+    )
+
+
+FIGURE = Figure("fig30", "CDF of ABR Quality Switches", run)

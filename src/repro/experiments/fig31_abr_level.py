@@ -1,0 +1,39 @@
+"""Figure 31: CDF of the time-weighted mean ABR ladder level.
+
+Modern-stack extension (not in the 2001 paper): where on the bitrate
+ladder playbacks actually spent their time (0 = lowest rung).  The
+modern analogue of the paper's bandwidth CDFs — a session pinned at
+rung 0 is the DASH equivalent of a thinned 10 fps RealVideo stream.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.base import (
+    ABR_LEVEL_GRID,
+    Figure,
+    cdf_figure,
+    empty_figure,
+)
+
+
+def run(ctx):
+    cdf = ctx.source.metric_cdf("mean_level")
+    if cdf is None:
+        return empty_figure(
+            "fig31", "CDF of Mean ABR Ladder Level", "no ABR playbacks"
+        )
+    return cdf_figure(
+        "fig31",
+        "CDF of Mean ABR Ladder Level",
+        {"all ABR clips": cdf},
+        ABR_LEVEL_GRID,
+        "level",
+        headline={
+            "fraction_pinned_lowest": cdf.at(0.0),
+            "median_mean_level": cdf.median,
+            "fraction_top_half": cdf.fraction_at_least(2.0),
+        },
+    )
+
+
+FIGURE = Figure("fig31", "CDF of Mean ABR Ladder Level", run)

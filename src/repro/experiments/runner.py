@@ -54,6 +54,9 @@ def main(argv: list[str] | None = None) -> int:
                         help="population size: truncate below the paper's "
                              "63 users, synthesize beyond it (same RNG-keyed "
                              "expansion as `repro study --users`)")
+    parser.add_argument("--scenario", default=None,
+                        help="run a named what-if scenario (see `repro "
+                             "scenarios`) instead of the baseline world")
     parser.add_argument("--aggregation", choices=["exact", "sketch"],
                         default="exact",
                         help="'exact' collects every record in memory; "
@@ -65,6 +68,22 @@ def main(argv: list[str] | None = None) -> int:
                         help="skip shards already in the checkpoint dir")
     parser.add_argument("--quiet", action="store_true")
     args = parser.parse_args(argv)
+
+    config = StudyConfig(
+        seed=args.seed,
+        scale=args.scale,
+        max_users=args.users,
+        aggregation=args.aggregation,
+    )
+    if args.scenario is not None:
+        from repro.errors import StudyError
+        from repro.world.scenarios import configured, get_scenario
+
+        try:
+            config = configured(get_scenario(args.scenario), config)
+        except StudyError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
 
     checkpoint_dir = args.checkpoint_dir
     if checkpoint_dir is None and args.resume:
@@ -80,15 +99,7 @@ def main(argv: list[str] | None = None) -> int:
             progress=None if args.quiet else ThrottledProgressPrinter(),
             handle_signals=True,
         )
-        result = run_study(
-            StudyConfig(
-                seed=args.seed,
-                scale=args.scale,
-                max_users=args.users,
-                aggregation=args.aggregation,
-            ),
-            runtime,
-        )
+        result = run_study(config, runtime)
     except (ValueError, CheckpointError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

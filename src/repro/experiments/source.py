@@ -45,6 +45,11 @@ _METRICS = {
     "bandwidth_kbps": ("played", "bandwidth_bps"),
     "jitter_ms": ("jitter", "jitter_ms"),
     "rating": ("rated", "rating"),
+    # ABR QoE metrics (DASH-style playbacks only).
+    "stall_count": ("abr", "stall_count"),
+    "stall_seconds": ("abr", "stall_seconds"),
+    "switch_count": ("abr", "switch_count"),
+    "mean_level": ("abr", "mean_level"),
 }
 
 #: kbps metrics divide the stored bps values by this at CDF build time.
@@ -101,6 +106,8 @@ class DatasetSource:
                 subset = self._dataset.with_jitter()
             elif rule == "rated":
                 subset = self._dataset.rated()
+            elif rule == "abr":
+                subset = self._dataset.filter(lambda r: r.is_abr)
             else:
                 raise KeyError(f"unknown eligibility rule {rule!r}")
             self._subsets[rule] = subset
@@ -121,6 +128,14 @@ class DatasetSource:
             return Cdf([j * 1000.0 for j in subset.values("jitter_s")])
         if metric == "rating":
             return Cdf(subset.values("rating"))
+        if metric == "stall_count":
+            return Cdf(subset.values("stall_count"))
+        if metric == "stall_seconds":
+            return Cdf(subset.values("stall_seconds"))
+        if metric == "switch_count":
+            return Cdf(subset.values("switch_count"))
+        if metric == "mean_level":
+            return Cdf(subset.values("mean_level"))
         raise KeyError(f"unknown figure metric {metric!r}")
 
     # -- distributions ------------------------------------------------------

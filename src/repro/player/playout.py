@@ -117,6 +117,18 @@ class PlayoutEngine:
     def mark_eos(self, final_media_time: float) -> None:
         """The server announced the end of the stream."""
         self._eos_media_time = final_media_time
+        # Once the buffer holds media up to the end of the stream,
+        # nothing more will ever arrive: start (or resume) immediately
+        # instead of waiting out prebuffer thresholds a clip shorter
+        # than the prebuffer can never satisfy.
+        if self.buffer.peek() is None:
+            return
+        if self.buffer.newest_media_time < final_media_time - 0.5:
+            return
+        if self.state is PlaybackState.BUFFERING:
+            self._start_playout()
+        elif self.state is PlaybackState.REBUFFERING:
+            self._maybe_resume(cap_reached=True)
 
     def stop(self) -> None:
         """Stop playback (tracer timeout or user stop)."""

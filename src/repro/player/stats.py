@@ -60,6 +60,13 @@ class ClipStats:
     #: Mean decode CPU utilization.
     cpu_utilization: float = 0.0
 
+    #: ABR ladder switches between consecutive segment requests
+    #: (DASH-style playbacks only; 0 for the 2001 stack).
+    abr_switch_count: int = 0
+    #: Time-weighted mean ABR ladder position served, or -1.0 when the
+    #: playback did not run the ABR stack.
+    abr_mean_level: float = -1.0
+
     #: One-second samples for timeline figures.
     samples: list[BandwidthSample] = field(default_factory=list)
 

@@ -332,6 +332,9 @@ def validate_record(ledger: ValidationLedger, record: "ClipRecord") -> None:
         ("encoded_frame_rate", record.encoded_frame_rate),
         ("measured_frame_rate", record.measured_frame_rate),
         ("cpu_utilization", record.cpu_utilization),
+        ("stall_count", record.stall_count),
+        ("stall_seconds", record.stall_seconds),
+        ("switch_count", record.switch_count),
     )
     for name, value in non_negative:
         ledger.check(
@@ -384,6 +387,18 @@ def validate_record(ledger: ValidationLedger, record: "ClipRecord") -> None:
             "record.frame_rate_nominal_cap",
             f"{record.user_id}/{record.clip_url}: "
             f"fps={record.measured_frame_rate} > cap={NOMINAL_FPS_CAP}",
+        )
+    ledger.check(
+        record.mean_level >= 0.0 or record.mean_level == -1.0,
+        "record.abr_mean_level_domain",
+        f"{record.user_id}/{record.clip_url}: mean_level={record.mean_level}",
+    )
+    if not record.played:
+        ledger.check(
+            record.mean_level == -1.0,
+            "record.unplayed_is_not_abr",
+            f"{record.user_id}/{record.clip_url}: outcome={record.outcome} "
+            f"but mean_level={record.mean_level}",
         )
     if record.frames_displayed < 3:
         ledger.check(

@@ -15,6 +15,7 @@ from typing import Callable
 
 import numpy as np
 
+from repro.abr.config import AbrConfig
 from repro.core.study import Study, StudyConfig
 from repro.errors import StudyError
 from repro.player.playout import PlayoutConfig
@@ -78,6 +79,23 @@ def _small_buffer(config: StudyConfig) -> StudyConfig:
     return replace(config, tracer=tracer)
 
 
+def _dash_abr(config: StudyConfig) -> StudyConfig:
+    """The modern DASH-style stack: chunked HTTP over TCP with
+    buffer-based ABR, classic Reno congestion control."""
+    playout = PlayoutConfig(prebuffer_media_s=5.0, rebuffer_media_s=5.0)
+    abr = AbrConfig(enabled=True, pacing="reno")
+    tracer = replace(config.tracer, playout=playout, abr=abr)
+    return replace(config, tracer=tracer)
+
+
+def _dash_abr_bbr(config: StudyConfig) -> StudyConfig:
+    """The DASH stack with a BBR-style paced sender instead of Reno."""
+    playout = PlayoutConfig(prebuffer_media_s=5.0, rebuffer_media_s=5.0)
+    abr = AbrConfig(enabled=True, pacing="bbr")
+    tracer = replace(config.tracer, playout=playout, abr=abr)
+    return replace(config, tracer=tracer)
+
+
 def _red_queues(config: StudyConfig) -> StudyConfig:
     """RED instead of drop-tail at every wide-area bottleneck."""
     return replace(config, tracer=replace(config.tracer, red_bottleneck=True))
@@ -126,6 +144,20 @@ SMALL_BUFFER = Scenario(
     repopulate=_identity_population,
 )
 
+DASH_ABR = Scenario(
+    name="dash-abr",
+    description="Modern DASH-style ABR over TCP Reno (chunked HTTP).",
+    configure=_dash_abr,
+    repopulate=_identity_population,
+)
+
+DASH_ABR_BBR = Scenario(
+    name="dash-abr-bbr",
+    description="DASH-style ABR over a BBR-style paced TCP sender.",
+    configure=_dash_abr_bbr,
+    repopulate=_identity_population,
+)
+
 RED_QUEUES = Scenario(
     name="red-queues",
     description="RED active queue management at the bottlenecks.",
@@ -147,6 +179,8 @@ SCENARIOS: dict[str, Scenario] = {
         ALL_BROADBAND,
         NO_SURESTREAM,
         SMALL_BUFFER,
+        DASH_ABR,
+        DASH_ABR_BBR,
         RED_QUEUES,
         NO_MASSACHUSETTS,
     )

@@ -168,9 +168,10 @@ class TestFiguresCommand:
         ])
         assert code == 0
         summary = json.loads((out / "summary.json").read_text())
-        assert len(summary) == 26
+        assert len(summary) == 29
         assert (out / "fig11.txt").exists()
         assert (out / "fig28.json").exists()
+        assert (out / "fig31.json").exists()
         aggregates = json.loads((out / "aggregates.json").read_text())
         assert aggregates["records"] > 0
         manifest = json.loads((out / "run_manifest.json").read_text())
@@ -278,3 +279,69 @@ class TestChaosCommand:
         empty.write_text(json.dumps({"name": "void", "faults": []}))
         assert cli.main(["chaos", "--plan", str(empty)]) == 2
         assert "no faults" in capsys.readouterr().err
+
+
+class TestScenariosCommand:
+    def test_lists_every_scenario_with_stack(self, capsys):
+        from repro.world.scenarios import SCENARIOS
+
+        assert cli.main(["scenarios"]) == 0
+        out = capsys.readouterr().out
+        for name in SCENARIOS:
+            assert name in out
+        assert "HTTP/TCP DASH-ABR (reno pacing)" in out
+        assert "HTTP/TCP DASH-ABR (bbr pacing)" in out
+        assert "RTSP + RDT/UDP (TCP fallback)" in out
+
+    def test_json_round_trips_the_registry(self, capsys):
+        import json
+
+        from repro.world.scenarios import SCENARIOS
+
+        assert cli.main(["scenarios", "--json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert [row["name"] for row in rows] == list(SCENARIOS)
+        stacks = {row["name"]: row["stack"] for row in rows}
+        assert stacks["baseline"] == "RTSP + RDT/UDP (TCP fallback)"
+        assert stacks["dash-abr"] == "HTTP/TCP DASH-ABR (reno pacing)"
+        assert stacks["dash-abr-bbr"] == "HTTP/TCP DASH-ABR (bbr pacing)"
+        assert all(row["description"] for row in rows)
+
+
+class TestModernStackSweep:
+    def test_three_stacks_compared_with_claims(self, tmp_path, capsys):
+        """A shrunken examples/sweeps/modern_stack.toml: the 2001
+        stack and both DASH-ABR pacing variants through one sweep,
+        with C1-C8 re-evaluated per cell against the baseline."""
+        import json
+
+        spec_path = tmp_path / "modern.json"
+        spec_path.write_text(json.dumps({
+            "name": "modern-tiny",
+            "scenarios": ["baseline", "dash-abr", "dash-abr-bbr"],
+            "seeds": [13],
+            "scales": [0.15],
+            "overrides": {"max_users": [6], "playlist_length": [8]},
+        }))
+        report_path = tmp_path / "report.json"
+        assert cli.main([
+            "sweep", "--spec", str(spec_path),
+            "--cache-dir", str(tmp_path / "cache"),
+            "--report", str(report_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "3 simulated, 0 from cache" in out
+        payload = json.loads(report_path.read_text())
+        cells = {c["cell_id"]: c for c in payload["cells"]}
+        assert len(cells) == 3
+        baseline = cells["baseline@s13x0.15+max_users=6+playlist_length=8"]
+        assert baseline["is_baseline"] is True
+        for cell_id, cell in cells.items():
+            assert len(cell["claims"]) == 8
+            verdicts = {
+                c["claim_id"]: c["verdict"] for c in cell["claims"]
+            }
+            if "dash-abr" in cell_id:
+                # TCP-only by construction: the protocol-mix claim
+                # cannot be judged on a DASH cell.
+                assert verdicts["C4"] == "n/a"

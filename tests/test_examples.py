@@ -60,3 +60,19 @@ class TestCheapEntryPoints:
             u.connection.name != "56k Modem" for u in population.users
         )
         assert population.playlist_length == 98
+
+
+class TestShippedSweepSpecs:
+    def test_modern_stack_spec_expands_three_stacks(self):
+        from repro.sweep.spec import load_spec
+
+        spec = load_spec(EXAMPLES / "sweeps" / "modern_stack.toml")
+        assert spec.name == "modern-stack"
+        assert spec.scenarios == ("baseline", "dash-abr", "dash-abr-bbr")
+        cells = spec.cells()
+        assert len(cells) == 6
+        assert spec.baseline_cell().scenario == "baseline"
+        # Every cell resolves to a runnable StudyConfig.
+        for cell in cells:
+            config = cell.study_config()
+            assert config.scenario == cell.scenario

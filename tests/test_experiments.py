@@ -17,13 +17,13 @@ def tiny_ctx() -> ExperimentContext:
 
 
 class TestRegistry:
-    def test_all_26_figures_registered(self):
+    def test_all_29_figures_registered(self):
         figures = all_figures()
-        assert len(figures) == 26
+        assert len(figures) == 29
         ids = [figure.figure_id for figure in figures]
-        assert len(set(ids)) == 26
+        assert len(set(ids)) == 29
         assert ids[0] == "fig01"
-        assert ids[-1] == "fig28"
+        assert ids[-1] == "fig31"
 
     def test_figures_in_paper_order(self):
         ids = [figure.figure_id for figure in all_figures()]
@@ -109,6 +109,21 @@ def _degenerate_variants():
         "single-unrated-tcp": [record(protocol="TCP", rating=-1)],
         "control-failures-only": [
             record(outcome="control_failed", rating=-1, protocol="")
+            for _ in range(2)
+        ],
+        # ABR degenerates: an all-stall DASH session (zero throughput:
+        # nothing ever rendered, every second rebuffered) and one
+        # pinned to a single ladder rung with no switches.
+        "abr-all-stall": [
+            record(protocol="TCP", rating=-1, frames_displayed=0,
+                   measured_frame_rate=0.0, measured_bandwidth_bps=0.0,
+                   stall_count=3, stall_seconds=60.0, switch_count=0,
+                   mean_level=0.0)
+            for _ in range(3)
+        ],
+        "abr-one-level": [
+            record(protocol="TCP", rating=-1, stall_count=0,
+                   stall_seconds=0.0, switch_count=0, mean_level=0.0)
             for _ in range(2)
         ],
     }

@@ -315,7 +315,7 @@ def test_collapsed_tally_series_exact(figure, exact_ctx, collapsed_ctx):
 
 def test_sketch_mode_never_constructs_study_dataset(monkeypatch):
     """The acceptance invariant: ``aggregation="sketch"`` renders all
-    26 figures end-to-end without ever materializing a
+    29 figures end-to-end without ever materializing a
     ``StudyDataset`` — pinned by making its constructor explode."""
     import repro.core.records as records
     from repro.core.study import StudyConfig

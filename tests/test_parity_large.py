@@ -1,0 +1,70 @@
+"""Opt-in (``-m slow``) wrapper for the large-scale parity script.
+
+``scripts/parity_large.py`` stretches the sketch-vs-exact contract to
+synthesized populations: a streaming (sketch-mode) run over an
+expanded population, a sampled-exact serial oracle over the same
+population, and the collapsed-regime tolerance classes of
+``tests/test_figure_parity.py`` asserted over every figure headline.
+Tier-1 never runs this (minutes, not seconds); CI or a release check
+opts in with ``pytest -m slow``.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+SCRIPTS = Path(__file__).resolve().parent.parent / "scripts"
+
+
+def _load_parity_large():
+    spec = importlib.util.spec_from_file_location(
+        "parity_large", SCRIPTS / "parity_large.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.slow
+class TestLargeScaleParity:
+    def test_baseline_million_user_class(self):
+        """The script's three stages pass at a CI-sized slice of the
+        million-user configuration: an expanded synthesized population
+        in sketch mode, a sampled serial oracle, and the collapsed-
+        regime tolerance classes over all 29 figures."""
+        module = _load_parity_large()
+        code = module.main([
+            "--users", "400", "--scale", "0.02", "--workers", "2",
+            "--sample-every", "5", "--oracle-exact-limit", "8",
+            "--quiet",
+        ])
+        assert code == 0
+
+    def test_dash_abr_population(self):
+        """The same battery over the modern stack: ABR QoE sketches
+        (fig29-31) must hold the tolerance classes too."""
+        module = _load_parity_large()
+        code = module.main([
+            "--users", "150", "--scale", "0.02", "--workers", "2",
+            "--scenario", "dash-abr", "--sample-every", "3",
+            "--oracle-exact-limit", "8", "--quiet",
+        ])
+        assert code == 0
+
+
+class TestToleranceClassesInLockstep:
+    """Cheap tier-1 guard: the script's tolerance-class tables must
+    stay identical to the parity battery's (same keys, same tokens)."""
+
+    def test_classification_tables_match(self):
+        from tests import test_figure_parity as battery
+
+        module = _load_parity_large()
+        assert module.BOOLEAN_KEYS == battery._BOOLEAN_KEYS
+        assert module.VALUE_TOKENS == battery._VALUE_TOKENS
+        assert module.TALLY_TOKENS == battery._TALLY_TOKENS

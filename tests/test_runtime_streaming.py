@@ -120,6 +120,7 @@ class TestAggregates:
         assert set(report["distributions"]) == {
             "frame_rate_fps", "bandwidth_bps", "jitter_ms",
             "initial_buffering_s", "rating",
+            "stall_count", "stall_seconds", "switch_count", "mean_level",
         }
         bandwidth = report["distributions"]["bandwidth_bps"]
         assert bandwidth["n"] > 0

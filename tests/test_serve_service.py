@@ -102,7 +102,7 @@ class TestStudyLifecycle:
         assert manifest["config_hash"] == doc["study"]["config_hash"]
 
     def test_sketch_study_serves_figures(self, server):
-        """A sketch-mode study renders all 26 figure summaries from its
+        """A sketch-mode study renders all 29 figure summaries from its
         merged aggregates and links them; an exact-mode job refuses."""
         # a seed no other test submits: `aggregation` is excluded from
         # the canonical hash, so reusing TINY_CONFIG would dedup onto
@@ -116,7 +116,7 @@ class TestStudyLifecycle:
         status, payload = get_json(server.base, f"/v1/jobs/{job_id}/figures")
         assert status == 200
         figures = payload["figures"]
-        assert len(figures) == 26
+        assert len(figures) == 29
         assert figures["fig11"]["headline"]
         assert figures["fig28"]["title"]
 

@@ -25,6 +25,7 @@ class TestDefinitions:
         assert set(SCENARIOS) == {
             "baseline", "all-broadband", "no-surestream",
             "small-buffer", "red-queues", "no-massachusetts",
+            "dash-abr", "dash-abr-bbr",
         }
 
     def test_get_scenario_by_name(self):
