@@ -13,8 +13,10 @@
 # run simulates + caches, rerun must be 100% cache hits with a
 # byte-identical report), the chaos smoke (a hung worker + a real
 # SIGTERM injected into a tiny study; recovery must be byte-identical),
-# and the service smoke (a real `repro serve` round trip: POST, SSE,
-# CSV download diffed against the direct run, SIGTERM drain).
+# the service smoke (a real `repro serve` round trip: POST, SSE,
+# CSV download diffed against the direct run, SIGTERM drain), and the
+# disk-pressure smoke (a budget-governed sketch study must degrade at
+# the soft watermark yet export a byte-identical CSV).
 # Run from the repo root:  bash scripts/smoke.sh
 set -euo pipefail
 
@@ -184,5 +186,40 @@ EOF
 echo "== service smoke (serve, SSE, CSV diff, SIGTERM drain) =="
 # reuses the parallel-study stage's CSV as the direct-run reference
 python scripts/serve_smoke.py "$out/serve-smoke" "$out/smoke.csv"
+
+echo "== disk-pressure smoke (budgeted run degrades, bytes identical) =="
+# reference: an unbudgeted sketch run, measured for its disk footprint
+python -m repro.cli study --seed 2001 --scale 0.02 --aggregation sketch \
+    --out "$out/pressure-ref.csv" --checkpoint-dir "$out/pressure-ref.ckpt" \
+    --quiet
+# budget sized so the finished journal lands between the soft and hard
+# watermarks: the run must degrade — never refuse — and not move a byte
+budget="$(python - "$out/pressure-ref.ckpt" <<'EOF'
+import sys
+from repro.pressure import du_bytes
+print(int(du_bytes(sys.argv[1]) / 0.85))
+EOF
+)"
+python -m repro.cli study --seed 2001 --scale 0.02 --aggregation sketch \
+    --disk-budget "$budget" \
+    --out "$out/pressure.csv" --checkpoint-dir "$out/pressure.ckpt" --quiet
+
+python - "$out" <<'EOF'
+import json, sys
+from pathlib import Path
+out = Path(sys.argv[1])
+ref = (out / "pressure-ref.csv").read_bytes()
+governed = (out / "pressure.csv").read_bytes()
+assert governed == ref, "budgeted sketch run changed the CSV bytes"
+manifest = json.loads(
+    (out / "pressure.ckpt" / "run_manifest.json").read_text()
+)
+assert not manifest["interrupted"], manifest
+pressure = manifest["pressure"]
+assert pressure["level"] == "soft", pressure
+print(f"pressure smoke ok: degraded at level {pressure['level']} "
+      f"({pressure['used_bytes']}/{pressure['max_bytes']} bytes), "
+      f"CSV byte-identical to the unbudgeted run")
+EOF
 
 echo "== smoke passed =="

@@ -31,7 +31,12 @@ from repro.chaos.plan import Fault, FaultPlan
 from repro.core.records import StudyDataset
 from repro.core.study import StudyConfig
 from repro.errors import CheckpointError
-from repro.runtime.checkpoint import MANIFEST_NAME, CheckpointStore
+from repro.pressure import PressureConfig
+from repro.runtime.checkpoint import (
+    MANIFEST_NAME,
+    SPILL_DIR_NAME,
+    CheckpointStore,
+)
 from repro.runtime.engine import RunResult, RuntimeConfig, run_study
 from repro.runtime.pool import BackoffPolicy
 
@@ -59,9 +64,16 @@ def verify_artifacts(checkpoint_dir: str | Path) -> list[str]:
         if entry.get("status") != "done":
             continue
         try:
-            store.load_shard(int(shard_id))
+            if entry.get("format") == "spill":
+                store.load_shard_spill(int(shard_id))
+            else:
+                store.load_shard(int(shard_id))
         except CheckpointError as exc:
             problems.append(f"shard {shard_id}: {exc}")
+    spill_dir = directory / SPILL_DIR_NAME
+    if spill_dir.is_dir():
+        for orphan in sorted(spill_dir.glob("*.tmp.*")):
+            problems.append(f"orphaned temp file spill/{orphan.name}")
     return problems
 
 
@@ -309,5 +321,280 @@ def _judge(
         interrupted=chaos.interrupted,
         quarantined=quarantined,
         retries=retries,
+        detail=detail,
+    )
+
+
+# -- resource-pressure matrix -----------------------------------------------
+
+
+@dataclass(frozen=True)
+class PressureOutcome:
+    """One budget cell's verdict.
+
+    Under any disk budget a run must end in exactly one of three honest
+    states — never a torn artifact, never silent data loss:
+
+    ``complete``
+        Finished with the budget never leaving the ``ok`` level.
+    ``degraded``
+        Finished under pressure — smaller spill batches, thinned
+        manifest flushes, skipped cache stores — with a dataset still
+        byte-identical to the unbudgeted golden.
+    ``refused``
+        The hard watermark tripped: the run drained in-flight shards,
+        flushed a consistent checkpoint, and reported
+        ``interrupted_by: "disk-budget"``; an unbudgeted resume of the
+        same journal converges to the golden.
+    """
+
+    #: The cell's ``max_disk_bytes`` (None: unbudgeted control).
+    budget_bytes: int | None
+    #: "complete", "degraded", "refused", or "FAILED".
+    status: str
+    #: Final budget level ("ok"/"soft"/"hard"; "" when unbudgeted).
+    level: str
+    #: Spill-batch shrinks the run performed under pressure.
+    batch_shrinks: int
+    #: Mid-run quota shrink injected via a ``pressure.disk`` fault.
+    shrunk_mid_run: bool = False
+    detail: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.status != "FAILED"
+
+    @property
+    def label(self) -> str:
+        if self.budget_bytes is None:
+            name = "unbudgeted"
+        else:
+            name = f"{self.budget_bytes}B"
+        return f"{name}+shrink" if self.shrunk_mid_run else name
+
+
+@dataclass(frozen=True)
+class PressureReport:
+    """The whole pressure matrix: one golden digest, one row per budget."""
+
+    golden_sha256: str
+    outcomes: tuple[PressureOutcome, ...]
+
+    @property
+    def ok(self) -> bool:
+        return all(outcome.ok for outcome in self.outcomes)
+
+    def format(self) -> str:
+        """Aligned plain-text verdict table."""
+        width = max((len(o.label) for o in self.outcomes), default=6)
+        width = max(width, len("budget"))
+        lines = [
+            f"pressure matrix — golden {self.golden_sha256[:12]}",
+            f"{'budget'.ljust(width)}  {'status':<10} {'level':<5} "
+            f"{'shrinks':>7}  detail",
+        ]
+        for o in self.outcomes:
+            lines.append(
+                f"{o.label.ljust(width)}  {o.status:<10} "
+                f"{o.level or '-':<5} {o.batch_shrinks:>7d}  {o.detail}"
+            )
+        verdict = "all budgets honest" if self.ok else "GUARANTEES VIOLATED"
+        lines.append(verdict)
+        return "\n".join(lines)
+
+    def payload(self) -> dict:
+        """JSON-ready record of the matrix run."""
+        return {
+            "golden_sha256": self.golden_sha256,
+            "ok": self.ok,
+            "outcomes": [
+                {
+                    "budget_bytes": o.budget_bytes,
+                    "status": o.status,
+                    "level": o.level,
+                    "batch_shrinks": o.batch_shrinks,
+                    "shrunk_mid_run": o.shrunk_mid_run,
+                    "detail": o.detail,
+                }
+                for o in self.outcomes
+            ],
+        }
+
+
+def run_pressure_matrix(
+    config: StudyConfig | None = None,
+    budgets: tuple[int | None, ...] = (None,),
+    shrink_to: int | None = None,
+    shrink_after_writes: int = 4,
+    workers: int = 1,
+    shard_count: int | None = 4,
+    base_dir: str | Path | None = None,
+    progress: Callable[[str], None] | None = None,
+) -> PressureReport:
+    """Run a sketch study under each disk budget; judge the outcomes.
+
+    Every cell must settle in exactly one of {complete, degraded,
+    refused} with clean artifacts; complete/degraded cells must be
+    byte-identical to the unbudgeted golden, and refused cells must
+    resume (unbudgeted) to it.  ``shrink_to`` adds one chaos cell whose
+    quota starts unlimited-ish and is cut to that many bytes after
+    ``shrink_after_writes`` journal writes — the ``pressure.disk``
+    fault site.
+    """
+    import dataclasses
+    import tempfile
+
+    config = config if config is not None else StudyConfig()
+    if config.aggregation != "sketch":
+        # Spill-batch degradation only exists on the streaming path.
+        config = dataclasses.replace(config, aggregation="sketch")
+
+    def note(message: str) -> None:
+        if progress is not None:
+            progress(message)
+
+    cells: list[tuple[int | None, Fault | None]] = [
+        (budget, None) for budget in budgets
+    ]
+    if shrink_to is not None:
+        cells.append(
+            (
+                1 << 40,
+                Fault(
+                    site="pressure.disk",
+                    action="shrink",
+                    budget_bytes=shrink_to,
+                    after_writes=shrink_after_writes,
+                ),
+            )
+        )
+
+    with tempfile.TemporaryDirectory(prefix="repro-pressure-") as fallback:
+        base = Path(base_dir) if base_dir is not None else Path(fallback)
+        base.mkdir(parents=True, exist_ok=True)
+
+        note(f"golden run (no budget, workers={workers})...")
+        golden = run_study(
+            config, RuntimeConfig(workers=workers, shard_count=shard_count)
+        )
+        golden_sha = _sha_any(golden.dataset)
+        note(f"golden: {len(golden.dataset)} records, "
+             f"sha256 {golden_sha[:12]}")
+
+        outcomes = []
+        for index, (budget_bytes, fault) in enumerate(cells):
+            ckpt = base / f"budget_{index:02d}"
+            pressure = (
+                PressureConfig(max_disk_bytes=budget_bytes)
+                if budget_bytes is not None
+                else None
+            )
+            plan = (
+                FaultPlan(name="pressure", faults=(fault,))
+                if fault is not None
+                else None
+            )
+            label = (
+                f"{budget_bytes}B" if budget_bytes is not None
+                else "unbudgeted"
+            )
+            if fault is not None:
+                label += f" shrink->{fault.budget_bytes}B"
+            note(f"[{index + 1}/{len(cells)}] {label}...")
+            run = run_study(
+                config,
+                RuntimeConfig(
+                    workers=workers,
+                    shard_count=shard_count,
+                    checkpoint_dir=ckpt,
+                    pressure=pressure,
+                    fault_plan=plan,
+                ),
+            )
+            outcomes.append(
+                _judge_pressure(
+                    run, config, workers, shard_count, ckpt, golden_sha,
+                    budget_bytes, fault,
+                )
+            )
+            note(f"  -> {outcomes[-1].status}: {outcomes[-1].detail}")
+        return PressureReport(
+            golden_sha256=golden_sha, outcomes=tuple(outcomes)
+        )
+
+
+def _sha_any(dataset) -> str:
+    """Digest exact and spilled datasets alike (both emit CSV)."""
+    return hashlib.sha256(dataset.to_csv_string().encode()).hexdigest()
+
+
+def _judge_pressure(
+    run, config, workers, shard_count, ckpt, golden_sha, budget_bytes,
+    fault,
+) -> PressureOutcome:
+    """Hold one budget cell to the honesty contract."""
+    problems: list[str] = []
+    snapshot = run.telemetry.pressure or {}
+    level = snapshot.get("level", "")
+    shrinks = run.telemetry.batch_shrinks
+    detail = ""
+
+    if run.failed_shards:
+        problems.append(
+            f"budget run quarantined shards {list(run.failed_shards)}"
+        )
+
+    if run.interrupted:
+        status = "refused"
+        blamed = run.manifest.get("interrupted_by")
+        if blamed != "disk-budget":
+            problems.append(
+                f"interrupted by {blamed!r}, not the disk budget"
+            )
+        # An unbudgeted resume of the refused journal must converge.
+        resumed = run_study(
+            config,
+            RuntimeConfig(
+                workers=workers,
+                shard_count=shard_count,
+                checkpoint_dir=ckpt,
+                resume=True,
+            ),
+        )
+        if not resumed.complete:
+            problems.append("unbudgeted resume did not complete")
+        elif _sha_any(resumed.dataset) != golden_sha:
+            problems.append("resumed dataset diverged from the golden")
+        else:
+            detail = "hard watermark refused, resume converged"
+    else:
+        degraded = bool(
+            shrinks
+            or (level and level != "ok")
+            or snapshot.get("events")
+        )
+        status = "degraded" if degraded else "complete"
+        if _sha_any(run.dataset) != golden_sha:
+            problems.append(
+                f"{status} run diverged from the unbudgeted golden"
+            )
+        elif degraded:
+            detail = (
+                f"byte-identical under pressure "
+                f"(level={level}, batch shrinks={shrinks})"
+            )
+        else:
+            detail = "byte-identical"
+
+    problems.extend(verify_artifacts(ckpt))
+    if problems:
+        status = "FAILED"
+        detail = "; ".join(problems)
+    return PressureOutcome(
+        budget_bytes=budget_bytes,
+        status=status,
+        level=level,
+        batch_shrinks=shrinks,
+        shrunk_mid_run=fault is not None,
         detail=detail,
     )

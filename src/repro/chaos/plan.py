@@ -30,6 +30,13 @@ Sites
     must retry; dedup guarantees the retry attaches instead of
     re-simulating), ``stall`` (sleep ``pause_s`` before handling — a
     slow-loris stand-in that must not block other clients).
+``pressure.disk``
+    The run's :class:`repro.pressure.DiskBudget` ledger.  Action:
+    ``shrink`` — at the ``after_writes``-th charged write the quota
+    drops to ``budget_bytes``, modelling an operator (or another
+    tenant) shrinking the quota mid-run.  The run must settle in
+    exactly one of {complete, honestly-degraded, honestly-refused} —
+    never a torn artifact.
 
 Plans load from TOML or JSON (:func:`load_plan`) and
 :func:`default_plan` is the standing chaos matrix: one fault per
@@ -59,7 +66,9 @@ WRITE_SITES = (
     "cache.manifest",
 )
 #: Every valid fault site.
-SITES = WRITE_SITES + ("worker.play", "signal", "serve.request")
+SITES = WRITE_SITES + (
+    "worker.play", "signal", "serve.request", "pressure.disk",
+)
 
 #: action -> the sites it may target.
 ACTIONS = {
@@ -74,6 +83,7 @@ ACTIONS = {
     "sigterm": ("signal",),
     "drop": ("serve.request",),
     "stall": ("serve.request",),
+    "shrink": ("pressure.disk",),
 }
 
 
@@ -104,6 +114,10 @@ class Fault:
     pause_s: float = 0.2
     #: ``truncate``: how many bytes of the renamed file survive.
     keep_bytes: int = 32
+    #: ``shrink``: the quota (bytes) the budget drops to mid-run.
+    budget_bytes: int = 1 << 20
+    #: ``shrink``: fire at this many charged writes into the run.
+    after_writes: int = 1
 
     def __post_init__(self) -> None:
         if self.site not in SITES:
@@ -126,6 +140,16 @@ class Fault:
         if self.action == "truncate" and self.point != "post":
             # Truncation models damage after a successful rename.
             object.__setattr__(self, "point", "post")
+        if self.action == "shrink":
+            if self.budget_bytes <= 0:
+                raise ChaosError(
+                    "pressure.disk shrink faults need a positive "
+                    f"budget_bytes, got {self.budget_bytes!r}"
+                )
+            if self.after_writes < 1:
+                raise ChaosError(
+                    f"after_writes must be >= 1, got {self.after_writes!r}"
+                )
 
     @property
     def label(self) -> str:
@@ -141,6 +165,10 @@ class Fault:
         elif self.site == "serve.request":
             if self.times != 1:
                 parts.append(f"times={self.times}")
+        elif self.site == "pressure.disk":
+            parts.append(
+                f"to={self.budget_bytes}B@write{self.after_writes}"
+            )
         elif self.point != "mid":
             parts.append(self.point)
         return "+".join(parts)

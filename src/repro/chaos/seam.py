@@ -29,12 +29,26 @@ from pathlib import Path
 from typing import Callable, Iterable, Sequence
 
 from repro.chaos.plan import WRITE_SITES, Fault, FaultPlan
+from repro.pressure.budget import DiskBudget, category_for_site
 
 _ERRNO = {"enospc": errno.ENOSPC, "eio": errno.EIO}
 
+#: Sites whose commits are charged but never refused: the run manifest
+#: is the honest record of *why* a budgeted run stopped — refusing to
+#: write the refusal would lose the story the budget exists to tell.
+_UNENFORCED_SITES = frozenset({"checkpoint.run_manifest"})
+
 
 class IoSeam:
-    """Durable atomic writes with deterministic fault injection."""
+    """Durable atomic writes with deterministic fault injection.
+
+    With a :class:`~repro.pressure.DiskBudget`, every commit charges
+    its net on-disk delta (new size minus the size of the file it
+    replaces) to the site's category *before* the rename; a charge
+    past the hard watermark unlinks the temp and raises
+    :class:`~repro.pressure.DiskBudgetExceeded`, leaving the old file
+    untouched — budget refusals are as atomic as any other failure.
+    """
 
     def __init__(
         self,
@@ -42,10 +56,12 @@ class IoSeam:
         *,
         fsync: bool = True,
         sleep: Callable[[float], None] = time.sleep,
+        budget: DiskBudget | None = None,
     ) -> None:
         self._faults = tuple(faults)
         self._fsync = fsync
         self._sleep = sleep
+        self.budget = budget
         #: (site, point) -> writes seen so far; fault ``times`` budgets
         #: are spent against these counts.
         self.fired: dict[str, int] = {}
@@ -114,6 +130,7 @@ class IoSeam:
             except OSError:
                 pass
             raise
+        self._charge(site, tmp, path)
         os.replace(tmp, path)
         if self._fsync:
             self._fsync_dir(path.parent)
@@ -150,11 +167,37 @@ class IoSeam:
             except OSError:
                 pass
             raise
+        self._charge(site, tmp, path)
         os.replace(tmp, path)
         if self._fsync:
             self._fsync_dir(path.parent)
         self._fire(site, "post", path)
         return written
+
+    def _charge(self, site: str, tmp: Path, path: Path) -> None:
+        """Charge this commit's net disk delta; refuse before the rename
+        (unlinking the temp) if it would cross the hard watermark."""
+        if self.budget is None:
+            return
+        try:
+            new_size = tmp.stat().st_size
+        except OSError:
+            new_size = 0
+        try:
+            old_size = path.stat().st_size
+        except OSError:
+            old_size = 0
+        try:
+            self.budget.charge(
+                category_for_site(site), new_size - old_size,
+                enforce=site not in _UNENFORCED_SITES,
+            )
+        except BaseException:
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+            raise
 
     @staticmethod
     def _fsync_dir(directory: Path) -> None:

@@ -19,7 +19,10 @@ Subcommands::
                  [--report chaos.json]
     repro serve  [--host 127.0.0.1] [--port 8050] [--workers 2]
                  [--cache-dir .serve-cache] [--queue-capacity 64]
+                 [--max-disk-bytes 2G] [--max-cache-bytes 1G]
+    repro cache  ls|gc --cache-dir DIR [--max-bytes 1G]
 
+Byte-valued flags accept plain integers or K/M/G suffixes (``512M``).
 ``repro`` is installed as a console script; the module also runs via
 ``python -m repro.cli``.
 """
@@ -42,6 +45,25 @@ from repro.core.realtracer import RealTracer, TracerConfig
 from repro.core.study import StudyConfig
 from repro.rng import RngFactory
 from repro.world.population import build_population
+
+
+def _parse_bytes(text: str) -> int:
+    """``"512"``, ``"512K"``, ``"64M"``, ``"2G"`` -> bytes."""
+    raw = text.strip().upper().removesuffix("B")
+    scale = 1
+    for suffix, factor in (("K", 1 << 10), ("M", 1 << 20), ("G", 1 << 30)):
+        if raw.endswith(suffix):
+            raw, scale = raw[:-1], factor
+            break
+    try:
+        value = int(float(raw) * scale)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"not a byte size: {text!r} (use 1048576, 512K, 64M, 2G)"
+        ) from None
+    if value <= 0:
+        raise argparse.ArgumentTypeError("byte sizes must be positive")
+    return value
 
 
 def _cmd_play(args: argparse.Namespace) -> int:
@@ -117,6 +139,14 @@ def _cmd_study(args: argparse.Namespace) -> int:
     checkpoint_dir = args.checkpoint_dir
     if checkpoint_dir is None:
         checkpoint_dir = Path(str(args.out) + ".ckpt")
+    pressure = None
+    if args.disk_budget is not None or args.memory_soft_bytes is not None:
+        from repro.pressure import PressureConfig
+
+        pressure = PressureConfig(
+            max_disk_bytes=args.disk_budget,
+            memory_soft_bytes=args.memory_soft_bytes,
+        )
     try:
         runtime = RuntimeConfig(
             workers=args.workers,
@@ -124,6 +154,7 @@ def _cmd_study(args: argparse.Namespace) -> int:
             resume=args.resume,
             progress=None if args.quiet else ThrottledProgressPrinter(),
             handle_signals=True,
+            pressure=pressure,
         )
         result = run_study(config, runtime)
     except (ValueError, CheckpointError) as exc:
@@ -137,9 +168,13 @@ def _cmd_study(args: argparse.Namespace) -> int:
         return 130
     if result.interrupted:
         signal_name = result.manifest.get("interrupted_by", "signal")
+        hint = "rerun with --resume to continue"
+        if signal_name == "disk-budget":
+            hint = ("free disk space or raise --disk-budget, then rerun "
+                    "with --resume to continue")
         print(f"\ninterrupted by {signal_name} — checkpoint flushed; "
               f"finished shards are journaled in {checkpoint_dir}; "
-              f"rerun with --resume to continue", file=sys.stderr)
+              f"{hint}", file=sys.stderr)
         return 130
     telemetry = result.telemetry
     if not args.quiet:
@@ -147,6 +182,13 @@ def _cmd_study(args: argparse.Namespace) -> int:
               f"(seed={args.seed}, scale={args.scale}, "
               f"workers={args.workers}) in {telemetry.elapsed_s:.0f}s "
               f"at {telemetry.plays_per_second():.1f} plays/s")
+        if telemetry.pressure or telemetry.batch_shrinks:
+            level = telemetry.pressure.get("level", "ok")
+            used = telemetry.pressure.get("used_bytes", 0)
+            cap = telemetry.pressure.get("max_bytes", 0)
+            print(f"resource governance: disk {used}/{cap} bytes "
+                  f"(level {level}), {telemetry.batch_shrinks} spill-batch "
+                  f"shrinks, peak RSS {telemetry.memory_peak_bytes} bytes")
     result.dataset.to_csv(args.out)
     print(f"wrote {len(result.dataset)} records to {args.out} "
           f"(checkpoints + run manifest in {checkpoint_dir})")
@@ -285,6 +327,13 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         print(f"sweep {spec.name!r}: {len(cells)} cells, "
               f"workers={args.workers}, cache={args.cache_dir}"
               f"{' (forced)' if args.force else ''}")
+    budget = None
+    if args.disk_budget is not None:
+        from repro.pressure import DiskBudget, du_bytes
+
+        budget = DiskBudget(args.disk_budget)
+        if args.cache_dir is not None:
+            budget.seed("cache", du_bytes(args.cache_dir))
     try:
         result = run_sweep(
             spec,
@@ -293,6 +342,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             force=args.force,
             progress=None if args.quiet else print,
             quarantine_threshold=args.quarantine_threshold,
+            max_cache_bytes=args.max_cache_bytes,
+            budget=budget,
         )
     except SweepError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -311,14 +362,22 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     print(format_sweep_report(comparison))
     if not args.quiet:
         print()
+        # Corruption evictions and GC evictions are different events:
+        # one is an integrity alarm, the other routine housekeeping.
         print(f"{result.misses} simulated, {result.hits} from cache "
-              f"({len(result.evicted)} evicted) in {result.elapsed_s:.1f}s")
+              f"({len(result.evicted)} corruption-evicted, "
+              f"{len(result.gc_evicted)} gc-evicted) "
+              f"in {result.elapsed_s:.1f}s")
+        if result.store_skips:
+            print(f"{result.store_skips} cache store(s) skipped under "
+                  f"disk pressure (results still computed)")
         if result.cache_counters is not None:
             counters = result.cache_counters
             print(f"cache traffic: {counters['hits']} hits, "
                   f"{counters['misses']} misses, "
                   f"{counters['stores']} stores, "
-                  f"{counters['evicted']} evicted")
+                  f"{counters['evicted']} corruption-evicted, "
+                  f"{counters['gc_evicted']} gc-evicted")
         if args.report is not None:
             print(f"wrote {args.report}")
     return 0
@@ -350,16 +409,34 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         watchdog_deadline_s=args.watchdog_deadline,
         progress=None if args.quiet else print,
     )
+    pressure_report = None
+    if args.pressure_budget or args.shrink_to is not None:
+        from repro.chaos.matrix import run_pressure_matrix
+
+        pressure_report = run_pressure_matrix(
+            config,
+            budgets=(None, *args.pressure_budget),
+            shrink_to=args.shrink_to,
+            workers=1,
+            progress=None if args.quiet else print,
+        )
+    payload = report.payload()
+    if pressure_report is not None:
+        payload["pressure"] = pressure_report.payload()
     if args.report is not None:
         args.report.parent.mkdir(parents=True, exist_ok=True)
         args.report.write_text(
-            json.dumps(report.payload(), indent=2, sort_keys=True) + "\n"
+            json.dumps(payload, indent=2, sort_keys=True) + "\n"
         )
     print()
     print(report.format())
+    if pressure_report is not None:
+        print()
+        print(pressure_report.format())
     if not args.quiet and args.report is not None:
         print(f"wrote {args.report}")
-    return 0 if report.ok else 1
+    ok = report.ok and (pressure_report is None or pressure_report.ok)
+    return 0 if ok else 1
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
@@ -385,6 +462,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             workers=args.workers,
             shard_workers=args.shard_workers,
             queue_capacity=args.queue_capacity,
+            max_disk_bytes=args.max_disk_bytes,
+            max_cache_bytes=args.max_cache_bytes,
             fault_plan=plan,
         ))
     except KeyboardInterrupt:
@@ -394,6 +473,46 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     except OSError as exc:  # port in use, bad host...
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    """Inspect (``ls``) or garbage-collect (``gc``) the study cache."""
+    from repro.sweep.cache import StudyCache
+
+    if not Path(args.cache_dir).is_dir():
+        print(f"error: no cache directory {args.cache_dir}",
+              file=sys.stderr)
+        return 2
+    cache = StudyCache(args.cache_dir)
+    if args.cache_command == "ls":
+        rows = cache.ls()
+        if not rows:
+            print(f"cache {args.cache_dir}: empty")
+            return 0
+        total = sum(row["bytes"] for row in rows)
+        print(f"cache {args.cache_dir}: {len(rows)} entries, "
+              f"{total} bytes (LRU first)")
+        for row in rows:
+            print(f"  {row['config_hash'][:16]}  {row['bytes']:>12d} B  "
+                  f"{row['records']:>9d} records  "
+                  f"last hit tick {row['last_hit_tick']}")
+        return 0
+    # gc
+    if args.max_bytes is None:
+        print("error: gc needs --max-bytes", file=sys.stderr)
+        return 2
+    summary = cache.gc(max_bytes=args.max_bytes)
+    removed = summary["removed"]
+    print(f"cache gc {args.cache_dir}: {summary['before_bytes']} -> "
+          f"{summary['after_bytes']} bytes "
+          f"(limit {summary['limit_bytes']}), "
+          f"{len(removed)} entr{'y' if len(removed) == 1 else 'ies'} "
+          f"evicted")
+    for entry in removed:
+        print(f"  evicted {entry['config_hash'][:16]} "
+              f"({entry['bytes']} B, last hit tick "
+              f"{entry['last_hit_tick']})")
     return 0
 
 
@@ -487,6 +606,17 @@ def build_parser() -> argparse.ArgumentParser:
     study.add_argument("--resume", action="store_true",
                        help="skip shards already journaled in the "
                             "checkpoint directory")
+    study.add_argument("--disk-budget", type=_parse_bytes, default=None,
+                       metavar="BYTES",
+                       help="total disk budget for checkpoints + spills "
+                            "(plain bytes or K/M/G); soft pressure "
+                            "degrades batch sizes and checkpoint cadence, "
+                            "the hard watermark drains the run honestly")
+    study.add_argument("--memory-soft-bytes", type=_parse_bytes,
+                       default=None, metavar="BYTES",
+                       help="per-worker RSS watermark: above it, sketch "
+                            "spill batches halve (down to the minimum) "
+                            "before the OOM killer gets a vote")
     study.add_argument("--quiet", action="store_true")
     study.set_defaults(func=_cmd_study)
 
@@ -548,6 +678,15 @@ def build_parser() -> argparse.ArgumentParser:
                        help="max fraction of a cell's plays lost to "
                             "quarantined shards before the sweep refuses "
                             "the cell (claims are N/A above it)")
+    sweep.add_argument("--max-cache-bytes", type=_parse_bytes,
+                       default=None, metavar="BYTES",
+                       help="cap the study cache; LRU-by-last-hit entries "
+                            "are garbage-collected after every store")
+    sweep.add_argument("--disk-budget", type=_parse_bytes, default=None,
+                       metavar="BYTES",
+                       help="disk ledger for the sweep: soft pressure "
+                            "skips new cache stores, the hard watermark "
+                            "refuses uncached cells honestly")
     sweep.add_argument("--quiet", action="store_true")
     sweep.set_defaults(func=_cmd_sweep)
 
@@ -575,6 +714,16 @@ def build_parser() -> argparse.ArgumentParser:
                             "(default: a temp directory)")
     chaos.add_argument("--report", type=Path, default=None,
                        help="also write the matrix verdicts as JSON here")
+    chaos.add_argument("--pressure-budget", type=_parse_bytes,
+                       action="append", default=[], metavar="BYTES",
+                       help="also run the resource-pressure matrix with "
+                            "this disk budget (repeatable); every cell "
+                            "must settle complete/degraded/refused with "
+                            "clean artifacts")
+    chaos.add_argument("--shrink-to", type=_parse_bytes, default=None,
+                       metavar="BYTES",
+                       help="add a pressure.disk chaos cell whose quota "
+                            "shrinks to this mid-run")
     chaos.add_argument("--quiet", action="store_true")
     chaos.set_defaults(func=_cmd_chaos)
 
@@ -596,10 +745,39 @@ def build_parser() -> argparse.ArgumentParser:
                             "root shared across restarts")
     serve.add_argument("--queue-capacity", type=int, default=64,
                        help="queued simulations before submissions get 429")
+    serve.add_argument("--max-disk-bytes", type=_parse_bytes, default=None,
+                       metavar="BYTES",
+                       help="service-wide disk budget (cache + checkpoints "
+                            "+ spills); soft pressure skips cache stores, "
+                            "the hard watermark 429s new submissions with "
+                            "Retry-After")
+    serve.add_argument("--max-cache-bytes", type=_parse_bytes, default=None,
+                       metavar="BYTES",
+                       help="cap the study cache with LRU-by-last-hit GC")
     serve.add_argument("--chaos-plan", type=Path, default=None,
                        help="fault plan with serve.request faults to "
                             "inject (drop/stall)")
     serve.set_defaults(func=_cmd_serve)
+
+    cache = sub.add_parser(
+        "cache",
+        help="inspect or garbage-collect the content-addressed study "
+             "cache",
+    )
+    cache_sub = cache.add_subparsers(dest="cache_command", required=True)
+    cache_ls = cache_sub.add_parser(
+        "ls", help="list entries, least-recently-hit first"
+    )
+    cache_ls.add_argument("--cache-dir", type=Path, required=True)
+    cache_ls.set_defaults(func=_cmd_cache)
+    cache_gc = cache_sub.add_parser(
+        "gc", help="evict LRU entries until the cache fits --max-bytes"
+    )
+    cache_gc.add_argument("--cache-dir", type=Path, required=True)
+    cache_gc.add_argument("--max-bytes", type=_parse_bytes, required=True,
+                          metavar="BYTES",
+                          help="target size (plain bytes or K/M/G)")
+    cache_gc.set_defaults(func=_cmd_cache)
 
     validate = sub.add_parser(
         "validate",

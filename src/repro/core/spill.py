@@ -33,6 +33,7 @@ import csv
 import io
 import json
 import os
+import re
 import shutil
 import tempfile
 import weakref
@@ -131,6 +132,44 @@ def index_file_name(shard_id: int) -> str:
     return f"shard_{shard_id:04d}.spill.json"
 
 
+#: Every file a spill writer may leave in the spill directory.
+_SPILL_FILE_RE = re.compile(r"^shard_\d{4}\.(b\d{6}\.npy|spill\.json)$")
+
+
+def sweep_orphans(
+    directory: str | Path, referenced: Iterable[str] = ()
+) -> tuple[int, int]:
+    """Reclaim spill files a killed process left behind.
+
+    Deletes every ``*.tmp.*`` scratch file and every batch/index file
+    not named in ``referenced`` (the committed spills a resume still
+    trusts).  A crashed attempt commits nothing — its index was never
+    renamed into place — so unreferenced files are garbage by
+    construction: the retry attempt rewrites its batches from zero and
+    a shorter retry would otherwise leave the longer dead attempt's
+    tail batches on disk forever.  Returns ``(files, bytes)`` removed.
+    """
+    directory = Path(directory)
+    if not directory.is_dir():
+        return 0, 0
+    keep = {str(name) for name in referenced}
+    removed = 0
+    freed = 0
+    for path in sorted(directory.iterdir()):
+        if not path.is_file() or path.name in keep:
+            continue
+        if ".tmp." not in path.name and not _SPILL_FILE_RE.match(path.name):
+            continue
+        try:
+            size = path.stat().st_size
+            path.unlink()
+        except OSError:
+            continue
+        removed += 1
+        freed += size
+    return removed, freed
+
+
 class SpillWriter:
     """Streams one shard's records into batch files plus an index.
 
@@ -146,6 +185,8 @@ class SpillWriter:
         directory: str | Path,
         shard_id: int,
         batch_size: int = DEFAULT_BATCH_SIZE,
+        *,
+        budget=None,
     ) -> None:
         if batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
@@ -153,6 +194,14 @@ class SpillWriter:
         self.directory.mkdir(parents=True, exist_ok=True)
         self.shard_id = shard_id
         self.batch_size = batch_size
+        #: Optional :class:`repro.pressure.DiskBudget`.  Spill charges
+        #: are ledger-only (never refused here): hard-watermark policy
+        #: for spills lives at the runtime layer, which drains in-flight
+        #: shards instead of tearing them mid-batch.
+        self.budget = budget
+        self.shrinks = 0
+        #: Bytes committed to disk so far (batch files + index).
+        self.bytes_written = 0
         self._buffer = np.zeros(batch_size, dtype=RECORD_DTYPE)
         self._fill = 0
         self._batches: list[dict] = []
@@ -197,7 +246,35 @@ class SpillWriter:
                 pass
             raise
         self._batches.append({"file": name, "count": self._fill})
+        try:
+            size = path.stat().st_size
+        except OSError:
+            size = 0
+        self.bytes_written += size
+        if self.budget is not None:
+            self.budget.charge("spills", size, enforce=False)
         self._fill = 0
+
+    def shrink(self, new_batch_size: int) -> int:
+        """Degrade to a smaller batch size (memory or disk pressure).
+
+        Flushes the pending rows first if they no longer fit, then
+        reallocates the buffer.  Batch boundaries are not part of the
+        record math — the merged CSV is byte-identical under any shrink
+        sequence.  Never grows; returns the batch size now in effect.
+        """
+        new_batch_size = max(1, int(new_batch_size))
+        if self._finished or new_batch_size >= self.batch_size:
+            return self.batch_size
+        if self._fill >= new_batch_size:
+            self._flush_batch()
+        buffer = np.zeros(new_batch_size, dtype=RECORD_DTYPE)
+        if self._fill:
+            buffer[: self._fill] = self._buffer[: self._fill]
+        self._buffer = buffer
+        self.batch_size = new_batch_size
+        self.shrinks += 1
+        return new_batch_size
 
     def finish(self) -> dict:
         """Flush the tail and return the shard's index (also written to
@@ -232,6 +309,13 @@ class SpillWriter:
             except OSError:
                 pass
             raise
+        try:
+            size = path.stat().st_size
+        except OSError:
+            size = 0
+        self.bytes_written += size
+        if self.budget is not None:
+            self.budget.charge("spills", size, enforce=False)
         return index
 
     @property

@@ -1,0 +1,37 @@
+"""Resource governance: disk/memory budgets with graceful degradation.
+
+Every disk- and memory-touching layer routes through this package:
+
+- :class:`DiskBudget` is a thread-safe ledger of bytes charged per
+  category (``cache``, ``checkpoints``, ``spills``).  It is enforced at
+  the :class:`repro.chaos.seam.IoSeam` write path, so a budget applies
+  to every durable artifact without per-call-site plumbing.
+- :class:`PressureConfig` is the picklable knob bundle shipped to
+  workers (watermark fractions, memory soft limit, minimum batch size).
+- :class:`MemoryGovernor` samples worker RSS on the heartbeat tick and
+  shrinks the sketch spill batch size before the OOM killer fires.
+
+The degradation ladder is: *ok* → *soft* (shrink batches, thin
+checkpoints, stop caching new results) → *hard* (refuse new work
+honestly: serve answers 429 + ``Retry-After``, sweeps skip cache
+stores, the runtime drains in-flight shards and checkpoints).
+"""
+
+from repro.pressure.budget import (
+    CATEGORIES,
+    DiskBudget,
+    DiskBudgetExceeded,
+    PressureConfig,
+    du_bytes,
+)
+from repro.pressure.memory import MemoryGovernor, rss_bytes
+
+__all__ = [
+    "CATEGORIES",
+    "DiskBudget",
+    "DiskBudgetExceeded",
+    "PressureConfig",
+    "MemoryGovernor",
+    "du_bytes",
+    "rss_bytes",
+]

@@ -1,0 +1,306 @@
+"""The disk-budget ledger: charged bytes, watermarks, honest refusal.
+
+A :class:`DiskBudget` tracks how many bytes each artifact category
+(``cache``, ``checkpoints``, ``spills``) has charged against a single
+``max_bytes`` quota.  Charges happen at the durable-write commit point
+inside :class:`repro.chaos.seam.IoSeam` and at the spill writer's batch
+flush, so the ledger sees exactly the bytes that land on disk.
+
+Watermarks split the quota into three levels:
+
+``ok``
+    below ``soft_fraction * max_bytes`` — full speed.
+``soft``
+    above soft, below ``hard_fraction * max_bytes`` — degrade: shrink
+    sketch spill batches, thin checkpoint-manifest flushes, stop
+    caching new results.  Degradation never changes the dataset CSV
+    (batch size and checkpoint cadence are not part of the record
+    math), so degraded runs stay byte-identical to unbudgeted runs.
+``hard``
+    above hard — refuse new work honestly.  Enforcing charges raise
+    :class:`DiskBudgetExceeded` (an ``OSError`` with ``ENOSPC``, so the
+    runtime's existing disk-full degradation paths apply), serve
+    answers 429 + ``Retry-After``, and the runtime drains in-flight
+    shards and checkpoints instead of tearing artifacts.
+
+The chaos site ``pressure.disk`` arms a budget with *shrink* faults:
+at the ``after_writes``-th charge the quota drops to ``budget_bytes``,
+modelling an operator (or another tenant) shrinking the quota mid-run.
+"""
+
+from __future__ import annotations
+
+import errno
+import os
+import threading
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Sequence
+
+#: The ledger's artifact categories.
+CATEGORIES = ("cache", "checkpoints", "spills")
+
+
+class DiskBudgetExceeded(OSError):
+    """An enforcing charge would cross the hard watermark.
+
+    Subclasses ``OSError`` with ``errno.ENOSPC`` deliberately: every
+    existing disk-full degradation path (checkpoint journaling falling
+    back to unjournaled-but-correct, shard retry/quarantine) handles a
+    budget refusal with no new plumbing.
+    """
+
+    def __init__(self, message: str) -> None:
+        super().__init__(errno.ENOSPC, message)
+
+
+def du_bytes(*paths: str | os.PathLike) -> int:
+    """Recursive on-disk size of ``paths`` (missing paths count 0).
+
+    Used to seed a budget with what already exists — a resumed
+    checkpoint dir, a shared cache dir — so the ledger reflects real
+    occupancy, not just this process's writes.
+    """
+    total = 0
+    for path in paths:
+        path = Path(path)
+        if path.is_file():
+            try:
+                total += path.stat().st_size
+            except OSError:
+                pass
+            continue
+        if not path.is_dir():
+            continue
+        for root, _dirs, files in os.walk(path):
+            for name in files:
+                try:
+                    total += os.stat(os.path.join(root, name)).st_size
+                except OSError:
+                    pass
+    return total
+
+
+@dataclass(frozen=True)
+class PressureConfig:
+    """Picklable resource-governance knobs, shipped to pool workers.
+
+    ``max_disk_bytes`` of None means no disk budget; a
+    ``memory_soft_bytes`` of None disables the worker RSS governor.
+    """
+
+    max_disk_bytes: int | None = None
+    soft_fraction: float = 0.8
+    hard_fraction: float = 0.95
+    memory_soft_bytes: int | None = None
+    #: Sketch spill batches never shrink below this many records.
+    min_batch_size: int = 256
+    #: Under soft pressure, flush the checkpoint manifest every Nth
+    #: shard completion instead of every one.
+    checkpoint_thin_every: int = 4
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.soft_fraction <= self.hard_fraction <= 1.0:
+            raise ValueError(
+                "watermarks need 0 < soft_fraction <= hard_fraction <= 1, "
+                f"got soft={self.soft_fraction} hard={self.hard_fraction}"
+            )
+        if self.max_disk_bytes is not None and self.max_disk_bytes <= 0:
+            raise ValueError("max_disk_bytes must be positive or None")
+        if self.memory_soft_bytes is not None and self.memory_soft_bytes <= 0:
+            raise ValueError("memory_soft_bytes must be positive or None")
+        if self.min_batch_size < 1:
+            raise ValueError("min_batch_size must be >= 1")
+        if self.checkpoint_thin_every < 1:
+            raise ValueError("checkpoint_thin_every must be >= 1")
+
+    def to_dict(self) -> dict:
+        return {
+            "max_disk_bytes": self.max_disk_bytes,
+            "soft_fraction": self.soft_fraction,
+            "hard_fraction": self.hard_fraction,
+            "memory_soft_bytes": self.memory_soft_bytes,
+            "min_batch_size": self.min_batch_size,
+            "checkpoint_thin_every": self.checkpoint_thin_every,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "PressureConfig":
+        known = {
+            "max_disk_bytes", "soft_fraction", "hard_fraction",
+            "memory_soft_bytes", "min_batch_size", "checkpoint_thin_every",
+        }
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown pressure keys {sorted(unknown)!r}")
+        return cls(**data)
+
+    def make_budget(self) -> "DiskBudget | None":
+        """A fresh ledger for these knobs (None without a disk quota)."""
+        if self.max_disk_bytes is None:
+            return None
+        return DiskBudget(
+            self.max_disk_bytes,
+            soft_fraction=self.soft_fraction,
+            hard_fraction=self.hard_fraction,
+        )
+
+
+class DiskBudget:
+    """A thread-safe ledger of bytes charged per artifact category."""
+
+    def __init__(
+        self,
+        max_bytes: int,
+        *,
+        soft_fraction: float = 0.8,
+        hard_fraction: float = 0.95,
+    ) -> None:
+        if max_bytes <= 0:
+            raise ValueError("max_bytes must be positive")
+        if not 0.0 < soft_fraction <= hard_fraction <= 1.0:
+            raise ValueError(
+                "watermarks need 0 < soft_fraction <= hard_fraction <= 1"
+            )
+        self.max_bytes = int(max_bytes)
+        self.soft_fraction = soft_fraction
+        self.hard_fraction = hard_fraction
+        self._lock = threading.Lock()
+        self._charged = {category: 0 for category in CATEGORIES}
+        self._writes = 0
+        self._shrinks: list[tuple[int, int]] = []  # (after_writes, bytes)
+        #: Degradation log: human-readable, chronological, manifest-bound.
+        self.events: list[str] = []
+        self.refused = 0
+
+    # -- configuration -------------------------------------------------------
+
+    def arm(self, faults: Iterable) -> "DiskBudget":
+        """Arm ``pressure.disk`` *shrink* faults: at the
+        ``after_writes``-th charge the quota drops to ``budget_bytes``."""
+        with self._lock:
+            for fault in faults:
+                if fault.site != "pressure.disk" or fault.action != "shrink":
+                    continue
+                self._shrinks.append((fault.after_writes, fault.budget_bytes))
+            self._shrinks.sort()
+        return self
+
+    def seed(self, category: str, nbytes: int) -> None:
+        """Record pre-existing occupancy (a resumed checkpoint, a shared
+        cache dir) without enforcement and without counting a write."""
+        self._check_category(category)
+        with self._lock:
+            self._charged[category] += int(nbytes)
+
+    # -- the ledger ----------------------------------------------------------
+
+    def charge(
+        self, category: str, nbytes: int, *, enforce: bool = True
+    ) -> str:
+        """Charge ``nbytes`` against ``category``; returns the level
+        *after* the charge.
+
+        With ``enforce`` (the default), a charge that would cross the
+        hard watermark is refused: nothing is added to the ledger and
+        :class:`DiskBudgetExceeded` is raised — the caller must not
+        commit the write.  Non-enforcing charges (spill batches, whose
+        refusal semantics live at the runtime layer) always land.
+        """
+        self._check_category(category)
+        nbytes = int(nbytes)
+        with self._lock:
+            self._writes += 1
+            while self._shrinks and self._shrinks[0][0] <= self._writes:
+                _after, quota = self._shrinks.pop(0)
+                if quota < self.max_bytes:
+                    self.events.append(
+                        f"quota shrunk {self.max_bytes} -> {quota} bytes "
+                        f"(pressure.disk at write {self._writes})"
+                    )
+                    self.max_bytes = quota
+            used = sum(self._charged.values())
+            if enforce and used + nbytes > self.hard_bytes:
+                self.refused += 1
+                message = (
+                    f"disk budget exhausted: {used + nbytes} bytes would "
+                    f"exceed hard watermark {self.hard_bytes} of "
+                    f"{self.max_bytes} ({category} charge of {nbytes})"
+                )
+                self.events.append(f"refused {category} write: {message}")
+                raise DiskBudgetExceeded(message)
+            self._charged[category] += nbytes
+            return self._level_locked()
+
+    def release(self, category: str, nbytes: int) -> None:
+        """Return ``nbytes`` to the budget (artifact deleted)."""
+        self._check_category(category)
+        with self._lock:
+            self._charged[category] = max(
+                0, self._charged[category] - int(nbytes)
+            )
+
+    def note(self, event: str) -> None:
+        """Append a degradation event to the log (for manifests)."""
+        with self._lock:
+            self.events.append(event)
+
+    # -- levels --------------------------------------------------------------
+
+    @property
+    def soft_bytes(self) -> int:
+        return int(self.max_bytes * self.soft_fraction)
+
+    @property
+    def hard_bytes(self) -> int:
+        return int(self.max_bytes * self.hard_fraction)
+
+    def used(self) -> int:
+        with self._lock:
+            return sum(self._charged.values())
+
+    def level(self) -> str:
+        """Current watermark level: ``"ok"`` | ``"soft"`` | ``"hard"``."""
+        with self._lock:
+            return self._level_locked()
+
+    def _level_locked(self) -> str:
+        used = sum(self._charged.values())
+        if used >= self.hard_bytes:
+            return "hard"
+        if used >= self.soft_bytes:
+            return "soft"
+        return "ok"
+
+    def snapshot(self) -> dict:
+        """The ledger's state for manifests and service stats."""
+        with self._lock:
+            used = sum(self._charged.values())
+            return {
+                "max_bytes": self.max_bytes,
+                "soft_bytes": self.soft_bytes,
+                "hard_bytes": self.hard_bytes,
+                "used_bytes": used,
+                "level": self._level_locked(),
+                "by_category": dict(self._charged),
+                "refused": self.refused,
+                "events": list(self.events),
+            }
+
+    @staticmethod
+    def _check_category(category: str) -> None:
+        if category not in CATEGORIES:
+            raise ValueError(
+                f"unknown budget category {category!r} "
+                f"(categories: {list(CATEGORIES)})"
+            )
+
+
+def category_for_site(site: str) -> str:
+    """Map an :class:`IoSeam` fault-site name to a ledger category."""
+    prefix = site.split(".", 1)[0]
+    if prefix == "checkpoint":
+        return "checkpoints"
+    if prefix == "cache":
+        return "cache"
+    return "spills"

@@ -49,11 +49,26 @@ class CheckpointStore:
     """
 
     def __init__(
-        self, directory: str | Path, seam: IoSeam | None = None
+        self,
+        directory: str | Path,
+        seam: IoSeam | None = None,
+        *,
+        thin_every: int = 1,
     ) -> None:
         self.directory = Path(directory)
         self._seam = seam if seam is not None else default_seam()
         self._manifest: dict = {}
+        #: Under soft disk pressure (the seam's budget reports non-ok),
+        #: flush the manifest only every Nth journal update — shard
+        #: payloads still land immediately, so the worst case is a
+        #: resume re-simulating the few shards whose manifest rows were
+        #: pending.  ``flush()`` forces the pending state out (called
+        #: before the run manifest, so a finished run is never thinned).
+        self._thin_every = max(1, int(thin_every))
+        self._thin_pending = 0
+        self._dirty = False
+        #: Manifest flushes skipped under pressure (telemetry/tests).
+        self.thinned_flushes = 0
 
     def _shard_path(self, shard_id: int) -> Path:
         return self.directory / f"shard_{shard_id:04d}.csv"
@@ -119,12 +134,31 @@ class CheckpointStore:
         self._flush()
         return set()
 
-    def _flush(self) -> None:
+    def _flush(self, force: bool = False) -> None:
+        self._dirty = True
+        if not force and self._should_thin():
+            self.thinned_flushes += 1
+            return
         self._seam.write_text(
             self.manifest_path,
             json.dumps(self._manifest, indent=2),
             site="checkpoint.manifest",
         )
+        self._dirty = False
+
+    def _should_thin(self) -> bool:
+        if self._thin_every <= 1:
+            return False
+        budget = getattr(self._seam, "budget", None)
+        if budget is None or budget.level() == "ok":
+            return False
+        self._thin_pending += 1
+        return self._thin_pending % self._thin_every != 0
+
+    def flush(self) -> None:
+        """Force any thinned manifest state to disk."""
+        if self._dirty:
+            self._flush(force=True)
 
     # -- shard journal ------------------------------------------------------
 
@@ -235,7 +269,7 @@ class CheckpointStore:
             "attempts": attempts,
             "error": error,
         }
-        self._flush()
+        self._flush(force=True)
 
     def load_shard(self, shard_id: int) -> StudyDataset:
         """Load a journaled shard's records.
@@ -277,10 +311,17 @@ class CheckpointStore:
                 pass  # damaged entry: the batches it named are orphans
             if entry_path.exists():
                 entry_path.unlink()
-        self._flush()
+        self._flush(force=True)
 
     def write_run_manifest(self, manifest: dict) -> Path:
         """Persist the final telemetry record next to the journal."""
+        try:
+            self.flush()  # any thinned shard rows commit before the record
+        except OSError:
+            # an exhausted budget may refuse the journal flush; the run
+            # manifest below is charged without enforcement so the honest
+            # record of the refusal still lands
+            pass
         path = self.directory / RUN_MANIFEST_NAME
         self._seam.write_text(
             path, json.dumps(manifest, indent=2),

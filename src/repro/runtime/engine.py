@@ -42,10 +42,22 @@ from repro.analysis.streaming import StudyAggregates, user_base_ranks
 from repro.chaos.plan import FaultPlan
 from repro.chaos.seam import IoSeam
 from repro.core.records import StudyDataset
-from repro.core.spill import ShardSpill, SpilledDataset, SpillWriter
+from repro.core.spill import (
+    ShardSpill,
+    SpilledDataset,
+    SpillWriter,
+    index_file_name,
+    sweep_orphans,
+)
 from repro.core.study import Study, StudyConfig
 from repro.core.submission import SubmissionSink
 from repro.errors import CheckpointError
+from repro.pressure import (
+    DiskBudget,
+    MemoryGovernor,
+    PressureConfig,
+    du_bytes,
+)
 from repro.runtime.checkpoint import CheckpointStore
 from repro.runtime.pool import (
     DEFAULT_MAX_RETRIES,
@@ -108,6 +120,18 @@ class RuntimeConfig:
     #: how `repro.serve` reuses the graceful-shutdown path from worker
     #: threads, where signal handlers cannot be installed.
     should_stop: Callable[[], bool] | None = None
+    #: `repro.pressure` resource governance: a disk budget enforced at
+    #: the checkpoint/cache IO seam (soft watermark degrades — smaller
+    #: spill batches, thinned manifest flushes; hard refuses new work:
+    #: the run drains in-flight shards like an external stop, with
+    #: ``interrupted_by: "disk-budget"``) plus the per-worker memory
+    #: watermark that shrinks sketch batches before the OOM killer.
+    pressure: PressureConfig | None = None
+    #: A pre-built, possibly *shared* disk ledger (e.g. `repro.serve`'s
+    #: one-per-service budget spanning cache and checkpoints).  When
+    #: set it is used as-is — ``pressure.make_budget()`` is skipped and
+    #: the engine does not seed it (the owner already did).
+    budget: DiskBudget | None = None
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -204,18 +228,25 @@ class _GracefulStop:
 
 
 class _CombinedStop:
-    """The run's stop view: a signal *or* the external ``should_stop``.
+    """The run's stop view: a signal, the external ``should_stop``, or
+    the disk budget crossing its hard watermark.
 
-    The external predicate is latched on its first True so a flapping
-    callable cannot un-request a drain half-way through.
+    The external predicate and the budget trip are latched on their
+    first True so a flapping callable (or a budget that later frees
+    bytes) cannot un-request a drain half-way through.
     """
 
     def __init__(
-        self, signals: _GracefulStop, external: Callable[[], bool] | None
+        self,
+        signals: _GracefulStop,
+        external: Callable[[], bool] | None,
+        budget: DiskBudget | None = None,
     ) -> None:
         self._signals = signals
         self._external = external
+        self._budget = budget
         self._tripped = False
+        self._budget_tripped = False
 
     @property
     def requested(self) -> bool:
@@ -223,13 +254,24 @@ class _CombinedStop:
             return True
         if not self._tripped and self._external is not None:
             self._tripped = bool(self._external())
-        return self._tripped
+        if self._tripped:
+            return True
+        if not self._budget_tripped and self._budget is not None:
+            self._budget_tripped = self._budget.level() == "hard"
+            if self._budget_tripped:
+                self._budget.note(
+                    "hard watermark: refusing new shards, draining "
+                    "in-flight work"
+                )
+        return self._budget_tripped
 
     @property
     def signal_name(self) -> str:
         if self._signals.signal_name:
             return self._signals.signal_name
-        return "external" if self._tripped else ""
+        if self._tripped:
+            return "external"
+        return "disk-budget" if self._budget_tripped else ""
 
 
 def _signal_timers(
@@ -276,13 +318,23 @@ def run_study(
             runtime.progress(telemetry)
 
     streaming = config.aggregation == "sketch"
+    pressure = runtime.pressure
+    owns_budget = runtime.budget is None
+    budget = runtime.budget
+    if budget is None and pressure is not None:
+        budget = pressure.make_budget()
+    if budget is not None and runtime.fault_plan is not None:
+        budget.arm(runtime.fault_plan.for_site("pressure.disk"))
     store: CheckpointStore | None = None
     completed: dict[int, StudyDataset | ShardSpill] = {}
     shard_aggregates: dict[int, dict] = {}
     if runtime.checkpoint_dir is not None:
         store = CheckpointStore(
             runtime.checkpoint_dir,
-            seam=IoSeam.from_plan(runtime.fault_plan),
+            seam=IoSeam.from_plan(runtime.fault_plan, budget=budget),
+            thin_every=(
+                pressure.checkpoint_thin_every if pressure is not None else 1
+            ),
         )
         plays_by_id = {s.shard_id: s.plays for s in plan.shards}
         try:
@@ -323,6 +375,30 @@ def run_study(
             spill_tmp = tempfile.mkdtemp(prefix="repro-spill-")
             spill_dir = Path(spill_tmp)
         spill_dir.mkdir(parents=True, exist_ok=True)
+        if store is not None and runtime.resume:
+            # Spill hygiene: a killed predecessor's weakref finalizer
+            # never ran, so uncommitted batch/temp files linger.  Sweep
+            # everything the resumed shards' indexes do not reference.
+            referenced: set[str] = set()
+            for spill in completed.values():
+                referenced.add(index_file_name(spill.shard_id))
+                referenced.update(
+                    entry["file"] for entry in spill.index["batches"]
+                )
+            files, freed = sweep_orphans(spill_dir, referenced)
+            if files:
+                telemetry.orphans_reclaimed(files, freed)
+
+    if (
+        owns_budget
+        and budget is not None
+        and runtime.checkpoint_dir is not None
+    ):
+        # Seed the ledger with what the directory already holds (a
+        # resumed journal), so watermarks measure real occupancy.  A
+        # shared budget was seeded by its owner; seeding again would
+        # double-count the journal.
+        budget.seed("checkpoints", du_bytes(runtime.checkpoint_dir))
 
     pending = [s for s in plan.shards if s.shard_id not in completed]
     quarantined: set[int] = set()
@@ -330,18 +406,20 @@ def run_study(
     notify()
 
     with _GracefulStop(runtime.handle_signals) as signals:
-        stop = _CombinedStop(signals, runtime.should_stop)
+        stop = _CombinedStop(signals, runtime.should_stop, budget)
         timers = _signal_timers(runtime.fault_plan, runtime.handle_signals)
         try:
             if runtime.workers <= 1:
                 _run_serial(
                     study, pending, telemetry, store, completed, notify,
                     stop, spill_dir, shard_aggregates,
+                    budget=budget, pressure=pressure,
                 )
             else:
                 _run_parallel(
                     config, pending, runtime, telemetry, store, completed,
                     quarantined, notify, stop, spill_dir, shard_aggregates,
+                    budget=budget,
                 )
         finally:
             for timer in timers:
@@ -389,6 +467,8 @@ def run_study(
             sink.submit_many(dataset)
 
     telemetry.run_finished()
+    if budget is not None:
+        telemetry.set_pressure(budget.snapshot())
     notify()
     plays_by_id = {s.shard_id: s.plays for s in plan.shards}
     lost = sum(plays_by_id[shard_id] for shard_id in failed)
@@ -438,7 +518,7 @@ def _journal(telemetry: RunTelemetry, what: str, write: Callable[[], object]):
 
 def _run_serial(
     study, pending, telemetry, store, completed, notify, stop,
-    spill_dir=None, shard_aggregates=None,
+    spill_dir=None, shard_aggregates=None, budget=None, pressure=None,
 ) -> None:
     """In-process execution: no retries (exceptions propagate, as in
     ``Study.run``), but completed shards still journal, so a killed run
@@ -448,23 +528,45 @@ def _run_serial(
     With ``spill_dir`` (streaming mode) shard records go straight to
     columnar batches + aggregates instead of an in-memory dataset; an
     abandoned shard leaves only orphan batch files the next attempt
-    overwrites."""
+    overwrites.  Under resource governance the play-boundary tick is
+    also the degradation point: soft disk pressure and the memory
+    governor both shrink the spill batch size (never the records)."""
     streaming = spill_dir is not None
     base_ranks = user_base_ranks(study.schedule()) if streaming else None
+    min_batch = pressure.min_batch_size if pressure is not None else 1
+    governor = (
+        MemoryGovernor(
+            pressure.memory_soft_bytes, min_batch_size=min_batch
+        )
+        if pressure is not None
+        else None
+    )
     for shard in pending:
         if stop.requested:
             return
         telemetry.shard_started(shard.shard_id, shard.plays, attempt=1)
         started = time.monotonic()
+        writer = None
 
         def tick(done: int, total: int) -> None:
             telemetry.shard_progress(shard.shard_id, done)
             notify()
+            if governor is not None:
+                if writer is not None:
+                    writer.shrink(governor.advise(writer.batch_size))
+                else:
+                    governor.sample()
+            if (
+                writer is not None
+                and budget is not None
+                and budget.level() != "ok"
+            ):
+                writer.shrink(max(min_batch, writer.batch_size // 2))
             if stop.requested:
                 raise _Interrupted
 
         if streaming:
-            writer = SpillWriter(spill_dir, shard.shard_id)
+            writer = SpillWriter(spill_dir, shard.shard_id, budget=budget)
             aggregates = StudyAggregates(user_base_rank=base_ranks)
 
             def on_record(record) -> None:
@@ -488,6 +590,10 @@ def _run_serial(
                 return
             records = len(result)
         elapsed = time.monotonic() - started
+        if writer is not None and writer.shrinks:
+            telemetry.record_memory(0, writer.shrinks)
+        if governor is not None and governor.peak_bytes:
+            telemetry.record_memory(governor.peak_bytes)
         ledger = study.last_validation
         if ledger is not None:
             telemetry.record_violations(ledger.summary(), ledger.checks_run)
@@ -518,7 +624,7 @@ def _run_serial(
 
 def _run_parallel(
     config, pending, runtime, telemetry, store, completed, quarantined,
-    notify, stop, spill_dir=None, shard_aggregates=None,
+    notify, stop, spill_dir=None, shard_aggregates=None, budget=None,
 ) -> None:
     """Pool execution: crashes, raises and hangs retry (with backoff)
     up to ``max_retries``; shards beyond that are quarantined.
@@ -538,6 +644,19 @@ def _run_parallel(
             telemetry.record_violations(
                 info.get("violations"), info.get("checks_run", 0)
             )
+            memory = info.get("memory") or {}
+            if memory:
+                telemetry.record_memory(
+                    memory.get("peak_rss_bytes", 0),
+                    memory.get("batch_shrinks", 0),
+                )
+            if budget is not None and info.get("spill") is not None:
+                # Workers cannot share the parent's ledger across the
+                # process boundary; their spill bytes are charged here,
+                # at the event that makes the spill durable.
+                budget.charge(
+                    "spills", info.get("spill_bytes", 0), enforce=False
+                )
             if info.get("spill") is not None:
                 if store is not None:
                     _journal(
@@ -595,4 +714,5 @@ def _run_parallel(
         watchdog_deadline_s=runtime.watchdog_deadline_s,
         should_stop=lambda: stop.requested,
         spill_dir=str(spill_dir) if spill_dir is not None else None,
+        pressure=runtime.pressure,
     )

@@ -52,6 +52,7 @@ from repro.analysis.streaming import StudyAggregates, user_base_ranks
 from repro.core.records import StudyDataset
 from repro.core.spill import ShardSpill, SpillError, SpillWriter
 from repro.core.study import Study, StudyConfig
+from repro.pressure import MemoryGovernor, PressureConfig
 from repro.runtime.scheduler import ShardSpec
 
 #: Retries after the first attempt before a shard is declared failed.
@@ -149,6 +150,7 @@ def _shard_worker(
     plan: FaultPlan | None,
     queue,
     spill_dir: str | None = None,
+    pressure: PressureConfig | None = None,
 ) -> None:
     try:
         if (
@@ -164,11 +166,28 @@ def _shard_worker(
         injected = WorkerFaults(plan, shard_id, attempt)
         started = time.monotonic()
         study = Study(config)
+        governor = (
+            MemoryGovernor(
+                pressure.memory_soft_bytes,
+                min_batch_size=pressure.min_batch_size,
+            )
+            if pressure is not None
+            else None
+        )
+        writer: SpillWriter | None = None
 
         def tick(done: int, total: int) -> None:
             # The tick doubles as the watchdog heartbeat: a worker that
-            # stops finishing plays stops beating.
+            # stops finishing plays stops beating.  With a memory
+            # governor the heartbeat is also the RSS sample point; a
+            # worker above the soft watermark shrinks its spill batches
+            # here, before the OOM killer picks a victim.
             queue.put(("tick", shard_id, done))
+            if governor is not None:
+                if writer is not None:
+                    writer.shrink(governor.advise(writer.batch_size))
+                else:
+                    governor.sample()
             injected.on_play_done(done)
 
         if config.aggregation == "sketch" and spill_dir is not None:
@@ -192,10 +211,15 @@ def _shard_worker(
             payload: object = {
                 "spill_index": writer.finish(),
                 "aggregates": aggregates.to_dict(),
+                "spill_bytes": writer.bytes_written,
             }
         else:
             dataset = study.run_users(user_ids, progress=tick)
             payload = dataset.to_csv_string()
+        memory = governor.stats() if governor is not None else {}
+        if writer is not None and memory:
+            memory["batch_shrinks"] = writer.shrinks
+            memory["final_batch_size"] = writer.batch_size
         ledger = study.last_validation
         queue.put(
             (
@@ -206,6 +230,7 @@ def _shard_worker(
                 time.monotonic() - started,
                 ledger.summary() if ledger is not None else {},
                 ledger.checks_run if ledger is not None else 0,
+                memory,
             )
         )
     except Exception:
@@ -245,6 +270,7 @@ def run_shards(
     watchdog_deadline_s: float = DEFAULT_WATCHDOG_DEADLINE_S,
     should_stop: Callable[[], bool] | None = None,
     spill_dir: str | None = None,
+    pressure: PressureConfig | None = None,
 ) -> dict[int, ShardResult]:
     """Run every shard on a bounded pool; return results keyed by id.
 
@@ -318,7 +344,10 @@ def run_shards(
             if shard_id in running:
                 emit("tick", shard_id, done=event[2])
         elif kind == "finished":
-            _kind, _sid, attempt, payload, elapsed, violations, checks = event
+            (
+                _kind, _sid, attempt, payload, elapsed, violations, checks,
+                memory,
+            ) = event
             proc = running.pop(shard_id, None)
             if proc is not None:
                 proc.join()
@@ -347,7 +376,9 @@ def run_shards(
                     records=spill.count, dataset=None,
                     spill=spill, spill_index=payload["spill_index"],
                     aggregates=payload["aggregates"],
+                    spill_bytes=payload.get("spill_bytes", 0),
                     violations=violations, checks_run=checks,
+                    memory=memory,
                 )
                 return
             dataset = StudyDataset.from_csv_string(payload)
@@ -364,6 +395,7 @@ def run_shards(
                 attempt=attempt, elapsed_s=elapsed,
                 records=len(dataset), dataset=dataset,
                 violations=violations, checks_run=checks,
+                memory=memory,
             )
         elif kind == "failed":
             _kind, _sid, attempt, error = event
@@ -454,6 +486,7 @@ def run_shards(
                         plan,
                         queue,
                         spill_dir,
+                        pressure,
                     ),
                     daemon=True,
                 )

@@ -46,6 +46,15 @@ class RunTelemetry:
     #: Checkpoint-journal writes that failed and were degraded (ENOSPC,
     #: EIO...): the run continued, the shard re-simulates on resume.
     journal_errors: list[str] = field(default_factory=list)
+    #: Orphaned spill files reclaimed at startup (killed predecessor).
+    orphans_swept: int = 0
+    orphans_swept_bytes: int = 0
+    #: Peak worker RSS observed (memory governor), and how many times a
+    #: sketch spill batch was shrunk under memory/disk pressure.
+    memory_peak_bytes: int = 0
+    batch_shrinks: int = 0
+    #: Final `repro.pressure` budget snapshot (set by the engine).
+    pressure: dict = field(default_factory=dict)
     _started_at: float | None = None
     _finished_at: float | None = None
     _busy_s: float = 0.0
@@ -114,6 +123,24 @@ class RunTelemetry:
     def journal_error(self, message: str) -> None:
         """A checkpoint write failed and was degraded, not fatal."""
         self.journal_errors.append(message)
+
+    def orphans_reclaimed(self, files: int, nbytes: int) -> None:
+        """Startup spill hygiene swept a killed run's leftovers."""
+        self.orphans_swept += int(files)
+        self.orphans_swept_bytes += int(nbytes)
+
+    def record_memory(
+        self, peak_rss_bytes: int, batch_shrinks: int = 0
+    ) -> None:
+        """Fold one worker's memory-governor stats into the run's."""
+        self.memory_peak_bytes = max(
+            self.memory_peak_bytes, int(peak_rss_bytes)
+        )
+        self.batch_shrinks += int(batch_shrinks)
+
+    def set_pressure(self, snapshot: dict | None) -> None:
+        """Attach the run's final disk-budget snapshot."""
+        self.pressure = dict(snapshot) if snapshot else {}
 
     def record_violations(
         self, summary: dict[str, int] | None, checks_run: int = 0
@@ -240,6 +267,12 @@ class RunTelemetry:
             failed/quarantined shards.
         ``finished``
             The run is over (``run_finished`` seen).
+
+        Resource-governance keys appear only when the feature fired
+        (keeping ungoverned runs' snapshots unchanged):
+        ``orphans_swept`` (startup spill hygiene reclaimed files),
+        ``memory_peak_bytes`` / ``batch_shrinks`` (worker memory
+        governor), ``pressure_level`` (the disk budget's final level).
         """
         eta = self.eta_s()
         states: dict[str, int] = {}
@@ -260,6 +293,29 @@ class RunTelemetry:
             "journal_errors": len(self.journal_errors),
             "shard_states": states,
             "finished": self.finished,
+            **(
+                {
+                    "orphans_swept": self.orphans_swept,
+                    "orphans_swept_bytes": self.orphans_swept_bytes,
+                }
+                if self.orphans_swept
+                else {}
+            ),
+            **(
+                {"memory_peak_bytes": self.memory_peak_bytes}
+                if self.memory_peak_bytes
+                else {}
+            ),
+            **(
+                {"batch_shrinks": self.batch_shrinks}
+                if self.batch_shrinks
+                else {}
+            ),
+            **(
+                {"pressure_level": self.pressure.get("level")}
+                if self.pressure
+                else {}
+            ),
         }
 
     def progress_line(self) -> str:
@@ -306,6 +362,7 @@ class RunTelemetry:
                 if self.journal_errors
                 else {}
             ),
+            **({"pressure": dict(self.pressure)} if self.pressure else {}),
             **snap,
             "shards": [
                 {

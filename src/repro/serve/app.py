@@ -127,7 +127,16 @@ class ReproService:
         except ProtocolError as exc:
             response = error_response(400, str(exc))
         except QueueFull as exc:
-            response = error_response(429, str(exc))
+            # Every 429 carries Retry-After: saturation and disk
+            # pressure are both transient, and well-behaved clients
+            # back off instead of hammering.
+            response = error_response(
+                429,
+                str(exc),
+                extra_headers=(
+                    ("Retry-After", str(max(0, int(exc.retry_after_s)))),
+                ),
+            )
         except ServeError as exc:
             status = 503 if self.manager.draining else 409
             response = error_response(status, str(exc))
@@ -332,6 +341,8 @@ async def serve_forever(
     workers: int = 2,
     shard_workers: int = 1,
     queue_capacity: int = 64,
+    max_disk_bytes: int | None = None,
+    max_cache_bytes: int | None = None,
     fault_plan: FaultPlan | None = None,
     ready: "asyncio.Event | None" = None,
     stop: "asyncio.Event | None" = None,
@@ -353,6 +364,8 @@ async def serve_forever(
         workers=workers,
         shard_workers=shard_workers,
         queue_capacity=queue_capacity,
+        max_disk_bytes=max_disk_bytes,
+        max_cache_bytes=max_cache_bytes,
     )
     service = ReproService(manager, ServeFaults(fault_plan))
     server = await asyncio.start_server(service.handle, host, port)

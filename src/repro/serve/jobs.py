@@ -38,9 +38,16 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field, replace
 from pathlib import Path
 
+from repro.chaos.seam import IoSeam
 from repro.core.spill import SpilledDataset
 from repro.core.study import StudyConfig
 from repro.errors import ServeError, StudyError
+from repro.pressure import (
+    DiskBudget,
+    DiskBudgetExceeded,
+    PressureConfig,
+    du_bytes,
+)
 from repro.runtime import RunTelemetry, RuntimeConfig, run_study
 from repro.serve.broker import SseBroker
 from repro.serve.scheduler import FairScheduler, QueueFull
@@ -248,6 +255,8 @@ class JobManager:
         queue_capacity: int = 64,
         quantum: int = 200,
         quarantine_threshold: float = DEFAULT_QUARANTINE_THRESHOLD,
+        max_disk_bytes: int | None = None,
+        max_cache_bytes: int | None = None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -256,6 +265,17 @@ class JobManager:
         self.workers = workers
         self.shard_workers = shard_workers
         self.quarantine_threshold = quarantine_threshold
+        #: One ledger for the whole service: cache entries, checkpoint
+        #: journals, and spill files all charge against it, so the
+        #: watermarks see the service's real footprint.
+        self.budget = (
+            DiskBudget(max_disk_bytes) if max_disk_bytes else None
+        )
+        self.max_cache_bytes = max_cache_bytes
+        #: Completed studies whose cache store was skipped because the
+        #: budget was under pressure (the checkpoint stays on disk, so
+        #: no work is lost — a resubmission resumes instantly).
+        self.store_skips = 0
         self.scheduler = FairScheduler(
             capacity=queue_capacity, quantum=quantum
         )
@@ -263,6 +283,7 @@ class JobManager:
         self.sims: dict[str, Simulation] = {}
         self.cache_counters = {
             "hits": 0, "misses": 0, "stores": 0, "evicted": 0,
+            "gc_evicted": 0,
         }
         self.simulated = 0  # simulations actually run (not cache-served)
         self.draining = False
@@ -276,6 +297,10 @@ class JobManager:
     def start(self) -> None:
         self._loop = asyncio.get_running_loop()
         self.cache_dir.mkdir(parents=True, exist_ok=True)
+        if self.budget is not None:
+            # Seed with what's already on disk (warm cache, leftover
+            # checkpoints) so watermarks measure real occupancy.
+            self.budget.seed("cache", du_bytes(self.cache_dir))
         self._executor = ThreadPoolExecutor(
             max_workers=self.workers, thread_name_prefix="repro-serve"
         )
@@ -313,6 +338,7 @@ class JobManager:
         """Register (or attach to) a study job.  Returns the job and
         whether this call created it."""
         self._refuse_if_draining()
+        self._refuse_if_pressured()
         config = StudyConfig.from_dict(config_data)  # StudyError -> 400
         # `aggregation` is an execution knob excluded from the canonical
         # hash (and therefore dropped by from_dict): re-apply it so a
@@ -354,6 +380,7 @@ class JobManager:
     ) -> tuple[Job, bool]:
         """Register (or attach to) a sweep job."""
         self._refuse_if_draining()
+        self._refuse_if_pressured()
         spec = SweepSpec.from_dict(spec_data)  # SweepError -> 400
         digest = sweep_digest(spec)
         job_id = _job_id("sweep", digest)
@@ -402,6 +429,28 @@ class JobManager:
     def _refuse_if_draining(self) -> None:
         if self.draining:
             raise ServeError("server is draining (SIGTERM received)")
+
+    def _refuse_if_pressured(self) -> None:
+        """Hard disk watermark: refuse new submissions honestly (429 +
+        ``Retry-After``) instead of accepting work that cannot land."""
+        if self.budget is None or self.budget.level() != "hard":
+            return
+        snapshot = self.budget.snapshot()
+        raise QueueFull(
+            f"disk budget exhausted: {snapshot['used_bytes']} of "
+            f"{snapshot['max_bytes']} bytes used (hard watermark "
+            f"{snapshot['hard_bytes']}); run `repro cache gc` or raise "
+            "--max-disk-bytes"
+        )
+
+    def _cache(self) -> StudyCache:
+        """A worker-thread cache handle wired to the shared budget and
+        the cache size cap (stores trigger LRU GC automatically)."""
+        return StudyCache(
+            self.cache_dir,
+            seam=IoSeam(budget=self.budget),
+            max_bytes=self.max_cache_bytes,
+        )
 
     def _intake_sim(
         self, config: StudyConfig, config_hash: str, client_id: str
@@ -460,12 +509,14 @@ class JobManager:
             self.cache_counters[key] += value
         if outcome.get("simulated"):
             self.simulated += 1
+        if outcome.get("store_skipped"):
+            self.store_skips += 1
         self._fanout(sim)
 
     def _execute(self, sim: Simulation) -> dict:
         """Worker-thread body: cache probe, else checkpointed run."""
         started = time.monotonic()
-        cache = StudyCache(self.cache_dir)
+        cache = self._cache()
         try:
             # probe(), not load(): answering a warm submission only
             # needs "a verified study.csv is on disk" (the CSV route
@@ -521,6 +572,15 @@ class JobManager:
                 resume=resume,
                 progress=progress,
                 should_stop=self._stop_event.is_set,
+                # The service-wide ledger: this run's checkpoint and
+                # spill writes charge the same budget as cache stores,
+                # and a hard watermark drains the run honestly.
+                budget=self.budget,
+                pressure=(
+                    PressureConfig(max_disk_bytes=self.budget.max_bytes)
+                    if self.budget is not None
+                    else None
+                ),
             ),
         )
         outcome = {
@@ -538,10 +598,17 @@ class JobManager:
             # Honest manifest + journaled shards are already on disk;
             # a restarted server resumes from them.
             outcome["state"] = "interrupted"
-            outcome["error"] = (
-                "drained by server shutdown; resubmit to resume from "
-                "the checkpoint"
-            )
+            if result.manifest.get("interrupted_by") == "disk-budget":
+                outcome["error"] = (
+                    "drained by the disk budget's hard watermark; free "
+                    "space (repro cache gc) or raise the budget, then "
+                    "resubmit to resume from the checkpoint"
+                )
+            else:
+                outcome["error"] = (
+                    "drained by server shutdown; resubmit to resume from "
+                    "the checkpoint"
+                )
         elif result.failed_shards:
             outcome["state"] = "failed"
             outcome["quarantined"] = list(result.failed_shards)
@@ -569,19 +636,44 @@ class JobManager:
                 figures = render_figure_summary(result, sim.config)
                 extra["figures"] = figures
                 outcome["figures"] = figures
-            if isinstance(result.dataset, SpilledDataset):
-                # Streaming (sketch) runs never materialize the CSV:
-                # chunks flow from the spill files into the cache entry
-                # while the digest folds incrementally.
-                cache.store_stream(
-                    sim.config_hash,
-                    result.dataset.iter_csv_chunks(),
-                    records=len(result.dataset),
-                    extra=extra,
+            if self.budget is not None and self.budget.level() != "ok":
+                # Soft/hard pressure: don't grow the cache.  The
+                # checkpoint journal stays on disk, so the finished
+                # work is not lost — a resubmission resumes instantly
+                # instead of re-simulating.
+                outcome["store_skipped"] = True
+                self.budget.note(
+                    f"skipped cache store of {sim.config_hash[:12]} "
+                    f"(budget level {self.budget.level()})"
                 )
             else:
-                cache.store(sim.config_hash, result.dataset, extra=extra)
-            shutil.rmtree(ckpt, ignore_errors=True)
+                try:
+                    if isinstance(result.dataset, SpilledDataset):
+                        # Streaming (sketch) runs never materialize the
+                        # CSV: chunks flow from the spill files into the
+                        # cache entry while the digest folds
+                        # incrementally.
+                        cache.store_stream(
+                            sim.config_hash,
+                            result.dataset.iter_csv_chunks(),
+                            records=len(result.dataset),
+                            extra=extra,
+                        )
+                    else:
+                        cache.store(
+                            sim.config_hash, result.dataset, extra=extra
+                        )
+                except DiskBudgetExceeded:
+                    # The store itself crossed the hard watermark (the
+                    # seam refused before committing): same degradation
+                    # as a pre-flight skip, checkpoint kept.
+                    outcome["store_skipped"] = True
+                else:
+                    if self.budget is not None:
+                        self.budget.release(
+                            "checkpoints", du_bytes(ckpt)
+                        )
+                    shutil.rmtree(ckpt, ignore_errors=True)
             outcome["state"] = "done"
         outcome["cache_counters"] = cache.counters()
         return outcome
@@ -721,7 +813,7 @@ class JobManager:
         """Worker-thread body: CellRuns from the cache, then the
         claim-sensitivity comparison."""
         assert job.spec is not None
-        cache = StudyCache(self.cache_dir)
+        cache = self._cache()
         runs = []
         for cell, sim in job.cells:
             entry = cache.load(sim.config_hash)
@@ -798,4 +890,14 @@ class JobManager:
             "shard_workers": self.shard_workers,
             "cache": dict(self.cache_counters),
             "draining": self.draining,
+            **(
+                {
+                    "pressure": {
+                        **self.budget.snapshot(),
+                        "store_skips": self.store_skips,
+                    }
+                }
+                if self.budget is not None
+                else {}
+            ),
         }

@@ -165,8 +165,16 @@ def json_response(
     return response_bytes(status, body, extra_headers=extra_headers)
 
 
-def error_response(status: int, message: str) -> bytes:
-    return json_response(status, {"error": message, "status": status})
+def error_response(
+    status: int,
+    message: str,
+    extra_headers: tuple[tuple[str, str], ...] = (),
+) -> bytes:
+    return json_response(
+        status,
+        {"error": message, "status": status},
+        extra_headers=extra_headers,
+    )
 
 
 def sse_headers() -> bytes:

@@ -33,7 +33,15 @@ DEFAULT_CAPACITY = 64
 
 
 class QueueFull(Exception):
-    """The scheduler's bounded queue is at capacity (backpressure)."""
+    """The scheduler's bounded queue is at capacity (backpressure).
+
+    Also raised by `repro.serve.jobs` when the disk budget's hard
+    watermark refuses new submissions — either way the client gets a
+    429 with a ``Retry-After`` of :attr:`retry_after_s` seconds.
+    """
+
+    #: Advisory client backoff, sent as the 429's ``Retry-After``.
+    retry_after_s: int = 5
 
 
 @dataclass

@@ -18,12 +18,25 @@ missing/unparsable manifests, hash mismatches, damaged or truncated
 CSVs, and record-count disagreements are all *evicted and reported as
 misses* — a corrupt cache re-simulates, it never crashes a sweep or,
 worse, silently feeds it wrong results.
+
+With ``max_bytes`` the store is *capped*: a persisted usage index
+(``<root>/usage.json``, a logical hit-tick per entry — wall clocks
+would make eviction order racy and test-hostile) drives deterministic
+LRU-by-last-hit garbage collection.  GC evicts by removing the
+manifest first (the commit marker — the entry is a miss from that
+instant) and the CSV second, so a store racing a GC wins or loses
+atomically: the survivor is either a complete valid entry or a miss,
+and the load-time paranoia mops up any torn leftover.  Corruption
+evictions (:attr:`evicted`) and GC evictions (:attr:`gc_evicted`) are
+accounted separately — one is an integrity event worth alarming on,
+the other is routine housekeeping.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
+import os
 import shutil
 from dataclasses import dataclass
 from pathlib import Path
@@ -33,6 +46,7 @@ from repro.core.records import StudyDataset
 
 MANIFEST_NAME = "manifest.json"
 CSV_NAME = "study.csv"
+USAGE_NAME = "usage.json"
 
 #: Bumped when the entry layout changes; old entries re-simulate.
 CACHE_FORMAT = 1
@@ -51,12 +65,21 @@ class StudyCache:
     """The sweep's content-addressed study store."""
 
     def __init__(
-        self, root: str | Path, seam: IoSeam | None = None
+        self,
+        root: str | Path,
+        seam: IoSeam | None = None,
+        *,
+        max_bytes: int | None = None,
     ) -> None:
+        if max_bytes is not None and max_bytes <= 0:
+            raise ValueError("max_bytes must be positive or None")
         self.root = Path(root)
         self._seam = seam if seam is not None else default_seam()
+        self.max_bytes = max_bytes
         #: Entries dropped because they failed an integrity check.
         self.evicted: list[str] = []
+        #: Entries dropped by LRU garbage collection (size cap).
+        self.gc_evicted: list[str] = []
         #: Verified loads served from disk.
         self.hits = 0
         #: Loads that found nothing (evictions included).
@@ -71,6 +94,7 @@ class StudyCache:
             "misses": self.misses,
             "stores": self.stores,
             "evicted": len(self.evicted),
+            "gc_evicted": len(self.gc_evicted),
         }
 
     def entry_dir(self, config_hash: str) -> Path:
@@ -125,6 +149,7 @@ class StudyCache:
                 f"{manifest.get('records')}",
             )
         self.hits += 1
+        self._touch(config_hash)
         return CacheEntry(
             config_hash=config_hash, dataset=dataset, manifest=manifest
         )
@@ -181,6 +206,7 @@ class StudyCache:
                 f"{str(manifest.get('csv_sha256'))[:12]}",
             )
         self.hits += 1
+        self._touch(config_hash)
         return manifest
 
     def csv_path(self, config_hash: str) -> Path:
@@ -225,6 +251,9 @@ class StudyCache:
             site="cache.manifest",
         )
         self.stores += 1
+        self._touch(config_hash)
+        if self.max_bytes is not None:
+            self.gc()
         return CacheEntry(
             config_hash=config_hash, dataset=dataset, manifest=manifest
         )
@@ -272,13 +301,18 @@ class StudyCache:
             site="cache.manifest",
         )
         self.stores += 1
+        self._touch(config_hash)
+        if self.max_bytes is not None:
+            self.gc()
         return manifest
 
     def invalidate(self, config_hash: str) -> None:
         """Remove an entry (no-op when absent)."""
         directory = self.entry_dir(config_hash)
         if directory.exists():
+            freed = self._entry_bytes(config_hash)
             shutil.rmtree(directory)
+            self._release(freed)
 
     def entries(self) -> list[str]:
         """Every committed config hash currently in the store."""
@@ -288,3 +322,149 @@ class StudyCache:
             path.parent.name
             for path in self.root.glob(f"??/*/{MANIFEST_NAME}")
         )
+
+    # -- size cap and LRU garbage collection ---------------------------------
+
+    def _entry_bytes(self, config_hash: str) -> int:
+        directory = self.entry_dir(config_hash)
+        total = 0
+        try:
+            for path in directory.iterdir():
+                try:
+                    total += path.stat().st_size
+                except OSError:
+                    pass
+        except OSError:
+            pass
+        return total
+
+    def usage_bytes(self) -> int:
+        """Total on-disk size of every committed entry."""
+        return sum(self._entry_bytes(h) for h in self.entries())
+
+    def _release(self, nbytes: int) -> None:
+        budget = getattr(self._seam, "budget", None)
+        if budget is not None and nbytes > 0:
+            budget.release("cache", nbytes)
+
+    def _load_usage(self) -> dict:
+        """The persisted LRU index; damage degrades to an empty index
+        (every entry ties at tick 0, eviction order falls back to the
+        hash sort — still deterministic)."""
+        try:
+            data = json.loads((self.root / USAGE_NAME).read_text())
+            return {
+                "tick": int(data["tick"]),
+                "entries": {
+                    str(k): int(v) for k, v in data["entries"].items()
+                },
+            }
+        except (OSError, ValueError, KeyError, TypeError, AttributeError):
+            return {"tick": 0, "entries": {}}
+
+    def _write_usage(self, usage: dict) -> None:
+        # Plain atomic replace, no fsync and no seam site: the index is
+        # advisory and rebuildable, so losing a touch on crash is fine,
+        # but a torn file never is.
+        path = self.root / USAGE_NAME
+        tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+            tmp.write_text(json.dumps(usage, sort_keys=True))
+            os.replace(tmp, path)
+        except OSError:
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+
+    def _touch(self, config_hash: str) -> None:
+        usage = self._load_usage()
+        usage["tick"] += 1
+        usage["entries"][config_hash] = usage["tick"]
+        self._write_usage(usage)
+
+    def _remove_entry(self, config_hash: str) -> None:
+        """GC-remove: manifest (the commit marker) first, so the entry
+        is a miss from the first unlink; a store racing us can rewrite
+        the files and win cleanly — load-time paranoia evicts any torn
+        interleaving, so readers see a valid entry or a miss, never
+        corrupt data."""
+        directory = self.entry_dir(config_hash)
+        for name in (MANIFEST_NAME, CSV_NAME):
+            try:
+                (directory / name).unlink()
+            except OSError:
+                pass
+        try:
+            directory.rmdir()
+        except OSError:
+            pass  # a racing store recreated files; its entry stands
+
+    def gc(self, max_bytes: int | None = None) -> dict:
+        """Evict least-recently-hit entries until the store fits.
+
+        ``max_bytes`` overrides the instance cap for this collection
+        (the ``repro cache gc --max-bytes`` path).  Returns a report:
+        sizes before/after and the evicted entries in eviction order.
+        """
+        limit = self.max_bytes if max_bytes is None else max_bytes
+        usage = self._load_usage()
+        ranked = []
+        total = 0
+        for config_hash in self.entries():
+            size = self._entry_bytes(config_hash)
+            total += size
+            ranked.append(
+                (usage["entries"].get(config_hash, 0), config_hash, size)
+            )
+        removed = []
+        freed = 0
+        if limit is not None:
+            ranked.sort()  # oldest hit-tick first; hash breaks ties
+            for tick, config_hash, size in ranked:
+                if total - freed <= limit:
+                    break
+                self._remove_entry(config_hash)
+                self._release(size)
+                self.gc_evicted.append(config_hash)
+                usage["entries"].pop(config_hash, None)
+                removed.append({
+                    "config_hash": config_hash,
+                    "bytes": size,
+                    "last_hit_tick": tick,
+                })
+                freed += size
+        live = {h for _t, h, _s in ranked}
+        live -= {entry["config_hash"] for entry in removed}
+        usage["entries"] = {
+            h: t for h, t in usage["entries"].items() if h in live
+        }
+        self._write_usage(usage)
+        return {
+            "limit_bytes": limit,
+            "before_bytes": total,
+            "after_bytes": total - freed,
+            "removed": removed,
+        }
+
+    def ls(self) -> list[dict]:
+        """Every entry with size, record count, and LRU rank — least
+        recently hit first (the next GC victim leads)."""
+        usage = self._load_usage()["entries"]
+        rows = []
+        for config_hash in self.entries():
+            try:
+                manifest = json.loads(
+                    (self.entry_dir(config_hash) / MANIFEST_NAME).read_text()
+                )
+            except (OSError, ValueError):
+                manifest = {}
+            rows.append({
+                "config_hash": config_hash,
+                "bytes": self._entry_bytes(config_hash),
+                "records": manifest.get("records"),
+                "last_hit_tick": usage.get(config_hash, 0),
+            })
+        rows.sort(key=lambda r: (r["last_hit_tick"], r["config_hash"]))
+        return rows

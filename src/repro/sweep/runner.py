@@ -16,9 +16,11 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable
 
+from repro.chaos.seam import IoSeam
 from repro.core.records import StudyDataset
 from repro.errors import SweepError
 from repro.experiments.claims import DEFAULT_QUARANTINE_THRESHOLD
+from repro.pressure import DiskBudget, DiskBudgetExceeded
 from repro.runtime import RuntimeConfig, run_study
 from repro.sweep.cache import StudyCache
 from repro.sweep.spec import SweepCell, SweepSpec
@@ -41,6 +43,10 @@ class CellRun:
     #: complete run; always 0.0 for cache hits — partials are never
     #: cached).  Claims refuse to judge above the sweep's threshold.
     quarantined_fraction: float = 0.0
+    #: The cell simulated fine but its cache store was skipped (disk
+    #: budget under pressure, or the store itself was refused at the
+    #: hard watermark).  The result is still returned and correct.
+    store_skipped: bool = False
 
     @property
     def cell_id(self) -> str:
@@ -64,6 +70,11 @@ class SweepResult:
     evicted: tuple[str, ...]
     workers: int
     elapsed_s: float
+    #: Cache entries evicted by LRU garbage collection (size cap) —
+    #: routine housekeeping, accounted separately from corruption.
+    gc_evicted: tuple[str, ...] = ()
+    #: Cells whose cache store was skipped under disk pressure.
+    store_skips: int = 0
     #: :meth:`StudyCache.counters` at the end of the run — the store's
     #: own load/store traffic (None when the sweep ran uncached).
     cache_counters: dict | None = None
@@ -86,7 +97,16 @@ class SweepResult:
             "cells": len(self.runs),
             "cache_hits": self.hits,
             "cache_misses": self.misses,
+            # Corruption evictions (integrity failures — worth
+            # alarming on) and GC evictions (size-cap housekeeping)
+            # are different events; never conflate them.
             "cache_evicted": list(self.evicted),
+            "cache_gc_evicted": list(self.gc_evicted),
+            **(
+                {"cache_store_skips": self.store_skips}
+                if self.store_skips
+                else {}
+            ),
             **(
                 {"cache": dict(self.cache_counters)}
                 if self.cache_counters is not None
@@ -128,12 +148,18 @@ def run_cell(
     workers: int = 1,
     force: bool = False,
     quarantine_threshold: float = DEFAULT_QUARANTINE_THRESHOLD,
+    budget: DiskBudget | None = None,
 ) -> CellRun:
     """Execute one cell: verified cache hit, else simulate and store.
 
     A cell whose run quarantined shards is never cached; above
     ``quarantine_threshold`` (fraction of scheduled plays lost) it is
     refused outright, because its claims could not be judged anyway.
+
+    With a ``budget``, soft pressure skips the cache store (the result
+    is still computed and returned) and the hard watermark refuses to
+    simulate at all — a cached cell still answers, but new disk-bound
+    work is declined honestly with :class:`~repro.errors.SweepError`.
     """
     config = cell.study_config()
     config_hash = config.canonical_hash()
@@ -149,6 +175,14 @@ def run_cell(
                 elapsed_s=time.monotonic() - started,
                 plays_per_second=None,
             )
+    if budget is not None and budget.level() == "hard":
+        snapshot = budget.snapshot()
+        raise SweepError(
+            f"cell {cell.cell_id!r} refused: disk budget exhausted "
+            f"({snapshot['used_bytes']} of {snapshot['max_bytes']} bytes "
+            f"used, hard watermark {snapshot['hard_bytes']}); run "
+            "`repro cache gc` or raise the budget"
+        )
     result = run_study(config, RuntimeConfig(workers=workers))
     quarantined_fraction = 0.0
     if result.failed_shards:
@@ -162,20 +196,39 @@ def run_cell(
                 "cache a partial study"
             )
     plays_per_second = result.telemetry.plays_per_second()
+    store_skipped = False
     if cache is not None and not result.failed_shards:
-        cache.store(
-            config_hash,
-            result.dataset,
-            extra={
-                "cell_id": cell.cell_id,
-                "config": config.to_canonical_dict(),
-                "engine": {
-                    "workers": workers,
-                    "plays_per_second": round(plays_per_second, 2),
-                    "shard_count": result.plan.shard_count,
-                },
-            },
-        )
+        if budget is not None and budget.level() != "ok":
+            # Soft pressure: stop growing the cache.  Correctness is
+            # unaffected — the dataset is a pure function of the
+            # config, so a future uncached run recomputes it exactly.
+            store_skipped = True
+            budget.note(
+                f"skipped cache store of cell {cell.cell_id!r} "
+                f"(budget level {budget.level()})"
+            )
+        else:
+            try:
+                cache.store(
+                    config_hash,
+                    result.dataset,
+                    extra={
+                        "cell_id": cell.cell_id,
+                        "config": config.to_canonical_dict(),
+                        "engine": {
+                            "workers": workers,
+                            "plays_per_second": round(
+                                plays_per_second, 2
+                            ),
+                            "shard_count": result.plan.shard_count,
+                        },
+                    },
+                )
+            except DiskBudgetExceeded:
+                # The store itself crossed the hard watermark: the
+                # seam refused before committing, so the cache holds
+                # no torn entry; keep the computed result.
+                store_skipped = True
     return CellRun(
         cell=cell,
         config_hash=config_hash,
@@ -184,6 +237,7 @@ def run_cell(
         elapsed_s=time.monotonic() - started,
         plays_per_second=plays_per_second,
         quarantined_fraction=quarantined_fraction,
+        store_skipped=store_skipped,
     )
 
 
@@ -194,6 +248,8 @@ def run_sweep(
     force: bool = False,
     progress: Callable[[str], None] | None = None,
     quarantine_threshold: float = DEFAULT_QUARANTINE_THRESHOLD,
+    max_cache_bytes: int | None = None,
+    budget: DiskBudget | None = None,
 ) -> SweepResult:
     """Run every cell of the sweep and return the collected results.
 
@@ -202,12 +258,25 @@ def run_sweep(
     through to `repro.runtime` per cell; ``progress`` receives one
     status line per cell; ``quarantine_threshold`` bounds the fraction
     of quarantined plays a cell may lose before the sweep refuses it.
+
+    ``max_cache_bytes`` caps the store (LRU GC after every store);
+    ``budget`` is a `repro.pressure` disk ledger — cache writes charge
+    it, soft pressure skips new stores, and the hard watermark refuses
+    uncached cells.
     """
     if workers < 1:
         raise SweepError(f"workers must be >= 1, got {workers}")
     cells = spec.cells()
     baseline_cell = spec.baseline_cell()
-    cache = StudyCache(cache_dir) if cache_dir is not None else None
+    cache = (
+        StudyCache(
+            cache_dir,
+            seam=IoSeam(budget=budget),
+            max_bytes=max_cache_bytes,
+        )
+        if cache_dir is not None
+        else None
+    )
     started = time.monotonic()
     runs: list[CellRun] = []
     for index, cell in enumerate(cells):
@@ -217,12 +286,16 @@ def run_sweep(
             workers=workers,
             force=force,
             quarantine_threshold=quarantine_threshold,
+            budget=budget,
         )
         runs.append(run)
         if progress is not None:
-            status = "cached" if run.cached else (
-                f"simulated at {run.plays_per_second:.1f} plays/s"
-            )
+            if run.cached:
+                status = "cached"
+            else:
+                status = f"simulated at {run.plays_per_second:.1f} plays/s"
+                if run.store_skipped:
+                    status += ", store skipped (disk pressure)"
             progress(
                 f"[{index + 1}/{len(cells)}] {run.cell_id}: "
                 f"{run.records} records, {status} "
@@ -240,5 +313,7 @@ def run_sweep(
         evicted=tuple(cache.evicted) if cache is not None else (),
         workers=workers,
         elapsed_s=time.monotonic() - started,
+        gc_evicted=tuple(cache.gc_evicted) if cache is not None else (),
+        store_skips=sum(1 for run in runs if run.store_skipped),
         cache_counters=cache.counters() if cache is not None else None,
     )

@@ -1,0 +1,156 @@
+"""Capped-cache LRU garbage collection: deterministic and accountable.
+
+The size cap must never be exceeded after a store, eviction order is
+LRU-by-last-hit via the persisted ``usage.json`` index (logical ticks,
+not wall clocks), and GC evictions are accounted separately from
+corruption evictions.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.chaos.seam import IoSeam
+from repro.core.records import StudyDataset
+from repro.pressure import DiskBudget
+from repro.sweep import StudyCache
+from repro.sweep.cache import USAGE_NAME
+from tests.test_sweep_cache import _record
+
+
+def _hash(index: int) -> str:
+    return f"{index:02x}" + "0" * 62
+
+
+def _dataset(records: int = 5) -> StudyDataset:
+    return StudyDataset([_record(i) for i in range(records)])
+
+
+def _fill(cache: StudyCache, count: int) -> list[str]:
+    hashes = [_hash(i) for i in range(count)]
+    for config_hash in hashes:
+        cache.store(config_hash, _dataset())
+    return hashes
+
+
+class TestLruEviction:
+    def test_store_gc_keeps_usage_under_cap(self, tmp_path):
+        uncapped = StudyCache(tmp_path / "probe")
+        uncapped.store(_hash(0), _dataset())
+        entry_bytes = uncapped._entry_bytes(_hash(0))
+
+        cache = StudyCache(tmp_path / "cache", max_bytes=entry_bytes * 2)
+        _fill(cache, 4)
+        assert cache.usage_bytes() <= entry_bytes * 2
+        assert len(cache.entries()) == 2
+        # the two *most recently stored* entries survive
+        assert cache.entries() == sorted([_hash(2), _hash(3)])
+        assert cache.gc_evicted == [_hash(0), _hash(1)]
+        assert cache.evicted == []  # GC is not corruption
+
+    def test_hit_refreshes_lru_rank(self, tmp_path):
+        cache = StudyCache(tmp_path / "cache")
+        hashes = _fill(cache, 3)
+        assert cache.load(hashes[0]) is not None  # oldest becomes newest
+        report = cache.gc(max_bytes=cache._entry_bytes(hashes[0]) * 2 - 1)
+        gone = {entry["config_hash"] for entry in report["removed"]}
+        assert hashes[0] not in gone  # refreshed entry survives
+        assert hashes[1] in gone  # now the least recently hit
+
+    def test_gc_report_shape(self, tmp_path):
+        cache = StudyCache(tmp_path / "cache")
+        hashes = _fill(cache, 2)
+        before = cache.usage_bytes()
+        report = cache.gc(max_bytes=1)
+        assert report["limit_bytes"] == 1
+        assert report["before_bytes"] == before
+        assert report["after_bytes"] == 0
+        assert [e["config_hash"] for e in report["removed"]] == hashes
+        assert all(e["bytes"] > 0 for e in report["removed"])
+
+    def test_uncapped_gc_is_a_noop(self, tmp_path):
+        cache = StudyCache(tmp_path / "cache")
+        _fill(cache, 2)
+        report = cache.gc()  # no instance cap, no override
+        assert report["removed"] == []
+        assert len(cache.entries()) == 2
+
+    def test_damaged_usage_index_degrades_to_hash_order(self, tmp_path):
+        cache = StudyCache(tmp_path / "cache")
+        hashes = _fill(cache, 3)
+        (cache.root / USAGE_NAME).write_text("not json{")
+        report = cache.gc(max_bytes=cache._entry_bytes(hashes[0]) * 2 - 1)
+        # all ticks tie at 0; hash sort breaks ties deterministically
+        gone = [entry["config_hash"] for entry in report["removed"]]
+        assert gone == sorted(hashes)[:2]
+
+    def test_usage_index_persists_across_instances(self, tmp_path):
+        first = StudyCache(tmp_path / "cache")
+        hashes = _fill(first, 3)
+        assert first.load(hashes[0]) is not None
+
+        second = StudyCache(tmp_path / "cache")
+        report = second.gc(
+            max_bytes=second._entry_bytes(hashes[0]) * 2 - 1
+        )
+        gone = {entry["config_hash"] for entry in report["removed"]}
+        assert hashes[0] not in gone  # the hit from *first* still counts
+
+    def test_ls_orders_next_victim_first(self, tmp_path):
+        cache = StudyCache(tmp_path / "cache")
+        hashes = _fill(cache, 3)
+        cache.load(hashes[0])
+        rows = cache.ls()
+        assert [row["config_hash"] for row in rows] == [
+            hashes[1], hashes[2], hashes[0]
+        ]
+        assert all(row["bytes"] > 0 for row in rows)
+        assert all(row["records"] == 5 for row in rows)
+        ticks = [row["last_hit_tick"] for row in rows]
+        assert ticks == sorted(ticks)
+
+
+class TestBudgetAccounting:
+    def test_gc_releases_bytes_to_the_budget(self, tmp_path):
+        budget = DiskBudget(1 << 30)
+        cache = StudyCache(tmp_path / "cache", seam=IoSeam(budget=budget))
+        hashes = _fill(cache, 2)
+        charged = budget.used()
+        assert charged > 0
+        cache.gc(max_bytes=1)
+        # everything the store charged is returned on eviction
+        assert budget.used() == 0
+        assert cache.gc_evicted == hashes
+
+    def test_invalidate_releases_bytes(self, tmp_path):
+        budget = DiskBudget(1 << 30)
+        cache = StudyCache(tmp_path / "cache", seam=IoSeam(budget=budget))
+        cache.store(_hash(0), _dataset())
+        assert budget.used() > 0
+        cache.invalidate(_hash(0))
+        assert budget.used() == 0
+
+    def test_max_bytes_must_be_positive(self, tmp_path):
+        with pytest.raises(ValueError):
+            StudyCache(tmp_path / "cache", max_bytes=0)
+
+
+class TestUsageIndex:
+    def test_touch_writes_monotone_ticks(self, tmp_path):
+        cache = StudyCache(tmp_path / "cache")
+        hashes = _fill(cache, 2)
+        cache.load(hashes[0])
+        usage = json.loads((cache.root / USAGE_NAME).read_text())
+        assert usage["tick"] == 3  # two stores + one hit
+        assert usage["entries"][hashes[0]] == 3
+        assert usage["entries"][hashes[1]] == 2
+
+    def test_gc_drops_evicted_entries_from_index(self, tmp_path):
+        cache = StudyCache(tmp_path / "cache")
+        hashes = _fill(cache, 2)
+        cache.gc(max_bytes=1)
+        usage = json.loads((cache.root / USAGE_NAME).read_text())
+        assert usage["entries"] == {}
+        assert hashes  # both were present before the collection

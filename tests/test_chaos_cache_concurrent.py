@@ -67,6 +67,64 @@ def test_two_pausing_writers_commit_one_valid_entry(tmp_path):
     assert list(root.rglob("*.tmp.*")) == []
 
 
+def _racing_gc(root, config_hash, max_bytes, barrier):
+    """One collector process: GC the store down to ``max_bytes`` while
+    a writer is mid-store on the same entry."""
+    cache = StudyCache(root)
+    barrier.wait(timeout=30)
+    cache.gc(max_bytes=max_bytes)
+
+
+def test_store_racing_gc_wins_or_loses_atomically(tmp_path):
+    """A store and an LRU collection fighting over one entry must
+    leave a verified entry or a clean miss — never torn data.
+
+    GC unlinks the manifest (the commit marker) first, and the store
+    writes it last, so whichever rename lands second decides the
+    outcome wholesale.  The pausing writer stretches the window
+    between its CSV and manifest renames to put the collection right
+    in the middle of the store.
+    """
+    dataset = Study(TINY).run()
+    csv_text = dataset.to_csv_string()
+    config_hash = TINY.canonical_hash()
+    root = tmp_path / "cache"
+
+    # Pre-seed the racing entry (stale copy, oldest LRU rank) plus a
+    # second entry the collector must also consider.
+    other_hash = "ff" + "0" * 62
+    seeder = StudyCache(root)
+    seeder.store(config_hash, dataset)
+    seeder.store(other_hash, dataset)
+
+    method = "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+    ctx = mp.get_context(method)
+    barrier = ctx.Barrier(2)
+    writer = ctx.Process(
+        target=_racing_store,
+        args=(root, csv_text, config_hash, "cache.csv", barrier),
+    )
+    collector = ctx.Process(
+        target=_racing_gc, args=(root, config_hash, 1, barrier)
+    )
+    writer.start()
+    collector.start()
+    for proc in (writer, collector):
+        proc.join(timeout=60)
+        assert proc.exitcode == 0
+
+    # Atomic outcome per entry: a fully valid hit or a clean miss.
+    cache = StudyCache(root)
+    for entry_hash in (config_hash, other_hash):
+        entry = cache.load(entry_hash)
+        if entry is not None:
+            assert entry.dataset.to_csv_string() == csv_text
+            assert entry.manifest["records"] == len(dataset)
+    # Load-time paranoia never fired: nothing was torn, only removed.
+    assert cache.evicted == []
+    assert list(root.rglob("*.tmp.*")) == []
+
+
 def test_writer_killed_mid_write_leaves_a_loadable_or_absent_entry(
     tmp_path,
 ):

@@ -206,7 +206,8 @@ class TestSweepCommand:
         assert cli.main(argv) == 0
         out = capsys.readouterr().out
         assert "2 simulated, 0 from cache" in out
-        assert "cache traffic: 0 hits, 2 misses, 2 stores, 0 evicted" in out
+        assert ("cache traffic: 0 hits, 2 misses, 2 stores, "
+                "0 corruption-evicted, 0 gc-evicted") in out
         assert "sweep 'cli-tiny'" in out
         assert (cache_dir / "sweep_manifest.json").exists()
         first_report = report_path.read_bytes()
@@ -214,7 +215,8 @@ class TestSweepCommand:
         assert cli.main(argv) == 0
         out = capsys.readouterr().out
         assert "0 simulated, 2 from cache" in out
-        assert "cache traffic: 2 hits, 0 misses, 0 stores, 0 evicted" in out
+        assert ("cache traffic: 2 hits, 0 misses, 0 stores, "
+                "0 corruption-evicted, 0 gc-evicted") in out
         assert report_path.read_bytes() == first_report
 
     def test_sweep_bad_spec_exits_2(self, tmp_path, capsys):
@@ -265,6 +267,34 @@ class TestChaosCommand:
         payload = json.loads(report_path.read_text())
         assert payload["ok"] is True
         assert payload["outcomes"][0]["status"] == "recovered"
+
+    def test_chaos_pressure_matrix_rides_along(self, tmp_path, capsys):
+        import json
+
+        plan_path = tmp_path / "plan.json"
+        plan_path.write_text(json.dumps({
+            "name": "one",
+            "faults": [
+                {"site": "worker.play", "action": "crash", "shard": 0},
+            ],
+        }))
+        report_path = tmp_path / "chaos.json"
+        code = cli.main([
+            "chaos", "--plan", str(plan_path), "--seed", "11",
+            "--scale", "0.02",
+            "--pressure-budget", "3000",
+            "--report", str(report_path), "--quiet",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "pressure matrix" in out
+        payload = json.loads(report_path.read_text())
+        assert payload["ok"] is True
+        pressure = payload["pressure"]
+        assert pressure["ok"] is True
+        statuses = [o["status"] for o in pressure["outcomes"]]
+        # the unbudgeted control completes; 3000 bytes must refuse
+        assert statuses == ["complete", "refused"]
 
     def test_chaos_rejects_bad_plan(self, tmp_path, capsys):
         bad = tmp_path / "bad.json"
@@ -345,3 +375,85 @@ class TestModernStackSweep:
                 # TCP-only by construction: the protocol-mix claim
                 # cannot be judged on a DASH cell.
                 assert verdicts["C4"] == "n/a"
+
+
+class TestResourceGovernanceArgs:
+    def test_parse_bytes_suffixes(self):
+        assert cli._parse_bytes("1048576") == 1 << 20
+        assert cli._parse_bytes("512K") == 512 << 10
+        assert cli._parse_bytes("64M") == 64 << 20
+        assert cli._parse_bytes("2G") == 2 << 30
+        assert cli._parse_bytes("1.5K") == 1536
+
+    def test_parse_bytes_rejects_garbage(self):
+        import argparse
+
+        for bad in ("nope", "-1", "0", "12Q"):
+            with pytest.raises(argparse.ArgumentTypeError):
+                cli._parse_bytes(bad)
+
+    def test_study_budget_args(self):
+        args = cli.build_parser().parse_args(
+            ["study", "--disk-budget", "2G", "--memory-soft-bytes", "1G"]
+        )
+        assert args.disk_budget == 2 << 30
+        assert args.memory_soft_bytes == 1 << 30
+
+    def test_sweep_cache_cap_args(self):
+        args = cli.build_parser().parse_args(
+            ["sweep", "--spec", "s.toml", "--max-cache-bytes", "512M",
+             "--disk-budget", "1G"]
+        )
+        assert args.max_cache_bytes == 512 << 20
+        assert args.disk_budget == 1 << 30
+
+    def test_chaos_pressure_args(self):
+        args = cli.build_parser().parse_args(
+            ["chaos", "--pressure-budget", "300K",
+             "--pressure-budget", "1M", "--shrink-to", "30K"]
+        )
+        assert args.pressure_budget == [300 << 10, 1 << 20]
+        assert args.shrink_to == 30 << 10
+
+    def test_serve_budget_args(self):
+        args = cli.build_parser().parse_args(
+            ["serve", "--max-disk-bytes", "10G",
+             "--max-cache-bytes", "8G"]
+        )
+        assert args.max_disk_bytes == 10 << 30
+        assert args.max_cache_bytes == 8 << 30
+
+
+class TestCacheCommand:
+    def _seed_cache(self, tmp_path):
+        from repro.core.study import Study, StudyConfig
+        from repro.sweep.cache import StudyCache
+
+        config = StudyConfig(seed=11, scale=0.02, max_users=6,
+                             playlist_length=4)
+        cache = StudyCache(tmp_path / "cache")
+        cache.store(config.canonical_hash(), Study(config).run())
+        return tmp_path / "cache"
+
+    def test_ls_lists_entries(self, tmp_path, capsys):
+        cache_dir = self._seed_cache(tmp_path)
+        assert cli.main(["cache", "ls", "--cache-dir",
+                         str(cache_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "1 entries" in out
+        assert "records" in out
+
+    def test_gc_evicts_down_to_limit(self, tmp_path, capsys):
+        cache_dir = self._seed_cache(tmp_path)
+        assert cli.main(["cache", "gc", "--cache-dir", str(cache_dir),
+                         "--max-bytes", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "1 entry evicted" in out
+        assert cli.main(["cache", "ls", "--cache-dir",
+                         str(cache_dir)]) == 0
+        assert "empty" in capsys.readouterr().out
+
+    def test_missing_cache_dir_exits_2(self, tmp_path, capsys):
+        assert cli.main(["cache", "ls", "--cache-dir",
+                         str(tmp_path / "nope")]) == 2
+        assert "no cache directory" in capsys.readouterr().err

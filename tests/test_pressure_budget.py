@@ -1,0 +1,165 @@
+"""Unit tests for the `repro.pressure` ledger and governors."""
+
+import pytest
+
+from repro.chaos.plan import Fault
+from repro.pressure import (
+    CATEGORIES,
+    DiskBudget,
+    DiskBudgetExceeded,
+    MemoryGovernor,
+    PressureConfig,
+    du_bytes,
+    rss_bytes,
+)
+from repro.pressure.budget import category_for_site
+
+
+class TestDiskBudget:
+    def test_levels_track_watermarks(self):
+        budget = DiskBudget(1000, soft_fraction=0.8, hard_fraction=0.95)
+        assert budget.level() == "ok"
+        budget.charge("spills", 700, enforce=False)
+        assert budget.level() == "ok"
+        budget.charge("spills", 100, enforce=False)
+        assert budget.level() == "soft"
+        budget.charge("spills", 150, enforce=False)
+        assert budget.level() == "hard"
+
+    def test_enforcing_charge_refuses_at_hard_watermark(self):
+        budget = DiskBudget(1000, hard_fraction=0.95)
+        budget.charge("checkpoints", 900, enforce=False)
+        with pytest.raises(DiskBudgetExceeded) as excinfo:
+            budget.charge("checkpoints", 100)
+        # The refused charge never lands on the ledger.
+        assert budget.used() == 900
+        assert budget.refused == 1
+        import errno
+
+        assert excinfo.value.errno == errno.ENOSPC
+        assert isinstance(excinfo.value, OSError)
+
+    def test_non_enforcing_charge_always_lands(self):
+        budget = DiskBudget(100)
+        level = budget.charge("spills", 500, enforce=False)
+        assert level == "hard"
+        assert budget.used() == 500
+
+    def test_seed_counts_occupancy_without_a_write(self):
+        budget = DiskBudget(1000)
+        budget.seed("cache", 400)
+        assert budget.used() == 400
+        # Seeds don't advance the write counter armed shrinks key on.
+        budget.arm([Fault(site="pressure.disk", action="shrink",
+                          budget_bytes=500, after_writes=1)])
+        budget.seed("cache", 100)
+        assert budget.max_bytes == 1000
+
+    def test_release_clamps_at_zero(self):
+        budget = DiskBudget(1000)
+        budget.charge("cache", 100, enforce=False)
+        budget.release("cache", 500)
+        assert budget.used() == 0
+
+    def test_armed_shrink_fault_cuts_quota_mid_run(self):
+        budget = DiskBudget(10_000)
+        budget.arm([Fault(site="pressure.disk", action="shrink",
+                          budget_bytes=300, after_writes=2)])
+        budget.charge("spills", 10, enforce=False)
+        assert budget.max_bytes == 10_000
+        budget.charge("spills", 10, enforce=False)
+        assert budget.max_bytes == 300
+        assert any("quota shrunk" in event for event in budget.events)
+
+    def test_snapshot_shape(self):
+        budget = DiskBudget(1000)
+        budget.charge("spills", 10, enforce=False)
+        snap = budget.snapshot()
+        assert snap["max_bytes"] == 1000
+        assert snap["used_bytes"] == 10
+        assert snap["level"] == "ok"
+        assert set(snap["by_category"]) == set(CATEGORIES)
+
+    def test_unknown_category_rejected(self):
+        budget = DiskBudget(1000)
+        with pytest.raises(ValueError):
+            budget.charge("tmp", 1)
+
+
+class TestCategoryForSite:
+    @pytest.mark.parametrize("site,category", [
+        ("checkpoint.manifest", "checkpoints"),
+        ("checkpoint.shard", "checkpoints"),
+        ("checkpoint.run_manifest", "checkpoints"),
+        ("cache.csv", "cache"),
+        ("cache.manifest", "cache"),
+        ("spill.batch", "spills"),
+    ])
+    def test_mapping(self, site, category):
+        assert category_for_site(site) == category
+
+
+class TestPressureConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PressureConfig(max_disk_bytes=0)
+        with pytest.raises(ValueError):
+            PressureConfig(soft_fraction=0.9, hard_fraction=0.8)
+        with pytest.raises(ValueError):
+            PressureConfig(min_batch_size=0)
+
+    def test_round_trips_through_dict(self):
+        config = PressureConfig(max_disk_bytes=1 << 20,
+                                memory_soft_bytes=1 << 30)
+        assert PressureConfig.from_dict(config.to_dict()) == config
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(ValueError):
+            PressureConfig.from_dict({"max_bytes": 1})
+
+    def test_make_budget(self):
+        assert PressureConfig().make_budget() is None
+        budget = PressureConfig(max_disk_bytes=1000).make_budget()
+        assert budget is not None and budget.max_bytes == 1000
+
+
+class TestDuBytes:
+    def test_recursive_size(self, tmp_path):
+        (tmp_path / "a.bin").write_bytes(b"x" * 100)
+        sub = tmp_path / "sub"
+        sub.mkdir()
+        (sub / "b.bin").write_bytes(b"y" * 50)
+        assert du_bytes(tmp_path) == 150
+        assert du_bytes(tmp_path / "a.bin") == 100
+        assert du_bytes(tmp_path / "missing") == 0
+
+
+class TestMemoryGovernor:
+    def test_advise_halves_above_watermark(self):
+        probe_value = [1000]
+        governor = MemoryGovernor(
+            500, min_batch_size=4, probe=lambda: probe_value[0]
+        )
+        assert governor.advise(64) == 32
+        assert governor.advise(32) == 16
+        assert governor.shrinks == 2
+        probe_value[0] = 100  # pressure passed: batch size holds
+        assert governor.advise(16) == 16
+        assert governor.shrinks == 2
+
+    def test_advise_floors_at_min_batch(self):
+        governor = MemoryGovernor(1, min_batch_size=8, probe=lambda: 100)
+        assert governor.advise(8) == 8
+        assert governor.shrinks == 0
+
+    def test_tracks_peak(self):
+        values = iter([100, 900, 200])
+        governor = MemoryGovernor(10_000, probe=lambda: next(values))
+        for _ in range(3):
+            governor.sample()
+        assert governor.peak_bytes == 900
+        assert governor.stats()["peak_rss_bytes"] == 900
+
+    def test_rss_probe_reads_something(self):
+        # /proc on Linux, getrusage elsewhere; both yield > 0 here.
+        assert rss_bytes() > 0

@@ -1,0 +1,245 @@
+"""Resource governance through the sharded engine, end to end.
+
+The contract under any disk/memory budget: a run ends in exactly one
+of *complete*, *honestly degraded* (byte-identical CSV, pressure
+surfaced in telemetry and manifest), or *honestly refused* (drained
+with ``interrupted_by: "disk-budget"``, resumable to the exact golden
+bytes) — never a torn artifact, never silently wrong data.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.chaos.seam import IoSeam
+from repro.core.study import StudyConfig
+from repro.pressure import DiskBudget, DiskBudgetExceeded, PressureConfig, du_bytes
+from repro.runtime import RuntimeConfig, run_study
+from repro.runtime.checkpoint import SPILL_DIR_NAME, CheckpointStore
+
+SKETCH = StudyConfig(seed=7, playlist_length=8, max_users=8, scale=0.1,
+                     aggregation="sketch")
+SHARDS = 4
+
+
+@pytest.fixture(scope="module")
+def golden(tmp_path_factory):
+    """Unbudgeted checkpointed run: the reference CSV and its on-disk
+    footprint (used to calibrate soft/hard budgets below)."""
+    ckpt = tmp_path_factory.mktemp("golden-ckpt")
+    result = run_study(
+        SKETCH, RuntimeConfig(shard_count=SHARDS, checkpoint_dir=ckpt)
+    )
+    assert not result.interrupted
+    return {
+        "csv": result.dataset.to_csv_string(),
+        "du": du_bytes(ckpt),
+    }
+
+
+class TestSoftPressureDegrades:
+    def test_run_completes_byte_identical_under_soft_budget(
+        self, golden, tmp_path
+    ):
+        # Budget sized so the finished journal sits between the soft
+        # and hard watermarks: the run must degrade, not refuse.
+        budget_bytes = int(golden["du"] / 0.85)
+        result = run_study(
+            SKETCH,
+            RuntimeConfig(
+                shard_count=SHARDS,
+                checkpoint_dir=tmp_path / "ckpt",
+                pressure=PressureConfig(max_disk_bytes=budget_bytes),
+            ),
+        )
+        assert not result.interrupted
+        assert result.dataset.to_csv_string() == golden["csv"]
+        pressure = result.manifest["pressure"]
+        assert pressure["level"] == "soft"
+        assert pressure["max_bytes"] == budget_bytes
+        assert result.telemetry.snapshot()["pressure_level"] == "soft"
+
+    def test_parallel_budgeted_run_matches_serial(self, golden, tmp_path):
+        budget_bytes = int(golden["du"] / 0.85)
+        result = run_study(
+            SKETCH,
+            RuntimeConfig(
+                workers=2,
+                shard_count=SHARDS,
+                checkpoint_dir=tmp_path / "ckpt",
+                pressure=PressureConfig(max_disk_bytes=budget_bytes),
+            ),
+        )
+        assert not result.interrupted
+        assert result.dataset.to_csv_string() == golden["csv"]
+        assert result.manifest["pressure"]["used_bytes"] > 0
+
+
+class TestHardPressureRefuses:
+    def test_exhausted_budget_drains_honestly_and_resumes(
+        self, golden, tmp_path
+    ):
+        ckpt = tmp_path / "ckpt"
+        starved = run_study(
+            SKETCH,
+            RuntimeConfig(
+                shard_count=SHARDS,
+                checkpoint_dir=ckpt,
+                pressure=PressureConfig(max_disk_bytes=2000),
+            ),
+        )
+        assert starved.interrupted
+        assert starved.manifest["interrupted_by"] == "disk-budget"
+        # honest refusal, not a crash: the partial dataset is real
+        assert len(starved.dataset) < len(golden["csv"].splitlines())
+        # the record of the refusal lands even past the hard watermark:
+        # the run-manifest site is charged but never refused
+        on_disk = json.loads((ckpt / "run_manifest.json").read_text())
+        assert on_disk["interrupted_by"] == "disk-budget"
+
+        # free the quota (here: simply run unbudgeted) and resume
+        resumed = run_study(
+            SKETCH,
+            RuntimeConfig(
+                shard_count=SHARDS, checkpoint_dir=ckpt, resume=True
+            ),
+        )
+        assert not resumed.interrupted
+        assert resumed.dataset.to_csv_string() == golden["csv"]
+
+
+class TestSpillHygiene:
+    def test_resume_sweeps_orphans_and_counts_them(self, golden, tmp_path):
+        ckpt = tmp_path / "ckpt"
+
+        class KillRun(Exception):
+            pass
+
+        def kill_after_one_shard(telemetry):
+            if any(s.status == "done" for s in telemetry.shards.values()):
+                raise KillRun
+
+        with pytest.raises(KillRun):
+            run_study(
+                SKETCH,
+                RuntimeConfig(
+                    shard_count=SHARDS,
+                    checkpoint_dir=ckpt,
+                    progress=kill_after_one_shard,
+                ),
+            )
+
+        # what a SIGKILLed writer leaves behind: an uncommitted batch
+        # file from a dead attempt plus a scratch temp file
+        spill_dir = ckpt / SPILL_DIR_NAME
+        orphan_batch = spill_dir / "shard_0099.b000000.npy"
+        orphan_batch.write_bytes(b"\x00" * 128)
+        orphan_tmp = spill_dir / "junk.tmp.12345"
+        orphan_tmp.write_bytes(b"\x00" * 64)
+        committed = {
+            p.name
+            for p in spill_dir.iterdir()
+            if p.name not in (orphan_batch.name, orphan_tmp.name)
+        }
+
+        resumed = run_study(
+            SKETCH,
+            RuntimeConfig(
+                shard_count=SHARDS, checkpoint_dir=ckpt, resume=True
+            ),
+        )
+        assert resumed.telemetry.orphans_swept == 2
+        assert resumed.telemetry.orphans_swept_bytes == 128 + 64
+        snapshot = resumed.telemetry.snapshot()
+        assert snapshot["orphans_swept"] == 2
+        assert not orphan_batch.exists() and not orphan_tmp.exists()
+        # the committed spills the resume trusted were never touched
+        assert committed <= {p.name for p in spill_dir.iterdir()}
+        assert resumed.dataset.to_csv_string() == golden["csv"]
+
+
+class TestMemoryGovernor:
+    def test_rss_watermark_shrinks_batches_not_records(self, golden):
+        # an impossible 1-byte watermark: every heartbeat advises a
+        # shrink until the batch floor, and the CSV must not move
+        result = run_study(
+            SKETCH,
+            RuntimeConfig(
+                shard_count=SHARDS,
+                pressure=PressureConfig(
+                    memory_soft_bytes=1, min_batch_size=256
+                ),
+            ),
+        )
+        assert result.telemetry.batch_shrinks > 0
+        assert result.telemetry.memory_peak_bytes > 0
+        snapshot = result.telemetry.snapshot()
+        assert snapshot["batch_shrinks"] == result.telemetry.batch_shrinks
+        assert snapshot["memory_peak_bytes"] > 0
+        assert result.dataset.to_csv_string() == golden["csv"]
+
+
+class TestSeamRefusalAtomicity:
+    def test_refused_write_keeps_old_file_and_leaves_no_temp(
+        self, tmp_path
+    ):
+        budget = DiskBudget(100)
+        seam = IoSeam(budget=budget)
+        target = tmp_path / "artifact.json"
+        seam.write_text(target, "small", site="checkpoint.manifest")
+        with pytest.raises(DiskBudgetExceeded):
+            seam.write_text(target, "x" * 500, site="checkpoint.manifest")
+        assert target.read_text() == "small"
+        assert list(tmp_path.glob("*.tmp.*")) == []
+        assert budget.used() == len("small")
+
+    def test_overwrite_charges_only_the_delta(self, tmp_path):
+        budget = DiskBudget(1 << 20)
+        seam = IoSeam(budget=budget)
+        target = tmp_path / "artifact.json"
+        seam.write_text(target, "x" * 100, site="cache.csv")
+        seam.write_text(target, "x" * 140, site="cache.csv")
+        assert budget.used() == 140  # not 240: ledger tracks occupancy
+
+
+class TestCheckpointThinning:
+    def _store(self, tmp_path, budget):
+        return CheckpointStore(
+            tmp_path / "ckpt",
+            seam=IoSeam(budget=budget),
+            thin_every=4,
+        )
+
+    def test_soft_pressure_thins_manifest_flushes(self, tmp_path):
+        budget = DiskBudget(10_000)
+        # level: soft (8000 <= used < 9500), with headroom for the
+        # manifest writes themselves
+        budget.charge("spills", 8500, enforce=False)
+        store = self._store(tmp_path, budget)
+        store.open("fp", resume=False)
+        # even the opening flush is thinned under soft pressure;
+        # force the baseline onto disk before measuring
+        store.flush()
+        manifest_path = store.manifest_path
+        baseline = manifest_path.read_text()
+        store._manifest["shards"]["0"] = {"records": 1}
+        store._flush()
+        # thinned: nothing hit the disk, the flush was only counted
+        assert store.thinned_flushes >= 1
+        assert manifest_path.read_text() == baseline
+        # forcing (end of run) writes the retained state
+        store.flush()
+        assert json.loads(manifest_path.read_text())["shards"] == {
+            "0": {"records": 1}
+        }
+
+    def test_unpressured_store_never_thins(self, tmp_path):
+        budget = DiskBudget(1 << 30)  # level stays "ok"
+        store = self._store(tmp_path, budget)
+        store.open("fp", resume=False)
+        store._manifest["shards"]["0"] = {"records": 1}
+        store._flush()
+        assert store.thinned_flushes == 0
+        assert json.loads(store.manifest_path.read_text())["shards"]

@@ -227,7 +227,7 @@ class TestErrors:
         assert status == 409
         assert "not a study" in err["error"]
 
-    def test_queue_saturation_is_429(self, tmp_path):
+    def test_queue_saturation_is_429_with_retry_after(self, tmp_path):
         with running_server(
             tmp_path / "c", workers=1, queue_capacity=1
         ) as harness:
@@ -237,13 +237,45 @@ class TestErrors:
             assert first[0] == 201
             # distinct configs keep claiming slots; capacity 1 means
             # at most one *queued* behind the running one.
-            codes = []
+            refusals = []
             for seed in range(100, 110):
                 config = {**TINY_CONFIG, "seed": seed}
-                codes.append(
-                    post_json(harness.base, "/v1/studies", config)[0]
+                status, headers, _body = request(
+                    harness.base, "/v1/studies",
+                    method="POST", payload=config,
                 )
-            assert 429 in codes
+                if status == 429:
+                    refusals.append(headers)
+            assert refusals
+            # every 429 tells clients when to come back, and the value
+            # is machine-usable: a non-negative integer of seconds
+            for headers in refusals:
+                assert int(headers["Retry-After"]) >= 0
+
+    def test_disk_pressure_refuses_new_work_with_retry_after(
+        self, tmp_path
+    ):
+        # a budget so small the pre-seeded cache dir already sits past
+        # the hard watermark: every submission is refused honestly
+        junk = tmp_path / "c" / "junk.bin"
+        junk.parent.mkdir(parents=True)
+        junk.write_bytes(b"\x00" * 4096)
+        with running_server(
+            tmp_path / "c", workers=1, max_disk_bytes=1024
+        ) as harness:
+            status, headers, body = request(
+                harness.base, "/v1/studies",
+                method="POST", payload=TINY_CONFIG,
+            )
+            assert status == 429
+            assert int(headers["Retry-After"]) >= 0
+            doc = json.loads(body)
+            assert "disk budget exhausted" in doc["error"]
+            assert "repro cache gc" in doc["error"]
+            # the service stats surface the ledger
+            _s, stats = get_json(harness.base, "/v1/stats")
+            assert stats["pressure"]["level"] == "hard"
+            assert stats["pressure"]["used_bytes"] >= 4096
 
     def test_health_endpoint(self, server):
         status, doc = get_json(server.base, "/healthz")
@@ -258,7 +290,7 @@ class TestStats:
         assert status == 200
         assert stats["jobs"] >= 1
         assert set(stats["cache"]) == {
-            "hits", "misses", "stores", "evicted",
+            "hits", "misses", "stores", "evicted", "gc_evicted",
         }
         assert stats["queue_capacity"] == 64
 

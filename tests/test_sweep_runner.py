@@ -73,7 +73,9 @@ class TestFirstRun:
         manifest = result.manifest()
         assert manifest["cache"] == {
             "hits": 0, "misses": 2, "stores": 2, "evicted": 0,
+            "gc_evicted": 0,
         }
+        assert manifest["cache_gc_evicted"] == []
 
     def test_cache_manifest_echoes_cell_and_config(self, tiny_sweep):
         result, cache_dir = tiny_sweep
@@ -106,6 +108,7 @@ class TestRerun:
         assert all("cached" in line for line in lines)
         assert again.manifest()["cache"] == {
             "hits": 2, "misses": 0, "stores": 0, "evicted": 0,
+            "gc_evicted": 0,
         }
 
     def test_rerun_report_is_byte_identical(
